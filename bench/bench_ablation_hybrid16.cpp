@@ -1,0 +1,81 @@
+// E7 — hybrid speculation-placement ablation on a 16x16 MoT.
+//
+// The paper sketches one 16x16 hybrid (Figure 3(d): speculative levels
+// {0, 2}) and names the wider family as future work. This harness sweeps
+// every per-level speculation pattern (leaf level always non-speculative)
+// and reports zero-ish-load latency, saturation, power, and address bits —
+// the cost/benefit landscape of local speculation placement.
+#include <bit>
+#include <vector>
+
+#include "bench_common.h"
+#include "stats/experiment.h"
+
+using namespace specnoc;
+using specnoc::bench::HarnessOptions;
+
+int main(int argc, char** argv) {
+  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  core::NetworkConfig cfg;
+  cfg.n = 16;
+  stats::ExperimentRunner runner(cfg, opts.seed);
+  const mot::MotTopology topo(cfg.n);
+
+  using traffic::BenchmarkId;
+  Table table({"Spec levels", "Local?", "Addr bits", "Sat uniform",
+               "Sat mcast10", "Lat uniform (ns)", "Lat mcast10 (ns)",
+               "Power uniform (mW)"});
+
+  // Enumerate subsets of levels {0, 1, 2} (level 3 = leaves, always
+  // non-speculative).
+  const std::uint32_t free_levels = topo.levels() - 1;
+  for (std::uint32_t bits = 0; bits < (1u << free_levels); ++bits) {
+    std::vector<std::uint32_t> levels;
+    std::string label = "{";
+    for (std::uint32_t l = 0; l < free_levels; ++l) {
+      if (bits & (1u << l)) {
+        if (!levels.empty()) label += ',';
+        label += std::to_string(l);
+        levels.push_back(l);
+      }
+    }
+    label += "}";
+    const auto spec = core::SpeculationMap::from_levels(topo, levels);
+    stats::NetworkFactory factory = [&cfg, spec] {
+      return std::make_unique<core::MotNetwork>(cfg, spec);
+    };
+
+    const auto sat_uniform =
+        runner.run_saturation(factory, BenchmarkId::kUniformRandom);
+    const auto sat_mcast =
+        runner.run_saturation(factory, BenchmarkId::kMulticast10);
+    const auto windows = traffic::default_windows(BenchmarkId::kUniformRandom);
+    const auto lat_uniform = runner.measure_latency(
+        factory, BenchmarkId::kUniformRandom,
+        0.25 * sat_uniform.injected_flits_per_ns, windows);
+    const auto lat_mcast = runner.measure_latency(
+        factory, BenchmarkId::kMulticast10,
+        0.25 * sat_mcast.injected_flits_per_ns, windows);
+    const auto power = runner.measure_power(
+        factory, BenchmarkId::kUniformRandom,
+        0.25 * sat_uniform.injected_flits_per_ns, windows);
+    const auto addr_bits =
+        mot::SourceRouteEncoder(topo, spec.flags()).address_bits();
+
+    table.add_row({label, spec.is_local() ? "yes" : "no",
+                   cell(static_cast<long long>(addr_bits)),
+                   cell(sat_uniform.delivered_flits_per_ns, 2),
+                   cell(sat_mcast.delivered_flits_per_ns, 2),
+                   cell(lat_uniform.mean_latency_ns, 2),
+                   cell(lat_mcast.mean_latency_ns, 2),
+                   cell(power.power_mw, 1)});
+  }
+  specnoc::bench::emit(table,
+                       "16x16 hybrid placement ablation (paper Figure 3(d) "
+                       "is spec levels {0,2})",
+                       opts);
+  specnoc::bench::note(
+      "'Local? yes' = no speculative node feeds another speculative node "
+      "(redundant copies throttled after one hop).");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E6 — Section 5.2(d): addressing-scheme comparison.
+//
+// Exact integers, checked against the paper: the speculative architectures
+// shrink the multicast address field because speculative nodes carry no
+// source-routing field.
+#include "bench_common.h"
+#include "core/mot_network.h"
+
+using namespace specnoc;
+using specnoc::bench::HarnessOptions;
+
+int main(int argc, char** argv) {
+  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+
+  const std::uint32_t sizes[] = {8, 16, 32, 64};
+  Table table({"Architecture", "8x8", "16x16", "32x32 (ext)", "64x64 (ext)"});
+  const core::Architecture archs[] = {
+      core::Architecture::kBaseline,
+      core::Architecture::kBasicNonSpeculative,
+      core::Architecture::kOptHybridSpeculative,
+      core::Architecture::kOptAllSpeculative,
+  };
+  for (const auto arch : archs) {
+    std::vector<std::string> row{core::to_string(arch)};
+    for (const auto n : sizes) {
+      core::NetworkConfig cfg;
+      cfg.n = n;
+      row.push_back(
+          cell(static_cast<long long>(core::MotNetwork(arch, cfg)
+                                          .address_bits())));
+    }
+    table.add_row(std::move(row));
+  }
+  specnoc::bench::emit(table, "Address field size (bits)", opts);
+
+  Table paper({"Architecture", "8x8 (paper)", "16x16 (paper)"});
+  paper.add_row({"Baseline (unicast source routing)", "3", "4"});
+  paper.add_row({"Non-speculative", "14", "30"});
+  paper.add_row({"Hybrid", "12", "20"});
+  paper.add_row({"Almost fully speculative", "8", "16"});
+  specnoc::bench::emit(paper, "Paper Section 5.2(d)", opts);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the experiment harnesses.
+//
+// Every harness prints (a) the measured table in the paper's layout and
+// (b) the paper's published values for side-by-side comparison, then key
+// derived ratios. Absolute units differ from the paper's testbed (our
+// substrate is a calibrated simulator); the claims under reproduction are
+// the relative numbers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/table.h"
+
+namespace specnoc::bench {
+
+struct HarnessOptions {
+  std::uint64_t seed = 42;
+  std::string csv_path;  ///< optional --csv <path> to also dump CSV
+};
+
+inline HarnessOptions parse_args(int argc, char** argv) {
+  HarnessOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      opts.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--seed N] [--csv path]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return opts;
+}
+
+inline void emit(const Table& table, const std::string& title,
+                 const HarnessOptions& opts) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  if (!opts.csv_path.empty()) {
+    std::ofstream out(opts.csv_path, std::ios::app);
+    out << "# " << title << "\n";
+    table.write_csv(out);
+  }
+}
+
+inline void note(const std::string& text) {
+  std::cout << text << "\n";
+}
+
+}  // namespace specnoc::bench

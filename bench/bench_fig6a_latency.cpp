@@ -1,0 +1,89 @@
+// E2 — Figure 6(a): contribution-trajectory average network latency.
+//
+// Protocol (paper Section 5.2(b)): each network runs at 25% of its own
+// saturation load under open-loop exponential injection; latency of a
+// message is measured to the arrival of ALL its headers (for the serial
+// Baseline this includes the serialization of the unicast copies). Warmup
+// and measurement windows follow the paper (320/640 ns, 3200/6400 ns).
+//
+// The paper's figure reports absolute latencies only graphically; the
+// quantitative claims it states are the relative improvements, which this
+// harness reproduces below the table.
+#include <array>
+
+#include "bench_common.h"
+#include "stats/experiment.h"
+
+using namespace specnoc;
+using specnoc::bench::HarnessOptions;
+
+namespace {
+
+constexpr std::array<core::Architecture, 4> kRowOrder =
+    core::trajectory_architectures();
+
+std::vector<std::string> header_row() {
+  std::vector<std::string> h{"Scheme"};
+  for (const auto bench : traffic::all_benchmarks()) {
+    h.emplace_back(traffic::to_string(bench));
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  core::NetworkConfig cfg;
+  stats::ExperimentRunner runner(cfg, opts.seed);
+
+  double lat[4][6] = {};
+  Table table(header_row());
+  for (std::size_t r = 0; r < kRowOrder.size(); ++r) {
+    std::vector<std::string> row{core::to_string(kRowOrder[r])};
+    std::size_t c = 0;
+    for (const auto bench : traffic::all_benchmarks()) {
+      const auto result = runner.latency_at_fraction(kRowOrder[r], bench);
+      lat[r][c++] = result.mean_latency_ns;
+      row.push_back(cell(result.mean_latency_ns, 2) +
+                    (result.drained ? "" : "*"));
+    }
+    table.add_row(std::move(row));
+  }
+  specnoc::bench::emit(
+      table,
+      "Figure 6(a) (measured): avg network latency (ns) at 25% of own "
+      "saturation ('*' = did not fully drain)",
+      opts);
+
+  // Column indices: 0 Uniform, 1 Shuffle, 2 Hotspot, 3 M5, 4 M10, 5 Mstatic.
+  auto impr = [&](std::size_t better, std::size_t worse, std::size_t c) {
+    return 1.0 - lat[better][c] / lat[worse][c];
+  };
+  Table claims({"Claim (latency reduction)", "Paper", "Measured"});
+  claims.add_row({"BasicNonSpec vs Baseline, Multicast5", "39.1%",
+                  percent_cell(impr(1, 0, 3))});
+  claims.add_row({"BasicNonSpec vs Baseline, Multicast10", "(39.1..74.1%)",
+                  percent_cell(impr(1, 0, 4))});
+  claims.add_row({"BasicNonSpec vs Baseline, Multicast_static", "74.1%",
+                  percent_cell(impr(1, 0, 5))});
+  claims.add_row({"BasicHybrid vs BasicNonSpec, multicast benchmarks",
+                  "10.5..14.9%",
+                  percent_cell(impr(2, 1, 3)) + " / " +
+                      percent_cell(impr(2, 1, 4)) + " / " +
+                      percent_cell(impr(2, 1, 5))});
+  claims.add_row({"OptHybrid vs BasicNonSpec, multicast benchmarks",
+                  "17.8..21.4%",
+                  percent_cell(impr(3, 1, 3)) + " / " +
+                      percent_cell(impr(3, 1, 4)) + " / " +
+                      percent_cell(impr(3, 1, 5))});
+  claims.add_row({"BasicNonSpec vs Baseline, unicast (small overhead)",
+                  "slightly worse",
+                  percent_cell(impr(1, 0, 0)) + " / " +
+                      percent_cell(impr(1, 0, 1))});
+  claims.add_row({"Hybrids beat BasicNonSpec on unicast", "noticeable",
+                  percent_cell(impr(2, 1, 0)) + " / " +
+                      percent_cell(impr(3, 1, 0))});
+  specnoc::bench::emit(claims, "Figure 6(a) relative claims", opts);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E3 — Figure 6(b): design-space-exploration average network latency.
+//
+// Same protocol as Figure 6(a) but comparing the three optimized networks
+// with varying degrees of speculation.
+#include <array>
+
+#include "bench_common.h"
+#include "stats/experiment.h"
+
+using namespace specnoc;
+using specnoc::bench::HarnessOptions;
+
+namespace {
+
+constexpr std::array<core::Architecture, 3> kRowOrder =
+    core::dse_architectures();
+
+std::vector<std::string> header_row() {
+  std::vector<std::string> h{"Scheme"};
+  for (const auto bench : traffic::all_benchmarks()) {
+    h.emplace_back(traffic::to_string(bench));
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  core::NetworkConfig cfg;
+  stats::ExperimentRunner runner(cfg, opts.seed);
+
+  double lat[3][6] = {};
+  Table table(header_row());
+  for (std::size_t r = 0; r < kRowOrder.size(); ++r) {
+    std::vector<std::string> row{core::to_string(kRowOrder[r])};
+    std::size_t c = 0;
+    for (const auto bench : traffic::all_benchmarks()) {
+      const auto result = runner.latency_at_fraction(kRowOrder[r], bench);
+      lat[r][c++] = result.mean_latency_ns;
+      row.push_back(cell(result.mean_latency_ns, 2) +
+                    (result.drained ? "" : "*"));
+    }
+    table.add_row(std::move(row));
+  }
+  specnoc::bench::emit(
+      table,
+      "Figure 6(b) (measured): avg network latency (ns) at 25% of own "
+      "saturation ('*' = did not fully drain)",
+      opts);
+
+  // Rows: 0 OptNonSpec, 1 OptHybrid, 2 OptAllSpec.
+  auto impr = [&](std::size_t better, std::size_t worse, std::size_t c) {
+    return 1.0 - lat[better][c] / lat[worse][c];
+  };
+  auto range = [&](std::size_t better, std::size_t worse) {
+    double lo = 1.0, hi = -1.0;
+    for (std::size_t c = 0; c < 6; ++c) {
+      const double v = impr(better, worse, c);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return percent_cell(lo) + " .. " + percent_cell(hi);
+  };
+  Table claims({"Claim (latency reduction)", "Paper", "Measured range"});
+  claims.add_row({"OptHybrid vs OptNonSpec", "9.7..11.9%", range(1, 0)});
+  claims.add_row({"OptAllSpec vs OptHybrid", "8.7..12.0%", range(2, 1)});
+  claims.add_row({"OptAllSpec vs OptNonSpec", "18.5..21.7%", range(2, 0)});
+  specnoc::bench::emit(claims, "Figure 6(b) relative claims", opts);
+  return 0;
+}

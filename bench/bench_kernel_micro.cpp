@@ -1,0 +1,88 @@
+// E8 — google-benchmark microbenchmarks of the simulation kernel and the
+// end-to-end simulator (events/sec, simulated-ns/sec).
+#include <benchmark/benchmark.h>
+
+#include "core/mot_network.h"
+#include "sim/scheduler.h"
+#include "stats/recorder.h"
+#include "traffic/benchmark.h"
+#include "traffic/driver.h"
+
+namespace {
+
+using namespace specnoc;
+using namespace specnoc::literals;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sched.schedule(static_cast<TimePs>(i % 97),
+                     [&sum, i] { sum += i; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(65536);
+
+void BM_SchedulerCascade(benchmark::State& state) {
+  // Event handlers that schedule follow-ups: the simulator's hot pattern.
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int remaining = 100000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sched.schedule(3, tick);
+    };
+    sched.schedule(0, tick);
+    sched.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_SchedulerCascade);
+
+void BM_NetworkConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    core::NetworkConfig cfg;
+    cfg.n = n;
+    core::MotNetwork net(core::Architecture::kOptHybridSpeculative, cfg);
+    benchmark::DoNotOptimize(net.total_node_area());
+  }
+}
+BENCHMARK(BM_NetworkConstruction)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SaturatedSimulation(benchmark::State& state) {
+  // Simulated nanoseconds per wall second under backlogged uniform load.
+  const auto arch = static_cast<core::Architecture>(state.range(0));
+  for (auto _ : state) {
+    core::NetworkConfig cfg;
+    core::MotNetwork net(arch, cfg);
+    stats::TrafficRecorder rec(net.net().packets());
+    net.net().hooks().traffic = &rec;
+    auto pattern = traffic::make_benchmark(
+        traffic::BenchmarkId::kUniformRandom, 8);
+    traffic::DriverConfig dcfg;
+    dcfg.mode = traffic::InjectionMode::kBacklogged;
+    dcfg.seed = 7;
+    traffic::TrafficDriver driver(net, *pattern, dcfg);
+    driver.start();
+    net.scheduler().run_until(1000_ns);
+    benchmark::DoNotOptimize(net.scheduler().executed());
+  }
+  state.SetLabel("1000 simulated ns per iteration");
+}
+BENCHMARK(BM_SaturatedSimulation)
+    ->Arg(static_cast<int>(core::Architecture::kBaseline))
+    ->Arg(static_cast<int>(core::Architecture::kOptHybridSpeculative))
+    ->Arg(static_cast<int>(core::Architecture::kOptAllSpeculative));
+
+}  // namespace
+
+BENCHMARK_MAIN();

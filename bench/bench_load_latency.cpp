@@ -1,0 +1,49 @@
+// Extension — load-latency curves.
+//
+// The classic NoC characterization underlying the paper's two operating
+// points (25% load for Figure 6, backlogged for Table 1): average latency
+// as offered load sweeps toward saturation, for the three optimized
+// architectures on UniformRandom and Multicast10. The curves show the
+// knee moving right with speculation — the same information as Table 1's
+// saturation numbers, but as the full series.
+#include <vector>
+
+#include "bench_common.h"
+#include "stats/experiment.h"
+
+using namespace specnoc;
+using specnoc::bench::HarnessOptions;
+using namespace specnoc::literals;
+
+int main(int argc, char** argv) {
+  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  core::NetworkConfig cfg;
+  stats::ExperimentRunner runner(cfg, opts.seed);
+  const double fractions[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  const traffic::SimWindows windows{.warmup = 300_ns, .measure = 2000_ns};
+
+  for (const auto bench : {traffic::BenchmarkId::kUniformRandom,
+                           traffic::BenchmarkId::kMulticast10}) {
+    Table table({"Offered (x sat)", "OptNonSpec (ns)", "OptHybrid (ns)",
+                 "OptAllSpec (ns)"});
+    for (const double fraction : fractions) {
+      std::vector<std::string> row{cell(fraction, 1)};
+      for (const auto arch : core::dse_architectures()) {
+        const auto& sat = runner.saturation(arch, bench);
+        const double commanded = fraction * sat.injected_flits_per_ns /
+                                 sat.message_expansion;
+        const auto result =
+            runner.measure_latency(arch, bench, commanded, windows);
+        row.push_back(cell(result.mean_latency_ns, 2) +
+                      (result.drained ? "" : "*"));
+      }
+      table.add_row(std::move(row));
+    }
+    specnoc::bench::emit(table,
+                         std::string("Load-latency curve, ") +
+                             traffic::to_string(bench) +
+                             " ('*' = undrained/saturated)",
+                         opts);
+  }
+  return 0;
+}

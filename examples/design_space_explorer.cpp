@@ -1,0 +1,120 @@
+// Design-space explorer: evaluate arbitrary speculation placements.
+//
+// The paper's future work is hybrid architectures for larger MoTs, where
+// "more degrees of freedom to mix the speculative and non-speculative
+// nodes" open a wide design space (Figure 3(d) shows one 16x16 point).
+// This tool sweeps every per-level speculation pattern at a chosen radix
+// and ranks the *local* configurations by a simple figure of merit:
+// latency improvement per percent of power overhead, relative to the
+// non-speculative design.
+//
+//   $ ./examples/design_space_explorer [n=16]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "stats/experiment.h"
+
+using namespace specnoc;
+
+namespace {
+
+struct DesignPoint {
+  std::string label;
+  bool local = false;
+  std::uint32_t addr_bits = 0;
+  double latency_ns = 0.0;
+  double power_mw = 0.0;
+  double latency_gain = 0.0;  // vs non-speculative
+  double power_cost = 0.0;    // vs non-speculative
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 16;
+
+  core::NetworkConfig config;
+  config.n = n;
+  stats::ExperimentRunner runner(config, /*seed=*/42);
+  const mot::MotTopology topology(n);
+  const auto bench = traffic::BenchmarkId::kMulticast10;
+  const auto windows = traffic::default_windows(bench);
+
+  std::printf("Exploring %ux%u speculation placements on %s...\n\n", n, n,
+              traffic::to_string(bench));
+
+  std::vector<DesignPoint> points;
+  const std::uint32_t free_levels = topology.levels() - 1;
+  for (std::uint32_t bits = 0; bits < (1u << free_levels); ++bits) {
+    std::vector<std::uint32_t> levels;
+    std::string label = "{";
+    for (std::uint32_t l = 0; l < free_levels; ++l) {
+      if (bits & (1u << l)) {
+        if (!levels.empty()) label += ',';
+        label += std::to_string(l);
+        levels.push_back(l);
+      }
+    }
+    label += "}";
+
+    const auto spec = core::SpeculationMap::from_levels(topology, levels);
+    stats::NetworkFactory factory = [&config, spec] {
+      return std::make_unique<core::MotNetwork>(config, spec);
+    };
+    const auto sat = runner.run_saturation(factory, bench);
+    const double rate = 0.25 * sat.injected_flits_per_ns;
+    const auto latency = runner.measure_latency(factory, bench, rate, windows);
+    const auto power = runner.measure_power(factory, bench, rate, windows);
+
+    DesignPoint point;
+    point.label = label;
+    point.local = spec.is_local();
+    point.addr_bits =
+        mot::SourceRouteEncoder(topology, spec.flags()).address_bits();
+    point.latency_ns = latency.mean_latency_ns;
+    point.power_mw = power.power_mw;
+    points.push_back(point);
+  }
+
+  const DesignPoint& nonspec = points.front();  // bits==0 is {}
+  for (auto& point : points) {
+    point.latency_gain = 1.0 - point.latency_ns / nonspec.latency_ns;
+    point.power_cost = point.power_mw / nonspec.power_mw - 1.0;
+  }
+
+  std::printf("%-12s %-6s %-9s %-10s %-10s %-10s %-10s\n", "Spec levels",
+              "Local", "AddrBits", "Lat (ns)", "Power(mW)", "LatGain",
+              "PowerCost");
+  for (const auto& point : points) {
+    std::printf("%-12s %-6s %-9u %-10.2f %-10.1f %-+9.1f%% %-+9.1f%%\n",
+                point.label.c_str(), point.local ? "yes" : "no",
+                point.addr_bits, point.latency_ns, point.power_mw,
+                point.latency_gain * 100.0, point.power_cost * 100.0);
+  }
+
+  // Rank local configurations by latency gain per % power cost.
+  std::vector<const DesignPoint*> local_points;
+  for (const auto& point : points) {
+    if (point.local && point.power_cost > 0.0) {
+      local_points.push_back(&point);
+    }
+  }
+  std::sort(local_points.begin(), local_points.end(),
+            [](const DesignPoint* a, const DesignPoint* b) {
+              return a->latency_gain / a->power_cost >
+                     b->latency_gain / b->power_cost;
+            });
+  if (!local_points.empty()) {
+    std::printf("\nBest local configuration by latency-gain per power-cost: "
+                "%s (%.1f%% faster for %.1f%% more power, %u addr bits)\n",
+                local_points.front()->label.c_str(),
+                local_points.front()->latency_gain * 100.0,
+                local_points.front()->power_cost * 100.0,
+                local_points.front()->addr_bits);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Mesh local speculation walk-through (the paper's future-work topology).
+//
+//   $ ./examples/mesh_speculation [cols rows]
+//
+// Builds a plain XY mesh and a checkerboard-speculative mesh of the same
+// shape, sends the same multicast through both, and prints the per-
+// destination header arrival times plus the redundant-copy accounting —
+// the mesh analogue of the quickstart's MoT comparison.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "mesh/mesh_network.h"
+
+using namespace specnoc;
+
+namespace {
+
+class HeaderLog final : public noc::TrafficObserver {
+ public:
+  void on_flit_ejected(const noc::Packet&, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs when) override {
+    if (kind == noc::FlitKind::kHeader) arrivals[dest] = when;
+  }
+  void on_packet_injected(const noc::Packet&, TimePs) override {}
+  std::map<std::uint32_t, TimePs> arrivals;
+};
+
+std::uint64_t total_throttled(mesh::MeshNetwork& net) {
+  std::uint64_t total = 0;
+  for (std::uint32_t id = 0; id < net.topology().n(); ++id) {
+    total += net.router(id).throttled_flits();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cols =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4u;
+  const auto rows =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4u;
+
+  mesh::MeshConfig plain_cfg;
+  plain_cfg.cols = cols;
+  plain_cfg.rows = rows;
+  mesh::MeshConfig spec_cfg = plain_cfg;
+  spec_cfg.speculative_routers = mesh::MeshNetwork::checkerboard_speculation(
+      mesh::MeshTopology(cols, rows));
+
+  const std::uint32_t n = cols * rows;
+  const std::uint32_t src = 0;
+  noc::DestMask dests = 0;
+  // A spread-out destination set: the four quadrant corners-ish.
+  dests |= noc::dest_bit(n - 1);
+  dests |= noc::dest_bit(cols - 1);
+  dests |= noc::dest_bit(n - cols);
+  dests |= noc::dest_bit(n / 2);
+
+  std::printf("%ux%u mesh, multicast from endpoint %u to 4 destinations\n\n",
+              cols, rows, src);
+  for (const bool speculative : {false, true}) {
+    mesh::MeshNetwork net(speculative ? spec_cfg : plain_cfg);
+    HeaderLog log;
+    net.net().hooks().traffic = &log;
+    net.send_message(src, dests, false);
+    net.scheduler().run();
+    TimePs last = 0;
+    std::printf("%s:\n", speculative
+                             ? "checkerboard speculative routers"
+                             : "plain XY routers");
+    for (const auto& [dest, when] : log.arrivals) {
+      std::printf("  dest %2u (x=%u,y=%u): header at %6.2f ns\n", dest,
+                  net.topology().x_of(dest), net.topology().y_of(dest),
+                  ps_to_ns(when));
+      last = std::max(last, when);
+    }
+    std::printf("  multicast complete at %.2f ns; redundant flits "
+                "throttled: %llu\n\n",
+                ps_to_ns(last),
+                static_cast<unsigned long long>(total_throttled(net)));
+  }
+  std::printf("Speculative routers forward early copies on idle ports at "
+              "sub-cycle latency;\nthe non-speculative neighbors throttle "
+              "the redundant ones one hop away.\n");
+  return 0;
+}

@@ -1,0 +1,193 @@
+// run_experiment — command-line driver for single simulation runs.
+//
+// Examples:
+//   ./run_experiment --mode saturation --arch OptHybridSpeculative
+//                    --bench Multicast10
+//   ./run_experiment --mode latency --arch Baseline --bench UniformRandom
+//                    --fraction 0.25
+//   ./run_experiment --mode power --arch OptAllSpeculative
+//                    --bench Multicast5 --n 16 --clock 600
+//   ./run_experiment --mode trace --arch OptHybridSpeculative
+//                    --bench Multicast10 --trace out.csv --horizon-ns 200
+//
+// --list prints the available architectures and benchmarks.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "stats/experiment.h"
+#include "stats/trace.h"
+#include "traffic/driver.h"
+#include "util/error.h"
+
+using namespace specnoc;
+using namespace specnoc::literals;
+
+namespace {
+
+struct Options {
+  std::string mode = "saturation";
+  std::string arch = "OptHybridSpeculative";
+  std::string bench = "UniformRandom";
+  std::uint32_t n = 8;
+  double fraction = 0.25;
+  double rate = 0.0;  // explicit flits/ns/source (overrides fraction)
+  std::uint64_t seed = 42;
+  TimePs clock = 0;
+  std::string trace_path;
+  TimePs horizon = 200_ns;
+};
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "usage: run_experiment [--mode saturation|latency|power|trace]\n"
+      "                      [--arch NAME] [--bench NAME] [--n N]\n"
+      "                      [--fraction F | --rate FLITS_PER_NS]\n"
+      "                      [--seed S] [--clock PS]\n"
+      "                      [--trace FILE] [--horizon-ns NS] [--list]\n");
+  std::exit(code);
+}
+
+void list_names() {
+  std::printf("architectures:\n");
+  for (const auto arch : core::all_architectures()) {
+    std::printf("  %s\n", core::to_string(arch));
+  }
+  std::printf("benchmarks:\n");
+  for (const auto bench : traffic::all_benchmarks()) {
+    std::printf("  %s\n", traffic::to_string(bench));
+  }
+}
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (flag == "--mode") opts.mode = value();
+    else if (flag == "--arch") opts.arch = value();
+    else if (flag == "--bench") opts.bench = value();
+    else if (flag == "--n") opts.n = static_cast<std::uint32_t>(
+        std::stoul(value()));
+    else if (flag == "--fraction") opts.fraction = std::stod(value());
+    else if (flag == "--rate") opts.rate = std::stod(value());
+    else if (flag == "--seed") opts.seed = std::stoull(value());
+    else if (flag == "--clock") opts.clock = std::stoll(value());
+    else if (flag == "--trace") opts.trace_path = value();
+    else if (flag == "--horizon-ns")
+      opts.horizon = std::stoll(value()) * 1000;
+    else if (flag == "--list") { list_names(); std::exit(0); }
+    else if (flag == "--help") usage(0);
+    else { std::fprintf(stderr, "unknown flag %s\n", flag.c_str()); usage(2); }
+  }
+  return opts;
+}
+
+int run(const Options& opts) {
+  const auto arch = core::architecture_from_string(opts.arch);
+  const auto bench = traffic::benchmark_from_string(opts.bench);
+  core::NetworkConfig cfg;
+  cfg.n = opts.n;
+  cfg.clock_period = opts.clock;
+  stats::ExperimentRunner runner(cfg, opts.seed);
+
+  if (opts.mode == "saturation") {
+    const auto& sat = runner.saturation(arch, bench);
+    std::printf("%s / %s (n=%u%s)\n", opts.arch.c_str(), opts.bench.c_str(),
+                opts.n, opts.clock ? ", clocked" : "");
+    std::printf("  delivered: %.3f flits/ns/source\n",
+                sat.delivered_flits_per_ns);
+    std::printf("  injected:  %.3f flits/ns/source\n",
+                sat.injected_flits_per_ns);
+    std::printf("  delivery factor: %.3f, serialization expansion: %.3f\n",
+                sat.delivery_factor, sat.message_expansion);
+    return 0;
+  }
+  if (opts.mode == "latency") {
+    const auto result =
+        opts.rate > 0.0
+            ? runner.measure_latency(arch, bench, opts.rate,
+                                     traffic::default_windows(bench))
+            : runner.latency_at_fraction(arch, bench, opts.fraction);
+    if (opts.rate > 0.0) {
+      std::printf("%s / %s at %.3f flits/ns/src\n", opts.arch.c_str(),
+                  opts.bench.c_str(), opts.rate);
+    } else {
+      std::printf("%s / %s at %.0f%% of own saturation\n",
+                  opts.arch.c_str(), opts.bench.c_str(),
+                  opts.fraction * 100.0);
+    }
+    std::printf("  mean latency: %.3f ns   p95: %.3f ns   max: %.3f ns\n",
+                result.mean_latency_ns, result.p95_latency_ns,
+                result.max_latency_ns);
+    std::printf("  messages measured: %llu   drained: %s\n",
+                static_cast<unsigned long long>(result.messages_measured),
+                result.drained ? "yes" : "NO (saturated)");
+    return 0;
+  }
+  if (opts.mode == "power") {
+    const auto result =
+        opts.rate > 0.0
+            ? runner.measure_power(arch, bench, opts.rate,
+                                   traffic::default_windows(bench))
+            : runner.power_at_baseline_fraction(arch, bench, opts.fraction);
+    std::printf("%s / %s\n", opts.arch.c_str(), opts.bench.c_str());
+    std::printf("  total power: %.2f mW (nodes %.2f + wires %.2f)\n",
+                result.power_mw, result.node_power_mw, result.wire_power_mw);
+    std::printf("  delivered: %.3f flits/ns/src; throttled flits: %llu; "
+                "broadcast ops: %llu\n",
+                result.delivered_flits_per_ns,
+                static_cast<unsigned long long>(result.throttled_flits),
+                static_cast<unsigned long long>(result.broadcast_ops));
+    return 0;
+  }
+  if (opts.mode == "trace") {
+    if (opts.trace_path.empty()) {
+      std::fprintf(stderr, "--trace FILE required for trace mode\n");
+      return 2;
+    }
+    std::ofstream out(opts.trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", opts.trace_path.c_str());
+      return 2;
+    }
+    stats::TraceFilter filter;
+    filter.node_ops = true;
+    stats::FlitTracer tracer(out, filter);
+    core::MotNetwork network(arch, cfg);
+    network.net().hooks().traffic = &tracer;
+    network.net().hooks().energy = &tracer;
+    auto pattern = traffic::make_benchmark(bench, cfg.n);
+    traffic::DriverConfig dcfg;
+    dcfg.mode = traffic::InjectionMode::kOpenLoop;
+    dcfg.flits_per_ns_per_source = opts.rate > 0.0 ? opts.rate : 0.3;
+    dcfg.seed = opts.seed;
+    traffic::TrafficDriver driver(network, *pattern, dcfg);
+    driver.start();
+    network.scheduler().run_until(opts.horizon);
+    std::printf("wrote %llu trace rows to %s (%lld ns simulated)\n",
+                static_cast<unsigned long long>(tracer.rows_written()),
+                opts.trace_path.c_str(),
+                static_cast<long long>(opts.horizon / 1000));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown mode '%s'\n", opts.mode.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse(argc, argv));
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    std::fprintf(stderr, "use --list to see valid names\n");
+    return 2;
+  }
+}

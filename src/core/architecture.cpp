@@ -1,0 +1,76 @@
+#include "core/architecture.h"
+
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::core {
+
+const char* to_string(Architecture arch) {
+  switch (arch) {
+    case Architecture::kBaseline: return "Baseline";
+    case Architecture::kBasicNonSpeculative: return "BasicNonSpeculative";
+    case Architecture::kBasicHybridSpeculative:
+      return "BasicHybridSpeculative";
+    case Architecture::kOptNonSpeculative: return "OptNonSpeculative";
+    case Architecture::kOptHybridSpeculative: return "OptHybridSpeculative";
+    case Architecture::kOptAllSpeculative: return "OptAllSpeculative";
+    case Architecture::kCustomHybrid: return "CustomHybrid";
+  }
+  return "?";
+}
+
+Architecture architecture_from_string(const std::string& name) {
+  for (const auto arch : all_architectures()) {
+    if (name == to_string(arch)) return arch;
+  }
+  throw ConfigError("unknown architecture '" + name + "'");
+}
+
+ArchitectureTraits traits(Architecture arch) {
+  switch (arch) {
+    case Architecture::kBaseline:
+      return {.optimized = false, .multicast_capable = false};
+    case Architecture::kBasicNonSpeculative:
+    case Architecture::kBasicHybridSpeculative:
+      return {.optimized = false, .multicast_capable = true};
+    case Architecture::kOptNonSpeculative:
+    case Architecture::kOptHybridSpeculative:
+    case Architecture::kOptAllSpeculative:
+    case Architecture::kCustomHybrid:
+      return {.optimized = true, .multicast_capable = true};
+  }
+  SPECNOC_UNREACHABLE("unknown architecture");
+}
+
+SpeculationMap speculation_for(Architecture arch,
+                               const mot::MotTopology& topology) {
+  switch (arch) {
+    case Architecture::kBaseline:
+    case Architecture::kBasicNonSpeculative:
+    case Architecture::kOptNonSpeculative:
+      return SpeculationMap::none(topology);
+    case Architecture::kBasicHybridSpeculative:
+    case Architecture::kOptHybridSpeculative:
+      return SpeculationMap::hybrid(topology);
+    case Architecture::kOptAllSpeculative:
+      return SpeculationMap::all_speculative(topology);
+    case Architecture::kCustomHybrid:
+      break;  // custom maps are supplied by the caller, not derived
+  }
+  SPECNOC_UNREACHABLE("kCustomHybrid has no canonical speculation map");
+}
+
+noc::NodeKind fanout_kind(Architecture arch, bool speculative) {
+  if (arch == Architecture::kBaseline) {
+    SPECNOC_EXPECTS(!speculative);
+    return noc::NodeKind::kFanoutBaseline;
+  }
+  if (traits(arch).optimized) {
+    return speculative ? noc::NodeKind::kFanoutOptSpeculative
+                       : noc::NodeKind::kFanoutOptNonSpeculative;
+  }
+  return speculative ? noc::NodeKind::kFanoutSpeculative
+                     : noc::NodeKind::kFanoutNonSpeculative;
+}
+
+}  // namespace specnoc::core

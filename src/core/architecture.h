@@ -1,0 +1,76 @@
+// The six network architectures evaluated in the paper (Section 3/5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/speculation.h"
+#include "mot/topology.h"
+#include "noc/hooks.h"
+
+namespace specnoc::core {
+
+enum class Architecture : std::uint8_t {
+  /// Unicast-only async MoT [Horak et al.]; multicast via serial unicasts.
+  kBaseline,
+  /// Simple tree-based parallel multicast, unoptimized non-spec nodes.
+  kBasicNonSpeculative,
+  /// Local speculation, unoptimized node designs.
+  kBasicHybridSpeculative,
+  /// Protocol-optimized nodes, no speculation.
+  kOptNonSpeculative,
+  /// Local speculation + protocol optimizations (the paper's headline).
+  kOptHybridSpeculative,
+  /// Speculative everywhere except the leaf level (extreme design point).
+  kOptAllSpeculative,
+  /// User-supplied speculation map (design-space exploration beyond the
+  /// paper's three points; see MotNetwork's custom constructor).
+  kCustomHybrid,
+};
+
+const char* to_string(Architecture arch);
+
+/// Parses a name produced by to_string (exact match). Throws ConfigError
+/// on unknown names; kCustomHybrid is not parseable (it has no canonical
+/// speculation map).
+Architecture architecture_from_string(const std::string& name);
+
+/// All six architectures in the paper's presentation order.
+constexpr std::array<Architecture, 6> all_architectures() {
+  return {Architecture::kBaseline, Architecture::kBasicNonSpeculative,
+          Architecture::kBasicHybridSpeculative,
+          Architecture::kOptNonSpeculative,
+          Architecture::kOptHybridSpeculative,
+          Architecture::kOptAllSpeculative};
+}
+
+/// The contribution-trajectory case study (Section 5.2(b)).
+constexpr std::array<Architecture, 4> trajectory_architectures() {
+  return {Architecture::kBaseline, Architecture::kBasicNonSpeculative,
+          Architecture::kBasicHybridSpeculative,
+          Architecture::kOptHybridSpeculative};
+}
+
+/// The design-space-exploration case study (Section 5.2(c)).
+constexpr std::array<Architecture, 3> dse_architectures() {
+  return {Architecture::kOptNonSpeculative,
+          Architecture::kOptHybridSpeculative,
+          Architecture::kOptAllSpeculative};
+}
+
+struct ArchitectureTraits {
+  bool optimized = false;          ///< uses the protocol-optimized nodes
+  bool multicast_capable = false;  ///< false => serialize multicast messages
+};
+
+ArchitectureTraits traits(Architecture arch);
+
+/// The speculation map an architecture prescribes for a given topology.
+SpeculationMap speculation_for(Architecture arch,
+                               const mot::MotTopology& topology);
+
+/// The concrete fanout node kind used at a (non-)speculative position.
+noc::NodeKind fanout_kind(Architecture arch, bool speculative);
+
+}  // namespace specnoc::core

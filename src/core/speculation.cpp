@@ -1,0 +1,98 @@
+#include "core/speculation.h"
+
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::core {
+
+SpeculationMap::SpeculationMap(mot::MotTopology topology,
+                               std::vector<bool> flags)
+    : topology_(topology), flags_(std::move(flags)) {
+  SPECNOC_ASSERT(flags_.size() == topology_.nodes_per_tree());
+}
+
+SpeculationMap SpeculationMap::none(const mot::MotTopology& topology) {
+  return SpeculationMap(topology,
+                        std::vector<bool>(topology.nodes_per_tree(), false));
+}
+
+SpeculationMap SpeculationMap::hybrid(const mot::MotTopology& topology) {
+  std::vector<std::uint32_t> levels;
+  for (std::uint32_t l = 0; l + 1 < topology.levels(); l += 2) {
+    levels.push_back(l);
+  }
+  return from_levels(topology, levels);
+}
+
+SpeculationMap SpeculationMap::all_speculative(
+    const mot::MotTopology& topology) {
+  std::vector<std::uint32_t> levels;
+  for (std::uint32_t l = 0; l + 1 < topology.levels(); ++l) {
+    levels.push_back(l);
+  }
+  return from_levels(topology, levels);
+}
+
+SpeculationMap SpeculationMap::from_levels(
+    const mot::MotTopology& topology,
+    const std::vector<std::uint32_t>& levels) {
+  std::vector<bool> flags(topology.nodes_per_tree(), false);
+  for (const std::uint32_t level : levels) {
+    if (level >= topology.levels()) {
+      throw ConfigError("speculative level " + std::to_string(level) +
+                        " out of range for depth " +
+                        std::to_string(topology.levels()));
+    }
+    for (std::uint32_t i = 0; i < topology.nodes_at_level(level); ++i) {
+      flags[mot::MotTopology::heap_id(level, i)] = true;
+    }
+  }
+  return from_flags(topology, std::move(flags));
+}
+
+SpeculationMap SpeculationMap::from_flags(const mot::MotTopology& topology,
+                                          std::vector<bool> by_heap_id) {
+  if (by_heap_id.size() != topology.nodes_per_tree()) {
+    throw ConfigError("speculation flag vector size mismatch");
+  }
+  const std::uint32_t leaf_level = topology.levels() - 1;
+  for (std::uint32_t i = 0; i < topology.nodes_at_level(leaf_level); ++i) {
+    if (by_heap_id[mot::MotTopology::heap_id(leaf_level, i)]) {
+      throw ConfigError(
+          "leaf-level fanout nodes must be non-speculative: the fanin "
+          "network cannot throttle misrouted packets");
+    }
+  }
+  return SpeculationMap(topology, std::move(by_heap_id));
+}
+
+bool SpeculationMap::speculative(std::uint32_t level,
+                                 std::uint32_t index) const {
+  return flags_[mot::MotTopology::heap_id(level, index)];
+}
+
+bool SpeculationMap::is_local() const {
+  for (std::uint32_t level = 0; level + 1 < topology_.levels(); ++level) {
+    for (std::uint32_t i = 0; i < topology_.nodes_at_level(level); ++i) {
+      if (!speculative(level, i)) continue;
+      if (speculative(level + 1, 2 * i) || speculative(level + 1, 2 * i + 1)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint32_t SpeculationMap::speculative_count() const {
+  std::uint32_t count = 0;
+  for (const bool flag : flags_) {
+    if (flag) ++count;
+  }
+  return count;
+}
+
+std::uint32_t SpeculationMap::non_speculative_count() const {
+  return topology_.nodes_per_tree() - speculative_count();
+}
+
+}  // namespace specnoc::core

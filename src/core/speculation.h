@@ -1,0 +1,68 @@
+// Speculation maps: which fanout nodes always broadcast (paper Section 3).
+//
+// A map assigns speculative/non-speculative to every fanout-tree node (the
+// same assignment is used in all N trees, as in the paper's figures). Two
+// properties matter:
+//
+//  * legal   — every leaf-level node is non-speculative. The fanin network
+//              cannot throttle, so a speculative leaf would leak misrouted
+//              packets to wrong destinations. Factories enforce this.
+//  * local   — no speculative node feeds another speculative node, i.e.
+//              every speculative node is "surrounded" by non-speculative
+//              ones and redundant copies die within one hop. The hybrid
+//              networks are local; OptAllSpeculative is deliberately not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mot/topology.h"
+
+namespace specnoc::core {
+
+class SpeculationMap {
+ public:
+  /// No speculation anywhere (BasicNonSpeculative / OptNonSpeculative).
+  static SpeculationMap none(const mot::MotTopology& topology);
+
+  /// The paper's hybrid: speculative at even levels (0, 2, ...), always
+  /// excluding the leaf level. For 8x8 this is the root only (Figure 3(b),
+  /// 12-bit addresses); for 16x16 the root plus level 2 (Figure 3(d),
+  /// 20-bit addresses).
+  static SpeculationMap hybrid(const mot::MotTopology& topology);
+
+  /// Almost fully speculative: every level except the leaves (Figure 3(c)).
+  static SpeculationMap all_speculative(const mot::MotTopology& topology);
+
+  /// Speculative at exactly the given levels. Throws ConfigError if a level
+  /// is out of range or includes the leaf level.
+  static SpeculationMap from_levels(const mot::MotTopology& topology,
+                                    const std::vector<std::uint32_t>& levels);
+
+  /// Fully general per-node map (heap-id indexed). Throws ConfigError if
+  /// the size mismatches or any leaf-level node is speculative.
+  static SpeculationMap from_flags(const mot::MotTopology& topology,
+                                   std::vector<bool> by_heap_id);
+
+  bool speculative(std::uint32_t level, std::uint32_t index) const;
+
+  /// True when no speculative node's child is speculative (redundant copies
+  /// are throttled after one hop — the paper's "local" speculation).
+  bool is_local() const;
+
+  std::uint32_t speculative_count() const;
+  std::uint32_t non_speculative_count() const;
+
+  /// Heap-id-indexed flags (the format mot::SourceRouteEncoder consumes).
+  const std::vector<bool>& flags() const { return flags_; }
+
+  const mot::MotTopology& topology() const { return topology_; }
+
+ private:
+  SpeculationMap(mot::MotTopology topology, std::vector<bool> flags);
+
+  mot::MotTopology topology_;
+  std::vector<bool> flags_;
+};
+
+}  // namespace specnoc::core

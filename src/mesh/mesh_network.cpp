@@ -1,0 +1,165 @@
+#include "mesh/mesh_network.h"
+
+#include <cmath>
+#include <string>
+
+#include "nodes/characteristics.h"
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::mesh {
+namespace {
+
+noc::ChannelParams link_params(LengthUm length, double ps_per_um) {
+  noc::ChannelParams params;
+  params.length = length;
+  params.delay_fwd =
+      static_cast<TimePs>(std::llround(length * ps_per_um));
+  params.delay_ack = params.delay_fwd;
+  return params;
+}
+
+}  // namespace
+
+MeshNetwork::MeshNetwork(MeshConfig config)
+    : config_(config), topology_(config.cols, config.rows) {
+  build();
+}
+
+void MeshNetwork::build() {
+  const std::uint32_t n = topology_.n();
+  auto chars = nodes::default_characteristics(noc::NodeKind::kMeshRouter);
+  chars.clock_period = config_.clock_period;
+  auto spec_chars =
+      nodes::default_characteristics(noc::NodeKind::kMeshRouterSpec);
+  spec_chars.clock_period = config_.clock_period;
+
+  // Validate the speculative placement: every redundant copy must meet a
+  // non-speculative filter one hop from the speculative router that
+  // created it, or copies propagate (and can loop) along speculative
+  // chains.
+  if (n < 64 && (config_.speculative_routers >> n) != 0) {
+    throw ConfigError("speculative router id out of range");
+  }
+  for (std::uint32_t id = 0; id < n; ++id) {
+    if (!speculative(id)) continue;
+    for (const Port port :
+         {Port::kNorth, Port::kEast, Port::kSouth, Port::kWest}) {
+      if (topology_.has_neighbor(id, port) &&
+          speculative(topology_.neighbor(id, port))) {
+        throw ConfigError(
+            "adjacent speculative mesh routers are illegal (ids " +
+            std::to_string(id) + " and " +
+            std::to_string(topology_.neighbor(id, port)) + ")");
+      }
+    }
+  }
+
+  for (std::uint32_t s = 0; s < n; ++s) {
+    net_.register_source(
+        net_.add_node<noc::SourceNode>(s, config_.source_issue_delay));
+  }
+  for (std::uint32_t d = 0; d < n; ++d) {
+    net_.register_sink(
+        net_.add_node<noc::SinkNode>(d, config_.sink_consume_delay));
+  }
+
+  routers_.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    std::string name = speculative(id) ? "sr" : "r";
+    name += std::to_string(topology_.x_of(id));
+    name += ',';
+    name += std::to_string(topology_.y_of(id));
+    if (speculative(id)) {
+      routers_.push_back(&net_.add_node<SpecMeshRouter>(
+          std::move(name), spec_chars, topology_, id,
+          config_.router_buffer_flits, config_.sticky_timeout));
+    } else {
+      routers_.push_back(&net_.add_node<MeshRouter>(
+          std::move(name), chars, topology_, id,
+          config_.router_buffer_flits, config_.sticky_timeout));
+    }
+  }
+
+  const auto local_link =
+      link_params(config_.interface_link_um, config_.wire_delay_ps_per_um);
+  const auto hop_link =
+      link_params(config_.link_length_um, config_.wire_delay_ps_per_um);
+  const auto local_port = static_cast<std::uint32_t>(Port::kLocal);
+
+  for (std::uint32_t id = 0; id < n; ++id) {
+    std::string in_name = "ni";
+    in_name += std::to_string(id);
+    in_name += ">r";
+    std::string out_name = "r>ni";
+    out_name += std::to_string(id);
+    net_.add_channel(local_link, std::move(in_name), net_.source(id), 0,
+                     *routers_[id], local_port);
+    net_.add_channel(local_link, std::move(out_name), *routers_[id],
+                     local_port, net_.sink(id), 0);
+    // Eastward and southward links (one channel per direction per pair).
+    for (const Port port : {Port::kEast, Port::kSouth}) {
+      if (!topology_.has_neighbor(id, port)) continue;
+      const std::uint32_t peer = topology_.neighbor(id, port);
+      const Port back = port == Port::kEast ? Port::kWest : Port::kNorth;
+      std::string fwd_name = routers_[id]->name();
+      fwd_name += '>';
+      fwd_name += to_string(port);
+      std::string back_name = routers_[peer]->name();
+      back_name += '>';
+      back_name += to_string(back);
+      net_.add_channel(hop_link, std::move(fwd_name), *routers_[id],
+                       static_cast<std::uint32_t>(port), *routers_[peer],
+                       static_cast<std::uint32_t>(back));
+      net_.add_channel(hop_link, std::move(back_name), *routers_[peer],
+                       static_cast<std::uint32_t>(back), *routers_[id],
+                       static_cast<std::uint32_t>(port));
+    }
+  }
+}
+
+noc::MessageId MeshNetwork::send_message(std::uint32_t src,
+                                         noc::DestMask dests,
+                                         bool measured) {
+  SPECNOC_EXPECTS(src < topology_.n());
+  SPECNOC_EXPECTS(dests != 0);
+  SPECNOC_EXPECTS((topology_.n() >= 64) || (dests >> topology_.n()) == 0);
+  noc::Message& msg = net_.packets().create_message(
+      src, dests, net_.scheduler().now(), measured);
+  noc::SourceNode& source = net_.source(src);
+  const bool multicast = (dests & (dests - 1)) != 0;
+  if (multicast && config_.multicast == MulticastMode::kSerial) {
+    noc::DestMask remaining = dests;
+    while (remaining != 0) {
+      const noc::DestMask low = remaining & (~remaining + 1);
+      source.enqueue_packet(
+          net_.packets().create_packet(msg, low, config_.flits_per_packet));
+      remaining ^= low;
+    }
+  } else {
+    source.enqueue_packet(
+        net_.packets().create_packet(msg, dests, config_.flits_per_packet));
+  }
+  return msg.id;
+}
+
+std::uint64_t MeshNetwork::checkerboard_speculation(
+    const MeshTopology& topology) {
+  std::uint64_t mask = 0;
+  for (std::uint32_t id = 0; id < topology.n(); ++id) {
+    if ((topology.x_of(id) + topology.y_of(id)) % 2 == 0) {
+      mask |= std::uint64_t{1} << id;
+    }
+  }
+  return mask;
+}
+
+AreaUm2 MeshNetwork::total_node_area() const {
+  AreaUm2 total = 0.0;
+  for (const auto& node : net_.nodes()) {
+    total += nodes::default_characteristics(node->kind()).area_um2;
+  }
+  return total;
+}
+
+}  // namespace specnoc::mesh

@@ -1,0 +1,122 @@
+#include "mesh/mesh_topology.h"
+
+#include <bit>
+#include <string>
+
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::mesh {
+
+const char* to_string(Port port) {
+  switch (port) {
+    case Port::kLocal: return "local";
+    case Port::kNorth: return "north";
+    case Port::kEast: return "east";
+    case Port::kSouth: return "south";
+    case Port::kWest: return "west";
+  }
+  return "?";
+}
+
+Port opposite(Port port) {
+  switch (port) {
+    case Port::kNorth: return Port::kSouth;
+    case Port::kSouth: return Port::kNorth;
+    case Port::kEast: return Port::kWest;
+    case Port::kWest: return Port::kEast;
+    case Port::kLocal: break;
+  }
+  SPECNOC_UNREACHABLE("local port has no opposite");
+}
+
+MeshTopology::MeshTopology(std::uint32_t cols, std::uint32_t rows)
+    : cols_(cols), rows_(rows) {
+  if (cols < 1 || rows < 1 || cols * rows < 2 || cols * rows > 64) {
+    throw ConfigError("mesh must have 2..64 routers, got " +
+                      std::to_string(cols) + "x" + std::to_string(rows));
+  }
+}
+
+std::uint32_t MeshTopology::x_of(std::uint32_t id) const {
+  SPECNOC_EXPECTS(id < n());
+  return id % cols_;
+}
+
+std::uint32_t MeshTopology::y_of(std::uint32_t id) const {
+  SPECNOC_EXPECTS(id < n());
+  return id / cols_;
+}
+
+std::uint32_t MeshTopology::id_at(std::uint32_t x, std::uint32_t y) const {
+  SPECNOC_EXPECTS(x < cols_ && y < rows_);
+  return y * cols_ + x;
+}
+
+bool MeshTopology::has_neighbor(std::uint32_t id, Port port) const {
+  const std::uint32_t x = x_of(id);
+  const std::uint32_t y = y_of(id);
+  switch (port) {
+    case Port::kNorth: return y > 0;
+    case Port::kSouth: return y + 1 < rows_;
+    case Port::kEast: return x + 1 < cols_;
+    case Port::kWest: return x > 0;
+    case Port::kLocal: return false;
+  }
+  return false;
+}
+
+std::uint32_t MeshTopology::neighbor(std::uint32_t id, Port port) const {
+  SPECNOC_EXPECTS(has_neighbor(id, port));
+  switch (port) {
+    case Port::kNorth: return id - cols_;
+    case Port::kSouth: return id + cols_;
+    case Port::kEast: return id + 1;
+    case Port::kWest: return id - 1;
+    case Port::kLocal: break;
+  }
+  SPECNOC_UNREACHABLE("local port has no neighbor");
+}
+
+std::uint32_t MeshTopology::distance(std::uint32_t a, std::uint32_t b) const {
+  const auto dx = x_of(a) > x_of(b) ? x_of(a) - x_of(b) : x_of(b) - x_of(a);
+  const auto dy = y_of(a) > y_of(b) ? y_of(a) - y_of(b) : y_of(b) - y_of(a);
+  return dx + dy;
+}
+
+PortMask MeshTopology::route_dirs(std::uint32_t id, std::uint32_t src,
+                                  noc::DestMask dests) const {
+  SPECNOC_EXPECTS(id < n());
+  SPECNOC_EXPECTS(src < n());
+  const std::uint32_t x = x_of(id);
+  const std::uint32_t y = y_of(id);
+  const std::uint32_t sx = x_of(src);
+  const std::uint32_t sy = y_of(src);
+  PortMask dirs = 0;
+  noc::DestMask remaining = dests;
+  while (remaining != 0) {
+    const auto d = static_cast<std::uint32_t>(std::countr_zero(remaining));
+    remaining &= remaining - 1;
+    if (d >= n()) continue;  // bits beyond the mesh are ignored
+    const std::uint32_t dx = x_of(d);
+    const std::uint32_t dy = y_of(d);
+    // X-leg of the path (row y_src, still short of the turn column):
+    if (y == sy && ((sx <= x && x < dx) || (dx < x && x <= sx))) {
+      dirs |= dx > x ? port_bit(Port::kEast) : port_bit(Port::kWest);
+      continue;
+    }
+    // Y-leg (the destination's column, short of the destination row):
+    if (x == dx && ((sy <= y && y < dy) || (dy < y && y <= sy))) {
+      dirs |= dy > y ? port_bit(Port::kSouth) : port_bit(Port::kNorth);
+      continue;
+    }
+    if (x == dx && y == dy) {
+      dirs |= port_bit(Port::kLocal);
+    }
+    // Otherwise this router is not on src's XY path to d: another branch
+    // of the multicast tree serves it.
+  }
+  return dirs;
+}
+
+}  // namespace specnoc::mesh

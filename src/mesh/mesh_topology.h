@@ -1,0 +1,71 @@
+// 2D-mesh topology math (the paper's future-work comparison topology).
+//
+// cols x rows routers, one core (source + sink endpoint) per router.
+// Endpoint id = y * cols + x; x grows east, y grows south.
+#pragma once
+
+#include <cstdint>
+
+#include "noc/packet.h"
+
+namespace specnoc::mesh {
+
+enum class Port : std::uint8_t {
+  kLocal = 0,
+  kNorth = 1,
+  kEast = 2,
+  kSouth = 3,
+  kWest = 4,
+};
+inline constexpr std::uint32_t kNumPorts = 5;
+
+const char* to_string(Port port);
+
+/// The facing direction: a flit arriving on a router's `port` side came
+/// from the neighbor that emitted it through opposite(port).
+Port opposite(Port port);
+
+/// Direction bitmask over the five ports.
+using PortMask = std::uint8_t;
+constexpr PortMask port_bit(Port port) {
+  return static_cast<PortMask>(1u << static_cast<std::uint8_t>(port));
+}
+
+class MeshTopology {
+ public:
+  /// cols, rows >= 1 with 2 <= cols*rows <= 64. Throws ConfigError.
+  MeshTopology(std::uint32_t cols, std::uint32_t rows);
+
+  std::uint32_t cols() const { return cols_; }
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t n() const { return cols_ * rows_; }
+
+  std::uint32_t x_of(std::uint32_t id) const;
+  std::uint32_t y_of(std::uint32_t id) const;
+  std::uint32_t id_at(std::uint32_t x, std::uint32_t y) const;
+
+  bool has_neighbor(std::uint32_t id, Port port) const;
+  std::uint32_t neighbor(std::uint32_t id, Port port) const;
+
+  /// Manhattan hop distance between endpoints.
+  std::uint32_t distance(std::uint32_t a, std::uint32_t b) const;
+
+  /// Directions a packet from `src` takes at router `id` toward the
+  /// destination set, under XY dimension-ordered routing: each destination
+  /// d contributes the outgoing direction of the unique XY path
+  /// src -> (x_d, y_src) -> d *if that path passes through `id`*, and
+  /// kLocal when id == d. The union over a destination set is the
+  /// dimension-ordered multicast tree: the X-leg carries the packet east
+  /// and west, dropping a Y branch at each destination column. Destinations
+  /// whose paths do not pass through `id` contribute nothing — they are
+  /// served by other branches of the tree. An empty result cannot occur
+  /// for a flit that legally reached `id`.
+  PortMask route_dirs(std::uint32_t id, std::uint32_t src,
+                      noc::DestMask dests) const;
+
+ private:
+  std::uint32_t cols_;
+  std::uint32_t rows_;
+};
+
+}  // namespace specnoc::mesh

@@ -1,0 +1,90 @@
+#include "mot/addressing.h"
+
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::mot {
+
+const char* to_string(RouteSymbol symbol) {
+  switch (symbol) {
+    case RouteSymbol::kThrottle: return "throttle";
+    case RouteSymbol::kTop: return "top";
+    case RouteSymbol::kBottom: return "bottom";
+    case RouteSymbol::kBoth: return "both";
+  }
+  return "?";
+}
+
+std::uint8_t symbol_dirs(RouteSymbol symbol) {
+  switch (symbol) {
+    case RouteSymbol::kThrottle: return 0b00;
+    case RouteSymbol::kTop: return 0b01;
+    case RouteSymbol::kBottom: return 0b10;
+    case RouteSymbol::kBoth: return 0b11;
+  }
+  return 0;
+}
+
+SourceRouteEncoder::SourceRouteEncoder(const MotTopology& topology,
+                                       std::vector<bool> speculative_by_heap_id)
+    : topology_(topology), speculative_(std::move(speculative_by_heap_id)) {
+  if (speculative_.size() != topology_.nodes_per_tree()) {
+    throw ConfigError("speculation map size " +
+                      std::to_string(speculative_.size()) +
+                      " does not match tree size " +
+                      std::to_string(topology_.nodes_per_tree()));
+  }
+  slot_by_heap_id_.assign(speculative_.size(), -1);
+  for (std::uint32_t id = 0; id < speculative_.size(); ++id) {
+    if (!speculative_[id]) {
+      slot_by_heap_id_[id] = static_cast<std::int32_t>(addressed_++);
+    }
+  }
+}
+
+RouteSymbol SourceRouteEncoder::symbol_for(std::uint32_t level,
+                                           std::uint32_t index,
+                                           noc::DestMask dests) const {
+  const bool top = (dests & topology_.subtree_mask(level, index, 0)) != 0;
+  const bool bottom = (dests & topology_.subtree_mask(level, index, 1)) != 0;
+  if (top && bottom) return RouteSymbol::kBoth;
+  if (top) return RouteSymbol::kTop;
+  if (bottom) return RouteSymbol::kBottom;
+  return RouteSymbol::kThrottle;
+}
+
+std::vector<RouteSymbol> SourceRouteEncoder::encode(
+    noc::DestMask dests) const {
+  SPECNOC_EXPECTS(dests != 0);
+  std::vector<RouteSymbol> fields;
+  fields.reserve(addressed_);
+  for (std::uint32_t id = 0; id < speculative_.size(); ++id) {
+    if (speculative_[id]) continue;
+    const auto [level, index] = MotTopology::from_heap_id(id);
+    fields.push_back(symbol_for(level, index, dests));
+  }
+  SPECNOC_ENSURES(fields.size() == addressed_);
+  return fields;
+}
+
+RouteSymbol SourceRouteEncoder::decode(const std::vector<RouteSymbol>& fields,
+                                       std::uint32_t field_slot) {
+  SPECNOC_EXPECTS(field_slot < fields.size());
+  return fields[field_slot];
+}
+
+std::int32_t SourceRouteEncoder::field_slot(std::uint32_t level,
+                                            std::uint32_t index) const {
+  return slot_by_heap_id_.at(MotTopology::heap_id(level, index));
+}
+
+std::uint32_t SourceRouteEncoder::addressed_nodes() const {
+  return addressed_;
+}
+
+std::uint32_t SourceRouteEncoder::baseline_unicast_bits(
+    const MotTopology& topology) {
+  return topology.levels();
+}
+
+}  // namespace specnoc::mot

@@ -1,0 +1,81 @@
+// Source-routing address construction for the fanout trees.
+//
+// Three schemes appear in the paper:
+//  * Baseline (unicast only): 1 bit per fanout level — the routing bit of the
+//    single destination. 3 bits for 8x8, 4 bits for 16x16.
+//  * Parallel multicast: 2 bits per *addressed* fanout node, heap order,
+//    encoding one of four route symbols: throttle / top / bottom / both.
+//    Every non-speculative node in the tree gets a field — including nodes
+//    off the packet's path, whose field is kThrottle so they can kill
+//    misrouted copies arriving from speculative neighbours.
+//  * Simplified source routing (local speculation): speculative nodes always
+//    broadcast, so they need no field; only non-speculative nodes are
+//    addressed. This is the paper's address-size benefit (Section 5.2(d)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mot/topology.h"
+#include "noc/packet.h"
+
+namespace specnoc::mot {
+
+/// The 2-bit route symbol decoded by a non-speculative fanout node.
+enum class RouteSymbol : std::uint8_t {
+  kThrottle = 0,  ///< packet is misrouted here: consume and ack
+  kTop = 1,       ///< forward on output 0
+  kBottom = 2,    ///< forward on output 1
+  kBoth = 3,      ///< replicate on both outputs
+};
+
+const char* to_string(RouteSymbol symbol);
+
+/// Direction bitset corresponding to a symbol (bit0 = top, bit1 = bottom).
+std::uint8_t symbol_dirs(RouteSymbol symbol);
+
+/// Builds per-node route symbols and address-field layouts for one fanout
+/// tree, given which nodes are speculative (indexed by heap id; an all-false
+/// vector describes a fully non-speculative tree).
+class SourceRouteEncoder {
+ public:
+  SourceRouteEncoder(const MotTopology& topology,
+                     std::vector<bool> speculative_by_heap_id);
+
+  /// The ground-truth symbol for node (level, index) given a destination
+  /// set: which of its two subtrees contain destinations.
+  RouteSymbol symbol_for(std::uint32_t level, std::uint32_t index,
+                         noc::DestMask dests) const;
+
+  /// Encoded header fields: one symbol per *addressed* (non-speculative)
+  /// node, in heap order. This is exactly what a hardware header carries.
+  std::vector<RouteSymbol> encode(noc::DestMask dests) const;
+
+  /// The symbol an addressed node reads from an encoded header. `field_slot`
+  /// is the node's position among addressed nodes (see field_slot()).
+  static RouteSymbol decode(const std::vector<RouteSymbol>& fields,
+                            std::uint32_t field_slot);
+
+  /// Position of node (level, index) among addressed nodes, or -1 if the
+  /// node is speculative (carries no field).
+  std::int32_t field_slot(std::uint32_t level, std::uint32_t index) const;
+
+  /// Number of addressed (non-speculative) nodes per tree.
+  std::uint32_t addressed_nodes() const;
+
+  /// Total multicast address bits: 2 per addressed node.
+  std::uint32_t address_bits() const { return 2 * addressed_nodes(); }
+
+  /// Baseline unicast scheme: log2(n) single-bit fields.
+  static std::uint32_t baseline_unicast_bits(const MotTopology& topology);
+
+  const MotTopology& topology() const { return topology_; }
+
+ private:
+  const MotTopology& topology_;
+  std::vector<bool> speculative_;
+  std::vector<std::int32_t> slot_by_heap_id_;
+  std::uint32_t addressed_ = 0;
+};
+
+}  // namespace specnoc::mot

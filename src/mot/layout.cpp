@@ -1,0 +1,51 @@
+#include "mot/layout.h"
+
+#include <cmath>
+
+#include "util/contract.h"
+
+namespace specnoc::mot {
+
+HTreeLayout::HTreeLayout(const MotTopology& topology, LayoutConfig config)
+    : topology_(topology), config_(config) {
+  SPECNOC_EXPECTS(config.chip_side_um > 0);
+  SPECNOC_EXPECTS(config.wire_delay_ps_per_um >= 0);
+}
+
+LengthUm HTreeLayout::interface_link_length() const {
+  return config_.interface_link_um;
+}
+
+LengthUm HTreeLayout::tree_link_length(std::uint32_t level) const {
+  SPECNOC_EXPECTS(level + 1 < topology_.levels());
+  // Root-level links span a quarter of the die; each level halves.
+  return config_.chip_side_um / static_cast<double>(4u << level);
+}
+
+LengthUm HTreeLayout::middle_link_length() const {
+  // Fanout leaves sit on one side of the die, fanin leaves on the other.
+  return config_.chip_side_um / 2.0;
+}
+
+noc::ChannelParams HTreeLayout::channel_params(LengthUm length) const {
+  noc::ChannelParams params;
+  params.length = length;
+  const double delay = length * config_.wire_delay_ps_per_um;
+  params.delay_fwd = static_cast<TimePs>(std::llround(delay));
+  params.delay_ack = params.delay_fwd;
+  return params;
+}
+
+noc::ChannelParams HTreeLayout::interface_channel() const {
+  return channel_params(interface_link_length());
+}
+
+noc::ChannelParams HTreeLayout::tree_channel(std::uint32_t level) const {
+  return channel_params(tree_link_length(level));
+}
+
+noc::ChannelParams HTreeLayout::middle_channel() const {
+  return channel_params(middle_link_length());
+}
+
+}  // namespace specnoc::mot

@@ -1,0 +1,56 @@
+// Wire-length and wire-delay model for an H-tree style MoT floorplan.
+//
+// The paper borrows channel lengths from a synchronous MoT chip layout
+// (Balkan et al., HOTI'07) scaled to 45 nm. We model the structural
+// property that matters: channels near the tree roots and the long
+// fanout-leaf -> fanin-leaf "middle" channels are the longest, halving per
+// level toward the leaves. Absolute constants are configurable; defaults are
+// chosen so end-to-end network latencies land in the same few-nanosecond
+// range the paper's figures imply.
+#pragma once
+
+#include <cstdint>
+
+#include "mot/topology.h"
+#include "noc/channel.h"
+#include "util/units.h"
+
+namespace specnoc::mot {
+
+struct LayoutConfig {
+  /// Die span of the network region.
+  LengthUm chip_side_um = 1800.0;
+  /// Repeated-wire delay per micron (45 nm repeated wire, ~250 ps/mm).
+  double wire_delay_ps_per_um = 0.2;
+  /// Short local hookup between a network interface and its tree root.
+  LengthUm interface_link_um = 100.0;
+};
+
+/// Computes per-channel physical parameters from the floorplan model.
+class HTreeLayout {
+ public:
+  HTreeLayout(const MotTopology& topology, LayoutConfig config);
+
+  /// Source NI -> fanout root (and fanin root -> sink NI).
+  LengthUm interface_link_length() const;
+
+  /// Fanout node at `level` -> its child at level+1 (level in [0, L-2]).
+  /// Mirrored for fanin internal links.
+  LengthUm tree_link_length(std::uint32_t level) const;
+
+  /// Fanout leaf -> fanin leaf: the long cross-network channel.
+  LengthUm middle_link_length() const;
+
+  /// Packages a length as ChannelParams (symmetric req/ack wire delay).
+  noc::ChannelParams channel_params(LengthUm length) const;
+
+  noc::ChannelParams interface_channel() const;
+  noc::ChannelParams tree_channel(std::uint32_t level) const;
+  noc::ChannelParams middle_channel() const;
+
+ private:
+  const MotTopology& topology_;
+  LayoutConfig config_;
+};
+
+}  // namespace specnoc::mot

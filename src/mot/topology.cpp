@@ -1,0 +1,95 @@
+#include "mot/topology.h"
+
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::mot {
+
+MotTopology::MotTopology(std::uint32_t n) : n_(n) {
+  if (n < 2 || n > kMaxRadix || !is_pow2(n)) {
+    throw ConfigError("MoT radix must be a power of two in [2, 64], got " +
+                      std::to_string(n));
+  }
+  levels_ = log2_exact(n);
+}
+
+std::uint32_t MotTopology::heap_id(std::uint32_t level, std::uint32_t index) {
+  SPECNOC_EXPECTS(index < (1u << level));
+  return (1u << level) - 1u + index;
+}
+
+std::pair<std::uint32_t, std::uint32_t> MotTopology::from_heap_id(
+    std::uint32_t id) {
+  std::uint32_t level = 0;
+  while ((2u << level) - 1u <= id) {
+    ++level;
+  }
+  return {level, id - ((1u << level) - 1u)};
+}
+
+std::uint32_t MotTopology::nodes_at_level(std::uint32_t level) const {
+  SPECNOC_EXPECTS(level < levels_);
+  return 1u << level;
+}
+
+std::pair<std::uint32_t, std::uint32_t> MotTopology::fanout_span(
+    std::uint32_t level, std::uint32_t index) const {
+  SPECNOC_EXPECTS(level < levels_);
+  SPECNOC_EXPECTS(index < nodes_at_level(level));
+  const std::uint32_t width = n_ >> level;
+  return {index * width, (index + 1) * width};
+}
+
+noc::DestMask MotTopology::span_mask(std::uint32_t level,
+                                     std::uint32_t index) const {
+  const auto [lo, hi] = fanout_span(level, index);
+  const std::uint32_t width = hi - lo;
+  const noc::DestMask ones =
+      width >= 64 ? ~noc::DestMask{0} : ((noc::DestMask{1} << width) - 1);
+  return ones << lo;
+}
+
+noc::DestMask MotTopology::subtree_mask(std::uint32_t level,
+                                        std::uint32_t index,
+                                        std::uint32_t child) const {
+  SPECNOC_EXPECTS(child < 2);
+  const auto [lo, hi] = fanout_span(level, index);
+  const std::uint32_t half = (hi - lo) / 2;
+  SPECNOC_ASSERT(half >= 1);
+  const noc::DestMask ones = (half >= 64) ? ~noc::DestMask{0}
+                                          : ((noc::DestMask{1} << half) - 1);
+  return ones << (lo + child * half);
+}
+
+std::uint32_t MotTopology::route_bit(std::uint32_t dest,
+                                     std::uint32_t level) const {
+  SPECNOC_EXPECTS(dest < n_);
+  SPECNOC_EXPECTS(level < levels_);
+  return (dest >> (levels_ - 1 - level)) & 1u;
+}
+
+std::uint32_t MotTopology::path_index(std::uint32_t dest,
+                                      std::uint32_t level) const {
+  SPECNOC_EXPECTS(dest < n_);
+  SPECNOC_EXPECTS(level < levels_);
+  return dest >> (levels_ - level);
+}
+
+std::uint32_t MotTopology::leaf_dest(std::uint32_t leaf_index,
+                                     std::uint32_t out_port) const {
+  SPECNOC_EXPECTS(leaf_index < nodes_at_level(levels_ - 1));
+  SPECNOC_EXPECTS(out_port < 2);
+  return leaf_index * 2 + out_port;
+}
+
+std::uint32_t MotTopology::fanin_leaf_index(std::uint32_t src) const {
+  SPECNOC_EXPECTS(src < n_);
+  return src / 2;
+}
+
+std::uint32_t MotTopology::fanin_leaf_port(std::uint32_t src) const {
+  SPECNOC_EXPECTS(src < n_);
+  return src % 2;
+}
+
+}  // namespace specnoc::mot

@@ -1,0 +1,85 @@
+// Variant Mesh-of-Trees topology (Balkan et al. / Horak et al.).
+//
+// An NxN variant MoT connects N sources to N destinations. Each source roots
+// a binary *fanout* tree of N-1 routing nodes; each destination roots a
+// binary *fanin* tree of N-1 arbitration nodes. The leaves cross-connect so
+// that every (src,dst) pair has exactly one path of 2*log2(N) switch hops.
+//
+// Fanout node coordinates within a tree: (level, index), level 0 is the root,
+// level L-1 the leaves, index in [0, 2^level). Node (l, i) covers the
+// destination span [i * N/2^l, (i+1) * N/2^l); its top child (output 0)
+// covers the lower half of that span, the bottom child (output 1) the upper
+// half. Fanin trees are mirror images with the same coordinates over sources.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "noc/packet.h"
+#include "util/bits.h"
+
+namespace specnoc::mot {
+
+/// Maximum supported radix (DestMask is a 64-bit mask).
+inline constexpr std::uint32_t kMaxRadix = 64;
+
+class MotTopology {
+ public:
+  /// n must be a power of two in [2, 64]. Throws ConfigError otherwise.
+  explicit MotTopology(std::uint32_t n);
+
+  std::uint32_t n() const { return n_; }
+  /// Tree depth L = log2(n): number of fanout (and fanin) levels.
+  std::uint32_t levels() const { return levels_; }
+  /// Nodes per tree: n - 1.
+  std::uint32_t nodes_per_tree() const { return n_ - 1; }
+
+  /// Heap-order linear id of node (level, index) within its tree:
+  /// 2^level - 1 + index. Root is 0.
+  static std::uint32_t heap_id(std::uint32_t level, std::uint32_t index);
+  /// Inverse of heap_id.
+  static std::pair<std::uint32_t, std::uint32_t> from_heap_id(
+      std::uint32_t id);
+
+  /// Number of nodes at `level`: 2^level.
+  std::uint32_t nodes_at_level(std::uint32_t level) const;
+
+  /// Destination span [lo, hi) covered by fanout node (level, index).
+  std::pair<std::uint32_t, std::uint32_t> fanout_span(std::uint32_t level,
+                                                      std::uint32_t index) const;
+
+  /// Mask of all destinations covered by fanout node (level, index).
+  noc::DestMask span_mask(std::uint32_t level, std::uint32_t index) const;
+
+  /// Mask of destinations reached through output `child` (0 = top = lower
+  /// half, 1 = bottom = upper half) of fanout node (level, index).
+  noc::DestMask subtree_mask(std::uint32_t level, std::uint32_t index,
+                             std::uint32_t child) const;
+
+  /// Routing bit for destination `dest` at fanout level `level`:
+  /// bit (L-1-level) of dest, MSB first.
+  std::uint32_t route_bit(std::uint32_t dest, std::uint32_t level) const;
+
+  /// Fanout-tree node index at `level` on the unique path to `dest`.
+  std::uint32_t path_index(std::uint32_t dest, std::uint32_t level) const;
+
+  /// The destination served by output `out_port` of fanout leaf
+  /// (level L-1, index leaf_index).
+  std::uint32_t leaf_dest(std::uint32_t leaf_index,
+                          std::uint32_t out_port) const;
+
+  /// Where the middle channel from source `src` lands inside a fanin tree:
+  /// fanin leaf index src/2, input port src%2.
+  std::uint32_t fanin_leaf_index(std::uint32_t src) const;
+  std::uint32_t fanin_leaf_port(std::uint32_t src) const;
+
+  /// Switch hops on any src->dst path: 2 * levels().
+  std::uint32_t path_hops() const { return 2 * levels_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t levels_;
+};
+
+}  // namespace specnoc::mot

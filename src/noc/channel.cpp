@@ -1,0 +1,86 @@
+#include "noc/channel.h"
+
+#include <utility>
+
+#include "noc/node.h"
+
+namespace specnoc::noc {
+
+Channel::Channel(sim::Scheduler& scheduler, SimHooks& hooks,
+                 ChannelParams params, std::string name)
+    : scheduler_(scheduler), hooks_(hooks), params_(params),
+      name_(std::move(name)) {
+  SPECNOC_EXPECTS(params_.delay_fwd >= 0 && params_.delay_ack >= 0);
+  SPECNOC_EXPECTS(params_.capacity >= 1);
+}
+
+void Channel::connect(Node& up, std::uint32_t up_port, Node& down,
+                      std::uint32_t down_port) {
+  SPECNOC_EXPECTS(up_ == nullptr && down_ == nullptr);
+  up_ = &up;
+  down_ = &down;
+  up_port_ = up_port;
+  down_port_ = down_port;
+  up.attach_output(up_port, *this);
+  down.attach_input(down_port, *this);
+}
+
+std::uint32_t Channel::occupancy() const {
+  return static_cast<std::uint32_t>(queue_.size()) +
+         (awaiting_node_ack_ ? 1u : 0u);
+}
+
+void Channel::send(const Flit& flit) {
+  SPECNOC_EXPECTS(down_ != nullptr);
+  SPECNOC_EXPECTS(!send_outstanding_);
+  SPECNOC_EXPECTS(occupancy() < params_.capacity);
+  send_outstanding_ = true;
+  ++flits_carried_;
+  if (hooks_.energy != nullptr) {
+    hooks_.energy->on_channel_flit(params_.length, scheduler_.now());
+  }
+  queue_.push_back({flit, scheduler_.now() + params_.delay_fwd});
+  // If a slot remains behind this flit, the first FIFO stage hands the ack
+  // straight back; otherwise the upstream waits for the head to drain.
+  if (occupancy() < params_.capacity) {
+    release_upstream();
+  }
+  try_deliver();
+}
+
+void Channel::try_deliver() {
+  if (head_scheduled_ || awaiting_node_ack_ || queue_.empty()) {
+    return;
+  }
+  head_scheduled_ = true;
+  const TimePs at = std::max(scheduler_.now(), queue_.front().ready_at);
+  scheduler_.schedule_at(at, [this] {
+    SPECNOC_ASSERT(head_scheduled_ && !awaiting_node_ack_);
+    SPECNOC_ASSERT(!queue_.empty());
+    head_scheduled_ = false;
+    awaiting_node_ack_ = true;
+    const Flit flit = queue_.front().flit;
+    queue_.pop_front();
+    down_->deliver(flit, down_port_);
+  });
+}
+
+void Channel::ack() {
+  SPECNOC_EXPECTS(awaiting_node_ack_);
+  awaiting_node_ack_ = false;
+  if (send_outstanding_ && occupancy() + 1 == params_.capacity) {
+    // The upstream was stalled on a full pipe; this ack frees a slot.
+    release_upstream();
+  }
+  try_deliver();
+}
+
+void Channel::release_upstream() {
+  SPECNOC_ASSERT(send_outstanding_);
+  scheduler_.schedule(params_.delay_ack, [this] {
+    send_outstanding_ = false;
+    up_->on_output_ack(up_port_);
+  });
+}
+
+}  // namespace specnoc::noc

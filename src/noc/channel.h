@@ -1,0 +1,103 @@
+// A point-to-point 2-phase bundled-data channel, optionally pipelined.
+//
+// capacity == 1 models a plain wire segment between two latches: one
+// transaction outstanding; send() raises req, the flit arrives downstream
+// after the forward wire delay, and the channel frees only after the
+// downstream node acks and the ack edge travels back. Per-hop cycle time is
+// then node forward latency + ack generation + round-trip wire delay — the
+// throughput-limiting quantity in the paper's asynchronous pipelines.
+//
+// capacity > 1 models a long wire pipelined with asynchronous latch FIFOs
+// (standard GALS practice for cross-die channels; the MoT "middle" channels
+// between fanout and fanin leaves are built this way). The channel then
+// accepts up to `capacity` flits; the upstream ack is returned as soon as a
+// slot remains. Giving middle channels >= packet-length capacity is also
+// what makes parallel multicast deadlock-free: a branch blocked at a fanin
+// arbiter absorbs its whole packet, so replicated branches never hold the
+// fanout fork hostage while waiting for each other's fanin locks
+// (see DESIGN.md "Multicast deadlock freedom").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/scheduler.h"
+#include "util/units.h"
+#include "noc/flit.h"
+#include "noc/hooks.h"
+
+namespace specnoc::noc {
+
+class Node;
+
+/// Physical parameters of one channel.
+struct ChannelParams {
+  TimePs delay_fwd = 0;        ///< req/data wire delay end-to-end
+  TimePs delay_ack = 0;        ///< ack wire delay (per handshake)
+  LengthUm length = 0.0;       ///< wire length, for switching energy
+  std::uint32_t capacity = 1;  ///< flits buffered in-flight (FIFO stages)
+};
+
+class Channel {
+ public:
+  Channel(sim::Scheduler& scheduler, SimHooks& hooks, ChannelParams params,
+          std::string name);
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Wires the channel between `up`'s output port and `down`'s input port.
+  void connect(Node& up, std::uint32_t up_port, Node& down,
+               std::uint32_t down_port);
+
+  /// True when the upstream node may send (previous send acked and a slot
+  /// is available).
+  bool free() const { return !send_outstanding_; }
+
+  /// Launches a flit. Precondition: free() and connected.
+  void send(const Flit& flit);
+
+  /// Called by the downstream node when it has disposed of the delivered
+  /// flit; frees the head slot.
+  void ack();
+
+  const ChannelParams& params() const { return params_; }
+  const std::string& name() const { return name_; }
+  Node* upstream() const { return up_; }
+  Node* downstream() const { return down_; }
+
+  /// Flits currently inside the channel (queued or delivered-unacked).
+  std::uint32_t occupancy() const;
+
+  /// Introspection (tests, deadlock diagnostics).
+  bool awaiting_node_ack() const { return awaiting_node_ack_; }
+
+  /// Total flits that have traversed this channel (activity statistics).
+  std::uint64_t flits_carried() const { return flits_carried_; }
+
+ private:
+  struct QueuedFlit {
+    Flit flit;
+    TimePs ready_at;  ///< when it reaches the far end of the wire
+  };
+
+  void try_deliver();
+  void release_upstream();
+
+  sim::Scheduler& scheduler_;
+  SimHooks& hooks_;
+  ChannelParams params_;
+  std::string name_;
+  Node* up_ = nullptr;
+  Node* down_ = nullptr;
+  std::uint32_t up_port_ = 0;
+  std::uint32_t down_port_ = 0;
+
+  std::deque<QueuedFlit> queue_;
+  bool head_scheduled_ = false;    ///< delivery event pending for the head
+  bool awaiting_node_ack_ = false; ///< a flit is at the node, not yet acked
+  bool send_outstanding_ = false;  ///< upstream has not been re-acked yet
+  std::uint64_t flits_carried_ = 0;
+};
+
+}  // namespace specnoc::noc

@@ -1,0 +1,26 @@
+// Flits: the unit of transfer on an asynchronous bundled-data channel.
+#pragma once
+
+#include <cstdint>
+
+namespace specnoc::noc {
+
+struct Packet;  // packet.h
+
+/// Position of a flit within its packet. Single-flit packets use kHeader
+/// semantics with kTail behaviour folded in via Flit::is_tail().
+enum class FlitKind : std::uint8_t { kHeader, kBody, kTail };
+
+/// A flit is a lightweight value: a reference to its packet plus position.
+/// The data payload itself is not modeled — only its movement and the
+/// switching activity it causes.
+struct Flit {
+  const Packet* packet = nullptr;
+  FlitKind kind = FlitKind::kHeader;
+  std::uint32_t seq = 0;  ///< 0-based index within the packet.
+
+  bool is_header() const { return kind == FlitKind::kHeader; }
+  bool is_tail() const { return kind == FlitKind::kTail; }
+};
+
+}  // namespace specnoc::noc

@@ -1,0 +1,79 @@
+// Observation hooks: traffic accounting and switching-energy accounting.
+//
+// The NoC layer emits events through these interfaces; the stats and power
+// layers implement them. Hooks are nullable so bare simulations pay nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+#include "noc/flit.h"
+#include "noc/packet.h"
+
+namespace specnoc::noc {
+
+class Node;
+
+/// What kind of switch a node models; used to look up its characteristics
+/// (area, latency, energy) and to label energy events.
+enum class NodeKind : std::uint8_t {
+  kSource,
+  kSink,
+  kFanoutBaseline,
+  kFanoutSpeculative,
+  kFanoutNonSpeculative,
+  kFanoutOptSpeculative,
+  kFanoutOptNonSpeculative,
+  kFanin,
+  kMeshRouter,  ///< 5-port XY router of the 2D-mesh comparison substrate
+  kMeshRouterSpec,  ///< speculative mesh router (local speculation on mesh)
+};
+
+const char* to_string(NodeKind kind);
+
+/// A switching operation inside a node. Energy cost = node base energy x an
+/// op-specific activity factor (see power/energy_model.h).
+enum class NodeOp : std::uint8_t {
+  kRouteForward,   ///< route computation + forward on 1-2 channels (non-spec)
+  kBroadcast,      ///< transparent broadcast on both channels (speculative)
+  kFastForward,    ///< pre-allocated body/tail forward (opt non-spec)
+  kThrottle,       ///< misrouted flit consumed and acked
+  kArbitrate,      ///< fanin arbitration + forward
+  kSourceSend,     ///< network-interface send
+  kSinkConsume,    ///< network-interface receive
+};
+
+const char* to_string(NodeOp op);
+
+/// Traffic-side events, implemented by the stats layer.
+class TrafficObserver {
+ public:
+  virtual ~TrafficObserver() = default;
+
+  /// A flit was consumed by destination `dest` at time `when`.
+  virtual void on_flit_ejected(const Packet& packet, std::uint32_t dest,
+                               FlitKind kind, TimePs when) = 0;
+
+  /// A packet's header left its source queue and entered the network.
+  virtual void on_packet_injected(const Packet& packet, TimePs when) = 0;
+};
+
+/// Switching-activity events, implemented by the power layer.
+class EnergyObserver {
+ public:
+  virtual ~EnergyObserver() = default;
+
+  /// A node performed `op` on one flit.
+  virtual void on_node_op(const Node& node, NodeOp op, TimePs when) = 0;
+
+  /// One flit traversed a channel of the given wire length.
+  virtual void on_channel_flit(LengthUm length, TimePs when) = 0;
+};
+
+/// Bundle handed to every node and channel at construction.
+struct SimHooks {
+  TrafficObserver* traffic = nullptr;
+  EnergyObserver* energy = nullptr;
+};
+
+}  // namespace specnoc::noc

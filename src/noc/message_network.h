@@ -1,0 +1,33 @@
+// MessageNetwork: the minimal interface a built network exposes to traffic
+// drivers and measurement harnesses — topology-agnostic, so the same
+// benchmarks drive the Mesh-of-Trees networks and the 2D-mesh comparison
+// substrate.
+#pragma once
+
+#include <cstdint>
+
+#include "noc/network.h"
+#include "noc/packet.h"
+
+namespace specnoc::noc {
+
+class MessageNetwork {
+ public:
+  virtual ~MessageNetwork() = default;
+
+  /// The underlying node/channel container (scheduler, hooks, sources).
+  virtual Network& net() = 0;
+
+  /// Number of injection endpoints (== ejection endpoints).
+  virtual std::uint32_t endpoints() const = 0;
+
+  /// Flits per application packet.
+  virtual std::uint32_t flits_per_packet() const = 0;
+
+  /// Sends a message from `src` to the destination set at the current
+  /// simulation time; returns the message id.
+  virtual MessageId send_message(std::uint32_t src, DestMask dests,
+                                 bool measured) = 0;
+};
+
+}  // namespace specnoc::noc

@@ -1,0 +1,22 @@
+#include "noc/network.h"
+
+namespace specnoc::noc {
+
+Channel& Network::add_channel(ChannelParams params, std::string name,
+                              Node& up, std::uint32_t up_port, Node& down,
+                              std::uint32_t down_port) {
+  auto channel = std::make_unique<Channel>(scheduler_, hooks_, params,
+                                           std::move(name));
+  Channel& ref = *channel;
+  channels_.push_back(std::move(channel));
+  ref.connect(up, up_port, down, down_port);
+  return ref;
+}
+
+void Network::register_source(SourceNode& source) {
+  sources_.push_back(&source);
+}
+
+void Network::register_sink(SinkNode& sink) { sinks_.push_back(&sink); }
+
+}  // namespace specnoc::noc

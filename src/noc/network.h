@@ -1,0 +1,73 @@
+// Network: owns the scheduler, all nodes, all channels, and packet storage.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "noc/channel.h"
+#include "noc/hooks.h"
+#include "noc/node.h"
+#include "noc/packet.h"
+#include "noc/sink.h"
+#include "noc/source.h"
+
+namespace specnoc::noc {
+
+/// Container and factory for a simulated network. Topology layers (mot/core)
+/// populate it; experiment layers drive its scheduler and hooks.
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  SimHooks& hooks() { return hooks_; }
+  PacketStore& packets() { return packets_; }
+
+  /// Creates a node of type T (constructed with scheduler and hooks first).
+  template <typename T, typename... Args>
+  T& add_node(Args&&... args) {
+    auto node = std::make_unique<T>(scheduler_, hooks_,
+                                    std::forward<Args>(args)...);
+    T& ref = *node;
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Creates a channel and wires it between two node ports.
+  Channel& add_channel(ChannelParams params, std::string name, Node& up,
+                       std::uint32_t up_port, Node& down,
+                       std::uint32_t down_port);
+
+  /// Registers network interfaces so drivers can find them by index.
+  void register_source(SourceNode& source);
+  void register_sink(SinkNode& sink);
+
+  SourceNode& source(std::uint32_t i) { return *sources_.at(i); }
+  SinkNode& sink(std::uint32_t i) { return *sinks_.at(i); }
+  std::uint32_t num_sources() const {
+    return static_cast<std::uint32_t>(sources_.size());
+  }
+  std::uint32_t num_sinks() const {
+    return static_cast<std::uint32_t>(sinks_.size());
+  }
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  const std::vector<std::unique_ptr<Channel>>& channels() const {
+    return channels_;
+  }
+
+ private:
+  sim::Scheduler scheduler_;
+  SimHooks hooks_;
+  PacketStore packets_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<SourceNode*> sources_;
+  std::vector<SinkNode*> sinks_;
+};
+
+}  // namespace specnoc::noc

@@ -1,0 +1,73 @@
+#include "noc/node.h"
+
+#include "noc/channel.h"
+
+namespace specnoc::noc {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kSource: return "source";
+    case NodeKind::kSink: return "sink";
+    case NodeKind::kFanoutBaseline: return "fanout.baseline";
+    case NodeKind::kFanoutSpeculative: return "fanout.spec";
+    case NodeKind::kFanoutNonSpeculative: return "fanout.nonspec";
+    case NodeKind::kFanoutOptSpeculative: return "fanout.opt_spec";
+    case NodeKind::kFanoutOptNonSpeculative: return "fanout.opt_nonspec";
+    case NodeKind::kFanin: return "fanin";
+    case NodeKind::kMeshRouter: return "mesh.router";
+    case NodeKind::kMeshRouterSpec: return "mesh.router.spec";
+  }
+  return "?";
+}
+
+const char* to_string(NodeOp op) {
+  switch (op) {
+    case NodeOp::kRouteForward: return "route_forward";
+    case NodeOp::kBroadcast: return "broadcast";
+    case NodeOp::kFastForward: return "fast_forward";
+    case NodeOp::kThrottle: return "throttle";
+    case NodeOp::kArbitrate: return "arbitrate";
+    case NodeOp::kSourceSend: return "source_send";
+    case NodeOp::kSinkConsume: return "sink_consume";
+  }
+  return "?";
+}
+
+Node::Node(sim::Scheduler& scheduler, SimHooks& hooks, NodeKind kind,
+           std::string name)
+    : scheduler_(scheduler), hooks_(hooks), kind_(kind),
+      name_(std::move(name)) {}
+
+void Node::attach_input(std::uint32_t port, Channel& channel) {
+  if (inputs_.size() <= port) inputs_.resize(port + 1, nullptr);
+  SPECNOC_EXPECTS(inputs_[port] == nullptr);
+  inputs_[port] = &channel;
+}
+
+void Node::attach_output(std::uint32_t port, Channel& channel) {
+  if (outputs_.size() <= port) outputs_.resize(port + 1, nullptr);
+  SPECNOC_EXPECTS(outputs_[port] == nullptr);
+  outputs_[port] = &channel;
+}
+
+Channel& Node::input(std::uint32_t port) {
+  SPECNOC_EXPECTS(port < inputs_.size() && inputs_[port] != nullptr);
+  return *inputs_[port];
+}
+
+Channel& Node::output(std::uint32_t port) {
+  SPECNOC_EXPECTS(port < outputs_.size() && outputs_[port] != nullptr);
+  return *outputs_[port];
+}
+
+bool Node::has_output(std::uint32_t port) const {
+  return port < outputs_.size() && outputs_[port] != nullptr;
+}
+
+void Node::record_op(NodeOp op) {
+  if (hooks_.energy != nullptr) {
+    hooks_.energy->on_node_op(*this, op, scheduler_.now());
+  }
+}
+
+}  // namespace specnoc::noc

@@ -1,0 +1,73 @@
+// Node base class: anything with handshake-controlled input/output channels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "noc/flit.h"
+#include "noc/hooks.h"
+
+namespace specnoc::noc {
+
+class Channel;
+
+/// Base class for switches and network interfaces.
+///
+/// The handshake contract between Channel and Node:
+///  * `deliver(flit, port)` is called by the input channel when the flit's
+///    req edge (plus wire delay) reaches the node. The channel guarantees it
+///    never delivers a new flit on a port before the node acked the previous
+///    one (2-phase protocol: one outstanding transaction per channel).
+///  * The node calls `Channel::ack()` on that input channel once it has
+///    issued req-out on every required output (or throttled the flit) — the
+///    paper's ack-after-forward protocol.
+///  * `on_output_ack(port)` is called (after ack wire delay) when the
+///    downstream node acked the flit previously sent on output `port`; the
+///    output channel is free again.
+class Node {
+ public:
+  Node(sim::Scheduler& scheduler, SimHooks& hooks, NodeKind kind,
+       std::string name);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  virtual void deliver(const Flit& flit, std::uint32_t in_port) = 0;
+  virtual void on_output_ack(std::uint32_t out_port) = 0;
+
+  /// Wiring, called by Network::connect.
+  void attach_input(std::uint32_t port, Channel& channel);
+  void attach_output(std::uint32_t port, Channel& channel);
+
+  std::uint32_t num_inputs() const {
+    return static_cast<std::uint32_t>(inputs_.size());
+  }
+  std::uint32_t num_outputs() const {
+    return static_cast<std::uint32_t>(outputs_.size());
+  }
+
+ protected:
+  sim::Scheduler& sched() { return scheduler_; }
+  SimHooks& hooks() { return hooks_; }
+  Channel& input(std::uint32_t port);
+  Channel& output(std::uint32_t port);
+  bool has_output(std::uint32_t port) const;
+
+  /// Emits a node-op energy event if an energy observer is attached.
+  void record_op(NodeOp op);
+
+ private:
+  sim::Scheduler& scheduler_;
+  SimHooks& hooks_;
+  NodeKind kind_;
+  std::string name_;
+  std::vector<Channel*> inputs_;
+  std::vector<Channel*> outputs_;
+};
+
+}  // namespace specnoc::noc

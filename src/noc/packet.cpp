@@ -1,0 +1,51 @@
+#include "noc/packet.h"
+
+namespace specnoc::noc {
+
+Message& PacketStore::create_message(std::uint32_t src, DestMask dests,
+                                     TimePs gen_time, bool measured) {
+  SPECNOC_EXPECTS(dests != 0);
+  Message msg;
+  msg.id = messages_.size();
+  msg.src = src;
+  msg.dests = dests;
+  msg.gen_time = gen_time;
+  msg.measured = measured;
+  messages_.push_back(msg);
+  return messages_.back();
+}
+
+Packet& PacketStore::create_packet(const Message& msg, DestMask dests,
+                                   std::uint32_t num_flits) {
+  SPECNOC_EXPECTS(dests != 0);
+  SPECNOC_EXPECTS((dests & ~msg.dests) == 0);
+  SPECNOC_EXPECTS(num_flits >= 1);
+  Packet pkt;
+  pkt.id = packets_.size();
+  pkt.message = msg.id;
+  pkt.src = msg.src;
+  pkt.dests = dests;
+  pkt.num_flits = num_flits;
+  pkt.gen_time = msg.gen_time;
+  pkt.measured = msg.measured;
+  packets_.push_back(pkt);
+  ++messages_[msg.id].num_packets;
+  return packets_.back();
+}
+
+Flit make_flit(const Packet& packet, std::uint32_t seq) {
+  SPECNOC_EXPECTS(seq < packet.num_flits);
+  Flit flit;
+  flit.packet = &packet;
+  flit.seq = seq;
+  if (seq == 0) {
+    flit.kind = FlitKind::kHeader;
+  } else if (seq + 1 == packet.num_flits) {
+    flit.kind = FlitKind::kTail;
+  } else {
+    flit.kind = FlitKind::kBody;
+  }
+  return flit;
+}
+
+}  // namespace specnoc::noc

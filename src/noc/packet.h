@@ -1,0 +1,80 @@
+// Packets, messages, and their owning store.
+//
+// A *message* is what the application sends: one source, a set of
+// destinations, one generation time. A *packet* is what the network carries.
+// In the parallel-multicast networks one message maps to one packet; in the
+// serial Baseline network a k-destination message is expanded into k unicast
+// packets injected back-to-back (the paper's serial multicast).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "util/contract.h"
+#include "util/units.h"
+#include "noc/flit.h"
+
+namespace specnoc::noc {
+
+using PacketId = std::uint64_t;
+using MessageId = std::uint64_t;
+
+/// Bitmask over destination indices; supports networks up to 64x64.
+using DestMask = std::uint64_t;
+
+constexpr DestMask dest_bit(std::uint32_t d) {
+  return DestMask{1} << d;
+}
+
+/// Application-level send request.
+struct Message {
+  MessageId id = 0;
+  std::uint32_t src = 0;
+  DestMask dests = 0;       ///< full destination set of the message
+  TimePs gen_time = 0;      ///< when the traffic generator created it
+  bool measured = false;    ///< inside the measurement window
+  std::uint32_t num_packets = 0;  ///< 1, or k for serialized multicast
+};
+
+/// One network packet (a wormhole of num_flits flits).
+struct Packet {
+  PacketId id = 0;
+  MessageId message = 0;
+  std::uint32_t src = 0;
+  DestMask dests = 0;       ///< destinations of *this packet*
+  std::uint32_t num_flits = 1;
+  TimePs gen_time = 0;
+  bool measured = false;
+
+  bool is_multicast() const { return (dests & (dests - 1)) != 0; }
+};
+
+/// Owns all messages and packets created during a run. Deque storage keeps
+/// references stable, so flits can carry plain `const Packet*`.
+class PacketStore {
+ public:
+  Message& create_message(std::uint32_t src, DestMask dests, TimePs gen_time,
+                          bool measured);
+
+  Packet& create_packet(const Message& msg, DestMask dests,
+                        std::uint32_t num_flits);
+
+  std::size_t num_messages() const { return messages_.size(); }
+  std::size_t num_packets() const { return packets_.size(); }
+  const Message& message(MessageId id) const { return messages_.at(id); }
+
+ private:
+  std::deque<Message> messages_;
+  std::deque<Packet> packets_;
+};
+
+/// Builds the flit at position `seq` of `packet`.
+Flit make_flit(const Packet& packet, std::uint32_t seq);
+
+/// True if this flit is the last of its packet (a tail, or the header of a
+/// single-flit packet). Used to release wormhole locks and latched routes.
+inline bool closes_packet(const Flit& flit) {
+  return flit.is_tail() || flit.packet->num_flits == 1;
+}
+
+}  // namespace specnoc::noc

@@ -1,0 +1,48 @@
+// Per-node-type physical characteristics (area, latency, handshake delays).
+//
+// Area and forward latency for the five fanout node designs are the paper's
+// own Nangate-45nm post-mapping measurements (Section 5.2(a)). The fanin
+// arbiter is not characterized in the paper; we assume values comparable to
+// the baseline fanout (it is identical in all six networks, so its constants
+// cancel in every comparison). Ack-generation delays and the opt
+// non-speculative fast-forward latency are modeling assumptions, documented
+// in DESIGN.md and overridable per run.
+#pragma once
+
+#include "noc/hooks.h"
+#include "util/units.h"
+
+namespace specnoc::nodes {
+
+struct NodeCharacteristics {
+  AreaUm2 area_um2 = 0.0;
+  /// Input-to-output forward latency for header flits.
+  TimePs fwd_header = 0;
+  /// Forward latency for body/tail flits (differs only for the
+  /// performance-optimized non-speculative node's fast-forward path).
+  TimePs fwd_body = 0;
+  /// Delay from the last req-out to the ack edge on the input channel.
+  TimePs ack_delay = 0;
+  /// Latency of the kill path for a misrouted flit: the 2-bit address
+  /// compare plus the Ack Module, with no route computation or output
+  /// channel allocation ("throttling with almost no hardware overhead",
+  /// paper Section 1). Only meaningful for the non-speculative designs and
+  /// the optimized speculative node's body-flit path.
+  TimePs throttle_latency = 0;
+  /// 0 = asynchronous (self-timed, the paper's design). Non-zero models a
+  /// synchronous implementation of the same switch: every internal delay
+  /// completes at the next clock edge — the quantization overhead the
+  /// paper's asynchronous design avoids (its 'sub-cycle' operation).
+  TimePs clock_period = 0;
+};
+
+/// Delay from `now` until work of raw duration `raw` completes under the
+/// given clocking discipline: the raw delay itself when asynchronous
+/// (clock_period == 0), or the distance to the first clock edge at least
+/// `raw` after `now` when synchronous.
+TimePs disciplined_delay(TimePs raw, TimePs clock_period, TimePs now);
+
+/// Default characteristics for each node kind (paper values where reported).
+const NodeCharacteristics& default_characteristics(noc::NodeKind kind);
+
+}  // namespace specnoc::nodes

@@ -1,0 +1,129 @@
+#include "nodes/fanin_node.h"
+
+namespace specnoc::nodes {
+
+FaninNode::FaninNode(sim::Scheduler& scheduler, noc::SimHooks& hooks,
+                     std::string name, const NodeCharacteristics& chars,
+                     std::uint32_t input_buffer_flits, TimePs sticky_timeout)
+    : Node(scheduler, hooks, noc::NodeKind::kFanin, std::move(name)),
+      chars_(chars), buffer_capacity_(input_buffer_flits),
+      sticky_timeout_(sticky_timeout) {
+  SPECNOC_EXPECTS(input_buffer_flits >= 1);
+  SPECNOC_EXPECTS(sticky_timeout > 0);
+}
+
+void FaninNode::deliver(const noc::Flit& flit, std::uint32_t in_port) {
+  SPECNOC_EXPECTS(in_port < 2);
+  InputState& in = in_[in_port];
+  SPECNOC_ASSERT(!in.channel_busy);
+  in.channel_busy = true;
+  // Entry stage: input latch + FIFO write take the forward latency.
+  sched().schedule(disciplined_delay(chars_.fwd_header, chars_.clock_period,
+                                     sched().now()),
+                   [this, flit, in_port] { enqueue(flit, in_port); });
+}
+
+void FaninNode::enqueue(const noc::Flit& flit, std::uint32_t port) {
+  InputState& in = in_[port];
+  SPECNOC_ASSERT(in.channel_busy);
+  SPECNOC_ASSERT(in.fifo.size() < buffer_capacity_);
+  in.fifo.push_back({flit, arrival_seq_++});
+  if (in.fifo.size() < buffer_capacity_) {
+    ack_input(port);
+  } else {
+    in.ack_deferred = true;  // ack once a slot frees
+  }
+  try_grant();
+}
+
+void FaninNode::ack_input(std::uint32_t port) {
+  sched().schedule(chars_.ack_delay, [this, port] {
+    SPECNOC_ASSERT(in_[port].channel_busy);
+    in_[port].channel_busy = false;
+    input(port).ack();
+  });
+}
+
+void FaninNode::try_grant() {
+  if (!output_free_ || !arbiter_ready_) return;
+  if (open_packet_input_ >= 0) {
+    const auto owner = static_cast<std::uint32_t>(open_packet_input_);
+    if (!in_[owner].fifo.empty()) {
+      // Wormhole: keep streaming the open packet.
+      forward_head(owner);
+      return;
+    }
+    // The open packet's next flit has not arrived. Hold the output for it
+    // (strict wormhole), but only up to the watchdog timeout — an
+    // unbounded hold deadlocks under lockstep multicast replication.
+    if (!watchdog_armed_) {
+      watchdog_armed_ = true;
+      const std::uint64_t epoch = grant_epoch_;
+      sched().schedule(sticky_timeout_, [this, epoch] {
+        watchdog_armed_ = false;
+        if (grant_epoch_ == epoch && open_packet_input_ >= 0) {
+          // Still starved: release the hold and serve whoever is waiting.
+          open_packet_input_ = -1;
+        }
+        // Always re-evaluate: a stale watchdog may be the only pending
+        // wakeup for a newer hold (which this call re-arms).
+        try_grant();
+      });
+    }
+    return;
+  }
+  // No open packet: grant the earliest-queued head.
+  int pick = -1;
+  std::uint64_t best = 0;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    if (in_[p].fifo.empty()) continue;
+    const std::uint64_t seq = in_[p].fifo.front().seq;
+    if (pick < 0 || seq < best) {
+      pick = static_cast<int>(p);
+      best = seq;
+    }
+  }
+  if (pick >= 0) {
+    forward_head(static_cast<std::uint32_t>(pick));
+  }
+}
+
+void FaninNode::forward_head(std::uint32_t port) {
+  InputState& in = in_[port];
+  SPECNOC_ASSERT(output_free_ && arbiter_ready_ && !in.fifo.empty());
+  const noc::Flit flit = in.fifo.front().flit;
+  in.fifo.pop_front();
+  output_free_ = false;
+  ++grant_epoch_;  // any armed watchdog is now stale
+  record_op(noc::NodeOp::kArbitrate);
+  output(0).send(flit);
+  if (flit.is_header() && !noc::closes_packet(flit)) {
+    open_packet_input_ = static_cast<int>(port);
+  } else if (noc::closes_packet(flit) &&
+             open_packet_input_ == static_cast<int>(port)) {
+    open_packet_input_ = -1;
+  }
+  if (in.ack_deferred) {
+    // A slot just freed; complete the postponed input handshake.
+    in.ack_deferred = false;
+    ack_input(port);
+  }
+  // Mutex + switch recovery before the next grant (rate limiting; not on
+  // the zero-load latency path).
+  arbiter_ready_ = false;
+  sched().schedule(disciplined_delay(chars_.fwd_body + chars_.ack_delay,
+                                     chars_.clock_period, sched().now()),
+                   [this] {
+                     arbiter_ready_ = true;
+                     try_grant();
+                   });
+}
+
+void FaninNode::on_output_ack(std::uint32_t out_port) {
+  SPECNOC_EXPECTS(out_port == 0);
+  SPECNOC_ASSERT(!output_free_);
+  output_free_ = true;
+  try_grant();
+}
+
+}  // namespace specnoc::nodes

@@ -1,0 +1,92 @@
+// Fanin (arbitration) node: two input channels, one output channel.
+//
+// Reused unmodified across all six networks (the paper changes only fanout
+// nodes). Arbitration is per flit but *packet-sticky*: once a header is
+// granted, grants stay with that input until its tail passes, holding the
+// output even through the winner's inter-flit gaps — wormhole behaviour,
+// with the loser stalled for the winner's whole packet.
+//
+// The one departure from a strict wormhole lock is that the hold is
+// *bounded*: if the open packet's next flit has not arrived within a
+// watchdog timeout (config: fanin sticky timeout, default well above any
+// normal inter-flit gap), the arbiter releases the output and serves the
+// other input. This is a deadlock-recovery mechanism in the DISHA
+// tradition, and it is necessary: with tree-replicated multicast, a
+// packet's branches progress in lockstep through the fanout forks
+// (C-element), so unbounded per-packet fanin locks couple *different*
+// fanin trees, and two multicasts locking overlapping destination sets in
+// opposite orders deadlock permanently — we reproduced exactly this with
+// a strict-lock arbiter under sustained Multicast_static load, including
+// with packet-sized VCT input buffers (see
+// tests/integration/deadlock_test.cpp and DESIGN.md "Multicast deadlock
+// freedom"). With the bounded hold every arbiter wait is finite, so the
+// starvation cycles resolve; the rare post-timeout interleavings are
+// disambiguated by a small source tag on each flit (log2 N bits), in the
+// spirit of the baseline MoT NoC's self-contained single-word transfers
+// (Horak et al., TCAD'11).
+//
+// Each input has a small asynchronous FIFO (default 2 flits) decoupling the
+// input handshake from the arbiter grant.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "noc/channel.h"
+#include "noc/node.h"
+#include "noc/packet.h"
+#include "nodes/characteristics.h"
+
+namespace specnoc::nodes {
+
+class FaninNode final : public noc::Node {
+ public:
+  FaninNode(sim::Scheduler& scheduler, noc::SimHooks& hooks, std::string name,
+            const NodeCharacteristics& chars,
+            std::uint32_t input_buffer_flits = 2,
+            TimePs sticky_timeout = 1200);
+
+  void deliver(const noc::Flit& flit, std::uint32_t in_port) override;
+  void on_output_ack(std::uint32_t out_port) override;
+
+  const NodeCharacteristics& characteristics() const { return chars_; }
+
+  /// Introspection (tests, diagnostics).
+  bool output_port_free() const { return output_free_; }
+  std::size_t buffered(std::uint32_t port) const {
+    return in_[port].fifo.size();
+  }
+  /// Input whose packet is currently streaming (-1 if none).
+  int open_packet_input() const { return open_packet_input_; }
+
+ private:
+  struct BufferedFlit {
+    noc::Flit flit;
+    std::uint64_t seq;  ///< FCFS grant order
+  };
+
+  struct InputState {
+    bool channel_busy = false;  ///< a delivery is in the entry stage
+    bool ack_deferred = false;  ///< FIFO was full; channel ack postponed
+    std::deque<BufferedFlit> fifo;
+  };
+
+  void enqueue(const noc::Flit& flit, std::uint32_t port);
+  void ack_input(std::uint32_t port);
+  void try_grant();
+  void forward_head(std::uint32_t port);
+
+  NodeCharacteristics chars_;
+  std::uint32_t buffer_capacity_;
+  TimePs sticky_timeout_;
+  InputState in_[2];
+  int open_packet_input_ = -1;  ///< sticky hold until tail passes
+  bool output_free_ = true;
+  bool arbiter_ready_ = true;
+  std::uint64_t arrival_seq_ = 0;
+  std::uint64_t grant_epoch_ = 0;  ///< invalidates stale watchdog events
+  bool watchdog_armed_ = false;
+};
+
+}  // namespace specnoc::nodes

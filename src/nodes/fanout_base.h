@@ -1,0 +1,101 @@
+// Shared machinery for all fanout node designs.
+//
+// A fanout node has one input channel and two output channels. The base
+// class implements the handshake protocol common to all five designs:
+//
+//   deliver(flit)  --fwd latency-->  process(flit)  [subclass decides dirs]
+//   forward on each required output as it becomes free
+//   once ALL required req-outs are issued  --ack delay-->  input ack
+//
+// Issuing the input ack only after every required output has fired models
+// the C-element join of the speculative node (both outputs) and the
+// multi-output case of the non-speculative node; a throttle disposes of the
+// flit with no output activity. Output channels free up independently when
+// the respective downstream node acks, so a flit can be copied into one
+// output register while the other is still waiting — matching the
+// normally-opaque / normally-transparent output port modules of the paper.
+#pragma once
+
+#include <string>
+
+#include "noc/channel.h"
+#include "noc/node.h"
+#include "noc/packet.h"
+#include "nodes/characteristics.h"
+
+namespace specnoc::nodes {
+
+/// Direction bitset: bit 0 = top output (port 0), bit 1 = bottom output.
+using Dirs = std::uint8_t;
+inline constexpr Dirs kDirNone = 0b00;
+inline constexpr Dirs kDirTop = 0b01;
+inline constexpr Dirs kDirBottom = 0b10;
+inline constexpr Dirs kDirBoth = 0b11;
+
+class FanoutNodeBase : public noc::Node {
+ public:
+  /// `top_mask` / `bottom_mask`: destination sets reachable through each
+  /// output (from MotTopology::subtree_mask); they define ground-truth
+  /// routing, equivalent to decoding this node's source-routing field.
+  FanoutNodeBase(sim::Scheduler& scheduler, noc::SimHooks& hooks,
+                 noc::NodeKind kind, std::string name,
+                 const NodeCharacteristics& chars, noc::DestMask top_mask,
+                 noc::DestMask bottom_mask);
+
+  void deliver(const noc::Flit& flit, std::uint32_t in_port) final;
+  void on_output_ack(std::uint32_t out_port) final;
+
+  const NodeCharacteristics& characteristics() const { return chars_; }
+
+  /// Introspection (tests, deadlock diagnostics).
+  bool input_busy() const { return input_busy_; }
+  int sends_remaining() const { return sends_remaining_; }
+  bool output_port_free(std::uint32_t dir) const { return out_[dir].free; }
+  bool output_has_waiting(std::uint32_t dir) const {
+    return out_[dir].has_waiting;
+  }
+
+ protected:
+  /// Subclass hook: invoked after the forward latency has elapsed; must call
+  /// forward() or throttle() exactly once for the flit.
+  virtual void process(const noc::Flit& flit) = 0;
+
+  /// Ground-truth direction set for a packet at this node (kDirNone for a
+  /// misrouted packet whose destinations lie in neither subtree).
+  Dirs true_dirs(const noc::Packet& packet) const;
+
+  /// Sends the flit on every direction in `dirs` (waiting for busy outputs),
+  /// then acks the input. `op` labels the energy event.
+  void forward(const noc::Flit& flit, Dirs dirs, noc::NodeOp op);
+
+  /// Consumes a misrouted flit: energy-throttle event, then input ack.
+  void throttle(const noc::Flit& flit);
+
+  TimePs fwd_latency(const noc::Flit& flit) const;
+
+  /// Input-to-decision latency for this flit. The default is the forward
+  /// latency; designs with a fast kill path (non-speculative nodes and the
+  /// optimized speculative node's body path) override this to return
+  /// throttle_latency for flits they will throttle.
+  virtual TimePs processing_latency(const noc::Flit& flit) const;
+
+ private:
+  struct OutputState {
+    bool free = true;
+    bool has_waiting = false;
+    noc::Flit waiting;
+  };
+
+  void try_send(std::uint32_t dir);
+  void send_now(std::uint32_t dir, const noc::Flit& flit);
+  void ack_input();
+
+  NodeCharacteristics chars_;
+  noc::DestMask top_mask_;
+  noc::DestMask bottom_mask_;
+  OutputState out_[2];
+  bool input_busy_ = false;
+  int sends_remaining_ = 0;
+};
+
+}  // namespace specnoc::nodes

@@ -1,0 +1,81 @@
+#include "power/power_meter.h"
+
+#include "nodes/characteristics.h"
+#include "noc/node.h"
+#include "util/contract.h"
+
+namespace specnoc::power {
+
+PowerMeter::PowerMeter(EnergyModelParams params) : params_(params) {}
+
+bool PowerMeter::in_window(TimePs when) const {
+  return window_open_ && !window_closed_ && when >= window_start_;
+}
+
+void PowerMeter::deposit(EnergyFj energy, TimePs when, bool is_wire) {
+  total_energy_ += energy;
+  if (in_window(when)) {
+    window_energy_ += energy;
+    if (is_wire) {
+      window_wire_energy_ += energy;
+    } else {
+      window_node_energy_ += energy;
+    }
+  }
+}
+
+void PowerMeter::on_node_op(const noc::Node& node, noc::NodeOp op,
+                            TimePs when) {
+  EnergyFj energy = 0.0;
+  if (op == noc::NodeOp::kSourceSend || op == noc::NodeOp::kSinkConsume) {
+    energy = params_.interface_fj;
+  } else {
+    const auto& chars = nodes::default_characteristics(node.kind());
+    energy = params_.node_fj_per_um2 * chars.area_um2 *
+             params_.complexity(node.kind()) * params_.activity_factor(op);
+  }
+  if (in_window(when)) {
+    ++window_op_counts_[static_cast<std::size_t>(op)];
+    window_kind_energy_[static_cast<std::size_t>(node.kind())] += energy;
+  }
+  deposit(energy, when, /*is_wire=*/false);
+}
+
+void PowerMeter::on_channel_flit(LengthUm length, TimePs when) {
+  if (in_window(when)) {
+    ++window_channel_flits_;
+  }
+  deposit(params_.wire_fj_per_um * length, when, /*is_wire=*/true);
+}
+
+void PowerMeter::open_window(TimePs now) {
+  SPECNOC_EXPECTS(!window_open_);
+  window_open_ = true;
+  window_start_ = now;
+}
+
+void PowerMeter::close_window(TimePs now) {
+  SPECNOC_EXPECTS(window_open_ && !window_closed_);
+  SPECNOC_EXPECTS(now >= window_start_);
+  window_closed_ = true;
+  window_end_ = now;
+}
+
+TimePs PowerMeter::window_duration() const {
+  SPECNOC_EXPECTS(window_closed_);
+  return window_end_ - window_start_;
+}
+
+double PowerMeter::window_power_mw() const {
+  return fj_over_ps_to_mw(window_energy_, window_duration());
+}
+
+std::uint64_t PowerMeter::window_ops(noc::NodeOp op) const {
+  return window_op_counts_[static_cast<std::size_t>(op)];
+}
+
+EnergyFj PowerMeter::window_kind_energy(noc::NodeKind kind) const {
+  return window_kind_energy_[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace specnoc::power

@@ -1,0 +1,44 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace specnoc::sim {
+
+void Scheduler::schedule(TimePs delay, EventFn fn) {
+  SPECNOC_EXPECTS(delay >= 0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::schedule_at(TimePs at, EventFn fn) {
+  SPECNOC_EXPECTS(at >= now_);
+  SPECNOC_EXPECTS(fn != nullptr);
+  queue_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; the handler may schedule new
+  // events, so move the entry out before popping.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  SPECNOC_ASSERT(entry.time >= now_);
+  now_ = entry.time;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(TimePs t) {
+  SPECNOC_EXPECTS(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    step();
+  }
+  now_ = t;
+}
+
+}  // namespace specnoc::sim

@@ -1,0 +1,72 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded scheduler ordered by (time, insertion sequence). The
+// sequence tie-breaker makes runs bit-reproducible: two events at the same
+// picosecond always fire in the order they were scheduled, which matters for
+// arbitration fairness in the fanin nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/contract.h"
+#include "util/units.h"
+
+namespace specnoc::sim {
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+/// A deterministic discrete-event scheduler with picosecond resolution.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time.
+  TimePs now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` picoseconds from now (delay >= 0).
+  void schedule(TimePs delay, EventFn fn);
+
+  /// Schedules `fn` at absolute time `at` (must be >= now()).
+  void schedule_at(TimePs at, EventFn fn);
+
+  /// Runs the earliest pending event. Returns false if none are pending.
+  bool step();
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with time <= `t`, then advances the clock to exactly `t`.
+  void run_until(TimePs t);
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total number of events executed so far (for kernel benchmarks).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePs time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace specnoc::sim

@@ -1,0 +1,129 @@
+// ExperimentRunner: the paper's measurement protocols (Section 5.1/5.2).
+//
+//  * Saturation throughput: backlogged sources; delivered flits/ns/source
+//    over a measurement window after warmup. Multicast deliveries count
+//    once per ejected copy, matching Table 1's higher multicast numbers.
+//  * Network latency: open-loop exponential injection at 25% of *that
+//    network's* saturation (converted to an injected rate via the measured
+//    delivered/injected factor); messages generated during the measurement
+//    window are tagged, and the run continues until all tagged messages
+//    have delivered every header ("up to the arrival of all headers").
+//  * Power: open-loop injection at 25% of the *Baseline's* saturation for
+//    the benchmark (identical offered load for every architecture, the
+//    paper's normalized energy-per-packet comparison); power = switching
+//    energy over the measurement window / window duration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/architecture.h"
+#include "core/config.h"
+#include "core/mot_network.h"
+#include "power/energy_model.h"
+#include "traffic/benchmark.h"
+#include "util/units.h"
+
+namespace specnoc::stats {
+
+struct SaturationResult {
+  double delivered_flits_per_ns = 0.0;  ///< per source — the GF/s figure
+  double injected_flits_per_ns = 0.0;   ///< per source
+  /// delivered / injected (>1 for multicast traffic).
+  double delivery_factor = 1.0;
+  /// Injected packets per generated message (>1 only on the serializing
+  /// Baseline, where a k-destination message becomes k unicast packets).
+  double message_expansion = 1.0;
+};
+
+struct LatencyResult {
+  double mean_latency_ns = 0.0;
+  double p95_latency_ns = 0.0;
+  double max_latency_ns = 0.0;
+  std::uint64_t messages_measured = 0;
+  double offered_flits_per_ns = 0.0;  ///< injected rate per source
+  /// False if tagged messages were still pending at the drain cap (the
+  /// network was saturated at the requested load).
+  bool drained = true;
+};
+
+struct PowerResult {
+  double power_mw = 0.0;
+  double node_power_mw = 0.0;
+  double wire_power_mw = 0.0;
+  double delivered_flits_per_ns = 0.0;
+  double offered_flits_per_ns = 0.0;
+  std::uint64_t throttled_flits = 0;
+  std::uint64_t broadcast_ops = 0;
+};
+
+/// Builds a fresh network for one run; every measurement constructs its own
+/// network so runs are independent and deterministic.
+using NetworkFactory = std::function<std::unique_ptr<core::MotNetwork>()>;
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(core::NetworkConfig config, std::uint64_t seed = 1,
+                            power::EnergyModelParams energy = {});
+
+  /// Saturation throughput (memoized per architecture x benchmark).
+  const SaturationResult& saturation(core::Architecture arch,
+                                     traffic::BenchmarkId bench);
+
+  /// Latency at an explicit injected rate (flits/ns/source).
+  LatencyResult measure_latency(core::Architecture arch,
+                                traffic::BenchmarkId bench,
+                                double injected_flits_per_ns,
+                                traffic::SimWindows windows);
+
+  /// The paper's protocol: latency at `fraction` of this network's own
+  /// saturation, with the benchmark's default windows.
+  LatencyResult latency_at_fraction(core::Architecture arch,
+                                    traffic::BenchmarkId bench,
+                                    double fraction = 0.25);
+
+  /// Power at an explicit injected rate.
+  PowerResult measure_power(core::Architecture arch,
+                            traffic::BenchmarkId bench,
+                            double injected_flits_per_ns,
+                            traffic::SimWindows windows);
+
+  /// The paper's protocol: power at `fraction` of the *Baseline's*
+  /// saturation for this benchmark.
+  PowerResult power_at_baseline_fraction(core::Architecture arch,
+                                         traffic::BenchmarkId bench,
+                                         double fraction = 0.25);
+
+  const core::NetworkConfig& config() const { return config_; }
+
+  /// Windows used for saturation runs (shorter than latency windows; the
+  /// backlogged estimator converges quickly).
+  static traffic::SimWindows saturation_windows();
+
+  /// Factory-based variants for custom design points (e.g. arbitrary
+  /// speculation maps); the architecture-based methods delegate to these.
+  SaturationResult run_saturation(const NetworkFactory& factory,
+                                  traffic::BenchmarkId bench);
+  LatencyResult measure_latency(const NetworkFactory& factory,
+                                traffic::BenchmarkId bench,
+                                double injected_flits_per_ns,
+                                traffic::SimWindows windows);
+  PowerResult measure_power(const NetworkFactory& factory,
+                            traffic::BenchmarkId bench,
+                            double injected_flits_per_ns,
+                            traffic::SimWindows windows);
+
+ private:
+  NetworkFactory factory_for(core::Architecture arch) const;
+
+  core::NetworkConfig config_;
+  std::uint64_t seed_;
+  power::EnergyModelParams energy_;
+  std::map<std::pair<core::Architecture, traffic::BenchmarkId>,
+           SaturationResult>
+      saturation_cache_;
+};
+
+}  // namespace specnoc::stats

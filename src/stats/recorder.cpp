@@ -1,0 +1,95 @@
+#include "stats/recorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contract.h"
+#include "util/summary_stats.h"
+#include "util/units.h"
+
+namespace specnoc::stats {
+
+TrafficRecorder::TrafficRecorder(const noc::PacketStore& store)
+    : store_(store) {}
+
+void TrafficRecorder::on_flit_ejected(const noc::Packet& packet,
+                                      std::uint32_t dest, noc::FlitKind kind,
+                                      TimePs when) {
+  if (window_open_ && !window_closed_ && when >= window_start_) {
+    ++window_ejected_;
+  }
+  if (kind != noc::FlitKind::kHeader) return;
+
+  const noc::Message& msg = store_.message(packet.message);
+  if (!msg.measured) return;
+  auto [it, inserted] = pending_.try_emplace(msg.id, msg.dests);
+  SPECNOC_ASSERT((it->second & noc::dest_bit(dest)) != 0);
+  it->second &= ~noc::dest_bit(dest);
+  if (it->second == 0) {
+    latencies_.push_back(when - msg.gen_time);
+    pending_.erase(it);
+  }
+}
+
+void TrafficRecorder::on_packet_injected(const noc::Packet& packet,
+                                         TimePs when) {
+  if (window_open_ && !window_closed_ && when >= window_start_) {
+    window_injected_ += packet.num_flits;
+  }
+}
+
+void TrafficRecorder::open_window(TimePs now) {
+  SPECNOC_EXPECTS(!window_open_);
+  window_open_ = true;
+  window_start_ = now;
+}
+
+void TrafficRecorder::close_window(TimePs now) {
+  SPECNOC_EXPECTS(window_open_ && !window_closed_);
+  window_closed_ = true;
+  window_end_ = now;
+}
+
+TimePs TrafficRecorder::window_duration() const {
+  SPECNOC_EXPECTS(window_closed_);
+  return window_end_ - window_start_;
+}
+
+double TrafficRecorder::delivered_flits_per_ns(
+    std::uint32_t num_sources) const {
+  SPECNOC_EXPECTS(num_sources > 0);
+  return flits_per_ns(static_cast<double>(window_ejected_),
+                      window_duration()) /
+         num_sources;
+}
+
+double TrafficRecorder::injected_flits_per_ns(
+    std::uint32_t num_sources) const {
+  SPECNOC_EXPECTS(num_sources > 0);
+  return flits_per_ns(static_cast<double>(window_injected_),
+                      window_duration()) /
+         num_sources;
+}
+
+double TrafficRecorder::mean_latency_ps() const {
+  if (latencies_.empty()) return 0.0;
+  const double sum = std::accumulate(latencies_.begin(), latencies_.end(),
+                                     0.0);
+  return sum / static_cast<double>(latencies_.size());
+}
+
+TimePs TrafficRecorder::max_latency_ps() const {
+  if (latencies_.empty()) return 0;
+  return *std::max_element(latencies_.begin(), latencies_.end());
+}
+
+double TrafficRecorder::latency_percentile_ps(double p) const {
+  if (latencies_.empty()) return 0.0;
+  SummaryStats stats;
+  for (const TimePs latency : latencies_) {
+    stats.add(static_cast<double>(latency));
+  }
+  return stats.percentile(p);
+}
+
+}  // namespace specnoc::stats

@@ -1,0 +1,70 @@
+// TrafficRecorder: measures message latency and delivered throughput.
+//
+// Latency of a message = time from its generation (entering the source
+// queue) to the arrival of the *last* header at any of its destinations —
+// the paper measures "up to the arrival of all headers at destinations",
+// which for a serialized Baseline multicast includes the serialization tail.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/hooks.h"
+#include "noc/packet.h"
+
+namespace specnoc::stats {
+
+class TrafficRecorder final : public noc::TrafficObserver {
+ public:
+  explicit TrafficRecorder(const noc::PacketStore& store);
+
+  void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs when) override;
+  void on_packet_injected(const noc::Packet& packet, TimePs when) override;
+
+  /// Throughput window gating (counts all ejected/injected flits inside).
+  void open_window(TimePs now);
+  void close_window(TimePs now);
+
+  /// Delivered flits per ns per source over the window.
+  double delivered_flits_per_ns(std::uint32_t num_sources) const;
+  /// Injected flits per ns per source over the window (packets entering the
+  /// network; multicast counts once here but once per copy on delivery).
+  double injected_flits_per_ns(std::uint32_t num_sources) const;
+
+  std::uint64_t window_flits_ejected() const { return window_ejected_; }
+  std::uint64_t window_flits_injected() const { return window_injected_; }
+  TimePs window_duration() const;
+
+  /// Completed-measured-message latencies (ps).
+  const std::vector<TimePs>& measured_latencies() const {
+    return latencies_;
+  }
+  double mean_latency_ps() const;
+  TimePs max_latency_ps() const;
+  /// Exact nearest-rank percentile of the measured latencies (ps);
+  /// 0 when nothing was measured.
+  double latency_percentile_ps(double p) const;
+
+  /// Number of measured messages still awaiting header deliveries.
+  std::size_t pending_measured() const { return pending_.size(); }
+  std::uint64_t completed_measured() const {
+    return static_cast<std::uint64_t>(latencies_.size());
+  }
+
+ private:
+  const noc::PacketStore& store_;
+  // message id -> destinations still missing a header
+  std::unordered_map<noc::MessageId, noc::DestMask> pending_;
+  std::vector<TimePs> latencies_;
+
+  bool window_open_ = false;
+  bool window_closed_ = false;
+  TimePs window_start_ = 0;
+  TimePs window_end_ = 0;
+  std::uint64_t window_ejected_ = 0;
+  std::uint64_t window_injected_ = 0;
+};
+
+}  // namespace specnoc::stats

@@ -1,0 +1,58 @@
+#include "stats/trace.h"
+
+#include <ostream>
+#include <string>
+
+#include "noc/node.h"
+
+namespace specnoc::stats {
+
+const char* to_string(noc::FlitKind kind) {
+  switch (kind) {
+    case noc::FlitKind::kHeader: return "header";
+    case noc::FlitKind::kBody: return "body";
+    case noc::FlitKind::kTail: return "tail";
+  }
+  return "?";
+}
+
+FlitTracer::FlitTracer(std::ostream& out, TraceFilter filter)
+    : out_(out), filter_(filter) {
+  out_ << "time_ps,event,subject,packet,src,detail\n";
+}
+
+void FlitTracer::row(TimePs when, const char* event,
+                     const std::string& subject, std::uint64_t packet,
+                     std::uint32_t src, const char* detail) {
+  out_ << when << ',' << event << ',' << subject << ',' << packet << ','
+       << src << ',' << detail << '\n';
+  ++rows_;
+}
+
+void FlitTracer::on_packet_injected(const noc::Packet& packet, TimePs when) {
+  if (!filter_.injections) return;
+  row(when, "inject", "src" + std::to_string(packet.src), packet.id,
+      packet.src, packet.is_multicast() ? "multicast" : "unicast");
+}
+
+void FlitTracer::on_flit_ejected(const noc::Packet& packet,
+                                 std::uint32_t dest, noc::FlitKind kind,
+                                 TimePs when) {
+  if (!filter_.ejections) return;
+  row(when, "eject", "dst" + std::to_string(dest), packet.id, packet.src,
+      to_string(kind));
+}
+
+void FlitTracer::on_node_op(const noc::Node& node, noc::NodeOp op,
+                            TimePs when) {
+  if (!filter_.node_ops) return;
+  row(when, "node_op", node.name(), 0, 0, noc::to_string(op));
+}
+
+void FlitTracer::on_channel_flit(LengthUm length, TimePs when) {
+  if (!filter_.channel_flits) return;
+  row(when, "channel", std::to_string(static_cast<long long>(length)) + "um",
+      0, 0, "");
+}
+
+}  // namespace specnoc::stats

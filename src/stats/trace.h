@@ -1,0 +1,50 @@
+// Event tracing: stream simulation events to CSV for offline analysis.
+//
+// Attach a FlitTracer to Network hooks to log injections, ejections, node
+// operations, and channel traversals. Useful for debugging routing/protocol
+// behaviour and for visualizing flit timelines (one CSV row per event).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "noc/hooks.h"
+
+namespace specnoc::stats {
+
+/// Which event classes to record.
+struct TraceFilter {
+  bool injections = true;
+  bool ejections = true;
+  bool node_ops = false;        // verbose: one row per switch operation
+  bool channel_flits = false;   // very verbose
+};
+
+class FlitTracer final : public noc::TrafficObserver,
+                         public noc::EnergyObserver {
+ public:
+  /// Writes CSV rows to `out` (header row immediately). The stream must
+  /// outlive the tracer.
+  explicit FlitTracer(std::ostream& out, TraceFilter filter = {});
+
+  void on_packet_injected(const noc::Packet& packet, TimePs when) override;
+  void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs when) override;
+  void on_node_op(const noc::Node& node, noc::NodeOp op,
+                  TimePs when) override;
+  void on_channel_flit(LengthUm length, TimePs when) override;
+
+  std::uint64_t rows_written() const { return rows_; }
+
+ private:
+  void row(TimePs when, const char* event, const std::string& subject,
+           std::uint64_t packet, std::uint32_t src, const char* detail);
+
+  std::ostream& out_;
+  TraceFilter filter_;
+  std::uint64_t rows_ = 0;
+};
+
+const char* to_string(noc::FlitKind kind);
+
+}  // namespace specnoc::stats

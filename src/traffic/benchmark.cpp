@@ -1,0 +1,59 @@
+#include "traffic/benchmark.h"
+
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::traffic {
+
+const char* to_string(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kUniformRandom: return "UniformRandom";
+    case BenchmarkId::kShuffle: return "Shuffle";
+    case BenchmarkId::kHotspot: return "Hotspot";
+    case BenchmarkId::kMulticast5: return "Multicast5";
+    case BenchmarkId::kMulticast10: return "Multicast10";
+    case BenchmarkId::kMulticastStatic: return "Multicast_static";
+  }
+  return "?";
+}
+
+BenchmarkId benchmark_from_string(const std::string& name) {
+  for (const auto id : all_benchmarks()) {
+    if (name == to_string(id)) return id;
+  }
+  throw ConfigError("unknown benchmark '" + name + "'");
+}
+
+std::unique_ptr<TrafficPattern> make_benchmark(BenchmarkId id,
+                                               std::uint32_t n) {
+  switch (id) {
+    case BenchmarkId::kUniformRandom:
+      return make_uniform_random(n);
+    case BenchmarkId::kShuffle:
+      return make_shuffle(n);
+    case BenchmarkId::kHotspot:
+      return make_hotspot(n, n / 2, 0.75);
+    case BenchmarkId::kMulticast5:
+      return make_multicast_mix(n, 0.05);
+    case BenchmarkId::kMulticast10:
+      return make_multicast_mix(n, 0.10);
+    case BenchmarkId::kMulticastStatic: {
+      std::vector<std::uint32_t> sources{0, 3, 5};
+      for (auto& s : sources) {
+        if (s >= n) s = s % n;
+      }
+      return make_multicast_static(n, std::move(sources));
+    }
+  }
+  SPECNOC_UNREACHABLE("unknown benchmark");
+}
+
+SimWindows default_windows(BenchmarkId id) {
+  using namespace specnoc::literals;
+  if (id == BenchmarkId::kMulticastStatic) {
+    return {.warmup = 640_ns, .measure = 6400_ns};
+  }
+  return {.warmup = 320_ns, .measure = 3200_ns};
+}
+
+}  // namespace specnoc::traffic

@@ -1,0 +1,68 @@
+// The six synthetic benchmarks of the paper's evaluation (Section 5.1),
+// plus the simulation-window parameters used for each.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "traffic/pattern.h"
+#include "util/units.h"
+
+namespace specnoc::traffic {
+
+enum class BenchmarkId : std::uint8_t {
+  kUniformRandom,
+  kShuffle,
+  kHotspot,
+  kMulticast5,
+  kMulticast10,
+  kMulticastStatic,
+};
+
+const char* to_string(BenchmarkId id);
+
+/// Parses a name produced by to_string (exact match); throws ConfigError
+/// on unknown names.
+BenchmarkId benchmark_from_string(const std::string& name);
+
+constexpr std::array<BenchmarkId, 6> all_benchmarks() {
+  return {BenchmarkId::kUniformRandom, BenchmarkId::kShuffle,
+          BenchmarkId::kHotspot, BenchmarkId::kMulticast5,
+          BenchmarkId::kMulticast10, BenchmarkId::kMulticastStatic};
+}
+
+constexpr std::array<BenchmarkId, 3> unicast_benchmarks() {
+  return {BenchmarkId::kUniformRandom, BenchmarkId::kShuffle,
+          BenchmarkId::kHotspot};
+}
+
+constexpr std::array<BenchmarkId, 3> multicast_benchmarks() {
+  return {BenchmarkId::kMulticast5, BenchmarkId::kMulticast10,
+          BenchmarkId::kMulticastStatic};
+}
+
+constexpr bool is_multicast_benchmark(BenchmarkId id) {
+  return id == BenchmarkId::kMulticast5 || id == BenchmarkId::kMulticast10 ||
+         id == BenchmarkId::kMulticastStatic;
+}
+
+/// Builds the pattern for a benchmark at radix `n`. Parameter choices:
+/// hotspot destination n/2 with fraction 0.7; Multicast5/10 at 5%/10%
+/// multicast probability; Multicast_static sources {0, 3, 5} (clamped to
+/// valid sources for small n).
+std::unique_ptr<TrafficPattern> make_benchmark(BenchmarkId id,
+                                               std::uint32_t n);
+
+/// Warmup/measurement windows, following the paper's protocol (320/640 ns
+/// warmup, 3200/6400 ns measurement; Multicast_static gets the long
+/// windows because only 3 sources carry the multicast load).
+struct SimWindows {
+  TimePs warmup = 0;
+  TimePs measure = 0;
+};
+
+SimWindows default_windows(BenchmarkId id);
+
+}  // namespace specnoc::traffic

@@ -1,0 +1,65 @@
+#include "traffic/driver.h"
+
+#include <cmath>
+
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::traffic {
+
+TrafficDriver::TrafficDriver(noc::MessageNetwork& network,
+                             TrafficPattern& pattern, DriverConfig config)
+    : network_(network), pattern_(pattern), config_(config) {
+  if (config_.mode == InjectionMode::kOpenLoop &&
+      config_.flits_per_ns_per_source <= 0.0) {
+    throw ConfigError("open-loop injection rate must be positive");
+  }
+  Rng root(config_.seed);
+  const std::uint32_t n = network_.endpoints();
+  rng_per_source_.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    rng_per_source_.push_back(root.split());
+    if (pattern_.source_active(s)) ++active_sources_;
+  }
+}
+
+void TrafficDriver::start() {
+  SPECNOC_EXPECTS(!started_);
+  started_ = true;
+  const std::uint32_t n = network_.endpoints();
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (!pattern_.source_active(s)) continue;
+    if (config_.mode == InjectionMode::kOpenLoop) {
+      schedule_next_arrival(s);
+    } else {
+      network_.net().source(s).set_refill(config_.backlog_packets, [this, s] {
+        if (!stopped_) generate(s);
+      });
+    }
+  }
+}
+
+TimePs TrafficDriver::draw_interarrival(std::uint32_t src) {
+  // Offered flits/ns -> mean packet inter-arrival in ps.
+  const double packets_per_ns = config_.flits_per_ns_per_source /
+                                network_.flits_per_packet();
+  const double mean_ps = 1000.0 / packets_per_ns;
+  const double delay = rng_per_source_[src].exponential(mean_ps);
+  return std::max<TimePs>(1, static_cast<TimePs>(std::llround(delay)));
+}
+
+void TrafficDriver::schedule_next_arrival(std::uint32_t src) {
+  network_.net().scheduler().schedule(draw_interarrival(src), [this, src] {
+    if (stopped_) return;
+    generate(src);
+    schedule_next_arrival(src);
+  });
+}
+
+void TrafficDriver::generate(std::uint32_t src) {
+  const noc::DestMask dests = pattern_.next_dests(src, rng_per_source_[src]);
+  network_.send_message(src, dests, measured_);
+  ++messages_generated_;
+}
+
+}  // namespace specnoc::traffic

@@ -1,0 +1,71 @@
+// Traffic driver: turns a pattern into message injections on a MotNetwork.
+//
+// Two modes:
+//  * Open loop (rate-driven): each active source generates messages with
+//    exponentially distributed inter-arrival times, independent of network
+//    backpressure (the standard latency-measurement setup; the paper's
+//    "injection of headers ... follows an exponential distribution").
+//  * Backlogged: each active source always has packets queued — the network
+//    runs at its saturation point and delivered throughput *is* the
+//    saturation throughput.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "noc/message_network.h"
+#include "traffic/pattern.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace specnoc::traffic {
+
+enum class InjectionMode : std::uint8_t { kOpenLoop, kBacklogged };
+
+struct DriverConfig {
+  InjectionMode mode = InjectionMode::kOpenLoop;
+  /// Offered load for open-loop mode: flits per nanosecond per active
+  /// source (the paper's GF/s unit). Ignored when backlogged.
+  double flits_per_ns_per_source = 0.1;
+  std::uint64_t seed = 1;
+  /// Backlogged mode: packets kept queued per source.
+  std::size_t backlog_packets = 2;
+};
+
+class TrafficDriver {
+ public:
+  /// The driver keeps references to network and pattern; both must outlive
+  /// it. Call start() once before running the scheduler. Works on any
+  /// noc::MessageNetwork (MoT or mesh).
+  TrafficDriver(noc::MessageNetwork& network, TrafficPattern& pattern,
+                DriverConfig config);
+
+  void start();
+
+  /// Tags messages generated from now on as measured (latency protocol:
+  /// enable at the start of the measurement window, disable at its end).
+  void set_measured(bool measured) { measured_ = measured; }
+
+  /// Stops open-loop generation (lets the network drain).
+  void stop() { stopped_ = true; }
+
+  std::uint64_t messages_generated() const { return messages_generated_; }
+  std::uint32_t active_sources() const { return active_sources_; }
+
+ private:
+  void schedule_next_arrival(std::uint32_t src);
+  void generate(std::uint32_t src);
+  TimePs draw_interarrival(std::uint32_t src);
+
+  noc::MessageNetwork& network_;
+  TrafficPattern& pattern_;
+  DriverConfig config_;
+  std::vector<Rng> rng_per_source_;
+  bool measured_ = false;
+  bool stopped_ = false;
+  bool started_ = false;
+  std::uint64_t messages_generated_ = 0;
+  std::uint32_t active_sources_ = 0;
+};
+
+}  // namespace specnoc::traffic

@@ -1,0 +1,198 @@
+#include "traffic/pattern.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::traffic {
+namespace {
+
+void check_radix(std::uint32_t n) {
+  if (n < 2 || n > 64 || !is_pow2(n)) {
+    throw ConfigError("traffic pattern radix must be a power of two in "
+                      "[2, 64], got " + std::to_string(n));
+  }
+}
+
+class UniformRandom final : public TrafficPattern {
+ public:
+  explicit UniformRandom(std::uint32_t n) : n_(n) { check_radix(n); }
+  noc::DestMask next_dests(std::uint32_t, Rng& rng) override {
+    return noc::dest_bit(static_cast<std::uint32_t>(rng.uniform_below(n_)));
+  }
+  std::string name() const override { return "UniformRandom"; }
+
+ private:
+  std::uint32_t n_;
+};
+
+class Permutation final : public TrafficPattern {
+ public:
+  Permutation(std::uint32_t n, std::string name,
+              std::uint32_t (*map)(std::uint32_t, std::uint32_t))
+      : n_(n), name_(std::move(name)), map_(map) {
+    check_radix(n);
+  }
+  noc::DestMask next_dests(std::uint32_t src, Rng&) override {
+    SPECNOC_EXPECTS(src < n_);
+    return noc::dest_bit(map_(src, log2_exact(n_)));
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::uint32_t n_;
+  std::string name_;
+  std::uint32_t (*map_)(std::uint32_t, std::uint32_t);
+};
+
+class Hotspot final : public TrafficPattern {
+ public:
+  Hotspot(std::uint32_t n, std::uint32_t hot, double fraction)
+      : n_(n), hot_(hot), fraction_(fraction) {
+    check_radix(n);
+    if (hot >= n) throw ConfigError("hotspot destination out of range");
+    if (fraction < 0.0 || fraction > 1.0) {
+      throw ConfigError("hotspot fraction must be in [0, 1]");
+    }
+  }
+  noc::DestMask next_dests(std::uint32_t, Rng& rng) override {
+    if (rng.bernoulli(fraction_)) {
+      return noc::dest_bit(hot_);
+    }
+    return noc::dest_bit(static_cast<std::uint32_t>(rng.uniform_below(n_)));
+  }
+  std::string name() const override { return "Hotspot"; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t hot_;
+  double fraction_;
+};
+
+noc::DestMask random_subset(std::uint32_t n, std::uint32_t min_dests,
+                            std::uint32_t max_dests, Rng& rng) {
+  const auto k = static_cast<std::uint32_t>(
+      rng.uniform_int(min_dests, max_dests));
+  noc::DestMask mask = 0;
+  for (const auto d : rng.sample_without_replacement(n, k)) {
+    mask |= noc::dest_bit(d);
+  }
+  return mask;
+}
+
+void check_subset_bounds(std::uint32_t n, std::uint32_t min_dests,
+                         std::uint32_t& max_dests) {
+  if (max_dests == 0) max_dests = n;
+  if (min_dests < 1 || min_dests > max_dests || max_dests > n) {
+    throw ConfigError("invalid multicast subset size bounds");
+  }
+}
+
+class MulticastMix final : public TrafficPattern {
+ public:
+  MulticastMix(std::uint32_t n, double fraction, std::uint32_t min_dests,
+               std::uint32_t max_dests)
+      : n_(n), fraction_(fraction), min_(min_dests), max_(max_dests) {
+    check_radix(n);
+    if (fraction < 0.0 || fraction > 1.0) {
+      throw ConfigError("multicast fraction must be in [0, 1]");
+    }
+    check_subset_bounds(n, min_, max_);
+  }
+  noc::DestMask next_dests(std::uint32_t, Rng& rng) override {
+    if (rng.bernoulli(fraction_)) {
+      return random_subset(n_, min_, max_, rng);
+    }
+    return noc::dest_bit(static_cast<std::uint32_t>(rng.uniform_below(n_)));
+  }
+  std::string name() const override {
+    return "Multicast" + std::to_string(static_cast<int>(fraction_ * 100));
+  }
+
+ private:
+  std::uint32_t n_;
+  double fraction_;
+  std::uint32_t min_;
+  std::uint32_t max_;
+};
+
+class MulticastStatic final : public TrafficPattern {
+ public:
+  MulticastStatic(std::uint32_t n, std::vector<std::uint32_t> sources,
+                  std::uint32_t min_dests, std::uint32_t max_dests)
+      : n_(n), min_(min_dests), max_(max_dests) {
+    check_radix(n);
+    check_subset_bounds(n, min_, max_);
+    is_multicast_source_.assign(n, false);
+    for (const auto s : sources) {
+      if (s >= n) throw ConfigError("multicast source out of range");
+      is_multicast_source_[s] = true;
+    }
+  }
+  noc::DestMask next_dests(std::uint32_t src, Rng& rng) override {
+    SPECNOC_EXPECTS(src < n_);
+    if (is_multicast_source_[src]) {
+      return random_subset(n_, min_, max_, rng);
+    }
+    return noc::dest_bit(static_cast<std::uint32_t>(rng.uniform_below(n_)));
+  }
+  std::string name() const override { return "Multicast_static"; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t min_;
+  std::uint32_t max_;
+  std::vector<bool> is_multicast_source_;
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficPattern> make_uniform_random(std::uint32_t n) {
+  return std::make_unique<UniformRandom>(n);
+}
+
+std::unique_ptr<TrafficPattern> make_shuffle(std::uint32_t n) {
+  return std::make_unique<Permutation>(n, "Shuffle", &rotl_bits);
+}
+
+std::unique_ptr<TrafficPattern> make_bit_reverse(std::uint32_t n) {
+  return std::make_unique<Permutation>(n, "BitReverse", &reverse_bits);
+}
+
+std::unique_ptr<TrafficPattern> make_bit_complement(std::uint32_t n) {
+  return std::make_unique<Permutation>(n, "BitComplement", &complement_bits);
+}
+
+std::unique_ptr<TrafficPattern> make_transpose(std::uint32_t n) {
+  check_radix(n);
+  if (log2_exact(n) % 2 != 0) {
+    throw ConfigError("transpose needs an even number of index bits "
+                      "(n in {4, 16, 64})");
+  }
+  return std::make_unique<Permutation>(n, "Transpose", &transpose_bits);
+}
+
+std::unique_ptr<TrafficPattern> make_hotspot(std::uint32_t n,
+                                             std::uint32_t hot_dest,
+                                             double hot_fraction) {
+  return std::make_unique<Hotspot>(n, hot_dest, hot_fraction);
+}
+
+std::unique_ptr<TrafficPattern> make_multicast_mix(std::uint32_t n,
+                                                   double multicast_fraction,
+                                                   std::uint32_t min_dests,
+                                                   std::uint32_t max_dests) {
+  return std::make_unique<MulticastMix>(n, multicast_fraction, min_dests,
+                                        max_dests);
+}
+
+std::unique_ptr<TrafficPattern> make_multicast_static(
+    std::uint32_t n, std::vector<std::uint32_t> multicast_sources,
+    std::uint32_t min_dests, std::uint32_t max_dests) {
+  return std::make_unique<MulticastStatic>(n, std::move(multicast_sources),
+                                           min_dests, max_dests);
+}
+
+}  // namespace specnoc::traffic

@@ -1,0 +1,77 @@
+// Traffic patterns: per-source destination-set generators.
+//
+// Patterns are deterministic functions of (source, RNG stream); the driver
+// owns one RNG per source so results do not depend on event interleaving.
+//
+// Choices the paper leaves unspecified (documented substitutions):
+//  * "random subsets of destinations" for multicast — we draw the subset
+//    size uniformly from [min_dests, max_dests] (default [2, N]) and then
+//    that many distinct destinations uniformly.
+//  * hotspot — a fraction `hot_fraction` (default 0.7) of packets go to the
+//    hot destination, the rest uniform random.
+//  * Multicast_static — sources {0, 3, 5} send only multicast.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "noc/packet.h"
+#include "util/rng.h"
+
+namespace specnoc::traffic {
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  /// Draws the destination set for the next message from `src`.
+  virtual noc::DestMask next_dests(std::uint32_t src, Rng& rng) = 0;
+
+  /// False for sources that inject nothing in this pattern.
+  virtual bool source_active(std::uint32_t src) const {
+    static_cast<void>(src);
+    return true;
+  }
+
+  virtual std::string name() const = 0;
+};
+
+/// Every packet unicast to a uniformly random destination.
+std::unique_ptr<TrafficPattern> make_uniform_random(std::uint32_t n);
+
+/// Fixed bit-permutation: dst = rotate-left(src) over log2(n) bits
+/// (Dally & Towles "shuffle").
+std::unique_ptr<TrafficPattern> make_shuffle(std::uint32_t n);
+
+/// Fixed bit-reversal permutation.
+std::unique_ptr<TrafficPattern> make_bit_reverse(std::uint32_t n);
+
+/// Fixed bit-complement permutation.
+std::unique_ptr<TrafficPattern> make_bit_complement(std::uint32_t n);
+
+/// Fixed transpose permutation: swaps the high and low halves of the index
+/// bits (requires an even number of index bits, i.e. n a perfect square of
+/// a power of two: 4, 16, 64).
+std::unique_ptr<TrafficPattern> make_transpose(std::uint32_t n);
+
+/// `hot_fraction` of packets to `hot_dest`, the rest uniform random.
+std::unique_ptr<TrafficPattern> make_hotspot(std::uint32_t n,
+                                             std::uint32_t hot_dest,
+                                             double hot_fraction);
+
+/// With probability `multicast_fraction` a multicast to a random subset
+/// (size uniform in [min_dests, max_dests]); otherwise uniform unicast.
+std::unique_ptr<TrafficPattern> make_multicast_mix(std::uint32_t n,
+                                                   double multicast_fraction,
+                                                   std::uint32_t min_dests = 2,
+                                                   std::uint32_t max_dests = 0);
+
+/// The listed sources send only random multicast; all other sources send
+/// only uniform-random unicast (the paper's Multicast_static).
+std::unique_ptr<TrafficPattern> make_multicast_static(
+    std::uint32_t n, std::vector<std::uint32_t> multicast_sources,
+    std::uint32_t min_dests = 2, std::uint32_t max_dests = 0);
+
+}  // namespace specnoc::traffic

@@ -1,0 +1,54 @@
+// Small bit-manipulation helpers for power-of-two network sizes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/contract.h"
+
+namespace specnoc {
+
+/// True if v is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint32_t v) { return std::has_single_bit(v); }
+
+/// Integer log2 of a power of two.
+constexpr std::uint32_t log2_exact(std::uint32_t v) {
+  SPECNOC_EXPECTS(is_pow2(v));
+  return static_cast<std::uint32_t>(std::bit_width(v) - 1);
+}
+
+/// Rotates the low `bits` bits of v left by one (used by the shuffle
+/// permutation: dst = rotl(src)).
+constexpr std::uint32_t rotl_bits(std::uint32_t v, std::uint32_t bits) {
+  SPECNOC_EXPECTS(bits > 0 && bits < 32);
+  const std::uint32_t mask = (1u << bits) - 1u;
+  return ((v << 1) | (v >> (bits - 1))) & mask;
+}
+
+/// Reverses the low `bits` bits of v (bit-reversal permutation).
+constexpr std::uint32_t reverse_bits(std::uint32_t v, std::uint32_t bits) {
+  SPECNOC_EXPECTS(bits > 0 && bits < 32);
+  std::uint32_t out = 0;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    out = (out << 1) | ((v >> i) & 1u);
+  }
+  return out;
+}
+
+/// Complements the low `bits` bits of v (bit-complement permutation).
+constexpr std::uint32_t complement_bits(std::uint32_t v, std::uint32_t bits) {
+  SPECNOC_EXPECTS(bits > 0 && bits < 32);
+  const std::uint32_t mask = (1u << bits) - 1u;
+  return ~v & mask;
+}
+
+/// Swaps the high and low halves of the low `bits` bits (transpose
+/// permutation); `bits` must be even.
+constexpr std::uint32_t transpose_bits(std::uint32_t v, std::uint32_t bits) {
+  SPECNOC_EXPECTS(bits > 0 && bits < 32 && bits % 2 == 0);
+  const std::uint32_t half = bits / 2;
+  const std::uint32_t low_mask = (1u << half) - 1u;
+  return ((v & low_mask) << half) | ((v >> half) & low_mask);
+}
+
+}  // namespace specnoc

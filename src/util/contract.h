@@ -1,0 +1,40 @@
+// Contract-checking macros (Core Guidelines I.6/I.8 style Expects/Ensures).
+//
+// Contract violations indicate programmer error, not recoverable conditions,
+// so they abort with a diagnostic rather than throw. Configuration errors
+// coming from *user input* should throw specnoc::ConfigError instead
+// (see error.h).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace specnoc::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "specnoc: %s violation: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace specnoc::detail
+
+#define SPECNOC_EXPECTS(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::specnoc::detail::contract_failure("precondition", #cond,    \
+                                                __FILE__, __LINE__))
+
+#define SPECNOC_ENSURES(cond)                                              \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::specnoc::detail::contract_failure("postcondition", #cond,   \
+                                                __FILE__, __LINE__))
+
+#define SPECNOC_ASSERT(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                           \
+          : ::specnoc::detail::contract_failure("invariant", #cond,       \
+                                                __FILE__, __LINE__))
+
+// Marks unreachable control flow (e.g. exhaustive switch over an enum).
+#define SPECNOC_UNREACHABLE(msg)                                           \
+  ::specnoc::detail::contract_failure("unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,17 @@
+// Exception types for user-facing configuration errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace specnoc {
+
+// Thrown when a user-supplied configuration (network size, speculation map,
+// traffic parameters, ...) is invalid. Contract macros in contract.h are for
+// internal logic errors; this is for bad input.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace specnoc

@@ -1,0 +1,35 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace specnoc {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[specnoc %s] %s\n", level_name(level),
+               message.c_str());
+}
+
+}  // namespace detail
+}  // namespace specnoc

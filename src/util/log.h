@@ -1,0 +1,50 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is quiet by default; tests and examples can raise the level
+// to trace individual handshake events.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace specnoc {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Streams a log line at `level`. Usage: SPECNOC_LOG(kInfo) << "x=" << x;
+#define SPECNOC_LOG(level_suffix)                                          \
+  for (bool specnoc_log_once =                                             \
+           ::specnoc::LogLevel::level_suffix >= ::specnoc::log_level();    \
+       specnoc_log_once; specnoc_log_once = false)                         \
+  ::specnoc::detail::LogLine(::specnoc::LogLevel::level_suffix)
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace specnoc

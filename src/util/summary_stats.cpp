@@ -1,0 +1,86 @@
+#include "util/summary_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contract.h"
+
+namespace specnoc {
+
+void SummaryStats::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  sorted_valid_ = false;
+}
+
+double SummaryStats::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double SummaryStats::min() const {
+  SPECNOC_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double SummaryStats::max() const {
+  SPECNOC_EXPECTS(!samples_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double SummaryStats::stddev() const {
+  const auto n = static_cast<double>(samples_.size());
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  const double var = (sum_sq_ - n * m * m) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double SummaryStats::percentile(double p) const {
+  SPECNOC_EXPECTS(!samples_.empty());
+  SPECNOC_EXPECTS(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  // Nearest-rank: ceil(p/100 * N), 1-indexed.
+  const auto n = sorted_.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  return sorted_[rank == 0 ? 0 : rank - 1];
+}
+
+void SummaryStats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+Histogram::Histogram(double origin, double bin_width, std::size_t num_bins)
+    : origin_(origin), bin_width_(bin_width), counts_(num_bins, 0) {
+  SPECNOC_EXPECTS(bin_width > 0.0);
+  SPECNOC_EXPECTS(num_bins > 0);
+}
+
+void Histogram::add(double sample) {
+  ++total_;
+  if (sample < origin_) {
+    ++counts_.front();
+    return;
+  }
+  const auto bin =
+      static_cast<std::size_t>((sample - origin_) / bin_width_);
+  if (bin >= counts_.size()) {
+    ++overflow_;
+  } else {
+    ++counts_[bin];
+  }
+}
+
+double Histogram::bin_lower_edge(std::size_t bin) const {
+  SPECNOC_EXPECTS(bin < counts_.size());
+  return origin_ + static_cast<double>(bin) * bin_width_;
+}
+
+}  // namespace specnoc

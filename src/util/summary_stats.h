@@ -1,0 +1,61 @@
+// Streaming summary statistics and percentile estimation for latency data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace specnoc {
+
+/// Accumulates samples and reports mean/min/max/stddev and exact
+/// percentiles (samples are retained; network runs produce at most a few
+/// hundred thousand).
+class SummaryStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2.
+  double stddev() const;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  double percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-bin histogram for latency distributions (reporting/debugging).
+class Histogram {
+ public:
+  /// Bins of `bin_width` starting at `origin`; values below the origin
+  /// clamp into the first bin, values beyond the last into the overflow.
+  Histogram(double origin, double bin_width, std::size_t num_bins);
+
+  void add(double sample);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  double bin_lower_edge(std::size_t bin) const;
+
+ private:
+  double origin_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace specnoc

@@ -1,0 +1,53 @@
+// Physical units used throughout the simulator.
+//
+// Time is integer picoseconds (the asynchronous node latencies the paper
+// reports are tens-to-hundreds of ps, so 1 ps resolution loses nothing and
+// integer time keeps the event queue deterministic). Energy is double
+// femtojoules; area is double square micrometres.
+#pragma once
+
+#include <cstdint>
+
+namespace specnoc {
+
+/// Simulation time in picoseconds.
+using TimePs = std::int64_t;
+
+/// Energy in femtojoules.
+using EnergyFj = double;
+
+/// Area in square micrometres.
+using AreaUm2 = double;
+
+/// Length in micrometres.
+using LengthUm = double;
+
+namespace literals {
+
+constexpr TimePs operator""_ps(unsigned long long v) {
+  return static_cast<TimePs>(v);
+}
+constexpr TimePs operator""_ns(unsigned long long v) {
+  return static_cast<TimePs>(v) * 1000;
+}
+constexpr TimePs operator""_us(unsigned long long v) {
+  return static_cast<TimePs>(v) * 1'000'000;
+}
+
+}  // namespace literals
+
+/// Converts picoseconds to (fractional) nanoseconds for reporting.
+constexpr double ps_to_ns(TimePs t) { return static_cast<double>(t) / 1e3; }
+
+/// Flits per nanosecond, the paper's "GF/s" unit.
+constexpr double flits_per_ns(double flits, TimePs window) {
+  return window > 0 ? flits / ps_to_ns(window) : 0.0;
+}
+
+/// Converts accumulated femtojoules over a picosecond window to milliwatts.
+/// 1 fJ / 1 ps = 1 mW exactly, so this is a plain ratio.
+constexpr double fj_over_ps_to_mw(EnergyFj energy, TimePs window) {
+  return window > 0 ? energy / static_cast<double>(window) : 0.0;
+}
+
+}  // namespace specnoc

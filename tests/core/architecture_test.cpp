@@ -1,0 +1,83 @@
+#include "core/architecture.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace specnoc::core {
+namespace {
+
+TEST(ArchitectureTest, Names) {
+  EXPECT_STREQ(to_string(Architecture::kBaseline), "Baseline");
+  EXPECT_STREQ(to_string(Architecture::kOptHybridSpeculative),
+               "OptHybridSpeculative");
+}
+
+TEST(ArchitectureTest, Traits) {
+  EXPECT_FALSE(traits(Architecture::kBaseline).multicast_capable);
+  EXPECT_FALSE(traits(Architecture::kBaseline).optimized);
+  EXPECT_TRUE(traits(Architecture::kBasicNonSpeculative).multicast_capable);
+  EXPECT_FALSE(traits(Architecture::kBasicHybridSpeculative).optimized);
+  EXPECT_TRUE(traits(Architecture::kOptNonSpeculative).optimized);
+  EXPECT_TRUE(traits(Architecture::kOptAllSpeculative).optimized);
+}
+
+TEST(ArchitectureTest, SpeculationProfiles) {
+  mot::MotTopology t(8);
+  EXPECT_EQ(speculation_for(Architecture::kBaseline, t).speculative_count(),
+            0u);
+  EXPECT_EQ(
+      speculation_for(Architecture::kBasicNonSpeculative, t)
+          .speculative_count(),
+      0u);
+  EXPECT_EQ(speculation_for(Architecture::kBasicHybridSpeculative, t)
+                .speculative_count(),
+            1u);
+  EXPECT_EQ(speculation_for(Architecture::kOptHybridSpeculative, t)
+                .speculative_count(),
+            1u);
+  EXPECT_EQ(
+      speculation_for(Architecture::kOptAllSpeculative, t)
+          .speculative_count(),
+      3u);
+}
+
+TEST(ArchitectureTest, FanoutKinds) {
+  using noc::NodeKind;
+  EXPECT_EQ(fanout_kind(Architecture::kBaseline, false),
+            NodeKind::kFanoutBaseline);
+  EXPECT_EQ(fanout_kind(Architecture::kBasicNonSpeculative, false),
+            NodeKind::kFanoutNonSpeculative);
+  EXPECT_EQ(fanout_kind(Architecture::kBasicHybridSpeculative, true),
+            NodeKind::kFanoutSpeculative);
+  EXPECT_EQ(fanout_kind(Architecture::kBasicHybridSpeculative, false),
+            NodeKind::kFanoutNonSpeculative);
+  EXPECT_EQ(fanout_kind(Architecture::kOptHybridSpeculative, true),
+            NodeKind::kFanoutOptSpeculative);
+  EXPECT_EQ(fanout_kind(Architecture::kOptAllSpeculative, false),
+            NodeKind::kFanoutOptNonSpeculative);
+}
+
+TEST(ArchitectureTest, FromStringRoundTrip) {
+  for (const auto arch : all_architectures()) {
+    EXPECT_EQ(architecture_from_string(to_string(arch)), arch);
+  }
+}
+
+TEST(ArchitectureTest, FromStringRejectsUnknown) {
+  EXPECT_THROW(architecture_from_string("NotAnArch"), ConfigError);
+  EXPECT_THROW(architecture_from_string(""), ConfigError);
+  // kCustomHybrid has no canonical map and is not parseable.
+  EXPECT_THROW(architecture_from_string("CustomHybrid"), ConfigError);
+}
+
+TEST(ArchitectureTest, CaseStudyLists) {
+  EXPECT_EQ(all_architectures().size(), 6u);
+  EXPECT_EQ(trajectory_architectures().size(), 4u);
+  EXPECT_EQ(dse_architectures().size(), 3u);
+  EXPECT_EQ(trajectory_architectures()[0], Architecture::kBaseline);
+  EXPECT_EQ(dse_architectures()[0], Architecture::kOptNonSpeculative);
+}
+
+}  // namespace
+}  // namespace specnoc::core

@@ -1,0 +1,86 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mot_network.h"
+
+namespace specnoc::core {
+namespace {
+
+TEST(NetworkConfigTest, DefaultsMatchPaper) {
+  NetworkConfig cfg;
+  EXPECT_EQ(cfg.n, 8u);
+  EXPECT_EQ(cfg.flits_per_packet, 5u);
+  EXPECT_EQ(cfg.clock_period, 0);  // asynchronous
+}
+
+TEST(NetworkConfigTest, CharsForReturnsDefaultsWhenNoOverride) {
+  NetworkConfig cfg;
+  EXPECT_EQ(cfg.chars_for(noc::NodeKind::kFanoutBaseline).fwd_header, 263);
+  EXPECT_EQ(cfg.chars_for(noc::NodeKind::kFanoutSpeculative).fwd_header, 52);
+}
+
+TEST(NetworkConfigTest, OverridesAreHonored) {
+  NetworkConfig cfg;
+  nodes::NodeCharacteristics fast{100.0, 10, 10, 10, 10};
+  cfg.char_overrides[noc::NodeKind::kFanoutNonSpeculative] = fast;
+  EXPECT_EQ(cfg.chars_for(noc::NodeKind::kFanoutNonSpeculative).fwd_header,
+            10);
+  // Other kinds unaffected.
+  EXPECT_EQ(cfg.chars_for(noc::NodeKind::kFanoutBaseline).fwd_header, 263);
+}
+
+TEST(NetworkConfigTest, OverriddenTimingChangesNetworkBehaviour) {
+  // A network with near-zero non-spec node latency must beat the default.
+  class HeaderTime : public noc::TrafficObserver {
+   public:
+    void on_flit_ejected(const noc::Packet&, std::uint32_t,
+                         noc::FlitKind kind, TimePs when) override {
+      if (kind == noc::FlitKind::kHeader) at = when;
+    }
+    void on_packet_injected(const noc::Packet&, TimePs) override {}
+    TimePs at = 0;
+  };
+  auto header_latency = [](const NetworkConfig& cfg) {
+    MotNetwork net(Architecture::kBasicNonSpeculative, cfg);
+    HeaderTime obs;
+    net.net().hooks().traffic = &obs;
+    net.send_message(0, noc::dest_bit(7), false);
+    net.scheduler().run();
+    return obs.at;
+  };
+  NetworkConfig fast_cfg;
+  fast_cfg.char_overrides[noc::NodeKind::kFanoutNonSpeculative] = {
+      406.0, 10, 10, 10, 10};
+  EXPECT_LT(header_latency(fast_cfg), header_latency(NetworkConfig{}));
+}
+
+TEST(NetworkConfigTest, SmallestAndLargestRadixBuild) {
+  for (const std::uint32_t n : {2u, 64u}) {
+    NetworkConfig cfg;
+    cfg.n = n;
+    MotNetwork net(Architecture::kOptHybridSpeculative, cfg);
+    EXPECT_EQ(net.endpoints(), n);
+    // End-to-end smoke: broadcast reaches everyone.
+    std::uint32_t headers = 0;
+    class Count : public noc::TrafficObserver {
+     public:
+      explicit Count(std::uint32_t& c) : c_(c) {}
+      void on_flit_ejected(const noc::Packet&, std::uint32_t,
+                           noc::FlitKind kind, TimePs) override {
+        if (kind == noc::FlitKind::kHeader) ++c_;
+      }
+      void on_packet_injected(const noc::Packet&, TimePs) override {}
+      std::uint32_t& c_;
+    } obs(headers);
+    net.net().hooks().traffic = &obs;
+    const noc::DestMask all =
+        n >= 64 ? ~noc::DestMask{0} : ((noc::DestMask{1} << n) - 1);
+    net.send_message(0, all, false);
+    net.scheduler().run();
+    EXPECT_EQ(headers, n);
+  }
+}
+
+}  // namespace
+}  // namespace specnoc::core

@@ -1,0 +1,83 @@
+// Custom speculation placements through MotNetwork's second constructor
+// (the API the 16x16 design-space exploration uses).
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/mot_network.h"
+#include "util/error.h"
+
+namespace specnoc::core {
+namespace {
+
+using noc::dest_bit;
+
+class HeaderCount : public noc::TrafficObserver {
+ public:
+  void on_flit_ejected(const noc::Packet&, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs) override {
+    if (kind == noc::FlitKind::kHeader) ++headers[dest];
+  }
+  void on_packet_injected(const noc::Packet&, TimePs) override {}
+  std::map<std::uint32_t, int> headers;
+};
+
+TEST(CustomNetworkTest, ReportsCustomHybridArchitecture) {
+  NetworkConfig cfg;
+  cfg.n = 16;
+  const mot::MotTopology topo(16);
+  MotNetwork net(cfg, SpeculationMap::from_levels(topo, {1}));
+  EXPECT_EQ(net.architecture(), Architecture::kCustomHybrid);
+  EXPECT_STREQ(to_string(net.architecture()), "CustomHybrid");
+  EXPECT_EQ(net.speculation().speculative_count(), 2u);  // level 1 has 2
+}
+
+TEST(CustomNetworkTest, CustomPlacementRoutesExactly) {
+  NetworkConfig cfg;
+  cfg.n = 16;
+  const mot::MotTopology topo(16);
+  // An unusual placement: speculate at level 1 only.
+  MotNetwork net(cfg, SpeculationMap::from_levels(topo, {1}));
+  HeaderCount rec;
+  net.net().hooks().traffic = &rec;
+  net.send_message(3, dest_bit(0) | dest_bit(8) | dest_bit(15), false);
+  net.scheduler().run();
+  EXPECT_EQ(rec.headers.size(), 3u);
+  for (const auto& [dest, count] : rec.headers) {
+    EXPECT_EQ(count, 1) << dest;
+  }
+}
+
+TEST(CustomNetworkTest, AddressBitsFollowPlacement) {
+  NetworkConfig cfg;
+  cfg.n = 16;
+  const mot::MotTopology topo(16);
+  // 15 nodes - 2 speculative (level 1) = 13 addressed -> 26 bits.
+  MotNetwork net(cfg, SpeculationMap::from_levels(topo, {1}));
+  EXPECT_EQ(net.address_bits(), 26u);
+}
+
+TEST(CustomNetworkTest, RadixMismatchRejected) {
+  NetworkConfig cfg;
+  cfg.n = 16;
+  const mot::MotTopology topo8(8);
+  EXPECT_THROW(MotNetwork(cfg, SpeculationMap::hybrid(topo8)), ConfigError);
+}
+
+TEST(CustomNetworkTest, NonLocalCustomMapStillRoutesCorrectly) {
+  // Adjacent speculative levels (0 and 1) are legal (leaves non-spec),
+  // just not "local"; correctness must hold regardless.
+  NetworkConfig cfg;  // n = 8
+  const mot::MotTopology topo(8);
+  const auto map = SpeculationMap::from_levels(topo, {0, 1});
+  EXPECT_FALSE(map.is_local());
+  MotNetwork net(cfg, map);
+  HeaderCount rec;
+  net.net().hooks().traffic = &rec;
+  net.send_message(0, 0xFF, false);
+  net.scheduler().run();
+  EXPECT_EQ(rec.headers.size(), 8u);
+}
+
+}  // namespace
+}  // namespace specnoc::core

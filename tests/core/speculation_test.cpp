@@ -1,0 +1,103 @@
+#include "core/speculation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace specnoc::core {
+namespace {
+
+TEST(SpeculationMapTest, NoneHasNoSpeculativeNodes) {
+  mot::MotTopology t(8);
+  const auto map = SpeculationMap::none(t);
+  EXPECT_EQ(map.speculative_count(), 0u);
+  EXPECT_EQ(map.non_speculative_count(), 7u);
+  EXPECT_TRUE(map.is_local());
+}
+
+TEST(SpeculationMapTest, Hybrid8x8IsRootOnly) {
+  mot::MotTopology t(8);
+  const auto map = SpeculationMap::hybrid(t);
+  EXPECT_TRUE(map.speculative(0, 0));
+  for (std::uint32_t i = 0; i < 2; ++i) EXPECT_FALSE(map.speculative(1, i));
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_FALSE(map.speculative(2, i));
+  EXPECT_EQ(map.speculative_count(), 1u);
+  EXPECT_TRUE(map.is_local());
+}
+
+TEST(SpeculationMapTest, Hybrid16x16IsRootPlusLevel2) {
+  mot::MotTopology t(16);
+  const auto map = SpeculationMap::hybrid(t);
+  EXPECT_TRUE(map.speculative(0, 0));
+  for (std::uint32_t i = 0; i < 2; ++i) EXPECT_FALSE(map.speculative(1, i));
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_TRUE(map.speculative(2, i));
+  for (std::uint32_t i = 0; i < 8; ++i) EXPECT_FALSE(map.speculative(3, i));
+  EXPECT_EQ(map.speculative_count(), 5u);
+  EXPECT_TRUE(map.is_local());
+}
+
+TEST(SpeculationMapTest, AllSpeculativeSparesLeaves) {
+  mot::MotTopology t(8);
+  const auto map = SpeculationMap::all_speculative(t);
+  EXPECT_TRUE(map.speculative(0, 0));
+  EXPECT_TRUE(map.speculative(1, 0));
+  EXPECT_TRUE(map.speculative(1, 1));
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_FALSE(map.speculative(2, i));
+  EXPECT_EQ(map.speculative_count(), 3u);
+  // Adjacent speculative levels: not local speculation.
+  EXPECT_FALSE(map.is_local());
+}
+
+TEST(SpeculationMapTest, AllSpeculativeOn4x4EqualsHybrid) {
+  mot::MotTopology t(4);
+  // Depth 2: only the root can speculate, so hybrid == all-speculative.
+  EXPECT_EQ(SpeculationMap::hybrid(t).flags(),
+            SpeculationMap::all_speculative(t).flags());
+}
+
+TEST(SpeculationMapTest, FromLevelsRejectsLeafLevel) {
+  mot::MotTopology t(8);
+  EXPECT_THROW(SpeculationMap::from_levels(t, {2}), ConfigError);
+  EXPECT_THROW(SpeculationMap::from_levels(t, {0, 2}), ConfigError);
+  EXPECT_THROW(SpeculationMap::from_levels(t, {5}), ConfigError);
+  EXPECT_NO_THROW(SpeculationMap::from_levels(t, {0, 1}));
+}
+
+TEST(SpeculationMapTest, FromFlagsValidatesSizeAndLeaves) {
+  mot::MotTopology t(8);
+  EXPECT_THROW(SpeculationMap::from_flags(t, std::vector<bool>(5, false)),
+               ConfigError);
+  std::vector<bool> leaf_spec(7, false);
+  leaf_spec[mot::MotTopology::heap_id(2, 1)] = true;
+  EXPECT_THROW(SpeculationMap::from_flags(t, leaf_spec), ConfigError);
+}
+
+TEST(SpeculationMapTest, ArbitraryPerNodeMapLocality) {
+  mot::MotTopology t(16);
+  // Speculate only at node (1, 0): local (its parent root and children at
+  // level 2 are non-speculative).
+  std::vector<bool> flags(t.nodes_per_tree(), false);
+  flags[mot::MotTopology::heap_id(1, 0)] = true;
+  const auto map = SpeculationMap::from_flags(t, flags);
+  EXPECT_TRUE(map.is_local());
+  // Add its child: no longer local.
+  flags[mot::MotTopology::heap_id(2, 0)] = true;
+  EXPECT_FALSE(SpeculationMap::from_flags(t, std::move(flags)).is_local());
+}
+
+TEST(SpeculationMapTest, HybridIsLocalForAllSizes) {
+  for (std::uint32_t n : {4u, 8u, 16u, 32u, 64u}) {
+    mot::MotTopology t(n);
+    EXPECT_TRUE(SpeculationMap::hybrid(t).is_local()) << "n=" << n;
+  }
+}
+
+TEST(SpeculationMapTest, AllSpecNotLocalForDeepTrees) {
+  for (std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    mot::MotTopology t(n);
+    EXPECT_FALSE(SpeculationMap::all_speculative(t).is_local()) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace specnoc::core

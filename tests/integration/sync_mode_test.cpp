@@ -1,0 +1,84 @@
+// Synchronous-equivalent mode: quantized switch delays (extension).
+#include <gtest/gtest.h>
+
+#include "core/mot_network.h"
+#include "stats/experiment.h"
+
+namespace specnoc {
+namespace {
+
+using core::Architecture;
+using traffic::BenchmarkId;
+
+/// Records the last header arrival for a single message.
+class LastHeader : public noc::TrafficObserver {
+ public:
+  void on_flit_ejected(const noc::Packet&, std::uint32_t,
+                       noc::FlitKind kind, TimePs when) override {
+    if (kind == noc::FlitKind::kHeader) last = std::max(last, when);
+  }
+  void on_packet_injected(const noc::Packet&, TimePs) override {}
+  TimePs last = 0;
+};
+
+TimePs unicast_header_latency(Architecture arch, TimePs clock_period) {
+  core::NetworkConfig cfg;
+  cfg.clock_period = clock_period;
+  core::MotNetwork net(arch, cfg);
+  LastHeader obs;
+  net.net().hooks().traffic = &obs;
+  net.send_message(0, noc::dest_bit(5), false);
+  net.scheduler().run();
+  return obs.last;
+}
+
+TEST(SyncModeTest, ClockedNetworkIsSlowerThanAsync) {
+  const auto async_lat =
+      unicast_header_latency(Architecture::kOptHybridSpeculative, 0);
+  const auto sync_lat =
+      unicast_header_latency(Architecture::kOptHybridSpeculative, 600);
+  EXPECT_GT(sync_lat, async_lat);
+}
+
+TEST(SyncModeTest, LatencyMonotoneInClockPeriod) {
+  TimePs previous = 0;
+  for (const TimePs period : {0, 300, 500, 800}) {
+    const auto lat =
+        unicast_header_latency(Architecture::kBasicNonSpeculative, period);
+    EXPECT_GE(lat, previous) << "period=" << period;
+    previous = lat;
+  }
+}
+
+TEST(SyncModeTest, SubCycleSpeculationAdvantageShrinksWhenClocked) {
+  // Asynchronously, the speculative root's 52 ps vs 299 ps shows directly;
+  // under a coarse clock both nodes take a full cycle, so the gap between
+  // hybrid and non-speculative collapses.
+  const auto async_gap =
+      unicast_header_latency(Architecture::kBasicNonSpeculative, 0) -
+      unicast_header_latency(Architecture::kBasicHybridSpeculative, 0);
+  const auto sync_gap =
+      unicast_header_latency(Architecture::kBasicNonSpeculative, 800) -
+      unicast_header_latency(Architecture::kBasicHybridSpeculative, 800);
+  EXPECT_GT(async_gap, 0);
+  EXPECT_LT(sync_gap, async_gap);
+}
+
+TEST(SyncModeTest, ClockedNetworkStillRoutesCorrectly) {
+  core::NetworkConfig cfg;
+  cfg.clock_period = 700;
+  core::MotNetwork net(Architecture::kOptAllSpeculative, cfg);
+  // Reuse the throughput recorder to check deliveries.
+  stats::ExperimentRunner runner(cfg, 3);
+  const auto& sat = runner.saturation(Architecture::kOptAllSpeculative,
+                                      BenchmarkId::kMulticast10);
+  EXPECT_GT(sat.delivered_flits_per_ns, 0.2);
+  // And a clocked run saturates below the async equivalent.
+  stats::ExperimentRunner async_runner(core::NetworkConfig{}, 3);
+  const auto& async_sat = async_runner.saturation(
+      Architecture::kOptAllSpeculative, BenchmarkId::kMulticast10);
+  EXPECT_LT(sat.delivered_flits_per_ns, async_sat.delivered_flits_per_ns);
+}
+
+}  // namespace
+}  // namespace specnoc

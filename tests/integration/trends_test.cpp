@@ -1,0 +1,122 @@
+// Integration tests asserting the paper's headline qualitative trends.
+// These use shortened windows relative to the bench harnesses but the same
+// protocols; they guard the reproduction against regressions.
+#include <gtest/gtest.h>
+
+#include "stats/experiment.h"
+
+namespace specnoc {
+namespace {
+
+using core::Architecture;
+using stats::ExperimentRunner;
+using traffic::BenchmarkId;
+
+class TrendsTest : public ::testing::Test {
+ protected:
+  TrendsTest() : runner_(core::NetworkConfig{}, 42) {}
+  ExperimentRunner runner_;
+};
+
+TEST_F(TrendsTest, MulticastSaturation_ParallelBeatsSerial) {
+  // Table 1: BasicNonSpeculative gains 14.8-39.5% over Baseline on
+  // multicast benchmarks.
+  for (const auto bench : traffic::multicast_benchmarks()) {
+    const auto base =
+        runner_.saturation(Architecture::kBaseline, bench)
+            .delivered_flits_per_ns;
+    const auto tree =
+        runner_.saturation(Architecture::kBasicNonSpeculative, bench)
+            .delivered_flits_per_ns;
+    EXPECT_GT(tree, base * 1.05) << traffic::to_string(bench);
+  }
+}
+
+TEST_F(TrendsTest, MulticastSaturation_OrderingAcrossTrajectory) {
+  // Baseline < BasicNonSpec < BasicHybrid < OptHybrid on Multicast_static.
+  const auto bench = BenchmarkId::kMulticastStatic;
+  const auto v = [&](Architecture a) {
+    return runner_.saturation(a, bench).delivered_flits_per_ns;
+  };
+  EXPECT_LT(v(Architecture::kBaseline),
+            v(Architecture::kBasicNonSpeculative));
+  EXPECT_LT(v(Architecture::kBasicNonSpeculative),
+            v(Architecture::kBasicHybridSpeculative) * 1.02);
+  EXPECT_LT(v(Architecture::kBasicHybridSpeculative),
+            v(Architecture::kOptHybridSpeculative) * 1.02);
+}
+
+TEST_F(TrendsTest, HotspotSaturationIdenticalAcrossArchitectures) {
+  // Table 1: hotspot is fanin-limited; every network shows the same number.
+  const auto v = [&](Architecture a) {
+    return runner_.saturation(a, BenchmarkId::kHotspot)
+        .delivered_flits_per_ns;
+  };
+  const auto base = v(Architecture::kBaseline);
+  for (const auto arch : core::all_architectures()) {
+    EXPECT_NEAR(v(arch), base, base * 0.06) << core::to_string(arch);
+  }
+}
+
+TEST_F(TrendsTest, Latency_TreeMulticastBeatsSerialHeavily) {
+  // Figure 6(a): 39-74% latency reduction on multicast benchmarks.
+  const auto base = runner_.latency_at_fraction(
+      Architecture::kBaseline, BenchmarkId::kMulticastStatic);
+  const auto tree = runner_.latency_at_fraction(
+      Architecture::kBasicNonSpeculative, BenchmarkId::kMulticastStatic);
+  ASSERT_TRUE(base.drained);
+  ASSERT_TRUE(tree.drained);
+  EXPECT_LT(tree.mean_latency_ns, base.mean_latency_ns * 0.75);
+}
+
+TEST_F(TrendsTest, Latency_SpeculationHelpsUnicast) {
+  // Figure 6(b): OptHybrid ~10% faster than OptNonSpec; OptAllSpec fastest.
+  const auto nonspec = runner_.latency_at_fraction(
+      Architecture::kOptNonSpeculative, BenchmarkId::kUniformRandom);
+  const auto hybrid = runner_.latency_at_fraction(
+      Architecture::kOptHybridSpeculative, BenchmarkId::kUniformRandom);
+  const auto allspec = runner_.latency_at_fraction(
+      Architecture::kOptAllSpeculative, BenchmarkId::kUniformRandom);
+  EXPECT_LT(hybrid.mean_latency_ns, nonspec.mean_latency_ns);
+  EXPECT_LT(allspec.mean_latency_ns, hybrid.mean_latency_ns);
+}
+
+TEST_F(TrendsTest, Power_SpeculationOrdering) {
+  // Table 1 power: OptNonSpec < OptHybrid < OptAllSpec at the same load.
+  const auto bench = BenchmarkId::kUniformRandom;
+  const auto p = [&](Architecture a) {
+    return runner_.power_at_baseline_fraction(a, bench).power_mw;
+  };
+  const auto nonspec = p(Architecture::kOptNonSpeculative);
+  const auto hybrid = p(Architecture::kOptHybridSpeculative);
+  const auto allspec = p(Architecture::kOptAllSpeculative);
+  EXPECT_LT(nonspec, hybrid);
+  EXPECT_LT(hybrid, allspec);
+  // Hybrid overhead is small (paper: 3.5-6.1%); all-spec considerable
+  // (14.7-22.9%). Allow generous bands.
+  EXPECT_LT(hybrid / nonspec, 1.18);
+  EXPECT_GT(allspec / nonspec, 1.05);
+}
+
+TEST_F(TrendsTest, Power_OptimizationRecoversHybridOverhead) {
+  // Table 1: BasicHybrid is the most power-hungry trajectory network;
+  // OptHybrid recovers most of the overhead. Baseline has the lowest
+  // power on unicast traffic (its serial multicast energy on the
+  // multicast benchmarks is within a few percent of BasicNonSpeculative;
+  // see EXPERIMENTS.md).
+  const auto p = [&](Architecture a, BenchmarkId b) {
+    return runner_.power_at_baseline_fraction(a, b).power_mw;
+  };
+  EXPECT_LT(p(Architecture::kOptHybridSpeculative, BenchmarkId::kMulticast10),
+            p(Architecture::kBasicHybridSpeculative,
+              BenchmarkId::kMulticast10));
+  EXPECT_LT(p(Architecture::kBaseline, BenchmarkId::kUniformRandom),
+            p(Architecture::kBasicNonSpeculative,
+              BenchmarkId::kUniformRandom));
+  EXPECT_LT(p(Architecture::kBaseline, BenchmarkId::kMulticast10),
+            p(Architecture::kBasicHybridSpeculative,
+              BenchmarkId::kMulticast10));
+}
+
+}  // namespace
+}  // namespace specnoc

@@ -1,0 +1,169 @@
+#include "mesh/mesh_network.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "stats/recorder.h"
+#include "traffic/benchmark.h"
+#include "traffic/driver.h"
+
+namespace specnoc::mesh {
+namespace {
+
+using namespace specnoc::literals;
+
+class EjectionMap : public noc::TrafficObserver {
+ public:
+  void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs when) override {
+    ++flits[dest];
+    if (kind == noc::FlitKind::kHeader) {
+      header_time[{packet.id, dest}] = when;
+    }
+  }
+  void on_packet_injected(const noc::Packet&, TimePs) override {
+    ++injected;
+  }
+  std::map<std::uint32_t, std::uint64_t> flits;
+  std::map<std::pair<noc::PacketId, std::uint32_t>, TimePs> header_time;
+  int injected = 0;
+};
+
+TEST(MeshNetworkTest, UnicastReachesExactlyItsDestination) {
+  MeshConfig cfg;  // 4x4
+  MeshNetwork net(cfg);
+  EjectionMap rec;
+  net.net().hooks().traffic = &rec;
+  for (std::uint32_t src = 0; src < 16; ++src) {
+    for (std::uint32_t dst = 0; dst < 16; ++dst) {
+      rec.flits.clear();
+      net.send_message(src, noc::dest_bit(dst), false);
+      net.scheduler().run();
+      ASSERT_EQ(rec.flits.size(), 1u) << src << "->" << dst;
+      EXPECT_EQ(rec.flits[dst], 5u);
+    }
+  }
+}
+
+TEST(MeshNetworkTest, LatencyScalesWithManhattanDistance) {
+  MeshConfig cfg;
+  MeshNetwork net(cfg);
+  EjectionMap rec;
+  net.net().hooks().traffic = &rec;
+  const TimePs t0 = net.scheduler().now();
+  net.send_message(0, noc::dest_bit(1), false);  // 1 hop
+  net.scheduler().run();
+  const TimePs near = rec.header_time.begin()->second - t0;
+
+  rec.header_time.clear();
+  const TimePs t1 = net.scheduler().now();
+  net.send_message(0, noc::dest_bit(15), false);  // 6 hops
+  net.scheduler().run();
+  const TimePs far = rec.header_time.begin()->second - t1;
+  EXPECT_GT(far, near + 4 * 350);  // at least 5 extra router traversals
+}
+
+TEST(MeshNetworkTest, TreeMulticastReachesAllOnce) {
+  MeshConfig cfg;
+  MeshNetwork net(cfg);
+  EjectionMap rec;
+  net.net().hooks().traffic = &rec;
+  const noc::DestMask dests = noc::dest_bit(0) | noc::dest_bit(3) |
+                              noc::dest_bit(9) | noc::dest_bit(15);
+  net.send_message(5, dests, false);
+  net.scheduler().run();
+  EXPECT_EQ(rec.injected, 1);  // one tree packet
+  EXPECT_EQ(rec.flits.size(), 4u);
+  for (const auto& [dest, count] : rec.flits) {
+    EXPECT_EQ(count, 5u) << dest;
+  }
+}
+
+TEST(MeshNetworkTest, SerialModeExpandsMulticast) {
+  MeshConfig cfg;
+  cfg.multicast = MulticastMode::kSerial;
+  MeshNetwork net(cfg);
+  EjectionMap rec;
+  net.net().hooks().traffic = &rec;
+  net.send_message(5, noc::dest_bit(0) | noc::dest_bit(15), false);
+  net.scheduler().run();
+  EXPECT_EQ(rec.injected, 2);
+  EXPECT_EQ(rec.flits[0], 5u);
+  EXPECT_EQ(rec.flits[15], 5u);
+}
+
+TEST(MeshNetworkTest, BroadcastFromEveryCorner) {
+  MeshConfig cfg;
+  MeshNetwork net(cfg);
+  EjectionMap rec;
+  net.net().hooks().traffic = &rec;
+  for (const std::uint32_t src : {0u, 3u, 12u, 15u}) {
+    rec.flits.clear();
+    net.send_message(src, 0xFFFF, false);
+    net.scheduler().run();
+    ASSERT_EQ(rec.flits.size(), 16u) << src;
+    for (const auto& [dest, count] : rec.flits) {
+      EXPECT_EQ(count, 5u);
+    }
+  }
+}
+
+TEST(MeshNetworkTest, WorksOn8x8With64Endpoints) {
+  MeshConfig cfg;
+  cfg.cols = 8;
+  cfg.rows = 8;
+  MeshNetwork net(cfg);
+  EjectionMap rec;
+  net.net().hooks().traffic = &rec;
+  net.send_message(0, ~noc::DestMask{0}, false);  // broadcast to all 64
+  net.scheduler().run();
+  EXPECT_EQ(rec.flits.size(), 64u);
+}
+
+TEST(MeshNetworkTest, SustainsSaturatedMulticastTraffic) {
+  // Deadlock regression for the mesh (same watchdog discipline as MoT).
+  MeshConfig cfg;
+  MeshNetwork net(cfg);
+  stats::TrafficRecorder rec(net.net().packets());
+  net.net().hooks().traffic = &rec;
+  auto pattern = traffic::make_benchmark(traffic::BenchmarkId::kMulticast10,
+                                         16);
+  traffic::DriverConfig dcfg;
+  dcfg.mode = traffic::InjectionMode::kBacklogged;
+  dcfg.seed = 11;
+  traffic::TrafficDriver driver(net, *pattern, dcfg);
+  driver.start();
+  rec.open_window(0);
+  net.scheduler().run_until(10000_ns);
+  const auto half = rec.window_flits_ejected();
+  net.scheduler().run_until(20000_ns);
+  rec.close_window(net.scheduler().now());
+  ASSERT_GT(half, 1000u);
+  EXPECT_GT(rec.window_flits_ejected() - half, half / 2);
+}
+
+TEST(MeshNetworkTest, NonSquareShapes) {
+  MeshConfig cfg;
+  cfg.cols = 8;
+  cfg.rows = 2;
+  MeshNetwork net(cfg);
+  EjectionMap rec;
+  net.net().hooks().traffic = &rec;
+  net.send_message(0, noc::dest_bit(15) | noc::dest_bit(7), false);
+  net.scheduler().run();
+  EXPECT_EQ(rec.flits.size(), 2u);
+}
+
+TEST(MeshNetworkTest, AreaScalesWithRouterCount) {
+  MeshConfig small;  // 4x4
+  MeshConfig large;
+  large.cols = 8;
+  large.rows = 8;
+  const auto small_area = MeshNetwork(small).total_node_area();
+  const auto large_area = MeshNetwork(large).total_node_area();
+  EXPECT_NEAR(large_area / small_area, 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace specnoc::mesh

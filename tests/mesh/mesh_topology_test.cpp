@@ -1,0 +1,155 @@
+#include "mesh/mesh_topology.h"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specnoc::mesh {
+namespace {
+
+TEST(MeshTopologyTest, ShapeAndCoords) {
+  MeshTopology t(4, 3);
+  EXPECT_EQ(t.n(), 12u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.x_of(5), 1u);
+  EXPECT_EQ(t.y_of(5), 1u);
+  EXPECT_EQ(t.id_at(1, 1), 5u);
+  EXPECT_EQ(t.id_at(3, 2), 11u);
+}
+
+TEST(MeshTopologyTest, RejectsBadShapes) {
+  EXPECT_THROW(MeshTopology(1, 1), ConfigError);
+  EXPECT_THROW(MeshTopology(0, 4), ConfigError);
+  EXPECT_THROW(MeshTopology(9, 8), ConfigError);  // 72 > 64
+  EXPECT_NO_THROW(MeshTopology(8, 8));
+  EXPECT_NO_THROW(MeshTopology(2, 1));
+}
+
+TEST(MeshTopologyTest, NeighborsAndEdges) {
+  MeshTopology t(3, 3);
+  // Center node 4 has all four neighbors.
+  EXPECT_EQ(t.neighbor(4, Port::kNorth), 1u);
+  EXPECT_EQ(t.neighbor(4, Port::kSouth), 7u);
+  EXPECT_EQ(t.neighbor(4, Port::kEast), 5u);
+  EXPECT_EQ(t.neighbor(4, Port::kWest), 3u);
+  // Corners lack the outward ports.
+  EXPECT_FALSE(t.has_neighbor(0, Port::kNorth));
+  EXPECT_FALSE(t.has_neighbor(0, Port::kWest));
+  EXPECT_TRUE(t.has_neighbor(0, Port::kEast));
+  EXPECT_FALSE(t.has_neighbor(8, Port::kSouth));
+  EXPECT_FALSE(t.has_neighbor(8, Port::kEast));
+  // Local port never has a neighbor.
+  EXPECT_FALSE(t.has_neighbor(4, Port::kLocal));
+}
+
+TEST(MeshTopologyTest, ManhattanDistance) {
+  MeshTopology t(4, 4);
+  EXPECT_EQ(t.distance(0, 15), 6u);
+  EXPECT_EQ(t.distance(5, 5), 0u);
+  EXPECT_EQ(t.distance(3, 12), 6u);
+}
+
+TEST(MeshRouteTest, UnicastXYGoesXFirst) {
+  MeshTopology t(4, 4);
+  const auto src = t.id_at(0, 0);
+  const auto dst = t.id_at(2, 3);
+  // At the source: move east (X first).
+  EXPECT_EQ(t.route_dirs(src, src, noc::dest_bit(dst)),
+            port_bit(Port::kEast));
+  // Mid X-leg.
+  EXPECT_EQ(t.route_dirs(t.id_at(1, 0), src, noc::dest_bit(dst)),
+            port_bit(Port::kEast));
+  // Turn column: go south.
+  EXPECT_EQ(t.route_dirs(t.id_at(2, 0), src, noc::dest_bit(dst)),
+            port_bit(Port::kSouth));
+  EXPECT_EQ(t.route_dirs(t.id_at(2, 2), src, noc::dest_bit(dst)),
+            port_bit(Port::kSouth));
+  // Destination: local.
+  EXPECT_EQ(t.route_dirs(dst, src, noc::dest_bit(dst)),
+            port_bit(Port::kLocal));
+}
+
+TEST(MeshRouteTest, OffPathRouterContributesNothing) {
+  MeshTopology t(4, 4);
+  const auto src = t.id_at(0, 0);
+  const auto dst = t.id_at(2, 3);
+  // (1,1) is not on the XY path 0,0 -> 2,0 -> 2,3.
+  EXPECT_EQ(t.route_dirs(t.id_at(1, 1), src, noc::dest_bit(dst)), 0);
+  EXPECT_EQ(t.route_dirs(t.id_at(3, 0), src, noc::dest_bit(dst)), 0);
+}
+
+TEST(MeshRouteTest, MulticastTreeForksAtColumns) {
+  MeshTopology t(4, 4);
+  const auto src = t.id_at(1, 1);
+  const noc::DestMask dests = noc::dest_bit(t.id_at(3, 0)) |  // east, north
+                              noc::dest_bit(t.id_at(1, 3)) |  // same col S
+                              noc::dest_bit(t.id_at(0, 1));   // west
+  const auto at_src = t.route_dirs(src, src, dests);
+  EXPECT_EQ(at_src, port_bit(Port::kEast) | port_bit(Port::kWest) |
+                        port_bit(Port::kSouth));
+  // East branch at (2,1): continue east only (dest column 3).
+  EXPECT_EQ(t.route_dirs(t.id_at(2, 1), src, dests), port_bit(Port::kEast));
+  // At (3,1): turn north.
+  EXPECT_EQ(t.route_dirs(t.id_at(3, 1), src, dests), port_bit(Port::kNorth));
+}
+
+TEST(MeshRouteTest, SelfDestinationIsLocal) {
+  MeshTopology t(2, 2);
+  EXPECT_EQ(t.route_dirs(0, 0, noc::dest_bit(0)), port_bit(Port::kLocal));
+}
+
+TEST(MeshRouteTest, DestAtTurnWithBranchKeepsBothDirs) {
+  MeshTopology t(4, 4);
+  const auto src = t.id_at(0, 1);
+  // Destination at (2,1) (on the x-leg) and (2,3) (branch at column 2).
+  const noc::DestMask dests =
+      noc::dest_bit(t.id_at(2, 1)) | noc::dest_bit(t.id_at(2, 3));
+  // At (2,1): local delivery AND a south branch.
+  EXPECT_EQ(t.route_dirs(t.id_at(2, 1), src, dests),
+            port_bit(Port::kLocal) | port_bit(Port::kSouth));
+}
+
+/// Property: for any src, following route_dirs hop by hop reaches every
+/// destination, visiting each router at most once per branch direction.
+TEST(MeshRouteTest, TreeCoversAllDestinations) {
+  MeshTopology t(8, 8);
+  Rng rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto src = static_cast<std::uint32_t>(rng.uniform_below(64));
+    noc::DestMask dests = rng();
+    if (dests == 0) dests = 1;
+    // BFS over the multicast tree.
+    noc::DestMask delivered = 0;
+    std::vector<std::uint32_t> frontier{src};
+    std::vector<bool> visited(64, false);
+    while (!frontier.empty()) {
+      const auto id = frontier.back();
+      frontier.pop_back();
+      if (visited[id]) continue;
+      visited[id] = true;
+      const auto dirs = t.route_dirs(id, src, dests);
+      if (dirs & port_bit(Port::kLocal)) delivered |= noc::dest_bit(id);
+      for (const Port port :
+           {Port::kNorth, Port::kEast, Port::kSouth, Port::kWest}) {
+        if (dirs & port_bit(port)) {
+          ASSERT_TRUE(t.has_neighbor(id, port));
+          frontier.push_back(t.neighbor(id, port));
+        }
+      }
+    }
+    EXPECT_EQ(delivered, dests) << "src=" << src;
+  }
+}
+
+TEST(MeshPortTest, Names) {
+  EXPECT_STREQ(to_string(Port::kLocal), "local");
+  EXPECT_STREQ(to_string(Port::kNorth), "north");
+  EXPECT_STREQ(to_string(Port::kWest), "west");
+}
+
+}  // namespace
+}  // namespace specnoc::mesh

@@ -1,0 +1,146 @@
+#include "mot/addressing.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specnoc::mot {
+namespace {
+
+std::vector<bool> no_speculation(const MotTopology& t) {
+  return std::vector<bool>(t.nodes_per_tree(), false);
+}
+
+/// Speculative at the given levels (helper mirroring core::SpeculationMap,
+/// which is tested separately; addressing is level-agnostic).
+std::vector<bool> spec_levels(const MotTopology& t,
+                              std::initializer_list<std::uint32_t> levels) {
+  std::vector<bool> flags(t.nodes_per_tree(), false);
+  for (const auto level : levels) {
+    for (std::uint32_t i = 0; i < t.nodes_at_level(level); ++i) {
+      flags[MotTopology::heap_id(level, i)] = true;
+    }
+  }
+  return flags;
+}
+
+TEST(AddressingTest, PaperAddressSizes8x8) {
+  MotTopology t(8);
+  // Section 5.2(d): non-spec 14 bits, hybrid 12 bits, almost-full 8 bits.
+  EXPECT_EQ(SourceRouteEncoder(t, no_speculation(t)).address_bits(), 14u);
+  EXPECT_EQ(SourceRouteEncoder(t, spec_levels(t, {0})).address_bits(), 12u);
+  EXPECT_EQ(SourceRouteEncoder(t, spec_levels(t, {0, 1})).address_bits(), 8u);
+  EXPECT_EQ(SourceRouteEncoder::baseline_unicast_bits(t), 3u);
+}
+
+TEST(AddressingTest, PaperAddressSizes16x16) {
+  MotTopology t(16);
+  // Section 5.2(d): 30 bits non-spec, 20 hybrid, 16 almost-full; baseline 4.
+  EXPECT_EQ(SourceRouteEncoder(t, no_speculation(t)).address_bits(), 30u);
+  EXPECT_EQ(SourceRouteEncoder(t, spec_levels(t, {0, 2})).address_bits(),
+            20u);
+  EXPECT_EQ(
+      SourceRouteEncoder(t, spec_levels(t, {0, 1, 2})).address_bits(), 16u);
+  EXPECT_EQ(SourceRouteEncoder::baseline_unicast_bits(t), 4u);
+}
+
+TEST(AddressingTest, RejectsWrongFlagVectorSize) {
+  MotTopology t(8);
+  EXPECT_THROW(SourceRouteEncoder(t, std::vector<bool>(3, false)),
+               ConfigError);
+}
+
+TEST(AddressingTest, SymbolForUnicastPath) {
+  MotTopology t(8);
+  SourceRouteEncoder enc(t, no_speculation(t));
+  // Destination 5 = 0b101: bottom at root, top at (1,1), bottom at (2,2).
+  const noc::DestMask d5 = noc::dest_bit(5);
+  EXPECT_EQ(enc.symbol_for(0, 0, d5), RouteSymbol::kBottom);
+  EXPECT_EQ(enc.symbol_for(1, 1, d5), RouteSymbol::kTop);
+  EXPECT_EQ(enc.symbol_for(2, 2, d5), RouteSymbol::kBottom);
+  // Off-path nodes read throttle.
+  EXPECT_EQ(enc.symbol_for(1, 0, d5), RouteSymbol::kThrottle);
+  EXPECT_EQ(enc.symbol_for(2, 0, d5), RouteSymbol::kThrottle);
+  EXPECT_EQ(enc.symbol_for(2, 3, d5), RouteSymbol::kThrottle);
+}
+
+TEST(AddressingTest, SymbolForBroadcastIsBothEverywhere) {
+  MotTopology t(8);
+  SourceRouteEncoder enc(t, no_speculation(t));
+  const noc::DestMask all = (noc::DestMask{1} << 8) - 1;
+  for (std::uint32_t level = 0; level < 3; ++level) {
+    for (std::uint32_t i = 0; i < t.nodes_at_level(level); ++i) {
+      EXPECT_EQ(enc.symbol_for(level, i, all), RouteSymbol::kBoth);
+    }
+  }
+}
+
+TEST(AddressingTest, EncodeSkipsSpeculativeNodes) {
+  MotTopology t(8);
+  SourceRouteEncoder enc(t, spec_levels(t, {0}));
+  const auto fields = enc.encode(noc::dest_bit(0));
+  EXPECT_EQ(fields.size(), 6u);  // 7 nodes - 1 speculative root
+  EXPECT_EQ(enc.field_slot(0, 0), -1);
+  EXPECT_EQ(enc.field_slot(1, 0), 0);
+  EXPECT_EQ(enc.field_slot(1, 1), 1);
+  EXPECT_EQ(enc.field_slot(2, 3), 5);
+}
+
+TEST(AddressingTest, DecodeMatchesSymbolFor) {
+  MotTopology t(16);
+  Rng rng(99);
+  SourceRouteEncoder enc(t, spec_levels(t, {0, 2}));
+  for (int trial = 0; trial < 200; ++trial) {
+    noc::DestMask dests = rng() & 0xFFFF;
+    if (dests == 0) dests = 1;
+    const auto fields = enc.encode(dests);
+    for (std::uint32_t level = 0; level < t.levels(); ++level) {
+      for (std::uint32_t i = 0; i < t.nodes_at_level(level); ++i) {
+        const auto slot = enc.field_slot(level, i);
+        if (slot < 0) continue;
+        EXPECT_EQ(SourceRouteEncoder::decode(
+                      fields, static_cast<std::uint32_t>(slot)),
+                  enc.symbol_for(level, i, dests));
+      }
+    }
+  }
+}
+
+TEST(AddressingTest, SymbolDirsMapping) {
+  EXPECT_EQ(symbol_dirs(RouteSymbol::kThrottle), 0b00);
+  EXPECT_EQ(symbol_dirs(RouteSymbol::kTop), 0b01);
+  EXPECT_EQ(symbol_dirs(RouteSymbol::kBottom), 0b10);
+  EXPECT_EQ(symbol_dirs(RouteSymbol::kBoth), 0b11);
+}
+
+TEST(AddressingTest, RouteSymbolNames) {
+  EXPECT_STREQ(to_string(RouteSymbol::kThrottle), "throttle");
+  EXPECT_STREQ(to_string(RouteSymbol::kBoth), "both");
+}
+
+/// Property: on a unicast packet, exactly the L on-path nodes have non-kill
+/// symbols, and they spell the destination's route bits.
+TEST(AddressingTest, UnicastPropertyAllSizes) {
+  for (std::uint32_t n : {4u, 8u, 16u, 32u}) {
+    MotTopology t(n);
+    SourceRouteEncoder enc(t, no_speculation(t));
+    for (std::uint32_t d = 0; d < n; ++d) {
+      std::uint32_t non_kill = 0;
+      for (std::uint32_t level = 0; level < t.levels(); ++level) {
+        for (std::uint32_t i = 0; i < t.nodes_at_level(level); ++i) {
+          const auto sym = enc.symbol_for(level, i, noc::dest_bit(d));
+          if (sym == RouteSymbol::kThrottle) continue;
+          ++non_kill;
+          EXPECT_EQ(i, t.path_index(d, level));
+          EXPECT_EQ(sym, t.route_bit(d, level) == 0 ? RouteSymbol::kTop
+                                                    : RouteSymbol::kBottom);
+        }
+      }
+      EXPECT_EQ(non_kill, t.levels());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace specnoc::mot

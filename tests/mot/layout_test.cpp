@@ -1,0 +1,47 @@
+#include "mot/layout.h"
+
+#include <gtest/gtest.h>
+
+namespace specnoc::mot {
+namespace {
+
+TEST(HTreeLayoutTest, LinkLengthsHalvePerLevel) {
+  MotTopology t(16);
+  LayoutConfig cfg;
+  cfg.chip_side_um = 2000.0;
+  HTreeLayout layout(t, cfg);
+  EXPECT_DOUBLE_EQ(layout.tree_link_length(0), 500.0);
+  EXPECT_DOUBLE_EQ(layout.tree_link_length(1), 250.0);
+  EXPECT_DOUBLE_EQ(layout.tree_link_length(2), 125.0);
+}
+
+TEST(HTreeLayoutTest, MiddleLinkIsLongest) {
+  MotTopology t(8);
+  LayoutConfig cfg;
+  HTreeLayout layout(t, cfg);
+  EXPECT_GT(layout.middle_link_length(), layout.tree_link_length(0));
+  EXPECT_GT(layout.tree_link_length(0), layout.interface_link_length());
+}
+
+TEST(HTreeLayoutTest, DelayProportionalToLength) {
+  MotTopology t(8);
+  LayoutConfig cfg;
+  cfg.chip_side_um = 1800.0;
+  cfg.wire_delay_ps_per_um = 0.2;
+  HTreeLayout layout(t, cfg);
+  const auto mid = layout.middle_channel();
+  EXPECT_DOUBLE_EQ(mid.length, 900.0);
+  EXPECT_EQ(mid.delay_fwd, 180);
+  EXPECT_EQ(mid.delay_ack, mid.delay_fwd);
+}
+
+TEST(HTreeLayoutTest, ZeroWireDelayConfig) {
+  MotTopology t(8);
+  LayoutConfig cfg;
+  cfg.wire_delay_ps_per_um = 0.0;
+  HTreeLayout layout(t, cfg);
+  EXPECT_EQ(layout.middle_channel().delay_fwd, 0);
+}
+
+}  // namespace
+}  // namespace specnoc::mot

@@ -1,0 +1,125 @@
+#include "mot/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace specnoc::mot {
+namespace {
+
+TEST(MotTopologyTest, BasicShape8x8) {
+  MotTopology t(8);
+  EXPECT_EQ(t.n(), 8u);
+  EXPECT_EQ(t.levels(), 3u);
+  EXPECT_EQ(t.nodes_per_tree(), 7u);
+  EXPECT_EQ(t.path_hops(), 6u);
+  EXPECT_EQ(t.nodes_at_level(0), 1u);
+  EXPECT_EQ(t.nodes_at_level(2), 4u);
+}
+
+TEST(MotTopologyTest, RejectsInvalidRadix) {
+  EXPECT_THROW(MotTopology(0), ConfigError);
+  EXPECT_THROW(MotTopology(1), ConfigError);
+  EXPECT_THROW(MotTopology(6), ConfigError);
+  EXPECT_THROW(MotTopology(128), ConfigError);
+  EXPECT_NO_THROW(MotTopology(2));
+  EXPECT_NO_THROW(MotTopology(64));
+}
+
+TEST(MotTopologyTest, HeapIdRoundTrip) {
+  for (std::uint32_t level = 0; level < 6; ++level) {
+    for (std::uint32_t i = 0; i < (1u << level); ++i) {
+      const auto id = MotTopology::heap_id(level, i);
+      const auto [l, idx] = MotTopology::from_heap_id(id);
+      EXPECT_EQ(l, level);
+      EXPECT_EQ(idx, i);
+    }
+  }
+  EXPECT_EQ(MotTopology::heap_id(0, 0), 0u);
+  EXPECT_EQ(MotTopology::heap_id(1, 1), 2u);
+  EXPECT_EQ(MotTopology::heap_id(2, 3), 6u);
+}
+
+TEST(MotTopologyTest, FanoutSpans) {
+  MotTopology t(8);
+  EXPECT_EQ(t.fanout_span(0, 0), (std::pair<std::uint32_t, std::uint32_t>{0, 8}));
+  EXPECT_EQ(t.fanout_span(1, 1), (std::pair<std::uint32_t, std::uint32_t>{4, 8}));
+  EXPECT_EQ(t.fanout_span(2, 2), (std::pair<std::uint32_t, std::uint32_t>{4, 6}));
+}
+
+TEST(MotTopologyTest, SubtreeMasksPartitionSpan) {
+  for (std::uint32_t n : {2u, 4u, 8u, 16u, 64u}) {
+    MotTopology t(n);
+    for (std::uint32_t level = 0; level < t.levels(); ++level) {
+      for (std::uint32_t i = 0; i < t.nodes_at_level(level); ++i) {
+        const auto top = t.subtree_mask(level, i, 0);
+        const auto bottom = t.subtree_mask(level, i, 1);
+        EXPECT_EQ(top & bottom, 0u);
+        EXPECT_EQ(top | bottom, t.span_mask(level, i));
+        EXPECT_NE(top, 0u);
+        EXPECT_NE(bottom, 0u);
+      }
+    }
+  }
+}
+
+TEST(MotTopologyTest, RouteBitsSpellDestinationMsbFirst) {
+  MotTopology t(8);
+  // dest 5 = 0b101: level 0 bit 1, level 1 bit 0, level 2 bit 1.
+  EXPECT_EQ(t.route_bit(5, 0), 1u);
+  EXPECT_EQ(t.route_bit(5, 1), 0u);
+  EXPECT_EQ(t.route_bit(5, 2), 1u);
+}
+
+TEST(MotTopologyTest, PathIndexFollowsRouteBits) {
+  for (std::uint32_t n : {4u, 8u, 16u}) {
+    MotTopology t(n);
+    for (std::uint32_t d = 0; d < n; ++d) {
+      std::uint32_t index = 0;
+      for (std::uint32_t level = 0; level < t.levels(); ++level) {
+        EXPECT_EQ(t.path_index(d, level), index);
+        // The destination must be inside the subtree the route bit picks.
+        const auto child = t.route_bit(d, level);
+        EXPECT_NE(t.subtree_mask(level, index, child) & noc::dest_bit(d), 0u);
+        index = index * 2 + child;
+      }
+    }
+  }
+}
+
+TEST(MotTopologyTest, LeafCrossConnectCoversAllPairs) {
+  for (std::uint32_t n : {2u, 8u, 32u}) {
+    MotTopology t(n);
+    const std::uint32_t leaf_level = t.levels() - 1;
+    // Every destination is served by exactly one (leaf, port).
+    std::vector<int> covered(n, 0);
+    for (std::uint32_t i = 0; i < t.nodes_at_level(leaf_level); ++i) {
+      for (std::uint32_t c = 0; c < 2; ++c) {
+        ++covered[t.leaf_dest(i, c)];
+      }
+    }
+    for (std::uint32_t d = 0; d < n; ++d) {
+      EXPECT_EQ(covered[d], 1);
+    }
+    // Fanin leaf indexing places each source on a unique input.
+    std::vector<int> inputs(n, 0);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      ++inputs[t.fanin_leaf_index(s) * 2 + t.fanin_leaf_port(s)];
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+      EXPECT_EQ(inputs[s], 1);
+    }
+  }
+}
+
+TEST(MotTopologyTest, LeafDestMatchesRoutePath) {
+  MotTopology t(8);
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    const auto leaf_index = t.path_index(d, 2);
+    const auto port = t.route_bit(d, 2);
+    EXPECT_EQ(t.leaf_dest(leaf_index, port), d);
+  }
+}
+
+}  // namespace
+}  // namespace specnoc::mot

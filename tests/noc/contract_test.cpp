@@ -1,0 +1,70 @@
+// Contract-violation death tests: the protocol preconditions abort rather
+// than silently corrupting simulation state.
+#include <gtest/gtest.h>
+
+#include "../support/test_nodes.h"
+#include "noc/channel.h"
+#include "sim/scheduler.h"
+
+namespace specnoc::noc {
+namespace {
+
+using specnoc::testing::DriverEndpoint;
+using specnoc::testing::RecordingEndpoint;
+
+// Older gtest (1.11): set the death-test style globally.
+struct DeathStyle {
+  DeathStyle() { ::testing::FLAGS_gtest_death_test_style = "threadsafe"; }
+} const g_death_style;
+
+TEST(ContractDeathTest, ChannelDoubleSendAborts) {
+  sim::Scheduler sched;
+  SimHooks hooks;
+  PacketStore store;
+  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, dest_bit(0), 2);
+  DriverEndpoint up(sched, hooks);
+  RecordingEndpoint down(sched, hooks, 0);
+  Channel ch(sched, hooks, {.delay_fwd = 10, .delay_ack = 10, .length = 0},
+             "ch");
+  ch.connect(up, 0, down, 0);
+  up.send(0, make_flit(pkt, 0));
+  // Second send before the handshake completes violates the 2-phase
+  // protocol.
+  EXPECT_DEATH(up.send(0, make_flit(pkt, 1)), "precondition");
+}
+
+TEST(ContractDeathTest, ChannelAckWithoutDeliveryAborts) {
+  sim::Scheduler sched;
+  SimHooks hooks;
+  DriverEndpoint up(sched, hooks);
+  RecordingEndpoint down(sched, hooks, 0);
+  Channel ch(sched, hooks, {}, "ch");
+  ch.connect(up, 0, down, 0);
+  EXPECT_DEATH(ch.ack(), "precondition");
+}
+
+TEST(ContractDeathTest, ChannelDoubleConnectAborts) {
+  sim::Scheduler sched;
+  SimHooks hooks;
+  DriverEndpoint up(sched, hooks);
+  RecordingEndpoint down(sched, hooks, 0);
+  Channel ch(sched, hooks, {}, "ch");
+  ch.connect(up, 0, down, 0);
+  EXPECT_DEATH(ch.connect(up, 1, down, 1), "precondition");
+}
+
+TEST(ContractDeathTest, SchedulerNegativeDelayAborts) {
+  sim::Scheduler sched;
+  EXPECT_DEATH(sched.schedule(-1, [] {}), "precondition");
+}
+
+TEST(ContractDeathTest, SchedulerPastAbsoluteTimeAborts) {
+  sim::Scheduler sched;
+  sched.schedule(100, [] {});
+  sched.run();
+  EXPECT_DEATH(sched.schedule_at(50, [] {}), "precondition");
+}
+
+}  // namespace
+}  // namespace specnoc::noc

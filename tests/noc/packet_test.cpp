@@ -1,0 +1,102 @@
+#include "noc/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace specnoc::noc {
+namespace {
+
+TEST(PacketStoreTest, CreateMessageAssignsSequentialIds) {
+  PacketStore store;
+  const Message& m0 = store.create_message(0, dest_bit(3), 100, true);
+  const Message& m1 = store.create_message(1, dest_bit(2) | dest_bit(5), 200,
+                                           false);
+  EXPECT_EQ(m0.id, 0u);
+  EXPECT_EQ(m1.id, 1u);
+  EXPECT_EQ(store.num_messages(), 2u);
+  EXPECT_EQ(store.message(1).gen_time, 200);
+  EXPECT_FALSE(store.message(1).measured);
+}
+
+TEST(PacketStoreTest, PacketsInheritMessageProperties) {
+  PacketStore store;
+  const Message& msg = store.create_message(2, dest_bit(1) | dest_bit(4), 50,
+                                            true);
+  const Packet& pkt = store.create_packet(msg, dest_bit(1), 5);
+  EXPECT_EQ(pkt.message, msg.id);
+  EXPECT_EQ(pkt.src, 2u);
+  EXPECT_EQ(pkt.gen_time, 50);
+  EXPECT_TRUE(pkt.measured);
+  EXPECT_EQ(pkt.num_flits, 5u);
+  EXPECT_EQ(store.message(msg.id).num_packets, 1u);
+}
+
+TEST(PacketStoreTest, SerializedCopiesCountPackets) {
+  PacketStore store;
+  const Message& msg =
+      store.create_message(0, dest_bit(0) | dest_bit(1) | dest_bit(2), 0,
+                           false);
+  store.create_packet(msg, dest_bit(0), 5);
+  store.create_packet(msg, dest_bit(1), 5);
+  store.create_packet(msg, dest_bit(2), 5);
+  EXPECT_EQ(store.message(msg.id).num_packets, 3u);
+  EXPECT_EQ(store.num_packets(), 3u);
+}
+
+TEST(PacketStoreTest, ReferencesStableAcrossGrowth) {
+  PacketStore store;
+  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
+  const Packet& first = store.create_packet(msg, dest_bit(0), 1);
+  const Packet* first_addr = &first;
+  for (int i = 0; i < 10000; ++i) {
+    store.create_packet(msg, dest_bit(0), 1);
+  }
+  EXPECT_EQ(first_addr->id, 0u);  // still valid and unchanged
+}
+
+TEST(PacketTest, MulticastPredicate) {
+  PacketStore store;
+  const Message& msg = store.create_message(0, dest_bit(2) | dest_bit(7), 0,
+                                            false);
+  const Packet& uni = store.create_packet(msg, dest_bit(2), 5);
+  const Packet& multi = store.create_packet(msg, dest_bit(2) | dest_bit(7), 5);
+  EXPECT_FALSE(uni.is_multicast());
+  EXPECT_TRUE(multi.is_multicast());
+}
+
+TEST(FlitTest, MakeFlitKinds) {
+  PacketStore store;
+  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  EXPECT_EQ(make_flit(pkt, 0).kind, FlitKind::kHeader);
+  EXPECT_EQ(make_flit(pkt, 1).kind, FlitKind::kBody);
+  EXPECT_EQ(make_flit(pkt, 3).kind, FlitKind::kBody);
+  EXPECT_EQ(make_flit(pkt, 4).kind, FlitKind::kTail);
+}
+
+TEST(FlitTest, SingleFlitPacketClosesOnHeader) {
+  PacketStore store;
+  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, dest_bit(0), 1);
+  const Flit flit = make_flit(pkt, 0);
+  EXPECT_TRUE(flit.is_header());
+  EXPECT_FALSE(flit.is_tail());
+  EXPECT_TRUE(closes_packet(flit));
+}
+
+TEST(FlitTest, TailClosesPacket) {
+  PacketStore store;
+  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, dest_bit(0), 3);
+  EXPECT_FALSE(closes_packet(make_flit(pkt, 0)));
+  EXPECT_FALSE(closes_packet(make_flit(pkt, 1)));
+  EXPECT_TRUE(closes_packet(make_flit(pkt, 2)));
+}
+
+TEST(DestBitTest, MaskHelpers) {
+  EXPECT_EQ(dest_bit(0), 1ull);
+  EXPECT_EQ(dest_bit(5), 32ull);
+  EXPECT_EQ(dest_bit(63), 1ull << 63);
+}
+
+}  // namespace
+}  // namespace specnoc::noc

@@ -1,0 +1,91 @@
+#include "nodes/characteristics.h"
+
+#include <gtest/gtest.h>
+
+namespace specnoc::nodes {
+namespace {
+
+TEST(CharacteristicsTest, PaperValues) {
+  const auto& baseline =
+      default_characteristics(noc::NodeKind::kFanoutBaseline);
+  EXPECT_DOUBLE_EQ(baseline.area_um2, 342.0);
+  EXPECT_EQ(baseline.fwd_header, 263);
+
+  const auto& spec = default_characteristics(noc::NodeKind::kFanoutSpeculative);
+  EXPECT_DOUBLE_EQ(spec.area_um2, 247.0);
+  EXPECT_EQ(spec.fwd_header, 52);
+
+  const auto& nonspec =
+      default_characteristics(noc::NodeKind::kFanoutNonSpeculative);
+  EXPECT_DOUBLE_EQ(nonspec.area_um2, 406.0);
+  EXPECT_EQ(nonspec.fwd_header, 299);
+
+  const auto& opt_spec =
+      default_characteristics(noc::NodeKind::kFanoutOptSpeculative);
+  EXPECT_DOUBLE_EQ(opt_spec.area_um2, 373.0);
+  EXPECT_EQ(opt_spec.fwd_header, 120);
+
+  const auto& opt_nonspec =
+      default_characteristics(noc::NodeKind::kFanoutOptNonSpeculative);
+  EXPECT_DOUBLE_EQ(opt_nonspec.area_um2, 366.0);
+  EXPECT_EQ(opt_nonspec.fwd_header, 279);
+  // Fast-forward path is faster than the header path.
+  EXPECT_LT(opt_nonspec.fwd_body, opt_nonspec.fwd_header);
+}
+
+TEST(CharacteristicsTest, ThrottlePathIsFastForMulticastDesigns) {
+  EXPECT_LT(default_characteristics(noc::NodeKind::kFanoutNonSpeculative)
+                .throttle_latency,
+            default_characteristics(noc::NodeKind::kFanoutNonSpeculative)
+                .fwd_header);
+  EXPECT_LT(default_characteristics(noc::NodeKind::kFanoutOptNonSpeculative)
+                .throttle_latency,
+            default_characteristics(noc::NodeKind::kFanoutOptNonSpeculative)
+                .fwd_header);
+}
+
+TEST(CharacteristicsTest, DefaultsAreAsynchronous) {
+  for (const auto kind :
+       {noc::NodeKind::kFanoutBaseline, noc::NodeKind::kFanoutSpeculative,
+        noc::NodeKind::kFanoutNonSpeculative, noc::NodeKind::kFanin}) {
+    EXPECT_EQ(default_characteristics(kind).clock_period, 0);
+  }
+}
+
+TEST(DisciplinedDelayTest, AsynchronousIsIdentity) {
+  EXPECT_EQ(disciplined_delay(0, 0, 0), 0);
+  EXPECT_EQ(disciplined_delay(299, 0, 12345), 299);
+}
+
+TEST(DisciplinedDelayTest, SynchronousRoundsUpToClockEdge) {
+  // now=0, raw=299, period=500 -> completes at first edge >= 299 = 500.
+  EXPECT_EQ(disciplined_delay(299, 500, 0), 500);
+  // now=0, raw=500 lands exactly on an edge.
+  EXPECT_EQ(disciplined_delay(500, 500, 0), 500);
+  // now=0, raw=501 -> 1000.
+  EXPECT_EQ(disciplined_delay(501, 500, 0), 1000);
+}
+
+TEST(DisciplinedDelayTest, PhaseRelativeToAbsoluteTime) {
+  // now=300, raw=100 -> ready at 400, next edge 500 -> delay 200.
+  EXPECT_EQ(disciplined_delay(100, 500, 300), 200);
+  // now=500 (on an edge), raw=100 -> edge 1000 -> delay 500.
+  EXPECT_EQ(disciplined_delay(100, 500, 500), 500);
+  // raw=0 at an edge stays at the edge.
+  EXPECT_EQ(disciplined_delay(0, 500, 1000), 0);
+  // raw=0 off-edge waits for the edge.
+  EXPECT_EQ(disciplined_delay(0, 500, 1001), 499);
+}
+
+TEST(DisciplinedDelayTest, NeverShorterThanRaw) {
+  for (TimePs raw : {0, 1, 52, 299, 750}) {
+    for (TimePs period : {0, 100, 400, 1000}) {
+      for (TimePs now : {0, 37, 400, 999}) {
+        EXPECT_GE(disciplined_delay(raw, period, now), raw);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace specnoc::nodes

@@ -1,0 +1,102 @@
+#include "sim/scheduler.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace specnoc::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(10, [&] { order.push_back(2); });
+  s.schedule(10, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, HandlersCanScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<TimePs> fire_times;
+  s.schedule(5, [&] {
+    fire_times.push_back(s.now());
+    s.schedule(5, [&] { fire_times.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(fire_times, (std::vector<TimePs>{5, 10}));
+}
+
+TEST(SchedulerTest, ZeroDelayFiresAtSameTimeAfterCurrent) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(10, [&] {
+    order.push_back(1);
+    s.schedule(0, [&] { order.push_back(2); });
+  });
+  s.schedule(10, [&] { order.push_back(3); });
+  s.run();
+  // The zero-delay event was inserted after event 3, so fires after it.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(s.now(), 10);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockExactly) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule(50, [&] { ++fired; });
+  s.schedule(150, [&] { ++fired; });
+  s.run_until(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 100);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(150);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, RunUntilIncludesBoundary) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule(100, [&] { ++fired; });
+  s.run_until(100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) {
+    s.schedule(i, [] {});
+  }
+  s.run();
+  EXPECT_EQ(s.executed(), 7u);
+}
+
+TEST(SchedulerTest, ScheduleAtAbsoluteTime) {
+  Scheduler s;
+  TimePs seen = -1;
+  s.schedule(10, [&] { s.schedule_at(25, [&] { seen = s.now(); }); });
+  s.run();
+  EXPECT_EQ(seen, 25);
+}
+
+}  // namespace
+}  // namespace specnoc::sim

@@ -1,0 +1,103 @@
+#include "stats/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mot_network.h"
+
+namespace specnoc::stats {
+namespace {
+
+using core::Architecture;
+using noc::dest_bit;
+
+TEST(TrafficRecorderTest, MeasuresUnicastLatency) {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kOptNonSpeculative, cfg);
+  TrafficRecorder rec(net.net().packets());
+  net.net().hooks().traffic = &rec;
+  net.send_message(0, dest_bit(4), true);
+  net.scheduler().run();
+  ASSERT_EQ(rec.measured_latencies().size(), 1u);
+  EXPECT_GT(rec.measured_latencies()[0], 0);
+  EXPECT_EQ(rec.pending_measured(), 0u);
+  EXPECT_DOUBLE_EQ(rec.mean_latency_ps(),
+                   static_cast<double>(rec.measured_latencies()[0]));
+}
+
+TEST(TrafficRecorderTest, MulticastCompletesOnLastHeader) {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kOptHybridSpeculative, cfg);
+  TrafficRecorder rec(net.net().packets());
+  net.net().hooks().traffic = &rec;
+  net.send_message(1, dest_bit(0) | dest_bit(7), true);
+  net.scheduler().run();
+  ASSERT_EQ(rec.measured_latencies().size(), 1u);
+  EXPECT_EQ(rec.completed_measured(), 1u);
+}
+
+TEST(TrafficRecorderTest, SerialMulticastLatencyIsLastCopy) {
+  // On the Baseline, the message completes only when the last serialized
+  // unicast copy's header arrives — much later than the first.
+  core::NetworkConfig cfg;
+  auto latency_for = [&](Architecture arch, noc::DestMask dests) {
+    core::MotNetwork net(arch, cfg);
+    TrafficRecorder rec(net.net().packets());
+    net.net().hooks().traffic = &rec;
+    net.send_message(0, dests, true);
+    net.scheduler().run();
+    return rec.mean_latency_ps();
+  };
+  const auto uni = latency_for(Architecture::kBaseline, dest_bit(3));
+  const auto multi = latency_for(Architecture::kBaseline,
+                                 0xFF);  // broadcast, 8 serial copies
+  EXPECT_GT(multi, 2 * uni);
+  // The parallel network's broadcast is barely slower than its unicast.
+  const auto par_multi =
+      latency_for(Architecture::kBasicNonSpeculative, 0xFF);
+  EXPECT_LT(par_multi, multi);
+}
+
+TEST(TrafficRecorderTest, UnmeasuredMessagesIgnored) {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kOptNonSpeculative, cfg);
+  TrafficRecorder rec(net.net().packets());
+  net.net().hooks().traffic = &rec;
+  net.send_message(0, dest_bit(1), false);
+  net.scheduler().run();
+  EXPECT_EQ(rec.measured_latencies().size(), 0u);
+  EXPECT_EQ(rec.pending_measured(), 0u);
+  EXPECT_DOUBLE_EQ(rec.mean_latency_ps(), 0.0);
+  EXPECT_EQ(rec.max_latency_ps(), 0);
+}
+
+TEST(TrafficRecorderTest, WindowCountsFlits) {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kOptNonSpeculative, cfg);
+  TrafficRecorder rec(net.net().packets());
+  net.net().hooks().traffic = &rec;
+  rec.open_window(0);
+  net.send_message(0, dest_bit(1), false);
+  net.send_message(2, dest_bit(3) | dest_bit(5), false);  // 2 copies out
+  net.scheduler().run();
+  rec.close_window(net.scheduler().now());
+  // Injected: 2 packets x 5 flits. Delivered: 5 + 2*5.
+  EXPECT_EQ(rec.window_flits_injected(), 10u);
+  EXPECT_EQ(rec.window_flits_ejected(), 15u);
+  EXPECT_GT(rec.delivered_flits_per_ns(8), 0.0);
+  EXPECT_GT(rec.window_duration(), 0);
+}
+
+TEST(TrafficRecorderTest, MaxLatencyTracksWorstMessage) {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kBaseline, cfg);
+  TrafficRecorder rec(net.net().packets());
+  net.net().hooks().traffic = &rec;
+  net.send_message(0, dest_bit(1), true);
+  net.send_message(3, 0xFF, true);  // serialized broadcast, slow
+  net.scheduler().run();
+  ASSERT_EQ(rec.completed_measured(), 2u);
+  EXPECT_GT(rec.max_latency_ps(), rec.measured_latencies()[0]);
+}
+
+}  // namespace
+}  // namespace specnoc::stats

@@ -1,0 +1,93 @@
+#include "stats/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/mot_network.h"
+
+namespace specnoc::stats {
+namespace {
+
+using core::Architecture;
+using noc::dest_bit;
+
+std::size_t count_lines_with(const std::string& text,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.find(needle) != std::string::npos) ++count;
+  }
+  return count;
+}
+
+TEST(FlitTracerTest, WritesHeaderRow) {
+  std::ostringstream out;
+  FlitTracer tracer(out);
+  EXPECT_EQ(out.str(), "time_ps,event,subject,packet,src,detail\n");
+  EXPECT_EQ(tracer.rows_written(), 0u);
+}
+
+TEST(FlitTracerTest, TracesInjectionsAndEjections) {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kOptHybridSpeculative, cfg);
+  std::ostringstream out;
+  FlitTracer tracer(out);
+  net.net().hooks().traffic = &tracer;
+  net.send_message(2, dest_bit(5) | dest_bit(6), false);
+  net.scheduler().run();
+
+  const std::string text = out.str();
+  EXPECT_EQ(count_lines_with(text, "inject"), 1u);
+  EXPECT_EQ(count_lines_with(text, "multicast"), 1u);
+  // 5 flits to each of 2 destinations.
+  EXPECT_EQ(count_lines_with(text, "eject"), 10u);
+  EXPECT_EQ(count_lines_with(text, ",header"), 2u);
+  EXPECT_EQ(count_lines_with(text, ",tail"), 2u);
+  EXPECT_EQ(tracer.rows_written(), 11u);
+}
+
+TEST(FlitTracerTest, NodeOpsAndChannelsBehindFilter) {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kBasicNonSpeculative, cfg);
+  std::ostringstream out;
+  TraceFilter filter;
+  filter.node_ops = true;
+  filter.channel_flits = true;
+  FlitTracer tracer(out, filter);
+  net.net().hooks().traffic = &tracer;
+  net.net().hooks().energy = &tracer;
+  net.send_message(0, dest_bit(3), false);
+  net.scheduler().run();
+
+  const std::string text = out.str();
+  // A unicast crosses 3 fanout + 3 fanin switches plus NIs.
+  EXPECT_GT(count_lines_with(text, "node_op"), 20u);
+  EXPECT_GT(count_lines_with(text, "channel"), 20u);
+  EXPECT_EQ(count_lines_with(text, "route_forward"), 15u);  // 5 flits x 3
+}
+
+TEST(FlitTracerTest, FilterSuppressesClasses) {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kBaseline, cfg);
+  std::ostringstream out;
+  TraceFilter filter;
+  filter.injections = false;
+  filter.ejections = false;
+  FlitTracer tracer(out, filter);
+  net.net().hooks().traffic = &tracer;
+  net.send_message(0, dest_bit(1), false);
+  net.scheduler().run();
+  EXPECT_EQ(tracer.rows_written(), 0u);
+}
+
+TEST(FlitKindNamesTest, Names) {
+  EXPECT_STREQ(to_string(noc::FlitKind::kHeader), "header");
+  EXPECT_STREQ(to_string(noc::FlitKind::kBody), "body");
+  EXPECT_STREQ(to_string(noc::FlitKind::kTail), "tail");
+}
+
+}  // namespace
+}  // namespace specnoc::stats

@@ -1,0 +1,82 @@
+#include "traffic/benchmark.h"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace specnoc::traffic {
+namespace {
+
+TEST(BenchmarkTest, NamesMatchPaper) {
+  EXPECT_STREQ(to_string(BenchmarkId::kUniformRandom), "UniformRandom");
+  EXPECT_STREQ(to_string(BenchmarkId::kShuffle), "Shuffle");
+  EXPECT_STREQ(to_string(BenchmarkId::kHotspot), "Hotspot");
+  EXPECT_STREQ(to_string(BenchmarkId::kMulticast5), "Multicast5");
+  EXPECT_STREQ(to_string(BenchmarkId::kMulticast10), "Multicast10");
+  EXPECT_STREQ(to_string(BenchmarkId::kMulticastStatic), "Multicast_static");
+}
+
+TEST(BenchmarkTest, Groups) {
+  EXPECT_EQ(all_benchmarks().size(), 6u);
+  EXPECT_EQ(unicast_benchmarks().size(), 3u);
+  EXPECT_EQ(multicast_benchmarks().size(), 3u);
+  EXPECT_FALSE(is_multicast_benchmark(BenchmarkId::kUniformRandom));
+  EXPECT_TRUE(is_multicast_benchmark(BenchmarkId::kMulticast5));
+  EXPECT_TRUE(is_multicast_benchmark(BenchmarkId::kMulticastStatic));
+}
+
+TEST(BenchmarkTest, FactoryProducesWorkingPatterns) {
+  Rng rng(1);
+  for (const auto id : all_benchmarks()) {
+    auto p = make_benchmark(id, 8);
+    ASSERT_NE(p, nullptr);
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      const auto dests = p->next_dests(s, rng);
+      EXPECT_NE(dests, 0u);
+      EXPECT_LT(dests, 1u << 8);
+    }
+  }
+}
+
+TEST(BenchmarkTest, BenchmarksScaleTo16) {
+  Rng rng(2);
+  for (const auto id : all_benchmarks()) {
+    auto p = make_benchmark(id, 16);
+    const auto dests = p->next_dests(5, rng);
+    EXPECT_NE(dests, 0u);
+    EXPECT_LT(dests, 1u << 16);
+  }
+}
+
+TEST(BenchmarkTest, FromStringRoundTrip) {
+  for (const auto id : all_benchmarks()) {
+    EXPECT_EQ(benchmark_from_string(to_string(id)), id);
+  }
+  EXPECT_THROW(benchmark_from_string("NotABenchmark"), ConfigError);
+}
+
+TEST(BenchmarkTest, DefaultWindowsFollowPaper) {
+  using namespace specnoc::literals;
+  const auto uniform = default_windows(BenchmarkId::kUniformRandom);
+  EXPECT_EQ(uniform.warmup, 320_ns);
+  EXPECT_EQ(uniform.measure, 3200_ns);
+  const auto stat = default_windows(BenchmarkId::kMulticastStatic);
+  EXPECT_EQ(stat.warmup, 640_ns);
+  EXPECT_EQ(stat.measure, 6400_ns);
+}
+
+TEST(BenchmarkTest, Multicast5FractionRoughly5Percent) {
+  auto p = make_benchmark(BenchmarkId::kMulticast5, 8);
+  Rng rng(3);
+  int multi = 0;
+  const int samples = 40000;
+  for (int i = 0; i < samples; ++i) {
+    if (std::popcount(p->next_dests(0, rng)) > 1) ++multi;
+  }
+  EXPECT_NEAR(static_cast<double>(multi) / samples, 0.05, 0.006);
+}
+
+}  // namespace
+}  // namespace specnoc::traffic

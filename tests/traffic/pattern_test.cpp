@@ -1,0 +1,180 @@
+#include "traffic/pattern.h"
+
+#include <bit>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace specnoc::traffic {
+namespace {
+
+TEST(UniformRandomTest, SingleDestInRange) {
+  auto p = make_uniform_random(8);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto dests = p->next_dests(0, rng);
+    EXPECT_EQ(std::popcount(dests), 1);
+    EXPECT_LT(dests, 1u << 8);
+  }
+}
+
+TEST(UniformRandomTest, CoversAllDestinations) {
+  auto p = make_uniform_random(8);
+  Rng rng(2);
+  std::map<noc::DestMask, int> counts;
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[p->next_dests(3, rng)];
+  }
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [mask, count] : counts) {
+    EXPECT_GT(count, 700);  // ~1000 each
+    EXPECT_LT(count, 1300);
+  }
+}
+
+TEST(ShuffleTest, FixedPermutation8) {
+  auto p = make_shuffle(8);
+  Rng rng(1);
+  // dst = rotl3(src): 0->0, 1->2, 2->4, 3->6, 4->1, 5->3, 6->5, 7->7.
+  const std::uint32_t expected[] = {0, 2, 4, 6, 1, 3, 5, 7};
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(p->next_dests(s, rng), noc::dest_bit(expected[s]));
+  }
+}
+
+TEST(ShuffleTest, IsPermutationForAllSizes) {
+  for (std::uint32_t n : {4u, 8u, 16u, 32u}) {
+    auto p = make_shuffle(n);
+    Rng rng(1);
+    noc::DestMask seen = 0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      seen |= p->next_dests(s, rng);
+    }
+    EXPECT_EQ(std::popcount(seen), static_cast<int>(n));
+  }
+}
+
+TEST(BitReverseTest, FixedMapping) {
+  auto p = make_bit_reverse(8);
+  Rng rng(1);
+  EXPECT_EQ(p->next_dests(1, rng), noc::dest_bit(4));
+  EXPECT_EQ(p->next_dests(3, rng), noc::dest_bit(6));
+}
+
+TEST(BitComplementTest, FixedMapping) {
+  auto p = make_bit_complement(8);
+  Rng rng(1);
+  EXPECT_EQ(p->next_dests(0, rng), noc::dest_bit(7));
+  EXPECT_EQ(p->next_dests(5, rng), noc::dest_bit(2));
+}
+
+TEST(TransposeTest, FixedMapping16) {
+  auto p = make_transpose(16);
+  Rng rng(1);
+  // 16 nodes = 4 bits; (x,y) -> (y,x): 0b0110 (1,2) -> 0b1001 (2,1).
+  EXPECT_EQ(p->next_dests(0b0110, rng), noc::dest_bit(0b1001));
+  EXPECT_EQ(p->next_dests(0b0000, rng), noc::dest_bit(0b0000));
+  EXPECT_EQ(p->next_dests(0b1111, rng), noc::dest_bit(0b1111));
+}
+
+TEST(TransposeTest, RequiresEvenBits) {
+  EXPECT_THROW(make_transpose(8), ConfigError);
+  EXPECT_THROW(make_transpose(32), ConfigError);
+  EXPECT_NO_THROW(make_transpose(4));
+  EXPECT_NO_THROW(make_transpose(64));
+}
+
+TEST(TransposeTest, IsInvolution) {
+  auto p = make_transpose(64);
+  Rng rng(1);
+  for (std::uint32_t s = 0; s < 64; ++s) {
+    const auto d = p->next_dests(s, rng);
+    const auto dest = static_cast<std::uint32_t>(std::countr_zero(d));
+    EXPECT_EQ(p->next_dests(dest, rng), noc::dest_bit(s));
+  }
+}
+
+TEST(HotspotTest, FractionGoesToHotDest) {
+  auto p = make_hotspot(8, 4, 0.7);
+  Rng rng(5);
+  int hot = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    if (p->next_dests(0, rng) == noc::dest_bit(4)) ++hot;
+  }
+  // 0.7 direct + 0.3 * 1/8 uniform spillover = 0.7375.
+  EXPECT_NEAR(static_cast<double>(hot) / samples, 0.7375, 0.02);
+}
+
+TEST(HotspotTest, RejectsBadConfig) {
+  EXPECT_THROW(make_hotspot(8, 9, 0.5), ConfigError);
+  EXPECT_THROW(make_hotspot(8, 0, 1.5), ConfigError);
+}
+
+TEST(MulticastMixTest, FractionOfMulticasts) {
+  auto p = make_multicast_mix(8, 0.10);
+  Rng rng(7);
+  int multicast = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    if (std::popcount(p->next_dests(2, rng)) > 1) ++multicast;
+  }
+  EXPECT_NEAR(static_cast<double>(multicast) / samples, 0.10, 0.01);
+}
+
+TEST(MulticastMixTest, SubsetSizesWithinBounds) {
+  auto p = make_multicast_mix(8, 1.0, 3, 5);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const int size = std::popcount(p->next_dests(0, rng));
+    EXPECT_GE(size, 3);
+    EXPECT_LE(size, 5);
+  }
+}
+
+TEST(MulticastMixTest, RejectsBadBounds) {
+  EXPECT_THROW(make_multicast_mix(8, 0.5, 0, 4), ConfigError);
+  EXPECT_THROW(make_multicast_mix(8, 0.5, 5, 4), ConfigError);
+  EXPECT_THROW(make_multicast_mix(8, 0.5, 2, 9), ConfigError);
+  EXPECT_THROW(make_multicast_mix(8, 1.5), ConfigError);
+}
+
+TEST(MulticastStaticTest, OnlyListedSourcesMulticast) {
+  auto p = make_multicast_static(8, {0, 3, 5});
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    for (std::uint32_t s : {0u, 3u, 5u}) {
+      EXPECT_GT(std::popcount(p->next_dests(s, rng)), 1);
+    }
+    for (std::uint32_t s : {1u, 2u, 4u, 6u, 7u}) {
+      EXPECT_EQ(std::popcount(p->next_dests(s, rng)), 1);
+    }
+  }
+}
+
+TEST(MulticastStaticTest, AllSourcesActive) {
+  auto p = make_multicast_static(8, {0, 3, 5});
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_TRUE(p->source_active(s));
+  }
+}
+
+TEST(PatternNamesTest, Names) {
+  EXPECT_EQ(make_uniform_random(8)->name(), "UniformRandom");
+  EXPECT_EQ(make_shuffle(8)->name(), "Shuffle");
+  EXPECT_EQ(make_hotspot(8, 0, 0.5)->name(), "Hotspot");
+  EXPECT_EQ(make_multicast_mix(8, 0.05)->name(), "Multicast5");
+  EXPECT_EQ(make_multicast_mix(8, 0.10)->name(), "Multicast10");
+  EXPECT_EQ(make_multicast_static(8, {0})->name(), "Multicast_static");
+}
+
+TEST(PatternRadixTest, RejectsBadRadix) {
+  EXPECT_THROW(make_uniform_random(0), ConfigError);
+  EXPECT_THROW(make_uniform_random(5), ConfigError);
+  EXPECT_THROW(make_shuffle(65), ConfigError);
+}
+
+}  // namespace
+}  // namespace specnoc::traffic

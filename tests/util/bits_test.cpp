@@ -1,0 +1,76 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace specnoc {
+namespace {
+
+TEST(BitsTest, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(63));
+}
+
+TEST(BitsTest, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(8), 3u);
+  EXPECT_EQ(log2_exact(64), 6u);
+}
+
+TEST(BitsTest, RotlShuffleOn3Bits) {
+  // The shuffle permutation for an 8-node network: dst = rotl(src, 3 bits).
+  EXPECT_EQ(rotl_bits(0b000, 3), 0b000u);
+  EXPECT_EQ(rotl_bits(0b001, 3), 0b010u);
+  EXPECT_EQ(rotl_bits(0b100, 3), 0b001u);
+  EXPECT_EQ(rotl_bits(0b101, 3), 0b011u);
+  EXPECT_EQ(rotl_bits(0b111, 3), 0b111u);
+}
+
+TEST(BitsTest, RotlIsPermutation) {
+  for (std::uint32_t bits : {2u, 3u, 4u, 6u}) {
+    const std::uint32_t n = 1u << bits;
+    std::vector<bool> seen(n, false);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const auto r = rotl_bits(v, bits);
+      ASSERT_LT(r, n);
+      EXPECT_FALSE(seen[r]);
+      seen[r] = true;
+    }
+  }
+}
+
+TEST(BitsTest, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0b1010, 4), 0b0101u);
+}
+
+TEST(BitsTest, ReverseIsInvolution) {
+  for (std::uint32_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 4), 4), v);
+  }
+}
+
+TEST(BitsTest, ComplementBits) {
+  EXPECT_EQ(complement_bits(0b000, 3), 0b111u);
+  EXPECT_EQ(complement_bits(0b101, 3), 0b010u);
+}
+
+TEST(BitsTest, TransposeBits) {
+  EXPECT_EQ(transpose_bits(0b0110, 4), 0b1001u);
+  EXPECT_EQ(transpose_bits(0b1100, 4), 0b0011u);
+  EXPECT_EQ(transpose_bits(0b110100, 6), 0b100110u);
+}
+
+TEST(BitsTest, TransposeIsInvolution) {
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(transpose_bits(transpose_bits(v, 6), 6), v);
+  }
+}
+
+}  // namespace
+}  // namespace specnoc

@@ -1,0 +1,131 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace specnoc {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 64ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformBelowOneIsZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_below(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(13);
+  const double mean = 250.0;
+  double sum = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    const double x = rng.exponential(mean);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / samples, mean, mean * 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRateApproximatelyCorrect) {
+  Rng rng(19);
+  int hits = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / samples, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(23);
+  for (std::uint32_t n : {1u, 5u, 8u, 64u}) {
+    for (std::uint32_t k = 0; k <= n; k += (n > 4 ? n / 4 : 1)) {
+      const auto sample = rng.sample_without_replacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::uint32_t> uniq(sample.begin(), sample.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (const auto v : sample) {
+        EXPECT_LT(v, n);
+      }
+    }
+  }
+}
+
+TEST(RngTest, SampleFullRangeIsPermutation) {
+  Rng rng(29);
+  auto sample = rng.sample_without_replacement(8, 8);
+  std::sort(sample.begin(), sample.end());
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(sample[i], i);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // Child stream should not equal the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace specnoc

@@ -1,0 +1,89 @@
+#include "util/summary_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace specnoc {
+namespace {
+
+TEST(SummaryStatsTest, EmptyMeanIsZero) {
+  SummaryStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(SummaryStatsTest, BasicMoments) {
+  SummaryStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  // Sample stddev of that classic set: sqrt(32/7).
+  EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SummaryStatsTest, PercentilesNearestRank) {
+  SummaryStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(stats.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(95.0), 95.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(100.0), 100.0);
+}
+
+TEST(SummaryStatsTest, PercentileSingleSample) {
+  SummaryStats stats;
+  stats.add(7.5);
+  EXPECT_DOUBLE_EQ(stats.percentile(1.0), 7.5);
+  EXPECT_DOUBLE_EQ(stats.percentile(99.0), 7.5);
+}
+
+TEST(SummaryStatsTest, InterleavedAddAndQuery) {
+  SummaryStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+  stats.add(9.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.percentile(50.0), 3.0);
+}
+
+TEST(SummaryStatsTest, UniformSamplesPercentileSanity) {
+  Rng rng(5);
+  SummaryStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(rng.uniform01());
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.percentile(50.0), 0.5, 0.02);
+  EXPECT_NEAR(stats.percentile(99.0), 0.99, 0.01);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(HistogramTest, BinningAndOverflow) {
+  Histogram h(0.0, 1.0, 4);  // bins [0,1) [1,2) [2,3) [3,4)
+  h.add(0.5);
+  h.add(1.0);
+  h.add(1.99);
+  h.add(3.5);
+  h.add(4.0);   // overflow
+  h.add(-1.0);  // clamps to first bin
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(2), 0u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lower_edge(2), 2.0);
+}
+
+}  // namespace
+}  // namespace specnoc

@@ -1,0 +1,34 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace specnoc {
+namespace {
+
+using namespace specnoc::literals;
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(5_ps, 5);
+  EXPECT_EQ(3_ns, 3000);
+  EXPECT_EQ(2_us, 2'000'000);
+}
+
+TEST(UnitsTest, PsToNs) {
+  EXPECT_DOUBLE_EQ(ps_to_ns(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ps_to_ns(0), 0.0);
+}
+
+TEST(UnitsTest, FlitsPerNs) {
+  // 100 flits over 50 ns = 2 flits/ns.
+  EXPECT_DOUBLE_EQ(flits_per_ns(100.0, 50_ns), 2.0);
+  EXPECT_DOUBLE_EQ(flits_per_ns(100.0, 0), 0.0);
+}
+
+TEST(UnitsTest, EnergyToPower) {
+  // 1000 fJ over 1 ns (1000 ps) = 1 mW.
+  EXPECT_DOUBLE_EQ(fj_over_ps_to_mw(1000.0, 1_ns), 1.0);
+  EXPECT_DOUBLE_EQ(fj_over_ps_to_mw(500.0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace specnoc
