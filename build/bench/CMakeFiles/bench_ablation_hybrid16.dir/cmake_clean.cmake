@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hybrid16.dir/bench_ablation_hybrid16.cpp.o"
+  "CMakeFiles/bench_ablation_hybrid16.dir/bench_ablation_hybrid16.cpp.o.d"
+  "bench_ablation_hybrid16"
+  "bench_ablation_hybrid16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hybrid16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

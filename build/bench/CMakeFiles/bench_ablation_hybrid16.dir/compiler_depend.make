@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_hybrid16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_addressing.dir/bench_addressing.cpp.o"
+  "CMakeFiles/bench_addressing.dir/bench_addressing.cpp.o.d"
+  "bench_addressing"
+  "bench_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_micro.dir/bench_kernel_micro.cpp.o"
+  "CMakeFiles/bench_kernel_micro.dir/bench_kernel_micro.cpp.o.d"
+  "bench_kernel_micro"
+  "bench_kernel_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_load_latency.dir/bench_load_latency.cpp.o"
+  "CMakeFiles/bench_load_latency.dir/bench_load_latency.cpp.o.d"
+  "bench_load_latency"
+  "bench_load_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_load_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mesh_comparison.dir/bench_mesh_comparison.cpp.o"
+  "CMakeFiles/bench_mesh_comparison.dir/bench_mesh_comparison.cpp.o.d"
+  "bench_mesh_comparison"
+  "bench_mesh_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesh_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

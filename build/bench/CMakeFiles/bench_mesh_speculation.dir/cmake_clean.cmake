@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mesh_speculation.dir/bench_mesh_speculation.cpp.o"
+  "CMakeFiles/bench_mesh_speculation.dir/bench_mesh_speculation.cpp.o.d"
+  "bench_mesh_speculation"
+  "bench_mesh_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mesh_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_node_level.dir/bench_node_level.cpp.o"
+  "CMakeFiles/bench_node_level.dir/bench_node_level.cpp.o.d"
+  "bench_node_level"
+  "bench_node_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_node_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_throughput.dir/bench_table1_throughput.cpp.o"
+  "CMakeFiles/bench_table1_throughput.dir/bench_table1_throughput.cpp.o.d"
+  "bench_table1_throughput"
+  "bench_table1_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

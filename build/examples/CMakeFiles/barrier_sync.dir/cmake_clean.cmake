@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_sync.dir/barrier_sync.cpp.o"
+  "CMakeFiles/barrier_sync.dir/barrier_sync.cpp.o.d"
+  "barrier_sync"
+  "barrier_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_coherence.dir/cache_coherence.cpp.o"
+  "CMakeFiles/cache_coherence.dir/cache_coherence.cpp.o.d"
+  "cache_coherence"
+  "cache_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_speculation.dir/mesh_speculation.cpp.o"
+  "CMakeFiles/mesh_speculation.dir/mesh_speculation.cpp.o.d"
+  "mesh_speculation"
+  "mesh_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mesh_speculation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_core.dir/architecture.cpp.o"
+  "CMakeFiles/specnoc_core.dir/architecture.cpp.o.d"
+  "CMakeFiles/specnoc_core.dir/mot_network.cpp.o"
+  "CMakeFiles/specnoc_core.dir/mot_network.cpp.o.d"
+  "CMakeFiles/specnoc_core.dir/speculation.cpp.o"
+  "CMakeFiles/specnoc_core.dir/speculation.cpp.o.d"
+  "libspecnoc_core.a"
+  "libspecnoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

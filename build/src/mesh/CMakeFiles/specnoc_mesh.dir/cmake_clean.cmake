@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_mesh.dir/mesh_network.cpp.o"
+  "CMakeFiles/specnoc_mesh.dir/mesh_network.cpp.o.d"
+  "CMakeFiles/specnoc_mesh.dir/mesh_router.cpp.o"
+  "CMakeFiles/specnoc_mesh.dir/mesh_router.cpp.o.d"
+  "CMakeFiles/specnoc_mesh.dir/mesh_topology.cpp.o"
+  "CMakeFiles/specnoc_mesh.dir/mesh_topology.cpp.o.d"
+  "libspecnoc_mesh.a"
+  "libspecnoc_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

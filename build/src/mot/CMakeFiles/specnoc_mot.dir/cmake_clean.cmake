@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_mot.dir/addressing.cpp.o"
+  "CMakeFiles/specnoc_mot.dir/addressing.cpp.o.d"
+  "CMakeFiles/specnoc_mot.dir/layout.cpp.o"
+  "CMakeFiles/specnoc_mot.dir/layout.cpp.o.d"
+  "CMakeFiles/specnoc_mot.dir/topology.cpp.o"
+  "CMakeFiles/specnoc_mot.dir/topology.cpp.o.d"
+  "libspecnoc_mot.a"
+  "libspecnoc_mot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_mot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

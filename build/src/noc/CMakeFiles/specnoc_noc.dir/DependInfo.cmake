@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/channel.cpp" "src/noc/CMakeFiles/specnoc_noc.dir/channel.cpp.o" "gcc" "src/noc/CMakeFiles/specnoc_noc.dir/channel.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/specnoc_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/specnoc_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/node.cpp" "src/noc/CMakeFiles/specnoc_noc.dir/node.cpp.o" "gcc" "src/noc/CMakeFiles/specnoc_noc.dir/node.cpp.o.d"
+  "/root/repo/src/noc/packet.cpp" "src/noc/CMakeFiles/specnoc_noc.dir/packet.cpp.o" "gcc" "src/noc/CMakeFiles/specnoc_noc.dir/packet.cpp.o.d"
+  "/root/repo/src/noc/sink.cpp" "src/noc/CMakeFiles/specnoc_noc.dir/sink.cpp.o" "gcc" "src/noc/CMakeFiles/specnoc_noc.dir/sink.cpp.o.d"
+  "/root/repo/src/noc/source.cpp" "src/noc/CMakeFiles/specnoc_noc.dir/source.cpp.o" "gcc" "src/noc/CMakeFiles/specnoc_noc.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/specnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specnoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

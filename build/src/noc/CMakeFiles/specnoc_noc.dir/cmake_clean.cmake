@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_noc.dir/channel.cpp.o"
+  "CMakeFiles/specnoc_noc.dir/channel.cpp.o.d"
+  "CMakeFiles/specnoc_noc.dir/network.cpp.o"
+  "CMakeFiles/specnoc_noc.dir/network.cpp.o.d"
+  "CMakeFiles/specnoc_noc.dir/node.cpp.o"
+  "CMakeFiles/specnoc_noc.dir/node.cpp.o.d"
+  "CMakeFiles/specnoc_noc.dir/packet.cpp.o"
+  "CMakeFiles/specnoc_noc.dir/packet.cpp.o.d"
+  "CMakeFiles/specnoc_noc.dir/sink.cpp.o"
+  "CMakeFiles/specnoc_noc.dir/sink.cpp.o.d"
+  "CMakeFiles/specnoc_noc.dir/source.cpp.o"
+  "CMakeFiles/specnoc_noc.dir/source.cpp.o.d"
+  "libspecnoc_noc.a"
+  "libspecnoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_nodes.dir/characteristics.cpp.o"
+  "CMakeFiles/specnoc_nodes.dir/characteristics.cpp.o.d"
+  "CMakeFiles/specnoc_nodes.dir/fanin_node.cpp.o"
+  "CMakeFiles/specnoc_nodes.dir/fanin_node.cpp.o.d"
+  "CMakeFiles/specnoc_nodes.dir/fanout_base.cpp.o"
+  "CMakeFiles/specnoc_nodes.dir/fanout_base.cpp.o.d"
+  "CMakeFiles/specnoc_nodes.dir/fanout_nodes.cpp.o"
+  "CMakeFiles/specnoc_nodes.dir/fanout_nodes.cpp.o.d"
+  "libspecnoc_nodes.a"
+  "libspecnoc_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/power_meter.cpp" "src/power/CMakeFiles/specnoc_power.dir/power_meter.cpp.o" "gcc" "src/power/CMakeFiles/specnoc_power.dir/power_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nodes/CMakeFiles/specnoc_nodes.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/specnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specnoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specnoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_power.dir/power_meter.cpp.o"
+  "CMakeFiles/specnoc_power.dir/power_meter.cpp.o.d"
+  "libspecnoc_power.a"
+  "libspecnoc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/specnoc_sim.dir/scheduler.cpp.o.d"
+  "libspecnoc_sim.a"
+  "libspecnoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

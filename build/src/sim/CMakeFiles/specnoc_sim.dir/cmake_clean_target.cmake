@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspecnoc_sim.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/experiment.cpp" "src/stats/CMakeFiles/specnoc_stats.dir/experiment.cpp.o" "gcc" "src/stats/CMakeFiles/specnoc_stats.dir/experiment.cpp.o.d"
+  "/root/repo/src/stats/recorder.cpp" "src/stats/CMakeFiles/specnoc_stats.dir/recorder.cpp.o" "gcc" "src/stats/CMakeFiles/specnoc_stats.dir/recorder.cpp.o.d"
+  "/root/repo/src/stats/trace.cpp" "src/stats/CMakeFiles/specnoc_stats.dir/trace.cpp.o" "gcc" "src/stats/CMakeFiles/specnoc_stats.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traffic/CMakeFiles/specnoc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/specnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/specnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specnoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nodes/CMakeFiles/specnoc_nodes.dir/DependInfo.cmake"
+  "/root/repo/build/src/mot/CMakeFiles/specnoc_mot.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/specnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specnoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

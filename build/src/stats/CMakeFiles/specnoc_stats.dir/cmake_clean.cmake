@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_stats.dir/experiment.cpp.o"
+  "CMakeFiles/specnoc_stats.dir/experiment.cpp.o.d"
+  "CMakeFiles/specnoc_stats.dir/recorder.cpp.o"
+  "CMakeFiles/specnoc_stats.dir/recorder.cpp.o.d"
+  "CMakeFiles/specnoc_stats.dir/trace.cpp.o"
+  "CMakeFiles/specnoc_stats.dir/trace.cpp.o.d"
+  "libspecnoc_stats.a"
+  "libspecnoc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/benchmark.cpp" "src/traffic/CMakeFiles/specnoc_traffic.dir/benchmark.cpp.o" "gcc" "src/traffic/CMakeFiles/specnoc_traffic.dir/benchmark.cpp.o.d"
+  "/root/repo/src/traffic/driver.cpp" "src/traffic/CMakeFiles/specnoc_traffic.dir/driver.cpp.o" "gcc" "src/traffic/CMakeFiles/specnoc_traffic.dir/driver.cpp.o.d"
+  "/root/repo/src/traffic/pattern.cpp" "src/traffic/CMakeFiles/specnoc_traffic.dir/pattern.cpp.o" "gcc" "src/traffic/CMakeFiles/specnoc_traffic.dir/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/specnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specnoc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specnoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_traffic.dir/benchmark.cpp.o"
+  "CMakeFiles/specnoc_traffic.dir/benchmark.cpp.o.d"
+  "CMakeFiles/specnoc_traffic.dir/driver.cpp.o"
+  "CMakeFiles/specnoc_traffic.dir/driver.cpp.o.d"
+  "CMakeFiles/specnoc_traffic.dir/pattern.cpp.o"
+  "CMakeFiles/specnoc_traffic.dir/pattern.cpp.o.d"
+  "libspecnoc_traffic.a"
+  "libspecnoc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specnoc_util.dir/log.cpp.o"
+  "CMakeFiles/specnoc_util.dir/log.cpp.o.d"
+  "CMakeFiles/specnoc_util.dir/rng.cpp.o"
+  "CMakeFiles/specnoc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/specnoc_util.dir/summary_stats.cpp.o"
+  "CMakeFiles/specnoc_util.dir/summary_stats.cpp.o.d"
+  "CMakeFiles/specnoc_util.dir/table.cpp.o"
+  "CMakeFiles/specnoc_util.dir/table.cpp.o.d"
+  "libspecnoc_util.a"
+  "libspecnoc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specnoc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/architecture_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/architecture_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/custom_network_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/custom_network_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/mot_network_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/mot_network_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/speculation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/speculation_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

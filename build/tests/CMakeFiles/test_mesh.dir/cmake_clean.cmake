@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh.dir/mesh/mesh_network_test.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/mesh_network_test.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/mesh_router_test.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/mesh_router_test.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/mesh_topology_test.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/mesh_topology_test.cpp.o.d"
+  "CMakeFiles/test_mesh.dir/mesh/spec_mesh_test.cpp.o"
+  "CMakeFiles/test_mesh.dir/mesh/spec_mesh_test.cpp.o.d"
+  "test_mesh"
+  "test_mesh.pdb"
+  "test_mesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

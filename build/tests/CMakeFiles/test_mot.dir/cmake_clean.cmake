@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mot.dir/mot/addressing_test.cpp.o"
+  "CMakeFiles/test_mot.dir/mot/addressing_test.cpp.o.d"
+  "CMakeFiles/test_mot.dir/mot/layout_test.cpp.o"
+  "CMakeFiles/test_mot.dir/mot/layout_test.cpp.o.d"
+  "CMakeFiles/test_mot.dir/mot/topology_test.cpp.o"
+  "CMakeFiles/test_mot.dir/mot/topology_test.cpp.o.d"
+  "test_mot"
+  "test_mot.pdb"
+  "test_mot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc.dir/noc/channel_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/channel_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/contract_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/contract_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/network_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/network_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/packet_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/packet_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/source_sink_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/source_sink_test.cpp.o.d"
+  "test_noc"
+  "test_noc.pdb"
+  "test_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

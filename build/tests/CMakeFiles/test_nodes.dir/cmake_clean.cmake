@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nodes.dir/nodes/characteristics_test.cpp.o"
+  "CMakeFiles/test_nodes.dir/nodes/characteristics_test.cpp.o.d"
+  "CMakeFiles/test_nodes.dir/nodes/fanin_node_test.cpp.o"
+  "CMakeFiles/test_nodes.dir/nodes/fanin_node_test.cpp.o.d"
+  "CMakeFiles/test_nodes.dir/nodes/fanout_node_test.cpp.o"
+  "CMakeFiles/test_nodes.dir/nodes/fanout_node_test.cpp.o.d"
+  "test_nodes"
+  "test_nodes.pdb"
+  "test_nodes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/experiment_test.cpp" "tests/CMakeFiles/test_stats.dir/stats/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/experiment_test.cpp.o.d"
+  "/root/repo/tests/stats/recorder_test.cpp" "tests/CMakeFiles/test_stats.dir/stats/recorder_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/recorder_test.cpp.o.d"
+  "/root/repo/tests/stats/trace_test.cpp" "tests/CMakeFiles/test_stats.dir/stats/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/stats/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/specnoc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/specnoc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/specnoc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mot/CMakeFiles/specnoc_mot.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/specnoc_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/specnoc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/nodes/CMakeFiles/specnoc_nodes.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/specnoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/specnoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/specnoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

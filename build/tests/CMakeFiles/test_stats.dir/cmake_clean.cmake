@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/experiment_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/experiment_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/recorder_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/recorder_test.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/trace_test.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/trace_test.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
