@@ -5,6 +5,13 @@
 // derived ratios. Absolute units differ from the paper's testbed (our
 // substrate is a calibrated simulator); the claims under reproduction are
 // the relative numbers.
+//
+// Grids run through stats::ExperimentRunner's batch APIs on a work-stealing
+// pool (--jobs N, default: hardware concurrency). Results are aggregated in
+// spec order, so the tables are byte-identical for any thread count;
+// --jobs 1 preserves the exact serial code path. Per-run telemetry (wall
+// time, scheduler events, retries) is available with --telemetry — kept off
+// the default output because wall times are inherently nondeterministic.
 #pragma once
 
 #include <cstdio>
@@ -13,7 +20,10 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "sim/parallel_runner.h"
+#include "stats/experiment.h"
 #include "util/table.h"
 
 namespace specnoc::bench {
@@ -21,6 +31,11 @@ namespace specnoc::bench {
 struct HarnessOptions {
   std::uint64_t seed = 42;
   std::string csv_path;  ///< optional --csv <path> to also dump CSV
+  /// Worker threads for experiment grids; 0 = hardware concurrency,
+  /// 1 = the exact serial code path.
+  unsigned jobs = 0;
+  /// Print the per-run telemetry table (wall ms / events / attempts).
+  bool telemetry = false;
 };
 
 inline HarnessOptions parse_args(int argc, char** argv) {
@@ -30,12 +45,28 @@ inline HarnessOptions parse_args(int argc, char** argv) {
       opts.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       opts.csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opts.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      opts.telemetry = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--seed N] [--csv path]\n", argv[0]);
+      std::printf(
+          "usage: %s [--seed N] [--csv path] [--jobs N] [--telemetry]\n"
+          "  --jobs N     run grid cells on N threads (0/default: hardware\n"
+          "               concurrency; 1: exact serial path). Output tables\n"
+          "               are byte-identical for any N.\n"
+          "  --telemetry  also print per-run wall time / events / attempts\n",
+          argv[0]);
       std::exit(0);
     }
   }
   return opts;
+}
+
+inline stats::BatchOptions batch_options(const HarnessOptions& opts) {
+  stats::BatchOptions batch;
+  batch.jobs = opts.jobs;
+  return batch;
 }
 
 inline void emit(const Table& table, const std::string& title,
@@ -52,5 +83,61 @@ inline void emit(const Table& table, const std::string& title,
 inline void note(const std::string& text) {
   std::cout << text << "\n";
 }
+
+/// Accumulates per-run telemetry rows; emitted only under --telemetry.
+/// A failed run shows its (truncated) error in place of numbers, so one bad
+/// cell is visible without poisoning the batch.
+class TelemetryTable {
+ public:
+  void add(const std::string& label, const sim::RunOutcome& run) {
+    rows_.push_back({label, run});
+    events_total_ += run.telemetry.events_executed;
+    wall_total_ms_ += run.telemetry.wall_ms;
+    if (!run.ok) ++failures_;
+  }
+
+  template <typename Outcome>
+  void add_all(const std::vector<Outcome>& outcomes) {
+    for (const auto& outcome : outcomes) {
+      add(std::string(core::to_string(outcome.spec.arch)) + "/" +
+              traffic::to_string(outcome.spec.bench),
+          outcome.run);
+    }
+  }
+
+  std::uint64_t failures() const { return failures_; }
+
+  void emit(const std::string& title, const HarnessOptions& opts) const {
+    if (!opts.telemetry) return;
+    Table table({"Run", "Status", "Attempts", "Events", "Wall (ms)"});
+    for (const auto& row : rows_) {
+      if (row.run.ok) {
+        table.add_row({row.label, "ok",
+                       std::to_string(row.run.telemetry.attempts),
+                       std::to_string(row.run.telemetry.events_executed),
+                       cell(row.run.telemetry.wall_ms, 1)});
+      } else {
+        table.add_row({row.label, "FAIL: " + row.run.error.substr(0, 40),
+                       std::to_string(row.run.telemetry.attempts), "-", "-"});
+      }
+    }
+    table.add_row({"total",
+                   failures_ == 0 ? "ok"
+                                  : std::to_string(failures_) + " failed",
+                   "-", std::to_string(events_total_),
+                   cell(wall_total_ms_, 1)});
+    bench::emit(table, title + " (per-run telemetry)", opts);
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    sim::RunOutcome run;
+  };
+  std::vector<Row> rows_;
+  std::uint64_t events_total_ = 0;
+  double wall_total_ms_ = 0.0;
+  std::uint64_t failures_ = 0;
+};
 
 }  // namespace specnoc::bench

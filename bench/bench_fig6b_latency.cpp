@@ -29,17 +29,48 @@ int main(int argc, char** argv) {
   const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
   core::NetworkConfig cfg;
   stats::ExperimentRunner runner(cfg, opts.seed);
+  const auto batch = specnoc::bench::batch_options(opts);
+  specnoc::bench::TelemetryTable telemetry;
+
+  // Same two-phase parallel grid as Figure 6(a): saturation points first,
+  // then the 25%-load latency runs, both keyed by spec for determinism.
+  std::vector<stats::SaturationSpec> sat_specs;
+  for (const auto arch : kRowOrder) {
+    for (const auto bench : traffic::all_benchmarks()) {
+      sat_specs.push_back({.arch = arch, .bench = bench, .seed = 0, .factory = {}});
+    }
+  }
+  const auto sat_outcomes = runner.run_saturation_grid(sat_specs, batch);
+  telemetry.add_all(sat_outcomes);
+
+  std::vector<stats::LatencySpec> lat_specs;
+  for (std::size_t i = 0; i < sat_specs.size(); ++i) {
+    const auto& sat = sat_outcomes[i].result;
+    lat_specs.push_back(
+        {.arch = sat_specs[i].arch,
+         .bench = sat_specs[i].bench,
+         .injected_flits_per_ns =
+             0.25 * sat.injected_flits_per_ns / sat.message_expansion,
+         .windows = traffic::default_windows(sat_specs[i].bench),
+         .seed = 0,
+         .factory = {}});
+  }
+  const auto lat_outcomes = runner.run_latency_sweep(lat_specs, batch);
+  telemetry.add_all(lat_outcomes);
 
   double lat[3][6] = {};
   Table table(header_row());
+  std::size_t cursor = 0;
   for (std::size_t r = 0; r < kRowOrder.size(); ++r) {
     std::vector<std::string> row{core::to_string(kRowOrder[r])};
     std::size_t c = 0;
-    for (const auto bench : traffic::all_benchmarks()) {
-      const auto result = runner.latency_at_fraction(kRowOrder[r], bench);
-      lat[r][c++] = result.mean_latency_ns;
-      row.push_back(cell(result.mean_latency_ns, 2) +
-                    (result.drained ? "" : "*"));
+    for ([[maybe_unused]] const auto bench : traffic::all_benchmarks()) {
+      const auto& outcome = lat_outcomes[cursor++];
+      lat[r][c++] = outcome.result.mean_latency_ns;
+      row.push_back(!outcome.run.ok
+                        ? "FAIL"
+                        : cell(outcome.result.mean_latency_ns, 2) +
+                              (outcome.result.drained ? "" : "*"));
     }
     table.add_row(std::move(row));
   }
@@ -67,5 +98,6 @@ int main(int argc, char** argv) {
   claims.add_row({"OptAllSpec vs OptHybrid", "8.7..12.0%", range(2, 1)});
   claims.add_row({"OptAllSpec vs OptNonSpec", "18.5..21.7%", range(2, 0)});
   specnoc::bench::emit(claims, "Figure 6(b) relative claims", opts);
-  return 0;
+  telemetry.emit("Figure 6(b) grid", opts);
+  return telemetry.failures() == 0 ? 0 : 1;
 }

@@ -19,23 +19,57 @@ int main(int argc, char** argv) {
   const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
   core::NetworkConfig cfg;
   stats::ExperimentRunner runner(cfg, opts.seed);
+  const auto batch = specnoc::bench::batch_options(opts);
+  specnoc::bench::TelemetryTable telemetry;
   const double fractions[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
   const traffic::SimWindows windows{.warmup = 300_ns, .measure = 2000_ns};
+  const auto benches = {traffic::BenchmarkId::kUniformRandom,
+                        traffic::BenchmarkId::kMulticast10};
 
-  for (const auto bench : {traffic::BenchmarkId::kUniformRandom,
-                           traffic::BenchmarkId::kMulticast10}) {
+  // Phase 1: saturation anchors for every (arch, bench). Phase 2: the full
+  // 54-run load sweep in one parallel batch, aggregated in spec order.
+  std::vector<stats::SaturationSpec> sat_specs;
+  for (const auto bench : benches) {
+    for (const auto arch : core::dse_architectures()) {
+      sat_specs.push_back({.arch = arch, .bench = bench, .seed = 0, .factory = {}});
+    }
+  }
+  const auto sat_outcomes = runner.run_saturation_grid(sat_specs, batch);
+  telemetry.add_all(sat_outcomes);
+
+  std::vector<stats::LatencySpec> lat_specs;
+  std::size_t anchor = 0;
+  for (const auto bench : benches) {
+    for (const double fraction : fractions) {
+      for (std::size_t a = 0; a < core::dse_architectures().size(); ++a) {
+        const auto& sat = sat_outcomes[anchor + a].result;
+        lat_specs.push_back(
+            {.arch = core::dse_architectures()[a],
+             .bench = bench,
+             .injected_flits_per_ns = fraction * sat.injected_flits_per_ns /
+                                      sat.message_expansion,
+             .windows = windows,
+             .seed = 0,
+             .factory = {}});
+      }
+    }
+    anchor += core::dse_architectures().size();
+  }
+  const auto lat_outcomes = runner.run_latency_sweep(lat_specs, batch);
+  telemetry.add_all(lat_outcomes);
+
+  std::size_t cursor = 0;
+  for (const auto bench : benches) {
     Table table({"Offered (x sat)", "OptNonSpec (ns)", "OptHybrid (ns)",
                  "OptAllSpec (ns)"});
     for (const double fraction : fractions) {
       std::vector<std::string> row{cell(fraction, 1)};
-      for (const auto arch : core::dse_architectures()) {
-        const auto& sat = runner.saturation(arch, bench);
-        const double commanded = fraction * sat.injected_flits_per_ns /
-                                 sat.message_expansion;
-        const auto result =
-            runner.measure_latency(arch, bench, commanded, windows);
-        row.push_back(cell(result.mean_latency_ns, 2) +
-                      (result.drained ? "" : "*"));
+      for (std::size_t a = 0; a < core::dse_architectures().size(); ++a) {
+        const auto& outcome = lat_outcomes[cursor++];
+        row.push_back(!outcome.run.ok
+                          ? "FAIL"
+                          : cell(outcome.result.mean_latency_ns, 2) +
+                                (outcome.result.drained ? "" : "*"));
       }
       table.add_row(std::move(row));
     }
@@ -45,5 +79,6 @@ int main(int argc, char** argv) {
                              " ('*' = undrained/saturated)",
                          opts);
   }
-  return 0;
+  telemetry.emit("Load-latency sweep", opts);
+  return telemetry.failures() == 0 ? 0 : 1;
 }

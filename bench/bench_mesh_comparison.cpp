@@ -110,18 +110,40 @@ int main(int argc, char** argv) {
       traffic::BenchmarkId::kMulticastStatic,
   };
 
+  // The 12 (network, benchmark) cells are independent simulations; run them
+  // on the work-stealing pool and collect results keyed by cell index.
+  constexpr std::size_t kNumRows = std::size(rows);
+  constexpr std::size_t kNumBenches = std::size(benches);
+  Measured grid[kNumRows][kNumBenches] = {};
+  const sim::ParallelRunner pool({.jobs = opts.jobs});
+  const auto runs =
+      pool.run(kNumRows * kNumBenches, [&](std::size_t index) {
+        const auto& row = rows[index / kNumBenches];
+        const auto bench = benches[index % kNumBenches];
+        auto sat_net = row.make();
+        auto lat_net = row.make();
+        grid[index / kNumBenches][index % kNumBenches] =
+            measure(*sat_net, *lat_net, bench, opts.seed);
+        return sat_net->net().scheduler().executed() +
+               lat_net->net().scheduler().executed();
+      });
+  specnoc::bench::TelemetryTable telemetry;
+  for (std::size_t index = 0; index < runs.size(); ++index) {
+    telemetry.add(std::string(rows[index / kNumBenches].name) + "/" +
+                      traffic::to_string(benches[index % kNumBenches]),
+                  runs[index]);
+  }
+
   Table sat({"Network", "Uniform sat", "Mcast10 sat", "Mcast_static sat"});
   Table lat({"Network", "Uniform lat (ns)", "Mcast10 lat (ns)",
              "Mcast_static lat (ns)"});
-  for (const auto& row : rows) {
-    std::vector<std::string> sat_row{row.name};
-    std::vector<std::string> lat_row{row.name};
-    for (const auto bench : benches) {
-      auto sat_net = row.make();
-      auto lat_net = row.make();
-      const auto m = measure(*sat_net, *lat_net, bench, opts.seed);
-      sat_row.push_back(cell(m.saturation, 2));
-      lat_row.push_back(cell(m.latency_ns, 2));
+  for (std::size_t r = 0; r < kNumRows; ++r) {
+    std::vector<std::string> sat_row{rows[r].name};
+    std::vector<std::string> lat_row{rows[r].name};
+    for (std::size_t b = 0; b < kNumBenches; ++b) {
+      const bool ok = runs[r * kNumBenches + b].ok;
+      sat_row.push_back(ok ? cell(grid[r][b].saturation, 2) : "FAIL");
+      lat_row.push_back(ok ? cell(grid[r][b].latency_ns, 2) : "FAIL");
     }
     sat.add_row(std::move(sat_row));
     lat.add_row(std::move(lat_row));
@@ -148,5 +170,6 @@ int main(int argc, char** argv) {
       "The MoT's constant log-depth paths give it flat latency and high "
       "multicast saturation; the mesh wins on switch area at this size but "
       "pays distance-dependent latency and serializes at hot rows/columns.");
-  return 0;
+  telemetry.emit("MoT vs mesh grid", opts);
+  return telemetry.failures() == 0 ? 0 : 1;
 }

@@ -51,18 +51,50 @@ int main(int argc, char** argv) {
   const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
   core::NetworkConfig cfg;
   stats::ExperimentRunner runner(cfg, opts.seed);
+  const auto batch = specnoc::bench::batch_options(opts);
+  specnoc::bench::TelemetryTable telemetry;
+
+  // Phase 1: the Baseline's saturation per benchmark fixes the common
+  // offered load. Phase 2: every architecture's power run at that load.
+  std::vector<stats::SaturationSpec> sat_specs;
+  for (const auto bench : kBenchmarks) {
+    sat_specs.push_back({.arch = core::Architecture::kBaseline,
+                         .bench = bench,
+                         .seed = 0,
+                         .factory = {}});
+  }
+  const auto sat_outcomes = runner.run_saturation_grid(sat_specs, batch);
+  telemetry.add_all(sat_outcomes);
+
+  std::vector<stats::PowerSpec> power_specs;
+  for (const auto arch : kRowOrder) {
+    for (std::size_t c = 0; c < kBenchmarks.size(); ++c) {
+      const auto& baseline_sat = sat_outcomes[c].result;
+      power_specs.push_back(
+          {.arch = arch,
+           .bench = kBenchmarks[c],
+           .injected_flits_per_ns = 0.25 * baseline_sat.injected_flits_per_ns /
+                                    baseline_sat.message_expansion,
+           .windows = traffic::default_windows(kBenchmarks[c]),
+           .seed = 0,
+           .factory = {}});
+    }
+  }
+  const auto power_outcomes = runner.run_power_sweep(power_specs, batch);
+  telemetry.add_all(power_outcomes);
 
   double measured[6][4] = {};
   Table table(header_row());
   Table reference(header_row());
+  std::size_t cursor = 0;
   for (std::size_t r = 0; r < kRowOrder.size(); ++r) {
     const auto arch = kRowOrder[r];
     std::vector<std::string> row{core::to_string(arch)};
     std::vector<std::string> ref{core::to_string(arch)};
     for (std::size_t c = 0; c < kBenchmarks.size(); ++c) {
-      measured[r][c] =
-          runner.power_at_baseline_fraction(arch, kBenchmarks[c]).power_mw;
-      row.push_back(cell(measured[r][c], 1));
+      const auto& outcome = power_outcomes[cursor++];
+      measured[r][c] = outcome.result.power_mw;
+      row.push_back(outcome.run.ok ? cell(measured[r][c], 1) : "FAIL");
       ref.push_back(cell(kPaper[r][c], 1));
     }
     table.add_row(std::move(row));
@@ -95,5 +127,6 @@ int main(int argc, char** argv) {
   claims.add_row({"OptAllSpec over OptNonSpec", "+14.7..22.9%",
                   percent_cell(rel(5, 3, 0)), percent_cell(rel(5, 3, 3))});
   specnoc::bench::emit(claims, "Relative power claims", opts);
-  return 0;
+  telemetry.emit("Table 1 power grid", opts);
+  return telemetry.failures() == 0 ? 0 : 1;
 }

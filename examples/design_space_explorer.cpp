@@ -8,10 +8,16 @@
 // latency improvement per percent of power overhead, relative to the
 // non-speculative design.
 //
-//   $ ./examples/design_space_explorer [n=16]
+//   $ ./examples/design_space_explorer [n=16] [--jobs N]
+//
+// Every design point is three independent simulations (saturation anchor,
+// latency, power); the sweep batches them on the work-stealing parallel
+// runner. Results are keyed by design point, so the ranking is identical
+// for any --jobs value (--jobs 1 is the serial path).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -34,8 +40,16 @@ struct DesignPoint {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint32_t n =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 16;
+  std::uint32_t n = 16;
+  stats::BatchOptions batch;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      batch.jobs =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      n = static_cast<std::uint32_t>(std::atoi(argv[i]));
+    }
+  }
 
   core::NetworkConfig config;
   config.n = n;
@@ -48,6 +62,7 @@ int main(int argc, char** argv) {
               traffic::to_string(bench));
 
   std::vector<DesignPoint> points;
+  std::vector<stats::SaturationSpec> sat_specs;
   const std::uint32_t free_levels = topology.levels() - 1;
   for (std::uint32_t bits = 0; bits < (1u << free_levels); ++bits) {
     std::vector<std::uint32_t> levels;
@@ -62,22 +77,54 @@ int main(int argc, char** argv) {
     label += "}";
 
     const auto spec = core::SpeculationMap::from_levels(topology, levels);
-    stats::NetworkFactory factory = [&config, spec] {
-      return std::make_unique<core::MotNetwork>(config, spec);
-    };
-    const auto sat = runner.run_saturation(factory, bench);
-    const double rate = 0.25 * sat.injected_flits_per_ns;
-    const auto latency = runner.measure_latency(factory, bench, rate, windows);
-    const auto power = runner.measure_power(factory, bench, rate, windows);
-
     DesignPoint point;
     point.label = label;
     point.local = spec.is_local();
     point.addr_bits =
         mot::SourceRouteEncoder(topology, spec.flags()).address_bits();
-    point.latency_ns = latency.mean_latency_ns;
-    point.power_mw = power.power_mw;
     points.push_back(point);
+    sat_specs.push_back({.arch = core::Architecture::kCustomHybrid,
+                         .bench = bench,
+                         .seed = 0,
+                         .factory = [config, spec] {
+                           return std::make_unique<core::MotNetwork>(config,
+                                                                     spec);
+                         }});
+  }
+
+  // Phase 1: each point's saturation anchor. Phase 2: latency and power at
+  // 25% of it, batched across all points.
+  const auto sat_outcomes = runner.run_saturation_grid(sat_specs, batch);
+  std::vector<stats::LatencySpec> lat_specs;
+  std::vector<stats::PowerSpec> power_specs;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double rate = 0.25 * sat_outcomes[i].result.injected_flits_per_ns;
+    lat_specs.push_back({.arch = core::Architecture::kCustomHybrid,
+                         .bench = bench,
+                         .injected_flits_per_ns = rate,
+                         .windows = windows,
+                         .seed = 0,
+                         .factory = sat_specs[i].factory});
+    power_specs.push_back({.arch = core::Architecture::kCustomHybrid,
+                           .bench = bench,
+                           .injected_flits_per_ns = rate,
+                           .windows = windows,
+                           .seed = 0,
+                           .factory = sat_specs[i].factory});
+  }
+  const auto lat_outcomes = runner.run_latency_sweep(lat_specs, batch);
+  const auto power_outcomes = runner.run_power_sweep(power_specs, batch);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].latency_ns = lat_outcomes[i].result.mean_latency_ns;
+    points[i].power_mw = power_outcomes[i].result.power_mw;
+    if (!sat_outcomes[i].run.ok || !lat_outcomes[i].run.ok ||
+        !power_outcomes[i].run.ok) {
+      std::fprintf(stderr, "point %s failed: %s\n", points[i].label.c_str(),
+                   (!sat_outcomes[i].run.ok   ? sat_outcomes[i].run.error
+                    : !lat_outcomes[i].run.ok ? lat_outcomes[i].run.error
+                                              : power_outcomes[i].run.error)
+                       .c_str());
+    }
   }
 
   const DesignPoint& nonspec = points.front();  // bits==0 is {}

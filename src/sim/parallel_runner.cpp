@@ -1,0 +1,118 @@
+#include "sim/parallel_runner.h"
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace specnoc::sim {
+
+unsigned default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+RunOutcome execute(const ParallelRunner::Job& job, std::size_t index,
+                   unsigned max_attempts) {
+  RunOutcome outcome;
+  for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+    outcome.telemetry.attempts = attempt;
+    const auto start = Clock::now();
+    try {
+      outcome.telemetry.events_executed = job(index);
+      outcome.telemetry.wall_ms = ms_since(start);
+      outcome.ok = true;
+      return outcome;
+    } catch (const std::exception& e) {
+      outcome.telemetry.wall_ms = ms_since(start);
+      outcome.error = e.what();
+    } catch (...) {
+      outcome.telemetry.wall_ms = ms_since(start);
+      outcome.error = "unknown exception";
+    }
+  }
+  return outcome;
+}
+
+/// One worker's run queue. The owner pops from the front; thieves steal
+/// from the back, so a stolen run is the one its owner would reach last.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<std::size_t> runs;
+};
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(Options options)
+    : jobs_(options.jobs == 0 ? default_jobs() : options.jobs),
+      max_attempts_(options.max_attempts == 0 ? 1 : options.max_attempts) {}
+
+std::vector<RunOutcome> ParallelRunner::run(std::size_t count,
+                                            const Job& job) const {
+  std::vector<RunOutcome> outcomes(count);
+  if (count == 0) return outcomes;
+  if (jobs_ == 1 || count == 1) {
+    // Serial path: inline on the calling thread, in index order.
+    for (std::size_t i = 0; i < count; ++i) {
+      outcomes[i] = execute(job, i, max_attempts_);
+    }
+    return outcomes;
+  }
+
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, count));
+  std::vector<WorkerQueue> queues(workers);
+  // Deal all runs up front, round-robin. No work is ever added after this,
+  // so a worker may exit once every queue reads empty.
+  for (std::size_t i = 0; i < count; ++i) {
+    queues[i % workers].runs.push_back(i);
+  }
+
+  auto worker_loop = [&](unsigned self) {
+    for (;;) {
+      std::size_t index = 0;
+      bool found = false;
+      {
+        auto& own = queues[self];
+        const std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.runs.empty()) {
+          index = own.runs.front();
+          own.runs.pop_front();
+          found = true;
+        }
+      }
+      for (unsigned v = 1; v < workers && !found; ++v) {
+        auto& victim = queues[(self + v) % workers];
+        const std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.runs.empty()) {
+          index = victim.runs.back();
+          victim.runs.pop_back();
+          found = true;
+        }
+      }
+      if (!found) return;
+      // Distinct vector slots: no synchronization needed on the write.
+      outcomes[index] = execute(job, index, max_attempts_);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);
+  for (auto& thread : threads) thread.join();
+  return outcomes;
+}
+
+}  // namespace specnoc::sim

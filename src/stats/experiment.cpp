@@ -1,9 +1,12 @@
 #include "stats/experiment.h"
 
+#include <string>
+
 #include "power/power_meter.h"
 #include "stats/recorder.h"
 #include "traffic/driver.h"
 #include "util/contract.h"
+#include "util/error.h"
 #include "util/log.h"
 
 namespace specnoc::stats {
@@ -25,6 +28,11 @@ NetworkFactory ExperimentRunner::factory_for(core::Architecture arch) const {
   };
 }
 
+NetworkFactory ExperimentRunner::factory_for_spec(
+    core::Architecture arch, const NetworkFactory& factory) const {
+  return factory ? factory : factory_for(arch);
+}
+
 const SaturationResult& ExperimentRunner::saturation(
     core::Architecture arch, traffic::BenchmarkId bench) {
   const auto key = std::make_pair(arch, bench);
@@ -38,14 +46,20 @@ const SaturationResult& ExperimentRunner::saturation(
 }
 
 SaturationResult ExperimentRunner::run_saturation(
-    const NetworkFactory& factory, traffic::BenchmarkId bench) {
+    const NetworkFactory& factory, traffic::BenchmarkId bench) const {
+  return saturation_run(factory, bench, seed_, nullptr);
+}
+
+SaturationResult ExperimentRunner::saturation_run(
+    const NetworkFactory& factory, traffic::BenchmarkId bench,
+    std::uint64_t seed, std::uint64_t* events_out) const {
   const auto network = factory();
   TrafficRecorder recorder(network->net().packets());
   network->net().hooks().traffic = &recorder;
   const auto pattern = traffic::make_benchmark(bench, network->topology().n());
   traffic::DriverConfig driver_cfg;
   driver_cfg.mode = traffic::InjectionMode::kBacklogged;
-  driver_cfg.seed = seed_;
+  driver_cfg.seed = seed;
   traffic::TrafficDriver driver(*network, *pattern, driver_cfg);
   driver.start();
 
@@ -70,6 +84,7 @@ SaturationResult ExperimentRunner::run_saturation(
           ? static_cast<double>(store.num_packets()) /
                 static_cast<double>(store.num_messages())
           : 1.0;
+  if (events_out != nullptr) *events_out = sched.executed();
   return result;
 }
 
@@ -81,11 +96,21 @@ LatencyResult ExperimentRunner::measure_latency(core::Architecture arch,
                          windows);
 }
 
-LatencyResult ExperimentRunner::measure_latency(const NetworkFactory& factory,
-                                                traffic::BenchmarkId bench,
-                                                double injected_flits_per_ns,
-                                                traffic::SimWindows windows) {
-  SPECNOC_EXPECTS(injected_flits_per_ns > 0.0);
+LatencyResult ExperimentRunner::measure_latency(
+    const NetworkFactory& factory, traffic::BenchmarkId bench,
+    double injected_flits_per_ns, traffic::SimWindows windows) const {
+  return latency_run(factory, bench, injected_flits_per_ns, windows, seed_,
+                     nullptr);
+}
+
+LatencyResult ExperimentRunner::latency_run(
+    const NetworkFactory& factory, traffic::BenchmarkId bench,
+    double injected_flits_per_ns, traffic::SimWindows windows,
+    std::uint64_t seed, std::uint64_t* events_out) const {
+  if (injected_flits_per_ns <= 0.0) {
+    throw ConfigError("injected rate must be positive, got " +
+                      std::to_string(injected_flits_per_ns));
+  }
   const auto network = factory();
   TrafficRecorder recorder(network->net().packets());
   network->net().hooks().traffic = &recorder;
@@ -93,7 +118,7 @@ LatencyResult ExperimentRunner::measure_latency(const NetworkFactory& factory,
   traffic::DriverConfig driver_cfg;
   driver_cfg.mode = traffic::InjectionMode::kOpenLoop;
   driver_cfg.flits_per_ns_per_source = injected_flits_per_ns;
-  driver_cfg.seed = seed_;
+  driver_cfg.seed = seed;
   traffic::TrafficDriver driver(*network, *pattern, driver_cfg);
   driver.start();
 
@@ -124,6 +149,7 @@ LatencyResult ExperimentRunner::measure_latency(const NetworkFactory& factory,
                        << " offered=" << injected_flits_per_ns
                        << " pending=" << recorder.pending_measured();
   }
+  if (events_out != nullptr) *events_out = sched.executed();
   return result;
 }
 
@@ -149,11 +175,21 @@ PowerResult ExperimentRunner::measure_power(core::Architecture arch,
                        windows);
 }
 
-PowerResult ExperimentRunner::measure_power(const NetworkFactory& factory,
-                                            traffic::BenchmarkId bench,
-                                            double injected_flits_per_ns,
-                                            traffic::SimWindows windows) {
-  SPECNOC_EXPECTS(injected_flits_per_ns > 0.0);
+PowerResult ExperimentRunner::measure_power(
+    const NetworkFactory& factory, traffic::BenchmarkId bench,
+    double injected_flits_per_ns, traffic::SimWindows windows) const {
+  return power_run(factory, bench, injected_flits_per_ns, windows, seed_,
+                   nullptr);
+}
+
+PowerResult ExperimentRunner::power_run(
+    const NetworkFactory& factory, traffic::BenchmarkId bench,
+    double injected_flits_per_ns, traffic::SimWindows windows,
+    std::uint64_t seed, std::uint64_t* events_out) const {
+  if (injected_flits_per_ns <= 0.0) {
+    throw ConfigError("injected rate must be positive, got " +
+                      std::to_string(injected_flits_per_ns));
+  }
   const auto network = factory();
   TrafficRecorder recorder(network->net().packets());
   power::PowerMeter meter(energy_);
@@ -163,7 +199,7 @@ PowerResult ExperimentRunner::measure_power(const NetworkFactory& factory,
   traffic::DriverConfig driver_cfg;
   driver_cfg.mode = traffic::InjectionMode::kOpenLoop;
   driver_cfg.flits_per_ns_per_source = injected_flits_per_ns;
-  driver_cfg.seed = seed_;
+  driver_cfg.seed = seed;
   traffic::TrafficDriver driver(*network, *pattern, driver_cfg);
   driver.start();
 
@@ -186,6 +222,7 @@ PowerResult ExperimentRunner::measure_power(const NetworkFactory& factory,
   result.offered_flits_per_ns = injected_flits_per_ns;
   result.throttled_flits = meter.window_ops(noc::NodeOp::kThrottle);
   result.broadcast_ops = meter.window_ops(noc::NodeOp::kBroadcast);
+  if (events_out != nullptr) *events_out = sched.executed();
   return result;
 }
 
@@ -207,6 +244,72 @@ PowerResult ExperimentRunner::power_at_baseline_fraction(
                            baseline_sat.message_expansion;
   return measure_power(arch, bench, commanded,
                        traffic::default_windows(bench));
+}
+
+std::vector<SaturationOutcome> ExperimentRunner::run_saturation_grid(
+    const std::vector<SaturationSpec>& specs, const BatchOptions& options) {
+  std::vector<SaturationOutcome> outcomes(specs.size());
+  const sim::ParallelRunner pool({options.jobs, options.max_attempts});
+  const auto runs = pool.run(specs.size(), [&](std::size_t i) {
+    const auto& spec = specs[i];
+    std::uint64_t events = 0;
+    outcomes[i].result =
+        saturation_run(factory_for_spec(spec.arch, spec.factory), spec.bench,
+                       spec.seed == 0 ? seed_ : spec.seed, &events);
+    return events;
+  });
+  // Deterministic reduction: spec order, independent of completion order.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i].spec = specs[i];
+    outcomes[i].run = runs[i];
+    // Canonical cells (runner seed, canonical network) warm the
+    // memoization cache so saturation() reuses them.
+    if (runs[i].ok && specs[i].seed == 0 && !specs[i].factory) {
+      saturation_cache_.emplace(std::make_pair(specs[i].arch, specs[i].bench),
+                                outcomes[i].result);
+    }
+  }
+  return outcomes;
+}
+
+std::vector<LatencyOutcome> ExperimentRunner::run_latency_sweep(
+    const std::vector<LatencySpec>& specs, const BatchOptions& options) const {
+  std::vector<LatencyOutcome> outcomes(specs.size());
+  const sim::ParallelRunner pool({options.jobs, options.max_attempts});
+  const auto runs = pool.run(specs.size(), [&](std::size_t i) {
+    const auto& spec = specs[i];
+    std::uint64_t events = 0;
+    outcomes[i].result = latency_run(
+        factory_for_spec(spec.arch, spec.factory), spec.bench,
+        spec.injected_flits_per_ns, spec.windows,
+        spec.seed == 0 ? seed_ : spec.seed, &events);
+    return events;
+  });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i].spec = specs[i];
+    outcomes[i].run = runs[i];
+  }
+  return outcomes;
+}
+
+std::vector<PowerOutcome> ExperimentRunner::run_power_sweep(
+    const std::vector<PowerSpec>& specs, const BatchOptions& options) const {
+  std::vector<PowerOutcome> outcomes(specs.size());
+  const sim::ParallelRunner pool({options.jobs, options.max_attempts});
+  const auto runs = pool.run(specs.size(), [&](std::size_t i) {
+    const auto& spec = specs[i];
+    std::uint64_t events = 0;
+    outcomes[i].result = power_run(
+        factory_for_spec(spec.arch, spec.factory), spec.bench,
+        spec.injected_flits_per_ns, spec.windows,
+        spec.seed == 0 ? seed_ : spec.seed, &events);
+    return events;
+  });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i].spec = specs[i];
+    outcomes[i].run = runs[i];
+  }
+  return outcomes;
 }
 
 }  // namespace specnoc::stats

@@ -18,11 +18,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "core/architecture.h"
 #include "core/config.h"
 #include "core/mot_network.h"
 #include "power/energy_model.h"
+#include "sim/parallel_runner.h"
 #include "traffic/benchmark.h"
 #include "util/units.h"
 
@@ -62,6 +64,63 @@ struct PowerResult {
 /// Builds a fresh network for one run; every measurement constructs its own
 /// network so runs are independent and deterministic.
 using NetworkFactory = std::function<std::unique_ptr<core::MotNetwork>()>;
+
+/// Shared knobs for the batch APIs below.
+struct BatchOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = inline serial execution
+  /// on the calling thread (the exact serial code path).
+  unsigned jobs = 0;
+  /// Tries per run before reporting it failed in its outcome slot.
+  unsigned max_attempts = 2;
+};
+
+/// One cell of a saturation grid. `factory` (when set) overrides the
+/// architecture's canonical network — used for custom design points;
+/// `seed` = 0 means the runner's own seed.
+struct SaturationSpec {
+  core::Architecture arch = core::Architecture::kBaseline;
+  traffic::BenchmarkId bench = traffic::BenchmarkId::kUniformRandom;
+  std::uint64_t seed = 0;
+  NetworkFactory factory;
+};
+
+struct SaturationOutcome {
+  SaturationSpec spec;
+  SaturationResult result;  ///< valid only when run.ok
+  sim::RunOutcome run;
+};
+
+/// One open-loop latency run at an explicit injected rate.
+struct LatencySpec {
+  core::Architecture arch = core::Architecture::kBaseline;
+  traffic::BenchmarkId bench = traffic::BenchmarkId::kUniformRandom;
+  double injected_flits_per_ns = 0.0;
+  traffic::SimWindows windows;
+  std::uint64_t seed = 0;
+  NetworkFactory factory;
+};
+
+struct LatencyOutcome {
+  LatencySpec spec;
+  LatencyResult result;  ///< valid only when run.ok
+  sim::RunOutcome run;
+};
+
+/// One open-loop power run at an explicit injected rate.
+struct PowerSpec {
+  core::Architecture arch = core::Architecture::kBaseline;
+  traffic::BenchmarkId bench = traffic::BenchmarkId::kUniformRandom;
+  double injected_flits_per_ns = 0.0;
+  traffic::SimWindows windows;
+  std::uint64_t seed = 0;
+  NetworkFactory factory;
+};
+
+struct PowerOutcome {
+  PowerSpec spec;
+  PowerResult result;  ///< valid only when run.ok
+  sim::RunOutcome run;
+};
 
 class ExperimentRunner {
  public:
@@ -104,19 +163,60 @@ class ExperimentRunner {
 
   /// Factory-based variants for custom design points (e.g. arbitrary
   /// speculation maps); the architecture-based methods delegate to these.
+  /// These are const and touch no shared mutable state, so they are safe to
+  /// call concurrently from batch workers.
   SaturationResult run_saturation(const NetworkFactory& factory,
-                                  traffic::BenchmarkId bench);
+                                  traffic::BenchmarkId bench) const;
   LatencyResult measure_latency(const NetworkFactory& factory,
                                 traffic::BenchmarkId bench,
                                 double injected_flits_per_ns,
-                                traffic::SimWindows windows);
+                                traffic::SimWindows windows) const;
   PowerResult measure_power(const NetworkFactory& factory,
                             traffic::BenchmarkId bench,
                             double injected_flits_per_ns,
-                            traffic::SimWindows windows);
+                            traffic::SimWindows windows) const;
+
+  /// Batch APIs: execute the given independent runs on options.jobs worker
+  /// threads (sim::ParallelRunner). Outcomes are aggregated in spec order,
+  /// so results are bit-identical to the serial path for any thread count.
+  /// A run that throws is retried and, failing that, reported per-spec in
+  /// its outcome — never process-fatal.
+  ///
+  /// Saturation outcomes computed with the default seed and factory also
+  /// warm the saturation() memoization cache, so architecture-based
+  /// protocol methods called afterwards reuse them for free.
+  std::vector<SaturationOutcome> run_saturation_grid(
+      const std::vector<SaturationSpec>& specs,
+      const BatchOptions& options = {});
+  std::vector<LatencyOutcome> run_latency_sweep(
+      const std::vector<LatencySpec>& specs,
+      const BatchOptions& options = {}) const;
+  std::vector<PowerOutcome> run_power_sweep(
+      const std::vector<PowerSpec>& specs,
+      const BatchOptions& options = {}) const;
 
  private:
   NetworkFactory factory_for(core::Architecture arch) const;
+  NetworkFactory factory_for_spec(core::Architecture arch,
+                                  const NetworkFactory& factory) const;
+
+  /// Single-run workers behind both the public serial methods and the
+  /// batch APIs. `events_out` (when non-null) receives the number of
+  /// scheduler events the run executed.
+  SaturationResult saturation_run(const NetworkFactory& factory,
+                                  traffic::BenchmarkId bench,
+                                  std::uint64_t seed,
+                                  std::uint64_t* events_out) const;
+  LatencyResult latency_run(const NetworkFactory& factory,
+                            traffic::BenchmarkId bench,
+                            double injected_flits_per_ns,
+                            traffic::SimWindows windows, std::uint64_t seed,
+                            std::uint64_t* events_out) const;
+  PowerResult power_run(const NetworkFactory& factory,
+                        traffic::BenchmarkId bench,
+                        double injected_flits_per_ns,
+                        traffic::SimWindows windows, std::uint64_t seed,
+                        std::uint64_t* events_out) const;
 
   core::NetworkConfig config_;
   std::uint64_t seed_;

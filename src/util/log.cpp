@@ -1,11 +1,13 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace specnoc {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: experiment batches log from worker threads (parallel_runner).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,8 +23,10 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 namespace detail {
 

@@ -1,0 +1,207 @@
+// Property suite for the multicast delivery invariants, across speculative
+// and non-speculative architectures and random workloads:
+//
+//  M1 Header exactness: every destination of every packet ejects exactly
+//     one header copy; no non-destination ejects anything.
+//  M2 Kill levels: speculative misroutes never survive past a
+//     non-speculative level — ejections only ever land on true
+//     destinations, speculative networks actually broadcast and throttle,
+//     and purely non-speculative networks do neither.
+//  M3 Flit conservation: every flit copy entering the network (source
+//     sends plus speculative broadcast copies) is accounted for as either
+//     an ejected or a throttled flit once the network drains.
+#include <array>
+#include <bit>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mot_network.h"
+#include "util/rng.h"
+
+namespace specnoc {
+namespace {
+
+using core::Architecture;
+using noc::DestMask;
+using noc::NodeOp;
+
+struct NetConfig {
+  Architecture arch;
+  std::uint32_t n;
+};
+
+using Param = std::tuple<NetConfig, std::uint64_t>;  // config x seed
+
+class MulticastPropertyTest : public ::testing::TestWithParam<Param> {};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [config, seed] = info.param;
+  return std::string(core::to_string(config.arch)) + "_n" +
+         std::to_string(config.n) + "_s" + std::to_string(seed);
+}
+
+/// Records ejections per (packet, dest) and checks on the fly that no flit
+/// ever ejects at a node outside its packet's destination set.
+class EjectionRecorder : public noc::TrafficObserver {
+ public:
+  void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs) override {
+    EXPECT_NE(packet.dests & noc::dest_bit(dest), 0u)
+        << "packet " << packet.id << " ejected at non-destination " << dest;
+    ++ejected_flits;
+    if (kind == noc::FlitKind::kHeader) {
+      ++headers[{packet.id, dest}];
+    }
+    packet_dests[packet.id] = packet.dests;
+    header_mask[packet.id] |= noc::dest_bit(dest);
+  }
+  void on_packet_injected(const noc::Packet&, TimePs) override {}
+
+  std::map<std::pair<noc::PacketId, std::uint32_t>, int> headers;
+  std::map<noc::PacketId, DestMask> packet_dests;
+  std::map<noc::PacketId, DestMask> header_mask;
+  std::uint64_t ejected_flits = 0;
+};
+
+/// Counts switching operations per kind (the power layer's event stream,
+/// reused here as a conservation ledger).
+class OpCounter : public noc::EnergyObserver {
+ public:
+  void on_node_op(const noc::Node&, NodeOp op, TimePs) override {
+    ++counts[static_cast<std::size_t>(op)];
+  }
+  void on_channel_flit(LengthUm, TimePs) override {}
+
+  std::uint64_t of(NodeOp op) const {
+    return counts[static_cast<std::size_t>(op)];
+  }
+
+ private:
+  std::array<std::uint64_t, 8> counts{};
+};
+
+DestMask random_dests(Rng& rng, std::uint32_t n) {
+  const DestMask full = n >= 64 ? ~DestMask{0} : (DestMask{1} << n) - 1;
+  DestMask dests = rng() & full;
+  if (dests == 0) dests = noc::dest_bit(0);
+  return dests;
+}
+
+struct Workload {
+  std::uint64_t messages = 0;
+  std::uint64_t dest_count = 0;  ///< sum of |dests| over messages
+};
+
+Workload drive(core::MotNetwork& net, std::uint64_t seed, bool multicast) {
+  Rng rng(seed);
+  const std::uint32_t n = net.topology().n();
+  Workload load;
+  for (int i = 0; i < 60; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.uniform_below(n));
+    const DestMask dests =
+        multicast ? random_dests(rng, n)
+                  : noc::dest_bit(
+                        static_cast<std::uint32_t>(rng.uniform_below(n)));
+    net.send_message(src, dests, false);
+    ++load.messages;
+    load.dest_count += static_cast<unsigned>(std::popcount(dests));
+  }
+  net.scheduler().run();
+  return load;
+}
+
+TEST_P(MulticastPropertyTest, EveryDestinationEjectsExactlyOneHeader) {
+  const auto& [config, seed] = GetParam();
+  core::NetworkConfig cfg;
+  cfg.n = config.n;
+  core::MotNetwork net(config.arch, cfg);
+  EjectionRecorder rec;
+  net.net().hooks().traffic = &rec;
+
+  drive(net, seed, /*multicast=*/true);
+
+  // Exactly one header per (packet, destination)...
+  for (const auto& [key, count] : rec.headers) {
+    EXPECT_EQ(count, 1) << "packet " << key.first << " dest " << key.second;
+  }
+  // ...and the set of destinations that ejected a header is precisely the
+  // packet's destination set — none missing, none extra (extras were
+  // already rejected in the observer).
+  for (const auto& [packet, dests] : rec.packet_dests) {
+    EXPECT_EQ(rec.header_mask.at(packet), dests) << "packet " << packet;
+  }
+}
+
+TEST_P(MulticastPropertyTest, MisroutesDieAtNonSpeculativeKillLevels) {
+  const auto& [config, seed] = GetParam();
+  core::NetworkConfig cfg;
+  cfg.n = config.n;
+  core::MotNetwork net(config.arch, cfg);
+  EjectionRecorder rec;
+  OpCounter ops;
+  net.net().hooks().traffic = &rec;
+  net.net().hooks().energy = &ops;
+
+  // Unicast-only workload: every flit has exactly one true destination, so
+  // every speculative broadcast mints exactly one misrouted copy that a
+  // non-speculative level (possibly the leaf, which is always
+  // non-speculative) must throttle.
+  drive(net, seed, /*multicast=*/false);
+
+  const bool speculative = net.speculation().speculative_count() > 0;
+  if (speculative) {
+    EXPECT_GT(ops.of(NodeOp::kBroadcast), 0u);
+    EXPECT_GT(ops.of(NodeOp::kThrottle), 0u);
+    // Exact conservation: copies in = copies out. Misroutes were killed,
+    // never delivered (delivery to wrong dests is checked in the recorder).
+    EXPECT_EQ(ops.of(NodeOp::kSourceSend) + ops.of(NodeOp::kBroadcast),
+              ops.of(NodeOp::kSinkConsume) + ops.of(NodeOp::kThrottle));
+  } else {
+    EXPECT_EQ(ops.of(NodeOp::kBroadcast), 0u);
+    EXPECT_EQ(ops.of(NodeOp::kThrottle), 0u);
+    EXPECT_EQ(ops.of(NodeOp::kSourceSend), ops.of(NodeOp::kSinkConsume));
+  }
+  EXPECT_EQ(rec.ejected_flits, ops.of(NodeOp::kSinkConsume));
+}
+
+TEST_P(MulticastPropertyTest, FlitConservationUnderRandomMulticast) {
+  const auto& [config, seed] = GetParam();
+  core::NetworkConfig cfg;
+  cfg.n = config.n;
+  core::MotNetwork net(config.arch, cfg);
+  EjectionRecorder rec;
+  OpCounter ops;
+  net.net().hooks().traffic = &rec;
+  net.net().hooks().energy = &ops;
+
+  const Workload load = drive(net, seed + 1, /*multicast=*/true);
+
+  // Every destination of every message received a full packet.
+  const auto flits_per_packet = net.flits_per_packet();
+  EXPECT_EQ(rec.ejected_flits, load.dest_count * flits_per_packet);
+  EXPECT_EQ(ops.of(NodeOp::kSinkConsume), rec.ejected_flits);
+
+  // Conservation with intentional multicast forks: non-speculative route
+  // forwards may duplicate a flit into both subtrees, so copies out
+  // (ejected + throttled) can only meet or exceed copies explicitly minted
+  // (source sends + speculative broadcasts). Nothing is lost.
+  EXPECT_GE(ops.of(NodeOp::kSinkConsume) + ops.of(NodeOp::kThrottle),
+            ops.of(NodeOp::kSourceSend) + ops.of(NodeOp::kBroadcast));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSeedSweep, MulticastPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(NetConfig{Architecture::kBaseline, 8},
+                          NetConfig{Architecture::kBasicNonSpeculative, 8},
+                          NetConfig{Architecture::kBasicHybridSpeculative, 8},
+                          NetConfig{Architecture::kOptHybridSpeculative, 16},
+                          NetConfig{Architecture::kOptAllSpeculative, 8}),
+        ::testing::Values(1001, 2002, 3003)),
+    param_name);
+
+}  // namespace
+}  // namespace specnoc
