@@ -5,7 +5,10 @@
 // every per-level speculation pattern (leaf level always non-speculative)
 // and reports zero-ish-load latency, saturation, power, and address bits —
 // the cost/benefit landscape of local speculation placement.
-#include <bit>
+//
+// The design points use custom network factories; their `custom` label is
+// the speculation-level set, which is what identifies each cell in shard
+// files (factories cannot travel between worker processes).
 #include <vector>
 
 #include "bench_common.h"
@@ -14,20 +17,19 @@
 using namespace specnoc;
 using specnoc::bench::HarnessOptions;
 
-int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
-  core::NetworkConfig cfg;
-  cfg.n = 16;
-  stats::ExperimentRunner runner(cfg, opts.seed);
-  const mot::MotTopology topo(cfg.n);
+namespace {
 
-  using traffic::BenchmarkId;
-  Table table({"Spec levels", "Local?", "Addr bits", "Sat uniform",
-               "Sat mcast10", "Lat uniform (ns)", "Lat mcast10 (ns)",
-               "Power uniform (mW)"});
+struct DesignPoint {
+  std::string label;  ///< speculation-level set, e.g. "{0,2}"
+  core::SpeculationMap spec;
+  stats::NetworkFactory factory;
+};
 
-  // Enumerate subsets of levels {0, 1, 2} (level 3 = leaves, always
-  // non-speculative).
+/// Every subset of non-leaf levels, in bitmask order (the paper's Figure
+/// 3(d) hybrid is "{0,2}").
+std::vector<DesignPoint> design_points(const core::NetworkConfig& cfg,
+                                       const mot::MotTopology& topo) {
+  std::vector<DesignPoint> points;
   const std::uint32_t free_levels = topo.levels() - 1;
   for (std::uint32_t bits = 0; bits < (1u << free_levels); ++bits) {
     std::vector<std::uint32_t> levels;
@@ -41,34 +43,102 @@ int main(int argc, char** argv) {
     }
     label += "}";
     const auto spec = core::SpeculationMap::from_levels(topo, levels);
-    stats::NetworkFactory factory = [&cfg, spec] {
-      return std::make_unique<core::MotNetwork>(cfg, spec);
-    };
+    points.push_back({label, spec, [cfg, spec] {
+                        return std::make_unique<core::MotNetwork>(cfg, spec);
+                      }});
+  }
+  return points;
+}
 
-    const auto sat_uniform =
-        runner.run_saturation(factory, BenchmarkId::kUniformRandom);
-    const auto sat_mcast =
-        runner.run_saturation(factory, BenchmarkId::kMulticast10);
-    const auto windows = traffic::default_windows(BenchmarkId::kUniformRandom);
-    const auto lat_uniform = runner.measure_latency(
-        factory, BenchmarkId::kUniformRandom,
-        0.25 * sat_uniform.injected_flits_per_ns, windows);
-    const auto lat_mcast = runner.measure_latency(
-        factory, BenchmarkId::kMulticast10,
-        0.25 * sat_mcast.injected_flits_per_ns, windows);
-    const auto power = runner.measure_power(
-        factory, BenchmarkId::kUniformRandom,
-        0.25 * sat_uniform.injected_flits_per_ns, windows);
+}  // namespace
+
+int main(int argc, char** argv) {
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_ablation_hybrid16",
+      "Hybrid speculation-placement ablation on a 16x16 MoT.",
+      specnoc::bench::Sharding::kSupported);
+  core::NetworkConfig cfg;
+  cfg.n = 16;
+  stats::ExperimentRunner runner(cfg, opts.seed);
+  stats::ShardedSweep sweep = specnoc::bench::make_sweep(opts);
+  specnoc::bench::TelemetryTable telemetry;
+  const mot::MotTopology topo(cfg.n);
+  const auto points = design_points(cfg, topo);
+
+  using traffic::BenchmarkId;
+  constexpr BenchmarkId kBenches[] = {BenchmarkId::kUniformRandom,
+                                      BenchmarkId::kMulticast10};
+
+  // Phase 1: saturation for every design point x benchmark — a sweep
+  // anchor (the latency/power rates derive from it), so it runs in full in
+  // every mode and all workers build identical downstream grids.
+  std::vector<stats::SaturationSpec> sat_specs;
+  for (const auto& point : points) {
+    for (const auto bench : kBenches) {
+      sat_specs.push_back({.arch = core::Architecture::kCustomHybrid,
+                           .bench = bench,
+                           .seed = 0,
+                           .factory = point.factory,
+                           .custom = point.label});
+    }
+  }
+  const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
+  telemetry.add_all(sat_outcomes);
+
+  // Phase 2: the sharded grids — 25%-of-own-saturation latency for both
+  // benchmarks, and power under UniformRandom.
+  const auto windows = traffic::default_windows(BenchmarkId::kUniformRandom);
+  std::vector<stats::LatencySpec> lat_specs;
+  std::vector<stats::PowerSpec> power_specs;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const auto& point = points[p];
+    for (std::size_t b = 0; b < 2; ++b) {
+      const auto& sat = sat_outcomes[2 * p + b].result;
+      lat_specs.push_back({.arch = core::Architecture::kCustomHybrid,
+                           .bench = kBenches[b],
+                           .injected_flits_per_ns =
+                               0.25 * sat.injected_flits_per_ns,
+                           .windows = windows,
+                           .seed = 0,
+                           .factory = point.factory,
+                           .custom = point.label});
+    }
+    const auto& sat_uniform = sat_outcomes[2 * p].result;
+    power_specs.push_back({.arch = core::Architecture::kCustomHybrid,
+                           .bench = BenchmarkId::kUniformRandom,
+                           .injected_flits_per_ns =
+                               0.25 * sat_uniform.injected_flits_per_ns,
+                           .windows = windows,
+                           .seed = 0,
+                           .factory = point.factory,
+                           .custom = point.label});
+  }
+  const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);
+  const auto power_outcomes = sweep.power_sweep("power", runner, power_specs);
+  if (!sweep.should_render()) return sweep.finish();
+  telemetry.add_all(lat_outcomes);
+  telemetry.add_all(power_outcomes);
+
+  Table table({"Spec levels", "Local?", "Addr bits", "Sat uniform",
+               "Sat mcast10", "Lat uniform (ns)", "Lat mcast10 (ns)",
+               "Power uniform (mW)"});
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const auto& point = points[p];
     const auto addr_bits =
-        mot::SourceRouteEncoder(topo, spec.flags()).address_bits();
-
-    table.add_row({label, spec.is_local() ? "yes" : "no",
-                   cell(static_cast<long long>(addr_bits)),
-                   cell(sat_uniform.delivered_flits_per_ns, 2),
-                   cell(sat_mcast.delivered_flits_per_ns, 2),
-                   cell(lat_uniform.mean_latency_ns, 2),
-                   cell(lat_mcast.mean_latency_ns, 2),
-                   cell(power.power_mw, 1)});
+        mot::SourceRouteEncoder(topo, point.spec.flags()).address_bits();
+    const auto& lat_uniform = lat_outcomes[2 * p];
+    const auto& lat_mcast = lat_outcomes[2 * p + 1];
+    const auto& power = power_outcomes[p];
+    table.add_row(
+        {point.label, point.spec.is_local() ? "yes" : "no",
+         cell(static_cast<long long>(addr_bits)),
+         cell(sat_outcomes[2 * p].result.delivered_flits_per_ns, 2),
+         cell(sat_outcomes[2 * p + 1].result.delivered_flits_per_ns, 2),
+         lat_uniform.run.ok ? cell(lat_uniform.result.mean_latency_ns, 2)
+                            : "FAIL",
+         lat_mcast.run.ok ? cell(lat_mcast.result.mean_latency_ns, 2)
+                          : "FAIL",
+         power.run.ok ? cell(power.result.power_mw, 1) : "FAIL"});
   }
   specnoc::bench::emit(table,
                        "16x16 hybrid placement ablation (paper Figure 3(d) "
@@ -77,5 +147,6 @@ int main(int argc, char** argv) {
   specnoc::bench::note(
       "'Local? yes' = no speculative node feeds another speculative node "
       "(redundant copies throttled after one hop).");
-  return 0;
+  telemetry.emit("Hybrid16 ablation grids", opts);
+  return telemetry.failures() == 0 ? 0 : 1;
 }

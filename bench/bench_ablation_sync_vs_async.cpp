@@ -21,7 +21,9 @@ using namespace specnoc;
 using specnoc::bench::HarnessOptions;
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_ablation_sync_vs_async",
+      "Async vs synchronous switch implementations.");
   const TimePs periods[] = {0, 400, 600, 800};
   const auto bench = traffic::BenchmarkId::kUniformRandom;
 

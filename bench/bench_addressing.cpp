@@ -10,7 +10,9 @@ using namespace specnoc;
 using specnoc::bench::HarnessOptions;
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_addressing",
+      "Address field sizes across network sizes (paper Section 5.2(d)).");
 
   const std::uint32_t sizes[] = {8, 16, 32, 64};
   Table table({"Architecture", "8x8", "16x16", "32x32 (ext)", "64x64 (ext)"});

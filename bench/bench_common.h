@@ -9,80 +9,203 @@
 // Grids run through stats::ExperimentRunner's batch APIs on a work-stealing
 // pool (--jobs N, default: hardware concurrency). Results are aggregated in
 // spec order, so the tables are byte-identical for any thread count;
-// --jobs 1 preserves the exact serial code path. Per-run telemetry (wall
-// time, scheduler events, retries) is available with --telemetry — kept off
-// the default output because wall times are inherently nondeterministic.
+// --jobs 1 preserves the exact serial code path.
+//
+// Harnesses that pass Sharding::kSupported to parse_args additionally
+// accept the sharded-sweep flags (stats/sweep.h): --shard i/K --out writes
+// this worker's cells to a JSONL shard file, and --from renders the normal
+// tables from a merged shard file — byte-identical to a --jobs 1 run.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/parallel_runner.h"
+#include "sim/shard.h"
 #include "stats/experiment.h"
+#include "stats/sweep.h"
+#include "util/cli.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace specnoc::bench {
 
+/// Routes every emitted table to stdout plus the optional --csv / --json
+/// mirrors. The mirror files are opened (truncating) once per process and
+/// kept open, so a re-run never leaves stale sections from a previous
+/// invocation behind — the old per-emit append-mode open did.
+class OutputSink {
+ public:
+  void mirror_csv(const std::string& path) {
+    csv_.open(path, std::ios::trunc);
+    if (!csv_) throw ConfigError("cannot write CSV file '" + path + "'");
+  }
+
+  void mirror_jsonl(const std::string& path) {
+    jsonl_.open(path, std::ios::trunc);
+    if (!jsonl_) throw ConfigError("cannot write JSONL file '" + path + "'");
+  }
+
+  void table(const Table& table, const std::string& title) {
+    std::cout << "\n== " << title << " ==\n";
+    table.print(std::cout);
+    if (csv_.is_open()) {
+      csv_ << "# " << title << "\n";
+      table.write_csv(csv_);
+      csv_.flush();
+    }
+    if (jsonl_.is_open()) {
+      util::Json json = util::Json::object();
+      json.set("record", "table");
+      json.set("title", title);
+      util::Json header = util::Json::array();
+      for (const auto& column : table.header()) header.push_back(column);
+      json.set("header", std::move(header));
+      util::Json rows = util::Json::array();
+      for (std::size_t i = 0; i < table.num_rows(); ++i) {
+        util::Json row = util::Json::array();
+        for (const auto& value : table.row(i)) row.push_back(value);
+        rows.push_back(std::move(row));
+      }
+      json.set("rows", std::move(rows));
+      jsonl_ << util::json_write(json) << "\n";
+      jsonl_.flush();
+    }
+  }
+
+  void note(const std::string& text) { std::cout << text << "\n"; }
+
+ private:
+  std::ofstream csv_;
+  std::ofstream jsonl_;
+};
+
+/// Whether a harness wires up the sharded-sweep worker/render flags.
+enum class Sharding { kNone, kSupported };
+
 struct HarnessOptions {
+  std::string tool;       ///< harness name (shard-file manifest identity)
   std::uint64_t seed = 42;
-  std::string csv_path;  ///< optional --csv <path> to also dump CSV
   /// Worker threads for experiment grids; 0 = hardware concurrency,
   /// 1 = the exact serial code path.
   unsigned jobs = 0;
-  /// Print the per-run telemetry table (wall ms / events / attempts).
+  /// Print the per-run telemetry table (wall ms / events / attempts) —
+  /// kept off the default output because wall times are nondeterministic.
   bool telemetry = false;
+  std::string csv_path;   ///< --csv: mirror tables to a CSV file
+  std::string json_path;  ///< --json: mirror tables to a JSONL file
+  sim::ShardRef shard;    ///< --shard i/K (worker mode)
+  std::string out_path;   ///< --out (worker mode)
+  std::string from_path;  ///< --from (render mode)
+  std::shared_ptr<OutputSink> sink = std::make_shared<OutputSink>();
+
+  stats::BatchOptions batch() const {
+    stats::BatchOptions options;
+    options.jobs = jobs;
+    return options;
+  }
+
+  stats::SweepMode sweep_mode() const {
+    if (!from_path.empty()) return stats::SweepMode::kRender;
+    if (!out_path.empty()) return stats::SweepMode::kWorker;
+    return stats::SweepMode::kRun;
+  }
+
+  stats::SweepOptions sweep() const {
+    stats::SweepOptions options;
+    options.mode = sweep_mode();
+    options.tool = tool;
+    options.seed = seed;
+    options.batch = batch();
+    options.shard = shard;
+    options.out_path = out_path;
+    options.from_path = from_path;
+    return options;
+  }
 };
 
-inline HarnessOptions parse_args(int argc, char** argv) {
+/// Declarative argument parsing for all harnesses: the standard flag set
+/// (--seed, --jobs, --csv, --json, --telemetry, and — when `sharding` is
+/// kSupported — --shard/--out/--from), plus any harness-specific flags
+/// registered by `extra`. Bad usage exits 2 with the message and the
+/// generated usage text; --help exits 0.
+inline HarnessOptions parse_args(
+    int argc, char** argv, const std::string& tool, const std::string& summary,
+    Sharding sharding = Sharding::kNone,
+    const std::function<void(util::CliParser&)>& extra = {}) {
   HarnessOptions opts;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      opts.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      opts.csv_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      opts.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
-      opts.telemetry = true;
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf(
-          "usage: %s [--seed N] [--csv path] [--jobs N] [--telemetry]\n"
-          "  --jobs N     run grid cells on N threads (0/default: hardware\n"
-          "               concurrency; 1: exact serial path). Output tables\n"
-          "               are byte-identical for any N.\n"
-          "  --telemetry  also print per-run wall time / events / attempts\n",
-          argv[0]);
-      std::exit(0);
+  opts.tool = tool;
+  bool shard_given = false;
+
+  util::CliParser cli(tool, summary);
+  cli.add_uint64("--seed", &opts.seed, "experiment seed");
+  cli.add_unsigned("--jobs", &opts.jobs,
+                   "grid worker threads (0: hardware concurrency, 1: exact "
+                   "serial path); tables are byte-identical for any N");
+  cli.add_string("--csv", &opts.csv_path, "also mirror tables to this CSV");
+  cli.add_string("--json", &opts.json_path,
+                 "also mirror tables to this JSONL file");
+  cli.add_flag("--telemetry", &opts.telemetry,
+               "also print per-run wall time / events / attempts");
+  if (sharding == Sharding::kSupported) {
+    cli.add_custom("--shard", "i/K",
+                   "worker mode: run only shard i of K (requires --out)",
+                   [&opts, &shard_given](const std::string& value) {
+                     opts.shard = sim::ShardRef::parse(value);
+                     shard_given = true;
+                   });
+    cli.add_string("--out", &opts.out_path,
+                   "worker mode: write this shard's results to a JSONL file");
+    cli.add_string("--from", &opts.from_path,
+                   "render tables from a merged shard file (see sweep_merge) "
+                   "instead of simulating");
+  }
+  if (extra) extra(cli);
+
+  try {
+    if (!cli.parse(argc, argv)) std::exit(0);
+    if (shard_given && opts.out_path.empty()) {
+      throw util::UsageError("--shard requires --out <shard.jsonl>");
     }
+    if (!opts.from_path.empty() &&
+        (shard_given || !opts.out_path.empty())) {
+      throw util::UsageError("--from cannot be combined with --shard/--out");
+    }
+    if (!opts.csv_path.empty()) opts.sink->mirror_csv(opts.csv_path);
+    if (!opts.json_path.empty()) opts.sink->mirror_jsonl(opts.json_path);
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "%s: %s\n", tool.c_str(), error.what());
+    std::fputs(cli.usage().c_str(), stderr);
+    std::exit(2);
   }
   return opts;
 }
 
-inline stats::BatchOptions batch_options(const HarnessOptions& opts) {
-  stats::BatchOptions batch;
-  batch.jobs = opts.jobs;
-  return batch;
+/// Builds the harness's sweep session. Sweep configuration errors — a
+/// --from file from another tool or seed, an --out file belonging to a
+/// different sweep — are user errors, reported cleanly as exit 2 rather
+/// than escaping main as exceptions.
+inline stats::ShardedSweep make_sweep(const HarnessOptions& opts) {
+  try {
+    return stats::ShardedSweep(opts.sweep());
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "%s: %s\n", opts.tool.c_str(), error.what());
+    std::exit(2);
+  }
 }
 
 inline void emit(const Table& table, const std::string& title,
                  const HarnessOptions& opts) {
-  std::cout << "\n== " << title << " ==\n";
-  table.print(std::cout);
-  if (!opts.csv_path.empty()) {
-    std::ofstream out(opts.csv_path, std::ios::app);
-    out << "# " << title << "\n";
-    table.write_csv(out);
-  }
+  opts.sink->table(table, title);
 }
 
-inline void note(const std::string& text) {
-  std::cout << text << "\n";
-}
+inline void note(const std::string& text) { std::cout << text << "\n"; }
 
 /// Accumulates per-run telemetry rows; emitted only under --telemetry.
 /// A failed run shows its (truncated) error in place of numbers, so one bad

@@ -33,23 +33,29 @@ std::vector<std::string> header_row() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_fig6a_latency",
+      "Figure 6(a): avg network latency at 25% of each network's saturation.",
+      specnoc::bench::Sharding::kSupported);
   core::NetworkConfig cfg;
   stats::ExperimentRunner runner(cfg, opts.seed);
-  const auto batch = specnoc::bench::batch_options(opts);
+  stats::ShardedSweep sweep = specnoc::bench::make_sweep(opts);
   specnoc::bench::TelemetryTable telemetry;
 
   // Phase 1: every cell's own saturation point (the 25% operating point is
-  // relative to it). Phase 2: the open-loop latency runs at those points.
-  // Both phases are grids of independent runs on the work-stealing pool;
-  // aggregation is keyed by spec, so tables match --jobs 1 byte-for-byte.
+  // relative to it) — a sweep anchor, run in full in every mode so shard
+  // workers derive identical latency grids. Phase 2: the open-loop latency
+  // runs at those points, the grid that gets sharded. Both phases are
+  // grids of independent runs on the work-stealing pool; aggregation is
+  // keyed by spec, so tables match --jobs 1 byte-for-byte.
   std::vector<stats::SaturationSpec> sat_specs;
   for (const auto arch : kRowOrder) {
     for (const auto bench : traffic::all_benchmarks()) {
-      sat_specs.push_back({.arch = arch, .bench = bench, .seed = 0, .factory = {}});
+      sat_specs.push_back({.arch = arch, .bench = bench, .seed = 0,
+                          .factory = {}, .custom = {}});
     }
   }
-  const auto sat_outcomes = runner.run_saturation_grid(sat_specs, batch);
+  const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
   telemetry.add_all(sat_outcomes);
 
   std::vector<stats::LatencySpec> lat_specs;
@@ -62,9 +68,11 @@ int main(int argc, char** argv) {
              0.25 * sat.injected_flits_per_ns / sat.message_expansion,
          .windows = traffic::default_windows(sat_specs[i].bench),
          .seed = 0,
-         .factory = {}});
+         .factory = {},
+         .custom = {}});
   }
-  const auto lat_outcomes = runner.run_latency_sweep(lat_specs, batch);
+  const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);
+  if (!sweep.should_render()) return sweep.finish();
   telemetry.add_all(lat_outcomes);
 
   double lat[4][6] = {};

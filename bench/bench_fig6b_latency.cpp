@@ -26,21 +26,26 @@ std::vector<std::string> header_row() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_fig6b_latency",
+      "Figure 6(b): design-space-exploration average network latency.",
+      specnoc::bench::Sharding::kSupported);
   core::NetworkConfig cfg;
   stats::ExperimentRunner runner(cfg, opts.seed);
-  const auto batch = specnoc::bench::batch_options(opts);
+  stats::ShardedSweep sweep = specnoc::bench::make_sweep(opts);
   specnoc::bench::TelemetryTable telemetry;
 
-  // Same two-phase parallel grid as Figure 6(a): saturation points first,
-  // then the 25%-load latency runs, both keyed by spec for determinism.
+  // Same two-phase parallel grid as Figure 6(a): saturation anchors first
+  // (full in every mode), then the sharded 25%-load latency runs, both
+  // keyed by spec for determinism.
   std::vector<stats::SaturationSpec> sat_specs;
   for (const auto arch : kRowOrder) {
     for (const auto bench : traffic::all_benchmarks()) {
-      sat_specs.push_back({.arch = arch, .bench = bench, .seed = 0, .factory = {}});
+      sat_specs.push_back({.arch = arch, .bench = bench, .seed = 0,
+                          .factory = {}, .custom = {}});
     }
   }
-  const auto sat_outcomes = runner.run_saturation_grid(sat_specs, batch);
+  const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
   telemetry.add_all(sat_outcomes);
 
   std::vector<stats::LatencySpec> lat_specs;
@@ -53,9 +58,11 @@ int main(int argc, char** argv) {
              0.25 * sat.injected_flits_per_ns / sat.message_expansion,
          .windows = traffic::default_windows(sat_specs[i].bench),
          .seed = 0,
-         .factory = {}});
+         .factory = {},
+         .custom = {}});
   }
-  const auto lat_outcomes = runner.run_latency_sweep(lat_specs, batch);
+  const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);
+  if (!sweep.should_render()) return sweep.finish();
   telemetry.add_all(lat_outcomes);
 
   double lat[3][6] = {};

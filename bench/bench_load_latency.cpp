@@ -16,10 +16,13 @@ using specnoc::bench::HarnessOptions;
 using namespace specnoc::literals;
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_load_latency",
+      "Load-latency curves for the optimized architectures.",
+      specnoc::bench::Sharding::kSupported);
   core::NetworkConfig cfg;
   stats::ExperimentRunner runner(cfg, opts.seed);
-  const auto batch = specnoc::bench::batch_options(opts);
+  stats::ShardedSweep sweep = specnoc::bench::make_sweep(opts);
   specnoc::bench::TelemetryTable telemetry;
   const double fractions[] = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
   const traffic::SimWindows windows{.warmup = 300_ns, .measure = 2000_ns};
@@ -31,10 +34,11 @@ int main(int argc, char** argv) {
   std::vector<stats::SaturationSpec> sat_specs;
   for (const auto bench : benches) {
     for (const auto arch : core::dse_architectures()) {
-      sat_specs.push_back({.arch = arch, .bench = bench, .seed = 0, .factory = {}});
+      sat_specs.push_back({.arch = arch, .bench = bench, .seed = 0,
+                          .factory = {}, .custom = {}});
     }
   }
-  const auto sat_outcomes = runner.run_saturation_grid(sat_specs, batch);
+  const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
   telemetry.add_all(sat_outcomes);
 
   std::vector<stats::LatencySpec> lat_specs;
@@ -50,12 +54,14 @@ int main(int argc, char** argv) {
                                       sat.message_expansion,
              .windows = windows,
              .seed = 0,
-             .factory = {}});
+             .factory = {},
+             .custom = {}});
       }
     }
     anchor += core::dse_architectures().size();
   }
-  const auto lat_outcomes = runner.run_latency_sweep(lat_specs, batch);
+  const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);
+  if (!sweep.should_render()) return sweep.finish();
   telemetry.add_all(lat_outcomes);
 
   std::size_t cursor = 0;

@@ -75,7 +75,9 @@ Measured measure(noc::MessageNetwork& saturation_net,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_mesh_comparison",
+      "MoT vs mesh: saturation, latency, and cost comparison.");
 
   core::NetworkConfig mot_cfg;
   mot_cfg.n = 16;

@@ -91,7 +91,9 @@ Row measure(const mesh::MeshConfig& cfg, traffic::BenchmarkId bench,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_mesh_speculation",
+      "Local speculation transplanted onto a mesh topology.");
   const mesh::MeshTopology topo(4, 4);
 
   struct Config {

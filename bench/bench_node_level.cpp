@@ -86,7 +86,9 @@ TimePs measure_fanin_latency() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_node_level",
+      "Section 5.2(a): node-level characteristics.");
 
   struct Row {
     noc::NodeKind kind;

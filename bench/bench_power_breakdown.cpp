@@ -14,7 +14,9 @@ using namespace specnoc;
 using specnoc::bench::HarnessOptions;
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_power_breakdown",
+      "Per-component power breakdown at the paper's operating point.");
   core::NetworkConfig cfg;
   stats::ExperimentRunner runner(cfg, opts.seed);
   const auto bench = traffic::BenchmarkId::kMulticast10;

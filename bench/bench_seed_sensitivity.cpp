@@ -27,7 +27,9 @@ std::string mean_pm_std(const SummaryStats& stats, int decimals) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_seed_sensitivity",
+      "Seed sensitivity of the headline numbers.");
   static_cast<void>(opts);
   core::NetworkConfig cfg;
 

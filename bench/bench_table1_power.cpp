@@ -48,22 +48,29 @@ std::vector<std::string> header_row() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_table1_power",
+      "Table 1 (right): total network power, 4 benchmarks x 6 networks.",
+      specnoc::bench::Sharding::kSupported);
   core::NetworkConfig cfg;
   stats::ExperimentRunner runner(cfg, opts.seed);
-  const auto batch = specnoc::bench::batch_options(opts);
+  stats::ShardedSweep sweep = specnoc::bench::make_sweep(opts);
   specnoc::bench::TelemetryTable telemetry;
 
   // Phase 1: the Baseline's saturation per benchmark fixes the common
-  // offered load. Phase 2: every architecture's power run at that load.
+  // offered load. This is a sweep *anchor*: it runs in full in every mode
+  // (it is cheap and deterministic), so all shard workers derive identical
+  // downstream power grids. Phase 2: every architecture's power run at
+  // that load — the grid that actually gets sharded.
   std::vector<stats::SaturationSpec> sat_specs;
   for (const auto bench : kBenchmarks) {
     sat_specs.push_back({.arch = core::Architecture::kBaseline,
                          .bench = bench,
                          .seed = 0,
-                         .factory = {}});
+                         .factory = {},
+                         .custom = {}});
   }
-  const auto sat_outcomes = runner.run_saturation_grid(sat_specs, batch);
+  const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
   telemetry.add_all(sat_outcomes);
 
   std::vector<stats::PowerSpec> power_specs;
@@ -77,10 +84,12 @@ int main(int argc, char** argv) {
                                     baseline_sat.message_expansion,
            .windows = traffic::default_windows(kBenchmarks[c]),
            .seed = 0,
-           .factory = {}});
+           .factory = {},
+           .custom = {}});
     }
   }
-  const auto power_outcomes = runner.run_power_sweep(power_specs, batch);
+  const auto power_outcomes = sweep.power_sweep("power", runner, power_specs);
+  if (!sweep.should_render()) return sweep.finish();
   telemetry.add_all(power_outcomes);
 
   double measured[6][4] = {};

@@ -43,9 +43,13 @@ std::vector<std::string> header_row() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const HarnessOptions opts = specnoc::bench::parse_args(argc, argv);
+  const HarnessOptions opts = specnoc::bench::parse_args(
+      argc, argv, "bench_table1_throughput",
+      "Table 1 (left): saturation throughput, 6 benchmarks x 6 networks.",
+      specnoc::bench::Sharding::kSupported);
   core::NetworkConfig cfg;  // 8x8, 5-flit packets
   stats::ExperimentRunner runner(cfg, opts.seed);
+  stats::ShardedSweep sweep = specnoc::bench::make_sweep(opts);
 
   // All 36 grid cells are independent runs; execute them on the pool. The
   // outcomes come back in spec order and also warm the saturation() cache
@@ -53,11 +57,12 @@ int main(int argc, char** argv) {
   std::vector<stats::SaturationSpec> specs;
   for (const auto arch : kRowOrder) {
     for (const auto bench : traffic::all_benchmarks()) {
-      specs.push_back({.arch = arch, .bench = bench, .seed = 0, .factory = {}});
+      specs.push_back({.arch = arch, .bench = bench, .seed = 0,
+                      .factory = {}, .custom = {}});
     }
   }
-  const auto outcomes =
-      runner.run_saturation_grid(specs, specnoc::bench::batch_options(opts));
+  const auto outcomes = sweep.saturation_grid("throughput", runner, specs);
+  if (!sweep.should_render()) return sweep.finish();
   specnoc::bench::TelemetryTable telemetry;
   telemetry.add_all(outcomes);
 

@@ -1,0 +1,72 @@
+// sweep_merge: combine shard files produced by harness --shard workers.
+//
+// Validates that every input belongs to the same sweep (schema version,
+// tool, seed, shard count, per-grid spec-key hashes), merges the outcomes
+// in spec order, and writes one merged JSONL file the harness can render
+// with --from. The coverage report (missing cells, duplicates, failures)
+// goes to stderr; exit code 0 means the merge is complete, 3 means it is
+// valid but has holes (a worker is still missing), 2 means the inputs do
+// not belong together.
+//
+//   bench_table1_throughput --shard 0/3 --out s0.jsonl   # on machine A
+//   bench_table1_throughput --shard 1/3 --out s1.jsonl   # on machine B
+//   bench_table1_throughput --shard 2/3 --out s2.jsonl   # on machine C
+//   sweep_merge --out merged.jsonl s0.jsonl s1.jsonl s2.jsonl
+//   bench_table1_throughput --from merged.jsonl          # the tables
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/sweep.h"
+#include "util/cli.h"
+#include "util/error.h"
+
+int main(int argc, char** argv) {
+  using namespace specnoc;
+
+  std::string out_path;
+  std::vector<std::string> shard_paths;
+
+  util::CliParser cli(
+      "sweep_merge",
+      "Validate and merge shard files from a sharded design-space sweep.");
+  cli.add_string("--out", &out_path, "merged JSONL output path (required)");
+  cli.add_positional_list("shard.jsonl", &shard_paths,
+                          "shard files produced by harness --shard workers");
+  cli.parse_or_exit(argc, argv);
+
+  try {
+    if (out_path.empty()) {
+      throw util::UsageError("--out is required");
+    }
+    if (shard_paths.empty()) {
+      throw util::UsageError("no shard files given");
+    }
+
+    std::vector<stats::ShardFile> inputs;
+    inputs.reserve(shard_paths.size());
+    for (const auto& path : shard_paths) {
+      inputs.push_back(stats::load_shard_file(path));
+    }
+
+    stats::MergeReport report;
+    const stats::ShardFile merged = stats::merge_shards(inputs, &report);
+    stats::write_shard_file(merged, out_path);
+
+    std::fprintf(stderr, "merged %zu shard file(s) of tool '%s' (seed %llu) "
+                 "into %s\n",
+                 shard_paths.size(), merged.manifest.tool.c_str(),
+                 static_cast<unsigned long long>(merged.manifest.seed),
+                 out_path.c_str());
+    std::fputs(report.summary().c_str(), stderr);
+
+    return report.complete() ? 0 : 3;
+  } catch (const util::UsageError& error) {
+    std::fprintf(stderr, "sweep_merge: %s\n", error.what());
+    std::fputs(cli.usage().c_str(), stderr);
+    return 2;
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "sweep_merge: %s\n", error.what());
+    return 2;
+  }
+}

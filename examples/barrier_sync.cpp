@@ -10,12 +10,12 @@
 //   $ ./examples/barrier_sync [rounds]
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <numeric>
 #include <set>
 #include <vector>
 
 #include "core/mot_network.h"
+#include "util/cli.h"
 #include "util/rng.h"
 
 using namespace specnoc;
@@ -103,8 +103,11 @@ double mean_of(const std::vector<double>& v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint32_t rounds =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 500;
+  std::uint32_t rounds = 500;
+  util::CliParser cli("barrier_sync",
+                      "Barrier synchronization rounds across the architectures.");
+  cli.add_positional_uint32("rounds", &rounds, "barrier rounds to run (default 500)");
+  cli.parse_or_exit(argc, argv);
 
   std::printf("Barrier synchronization, 8 cores, %u rounds "
               "(coordinator = core 0):\n\n", rounds);

@@ -13,12 +13,12 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <numeric>
 #include <vector>
 
 #include "core/mot_network.h"
+#include "util/cli.h"
 #include "util/rng.h"
 
 using namespace specnoc;
@@ -110,8 +110,11 @@ class CoherenceDriver final : public noc::TrafficObserver {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint32_t writes_per_proc =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 200;
+  std::uint32_t writes_per_proc = 200;
+  util::CliParser cli("cache_coherence",
+                      "Write-invalidate coherence traffic over an 8x8 MoT.");
+  cli.add_positional_uint32("writes", &writes_per_proc, "writes issued per processor (default 200)");
+  cli.parse_or_exit(argc, argv);
 
   std::printf("Write-invalidate coherence over an 8x8 MoT "
               "(%u writes/processor, 1-5 sharers per line):\n\n",

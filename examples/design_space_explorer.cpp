@@ -13,15 +13,17 @@
 // Every design point is three independent simulations (saturation anchor,
 // latency, power); the sweep batches them on the work-stealing parallel
 // runner. Results are keyed by design point, so the ranking is identical
-// for any --jobs value (--jobs 1 is the serial path).
+// for any --jobs value (--jobs 1 is the serial path). Large radixes can be
+// split across machines with --shard i/K --out shard.jsonl, combined with
+// sweep_merge, and ranked from the merged file with --from.
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "stats/experiment.h"
+#include "stats/sweep.h"
+#include "util/cli.h"
 
 using namespace specnoc;
 
@@ -41,25 +43,55 @@ struct DesignPoint {
 
 int main(int argc, char** argv) {
   std::uint32_t n = 16;
-  stats::BatchOptions batch;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
-      batch.jobs =
-          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
-    } else {
-      n = static_cast<std::uint32_t>(std::atoi(argv[i]));
-    }
+  std::uint64_t seed = 42;
+  stats::SweepOptions sweep_options;
+  sweep_options.tool = "design_space_explorer";
+
+  util::CliParser cli("design_space_explorer",
+                      "Sweep every per-level speculation placement and rank "
+                      "the local configurations.");
+  cli.add_positional_uint32("n", &n, "network radix (default 16)");
+  cli.add_unsigned("--jobs", &sweep_options.batch.jobs,
+                   "worker threads (0: hardware concurrency, 1: serial)");
+  cli.add_uint64("--seed", &seed, "experiment seed");
+  cli.add_custom("--shard", "i/K",
+                 "worker mode: run only shard i of K (requires --out)",
+                 [&sweep_options](const std::string& value) {
+                   sweep_options.shard = sim::ShardRef::parse(value);
+                   sweep_options.mode = stats::SweepMode::kWorker;
+                 });
+  cli.add_string("--out", &sweep_options.out_path,
+                 "worker mode: write this shard's results to a JSONL file");
+  cli.add_string("--from", &sweep_options.from_path,
+                 "rank from a merged shard file instead of simulating");
+  cli.parse_or_exit(argc, argv);
+  if (!sweep_options.out_path.empty()) {
+    sweep_options.mode = stats::SweepMode::kWorker;
+  } else if (!sweep_options.from_path.empty()) {
+    sweep_options.mode = stats::SweepMode::kRender;
   }
+  sweep_options.seed = seed;
 
   core::NetworkConfig config;
   config.n = n;
-  stats::ExperimentRunner runner(config, /*seed=*/42);
+  stats::ExperimentRunner runner(config, seed);
+  auto make_sweep = [&sweep_options]() -> stats::ShardedSweep {
+    try {
+      return stats::ShardedSweep(sweep_options);
+    } catch (const ConfigError& error) {
+      std::fprintf(stderr, "design_space_explorer: %s\n", error.what());
+      std::exit(2);
+    }
+  };
+  stats::ShardedSweep sweep = make_sweep();
   const mot::MotTopology topology(n);
   const auto bench = traffic::BenchmarkId::kMulticast10;
   const auto windows = traffic::default_windows(bench);
 
-  std::printf("Exploring %ux%u speculation placements on %s...\n\n", n, n,
-              traffic::to_string(bench));
+  if (sweep.should_render()) {
+    std::printf("Exploring %ux%u speculation placements on %s...\n\n", n, n,
+                traffic::to_string(bench));
+  }
 
   std::vector<DesignPoint> points;
   std::vector<stats::SaturationSpec> sat_specs;
@@ -86,15 +118,18 @@ int main(int argc, char** argv) {
     sat_specs.push_back({.arch = core::Architecture::kCustomHybrid,
                          .bench = bench,
                          .seed = 0,
-                         .factory = [config, spec] {
-                           return std::make_unique<core::MotNetwork>(config,
-                                                                     spec);
-                         }});
+                         .factory =
+                             [config, spec] {
+                               return std::make_unique<core::MotNetwork>(
+                                   config, spec);
+                             },
+                         .custom = label});
   }
 
-  // Phase 1: each point's saturation anchor. Phase 2: latency and power at
-  // 25% of it, batched across all points.
-  const auto sat_outcomes = runner.run_saturation_grid(sat_specs, batch);
+  // Phase 1: each point's saturation anchor — run in full in every mode so
+  // all shard workers derive identical latency/power grids. Phase 2:
+  // latency and power at 25% of it, the grids that get sharded.
+  const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
   std::vector<stats::LatencySpec> lat_specs;
   std::vector<stats::PowerSpec> power_specs;
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -104,16 +139,19 @@ int main(int argc, char** argv) {
                          .injected_flits_per_ns = rate,
                          .windows = windows,
                          .seed = 0,
-                         .factory = sat_specs[i].factory});
+                         .factory = sat_specs[i].factory,
+                         .custom = points[i].label});
     power_specs.push_back({.arch = core::Architecture::kCustomHybrid,
                            .bench = bench,
                            .injected_flits_per_ns = rate,
                            .windows = windows,
                            .seed = 0,
-                           .factory = sat_specs[i].factory});
+                           .factory = sat_specs[i].factory,
+                           .custom = points[i].label});
   }
-  const auto lat_outcomes = runner.run_latency_sweep(lat_specs, batch);
-  const auto power_outcomes = runner.run_power_sweep(power_specs, batch);
+  const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);
+  const auto power_outcomes = sweep.power_sweep("power", runner, power_specs);
+  if (!sweep.should_render()) return sweep.finish();
   for (std::size_t i = 0; i < points.size(); ++i) {
     points[i].latency_ns = lat_outcomes[i].result.mean_latency_ns;
     points[i].power_mw = power_outcomes[i].result.power_mw;

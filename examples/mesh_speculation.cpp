@@ -7,10 +7,10 @@
 // destination header arrival times plus the redundant-copy accounting —
 // the mesh analogue of the quickstart's MoT comparison.
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 
 #include "mesh/mesh_network.h"
+#include "util/cli.h"
 
 using namespace specnoc;
 
@@ -37,10 +37,14 @@ std::uint64_t total_throttled(mesh::MeshNetwork& net) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto cols =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4u;
-  const auto rows =
-      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4u;
+  std::uint32_t cols = 4;
+  std::uint32_t rows = 4;
+  util::CliParser cli("mesh_speculation",
+                      "Compare a plain XY mesh against a checkerboard-"
+                      "speculative mesh on one multicast.");
+  cli.add_positional_uint32("cols", &cols, "mesh columns (default 4)");
+  cli.add_positional_uint32("rows", &rows, "mesh rows (default 4)");
+  cli.parse_or_exit(argc, argv);
 
   mesh::MeshConfig plain_cfg;
   plain_cfg.cols = cols;

@@ -13,13 +13,13 @@
 // --list prints the available architectures and benchmarks.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
 #include "stats/experiment.h"
 #include "stats/trace.h"
 #include "traffic/driver.h"
+#include "util/cli.h"
 #include "util/error.h"
 
 using namespace specnoc;
@@ -40,16 +40,6 @@ struct Options {
   TimePs horizon = 200_ns;
 };
 
-[[noreturn]] void usage(int code) {
-  std::printf(
-      "usage: run_experiment [--mode saturation|latency|power|trace]\n"
-      "                      [--arch NAME] [--bench NAME] [--n N]\n"
-      "                      [--fraction F | --rate FLITS_PER_NS]\n"
-      "                      [--seed S] [--clock PS]\n"
-      "                      [--trace FILE] [--horizon-ns NS] [--list]\n");
-  std::exit(code);
-}
-
 void list_names() {
   std::printf("architectures:\n");
   for (const auto arch : core::all_architectures()) {
@@ -63,28 +53,30 @@ void list_names() {
 
 Options parse(int argc, char** argv) {
   Options opts;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(2);
-      return argv[++i];
-    };
-    if (flag == "--mode") opts.mode = value();
-    else if (flag == "--arch") opts.arch = value();
-    else if (flag == "--bench") opts.bench = value();
-    else if (flag == "--n") opts.n = static_cast<std::uint32_t>(
-        std::stoul(value()));
-    else if (flag == "--fraction") opts.fraction = std::stod(value());
-    else if (flag == "--rate") opts.rate = std::stod(value());
-    else if (flag == "--seed") opts.seed = std::stoull(value());
-    else if (flag == "--clock") opts.clock = std::stoll(value());
-    else if (flag == "--trace") opts.trace_path = value();
-    else if (flag == "--horizon-ns")
-      opts.horizon = std::stoll(value()) * 1000;
-    else if (flag == "--list") { list_names(); std::exit(0); }
-    else if (flag == "--help") usage(0);
-    else { std::fprintf(stderr, "unknown flag %s\n", flag.c_str()); usage(2); }
-  }
+  util::CliParser cli("run_experiment",
+                      "Run one simulation (saturation, latency, power, or "
+                      "trace) and print its results.");
+  cli.add_string("--mode", &opts.mode, "saturation | latency | power | trace");
+  cli.add_string("--arch", &opts.arch, "architecture name (see --list)");
+  cli.add_string("--bench", &opts.bench, "benchmark name (see --list)");
+  cli.add_uint32("--n", &opts.n, "network radix");
+  cli.add_double("--fraction", &opts.fraction,
+                 "operating point as a fraction of saturation");
+  cli.add_double("--rate", &opts.rate,
+                 "explicit flits/ns/source (overrides --fraction)");
+  cli.add_uint64("--seed", &opts.seed, "traffic seed");
+  cli.add_int64("--clock", &opts.clock, "clock period in ps (0 = async)");
+  cli.add_string("--trace", &opts.trace_path, "trace CSV path (trace mode)");
+  cli.add_custom("--horizon-ns", "NS", "trace horizon in ns",
+                 [&opts](const std::string& v) {
+                   opts.horizon = util::parse_i64(v, "--horizon-ns") * 1000;
+                 });
+  cli.add_action("--list", "print available architectures and benchmarks",
+                 [] {
+                   list_names();
+                   std::exit(0);
+                 });
+  cli.parse_or_exit(argc, argv);
   return opts;
 }
 

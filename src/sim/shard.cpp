@@ -1,0 +1,62 @@
+#include "sim/shard.h"
+
+#include <limits>
+#include <unordered_set>
+
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace specnoc::sim {
+
+ShardRef ShardRef::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw util::UsageError("--shard: expected i/K (e.g. 0/3), got '" + text +
+                           "'");
+  }
+  ShardRef ref;
+  const std::uint64_t index =
+      util::parse_u64(text.substr(0, slash), "--shard index");
+  const std::uint64_t count =
+      util::parse_u64(text.substr(slash + 1), "--shard count");
+  if (count == 0) throw util::UsageError("--shard: count must be >= 1");
+  if (count > std::numeric_limits<unsigned>::max()) {
+    throw util::UsageError("--shard: count out of range");
+  }
+  if (index >= count) {
+    throw util::UsageError("--shard: index " + std::to_string(index) +
+                           " out of range for " + std::to_string(count) +
+                           " shards (0-based)");
+  }
+  ref.index = static_cast<unsigned>(index);
+  ref.count = static_cast<unsigned>(count);
+  return ref;
+}
+
+std::string ShardRef::to_string() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+ShardPlan::ShardPlan(unsigned shards) : shards_(shards) {
+  if (shards == 0) throw ConfigError("ShardPlan: shard count must be >= 1");
+}
+
+std::vector<std::size_t> ShardPlan::cells_of(
+    const std::vector<std::string>& keys, unsigned shard) const {
+  if (shard >= shards_) {
+    throw ConfigError("ShardPlan: shard " + std::to_string(shard) +
+                      " out of range for " + std::to_string(shards_) +
+                      " shards");
+  }
+  std::unordered_set<std::string_view> seen;
+  std::vector<std::size_t> cells;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!seen.insert(keys[i]).second) {
+      throw ConfigError("ShardPlan: duplicate spec key '" + keys[i] + "'");
+    }
+    if (shard_of(keys[i]) == shard) cells.push_back(i);
+  }
+  return cells;
+}
+
+}  // namespace specnoc::sim

@@ -1,0 +1,68 @@
+// Deterministic partitioning of keyed run grids across machines.
+//
+// A sharded sweep runs the same harness binary K times (anywhere, in any
+// order) with --shard 0/K .. K-1/K; each worker executes only the grid
+// cells its shard owns and appends them to a JSONL shard file. Assignment
+// is a pure function of the cell's *spec key* and K — fnv1a64(key) % K —
+// so it does not depend on grid enumeration order, thread count, or which
+// machine runs which shard, and every worker agrees on the partition
+// without coordination. Merging the shard files (see stats/sweep.h)
+// reproduces the single-process outcome vector exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specnoc::sim {
+
+/// 64-bit FNV-1a. Stable across platforms and processes (std::hash is
+/// not), which the cross-machine shard assignment and grid hashes require.
+constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// One worker's identity in a K-way split, as given by --shard i/K
+/// (0-based: i in [0, K)).
+struct ShardRef {
+  unsigned index = 0;
+  unsigned count = 1;
+
+  /// Parses "i/K" strictly (throws UsageError on malformed input,
+  /// K == 0, or i >= K).
+  static ShardRef parse(const std::string& text);
+
+  std::string to_string() const;
+
+  bool operator==(const ShardRef&) const = default;
+};
+
+/// The partition itself: shard_of(key) says which of `shards` workers owns
+/// a cell. Keys must be unique within a grid (stats-layer spec keys are).
+class ShardPlan {
+ public:
+  explicit ShardPlan(unsigned shards);
+
+  unsigned shards() const { return shards_; }
+
+  unsigned shard_of(std::string_view key) const {
+    return static_cast<unsigned>(fnv1a64(key) % shards_);
+  }
+
+  /// Indices into `keys` owned by `shard`, in grid order. Throws
+  /// ConfigError if the keys are not unique (two cells with the same key
+  /// would silently collapse in the merged output).
+  std::vector<std::size_t> cells_of(const std::vector<std::string>& keys,
+                                    unsigned shard) const;
+
+ private:
+  unsigned shards_;
+};
+
+}  // namespace specnoc::sim

@@ -45,6 +45,12 @@ const SaturationResult& ExperimentRunner::saturation(
   return it->second;
 }
 
+void ExperimentRunner::prime_saturation(core::Architecture arch,
+                                        traffic::BenchmarkId bench,
+                                        const SaturationResult& result) {
+  saturation_cache_.emplace(std::make_pair(arch, bench), result);
+}
+
 SaturationResult ExperimentRunner::run_saturation(
     const NetworkFactory& factory, traffic::BenchmarkId bench) const {
   return saturation_run(factory, bench, seed_, nullptr);

@@ -76,12 +76,17 @@ struct BatchOptions {
 
 /// One cell of a saturation grid. `factory` (when set) overrides the
 /// architecture's canonical network — used for custom design points;
-/// `seed` = 0 means the runner's own seed.
+/// `seed` = 0 means the runner's own seed. `custom` is a stable label for
+/// the factory's network (e.g. "{0,2}" for a speculation-map design
+/// point): it is part of the cell's serialized identity (spec_key in
+/// serialization.h), so sharded sweeps require it to uniquely name any
+/// non-canonical factory. Leave it empty for canonical architectures.
 struct SaturationSpec {
   core::Architecture arch = core::Architecture::kBaseline;
   traffic::BenchmarkId bench = traffic::BenchmarkId::kUniformRandom;
   std::uint64_t seed = 0;
   NetworkFactory factory;
+  std::string custom;
 };
 
 struct SaturationOutcome {
@@ -90,7 +95,8 @@ struct SaturationOutcome {
   sim::RunOutcome run;
 };
 
-/// One open-loop latency run at an explicit injected rate.
+/// One open-loop latency run at an explicit injected rate. `custom` as in
+/// SaturationSpec: a stable label identifying a non-canonical factory.
 struct LatencySpec {
   core::Architecture arch = core::Architecture::kBaseline;
   traffic::BenchmarkId bench = traffic::BenchmarkId::kUniformRandom;
@@ -98,6 +104,7 @@ struct LatencySpec {
   traffic::SimWindows windows;
   std::uint64_t seed = 0;
   NetworkFactory factory;
+  std::string custom;
 };
 
 struct LatencyOutcome {
@@ -106,7 +113,8 @@ struct LatencyOutcome {
   sim::RunOutcome run;
 };
 
-/// One open-loop power run at an explicit injected rate.
+/// One open-loop power run at an explicit injected rate. `custom` as in
+/// SaturationSpec: a stable label identifying a non-canonical factory.
 struct PowerSpec {
   core::Architecture arch = core::Architecture::kBaseline;
   traffic::BenchmarkId bench = traffic::BenchmarkId::kUniformRandom;
@@ -114,6 +122,7 @@ struct PowerSpec {
   traffic::SimWindows windows;
   std::uint64_t seed = 0;
   NetworkFactory factory;
+  std::string custom;
 };
 
 struct PowerOutcome {
@@ -130,6 +139,14 @@ class ExperimentRunner {
   /// Saturation throughput (memoized per architecture x benchmark).
   const SaturationResult& saturation(core::Architecture arch,
                                      traffic::BenchmarkId bench);
+
+  /// Seeds the saturation() memoization cache with an externally computed
+  /// result — e.g. outcomes loaded from a sharded sweep's merged shard
+  /// file — so the protocol methods reuse it instead of re-simulating.
+  /// The result must come from a canonical run (runner seed, canonical
+  /// network); an existing cache entry is left untouched.
+  void prime_saturation(core::Architecture arch, traffic::BenchmarkId bench,
+                        const SaturationResult& result);
 
   /// Latency at an explicit injected rate (flits/ns/source).
   LatencyResult measure_latency(core::Architecture arch,

@@ -1,0 +1,324 @@
+#include "stats/serialization.h"
+
+#include <cstdio>
+
+#include "sim/shard.h"
+#include "util/error.h"
+
+namespace specnoc::stats {
+
+using util::Json;
+
+namespace {
+
+Json windows_to_json(const traffic::SimWindows& windows) {
+  Json json = Json::object();
+  json.set("warmup_ps", static_cast<std::int64_t>(windows.warmup));
+  json.set("measure_ps", static_cast<std::int64_t>(windows.measure));
+  return json;
+}
+
+traffic::SimWindows windows_from_json(const Json& json) {
+  traffic::SimWindows windows;
+  windows.warmup = json.at("warmup_ps").as_i64();
+  windows.measure = json.at("measure_ps").as_i64();
+  return windows;
+}
+
+void set_spec_base(Json& json, core::Architecture arch,
+                   traffic::BenchmarkId bench, std::uint64_t seed,
+                   const std::string& custom) {
+  json.set("arch", core::to_string(arch));
+  json.set("bench", traffic::to_string(bench));
+  json.set("seed", seed);
+  if (!custom.empty()) json.set("custom", custom);
+}
+
+core::Architecture arch_from_json(const Json& json) {
+  const std::string& name = json.at("arch").as_string();
+  // kCustomHybrid is not parseable via architecture_from_string (it has no
+  // canonical speculation map), but serialized custom design points carry
+  // it; the factory must be rebuilt locally from the `custom` label.
+  if (name == core::to_string(core::Architecture::kCustomHybrid)) {
+    return core::Architecture::kCustomHybrid;
+  }
+  return core::architecture_from_string(name);
+}
+
+std::string custom_from_json(const Json& json) {
+  const Json* custom = json.find("custom");
+  return custom != nullptr ? custom->as_string() : std::string();
+}
+
+}  // namespace
+
+Json to_json(const SaturationSpec& spec) {
+  Json json = Json::object();
+  json.set("kind", "saturation");
+  set_spec_base(json, spec.arch, spec.bench, spec.seed, spec.custom);
+  return json;
+}
+
+Json to_json(const LatencySpec& spec) {
+  Json json = Json::object();
+  json.set("kind", "latency");
+  set_spec_base(json, spec.arch, spec.bench, spec.seed, spec.custom);
+  json.set("injected_flits_per_ns", spec.injected_flits_per_ns);
+  json.set("windows", windows_to_json(spec.windows));
+  return json;
+}
+
+Json to_json(const PowerSpec& spec) {
+  Json json = Json::object();
+  json.set("kind", "power");
+  set_spec_base(json, spec.arch, spec.bench, spec.seed, spec.custom);
+  json.set("injected_flits_per_ns", spec.injected_flits_per_ns);
+  json.set("windows", windows_to_json(spec.windows));
+  return json;
+}
+
+namespace {
+
+void expect_kind(const Json& json, const char* kind) {
+  const std::string& got = json.at("kind").as_string();
+  if (got != kind) {
+    throw ConfigError(std::string("spec kind mismatch: expected ") + kind +
+                      ", got " + got);
+  }
+}
+
+}  // namespace
+
+SaturationSpec saturation_spec_from_json(const Json& json) {
+  expect_kind(json, "saturation");
+  SaturationSpec spec;
+  spec.arch = arch_from_json(json);
+  spec.bench = traffic::benchmark_from_string(json.at("bench").as_string());
+  spec.seed = json.at("seed").as_u64();
+  spec.custom = custom_from_json(json);
+  return spec;
+}
+
+LatencySpec latency_spec_from_json(const Json& json) {
+  expect_kind(json, "latency");
+  LatencySpec spec;
+  spec.arch = arch_from_json(json);
+  spec.bench = traffic::benchmark_from_string(json.at("bench").as_string());
+  spec.seed = json.at("seed").as_u64();
+  spec.custom = custom_from_json(json);
+  spec.injected_flits_per_ns = json.at("injected_flits_per_ns").as_double();
+  spec.windows = windows_from_json(json.at("windows"));
+  return spec;
+}
+
+PowerSpec power_spec_from_json(const Json& json) {
+  expect_kind(json, "power");
+  PowerSpec spec;
+  spec.arch = arch_from_json(json);
+  spec.bench = traffic::benchmark_from_string(json.at("bench").as_string());
+  spec.seed = json.at("seed").as_u64();
+  spec.custom = custom_from_json(json);
+  spec.injected_flits_per_ns = json.at("injected_flits_per_ns").as_double();
+  spec.windows = windows_from_json(json.at("windows"));
+  return spec;
+}
+
+Json to_json(const SaturationResult& result) {
+  Json json = Json::object();
+  json.set("delivered_flits_per_ns", result.delivered_flits_per_ns);
+  json.set("injected_flits_per_ns", result.injected_flits_per_ns);
+  json.set("delivery_factor", result.delivery_factor);
+  json.set("message_expansion", result.message_expansion);
+  return json;
+}
+
+SaturationResult saturation_result_from_json(const Json& json) {
+  SaturationResult result;
+  result.delivered_flits_per_ns =
+      json.at("delivered_flits_per_ns").as_double();
+  result.injected_flits_per_ns = json.at("injected_flits_per_ns").as_double();
+  result.delivery_factor = json.at("delivery_factor").as_double();
+  result.message_expansion = json.at("message_expansion").as_double();
+  return result;
+}
+
+Json to_json(const LatencyResult& result) {
+  Json json = Json::object();
+  json.set("mean_latency_ns", result.mean_latency_ns);
+  json.set("p95_latency_ns", result.p95_latency_ns);
+  json.set("max_latency_ns", result.max_latency_ns);
+  json.set("messages_measured", result.messages_measured);
+  json.set("offered_flits_per_ns", result.offered_flits_per_ns);
+  json.set("drained", result.drained);
+  return json;
+}
+
+LatencyResult latency_result_from_json(const Json& json) {
+  LatencyResult result;
+  result.mean_latency_ns = json.at("mean_latency_ns").as_double();
+  result.p95_latency_ns = json.at("p95_latency_ns").as_double();
+  result.max_latency_ns = json.at("max_latency_ns").as_double();
+  result.messages_measured = json.at("messages_measured").as_u64();
+  result.offered_flits_per_ns = json.at("offered_flits_per_ns").as_double();
+  result.drained = json.at("drained").as_bool();
+  return result;
+}
+
+Json to_json(const PowerResult& result) {
+  Json json = Json::object();
+  json.set("power_mw", result.power_mw);
+  json.set("node_power_mw", result.node_power_mw);
+  json.set("wire_power_mw", result.wire_power_mw);
+  json.set("delivered_flits_per_ns", result.delivered_flits_per_ns);
+  json.set("offered_flits_per_ns", result.offered_flits_per_ns);
+  json.set("throttled_flits", result.throttled_flits);
+  json.set("broadcast_ops", result.broadcast_ops);
+  return json;
+}
+
+PowerResult power_result_from_json(const Json& json) {
+  PowerResult result;
+  result.power_mw = json.at("power_mw").as_double();
+  result.node_power_mw = json.at("node_power_mw").as_double();
+  result.wire_power_mw = json.at("wire_power_mw").as_double();
+  result.delivered_flits_per_ns =
+      json.at("delivered_flits_per_ns").as_double();
+  result.offered_flits_per_ns = json.at("offered_flits_per_ns").as_double();
+  result.throttled_flits = json.at("throttled_flits").as_u64();
+  result.broadcast_ops = json.at("broadcast_ops").as_u64();
+  return result;
+}
+
+Json to_json(const sim::RunOutcome& run) {
+  Json json = Json::object();
+  json.set("ok", run.ok);
+  if (!run.error.empty()) json.set("error", run.error);
+  json.set("attempts", static_cast<std::uint64_t>(run.telemetry.attempts));
+  json.set("events", run.telemetry.events_executed);
+  json.set("wall_ms", run.telemetry.wall_ms);
+  return json;
+}
+
+sim::RunOutcome run_outcome_from_json(const Json& json) {
+  sim::RunOutcome run;
+  run.ok = json.at("ok").as_bool();
+  const Json* error = json.find("error");
+  if (error != nullptr) run.error = error->as_string();
+  run.telemetry.attempts = static_cast<unsigned>(json.at("attempts").as_u64());
+  run.telemetry.events_executed = json.at("events").as_u64();
+  run.telemetry.wall_ms = json.at("wall_ms").as_double();
+  return run;
+}
+
+namespace {
+
+template <typename Outcome>
+Json outcome_to_json(const Outcome& outcome) {
+  Json json = Json::object();
+  json.set("spec", to_json(outcome.spec));
+  json.set("run", to_json(outcome.run));
+  // The result slot is only meaningful for successful runs; omitting it
+  // for failures keeps failed rows small and makes the round trip yield
+  // the same default-constructed result the in-process path reports.
+  if (outcome.run.ok) json.set("result", to_json(outcome.result));
+  return json;
+}
+
+}  // namespace
+
+Json to_json(const SaturationOutcome& outcome) {
+  return outcome_to_json(outcome);
+}
+Json to_json(const LatencyOutcome& outcome) { return outcome_to_json(outcome); }
+Json to_json(const PowerOutcome& outcome) { return outcome_to_json(outcome); }
+
+SaturationOutcome saturation_outcome_from_json(const Json& json) {
+  SaturationOutcome outcome;
+  outcome.spec = saturation_spec_from_json(json.at("spec"));
+  outcome.run = run_outcome_from_json(json.at("run"));
+  if (outcome.run.ok) {
+    outcome.result = saturation_result_from_json(json.at("result"));
+  }
+  return outcome;
+}
+
+LatencyOutcome latency_outcome_from_json(const Json& json) {
+  LatencyOutcome outcome;
+  outcome.spec = latency_spec_from_json(json.at("spec"));
+  outcome.run = run_outcome_from_json(json.at("run"));
+  if (outcome.run.ok) {
+    outcome.result = latency_result_from_json(json.at("result"));
+  }
+  return outcome;
+}
+
+PowerOutcome power_outcome_from_json(const Json& json) {
+  PowerOutcome outcome;
+  outcome.spec = power_spec_from_json(json.at("spec"));
+  outcome.run = run_outcome_from_json(json.at("run"));
+  if (outcome.run.ok) {
+    outcome.result = power_result_from_json(json.at("result"));
+  }
+  return outcome;
+}
+
+namespace {
+
+std::string key_base(const char* kind, core::Architecture arch,
+                     traffic::BenchmarkId bench, std::uint64_t seed,
+                     const std::string& custom) {
+  std::string key = kind;
+  key += '|';
+  key += core::to_string(arch);
+  key += '|';
+  key += traffic::to_string(bench);
+  key += "|seed=";
+  key += std::to_string(seed);
+  if (!custom.empty()) {
+    key += '|';
+    key += custom;
+  }
+  return key;
+}
+
+std::string key_rate_windows(double rate, const traffic::SimWindows& windows) {
+  return "|rate=" + util::format_double(rate) +
+         "|w=" + std::to_string(windows.warmup) + ":" +
+         std::to_string(windows.measure);
+}
+
+}  // namespace
+
+std::string spec_key(const SaturationSpec& spec) {
+  return key_base("sat", spec.arch, spec.bench, spec.seed, spec.custom);
+}
+
+std::string spec_key(const LatencySpec& spec) {
+  return key_base("lat", spec.arch, spec.bench, spec.seed, spec.custom) +
+         key_rate_windows(spec.injected_flits_per_ns, spec.windows);
+}
+
+std::string spec_key(const PowerSpec& spec) {
+  return key_base("pow", spec.arch, spec.bench, spec.seed, spec.custom) +
+         key_rate_windows(spec.injected_flits_per_ns, spec.windows);
+}
+
+std::string grid_hash(const std::vector<std::string>& keys) {
+  std::string blob;
+  for (const auto& key : keys) {
+    blob += key;
+    blob += '\n';
+  }
+  const std::uint64_t hash = sim::fnv1a64(blob);
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+const char* run_status(const sim::RunOutcome& run) {
+  if (!run.ok) return "failed";
+  return run.telemetry.attempts > 1 ? "retried" : "ok";
+}
+
+}  // namespace specnoc::stats

@@ -1,0 +1,93 @@
+// JSON codecs and canonical keys for experiment specs and outcomes.
+//
+// Sharded sweeps move specs and outcomes between processes as values, so
+// every spec/result struct in experiment.h (plus sim::RunOutcome) gets a
+// JSON representation with an exact round trip: integers stay integers and
+// doubles are written in their shortest exact decimal form, so a value
+// that travels through a shard file renders the same table bytes as one
+// that never left the process.
+//
+// A spec's *identity* is its declarative fields. The NetworkFactory
+// closure is deliberately excluded: it cannot travel between processes.
+// Custom design points instead carry a `custom` label naming the factory's
+// network; deserialized specs come back with an empty factory, and any
+// process that wants to *run* (rather than merge/render) them must rebuild
+// the factory locally from the same label.
+//
+// spec_key() renders that identity as one canonical line — the sharding
+// key (sim::ShardPlan), the per-cell validation key in shard files, and
+// the input to grid_hash(), which fingerprints an entire grid so merge
+// tooling can refuse shards produced from different grids.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/parallel_runner.h"
+#include "stats/experiment.h"
+#include "util/json.h"
+
+namespace specnoc::stats {
+
+// --- specs ---------------------------------------------------------------
+
+util::Json to_json(const SaturationSpec& spec);
+util::Json to_json(const LatencySpec& spec);
+util::Json to_json(const PowerSpec& spec);
+
+SaturationSpec saturation_spec_from_json(const util::Json& json);
+LatencySpec latency_spec_from_json(const util::Json& json);
+PowerSpec power_spec_from_json(const util::Json& json);
+
+// --- results -------------------------------------------------------------
+
+util::Json to_json(const SaturationResult& result);
+util::Json to_json(const LatencyResult& result);
+util::Json to_json(const PowerResult& result);
+
+SaturationResult saturation_result_from_json(const util::Json& json);
+LatencyResult latency_result_from_json(const util::Json& json);
+PowerResult power_result_from_json(const util::Json& json);
+
+// --- run outcomes --------------------------------------------------------
+
+util::Json to_json(const sim::RunOutcome& run);
+sim::RunOutcome run_outcome_from_json(const util::Json& json);
+
+// --- full outcomes (spec + result + run) ---------------------------------
+
+util::Json to_json(const SaturationOutcome& outcome);
+util::Json to_json(const LatencyOutcome& outcome);
+util::Json to_json(const PowerOutcome& outcome);
+
+SaturationOutcome saturation_outcome_from_json(const util::Json& json);
+LatencyOutcome latency_outcome_from_json(const util::Json& json);
+PowerOutcome power_outcome_from_json(const util::Json& json);
+
+// --- identity ------------------------------------------------------------
+
+/// Canonical one-line identity of a spec, unique within a grid. Two specs
+/// with equal keys must describe the same run.
+std::string spec_key(const SaturationSpec& spec);
+std::string spec_key(const LatencySpec& spec);
+std::string spec_key(const PowerSpec& spec);
+
+/// Keys of a whole grid, in grid order.
+template <typename Spec>
+std::vector<std::string> spec_keys(const std::vector<Spec>& specs) {
+  std::vector<std::string> keys;
+  keys.reserve(specs.size());
+  for (const auto& spec : specs) keys.push_back(spec_key(spec));
+  return keys;
+}
+
+/// Order-sensitive fingerprint of a grid (hex fnv1a64 over its keys).
+/// Every shard worker of a sweep must compute the same hash, or the merge
+/// refuses to combine their outputs.
+std::string grid_hash(const std::vector<std::string>& keys);
+
+/// Per-run status recorded in shard files: "ok" (first attempt), "retried"
+/// (succeeded after >= 1 retry), or "failed".
+const char* run_status(const sim::RunOutcome& run);
+
+}  // namespace specnoc::stats

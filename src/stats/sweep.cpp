@@ -1,0 +1,631 @@
+#include "stats/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace specnoc::stats {
+
+using util::Json;
+
+namespace {
+
+Json manifest_to_json(const SweepManifest& manifest) {
+  Json json = Json::object();
+  json.set("record", "manifest");
+  json.set("format", kSweepFormat);
+  json.set("schema", static_cast<std::int64_t>(manifest.schema_version));
+  json.set("tool", manifest.tool);
+  json.set("shard", manifest.shard.index);
+  json.set("shards", manifest.shard.count);
+  json.set("seed", manifest.seed);
+  return json;
+}
+
+SweepManifest manifest_from_json(const Json& json) {
+  if (json.at("format").as_string() != kSweepFormat) {
+    throw ConfigError("not a " + std::string(kSweepFormat) + " file (format '" +
+                      json.at("format").as_string() + "')");
+  }
+  SweepManifest manifest;
+  manifest.schema_version = static_cast<int>(json.at("schema").as_i64());
+  if (manifest.schema_version != kSweepSchemaVersion) {
+    throw ConfigError("unsupported sweep schema version " +
+                      std::to_string(manifest.schema_version) + " (this build "
+                      "reads version " + std::to_string(kSweepSchemaVersion) +
+                      ")");
+  }
+  manifest.tool = json.at("tool").as_string();
+  manifest.shard.index = static_cast<unsigned>(json.at("shard").as_u64());
+  manifest.shard.count = static_cast<unsigned>(json.at("shards").as_u64());
+  if (manifest.shard.count == 0 ||
+      manifest.shard.index >= manifest.shard.count) {
+    throw ConfigError("manifest has invalid shard " +
+                      manifest.shard.to_string());
+  }
+  manifest.seed = json.at("seed").as_u64();
+  return manifest;
+}
+
+Json grid_to_json(const SweepGrid& grid) {
+  Json json = Json::object();
+  json.set("record", "grid");
+  json.set("name", grid.name);
+  json.set("kind", grid.kind);
+  json.set("size", static_cast<std::uint64_t>(grid.size));
+  json.set("hash", grid.hash);
+  return json;
+}
+
+SweepGrid grid_from_json(const Json& json) {
+  SweepGrid grid;
+  grid.name = json.at("name").as_string();
+  grid.kind = json.at("kind").as_string();
+  grid.size = static_cast<std::size_t>(json.at("size").as_u64());
+  grid.hash = json.at("hash").as_string();
+  return grid;
+}
+
+Json record_to_json(const std::string& grid_name, const SweepRecord& record) {
+  Json json = Json::object();
+  json.set("record", "outcome");
+  json.set("grid", grid_name);
+  json.set("cell", static_cast<std::uint64_t>(record.cell));
+  json.set("key", record.key);
+  json.set("status", record.status);
+  json.set("data", record.data);
+  return json;
+}
+
+bool valid_status(const std::string& status) {
+  return status == "ok" || status == "retried" || status == "failed";
+}
+
+bool same_grid(const SweepGrid& a, const SweepGrid& b) {
+  return a.name == b.name && a.kind == b.kind && a.size == b.size &&
+         a.hash == b.hash;
+}
+
+void append_cells(std::string& out, const std::vector<std::size_t>& cells) {
+  constexpr std::size_t kMaxListed = 8;
+  for (std::size_t i = 0; i < cells.size() && i < kMaxListed; ++i) {
+    out += (i == 0 ? " [" : ", ");
+    out += std::to_string(cells[i]);
+  }
+  if (!cells.empty()) {
+    if (cells.size() > kMaxListed) out += ", ...";
+    out += "]";
+  }
+}
+
+}  // namespace
+
+const SweepGrid* ShardFile::find_grid(const std::string& name) const {
+  for (const auto& grid : grids) {
+    if (grid.name == name) return &grid;
+  }
+  return nullptr;
+}
+
+ShardFile load_shard_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open shard file '" + path + "'");
+  ShardFile file;
+  bool have_manifest = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fail = [&](const std::string& why) -> ConfigError {
+      return ConfigError(path + ":" + std::to_string(line_no) + ": " + why);
+    };
+    Json json;
+    try {
+      json = util::json_parse(line);
+    } catch (const ConfigError& error) {
+      throw fail(error.what());
+    }
+    try {
+      const std::string& record = json.at("record").as_string();
+      if (record == "manifest") {
+        if (have_manifest) throw fail("duplicate manifest record");
+        file.manifest = manifest_from_json(json);
+        have_manifest = true;
+        continue;
+      }
+      if (!have_manifest) throw fail("first record must be the manifest");
+      if (file.complete) throw fail("record after the done record");
+      if (record == "grid") {
+        SweepGrid grid = grid_from_json(json);
+        if (file.find_grid(grid.name) != nullptr) {
+          throw fail("duplicate grid '" + grid.name + "'");
+        }
+        file.grids.push_back(std::move(grid));
+        continue;
+      }
+      if (record == "outcome") {
+        const std::string& grid_name = json.at("grid").as_string();
+        const SweepGrid* grid = file.find_grid(grid_name);
+        if (grid == nullptr) {
+          throw fail("outcome for unregistered grid '" + grid_name + "'");
+        }
+        SweepRecord rec;
+        rec.cell = static_cast<std::size_t>(json.at("cell").as_u64());
+        if (rec.cell >= grid->size) {
+          throw fail("cell " + std::to_string(rec.cell) +
+                     " out of range for grid '" + grid_name + "' (size " +
+                     std::to_string(grid->size) + ")");
+        }
+        rec.key = json.at("key").as_string();
+        rec.status = json.at("status").as_string();
+        if (!valid_status(rec.status)) {
+          throw fail("unknown status '" + rec.status + "'");
+        }
+        rec.data = json.at("data");
+        // Later records replace earlier ones: an appended re-run of a
+        // previously failed cell supersedes it.
+        file.records[grid_name].insert_or_assign(rec.cell, std::move(rec));
+        continue;
+      }
+      if (record == "done") {
+        file.complete = true;
+        continue;
+      }
+      throw fail("unknown record type '" + record + "'");
+    } catch (const ConfigError&) {
+      throw;
+    }
+  }
+  if (!have_manifest) {
+    throw ConfigError(path + ": no manifest record (empty or truncated file)");
+  }
+  return file;
+}
+
+void write_shard_file(const ShardFile& file, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ConfigError("cannot write shard file '" + path + "'");
+  out << util::json_write(manifest_to_json(file.manifest)) << "\n";
+  std::size_t outcomes = 0;
+  for (const auto& grid : file.grids) {
+    out << util::json_write(grid_to_json(grid)) << "\n";
+    const auto records = file.records.find(grid.name);
+    if (records == file.records.end()) continue;
+    for (const auto& [cell, record] : records->second) {
+      static_cast<void>(cell);
+      out << util::json_write(record_to_json(grid.name, record)) << "\n";
+      ++outcomes;
+    }
+  }
+  if (file.complete) {
+    Json done = Json::object();
+    done.set("record", "done");
+    done.set("outcomes", static_cast<std::uint64_t>(outcomes));
+    out << util::json_write(done) << "\n";
+  }
+  out.flush();
+  if (!out) throw ConfigError("short write to shard file '" + path + "'");
+}
+
+bool MergeReport::complete() const {
+  for (const auto& grid : grids) {
+    if (!grid.missing.empty() || !grid.duplicates.empty()) return false;
+  }
+  return true;
+}
+
+std::string MergeReport::summary() const {
+  std::string out;
+  for (const auto& grid : grids) {
+    out += "grid " + grid.name + ": " + std::to_string(grid.size) +
+           " cells, " + std::to_string(grid.present) + " present, " +
+           std::to_string(grid.missing.size()) + " missing";
+    append_cells(out, grid.missing);
+    out += ", " + std::to_string(grid.duplicates.size()) + " duplicate";
+    append_cells(out, grid.duplicates);
+    out += ", " + std::to_string(grid.failed.size()) + " failed";
+    append_cells(out, grid.failed);
+    out += "\n";
+  }
+  if (incomplete_inputs > 0) {
+    out += std::to_string(incomplete_inputs) +
+           " input shard(s) had no done record (interrupted worker?)\n";
+  }
+  out += complete() ? "merge: complete\n" : "merge: INCOMPLETE\n";
+  return out;
+}
+
+ShardFile merge_shards(const std::vector<ShardFile>& inputs,
+                       MergeReport* report) {
+  if (inputs.empty()) throw ConfigError("no shard files to merge");
+  const SweepManifest& ref = inputs.front().manifest;
+  std::vector<bool> seen_shard(ref.shard.count, false);
+  for (const auto& input : inputs) {
+    const SweepManifest& m = input.manifest;
+    if (m.tool != ref.tool) {
+      throw ConfigError("shard files are from different tools ('" + ref.tool +
+                        "' vs '" + m.tool + "')");
+    }
+    if (m.seed != ref.seed) {
+      throw ConfigError("shard files are from different seeds (" +
+                        std::to_string(ref.seed) + " vs " +
+                        std::to_string(m.seed) + ")");
+    }
+    if (m.shard.count != ref.shard.count) {
+      throw ConfigError("shard files disagree on the shard count (" +
+                        std::to_string(ref.shard.count) + " vs " +
+                        std::to_string(m.shard.count) + ")");
+    }
+    if (seen_shard[m.shard.index]) {
+      throw ConfigError("two inputs claim shard " + m.shard.to_string());
+    }
+    seen_shard[m.shard.index] = true;
+  }
+
+  ShardFile merged;
+  merged.manifest.tool = ref.tool;
+  merged.manifest.seed = ref.seed;
+  merged.manifest.shard = {0, 1};
+
+  // Grid identities must agree wherever they overlap; the union (in
+  // first-seen order) is the merged grid list, so a worker that died
+  // before registering a later grid still merges.
+  for (const auto& input : inputs) {
+    for (const auto& grid : input.grids) {
+      const SweepGrid* existing = merged.find_grid(grid.name);
+      if (existing == nullptr) {
+        merged.grids.push_back(grid);
+      } else if (!same_grid(*existing, grid)) {
+        throw ConfigError(
+            "grid '" + grid.name +
+            "' differs between shard files (size/hash mismatch); the shards "
+            "were not produced from the same sweep configuration");
+      }
+    }
+  }
+
+  MergeReport local_report;
+  MergeReport& rep = report != nullptr ? *report : local_report;
+  rep = MergeReport{};
+  for (const auto& input : inputs) {
+    if (!input.complete) ++rep.incomplete_inputs;
+  }
+
+  for (const auto& grid : merged.grids) {
+    MergeReport::Grid coverage;
+    coverage.name = grid.name;
+    coverage.size = grid.size;
+    auto& out_records = merged.records[grid.name];
+    for (const auto& input : inputs) {
+      const auto records = input.records.find(grid.name);
+      if (records == input.records.end()) continue;
+      for (const auto& [cell, record] : records->second) {
+        const auto existing = out_records.find(cell);
+        if (existing != out_records.end()) {
+          if (existing->second.key != record.key) {
+            throw ConfigError("grid '" + grid.name + "' cell " +
+                              std::to_string(cell) +
+                              " has conflicting keys across shard files");
+          }
+          coverage.duplicates.push_back(cell);
+          continue;  // first input in argument order wins
+        }
+        out_records.emplace(cell, record);
+      }
+    }
+    coverage.present = out_records.size();
+    for (std::size_t cell = 0; cell < grid.size; ++cell) {
+      const auto it = out_records.find(cell);
+      if (it == out_records.end()) {
+        coverage.missing.push_back(cell);
+      } else if (it->second.status == "failed") {
+        coverage.failed.push_back(cell);
+      }
+    }
+    std::sort(coverage.duplicates.begin(), coverage.duplicates.end());
+    coverage.duplicates.erase(
+        std::unique(coverage.duplicates.begin(), coverage.duplicates.end()),
+        coverage.duplicates.end());
+    rep.grids.push_back(std::move(coverage));
+  }
+  merged.complete = rep.complete();
+  return merged;
+}
+
+// --- ShardedSweep --------------------------------------------------------
+
+namespace {
+
+struct SaturationTraits {
+  using Spec = SaturationSpec;
+  using Outcome = SaturationOutcome;
+  static constexpr const char* kKind = "saturation";
+  static std::vector<Outcome> run(ExperimentRunner& runner,
+                                  const std::vector<Spec>& specs,
+                                  const BatchOptions& batch) {
+    return runner.run_saturation_grid(specs, batch);
+  }
+  static Outcome from_json(const Json& json) {
+    return saturation_outcome_from_json(json);
+  }
+};
+
+struct LatencyTraits {
+  using Spec = LatencySpec;
+  using Outcome = LatencyOutcome;
+  static constexpr const char* kKind = "latency";
+  static std::vector<Outcome> run(ExperimentRunner& runner,
+                                  const std::vector<Spec>& specs,
+                                  const BatchOptions& batch) {
+    return runner.run_latency_sweep(specs, batch);
+  }
+  static Outcome from_json(const Json& json) {
+    return latency_outcome_from_json(json);
+  }
+};
+
+struct PowerTraits {
+  using Spec = PowerSpec;
+  using Outcome = PowerOutcome;
+  static constexpr const char* kKind = "power";
+  static std::vector<Outcome> run(ExperimentRunner& runner,
+                                  const std::vector<Spec>& specs,
+                                  const BatchOptions& batch) {
+    return runner.run_power_sweep(specs, batch);
+  }
+  static Outcome from_json(const Json& json) {
+    return power_outcome_from_json(json);
+  }
+};
+
+/// Rendered saturation outcomes seed the runner's memoization cache so
+/// protocol methods (saturation(), power_at_baseline_fraction(), ...)
+/// reuse them exactly as a live run_saturation_grid() call would.
+void prime_runner(ExperimentRunner& runner,
+                  const std::vector<SaturationOutcome>& outcomes) {
+  for (const auto& outcome : outcomes) {
+    if (outcome.run.ok && outcome.spec.seed == 0 && !outcome.spec.factory &&
+        outcome.spec.custom.empty()) {
+      runner.prime_saturation(outcome.spec.arch, outcome.spec.bench,
+                              outcome.result);
+    }
+  }
+}
+void prime_runner(ExperimentRunner&, const std::vector<LatencyOutcome>&) {}
+void prime_runner(ExperimentRunner&, const std::vector<PowerOutcome>&) {}
+
+bool file_has_content(const std::string& path) {
+  std::ifstream in(path);
+  return in.good() && in.peek() != std::ifstream::traits_type::eof();
+}
+
+}  // namespace
+
+ShardedSweep::ShardedSweep(SweepOptions options)
+    : options_(std::move(options)) {
+  switch (options_.mode) {
+    case SweepMode::kRun:
+      break;
+    case SweepMode::kWorker: {
+      if (options_.out_path.empty()) {
+        throw ConfigError("worker mode requires --out <shard.jsonl>");
+      }
+      file_.manifest.tool = options_.tool;
+      file_.manifest.shard = options_.shard;
+      file_.manifest.seed = options_.seed;
+      // An existing non-empty output resumes the shard: completed cells
+      // are carried over, failed and missing ones re-run. A file from a
+      // different sweep is an error, never silently clobbered.
+      if (file_has_content(options_.out_path)) {
+        resume_ = load_shard_file(options_.out_path);
+        const SweepManifest& m = resume_.manifest;
+        if (m.tool != options_.tool || m.seed != options_.seed ||
+            !(m.shard == options_.shard)) {
+          throw ConfigError(
+              "existing shard file '" + options_.out_path +
+              "' belongs to a different sweep (tool " + m.tool + ", shard " +
+              m.shard.to_string() + ", seed " + std::to_string(m.seed) +
+              "); delete it or choose another --out to start fresh");
+        }
+        resuming_ = true;
+      }
+      break;
+    }
+    case SweepMode::kRender: {
+      if (options_.from_path.empty()) {
+        throw ConfigError("render mode requires --from <merged.jsonl>");
+      }
+      file_ = load_shard_file(options_.from_path);
+      const SweepManifest& m = file_.manifest;
+      if (m.tool != options_.tool) {
+        throw ConfigError("--from file '" + options_.from_path +
+                          "' was produced by tool '" + m.tool +
+                          "', not by this harness ('" + options_.tool + "')");
+      }
+      if (m.seed != options_.seed) {
+        throw ConfigError("--from file '" + options_.from_path +
+                          "' was produced with seed " + std::to_string(m.seed) +
+                          "; rerun with --seed " + std::to_string(m.seed) +
+                          " (tables would not match)");
+      }
+      break;
+    }
+  }
+}
+
+std::vector<SaturationOutcome> ShardedSweep::anchor_saturation(
+    ExperimentRunner& runner, const std::vector<SaturationSpec>& specs) {
+  return runner.run_saturation_grid(specs, options_.batch);
+}
+
+template <typename Traits>
+std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
+    const std::string& name, ExperimentRunner& runner,
+    const std::vector<typename Traits::Spec>& specs) {
+  using Outcome = typename Traits::Outcome;
+  using Spec = typename Traits::Spec;
+
+  if (options_.mode == SweepMode::kRun) {
+    return Traits::run(runner, specs, options_.batch);
+  }
+
+  const std::vector<std::string> keys = spec_keys(specs);
+  const SweepGrid grid{name, Traits::kKind, specs.size(), grid_hash(keys)};
+
+  if (options_.mode == SweepMode::kWorker) {
+    if (file_.find_grid(name) != nullptr) {
+      throw ConfigError("sweep grid '" + name + "' registered twice");
+    }
+    file_.grids.push_back(grid);
+
+    const sim::ShardPlan plan(options_.shard.count);
+    const std::vector<std::size_t> mine =
+        plan.cells_of(keys, options_.shard.index);
+
+    std::vector<Outcome> outcomes(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      outcomes[i].spec = specs[i];
+      outcomes[i].run.ok = false;
+      outcomes[i].run.error =
+          "cell not owned by shard " + options_.shard.to_string();
+    }
+
+    const SweepGrid* prev =
+        resuming_ ? resume_.find_grid(name) : nullptr;
+    if (prev != nullptr && !same_grid(*prev, grid)) {
+      throw ConfigError("existing shard file '" + options_.out_path +
+                        "' recorded grid '" + name +
+                        "' with a different identity; it was produced from a "
+                        "different sweep configuration — delete it to rerun");
+    }
+    const std::map<std::size_t, SweepRecord>* prev_records = nullptr;
+    if (prev != nullptr) {
+      const auto it = resume_.records.find(name);
+      if (it != resume_.records.end()) prev_records = &it->second;
+    }
+
+    auto& out_records = file_.records[name];
+    std::vector<std::size_t> to_run;
+    for (const std::size_t cell : mine) {
+      const SweepRecord* carried = nullptr;
+      if (prev_records != nullptr) {
+        const auto it = prev_records->find(cell);
+        if (it != prev_records->end() && it->second.status != "failed") {
+          carried = &it->second;
+        }
+      }
+      if (carried != nullptr) {
+        outcomes[cell] = Traits::from_json(carried->data);
+        outcomes[cell].spec = specs[cell];
+        out_records.emplace(cell, *carried);
+        ++carried_;
+      } else {
+        to_run.push_back(cell);
+      }
+    }
+
+    std::vector<Spec> subset;
+    subset.reserve(to_run.size());
+    for (const std::size_t cell : to_run) subset.push_back(specs[cell]);
+    const std::vector<Outcome> fresh =
+        Traits::run(runner, subset, options_.batch);
+    for (std::size_t j = 0; j < to_run.size(); ++j) {
+      const std::size_t cell = to_run[j];
+      outcomes[cell] = fresh[j];
+      SweepRecord record;
+      record.cell = cell;
+      record.key = keys[cell];
+      record.status = run_status(fresh[j].run);
+      record.data = to_json(fresh[j]);
+      out_records.insert_or_assign(cell, std::move(record));
+      ++executed_;
+      if (!fresh[j].run.ok) ++failures_;
+    }
+    flush();
+    return outcomes;
+  }
+
+  // kRender: outcomes come from the loaded (merged) file.
+  const SweepGrid* loaded = file_.find_grid(name);
+  if (loaded == nullptr) {
+    throw ConfigError("--from file '" + options_.from_path +
+                      "' has no grid '" + name + "'");
+  }
+  if (!same_grid(*loaded, grid)) {
+    throw ConfigError(
+        "--from file grid '" + name + "' (size " +
+        std::to_string(loaded->size) + ", hash " + loaded->hash +
+        ") does not match this invocation's grid (size " +
+        std::to_string(grid.size) + ", hash " + grid.hash +
+        "); was the sweep run with the same configuration?");
+  }
+  const std::map<std::size_t, SweepRecord>* records = nullptr;
+  const auto it = file_.records.find(name);
+  if (it != file_.records.end()) records = &it->second;
+
+  std::vector<Outcome> outcomes(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i].spec = specs[i];
+    const SweepRecord* record = nullptr;
+    if (records != nullptr) {
+      const auto rec = records->find(i);
+      if (rec != records->end()) record = &rec->second;
+    }
+    if (record == nullptr) {
+      outcomes[i].run.ok = false;
+      outcomes[i].run.error =
+          "cell missing from '" + options_.from_path + "' (partial merge?)";
+      ++failures_;
+      continue;
+    }
+    if (record->key != keys[i]) {
+      throw ConfigError("--from file grid '" + name + "' cell " +
+                        std::to_string(i) + " records key '" + record->key +
+                        "' but this invocation expects '" + keys[i] + "'");
+    }
+    outcomes[i] = Traits::from_json(record->data);
+    outcomes[i].spec = specs[i];
+    if (!outcomes[i].run.ok) ++failures_;
+  }
+  prime_runner(runner, outcomes);
+  return outcomes;
+}
+
+std::vector<SaturationOutcome> ShardedSweep::saturation_grid(
+    const std::string& name, ExperimentRunner& runner,
+    const std::vector<SaturationSpec>& specs) {
+  return run_grid<SaturationTraits>(name, runner, specs);
+}
+
+std::vector<LatencyOutcome> ShardedSweep::latency_sweep(
+    const std::string& name, ExperimentRunner& runner,
+    const std::vector<LatencySpec>& specs) {
+  return run_grid<LatencyTraits>(name, runner, specs);
+}
+
+std::vector<PowerOutcome> ShardedSweep::power_sweep(
+    const std::string& name, ExperimentRunner& runner,
+    const std::vector<PowerSpec>& specs) {
+  return run_grid<PowerTraits>(name, runner, specs);
+}
+
+void ShardedSweep::flush() const {
+  write_shard_file(file_, options_.out_path);
+}
+
+int ShardedSweep::finish() {
+  if (options_.mode != SweepMode::kWorker) return 0;
+  file_.complete = true;
+  flush();
+  std::fprintf(stderr,
+               "[%s] shard %s: %zu cells run, %zu carried over, %zu failed "
+               "-> %s\n",
+               options_.tool.c_str(), options_.shard.to_string().c_str(),
+               executed_, carried_, failures_, options_.out_path.c_str());
+  return failures_ == 0 ? 0 : 1;
+}
+
+}  // namespace specnoc::stats

@@ -1,0 +1,194 @@
+// Sharded design-space sweeps: shard files, merging, and the harness
+// session that ties them to ExperimentRunner's batch APIs.
+//
+// A sweep is a harness's set of run grids. To spread a large grid over K
+// machines, run the same harness K times with --shard i/K --out shard.jsonl:
+// each *worker* executes only the cells sim::ShardPlan assigns to it (a
+// pure function of each cell's spec key) and appends them to a JSONL shard
+// file. `sweep_merge` validates that the K files came from the same sweep
+// (schema version, tool, seed, per-grid hash) and combines them into one
+// merged file; the harness then renders its normal tables from that file
+// with --from, byte-identical to a single-process --jobs 1 run. That
+// invariant — merge(shard outputs) == single-process output — is what the
+// whole format is built around, and it holds because outcomes are merged
+// in spec order and every number round-trips JSON exactly.
+//
+// Shard file layout (JSONL, one record per line, schema_version 1):
+//   {"record":"manifest","format":"specnoc-sweep","schema":1,"tool":...,
+//    "shard":i,"shards":K,"seed":S}
+//   {"record":"grid","name":...,"kind":"saturation|latency|power",
+//    "size":N,"hash":<hex fnv1a64 of the N spec keys>}
+//   {"record":"outcome","grid":...,"cell":c,"key":...,
+//    "status":"ok|retried|failed","data":{spec,run[,result]}}   (x many)
+//   {"record":"done","outcomes":M}
+//
+// Partial files (no "done" record, or grids cut short) are legal inputs:
+// merging reports their missing cells, and re-running a worker with the
+// same --out resumes it — completed cells are carried over, failed and
+// missing ones re-run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/shard.h"
+#include "stats/experiment.h"
+#include "stats/serialization.h"
+#include "util/json.h"
+
+namespace specnoc::stats {
+
+inline constexpr int kSweepSchemaVersion = 1;
+inline constexpr const char* kSweepFormat = "specnoc-sweep";
+
+struct SweepManifest {
+  int schema_version = kSweepSchemaVersion;
+  std::string tool;      ///< harness name; merge refuses mixed tools
+  sim::ShardRef shard;   ///< which worker produced the file (0/1 = merged)
+  std::uint64_t seed = 0;
+};
+
+/// One registered grid: identity shared by every worker of the sweep.
+struct SweepGrid {
+  std::string name;  ///< unique within the tool ("latency", "power", ...)
+  std::string kind;  ///< "saturation" | "latency" | "power"
+  std::size_t size = 0;  ///< full grid size across all shards
+  std::string hash;      ///< grid_hash() of all spec keys, in grid order
+};
+
+/// One recorded cell. `data` holds the serialized outcome (spec/run, plus
+/// result when the run succeeded).
+struct SweepRecord {
+  std::size_t cell = 0;
+  std::string key;
+  std::string status;  ///< "ok" | "retried" | "failed"
+  util::Json data;
+};
+
+/// A parsed shard (or merged) file. Within one file, a later record for
+/// the same cell replaces an earlier one — that is what makes appending
+/// re-runs a valid resume.
+struct ShardFile {
+  SweepManifest manifest;
+  std::vector<SweepGrid> grids;
+  std::map<std::string, std::map<std::size_t, SweepRecord>> records;
+  bool complete = false;  ///< saw the "done" record
+
+  const SweepGrid* find_grid(const std::string& name) const;
+};
+
+/// Parses a shard file; throws ConfigError (with the line number) on
+/// malformed records or schema mismatches.
+ShardFile load_shard_file(const std::string& path);
+
+/// Serializes a ShardFile back to disk (manifest, grids, outcomes in cell
+/// order, plus the "done" record when `file.complete`).
+void write_shard_file(const ShardFile& file, const std::string& path);
+
+/// What the merge found, per grid. Cells are indexes into the grid.
+struct MergeReport {
+  struct Grid {
+    std::string name;
+    std::size_t size = 0;
+    std::size_t present = 0;
+    std::vector<std::size_t> missing;
+    std::vector<std::size_t> duplicates;  ///< recorded by more than one file
+    std::vector<std::size_t> failed;      ///< status "failed"
+  };
+  std::vector<Grid> grids;
+  unsigned incomplete_inputs = 0;  ///< input files without a "done" record
+
+  /// True when every grid is fully covered with no duplicates. Failed
+  /// cells do not make a merge incomplete — they are real outcomes, and
+  /// the rendered table shows them as FAIL exactly like the single-process
+  /// path would.
+  bool complete() const;
+
+  std::string summary() const;  ///< deterministic multi-line report
+};
+
+/// Validates that the inputs belong to one sweep (same format, schema,
+/// tool, seed, and shard count; distinct shard indexes; identical grid
+/// identities) and merges their outcomes in spec order. On conflicting
+/// duplicates the first input in argument order wins and the cell is
+/// reported. Throws ConfigError for files that cannot belong to the same
+/// sweep.
+ShardFile merge_shards(const std::vector<ShardFile>& inputs,
+                       MergeReport* report);
+
+/// How a harness executes its grids this invocation.
+enum class SweepMode {
+  kRun,     ///< plain single-process run (no sharding involved)
+  kWorker,  ///< --shard i/K --out: run our cells, write the shard file
+  kRender,  ///< --from: take outcomes from a merged file, render tables
+};
+
+struct SweepOptions {
+  SweepMode mode = SweepMode::kRun;
+  std::string tool;       ///< manifest identity; must match across workers
+  std::uint64_t seed = 0; ///< ExperimentRunner seed; validated on --from
+  BatchOptions batch;
+  sim::ShardRef shard;    ///< worker mode
+  std::string out_path;   ///< worker mode
+  std::string from_path;  ///< render mode
+};
+
+/// The harness-facing session. Grids registered through it execute
+/// according to the mode; anchor grids (cheap prerequisites whose results
+/// parameterize the sharded specs, e.g. the saturation points that fix
+/// 25%-load operating rates) always run in full so every worker can build
+/// identical downstream grids.
+class ShardedSweep {
+ public:
+  explicit ShardedSweep(SweepOptions options);
+
+  SweepMode mode() const { return options_.mode; }
+
+  /// False in worker mode: the harness should skip its table rendering and
+  /// return finish() instead.
+  bool should_render() const { return options_.mode != SweepMode::kWorker; }
+
+  /// Anchors: executed in full in every mode, never recorded.
+  std::vector<SaturationOutcome> anchor_saturation(
+      ExperimentRunner& runner, const std::vector<SaturationSpec>& specs);
+
+  /// Sharded grids. `name` must be unique within the harness and identical
+  /// across its workers. In worker mode, cells not owned by this shard
+  /// come back with run.ok == false and an informative error (the harness
+  /// never renders them). In render mode, canonical saturation outcomes
+  /// also prime the runner's saturation() cache.
+  std::vector<SaturationOutcome> saturation_grid(
+      const std::string& name, ExperimentRunner& runner,
+      const std::vector<SaturationSpec>& specs);
+  std::vector<LatencyOutcome> latency_sweep(
+      const std::string& name, ExperimentRunner& runner,
+      const std::vector<LatencySpec>& specs);
+  std::vector<PowerOutcome> power_sweep(
+      const std::string& name, ExperimentRunner& runner,
+      const std::vector<PowerSpec>& specs);
+
+  /// Worker mode: writes the "done" record, prints a one-line summary to
+  /// stderr, and returns the process exit code (1 if any owned cell
+  /// failed). Other modes: returns 0.
+  int finish();
+
+ private:
+  template <typename Traits>
+  std::vector<typename Traits::Outcome> run_grid(
+      const std::string& name, ExperimentRunner& runner,
+      const std::vector<typename Traits::Spec>& specs);
+
+  void flush() const;
+
+  SweepOptions options_;
+  ShardFile file_;    ///< worker: being built; render: the loaded file
+  ShardFile resume_;  ///< worker: previous contents of out_path, if any
+  bool resuming_ = false;
+  std::size_t executed_ = 0;
+  std::size_t carried_ = 0;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace specnoc::stats

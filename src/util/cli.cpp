@@ -1,0 +1,250 @@
+#include "util/cli.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/contract.h"
+
+namespace specnoc::util {
+
+namespace {
+
+void check_numeric_preconditions(const std::string& text,
+                                 const std::string& what) {
+  if (text.empty()) throw UsageError(what + ": empty value");
+  if (text.front() == ' ' || text.back() == ' ') {
+    throw UsageError(what + ": '" + text + "' is not a number");
+  }
+}
+
+}  // namespace
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  check_numeric_preconditions(text, what);
+  if (text.front() == '-') {
+    throw UsageError(what + ": '" + text + "' must be non-negative");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0) throw UsageError(what + ": '" + text + "' is out of range");
+  if (end != text.c_str() + text.size()) {
+    throw UsageError(what + ": '" + text + "' is not a number");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::int64_t parse_i64(const std::string& text, const std::string& what) {
+  check_numeric_preconditions(text, what);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0) throw UsageError(what + ": '" + text + "' is out of range");
+  if (end != text.c_str() + text.size()) {
+    throw UsageError(what + ": '" + text + "' is not a number");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+double parse_f64(const std::string& text, const std::string& what) {
+  check_numeric_preconditions(text, what);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0) throw UsageError(what + ": '" + text + "' is out of range");
+  if (end != text.c_str() + text.size()) {
+    throw UsageError(what + ": '" + text + "' is not a number");
+  }
+  return value;
+}
+
+CliParser::CliParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+const CliParser::Flag* CliParser::find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+void CliParser::add(Flag flag) {
+  SPECNOC_EXPECTS(find(flag.name) == nullptr);
+  SPECNOC_EXPECTS(flag.name.size() > 2 && flag.name[0] == '-' &&
+                  flag.name[1] == '-');
+  flags_.push_back(std::move(flag));
+}
+
+void CliParser::add_flag(const std::string& name, bool* target,
+                         const std::string& help) {
+  add({name, "", help, nullptr, [target] { *target = true; }});
+}
+
+void CliParser::add_uint64(const std::string& name, std::uint64_t* target,
+                           const std::string& help) {
+  add({name, "N", help,
+       [target, name](const std::string& v) { *target = parse_u64(v, name); },
+       nullptr});
+}
+
+void CliParser::add_uint32(const std::string& name, std::uint32_t* target,
+                           const std::string& help) {
+  add({name, "N", help,
+       [target, name](const std::string& v) {
+         const std::uint64_t value = parse_u64(v, name);
+         if (value > std::numeric_limits<std::uint32_t>::max()) {
+           throw UsageError(name + ": '" + v + "' is out of range");
+         }
+         *target = static_cast<std::uint32_t>(value);
+       },
+       nullptr});
+}
+
+void CliParser::add_unsigned(const std::string& name, unsigned* target,
+                             const std::string& help) {
+  add({name, "N", help,
+       [target, name](const std::string& v) {
+         const std::uint64_t value = parse_u64(v, name);
+         if (value > std::numeric_limits<unsigned>::max()) {
+           throw UsageError(name + ": '" + v + "' is out of range");
+         }
+         *target = static_cast<unsigned>(value);
+       },
+       nullptr});
+}
+
+void CliParser::add_int64(const std::string& name, std::int64_t* target,
+                          const std::string& help) {
+  add({name, "N", help,
+       [target, name](const std::string& v) { *target = parse_i64(v, name); },
+       nullptr});
+}
+
+void CliParser::add_double(const std::string& name, double* target,
+                           const std::string& help) {
+  add({name, "X", help,
+       [target, name](const std::string& v) { *target = parse_f64(v, name); },
+       nullptr});
+}
+
+void CliParser::add_string(const std::string& name, std::string* target,
+                           const std::string& help) {
+  add({name, "VALUE", help,
+       [target](const std::string& v) { *target = v; }, nullptr});
+}
+
+void CliParser::add_custom(const std::string& name,
+                           const std::string& value_name,
+                           const std::string& help,
+                           std::function<void(const std::string&)> parse) {
+  add({name, value_name, help, std::move(parse), nullptr});
+}
+
+void CliParser::add_action(const std::string& name, const std::string& help,
+                           std::function<void()> action) {
+  add({name, "", help, nullptr, std::move(action)});
+}
+
+void CliParser::add_positional_uint32(const std::string& name,
+                                      std::uint32_t* target,
+                                      const std::string& help) {
+  positionals_.push_back(
+      {name, help, [target, name](const std::string& v) {
+         const std::uint64_t value = parse_u64(v, name);
+         if (value > std::numeric_limits<std::uint32_t>::max()) {
+           throw UsageError(name + ": '" + v + "' is out of range");
+         }
+         *target = static_cast<std::uint32_t>(value);
+       }});
+}
+
+void CliParser::add_positional_list(const std::string& name,
+                                    std::vector<std::string>* target,
+                                    const std::string& help) {
+  SPECNOC_EXPECTS(rest_.name.empty());
+  rest_ = {name, help,
+           [target](const std::string& v) { target->push_back(v); }};
+}
+
+bool CliParser::parse(int argc, char** argv) {
+  std::size_t next_positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      const Flag* flag = find(arg);
+      if (flag == nullptr) throw UsageError("unknown flag '" + arg + "'");
+      if (flag->action) {
+        flag->action();
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw UsageError(arg + " requires a value");
+      }
+      flag->parse(argv[++i]);
+      continue;
+    }
+    if (next_positional < positionals_.size()) {
+      positionals_[next_positional++].parse(arg);
+      continue;
+    }
+    if (rest_.name.empty()) {
+      throw UsageError("unexpected argument '" + arg + "'");
+    }
+    rest_.parse(arg);
+  }
+  return true;
+}
+
+void CliParser::parse_or_exit(int argc, char** argv) {
+  try {
+    if (!parse(argc, argv)) std::exit(0);
+  } catch (const ConfigError& error) {
+    std::fprintf(stderr, "%s: %s\n", program_.c_str(), error.what());
+    std::fputs(usage().c_str(), stderr);
+    std::exit(2);
+  }
+}
+
+std::string CliParser::usage() const {
+  std::string out = "usage: " + program_;
+  for (const auto& positional : positionals_) {
+    out += " [" + positional.name + "]";
+  }
+  if (!rest_.name.empty()) out += " [" + rest_.name + "...]";
+  if (!flags_.empty()) out += " [flags]";
+  out += "\n";
+  if (!summary_.empty()) out += summary_ + "\n";
+  if (!positionals_.empty() || !rest_.name.empty()) {
+    out += "arguments:\n";
+    for (const auto& positional : positionals_) {
+      out += "  " + positional.name;
+      out.append(positional.name.size() < 22 ? 22 - positional.name.size() : 1,
+                 ' ');
+      out += positional.help + "\n";
+    }
+    if (!rest_.name.empty()) {
+      const std::string shown = rest_.name + "...";
+      out += "  " + shown;
+      out.append(shown.size() < 22 ? 22 - shown.size() : 1, ' ');
+      out += rest_.help + "\n";
+    }
+  }
+  out += "flags:\n";
+  for (const auto& flag : flags_) {
+    std::string lhs = "  " + flag.name;
+    if (!flag.value_name.empty()) lhs += " <" + flag.value_name + ">";
+    out += lhs;
+    out.append(lhs.size() < 24 ? 24 - lhs.size() : 1, ' ');
+    out += flag.help + "\n";
+  }
+  out += "  --help                print this help and exit\n";
+  return out;
+}
+
+}  // namespace specnoc::util

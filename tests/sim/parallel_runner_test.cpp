@@ -119,7 +119,8 @@ std::vector<stats::LatencySpec> small_grid() {
                        .injected_flits_per_ns = 0.05,
                        .windows = windows,
                        .seed = 0,
-                       .factory = {}});
+                       .factory = {},
+                       .custom = {}});
     }
   }
   return specs;
@@ -159,7 +160,8 @@ TEST(BatchDeterminismTest, SaturationGridIdenticalForAnyJobCount) {
     specs.push_back({.arch = arch,
                      .bench = traffic::BenchmarkId::kMulticastStatic,
                      .seed = 0,
-                     .factory = {}});
+                     .factory = {},
+                     .custom = {}});
   }
   stats::ExperimentRunner a(cfg, 9), b(cfg, 9);
   const auto serial = a.run_saturation_grid(specs, {.jobs = 1});

@@ -1,0 +1,102 @@
+#include "sim/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/error.h"
+
+namespace specnoc::sim {
+namespace {
+
+TEST(Fnv1a64Test, MatchesPublishedVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(ShardRefTest, ParsesAndPrints) {
+  const ShardRef ref = ShardRef::parse("2/5");
+  EXPECT_EQ(ref.index, 2u);
+  EXPECT_EQ(ref.count, 5u);
+  EXPECT_EQ(ref.to_string(), "2/5");
+  EXPECT_EQ(ShardRef::parse("0/1"), (ShardRef{0, 1}));
+}
+
+TEST(ShardRefTest, RejectsMalformedRefs) {
+  EXPECT_THROW(ShardRef::parse(""), util::UsageError);
+  EXPECT_THROW(ShardRef::parse("1"), util::UsageError);
+  EXPECT_THROW(ShardRef::parse("1/"), util::UsageError);
+  EXPECT_THROW(ShardRef::parse("/4"), util::UsageError);
+  EXPECT_THROW(ShardRef::parse("x/4"), util::UsageError);
+  EXPECT_THROW(ShardRef::parse("1/4x"), util::UsageError);
+  EXPECT_THROW(ShardRef::parse("-1/4"), util::UsageError);
+  EXPECT_THROW(ShardRef::parse("4/4"), util::UsageError);  // 0-based index
+  EXPECT_THROW(ShardRef::parse("0/0"), util::UsageError);
+  EXPECT_THROW(ShardRef::parse("1/2/3"), util::UsageError);
+}
+
+std::vector<std::string> make_keys(std::size_t count) {
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back("sat|Arch" + std::to_string(i % 7) + "|bench" +
+                   std::to_string(i) + "|seed=0");
+  }
+  return keys;
+}
+
+// The shard-plan property: for any shard count, every cell lands in
+// exactly one shard, and the assignment is a pure function of the key.
+TEST(ShardPlanTest, EveryCellInExactlyOneShard) {
+  const auto keys = make_keys(97);
+  for (const unsigned shards : {1u, 2u, 3u, 7u, 16u}) {
+    const ShardPlan plan(shards);
+    std::set<std::size_t> covered;
+    for (unsigned shard = 0; shard < shards; ++shard) {
+      for (const std::size_t cell : plan.cells_of(keys, shard)) {
+        EXPECT_TRUE(covered.insert(cell).second)
+            << "cell " << cell << " assigned twice with " << shards
+            << " shards";
+      }
+    }
+    EXPECT_EQ(covered.size(), keys.size());
+  }
+}
+
+TEST(ShardPlanTest, AssignmentDependsOnlyOnKey) {
+  const ShardPlan plan(5);
+  const auto keys = make_keys(40);
+  // Same key set in a different order: each key keeps its shard.
+  auto shuffled = keys;
+  std::reverse(shuffled.begin(), shuffled.end());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(plan.shard_of(keys[i]), plan.shard_of(shuffled[keys.size() - 1 - i]));
+  }
+  EXPECT_EQ(plan.shard_of("sat|Baseline|Uniform|seed=0"),
+            plan.shard_of("sat|Baseline|Uniform|seed=0"));
+}
+
+TEST(ShardPlanTest, CellsOfPreservesGridOrder) {
+  const ShardPlan plan(3);
+  const auto keys = make_keys(30);
+  for (unsigned shard = 0; shard < 3; ++shard) {
+    const auto cells = plan.cells_of(keys, shard);
+    for (std::size_t i = 1; i < cells.size(); ++i) {
+      EXPECT_LT(cells[i - 1], cells[i]);
+    }
+  }
+}
+
+TEST(ShardPlanTest, RejectsInvalidInput) {
+  EXPECT_THROW(ShardPlan(0), ConfigError);
+  const ShardPlan plan(2);
+  EXPECT_THROW(plan.cells_of({"dup", "dup"}, 0), ConfigError);
+  EXPECT_THROW(plan.cells_of({"a"}, 2), ConfigError);  // shard out of range
+}
+
+}  // namespace
+}  // namespace specnoc::sim

@@ -1,0 +1,199 @@
+#include "stats/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/experiment.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace specnoc::stats {
+namespace {
+
+using core::Architecture;
+using traffic::BenchmarkId;
+using namespace specnoc::literals;
+
+sim::RunOutcome ok_run(unsigned attempts = 1) {
+  sim::RunOutcome run;
+  run.ok = true;
+  run.telemetry.attempts = attempts;
+  run.telemetry.events_executed = 123456789ull;
+  run.telemetry.wall_ms = 12.75;
+  return run;
+}
+
+TEST(SerializationTest, SaturationOutcomeRoundTrips) {
+  SaturationOutcome outcome;
+  outcome.spec.arch = Architecture::kOptHybridSpeculative;
+  outcome.spec.bench = BenchmarkId::kMulticast10;
+  outcome.spec.seed = 7;
+  outcome.result.delivered_flits_per_ns = 1.26;
+  outcome.result.injected_flits_per_ns = 0.42;
+  outcome.result.delivery_factor = 3.0;
+  outcome.result.message_expansion = 1.0;
+  outcome.run = ok_run();
+
+  const auto back =
+      saturation_outcome_from_json(util::json_parse(
+          util::json_write(to_json(outcome))));
+  EXPECT_EQ(back.spec.arch, outcome.spec.arch);
+  EXPECT_EQ(back.spec.bench, outcome.spec.bench);
+  EXPECT_EQ(back.spec.seed, outcome.spec.seed);
+  EXPECT_TRUE(back.spec.custom.empty());
+  EXPECT_FALSE(back.spec.factory);  // factories never travel
+  EXPECT_EQ(back.result.delivered_flits_per_ns,
+            outcome.result.delivered_flits_per_ns);
+  EXPECT_EQ(back.result.delivery_factor, outcome.result.delivery_factor);
+  EXPECT_TRUE(back.run.ok);
+  EXPECT_EQ(back.run.telemetry.events_executed,
+            outcome.run.telemetry.events_executed);
+  // The round trip is exact: serializing again gives identical bytes.
+  EXPECT_EQ(util::json_write(to_json(back)),
+            util::json_write(to_json(outcome)));
+}
+
+TEST(SerializationTest, LatencyOutcomeRoundTripsExactDoubles) {
+  LatencyOutcome outcome;
+  outcome.spec.arch = Architecture::kOptAllSpeculative;
+  outcome.spec.bench = BenchmarkId::kUniformRandom;
+  outcome.spec.injected_flits_per_ns = 0.1 * 3.0;  // not exactly 0.3
+  outcome.spec.windows = {.warmup = 100_ns, .measure = 800_ns};
+  outcome.spec.seed = 42;
+  outcome.result.mean_latency_ns = 1.0 / 3.0;
+  outcome.result.p95_latency_ns = 6.62607015;
+  outcome.result.max_latency_ns = 9.25;
+  outcome.result.messages_measured = 4096;
+  outcome.result.offered_flits_per_ns = outcome.spec.injected_flits_per_ns;
+  outcome.result.drained = true;
+  outcome.run = ok_run(2);
+
+  const auto back = latency_outcome_from_json(
+      util::json_parse(util::json_write(to_json(outcome))));
+  EXPECT_EQ(back.spec.injected_flits_per_ns,
+            outcome.spec.injected_flits_per_ns);
+  EXPECT_EQ(back.spec.windows.warmup, outcome.spec.windows.warmup);
+  EXPECT_EQ(back.spec.windows.measure, outcome.spec.windows.measure);
+  EXPECT_EQ(back.result.mean_latency_ns, outcome.result.mean_latency_ns);
+  EXPECT_EQ(back.result.messages_measured, outcome.result.messages_measured);
+  EXPECT_EQ(back.run.telemetry.attempts, 2u);
+  EXPECT_EQ(util::json_write(to_json(back)),
+            util::json_write(to_json(outcome)));
+}
+
+TEST(SerializationTest, PowerOutcomeRoundTrips) {
+  PowerOutcome outcome;
+  outcome.spec.arch = Architecture::kBaseline;
+  outcome.spec.bench = BenchmarkId::kMulticast5;
+  outcome.spec.injected_flits_per_ns = 0.25;
+  outcome.spec.windows = {.warmup = 100_ns, .measure = 800_ns};
+  outcome.result.power_mw = 10.5;
+  outcome.result.node_power_mw = 7.25;
+  outcome.result.wire_power_mw = 3.25;
+  outcome.result.throttled_flits = 17;
+  outcome.result.broadcast_ops = 99;
+  outcome.run = ok_run();
+
+  const auto back = power_outcome_from_json(
+      util::json_parse(util::json_write(to_json(outcome))));
+  EXPECT_EQ(back.result.power_mw, outcome.result.power_mw);
+  EXPECT_EQ(back.result.throttled_flits, outcome.result.throttled_flits);
+  EXPECT_EQ(back.result.broadcast_ops, outcome.result.broadcast_ops);
+  EXPECT_EQ(util::json_write(to_json(back)),
+            util::json_write(to_json(outcome)));
+}
+
+TEST(SerializationTest, CustomHybridSpecCarriesLabel) {
+  SaturationSpec spec;
+  spec.arch = Architecture::kCustomHybrid;
+  spec.bench = BenchmarkId::kMulticast10;
+  spec.custom = "{0,2}";
+  spec.factory = [] { return std::unique_ptr<core::MotNetwork>(); };
+
+  const auto back =
+      saturation_spec_from_json(util::json_parse(
+          util::json_write(to_json(spec))));
+  EXPECT_EQ(back.arch, Architecture::kCustomHybrid);
+  EXPECT_EQ(back.custom, "{0,2}");
+  EXPECT_FALSE(back.factory);  // must be rebuilt locally from the label
+}
+
+TEST(SerializationTest, FailedOutcomeOmitsResult) {
+  LatencyOutcome outcome;
+  outcome.spec.arch = Architecture::kBaseline;
+  outcome.spec.bench = BenchmarkId::kUniformRandom;
+  outcome.result.mean_latency_ns = 99.0;  // garbage — run failed
+  outcome.run.ok = false;
+  outcome.run.error = "did not drain";
+  outcome.run.telemetry.attempts = 2;
+
+  const util::Json json = to_json(outcome);
+  EXPECT_EQ(json.find("result"), nullptr);
+  const auto back = latency_outcome_from_json(json);
+  EXPECT_FALSE(back.run.ok);
+  EXPECT_EQ(back.run.error, "did not drain");
+  // The round trip yields the default result, as the in-process path does
+  // for failed cells.
+  EXPECT_EQ(back.result.mean_latency_ns, 0.0);
+}
+
+TEST(SerializationTest, SpecKeysAreCanonicalAndUnique) {
+  SaturationSpec sat;
+  sat.arch = Architecture::kBaseline;
+  sat.bench = BenchmarkId::kUniformRandom;
+  EXPECT_EQ(spec_key(sat), "sat|Baseline|UniformRandom|seed=0");
+  sat.custom = "{0,2}";
+  EXPECT_EQ(spec_key(sat), "sat|Baseline|UniformRandom|seed=0|{0,2}");
+
+  LatencySpec lat;
+  lat.arch = Architecture::kBasicHybridSpeculative;
+  lat.bench = BenchmarkId::kMulticast10;
+  lat.injected_flits_per_ns = 0.25;
+  lat.windows = {.warmup = 100_ns, .measure = 800_ns};
+  lat.seed = 42;
+  const std::string key = spec_key(lat);
+  EXPECT_EQ(key.substr(0, 4), "lat|");
+  EXPECT_NE(key.find("rate=0.25"), std::string::npos);
+  EXPECT_NE(key.find("seed=42"), std::string::npos);
+
+  // Keys separate cells that differ in any identity field.
+  auto lat2 = lat;
+  lat2.injected_flits_per_ns = 0.26;
+  EXPECT_NE(spec_key(lat2), key);
+  auto lat3 = lat;
+  lat3.windows.measure = 900_ns;
+  EXPECT_NE(spec_key(lat3), key);
+  PowerSpec pow;
+  pow.arch = lat.arch;
+  pow.bench = lat.bench;
+  pow.injected_flits_per_ns = lat.injected_flits_per_ns;
+  pow.windows = lat.windows;
+  pow.seed = lat.seed;
+  EXPECT_NE(spec_key(pow), key);  // kind prefix differs
+}
+
+TEST(SerializationTest, GridHashIsOrderSensitive) {
+  const std::vector<std::string> keys = {"a", "b", "c"};
+  const std::vector<std::string> reversed = {"c", "b", "a"};
+  EXPECT_EQ(grid_hash(keys), grid_hash(keys));
+  EXPECT_NE(grid_hash(keys), grid_hash(reversed));
+  EXPECT_NE(grid_hash(keys), grid_hash({"a", "b"}));
+  EXPECT_EQ(grid_hash(keys).size(), 16u);  // hex fnv1a64
+}
+
+TEST(SerializationTest, RunStatusReflectsAttempts) {
+  sim::RunOutcome run;
+  run.ok = true;
+  run.telemetry.attempts = 1;
+  EXPECT_STREQ(run_status(run), "ok");
+  run.telemetry.attempts = 2;
+  EXPECT_STREQ(run_status(run), "retried");
+  run.ok = false;
+  EXPECT_STREQ(run_status(run), "failed");
+}
+
+}  // namespace
+}  // namespace specnoc::stats

@@ -1,0 +1,510 @@
+#include "stats/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/experiment.h"
+#include "stats/serialization.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace specnoc::stats {
+namespace {
+
+using core::Architecture;
+using traffic::BenchmarkId;
+using namespace specnoc::literals;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "specnoc_sweep_" + name;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  ASSERT_TRUE(out.good());
+}
+
+std::string read_text(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+const char* kManifestLine =
+    "{\"record\":\"manifest\",\"format\":\"specnoc-sweep\",\"schema\":1,"
+    "\"tool\":\"t\",\"shard\":0,\"shards\":1,\"seed\":42}\n";
+const char* kGridLine =
+    "{\"record\":\"grid\",\"name\":\"g\",\"kind\":\"latency\",\"size\":2,"
+    "\"hash\":\"00000000000000aa\"}\n";
+
+std::string outcome_line(std::size_t cell, const std::string& status) {
+  return "{\"record\":\"outcome\",\"grid\":\"g\",\"cell\":" +
+         std::to_string(cell) + ",\"key\":\"k" + std::to_string(cell) +
+         "\",\"status\":\"" + status + "\",\"data\":{}}\n";
+}
+
+TEST(ShardFileTest, WriteLoadRoundTripIsByteStable) {
+  ShardFile file;
+  file.manifest.tool = "bench_fig6a";
+  file.manifest.shard = {1, 3};
+  file.manifest.seed = 42;
+  file.grids.push_back({"latency", "latency", 4, "0123456789abcdef"});
+  SweepRecord rec;
+  rec.cell = 2;
+  rec.key = "lat|Baseline|UniformRandom|seed=0|rate=0.25|w=100000:800000";
+  rec.status = "ok";
+  rec.data = util::json_parse("{\"x\":1.26}");
+  file.records["latency"].emplace(rec.cell, rec);
+  file.complete = true;
+
+  const std::string path = temp_path("roundtrip.jsonl");
+  write_shard_file(file, path);
+  const ShardFile back = load_shard_file(path);
+  EXPECT_EQ(back.manifest.tool, "bench_fig6a");
+  EXPECT_EQ(back.manifest.shard, (sim::ShardRef{1, 3}));
+  EXPECT_EQ(back.manifest.seed, 42u);
+  ASSERT_EQ(back.grids.size(), 1u);
+  EXPECT_EQ(back.grids[0].hash, "0123456789abcdef");
+  EXPECT_EQ(back.grids[0].size, 4u);
+  ASSERT_EQ(back.records.at("latency").size(), 1u);
+  EXPECT_EQ(back.records.at("latency").at(2).key, rec.key);
+  EXPECT_TRUE(back.complete);
+
+  const std::string again = temp_path("roundtrip2.jsonl");
+  write_shard_file(back, again);
+  EXPECT_EQ(read_text(path), read_text(again));
+}
+
+TEST(ShardFileTest, LoaderRejectsMalformedFiles) {
+  const std::string path = temp_path("bad.jsonl");
+  // Outcome before any manifest.
+  write_text(path, outcome_line(0, "ok"));
+  EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Completely empty file.
+  write_text(path, "");
+  EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Wrong format marker.
+  write_text(path,
+             "{\"record\":\"manifest\",\"format\":\"nope\",\"schema\":1,"
+             "\"tool\":\"t\",\"shard\":0,\"shards\":1,\"seed\":42}\n");
+  EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Unsupported schema version.
+  write_text(path,
+             "{\"record\":\"manifest\",\"format\":\"specnoc-sweep\","
+             "\"schema\":2,\"tool\":\"t\",\"shard\":0,\"shards\":1,"
+             "\"seed\":42}\n");
+  EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Outcome for an unregistered grid.
+  write_text(path, std::string(kManifestLine) + outcome_line(0, "ok"));
+  EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Cell out of range for the grid.
+  write_text(path,
+             std::string(kManifestLine) + kGridLine + outcome_line(7, "ok"));
+  EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Unknown status.
+  write_text(path, std::string(kManifestLine) + kGridLine +
+                       outcome_line(0, "maybe"));
+  EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Record after the done record.
+  write_text(path, std::string(kManifestLine) + kGridLine +
+                       "{\"record\":\"done\",\"outcomes\":0}\n" +
+                       outcome_line(0, "ok"));
+  EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Duplicate grid registration.
+  write_text(path, std::string(kManifestLine) + kGridLine + kGridLine);
+  EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Error messages carry the offending line number.
+  write_text(path, std::string(kManifestLine) + kGridLine +
+                       outcome_line(0, "maybe"));
+  try {
+    load_shard_file(path);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find(":3:"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ShardFileTest, AppendedRecordsReplaceEarlierOnes) {
+  // Resume-by-append: a re-run of a failed cell supersedes it.
+  const std::string path = temp_path("resume.jsonl");
+  write_text(path, std::string(kManifestLine) + kGridLine +
+                       outcome_line(0, "failed") + outcome_line(1, "ok") +
+                       outcome_line(0, "retried"));
+  const ShardFile file = load_shard_file(path);
+  ASSERT_EQ(file.records.at("g").size(), 2u);
+  EXPECT_EQ(file.records.at("g").at(0).status, "retried");
+  EXPECT_EQ(file.records.at("g").at(1).status, "ok");
+  EXPECT_FALSE(file.complete);  // no done record
+}
+
+ShardFile make_shard(unsigned index, unsigned count,
+                     const std::vector<std::size_t>& cells,
+                     const std::string& status = "ok") {
+  ShardFile file;
+  file.manifest.tool = "t";
+  file.manifest.shard = {index, count};
+  file.manifest.seed = 42;
+  file.grids.push_back({"g", "latency", 3, "00000000000000aa"});
+  for (const std::size_t cell : cells) {
+    SweepRecord rec;
+    rec.cell = cell;
+    rec.key = "k";
+    rec.key += std::to_string(cell);
+    rec.status = status;
+    rec.data = util::Json::object();
+    file.records["g"].emplace(cell, rec);
+  }
+  file.complete = true;
+  return file;
+}
+
+TEST(MergeTest, CombinesDisjointShardsCompletely) {
+  MergeReport report;
+  const ShardFile merged =
+      merge_shards({make_shard(0, 2, {0, 2}), make_shard(1, 2, {1})}, &report);
+  EXPECT_TRUE(report.complete());
+  ASSERT_EQ(report.grids.size(), 1u);
+  EXPECT_EQ(report.grids[0].present, 3u);
+  EXPECT_TRUE(report.grids[0].missing.empty());
+  EXPECT_TRUE(report.grids[0].duplicates.empty());
+  EXPECT_EQ(merged.manifest.shard, (sim::ShardRef{0, 1}));
+  EXPECT_EQ(merged.records.at("g").size(), 3u);
+  EXPECT_TRUE(merged.complete);
+  EXPECT_NE(report.summary().find("merge: complete"), std::string::npos);
+}
+
+TEST(MergeTest, ReportsMissingDuplicateAndFailedCells) {
+  MergeReport report;
+  const ShardFile merged = merge_shards(
+      {make_shard(0, 2, {0}), make_shard(1, 2, {0, 1}, "failed")}, &report);
+  EXPECT_FALSE(report.complete());
+  ASSERT_EQ(report.grids.size(), 1u);
+  EXPECT_EQ(report.grids[0].missing, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(report.grids[0].duplicates, (std::vector<std::size_t>{0}));
+  // Cell 0: first input wins, so its status is "ok", not "failed".
+  EXPECT_EQ(merged.records.at("g").at(0).status, "ok");
+  EXPECT_EQ(report.grids[0].failed, (std::vector<std::size_t>{1}));
+  EXPECT_FALSE(merged.complete);
+  EXPECT_NE(report.summary().find("merge: INCOMPLETE"), std::string::npos);
+}
+
+TEST(MergeTest, FailedCellsAloneDoNotBlockCompleteness) {
+  MergeReport report;
+  const ShardFile merged = merge_shards(
+      {make_shard(0, 1, {0, 1, 2}, "failed")}, &report);
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.grids[0].failed.size(), 3u);
+  EXPECT_TRUE(merged.complete);
+}
+
+TEST(MergeTest, CountsInputsWithoutDoneRecord) {
+  auto partial = make_shard(0, 1, {0, 1, 2});
+  partial.complete = false;
+  MergeReport report;
+  merge_shards({partial}, &report);
+  EXPECT_EQ(report.incomplete_inputs, 1u);
+  EXPECT_TRUE(report.complete());  // coverage is still full
+}
+
+TEST(MergeTest, RejectsInputsFromDifferentSweeps) {
+  const auto a = make_shard(0, 2, {0});
+  auto b = make_shard(1, 2, {1});
+  {
+    auto other = b;
+    other.manifest.tool = "other";
+    EXPECT_THROW(merge_shards({a, other}, nullptr), ConfigError);
+  }
+  {
+    auto other = b;
+    other.manifest.seed = 7;
+    EXPECT_THROW(merge_shards({a, other}, nullptr), ConfigError);
+  }
+  {
+    auto other = make_shard(1, 3, {1});  // different shard count
+    EXPECT_THROW(merge_shards({a, other}, nullptr), ConfigError);
+  }
+  {
+    auto other = make_shard(0, 2, {1});  // duplicate shard index
+    EXPECT_THROW(merge_shards({a, other}, nullptr), ConfigError);
+  }
+  {
+    auto other = b;
+    other.grids[0].hash = "00000000000000bb";  // different grid identity
+    EXPECT_THROW(merge_shards({a, other}, nullptr), ConfigError);
+  }
+  {
+    auto other = b;
+    other.records["g"].at(1).cell = 0;  // conflicting key for cell 0
+    auto moved = other.records["g"].at(1);
+    other.records["g"].clear();
+    other.records["g"].emplace(0, moved);
+    EXPECT_THROW(merge_shards({a, other}, nullptr), ConfigError);
+  }
+  EXPECT_THROW(merge_shards({}, nullptr), ConfigError);
+}
+
+std::vector<LatencySpec> small_latency_grid() {
+  std::vector<LatencySpec> specs;
+  for (const auto arch :
+       {Architecture::kBaseline, Architecture::kOptHybridSpeculative}) {
+    for (const double rate : {0.05, 0.15}) {
+      specs.push_back({.arch = arch,
+                       .bench = BenchmarkId::kUniformRandom,
+                       .injected_flits_per_ns = rate,
+                       .windows = {.warmup = 100_ns, .measure = 800_ns},
+                       .seed = 0,
+                       .factory = {},
+                       .custom = {}});
+    }
+  }
+  return specs;
+}
+
+SweepOptions base_options(SweepMode mode) {
+  SweepOptions options;
+  options.mode = mode;
+  options.tool = "sweep_test";
+  options.seed = 42;
+  options.batch.jobs = 1;
+  return options;
+}
+
+// The invariant the whole format exists for: running the grid as K shard
+// workers, merging their files, and rendering from the merged file yields
+// outcomes serialized byte-identically to a single-process run.
+TEST(ShardedSweepTest, WorkerMergeRenderMatchesSingleProcess) {
+  const core::NetworkConfig cfg;  // default 8x8
+  const auto specs = small_latency_grid();
+
+  ExperimentRunner ref_runner(cfg, 42);
+  ShardedSweep ref_sweep(base_options(SweepMode::kRun));
+  const auto reference = ref_sweep.latency_sweep("latency", ref_runner, specs);
+  EXPECT_EQ(ref_sweep.finish(), 0);
+
+  constexpr unsigned kShards = 2;
+  std::vector<std::string> shard_paths;
+  for (unsigned shard = 0; shard < kShards; ++shard) {
+    auto options = base_options(SweepMode::kWorker);
+    options.shard = {shard, kShards};
+    options.out_path = temp_path("e2e_s" + std::to_string(shard) + ".jsonl");
+    write_text(options.out_path, "");  // start fresh even across test reruns
+    ExperimentRunner runner(cfg, 42);
+    ShardedSweep sweep(options);
+    EXPECT_FALSE(sweep.should_render());
+    const auto outcomes = sweep.latency_sweep("latency", runner, specs);
+    ASSERT_EQ(outcomes.size(), specs.size());
+    // Non-owned cells are marked, never silently zero-filled.
+    const sim::ShardPlan plan(kShards);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (plan.shard_of(spec_key(specs[i])) != shard) {
+        EXPECT_FALSE(outcomes[i].run.ok);
+        EXPECT_NE(outcomes[i].run.error.find("not owned"), std::string::npos);
+      } else {
+        EXPECT_TRUE(outcomes[i].run.ok);
+      }
+    }
+    EXPECT_EQ(sweep.finish(), 0);
+    shard_paths.push_back(options.out_path);
+  }
+
+  std::vector<ShardFile> inputs;
+  for (const auto& path : shard_paths) inputs.push_back(load_shard_file(path));
+  MergeReport report;
+  const ShardFile merged = merge_shards(inputs, &report);
+  ASSERT_TRUE(report.complete()) << report.summary();
+  const std::string merged_path = temp_path("e2e_merged.jsonl");
+  write_shard_file(merged, merged_path);
+
+  auto render_options = base_options(SweepMode::kRender);
+  render_options.from_path = merged_path;
+  ExperimentRunner render_runner(cfg, 42);
+  ShardedSweep render_sweep(render_options);
+  EXPECT_TRUE(render_sweep.should_render());
+  const auto rendered =
+      render_sweep.latency_sweep("latency", render_runner, specs);
+  EXPECT_EQ(render_sweep.finish(), 0);
+
+  ASSERT_EQ(rendered.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // wall_ms is wall-clock telemetry — the only field allowed to differ
+    // between two runs of the same cell. Everything a table renders from
+    // (spec, result, status) must be byte-identical.
+    auto a = rendered[i];
+    auto b = reference[i];
+    a.run.telemetry.wall_ms = 0.0;
+    b.run.telemetry.wall_ms = 0.0;
+    EXPECT_EQ(util::json_write(to_json(a)), util::json_write(to_json(b)))
+        << "cell " << i << " (" << spec_key(specs[i]) << ")";
+  }
+}
+
+TEST(ShardedSweepTest, WorkerResumesCompletedCellsWithoutRerunning) {
+  const core::NetworkConfig cfg;
+  const auto specs = small_latency_grid();
+  const auto keys = spec_keys(specs);
+
+  // Fabricate a partial shard file: cell 0 "done" with a sentinel latency
+  // no real run would produce, cell 1 failed; cells 2..3 missing.
+  auto options = base_options(SweepMode::kWorker);
+  options.shard = {0, 1};
+  options.out_path = temp_path("resume_worker.jsonl");
+  ShardFile prior;
+  prior.manifest.tool = options.tool;
+  prior.manifest.shard = options.shard;
+  prior.manifest.seed = options.seed;
+  prior.grids.push_back(
+      {"latency", "latency", specs.size(), grid_hash(keys)});
+  LatencyOutcome fabricated;
+  fabricated.spec = specs[0];
+  fabricated.run.ok = true;
+  fabricated.run.telemetry.attempts = 1;
+  fabricated.result.mean_latency_ns = 1234.5;
+  fabricated.result.drained = true;
+  SweepRecord done_rec{0, keys[0], "ok", to_json(fabricated)};
+  prior.records["latency"].emplace(0, done_rec);
+  LatencyOutcome failed;
+  failed.spec = specs[1];
+  failed.run.ok = false;
+  failed.run.error = "boom";
+  failed.run.telemetry.attempts = 2;
+  SweepRecord failed_rec{1, keys[1], "failed", to_json(failed)};
+  prior.records["latency"].emplace(1, failed_rec);
+  write_shard_file(prior, options.out_path);
+
+  ExperimentRunner runner(cfg, 42);
+  ShardedSweep sweep(options);
+  const auto outcomes = sweep.latency_sweep("latency", runner, specs);
+  EXPECT_EQ(sweep.finish(), 0);
+
+  // Cell 0 was carried over verbatim (the sentinel survives — it was not
+  // re-simulated); the failed and missing cells were actually run.
+  EXPECT_EQ(outcomes[0].result.mean_latency_ns, 1234.5);
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].run.ok) << outcomes[i].run.error;
+    EXPECT_LT(outcomes[i].result.mean_latency_ns, 100.0);
+  }
+  const ShardFile after = load_shard_file(options.out_path);
+  EXPECT_TRUE(after.complete);
+  EXPECT_EQ(after.records.at("latency").size(), specs.size());
+  EXPECT_EQ(after.records.at("latency").at(1).status, "ok");  // re-run
+}
+
+TEST(ShardedSweepTest, WorkerRefusesForeignOutputFile) {
+  auto options = base_options(SweepMode::kWorker);
+  options.shard = {0, 1};
+  options.out_path = temp_path("foreign.jsonl");
+  ShardFile foreign;
+  foreign.manifest.tool = "some_other_tool";
+  foreign.manifest.shard = {0, 1};
+  foreign.manifest.seed = 42;
+  write_shard_file(foreign, options.out_path);
+  EXPECT_THROW(ShardedSweep{options}, ConfigError);
+}
+
+TEST(ShardedSweepTest, RenderValidatesManifestAndGridIdentity) {
+  const core::NetworkConfig cfg;
+  const auto specs = small_latency_grid();
+  const auto keys = spec_keys(specs);
+
+  ShardFile merged;
+  merged.manifest.tool = "sweep_test";
+  merged.manifest.shard = {0, 1};
+  merged.manifest.seed = 42;
+  merged.grids.push_back(
+      {"latency", "latency", specs.size(), grid_hash(keys)});
+  merged.complete = true;
+  const std::string path = temp_path("render.jsonl");
+  write_shard_file(merged, path);
+
+  {
+    auto options = base_options(SweepMode::kRender);
+    options.from_path = path;
+    options.tool = "different_tool";
+    EXPECT_THROW(ShardedSweep{options}, ConfigError);
+  }
+  {
+    auto options = base_options(SweepMode::kRender);
+    options.from_path = path;
+    options.seed = 7;
+    EXPECT_THROW(ShardedSweep{options}, ConfigError);
+  }
+  {
+    // Same manifest but a grid the file does not contain, then a grid
+    // whose specs differ (hash mismatch).
+    auto options = base_options(SweepMode::kRender);
+    options.from_path = path;
+    ExperimentRunner runner(cfg, 42);
+    ShardedSweep sweep(options);
+    EXPECT_THROW(sweep.latency_sweep("other", runner, specs), ConfigError);
+    auto changed = specs;
+    changed[0].injected_flits_per_ns = 0.07;
+    EXPECT_THROW(sweep.latency_sweep("latency", runner, changed), ConfigError);
+  }
+  {
+    // Cells missing from a partial merge render as failed outcomes, not
+    // crashes — and the harness can report them.
+    auto options = base_options(SweepMode::kRender);
+    options.from_path = path;
+    ExperimentRunner runner(cfg, 42);
+    ShardedSweep sweep(options);
+    const auto outcomes = sweep.latency_sweep("latency", runner, specs);
+    ASSERT_EQ(outcomes.size(), specs.size());
+    for (const auto& outcome : outcomes) {
+      EXPECT_FALSE(outcome.run.ok);
+      EXPECT_NE(outcome.run.error.find("missing"), std::string::npos);
+    }
+  }
+}
+
+TEST(ShardedSweepTest, RenderPrimesSaturationCache) {
+  const core::NetworkConfig cfg;
+  std::vector<SaturationSpec> specs = {
+      {.arch = Architecture::kOptNonSpeculative,
+       .bench = BenchmarkId::kUniformRandom,
+       .seed = 0,
+       .factory = {},
+       .custom = {}}};
+  const auto keys = spec_keys(specs);
+
+  SaturationOutcome fabricated;
+  fabricated.spec = specs[0];
+  fabricated.run.ok = true;
+  fabricated.run.telemetry.attempts = 1;
+  fabricated.result.delivered_flits_per_ns = 0.777;
+  fabricated.result.injected_flits_per_ns = 0.888;
+
+  ShardFile merged;
+  merged.manifest.tool = "sweep_test";
+  merged.manifest.shard = {0, 1};
+  merged.manifest.seed = 42;
+  merged.grids.push_back(
+      {"throughput", "saturation", specs.size(), grid_hash(keys)});
+  SweepRecord rec{0, keys[0], "ok", to_json(fabricated)};
+  merged.records["throughput"].emplace(0, rec);
+  merged.complete = true;
+  const std::string path = temp_path("prime.jsonl");
+  write_shard_file(merged, path);
+
+  auto options = base_options(SweepMode::kRender);
+  options.from_path = path;
+  ExperimentRunner runner(cfg, 42);
+  ShardedSweep sweep(options);
+  const auto outcomes = sweep.saturation_grid("throughput", runner, specs);
+  ASSERT_TRUE(outcomes[0].run.ok);
+  // saturation() now hits the primed cache — the sentinel value comes back
+  // instead of a fresh simulation's.
+  const auto& sat = runner.saturation(Architecture::kOptNonSpeculative,
+                                      BenchmarkId::kUniformRandom);
+  EXPECT_EQ(sat.delivered_flits_per_ns, 0.777);
+  EXPECT_EQ(sat.injected_flits_per_ns, 0.888);
+}
+
+}  // namespace
+}  // namespace specnoc::stats

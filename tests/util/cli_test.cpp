@@ -1,0 +1,148 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace specnoc::util {
+namespace {
+
+/// Builds a mutable argv from string literals (argv[0] is the program).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : args_(std::move(args)) {
+    args_.insert(args_.begin(), "prog");
+    for (auto& arg : args_) ptrs_.push_back(arg.data());
+  }
+  int argc() { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> args_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(ParseNumbersTest, ParsesStrictU64) {
+  EXPECT_EQ(parse_u64("42", "--x"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615", "--x"),
+            18446744073709551615ull);
+  EXPECT_THROW(parse_u64("", "--x"), UsageError);
+  EXPECT_THROW(parse_u64("12abc", "--x"), UsageError);
+  EXPECT_THROW(parse_u64("-3", "--x"), UsageError);
+  EXPECT_THROW(parse_u64(" 12", "--x"), UsageError);
+  EXPECT_THROW(parse_u64("18446744073709551616", "--x"), UsageError);
+}
+
+TEST(ParseNumbersTest, ParsesStrictI64AndF64) {
+  EXPECT_EQ(parse_i64("-42", "--x"), -42);
+  EXPECT_THROW(parse_i64("4x", "--x"), UsageError);
+  EXPECT_DOUBLE_EQ(parse_f64("0.25", "--x"), 0.25);
+  EXPECT_THROW(parse_f64("0.25q", "--x"), UsageError);
+  EXPECT_THROW(parse_f64("", "--x"), UsageError);
+}
+
+TEST(CliParserTest, ParsesTypedFlags) {
+  std::uint64_t seed = 42;
+  unsigned jobs = 0;
+  double rate = 0.0;
+  bool verbose = false;
+  std::string path;
+  CliParser cli("tool", "summary");
+  cli.add_uint64("--seed", &seed, "seed");
+  cli.add_unsigned("--jobs", &jobs, "jobs");
+  cli.add_double("--rate", &rate, "rate");
+  cli.add_flag("--verbose", &verbose, "verbose");
+  cli.add_string("--path", &path, "path");
+
+  Argv argv({"--seed", "7", "--jobs", "3", "--rate", "0.5", "--verbose",
+             "--path", "out.csv"});
+  EXPECT_TRUE(cli.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(seed, 7u);
+  EXPECT_EQ(jobs, 3u);
+  EXPECT_DOUBLE_EQ(rate, 0.5);
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(path, "out.csv");
+}
+
+TEST(CliParserTest, RejectsUnknownFlagsAndGarbageValues) {
+  std::uint64_t seed = 0;
+  CliParser cli("tool", "summary");
+  cli.add_uint64("--seed", &seed, "seed");
+  {
+    Argv argv({"--sneed", "7"});
+    EXPECT_THROW(
+        static_cast<void>(cli.parse(argv.argc(), argv.argv())), UsageError);
+  }
+  {
+    Argv argv({"--seed", "sevn"});
+    EXPECT_THROW(
+        static_cast<void>(cli.parse(argv.argc(), argv.argv())), UsageError);
+  }
+  {
+    Argv argv({"--seed"});  // missing value
+    EXPECT_THROW(
+        static_cast<void>(cli.parse(argv.argc(), argv.argv())), UsageError);
+  }
+}
+
+TEST(CliParserTest, HelpReturnsFalse) {
+  CliParser cli("tool", "summary");
+  Argv argv({"--help"});
+  EXPECT_FALSE(cli.parse(argv.argc(), argv.argv()));
+}
+
+TEST(CliParserTest, PositionalsConsumeInOrder) {
+  std::uint32_t cols = 4, rows = 4;
+  CliParser cli("tool", "summary");
+  cli.add_positional_uint32("cols", &cols, "columns");
+  cli.add_positional_uint32("rows", &rows, "rows");
+  Argv argv({"8", "2"});
+  EXPECT_TRUE(cli.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(cols, 8u);
+  EXPECT_EQ(rows, 2u);
+
+  Argv extra({"8", "2", "9"});
+  EXPECT_THROW(
+      static_cast<void>(cli.parse(extra.argc(), extra.argv())), UsageError);
+}
+
+TEST(CliParserTest, PositionalListCollectsTrailingArguments) {
+  std::string out;
+  std::vector<std::string> files;
+  CliParser cli("tool", "summary");
+  cli.add_string("--out", &out, "output");
+  cli.add_positional_list("file", &files, "input files");
+  Argv argv({"a.jsonl", "--out", "m.jsonl", "b.jsonl", "c.jsonl"});
+  EXPECT_TRUE(cli.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(out, "m.jsonl");
+  EXPECT_EQ(files, (std::vector<std::string>{"a.jsonl", "b.jsonl", "c.jsonl"}));
+}
+
+TEST(CliParserTest, CustomAndActionFlags) {
+  int calls = 0;
+  std::string shard;
+  CliParser cli("tool", "summary");
+  cli.add_custom("--shard", "i/K", "shard",
+                 [&shard](const std::string& v) { shard = v; });
+  cli.add_action("--bump", "bump", [&calls] { ++calls; });
+  Argv argv({"--bump", "--shard", "1/4", "--bump"});
+  EXPECT_TRUE(cli.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(shard, "1/4");
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CliParserTest, UsageListsEveryFlag) {
+  std::uint64_t seed = 0;
+  CliParser cli("tool", "What the tool does.");
+  cli.add_uint64("--seed", &seed, "the seed");
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("usage: tool"), std::string::npos);
+  EXPECT_NE(usage.find("What the tool does."), std::string::npos);
+  EXPECT_NE(usage.find("--seed"), std::string::npos);
+  EXPECT_NE(usage.find("the seed"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace specnoc::util
