@@ -84,6 +84,8 @@ int main(int argc, char** argv) {
   }
   const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
   telemetry.add_all(sat_outcomes);
+  specnoc::bench::MetricsReport metrics;
+  metrics.add_all("anchor", sat_outcomes);
 
   // Phase 2: the sharded grids — 25%-of-own-saturation latency for both
   // benchmarks, and power under UniformRandom.
@@ -115,6 +117,9 @@ int main(int argc, char** argv) {
   }
   const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);
   const auto power_outcomes = sweep.power_sweep("power", runner, power_specs);
+  metrics.add_all("latency", lat_outcomes);
+  metrics.add_all("power", power_outcomes);
+  metrics.write(opts);
   if (!sweep.should_render()) return sweep.finish();
   telemetry.add_all(lat_outcomes);
   telemetry.add_all(power_outcomes);

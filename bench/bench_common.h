@@ -29,6 +29,7 @@
 #include "sim/parallel_runner.h"
 #include "sim/shard.h"
 #include "stats/experiment.h"
+#include "stats/serialization.h"
 #include "stats/sweep.h"
 #include "util/cli.h"
 #include "util/json.h"
@@ -103,11 +104,20 @@ struct HarnessOptions {
   sim::ShardRef shard;    ///< --shard i/K (worker mode)
   std::string out_path;   ///< --out (worker mode)
   std::string from_path;  ///< --from (render mode)
+  /// --metrics: collect a per-run MetricsSnapshot and write them all to
+  /// this JSON file. Observational only — tables are byte-identical with
+  /// and without it.
+  std::string metrics_path;
+  /// --progress: live progress lines to stderr every this many ms.
+  unsigned progress_ms = 0;
   std::shared_ptr<OutputSink> sink = std::make_shared<OutputSink>();
 
   stats::BatchOptions batch() const {
     stats::BatchOptions options;
     options.jobs = jobs;
+    options.collect_metrics = !metrics_path.empty();
+    options.progress_interval_ms = progress_ms;
+    if (progress_ms > 0) options.progress_label = tool;
     return options;
   }
 
@@ -153,6 +163,11 @@ inline HarnessOptions parse_args(
                  "also mirror tables to this JSONL file");
   cli.add_flag("--telemetry", &opts.telemetry,
                "also print per-run wall time / events / attempts");
+  cli.add_string("--metrics", &opts.metrics_path,
+                 "collect per-run speculation/stall metrics and write them "
+                 "to this JSON file (observational; tables are unchanged)");
+  cli.add_unsigned("--progress", &opts.progress_ms,
+                   "live progress lines to stderr every N ms (0: off)");
   if (sharding == Sharding::kSupported) {
     cli.add_custom("--shard", "i/K",
                    "worker mode: run only shard i of K (requires --out)",
@@ -261,6 +276,46 @@ class TelemetryTable {
   std::uint64_t events_total_ = 0;
   double wall_total_ms_ = 0.0;
   std::uint64_t failures_ = 0;
+};
+
+/// Accumulates the MetricsSnapshots collected under --metrics and writes
+/// them as one JSON document (see EXPERIMENTS.md for the schema). Inactive
+/// — add_all() and write() are no-ops — unless --metrics was given.
+class MetricsReport {
+ public:
+  template <typename Outcome>
+  void add_all(const std::string& grid,
+               const std::vector<Outcome>& outcomes) {
+    for (const auto& outcome : outcomes) {
+      if (!outcome.metrics.has_value()) continue;
+      util::Json entry = util::Json::object();
+      entry.set("grid", grid);
+      entry.set("key", stats::spec_key(outcome.spec));
+      entry.set("metrics", stats::to_json(*outcome.metrics));
+      runs_.push_back(std::move(entry));
+    }
+  }
+
+  void write(const HarnessOptions& opts) {
+    if (opts.metrics_path.empty()) return;
+    util::Json doc = util::Json::object();
+    doc.set("format", "specnoc-metrics");
+    doc.set("schema", std::uint64_t{1});
+    doc.set("tool", opts.tool);
+    doc.set("seed", opts.seed);
+    util::Json runs = util::Json::array();
+    for (auto& entry : runs_) runs.push_back(std::move(entry));
+    doc.set("runs", std::move(runs));
+    std::ofstream out(opts.metrics_path, std::ios::trunc);
+    if (!out) {
+      throw ConfigError("cannot write metrics file '" + opts.metrics_path +
+                        "'");
+    }
+    out << util::json_write(doc) << "\n";
+  }
+
+ private:
+  std::vector<util::Json> runs_;
 };
 
 }  // namespace specnoc::bench

@@ -47,6 +47,8 @@ int main(int argc, char** argv) {
   }
   const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
   telemetry.add_all(sat_outcomes);
+  specnoc::bench::MetricsReport metrics;
+  metrics.add_all("anchor", sat_outcomes);
 
   std::vector<stats::LatencySpec> lat_specs;
   for (std::size_t i = 0; i < sat_specs.size(); ++i) {
@@ -62,6 +64,8 @@ int main(int argc, char** argv) {
          .custom = {}});
   }
   const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);
+  metrics.add_all("latency", lat_outcomes);
+  metrics.write(opts);
   if (!sweep.should_render()) return sweep.finish();
   telemetry.add_all(lat_outcomes);
 

@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
   }
   const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
   telemetry.add_all(sat_outcomes);
+  specnoc::bench::MetricsReport metrics;
+  metrics.add_all("anchor", sat_outcomes);
 
   std::vector<stats::LatencySpec> lat_specs;
   std::size_t anchor = 0;
@@ -61,6 +63,8 @@ int main(int argc, char** argv) {
     anchor += core::dse_architectures().size();
   }
   const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);
+  metrics.add_all("latency", lat_outcomes);
+  metrics.write(opts);
   if (!sweep.should_render()) return sweep.finish();
   telemetry.add_all(lat_outcomes);
 

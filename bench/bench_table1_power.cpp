@@ -72,6 +72,8 @@ int main(int argc, char** argv) {
   }
   const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
   telemetry.add_all(sat_outcomes);
+  specnoc::bench::MetricsReport metrics;
+  metrics.add_all("anchor", sat_outcomes);
 
   std::vector<stats::PowerSpec> power_specs;
   for (const auto arch : kRowOrder) {
@@ -89,6 +91,8 @@ int main(int argc, char** argv) {
     }
   }
   const auto power_outcomes = sweep.power_sweep("power", runner, power_specs);
+  metrics.add_all("power", power_outcomes);
+  metrics.write(opts);
   if (!sweep.should_render()) return sweep.finish();
   telemetry.add_all(power_outcomes);
 

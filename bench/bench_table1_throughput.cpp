@@ -62,6 +62,9 @@ int main(int argc, char** argv) {
     }
   }
   const auto outcomes = sweep.saturation_grid("throughput", runner, specs);
+  specnoc::bench::MetricsReport metrics;
+  metrics.add_all("throughput", outcomes);
+  metrics.write(opts);
   if (!sweep.should_render()) return sweep.finish();
   specnoc::bench::TelemetryTable telemetry;
   telemetry.add_all(outcomes);

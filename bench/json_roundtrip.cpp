@@ -1,0 +1,69 @@
+// json_roundtrip: assert a JSON file survives util::Json parse → re-emit
+// byte-identically (modulo one trailing newline).
+//
+// Used by CI to validate the observability artifacts: a --metrics file or
+// a --perfetto trace that round-trips exactly proves both that it is
+// well-formed JSON and that util::Json's canonical emission (insertion
+// order, exact integers, shortest-exact doubles) produced it.
+//
+//   json_roundtrip metrics.json [trace.json ...]   # exit 1 on any mismatch
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace {
+
+bool roundtrips(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "json_roundtrip: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+    text.pop_back();
+  }
+  try {
+    const specnoc::util::Json json = specnoc::util::json_parse(text);
+    const std::string emitted = specnoc::util::json_write(json);
+    if (emitted != text) {
+      std::fprintf(stderr,
+                   "json_roundtrip: '%s' parses but does not re-emit "
+                   "byte-identically (%zu vs %zu bytes)\n",
+                   path.c_str(), emitted.size(), text.size());
+      return false;
+    }
+  } catch (const specnoc::ConfigError& error) {
+    std::fprintf(stderr, "json_roundtrip: '%s': %s\n", path.c_str(),
+                 error.what());
+    return false;
+  }
+  std::printf("%s: ok\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  specnoc::util::CliParser cli(
+      "json_roundtrip",
+      "Check that JSON files round-trip byte-identically through util::Json.");
+  cli.add_positional_list("file.json", &paths, "JSON files to check");
+  cli.parse_or_exit(argc, argv);
+  if (paths.empty()) {
+    std::fprintf(stderr, "json_roundtrip: no files given\n");
+    return 2;
+  }
+  bool ok = true;
+  for (const auto& path : paths) ok = roundtrips(path) && ok;
+  return ok ? 0 : 1;
+}

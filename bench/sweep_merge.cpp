@@ -20,6 +20,42 @@
 #include "stats/sweep.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "util/json.h"
+
+namespace {
+
+/// Work done by one shard file: cell count, summed run wall time, and how
+/// many cells needed more than one attempt. Read from the serialized "run"
+/// objects, so it works on any shard file regardless of which harness or
+/// machine produced it.
+struct ShardWork {
+  std::size_t cells = 0;
+  double wall_ms = 0.0;
+  std::uint64_t retries = 0;
+};
+
+ShardWork tally_shard(const specnoc::stats::ShardFile& file) {
+  ShardWork work;
+  for (const auto& [grid, records] : file.records) {
+    static_cast<void>(grid);
+    for (const auto& [cell, record] : records) {
+      static_cast<void>(cell);
+      ++work.cells;
+      const specnoc::util::Json* run = record.data.find("run");
+      if (run == nullptr) continue;
+      if (const auto* wall = run->find("wall_ms")) {
+        work.wall_ms += wall->as_double();
+      }
+      if (const auto* attempts = run->find("attempts")) {
+        const std::uint64_t n = attempts->as_u64();
+        if (n > 1) work.retries += n - 1;
+      }
+    }
+  }
+  return work;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace specnoc;
@@ -48,6 +84,22 @@ int main(int argc, char** argv) {
     for (const auto& path : shard_paths) {
       inputs.push_back(stats::load_shard_file(path));
     }
+
+    ShardWork total;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const ShardWork work = tally_shard(inputs[i]);
+      std::fprintf(stderr, "shard %s: %zu cell(s), %.1f ms run wall time, "
+                   "%llu retried attempt(s)\n",
+                   shard_paths[i].c_str(), work.cells, work.wall_ms,
+                   static_cast<unsigned long long>(work.retries));
+      total.cells += work.cells;
+      total.wall_ms += work.wall_ms;
+      total.retries += work.retries;
+    }
+    std::fprintf(stderr, "all shards: %zu cell(s), %.1f ms run wall time, "
+                 "%llu retried attempt(s)\n",
+                 total.cells, total.wall_ms,
+                 static_cast<unsigned long long>(total.retries));
 
     stats::MergeReport report;
     const stats::ShardFile merged = stats::merge_shards(inputs, &report);

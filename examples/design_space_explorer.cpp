@@ -18,12 +18,15 @@
 // sweep_merge, and ranked from the merged file with --from.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "stats/experiment.h"
+#include "stats/serialization.h"
 #include "stats/sweep.h"
 #include "util/cli.h"
+#include "util/json.h"
 
 using namespace specnoc;
 
@@ -44,6 +47,7 @@ struct DesignPoint {
 int main(int argc, char** argv) {
   std::uint32_t n = 16;
   std::uint64_t seed = 42;
+  std::string metrics_path;
   stats::SweepOptions sweep_options;
   sweep_options.tool = "design_space_explorer";
 
@@ -54,6 +58,11 @@ int main(int argc, char** argv) {
   cli.add_unsigned("--jobs", &sweep_options.batch.jobs,
                    "worker threads (0: hardware concurrency, 1: serial)");
   cli.add_uint64("--seed", &seed, "experiment seed");
+  cli.add_string("--metrics", &metrics_path,
+                 "collect per-run speculation/stall metrics and write them "
+                 "to this JSON file (observational; ranking is unchanged)");
+  cli.add_unsigned("--progress", &sweep_options.batch.progress_interval_ms,
+                   "live progress lines to stderr every N ms (0: off)");
   cli.add_custom("--shard", "i/K",
                  "worker mode: run only shard i of K (requires --out)",
                  [&sweep_options](const std::string& value) {
@@ -71,6 +80,10 @@ int main(int argc, char** argv) {
     sweep_options.mode = stats::SweepMode::kRender;
   }
   sweep_options.seed = seed;
+  sweep_options.batch.collect_metrics = !metrics_path.empty();
+  if (sweep_options.batch.progress_interval_ms > 0) {
+    sweep_options.batch.progress_label = "design_space_explorer";
+  }
 
   core::NetworkConfig config;
   config.n = n;
@@ -151,6 +164,38 @@ int main(int argc, char** argv) {
   }
   const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);
   const auto power_outcomes = sweep.power_sweep("power", runner, power_specs);
+  if (!metrics_path.empty()) {
+    // Same document shape as the harnesses' --metrics files (see
+    // EXPERIMENTS.md): one entry per run that carried a snapshot.
+    util::Json doc = util::Json::object();
+    doc.set("format", "specnoc-metrics");
+    doc.set("schema", std::uint64_t{1});
+    doc.set("tool", "design_space_explorer");
+    doc.set("seed", seed);
+    util::Json runs = util::Json::array();
+    auto add_all = [&runs](const std::string& grid, const auto& outcomes) {
+      for (const auto& outcome : outcomes) {
+        if (!outcome.metrics.has_value()) continue;
+        util::Json entry = util::Json::object();
+        entry.set("grid", grid);
+        entry.set("key", stats::spec_key(outcome.spec));
+        entry.set("metrics", stats::to_json(*outcome.metrics));
+        runs.push_back(std::move(entry));
+      }
+    };
+    add_all("anchor", sat_outcomes);
+    add_all("latency", lat_outcomes);
+    add_all("power", power_outcomes);
+    doc.set("runs", std::move(runs));
+    std::ofstream out(metrics_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr,
+                   "design_space_explorer: cannot write metrics file '%s'\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    out << util::json_write(doc) << "\n";
+  }
   if (!sweep.should_render()) return sweep.finish();
   for (std::size_t i = 0; i < points.size(); ++i) {
     points[i].latency_ns = lat_outcomes[i].result.mean_latency_ns;

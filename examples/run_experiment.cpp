@@ -9,14 +9,18 @@
 //                    --bench Multicast5 --n 16 --clock 600
 //   ./run_experiment --mode trace --arch OptHybridSpeculative
 //                    --bench Multicast10 --trace out.csv --horizon-ns 200
+//   ./run_experiment --mode trace --arch OptHybridSpeculative
+//                    --bench Multicast10 --perfetto out.json --horizon-ns 200
 //
 // --list prints the available architectures and benchmarks.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "stats/experiment.h"
+#include "stats/perfetto_trace.h"
 #include "stats/trace.h"
 #include "traffic/driver.h"
 #include "util/cli.h"
@@ -37,6 +41,7 @@ struct Options {
   std::uint64_t seed = 42;
   TimePs clock = 0;
   std::string trace_path;
+  std::string perfetto_path;
   TimePs horizon = 200_ns;
 };
 
@@ -67,6 +72,9 @@ Options parse(int argc, char** argv) {
   cli.add_uint64("--seed", &opts.seed, "traffic seed");
   cli.add_int64("--clock", &opts.clock, "clock period in ps (0 = async)");
   cli.add_string("--trace", &opts.trace_path, "trace CSV path (trace mode)");
+  cli.add_string("--perfetto", &opts.perfetto_path,
+                 "Chrome-trace JSON path (trace mode; open in ui.perfetto.dev "
+                 "or chrome://tracing)");
   cli.add_custom("--horizon-ns", "NS", "trace horizon in ns",
                  [&opts](const std::string& v) {
                    opts.horizon = util::parse_i64(v, "--horizon-ns") * 1000;
@@ -139,21 +147,34 @@ int run(const Options& opts) {
     return 0;
   }
   if (opts.mode == "trace") {
-    if (opts.trace_path.empty()) {
-      std::fprintf(stderr, "--trace FILE required for trace mode\n");
+    if (opts.trace_path.empty() == opts.perfetto_path.empty()) {
+      std::fprintf(stderr,
+                   "trace mode needs exactly one of --trace FILE (CSV) or "
+                   "--perfetto FILE (Chrome-trace JSON)\n");
       return 2;
     }
-    std::ofstream out(opts.trace_path);
+    const std::string& path =
+        opts.trace_path.empty() ? opts.perfetto_path : opts.trace_path;
+    std::ofstream out(path);
     if (!out) {
-      std::fprintf(stderr, "cannot open %s\n", opts.trace_path.c_str());
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
       return 2;
     }
     stats::TraceFilter filter;
     filter.node_ops = true;
-    stats::FlitTracer tracer(out, filter);
+    std::unique_ptr<stats::FlitTracer> csv;
+    std::unique_ptr<stats::PerfettoTracer> perfetto;
     core::MotNetwork network(arch, cfg);
-    network.net().hooks().traffic = &tracer;
-    network.net().hooks().energy = &tracer;
+    if (!opts.trace_path.empty()) {
+      csv = std::make_unique<stats::FlitTracer>(out, filter);
+      network.net().hooks().traffic = csv.get();
+      network.net().hooks().energy = csv.get();
+    } else {
+      perfetto = std::make_unique<stats::PerfettoTracer>();
+      network.net().hooks().traffic = perfetto.get();
+      network.net().hooks().energy = perfetto.get();
+      network.net().hooks().metrics = perfetto.get();
+    }
     auto pattern = traffic::make_benchmark(bench, cfg.n);
     traffic::DriverConfig dcfg;
     dcfg.mode = traffic::InjectionMode::kOpenLoop;
@@ -162,10 +183,17 @@ int run(const Options& opts) {
     traffic::TrafficDriver driver(network, *pattern, dcfg);
     driver.start();
     network.scheduler().run_until(opts.horizon);
-    std::printf("wrote %llu trace rows to %s (%lld ns simulated)\n",
-                static_cast<unsigned long long>(tracer.rows_written()),
-                opts.trace_path.c_str(),
-                static_cast<long long>(opts.horizon / 1000));
+    if (csv != nullptr) {
+      std::printf("wrote %llu trace rows to %s (%lld ns simulated)\n",
+                  static_cast<unsigned long long>(csv->rows_written()),
+                  path.c_str(), static_cast<long long>(opts.horizon / 1000));
+    } else {
+      perfetto->write(out);
+      std::printf("wrote %llu trace events to %s (%lld ns simulated); open "
+                  "in ui.perfetto.dev or chrome://tracing\n",
+                  static_cast<unsigned long long>(perfetto->num_events()),
+                  path.c_str(), static_cast<long long>(opts.horizon / 1000));
+    }
     return 0;
   }
   std::fprintf(stderr, "unknown mode '%s'\n", opts.mode.c_str());

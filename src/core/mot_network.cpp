@@ -96,6 +96,7 @@ void MotNetwork::build() {
           default:
             SPECNOC_UNREACHABLE("not a fanout node kind");
         }
+        node->set_site({s, static_cast<std::int32_t>(level), i});
         fanout_[s][mot::MotTopology::heap_id(level, i)] = node;
       }
     }
@@ -109,11 +110,11 @@ void MotNetwork::build() {
     fanin_[d].resize(topology_.nodes_per_tree(), nullptr);
     for (std::uint32_t level = 0; level < levels; ++level) {
       for (std::uint32_t i = 0; i < topology_.nodes_at_level(level); ++i) {
-        fanin_[d][mot::MotTopology::heap_id(level, i)] =
-            &net_.add_node<nodes::FaninNode>(fi_name(d, level, i),
-                                             fanin_chars,
-                                             config_.fanin_buffer_flits,
-                                             config_.fanin_sticky_timeout);
+        nodes::FaninNode& node = net_.add_node<nodes::FaninNode>(
+            fi_name(d, level, i), fanin_chars, config_.fanin_buffer_flits,
+            config_.fanin_sticky_timeout);
+        node.set_site({d, static_cast<std::int32_t>(level), i});
+        fanin_[d][mot::MotTopology::heap_id(level, i)] = &node;
       }
     }
   }

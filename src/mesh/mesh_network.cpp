@@ -79,6 +79,8 @@ void MeshNetwork::build() {
           std::move(name), chars, topology_, id,
           config_.router_buffer_flits, config_.sticky_timeout));
     }
+    // Mesh routers are not part of a levelled tree (level stays -1).
+    routers_.back()->set_site({id, -1, id});
   }
 
   const auto local_link =

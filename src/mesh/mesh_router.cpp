@@ -90,10 +90,11 @@ void MeshRouter::deliver(const noc::Flit& flit, std::uint32_t in_port) {
         const PortMask remaining =
             static_cast<PortMask>(needed & ~in_[in_port].spec_sent);
         if (needed == 0) {
-          throttle(in_port);
+          throttle(flit, in_port);
         } else if (remaining == 0) {
           // Fully covered speculatively: dispose of the flit directly.
           record_op(noc::NodeOp::kFastForward);
+          record_prealloc(true);
           ack_input(in_port);
         } else {
           enqueue(flit, in_port, remaining);
@@ -144,8 +145,9 @@ void MeshRouter::transmit(const noc::Flit& flit, std::uint32_t out) {
                    });
 }
 
-void MeshRouter::throttle(std::uint32_t port) {
+void MeshRouter::throttle(const noc::Flit& flit, std::uint32_t port) {
   record_op(noc::NodeOp::kThrottle);
+  record_kill(flit);
   ++throttled_;
   ack_input(port);
 }
@@ -206,6 +208,7 @@ void MeshRouter::try_serve(std::uint32_t out) {
         os.watchdog_armed = false;
         if (os.grant_epoch == epoch && os.open_input >= 0) {
           os.open_input = -1;
+          record_watchdog_release();
         }
         try_serve(out);
       });
@@ -237,6 +240,12 @@ void MeshRouter::send_part(std::uint32_t in, std::uint32_t out) {
   const noc::Flit flit = head.flit;
 
   record_op(noc::NodeOp::kArbitrate);
+  for (std::uint32_t other = 0; other < kNumPorts; ++other) {
+    if (other != in && head_needs(other, out)) {
+      record_contended_grant();
+      break;
+    }
+  }
   transmit(flit, out);
 
   // Sticky open/close per output.

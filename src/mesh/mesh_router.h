@@ -101,7 +101,7 @@ class MeshRouter : public noc::Node {
   };
 
   void enqueue(const noc::Flit& flit, std::uint32_t port, PortMask needed);
-  void throttle(std::uint32_t port);
+  void throttle(const noc::Flit& flit, std::uint32_t port);
   void ack_input(std::uint32_t port);
   void try_serve(std::uint32_t out);
   void send_part(std::uint32_t in, std::uint32_t out);

@@ -44,6 +44,9 @@ void Channel::send(const Flit& flit) {
   // straight back; otherwise the upstream waits for the head to drain.
   if (occupancy() < params_.capacity) {
     release_upstream();
+  } else {
+    stalled_ = true;
+    stall_start_ = scheduler_.now();
   }
   try_deliver();
 }
@@ -70,6 +73,13 @@ void Channel::ack() {
   awaiting_node_ack_ = false;
   if (send_outstanding_ && occupancy() + 1 == params_.capacity) {
     // The upstream was stalled on a full pipe; this ack frees a slot.
+    if (stalled_) {
+      stalled_ = false;
+      if (hooks_.metrics != nullptr) {
+        hooks_.metrics->on_channel_stall(*this, stall_start_,
+                                         scheduler_.now());
+      }
+    }
     release_upstream();
   }
   try_deliver();

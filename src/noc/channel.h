@@ -97,6 +97,8 @@ class Channel {
   bool head_scheduled_ = false;    ///< delivery event pending for the head
   bool awaiting_node_ack_ = false; ///< a flit is at the node, not yet acked
   bool send_outstanding_ = false;  ///< upstream has not been re-acked yet
+  bool stalled_ = false;           ///< last send filled the pipe to capacity
+  TimePs stall_start_ = 0;         ///< when the pipe went full
   std::uint64_t flits_carried_ = 0;
 };
 

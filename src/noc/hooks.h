@@ -1,10 +1,13 @@
-// Observation hooks: traffic accounting and switching-energy accounting.
+// Observation hooks: traffic accounting, switching-energy accounting, and
+// speculation-mechanism metrics.
 //
 // The NoC layer emits events through these interfaces; the stats and power
 // layers implement them. Hooks are nullable so bare simulations pay nothing.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 
 #include "util/units.h"
 #include "noc/flit.h"
@@ -12,6 +15,7 @@
 
 namespace specnoc::noc {
 
+class Channel;
 class Node;
 
 /// What kind of switch a node models; used to look up its characteristics
@@ -31,6 +35,35 @@ enum class NodeKind : std::uint8_t {
 
 const char* to_string(NodeKind kind);
 
+/// Inverse of to_string(NodeKind); throws ConfigError on unknown names.
+NodeKind node_kind_from_string(const std::string& name);
+
+/// Every NodeKind enumerator, in declaration order. Keep in sync with the
+/// enum; trace_test.cpp fails when an enumerator is missing here or in
+/// to_string().
+constexpr std::array<NodeKind, 10> all_node_kinds() {
+  return {NodeKind::kSource,
+          NodeKind::kSink,
+          NodeKind::kFanoutBaseline,
+          NodeKind::kFanoutSpeculative,
+          NodeKind::kFanoutNonSpeculative,
+          NodeKind::kFanoutOptSpeculative,
+          NodeKind::kFanoutOptNonSpeculative,
+          NodeKind::kFanin,
+          NodeKind::kMeshRouter,
+          NodeKind::kMeshRouterSpec};
+}
+
+/// Structural position of a node inside its network, attached by the network
+/// builder so observers can aggregate events by tree level. `level < 0`
+/// means the node is not part of a levelled tree (network interfaces, mesh
+/// routers).
+struct NodeSite {
+  std::uint32_t tree = 0;   ///< owning fanout/fanin tree, or mesh router id
+  std::int32_t level = -1;  ///< tree level, 0 = root; -1 = unlevelled
+  std::uint32_t index = 0;  ///< node index within its level
+};
+
 /// A switching operation inside a node. Energy cost = node base energy x an
 /// op-specific activity factor (see power/energy_model.h).
 enum class NodeOp : std::uint8_t {
@@ -44,6 +77,13 @@ enum class NodeOp : std::uint8_t {
 };
 
 const char* to_string(NodeOp op);
+
+/// Every NodeOp enumerator, in declaration order (see all_node_kinds()).
+constexpr std::array<NodeOp, 7> all_node_ops() {
+  return {NodeOp::kRouteForward, NodeOp::kBroadcast, NodeOp::kFastForward,
+          NodeOp::kThrottle,     NodeOp::kArbitrate, NodeOp::kSourceSend,
+          NodeOp::kSinkConsume};
+}
 
 /// Traffic-side events, implemented by the stats layer.
 class TrafficObserver {
@@ -70,10 +110,44 @@ class EnergyObserver {
   virtual void on_channel_flit(LengthUm length, TimePs when) = 0;
 };
 
+/// Speculation-mechanism events, implemented by the metrics layer
+/// (stats::MetricsRegistry, stats::PerfettoTracer). Every node event
+/// carries the emitting node, whose kind() and site() key the aggregation.
+class MetricsObserver {
+ public:
+  virtual ~MetricsObserver() = default;
+
+  /// A misrouted (redundant speculative) flit was consumed and acked — the
+  /// paper's kill/throttle. Fires once per throttled flit.
+  virtual void on_flit_killed(const Node& node, const Flit& flit,
+                              TimePs when) = 0;
+
+  /// An opt-node pre-allocation check: `hit` means a body/tail flit rode
+  /// the channel its header already allocated (fast-forward path); a miss
+  /// is the header itself doing the route computation. Speculative mesh
+  /// routers reuse the event for flits whose route was fully covered by
+  /// earlier speculative copies.
+  virtual void on_prealloc(const Node& node, bool hit, TimePs when) = 0;
+
+  /// An arbiter granted a flit while at least one other input was also
+  /// waiting (the grant actually resolved contention).
+  virtual void on_contended_grant(const Node& node, TimePs when) = 0;
+
+  /// A packet-sticky arbiter hold was broken by the starvation watchdog.
+  virtual void on_watchdog_release(const Node& node, TimePs when) = 0;
+
+  /// The channel's upstream was backpressure-stalled from `start` to `end`:
+  /// a send filled the pipe to capacity and the upstream had to wait for
+  /// the ack that freed a slot.
+  virtual void on_channel_stall(const Channel& channel, TimePs start,
+                                TimePs end) = 0;
+};
+
 /// Bundle handed to every node and channel at construction.
 struct SimHooks {
   TrafficObserver* traffic = nullptr;
   EnergyObserver* energy = nullptr;
+  MetricsObserver* metrics = nullptr;
 };
 
 }  // namespace specnoc::noc

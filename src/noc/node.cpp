@@ -1,6 +1,7 @@
 #include "noc/node.h"
 
 #include "noc/channel.h"
+#include "util/error.h"
 
 namespace specnoc::noc {
 
@@ -18,6 +19,13 @@ const char* to_string(NodeKind kind) {
     case NodeKind::kMeshRouterSpec: return "mesh.router.spec";
   }
   return "?";
+}
+
+NodeKind node_kind_from_string(const std::string& name) {
+  for (const NodeKind kind : all_node_kinds()) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw ConfigError("unknown node kind '" + name + "'");
 }
 
 const char* to_string(NodeOp op) {
@@ -67,6 +75,30 @@ bool Node::has_output(std::uint32_t port) const {
 void Node::record_op(NodeOp op) {
   if (hooks_.energy != nullptr) {
     hooks_.energy->on_node_op(*this, op, scheduler_.now());
+  }
+}
+
+void Node::record_kill(const Flit& flit) {
+  if (hooks_.metrics != nullptr) {
+    hooks_.metrics->on_flit_killed(*this, flit, scheduler_.now());
+  }
+}
+
+void Node::record_prealloc(bool hit) {
+  if (hooks_.metrics != nullptr) {
+    hooks_.metrics->on_prealloc(*this, hit, scheduler_.now());
+  }
+}
+
+void Node::record_contended_grant() {
+  if (hooks_.metrics != nullptr) {
+    hooks_.metrics->on_contended_grant(*this, scheduler_.now());
+  }
+}
+
+void Node::record_watchdog_release() {
+  if (hooks_.metrics != nullptr) {
+    hooks_.metrics->on_watchdog_release(*this, scheduler_.now());
   }
 }
 

@@ -37,6 +37,10 @@ class Node {
   NodeKind kind() const { return kind_; }
   const std::string& name() const { return name_; }
 
+  /// Structural position inside the network, set by the network builder.
+  const NodeSite& site() const { return site_; }
+  void set_site(const NodeSite& site) { site_ = site; }
+
   virtual void deliver(const Flit& flit, std::uint32_t in_port) = 0;
   virtual void on_output_ack(std::uint32_t out_port) = 0;
 
@@ -61,10 +65,18 @@ class Node {
   /// Emits a node-op energy event if an energy observer is attached.
   void record_op(NodeOp op);
 
+  /// Metrics emit helpers; each is a no-op unless a metrics observer is
+  /// attached (hooks are nullable, so bare simulations pay one branch).
+  void record_kill(const Flit& flit);
+  void record_prealloc(bool hit);
+  void record_contended_grant();
+  void record_watchdog_release();
+
  private:
   sim::Scheduler& scheduler_;
   SimHooks& hooks_;
   NodeKind kind_;
+  NodeSite site_;
   std::string name_;
   std::vector<Channel*> inputs_;
   std::vector<Channel*> outputs_;

@@ -64,6 +64,7 @@ void FaninNode::try_grant() {
         if (grant_epoch_ == epoch && open_packet_input_ >= 0) {
           // Still starved: release the hold and serve whoever is waiting.
           open_packet_input_ = -1;
+          record_watchdog_release();
         }
         // Always re-evaluate: a stale watchdog may be the only pending
         // wakeup for a newer hold (which this call re-arms).
@@ -96,6 +97,7 @@ void FaninNode::forward_head(std::uint32_t port) {
   output_free_ = false;
   ++grant_epoch_;  // any armed watchdog is now stale
   record_op(noc::NodeOp::kArbitrate);
+  if (!in_[port ^ 1u].fifo.empty()) record_contended_grant();
   output(0).send(flit);
   if (flit.is_header() && !noc::closes_packet(flit)) {
     open_packet_input_ = static_cast<int>(port);

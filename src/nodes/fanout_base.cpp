@@ -56,8 +56,8 @@ void FanoutNodeBase::forward(const noc::Flit& flit, Dirs dirs,
 
 void FanoutNodeBase::throttle(const noc::Flit& flit) {
   SPECNOC_ASSERT(input_busy_);
-  static_cast<void>(flit);
   record_op(noc::NodeOp::kThrottle);
+  record_kill(flit);
   ack_input();
 }
 

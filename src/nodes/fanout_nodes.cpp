@@ -101,9 +101,11 @@ void OptNonSpecFanoutNode::process(const noc::Flit& flit) {
     return;
   }
   if (flit.is_header()) {
+    record_prealloc(false);
     forward(flit, dirs, noc::NodeOp::kRouteForward);
   } else {
     // Channel was pre-allocated by the header; body/tail fast-forward.
+    record_prealloc(true);
     forward(flit, dirs, noc::NodeOp::kFastForward);
   }
 }

@@ -1,7 +1,11 @@
 #include "sim/parallel_runner.h"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -50,20 +54,115 @@ struct WorkerQueue {
   std::deque<std::size_t> runs;
 };
 
+/// Periodic progress lines on a dedicated thread. Workers only touch
+/// relaxed atomics, so reporting never perturbs run scheduling; all output
+/// goes to stderr (one fprintf per line, so lines do not interleave with
+/// the serialized util::log stream's single writes).
+class ProgressReporter {
+ public:
+  ProgressReporter(const std::string& label, std::size_t total,
+                   unsigned interval_ms)
+      : label_(label.empty() ? "runs" : label), total_(total),
+        interval_ms_(interval_ms), start_(Clock::now()),
+        thread_([this] { loop(); }) {}
+
+  ~ProgressReporter() { finish(); }
+
+  void on_run_done(const RunOutcome& outcome) {
+    if (outcome.telemetry.attempts > 1) {
+      retried_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!outcome.ok) failed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void finish() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (done_) return;
+      done_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+    emit(true);
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!wake_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                           [this] { return done_; })) {
+      emit(false);
+    }
+  }
+
+  void emit(bool final_line) const {
+    const std::size_t done = completed_.load(std::memory_order_relaxed);
+    const std::uint64_t retried = retried_.load(std::memory_order_relaxed);
+    const std::uint64_t failed = failed_.load(std::memory_order_relaxed);
+    const double elapsed_s = ms_since(start_) / 1e3;
+    const double rate = elapsed_s > 0.0
+                            ? static_cast<double>(done) / elapsed_s
+                            : 0.0;
+    if (final_line) {
+      std::fprintf(stderr,
+                   "[%s] %zu/%zu runs in %.1fs (%.2f runs/s), "
+                   "retried %llu, failed %llu\n",
+                   label_.c_str(), done, total_, elapsed_s, rate,
+                   static_cast<unsigned long long>(retried),
+                   static_cast<unsigned long long>(failed));
+      return;
+    }
+    char eta[32];
+    if (rate > 0.0 && done < total_) {
+      std::snprintf(eta, sizeof eta, "%.0fs",
+                    static_cast<double>(total_ - done) / rate);
+    } else {
+      std::snprintf(eta, sizeof eta, "?");
+    }
+    std::fprintf(stderr,
+                 "[%s] %zu/%zu runs, %.2f runs/s, ETA %s, "
+                 "retried %llu, failed %llu\n",
+                 label_.c_str(), done, total_, rate, eta,
+                 static_cast<unsigned long long>(retried),
+                 static_cast<unsigned long long>(failed));
+  }
+
+  const std::string label_;
+  const std::size_t total_;
+  const unsigned interval_ms_;
+  const Clock::time_point start_;
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::uint64_t> retried_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
 }  // namespace
 
 ParallelRunner::ParallelRunner(Options options)
     : jobs_(options.jobs == 0 ? default_jobs() : options.jobs),
-      max_attempts_(options.max_attempts == 0 ? 1 : options.max_attempts) {}
+      max_attempts_(options.max_attempts == 0 ? 1 : options.max_attempts),
+      progress_interval_ms_(options.progress_interval_ms),
+      progress_label_(std::move(options.progress_label)) {}
 
 std::vector<RunOutcome> ParallelRunner::run(std::size_t count,
                                             const Job& job) const {
   std::vector<RunOutcome> outcomes(count);
   if (count == 0) return outcomes;
+  std::unique_ptr<ProgressReporter> reporter;
+  if (progress_interval_ms_ > 0) {
+    reporter = std::make_unique<ProgressReporter>(progress_label_, count,
+                                                  progress_interval_ms_);
+  }
   if (jobs_ == 1 || count == 1) {
     // Serial path: inline on the calling thread, in index order.
     for (std::size_t i = 0; i < count; ++i) {
       outcomes[i] = execute(job, i, max_attempts_);
+      if (reporter) reporter->on_run_done(outcomes[i]);
     }
     return outcomes;
   }
@@ -102,6 +201,7 @@ std::vector<RunOutcome> ParallelRunner::run(std::size_t count,
       if (!found) return;
       // Distinct vector slots: no synchronization needed on the write.
       outcomes[index] = execute(job, index, max_attempts_);
+      if (reporter) reporter->on_run_done(outcomes[index]);
     }
   };
 

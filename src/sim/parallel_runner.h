@@ -42,6 +42,12 @@ struct RunOutcome {
 struct RunnerOptions {
   unsigned jobs = 0;          ///< worker threads; 0 = default_jobs()
   unsigned max_attempts = 2;  ///< tries per run before reporting failure
+  /// Live progress reporting: a line to stderr every this many ms
+  /// (completed/total, rate, ETA, retried/failed counts) plus a final
+  /// summary line. 0 (default) = silent. stderr only, so stdout stays
+  /// byte-identical with and without it.
+  unsigned progress_interval_ms = 0;
+  std::string progress_label = {};  ///< line prefix, e.g. the harness name
 };
 
 class ParallelRunner {
@@ -67,6 +73,8 @@ class ParallelRunner {
  private:
   unsigned jobs_;
   unsigned max_attempts_;
+  unsigned progress_interval_ms_;
+  std::string progress_label_;
 };
 
 }  // namespace specnoc::sim

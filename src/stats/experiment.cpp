@@ -13,6 +13,19 @@ namespace specnoc::stats {
 
 using namespace specnoc::literals;
 
+namespace {
+
+sim::RunnerOptions runner_options(const BatchOptions& options) {
+  sim::RunnerOptions runner;
+  runner.jobs = options.jobs;
+  runner.max_attempts = options.max_attempts;
+  runner.progress_interval_ms = options.progress_interval_ms;
+  runner.progress_label = options.progress_label;
+  return runner;
+}
+
+}  // namespace
+
 ExperimentRunner::ExperimentRunner(core::NetworkConfig config,
                                    std::uint64_t seed,
                                    power::EnergyModelParams energy)
@@ -53,15 +66,18 @@ void ExperimentRunner::prime_saturation(core::Architecture arch,
 
 SaturationResult ExperimentRunner::run_saturation(
     const NetworkFactory& factory, traffic::BenchmarkId bench) const {
-  return saturation_run(factory, bench, seed_, nullptr);
+  return saturation_run(factory, bench, seed_, nullptr, nullptr);
 }
 
 SaturationResult ExperimentRunner::saturation_run(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
-    std::uint64_t seed, std::uint64_t* events_out) const {
+    std::uint64_t seed, std::uint64_t* events_out,
+    MetricsSnapshot* metrics_out) const {
   const auto network = factory();
   TrafficRecorder recorder(network->net().packets());
   network->net().hooks().traffic = &recorder;
+  MetricsRegistry registry;
+  if (metrics_out != nullptr) network->net().hooks().metrics = &registry;
   const auto pattern = traffic::make_benchmark(bench, network->topology().n());
   traffic::DriverConfig driver_cfg;
   driver_cfg.mode = traffic::InjectionMode::kBacklogged;
@@ -91,6 +107,7 @@ SaturationResult ExperimentRunner::saturation_run(
                 static_cast<double>(store.num_messages())
           : 1.0;
   if (events_out != nullptr) *events_out = sched.executed();
+  if (metrics_out != nullptr) *metrics_out = registry.snapshot();
   return result;
 }
 
@@ -106,13 +123,14 @@ LatencyResult ExperimentRunner::measure_latency(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
     double injected_flits_per_ns, traffic::SimWindows windows) const {
   return latency_run(factory, bench, injected_flits_per_ns, windows, seed_,
-                     nullptr);
+                     nullptr, nullptr);
 }
 
 LatencyResult ExperimentRunner::latency_run(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
     double injected_flits_per_ns, traffic::SimWindows windows,
-    std::uint64_t seed, std::uint64_t* events_out) const {
+    std::uint64_t seed, std::uint64_t* events_out,
+    MetricsSnapshot* metrics_out) const {
   if (injected_flits_per_ns <= 0.0) {
     throw ConfigError("injected rate must be positive, got " +
                       std::to_string(injected_flits_per_ns));
@@ -120,6 +138,8 @@ LatencyResult ExperimentRunner::latency_run(
   const auto network = factory();
   TrafficRecorder recorder(network->net().packets());
   network->net().hooks().traffic = &recorder;
+  MetricsRegistry registry;
+  if (metrics_out != nullptr) network->net().hooks().metrics = &registry;
   const auto pattern = traffic::make_benchmark(bench, network->topology().n());
   traffic::DriverConfig driver_cfg;
   driver_cfg.mode = traffic::InjectionMode::kOpenLoop;
@@ -156,6 +176,7 @@ LatencyResult ExperimentRunner::latency_run(
                        << " pending=" << recorder.pending_measured();
   }
   if (events_out != nullptr) *events_out = sched.executed();
+  if (metrics_out != nullptr) *metrics_out = registry.snapshot();
   return result;
 }
 
@@ -185,13 +206,14 @@ PowerResult ExperimentRunner::measure_power(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
     double injected_flits_per_ns, traffic::SimWindows windows) const {
   return power_run(factory, bench, injected_flits_per_ns, windows, seed_,
-                   nullptr);
+                   nullptr, nullptr);
 }
 
 PowerResult ExperimentRunner::power_run(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
     double injected_flits_per_ns, traffic::SimWindows windows,
-    std::uint64_t seed, std::uint64_t* events_out) const {
+    std::uint64_t seed, std::uint64_t* events_out,
+    MetricsSnapshot* metrics_out) const {
   if (injected_flits_per_ns <= 0.0) {
     throw ConfigError("injected rate must be positive, got " +
                       std::to_string(injected_flits_per_ns));
@@ -201,6 +223,8 @@ PowerResult ExperimentRunner::power_run(
   power::PowerMeter meter(energy_);
   network->net().hooks().traffic = &recorder;
   network->net().hooks().energy = &meter;
+  MetricsRegistry registry;
+  if (metrics_out != nullptr) network->net().hooks().metrics = &registry;
   const auto pattern = traffic::make_benchmark(bench, network->topology().n());
   traffic::DriverConfig driver_cfg;
   driver_cfg.mode = traffic::InjectionMode::kOpenLoop;
@@ -229,6 +253,7 @@ PowerResult ExperimentRunner::power_run(
   result.throttled_flits = meter.window_ops(noc::NodeOp::kThrottle);
   result.broadcast_ops = meter.window_ops(noc::NodeOp::kBroadcast);
   if (events_out != nullptr) *events_out = sched.executed();
+  if (metrics_out != nullptr) *metrics_out = registry.snapshot();
   return result;
 }
 
@@ -255,19 +280,23 @@ PowerResult ExperimentRunner::power_at_baseline_fraction(
 std::vector<SaturationOutcome> ExperimentRunner::run_saturation_grid(
     const std::vector<SaturationSpec>& specs, const BatchOptions& options) {
   std::vector<SaturationOutcome> outcomes(specs.size());
-  const sim::ParallelRunner pool({options.jobs, options.max_attempts});
+  const sim::ParallelRunner pool(runner_options(options));
   const auto runs = pool.run(specs.size(), [&](std::size_t i) {
     const auto& spec = specs[i];
     std::uint64_t events = 0;
+    MetricsSnapshot snapshot;
     outcomes[i].result =
         saturation_run(factory_for_spec(spec.arch, spec.factory), spec.bench,
-                       spec.seed == 0 ? seed_ : spec.seed, &events);
+                       spec.seed == 0 ? seed_ : spec.seed, &events,
+                       options.collect_metrics ? &snapshot : nullptr);
+    if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
     return events;
   });
   // Deterministic reduction: spec order, independent of completion order.
   for (std::size_t i = 0; i < specs.size(); ++i) {
     outcomes[i].spec = specs[i];
     outcomes[i].run = runs[i];
+    if (!runs[i].ok) outcomes[i].metrics.reset();
     // Canonical cells (runner seed, canonical network) warm the
     // memoization cache so saturation() reuses them.
     if (runs[i].ok && specs[i].seed == 0 && !specs[i].factory) {
@@ -281,19 +310,23 @@ std::vector<SaturationOutcome> ExperimentRunner::run_saturation_grid(
 std::vector<LatencyOutcome> ExperimentRunner::run_latency_sweep(
     const std::vector<LatencySpec>& specs, const BatchOptions& options) const {
   std::vector<LatencyOutcome> outcomes(specs.size());
-  const sim::ParallelRunner pool({options.jobs, options.max_attempts});
+  const sim::ParallelRunner pool(runner_options(options));
   const auto runs = pool.run(specs.size(), [&](std::size_t i) {
     const auto& spec = specs[i];
     std::uint64_t events = 0;
+    MetricsSnapshot snapshot;
     outcomes[i].result = latency_run(
         factory_for_spec(spec.arch, spec.factory), spec.bench,
         spec.injected_flits_per_ns, spec.windows,
-        spec.seed == 0 ? seed_ : spec.seed, &events);
+        spec.seed == 0 ? seed_ : spec.seed, &events,
+        options.collect_metrics ? &snapshot : nullptr);
+    if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
     return events;
   });
   for (std::size_t i = 0; i < specs.size(); ++i) {
     outcomes[i].spec = specs[i];
     outcomes[i].run = runs[i];
+    if (!runs[i].ok) outcomes[i].metrics.reset();
   }
   return outcomes;
 }
@@ -301,19 +334,23 @@ std::vector<LatencyOutcome> ExperimentRunner::run_latency_sweep(
 std::vector<PowerOutcome> ExperimentRunner::run_power_sweep(
     const std::vector<PowerSpec>& specs, const BatchOptions& options) const {
   std::vector<PowerOutcome> outcomes(specs.size());
-  const sim::ParallelRunner pool({options.jobs, options.max_attempts});
+  const sim::ParallelRunner pool(runner_options(options));
   const auto runs = pool.run(specs.size(), [&](std::size_t i) {
     const auto& spec = specs[i];
     std::uint64_t events = 0;
+    MetricsSnapshot snapshot;
     outcomes[i].result = power_run(
         factory_for_spec(spec.arch, spec.factory), spec.bench,
         spec.injected_flits_per_ns, spec.windows,
-        spec.seed == 0 ? seed_ : spec.seed, &events);
+        spec.seed == 0 ? seed_ : spec.seed, &events,
+        options.collect_metrics ? &snapshot : nullptr);
+    if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
     return events;
   });
   for (std::size_t i = 0; i < specs.size(); ++i) {
     outcomes[i].spec = specs[i];
     outcomes[i].run = runs[i];
+    if (!runs[i].ok) outcomes[i].metrics.reset();
   }
   return outcomes;
 }

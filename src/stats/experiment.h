@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/architecture.h"
@@ -25,6 +26,7 @@
 #include "core/mot_network.h"
 #include "power/energy_model.h"
 #include "sim/parallel_runner.h"
+#include "stats/metrics.h"
 #include "traffic/benchmark.h"
 #include "util/units.h"
 
@@ -72,6 +74,14 @@ struct BatchOptions {
   unsigned jobs = 0;
   /// Tries per run before reporting it failed in its outcome slot.
   unsigned max_attempts = 2;
+  /// Attach a MetricsRegistry to every run and return its snapshot in the
+  /// outcome. Purely observational: results are identical either way.
+  bool collect_metrics = false;
+  /// Live progress lines to stderr every this many ms; 0 (default) =
+  /// silent. Progress goes to stderr only, so stdout tables are identical
+  /// with and without it.
+  unsigned progress_interval_ms = 0;
+  std::string progress_label = {};  ///< prefix for progress lines
 };
 
 /// One cell of a saturation grid. `factory` (when set) overrides the
@@ -93,6 +103,8 @@ struct SaturationOutcome {
   SaturationSpec spec;
   SaturationResult result;  ///< valid only when run.ok
   sim::RunOutcome run;
+  /// Present when the grid ran with BatchOptions::collect_metrics.
+  std::optional<MetricsSnapshot> metrics;
 };
 
 /// One open-loop latency run at an explicit injected rate. `custom` as in
@@ -111,6 +123,8 @@ struct LatencyOutcome {
   LatencySpec spec;
   LatencyResult result;  ///< valid only when run.ok
   sim::RunOutcome run;
+  /// Present when the sweep ran with BatchOptions::collect_metrics.
+  std::optional<MetricsSnapshot> metrics;
 };
 
 /// One open-loop power run at an explicit injected rate. `custom` as in
@@ -129,6 +143,8 @@ struct PowerOutcome {
   PowerSpec spec;
   PowerResult result;  ///< valid only when run.ok
   sim::RunOutcome run;
+  /// Present when the sweep ran with BatchOptions::collect_metrics.
+  std::optional<MetricsSnapshot> metrics;
 };
 
 class ExperimentRunner {
@@ -219,21 +235,25 @@ class ExperimentRunner {
 
   /// Single-run workers behind both the public serial methods and the
   /// batch APIs. `events_out` (when non-null) receives the number of
-  /// scheduler events the run executed.
+  /// scheduler events the run executed; `metrics_out` (when non-null)
+  /// attaches a MetricsRegistry for the run and receives its snapshot.
   SaturationResult saturation_run(const NetworkFactory& factory,
                                   traffic::BenchmarkId bench,
                                   std::uint64_t seed,
-                                  std::uint64_t* events_out) const;
+                                  std::uint64_t* events_out,
+                                  MetricsSnapshot* metrics_out) const;
   LatencyResult latency_run(const NetworkFactory& factory,
                             traffic::BenchmarkId bench,
                             double injected_flits_per_ns,
                             traffic::SimWindows windows, std::uint64_t seed,
-                            std::uint64_t* events_out) const;
+                            std::uint64_t* events_out,
+                            MetricsSnapshot* metrics_out) const;
   PowerResult power_run(const NetworkFactory& factory,
                         traffic::BenchmarkId bench,
                         double injected_flits_per_ns,
                         traffic::SimWindows windows, std::uint64_t seed,
-                        std::uint64_t* events_out) const;
+                        std::uint64_t* events_out,
+                        MetricsSnapshot* metrics_out) const;
 
   core::NetworkConfig config_;
   std::uint64_t seed_;

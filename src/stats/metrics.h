@@ -1,0 +1,117 @@
+// Speculation-mechanism metrics: typed counters and fixed-bucket histograms
+// keyed by (node kind, tree level) and by channel class.
+//
+// MetricsRegistry implements noc::MetricsObserver; attach it to
+// SimHooks::metrics before running and take a MetricsSnapshot afterwards.
+// The snapshot is plain sorted data — deterministic for a deterministic
+// simulation — and serializes exactly through util::Json (see
+// stats/serialization.h), so it rides sweep JSONL records and sweep_merge
+// byte-identically. Collection is purely observational: attaching a
+// registry changes no simulation outcome.
+//
+// This is the measurement substrate for the paper's confinement claim:
+// kills per tree level show redundant multicast copies dying at the first
+// non-speculative level below each speculative one (DAC'16 §4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.h"
+#include "noc/hooks.h"
+
+namespace specnoc::stats {
+
+/// Stall-duration histogram: bucket b counts stalls with duration in
+/// [unit*2^b, unit*2^(b+1)) ps (bucket 0 also takes shorter stalls, the
+/// last bucket is open-ended).
+inline constexpr std::size_t kNumStallBuckets = 8;
+inline constexpr TimePs kStallBucketUnitPs = 100;
+
+std::size_t stall_bucket(TimePs duration);
+
+/// Human-readable bucket bound, e.g. "<200ps" ... ">=12800ps".
+std::string stall_bucket_label(std::size_t bucket);
+
+/// Per-(kind, level) event counters.
+struct SiteCounters {
+  std::uint64_t kills = 0;              ///< throttled misrouted flits
+  std::uint64_t prealloc_hits = 0;      ///< pre-allocated fast-forwards
+  std::uint64_t prealloc_misses = 0;    ///< header route computations
+  std::uint64_t contended_grants = 0;   ///< grants that resolved contention
+  std::uint64_t watchdog_releases = 0;  ///< starvation watchdog firings
+
+  bool any() const {
+    return kills != 0 || prealloc_hits != 0 || prealloc_misses != 0 ||
+           contended_grants != 0 || watchdog_releases != 0;
+  }
+};
+
+/// One aggregation site: all nodes of `kind` at tree level `level`
+/// (level -1 collects unlevelled nodes such as mesh routers).
+struct MetricsSite {
+  noc::NodeKind kind = noc::NodeKind::kSource;
+  std::int32_t level = -1;
+  SiteCounters counters;
+};
+
+/// Backpressure-stall statistics for one channel class.
+struct ChannelClassMetrics {
+  std::string klass;
+  std::uint64_t stalls = 0;         ///< completed stall intervals
+  std::uint64_t stall_time_ps = 0;  ///< summed interval durations
+  std::array<std::uint64_t, kNumStallBuckets> histogram{};
+};
+
+/// Aggregation class of a channel, derived from its builder-assigned name
+/// ("mid.s3.d5" -> "middle", "fo2.l1i0>1" -> "fanout", ...).
+std::string channel_class(const std::string& name);
+
+/// Immutable per-run aggregate. Sites are sorted by (kind, level) and
+/// channel classes by name, so equal simulations produce equal snapshots.
+struct MetricsSnapshot {
+  std::vector<MetricsSite> sites;
+  std::vector<ChannelClassMetrics> channels;
+
+  bool empty() const { return sites.empty() && channels.empty(); }
+
+  std::uint64_t total_kills() const;
+  /// Kills summed over every kind at one tree level — the per-level
+  /// confinement profile.
+  std::uint64_t kills_at_level(std::int32_t level) const;
+  std::uint64_t total_prealloc_hits() const;
+  std::uint64_t total_prealloc_misses() const;
+  std::uint64_t total_contended_grants() const;
+  std::uint64_t total_watchdog_releases() const;
+  std::uint64_t total_stalls() const;
+
+  const MetricsSite* find_site(noc::NodeKind kind, std::int32_t level) const;
+  const ChannelClassMetrics* find_channel(const std::string& klass) const;
+};
+
+class MetricsRegistry final : public noc::MetricsObserver {
+ public:
+  MetricsRegistry() = default;
+
+  void on_flit_killed(const noc::Node& node, const noc::Flit& flit,
+                      TimePs when) override;
+  void on_prealloc(const noc::Node& node, bool hit, TimePs when) override;
+  void on_contended_grant(const noc::Node& node, TimePs when) override;
+  void on_watchdog_release(const noc::Node& node, TimePs when) override;
+  void on_channel_stall(const noc::Channel& channel, TimePs start,
+                        TimePs end) override;
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  SiteCounters& site(const noc::Node& node);
+
+  std::map<std::pair<noc::NodeKind, std::int32_t>, SiteCounters> sites_;
+  std::map<std::string, ChannelClassMetrics> channels_;
+};
+
+}  // namespace specnoc::stats

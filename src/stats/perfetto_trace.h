@@ -1,0 +1,82 @@
+// Chrome-trace / Perfetto JSON exporter.
+//
+// PerfettoTracer implements all three observer interfaces (attach it to
+// SimHooks traffic + energy + metrics) and buffers one event per
+// observation: node operations, injections/ejections, kills, pre-allocation
+// checks, and watchdog releases as instant events on per-node tracks, and
+// channel backpressure stalls as duration events on per-channel tracks.
+// write() emits the JSON object form of the Chrome trace format
+// ({"displayTimeUnit":"ns","traceEvents":[...]}), loadable in
+// chrome://tracing and ui.perfetto.dev. Timestamps are microseconds
+// (fractional, preserving the simulator's picosecond resolution) and events
+// are emitted sorted by timestamp within each track.
+//
+// This complements the CSV FlitTracer (stats/trace.h): the CSV is for
+// scripted offline analysis, the Perfetto JSON for interactive timeline
+// inspection.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "noc/hooks.h"
+
+namespace specnoc::stats {
+
+class PerfettoTracer final : public noc::TrafficObserver,
+                             public noc::EnergyObserver,
+                             public noc::MetricsObserver {
+ public:
+  PerfettoTracer() = default;
+
+  void on_packet_injected(const noc::Packet& packet, TimePs when) override;
+  void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs when) override;
+
+  void on_node_op(const noc::Node& node, noc::NodeOp op,
+                  TimePs when) override;
+  void on_channel_flit(LengthUm length, TimePs when) override;
+
+  void on_flit_killed(const noc::Node& node, const noc::Flit& flit,
+                      TimePs when) override;
+  void on_prealloc(const noc::Node& node, bool hit, TimePs when) override;
+  void on_contended_grant(const noc::Node& node, TimePs when) override;
+  void on_watchdog_release(const noc::Node& node, TimePs when) override;
+  void on_channel_stall(const noc::Channel& channel, TimePs start,
+                        TimePs end) override;
+
+  std::size_t num_events() const { return events_.size(); }
+
+  /// Builds the trace document; deterministic for a deterministic run.
+  util::Json trace_json() const;
+
+  /// Writes trace_json() to `out` as one line of JSON.
+  void write(std::ostream& out) const;
+
+ private:
+  struct Event {
+    std::uint32_t track = 0;
+    TimePs when = 0;
+    TimePs duration = -1;  ///< < 0: instant event, else "X" with this dur
+    const char* name = "";
+    const char* category = "";
+    bool has_packet = false;
+    std::uint64_t packet = 0;
+    std::uint32_t src = 0;
+  };
+
+  /// Track (Chrome "tid") for a node or channel name; created on first use.
+  std::uint32_t track(const std::string& name);
+  void instant(std::uint32_t track, TimePs when, const char* name,
+               const char* category);
+
+  std::vector<std::string> track_names_;
+  std::map<std::string, std::uint32_t> track_ids_;
+  std::vector<Event> events_;
+};
+
+}  // namespace specnoc::stats

@@ -210,6 +210,70 @@ sim::RunOutcome run_outcome_from_json(const Json& json) {
   return run;
 }
 
+Json to_json(const MetricsSnapshot& snapshot) {
+  Json json = Json::object();
+  Json sites = Json::array();
+  for (const auto& site : snapshot.sites) {
+    Json entry = Json::object();
+    entry.set("kind", noc::to_string(site.kind));
+    entry.set("level", static_cast<std::int64_t>(site.level));
+    entry.set("kills", site.counters.kills);
+    entry.set("prealloc_hits", site.counters.prealloc_hits);
+    entry.set("prealloc_misses", site.counters.prealloc_misses);
+    entry.set("contended_grants", site.counters.contended_grants);
+    entry.set("watchdog_releases", site.counters.watchdog_releases);
+    sites.push_back(std::move(entry));
+  }
+  json.set("sites", std::move(sites));
+  Json channels = Json::array();
+  for (const auto& channel : snapshot.channels) {
+    Json entry = Json::object();
+    entry.set("class", channel.klass);
+    entry.set("stalls", channel.stalls);
+    entry.set("stall_ps", channel.stall_time_ps);
+    Json histogram = Json::array();
+    for (const std::uint64_t count : channel.histogram) {
+      histogram.push_back(count);
+    }
+    entry.set("hist", std::move(histogram));
+    channels.push_back(std::move(entry));
+  }
+  json.set("channels", std::move(channels));
+  return json;
+}
+
+MetricsSnapshot metrics_snapshot_from_json(const Json& json) {
+  MetricsSnapshot snapshot;
+  for (const Json& entry : json.at("sites").items()) {
+    MetricsSite site;
+    site.kind = noc::node_kind_from_string(entry.at("kind").as_string());
+    site.level = static_cast<std::int32_t>(entry.at("level").as_i64());
+    site.counters.kills = entry.at("kills").as_u64();
+    site.counters.prealloc_hits = entry.at("prealloc_hits").as_u64();
+    site.counters.prealloc_misses = entry.at("prealloc_misses").as_u64();
+    site.counters.contended_grants = entry.at("contended_grants").as_u64();
+    site.counters.watchdog_releases = entry.at("watchdog_releases").as_u64();
+    snapshot.sites.push_back(site);
+  }
+  for (const Json& entry : json.at("channels").items()) {
+    ChannelClassMetrics channel;
+    channel.klass = entry.at("class").as_string();
+    channel.stalls = entry.at("stalls").as_u64();
+    channel.stall_time_ps = entry.at("stall_ps").as_u64();
+    const auto& histogram = entry.at("hist").items();
+    if (histogram.size() != kNumStallBuckets) {
+      throw ConfigError("metrics histogram has " +
+                        std::to_string(histogram.size()) + " buckets, want " +
+                        std::to_string(kNumStallBuckets));
+    }
+    for (std::size_t b = 0; b < kNumStallBuckets; ++b) {
+      channel.histogram[b] = histogram[b].as_u64();
+    }
+    snapshot.channels.push_back(std::move(channel));
+  }
+  return snapshot;
+}
+
 namespace {
 
 template <typename Outcome>
@@ -221,7 +285,18 @@ Json outcome_to_json(const Outcome& outcome) {
   // for failures keeps failed rows small and makes the round trip yield
   // the same default-constructed result the in-process path reports.
   if (outcome.run.ok) json.set("result", to_json(outcome.result));
+  if (outcome.run.ok && outcome.metrics.has_value()) {
+    json.set("metrics", to_json(*outcome.metrics));
+  }
   return json;
+}
+
+template <typename Outcome>
+void metrics_from_json(Outcome& outcome, const Json& json) {
+  const Json* metrics = json.find("metrics");
+  if (metrics != nullptr) {
+    outcome.metrics = metrics_snapshot_from_json(*metrics);
+  }
 }
 
 }  // namespace
@@ -239,6 +314,7 @@ SaturationOutcome saturation_outcome_from_json(const Json& json) {
   if (outcome.run.ok) {
     outcome.result = saturation_result_from_json(json.at("result"));
   }
+  metrics_from_json(outcome, json);
   return outcome;
 }
 
@@ -249,6 +325,7 @@ LatencyOutcome latency_outcome_from_json(const Json& json) {
   if (outcome.run.ok) {
     outcome.result = latency_result_from_json(json.at("result"));
   }
+  metrics_from_json(outcome, json);
   return outcome;
 }
 
@@ -259,6 +336,7 @@ PowerOutcome power_outcome_from_json(const Json& json) {
   if (outcome.run.ok) {
     outcome.result = power_result_from_json(json.at("result"));
   }
+  metrics_from_json(outcome, json);
   return outcome;
 }
 

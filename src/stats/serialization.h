@@ -25,6 +25,7 @@
 
 #include "sim/parallel_runner.h"
 #include "stats/experiment.h"
+#include "stats/metrics.h"
 #include "util/json.h"
 
 namespace specnoc::stats {
@@ -53,6 +54,14 @@ PowerResult power_result_from_json(const util::Json& json);
 
 util::Json to_json(const sim::RunOutcome& run);
 sim::RunOutcome run_outcome_from_json(const util::Json& json);
+
+// --- metrics -------------------------------------------------------------
+
+/// MetricsSnapshot holds only integers and enum names, so this round trip
+/// is byte-exact: a snapshot that travels through a shard file serializes
+/// to the same line as one that never left the process.
+util::Json to_json(const MetricsSnapshot& snapshot);
+MetricsSnapshot metrics_snapshot_from_json(const util::Json& json);
 
 // --- full outcomes (spec + result + run) ---------------------------------
 

@@ -458,7 +458,13 @@ ShardedSweep::ShardedSweep(SweepOptions options)
 
 std::vector<SaturationOutcome> ShardedSweep::anchor_saturation(
     ExperimentRunner& runner, const std::vector<SaturationSpec>& specs) {
-  return runner.run_saturation_grid(specs, options_.batch);
+  return runner.run_saturation_grid(specs, labeled_batch("anchor"));
+}
+
+BatchOptions ShardedSweep::labeled_batch(const std::string& name) const {
+  BatchOptions batch = options_.batch;
+  if (!batch.progress_label.empty()) batch.progress_label += "/" + name;
+  return batch;
 }
 
 template <typename Traits>
@@ -469,7 +475,7 @@ std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
   using Spec = typename Traits::Spec;
 
   if (options_.mode == SweepMode::kRun) {
-    return Traits::run(runner, specs, options_.batch);
+    return Traits::run(runner, specs, labeled_batch(name));
   }
 
   const std::vector<std::string> keys = spec_keys(specs);
@@ -531,7 +537,7 @@ std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
     subset.reserve(to_run.size());
     for (const std::size_t cell : to_run) subset.push_back(specs[cell]);
     const std::vector<Outcome> fresh =
-        Traits::run(runner, subset, options_.batch);
+        Traits::run(runner, subset, labeled_batch(name));
     for (std::size_t j = 0; j < to_run.size(); ++j) {
       const std::size_t cell = to_run[j];
       outcomes[cell] = fresh[j];

@@ -180,6 +180,10 @@ class ShardedSweep {
       const std::string& name, ExperimentRunner& runner,
       const std::vector<typename Traits::Spec>& specs);
 
+  /// options_.batch with "/<name>" appended to a non-empty progress label,
+  /// so live progress lines identify the grid being executed.
+  BatchOptions labeled_batch(const std::string& name) const;
+
   void flush() const;
 
   SweepOptions options_;

@@ -7,6 +7,19 @@
 
 namespace specnoc::stats {
 
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) {
+    return field;
+  }
+  std::string escaped = "\"";
+  for (const char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
 const char* to_string(noc::FlitKind kind) {
   switch (kind) {
     case noc::FlitKind::kHeader: return "header";
@@ -24,8 +37,8 @@ FlitTracer::FlitTracer(std::ostream& out, TraceFilter filter)
 void FlitTracer::row(TimePs when, const char* event,
                      const std::string& subject, std::uint64_t packet,
                      std::uint32_t src, const char* detail) {
-  out_ << when << ',' << event << ',' << subject << ',' << packet << ','
-       << src << ',' << detail << '\n';
+  out_ << when << ',' << event << ',' << csv_escape(subject) << ',' << packet
+       << ',' << src << ',' << csv_escape(detail) << '\n';
   ++rows_;
 }
 

@@ -7,10 +7,16 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "noc/hooks.h"
 
 namespace specnoc::stats {
+
+/// RFC-4180 CSV field escaping: fields containing commas, quotes, or
+/// newlines are quoted, with embedded quotes doubled; anything else passes
+/// through unchanged.
+std::string csv_escape(const std::string& field);
 
 /// Which event classes to record.
 struct TraceFilter {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace specnoc {
 namespace {
@@ -31,6 +32,10 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
+  // Worker threads (parallel_runner) log concurrently; serialize the write
+  // so lines never interleave.
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock(mutex);
   std::fprintf(stderr, "[specnoc %s] %s\n", level_name(level),
                message.c_str());
 }

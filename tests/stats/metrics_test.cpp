@@ -1,0 +1,189 @@
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mot_network.h"
+#include "stats/experiment.h"
+#include "stats/serialization.h"
+#include "util/json.h"
+
+namespace specnoc::stats {
+namespace {
+
+using core::Architecture;
+using noc::dest_bit;
+using noc::NodeKind;
+
+TEST(StallBucketTest, Boundaries) {
+  // Bucket b covers [100*2^b, 100*2^(b+1)) ps; bucket 0 also takes shorter
+  // stalls and the last bucket is open-ended.
+  EXPECT_EQ(stall_bucket(0), 0u);
+  EXPECT_EQ(stall_bucket(199), 0u);
+  EXPECT_EQ(stall_bucket(200), 1u);
+  EXPECT_EQ(stall_bucket(399), 1u);
+  EXPECT_EQ(stall_bucket(400), 2u);
+  EXPECT_EQ(stall_bucket(6399), 5u);
+  EXPECT_EQ(stall_bucket(6400), 6u);
+  EXPECT_EQ(stall_bucket(12799), 6u);
+  EXPECT_EQ(stall_bucket(12800), 7u);
+  EXPECT_EQ(stall_bucket(1'000'000), 7u);
+}
+
+TEST(StallBucketTest, Labels) {
+  EXPECT_EQ(stall_bucket_label(0), "<200ps");
+  EXPECT_EQ(stall_bucket_label(1), "<400ps");
+  EXPECT_EQ(stall_bucket_label(kNumStallBuckets - 2), "<12800ps");
+  EXPECT_EQ(stall_bucket_label(kNumStallBuckets - 1), ">=12800ps");
+}
+
+TEST(ChannelClassTest, BuilderNamePrefixes) {
+  EXPECT_EQ(channel_class("src3"), "source_if");
+  EXPECT_EQ(channel_class("root->5"), "sink_if");
+  EXPECT_EQ(channel_class("mid.s1.d2"), "middle");
+  EXPECT_EQ(channel_class("fo2.l1i0>1"), "fanout");
+  EXPECT_EQ(channel_class("fi4.l0i1>0"), "fanin");
+  EXPECT_EQ(channel_class("ni7"), "mesh_inject");
+  EXPECT_EQ(channel_class("r>ni3"), "mesh_eject");
+  EXPECT_EQ(channel_class("sr>ni3"), "mesh_eject");
+  EXPECT_EQ(channel_class("r1>2"), "mesh_hop");
+  EXPECT_EQ(channel_class("sr0>1"), "mesh_hop");
+  EXPECT_EQ(channel_class("weird"), "other");
+}
+
+/// Congested multicast run on the 8x8 hybrid network with a registry
+/// attached; returns its snapshot.
+MetricsSnapshot hybrid_multicast_snapshot() {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kOptHybridSpeculative, cfg);
+  MetricsRegistry registry;
+  net.net().hooks().metrics = &registry;
+  // Dest sets confined to one half of every fanout tree: the speculative
+  // level-0 broadcast sends a redundant copy toward the other half, which
+  // must die at level 1. Many senders to the same two sinks also congest
+  // the fanin trees, exercising stalls and contended grants.
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      net.send_message(s, dest_bit(0) | dest_bit(1), false);
+    }
+  }
+  net.scheduler().run();
+  return registry.snapshot();
+}
+
+TEST(MetricsRegistryTest, CountsSpeculationEventsByKindAndLevel) {
+  const MetricsSnapshot snap = hybrid_multicast_snapshot();
+  ASSERT_FALSE(snap.empty());
+
+  // The hybrid map at n=8 speculates only at level 0, so every redundant
+  // copy dies at the opt non-speculative nodes of level 1.
+  EXPECT_EQ(snap.kills_at_level(0), 0u);
+  EXPECT_GT(snap.kills_at_level(1), 0u);
+  EXPECT_EQ(snap.kills_at_level(2), 0u);
+  const MetricsSite* site =
+      snap.find_site(NodeKind::kFanoutOptNonSpeculative, 1);
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site->counters.kills, snap.total_kills());
+
+  // Headers compute routes (misses); bodies ride the pre-allocation (hits).
+  EXPECT_GT(snap.total_prealloc_misses(), 0u);
+  EXPECT_GT(snap.total_prealloc_hits(), 0u);
+
+  // 32 messages into two sinks: the fanin trees arbitrate under contention
+  // and the tree channels backpressure.
+  EXPECT_GT(snap.total_contended_grants(), 0u);
+  EXPECT_GT(snap.total_stalls(), 0u);
+  for (const auto& channel : snap.channels) {
+    std::uint64_t bucketed = 0;
+    for (const std::uint64_t count : channel.histogram) bucketed += count;
+    EXPECT_EQ(bucketed, channel.stalls) << channel.klass;
+  }
+}
+
+TEST(MetricsRegistryTest, SnapshotRoundTripsThroughJsonByteIdentically) {
+  const MetricsSnapshot snap = hybrid_multicast_snapshot();
+  const std::string first = util::json_write(to_json(snap));
+  const MetricsSnapshot reparsed =
+      metrics_snapshot_from_json(util::json_parse(first));
+  const std::string second = util::json_write(to_json(reparsed));
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(reparsed.total_kills(), snap.total_kills());
+  EXPECT_EQ(reparsed.total_stalls(), snap.total_stalls());
+}
+
+TEST(MetricsBatchTest, CollectionChangesNoResult) {
+  core::NetworkConfig cfg;
+  const std::vector<SaturationSpec> specs = {
+      {.arch = Architecture::kOptHybridSpeculative,
+       .bench = traffic::BenchmarkId::kMulticast10,
+       .seed = 0,
+       .factory = {},
+       .custom = {}},
+      {.arch = Architecture::kBaseline,
+       .bench = traffic::BenchmarkId::kUniformRandom,
+       .seed = 0,
+       .factory = {},
+       .custom = {}},
+  };
+
+  BatchOptions plain;
+  plain.jobs = 1;
+  stats::ExperimentRunner without(cfg, 7);
+  const auto bare = without.run_saturation_grid(specs, plain);
+
+  BatchOptions collecting = plain;
+  collecting.collect_metrics = true;
+  stats::ExperimentRunner with(cfg, 7);
+  const auto metered = with.run_saturation_grid(specs, collecting);
+
+  ASSERT_EQ(bare.size(), metered.size());
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    ASSERT_TRUE(bare[i].run.ok);
+    ASSERT_TRUE(metered[i].run.ok);
+    EXPECT_FALSE(bare[i].metrics.has_value());
+    ASSERT_TRUE(metered[i].metrics.has_value());
+    EXPECT_FALSE(metered[i].metrics->empty());
+    // The simulation outcome is identical with and without collection.
+    EXPECT_EQ(util::json_write(to_json(bare[i].result)),
+              util::json_write(to_json(metered[i].result)));
+  }
+}
+
+TEST(MetricsBatchTest, SnapshotsIdenticalForAnyThreadCount) {
+  core::NetworkConfig cfg;
+  std::vector<SaturationSpec> specs;
+  for (const auto arch :
+       {Architecture::kBaseline, Architecture::kOptNonSpeculative,
+        Architecture::kOptHybridSpeculative}) {
+    specs.push_back({.arch = arch,
+                     .bench = traffic::BenchmarkId::kMulticast5,
+                     .seed = 0,
+                     .factory = {},
+                     .custom = {}});
+  }
+
+  BatchOptions serial;
+  serial.jobs = 1;
+  serial.collect_metrics = true;
+  stats::ExperimentRunner runner_serial(cfg, 11);
+  const auto one = runner_serial.run_saturation_grid(specs, serial);
+
+  BatchOptions threaded = serial;
+  threaded.jobs = 4;
+  stats::ExperimentRunner runner_threaded(cfg, 11);
+  const auto four = runner_threaded.run_saturation_grid(specs, threaded);
+
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_TRUE(one[i].run.ok);
+    ASSERT_TRUE(four[i].run.ok);
+    EXPECT_EQ(util::json_write(to_json(one[i].result)),
+              util::json_write(to_json(four[i].result)));
+    ASSERT_TRUE(one[i].metrics.has_value());
+    ASSERT_TRUE(four[i].metrics.has_value());
+    EXPECT_EQ(util::json_write(to_json(*one[i].metrics)),
+              util::json_write(to_json(*four[i].metrics)));
+  }
+}
+
+}  // namespace
+}  // namespace specnoc::stats

@@ -1,0 +1,122 @@
+#include "stats/perfetto_trace.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/mot_network.h"
+#include "util/json.h"
+
+namespace specnoc::stats {
+namespace {
+
+using core::Architecture;
+using noc::dest_bit;
+
+/// Congested multicast run on the 8x8 hybrid network with the tracer on
+/// all three observer hooks.
+PerfettoTracer traced_run() {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kOptHybridSpeculative, cfg);
+  PerfettoTracer tracer;
+  net.net().hooks().traffic = &tracer;
+  net.net().hooks().energy = &tracer;
+  net.net().hooks().metrics = &tracer;
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint32_t s = 0; s < 8; ++s) {
+      net.send_message(s, dest_bit(0) | dest_bit(1), false);
+    }
+  }
+  net.scheduler().run();
+  return tracer;
+}
+
+TEST(PerfettoTracerTest, EmitsStructurallyValidChromeTrace) {
+  const PerfettoTracer tracer = traced_run();
+  ASSERT_GT(tracer.num_events(), 0u);
+
+  // The written document must parse back as JSON.
+  std::ostringstream out;
+  tracer.write(out);
+  std::string text = out.str();
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+  text.pop_back();
+  const util::Json doc = util::json_parse(text);
+
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_FALSE(events.empty());
+
+  std::set<std::string> track_names;
+  std::set<std::uint64_t> named_tids;
+  std::map<std::uint64_t, double> last_ts;
+  std::set<std::string> event_names;
+  for (const util::Json& event : events) {
+    EXPECT_EQ(event.at("pid").as_i64(), 1);
+    const std::string ph = event.at("ph").as_string();
+    const std::uint64_t tid = event.at("tid").as_u64();
+    if (ph == "M") {
+      // Track metadata: unique tids, unique non-empty names.
+      EXPECT_EQ(event.at("name").as_string(), "thread_name");
+      const std::string name = event.at("args").at("name").as_string();
+      EXPECT_FALSE(name.empty());
+      EXPECT_TRUE(track_names.insert(name).second) << name;
+      EXPECT_TRUE(named_tids.insert(tid).second) << tid;
+      continue;
+    }
+    ASSERT_TRUE(ph == "i" || ph == "X") << ph;
+    // Every event's track was declared.
+    EXPECT_TRUE(named_tids.count(tid) > 0) << tid;
+    // Timestamps are monotone per track.
+    const double ts = event.at("ts").as_double();
+    EXPECT_GE(ts, 0.0);
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second);
+    }
+    last_ts[tid] = ts;
+    if (ph == "X") {
+      EXPECT_GE(event.at("dur").as_double(), 0.0);
+    }
+    event_names.insert(event.at("name").as_string());
+  }
+
+  // The run injects multicasts, ejects flits, and (being speculative at
+  // level 0 with dests confined to one half) kills redundant copies.
+  EXPECT_TRUE(event_names.count("inject.multicast") > 0);
+  EXPECT_TRUE(event_names.count("eject.header") > 0);
+  EXPECT_TRUE(event_names.count("eject.tail") > 0);
+  EXPECT_TRUE(event_names.count("kill") > 0);
+  // Congestion on the shared sinks produces backpressure-stall spans.
+  EXPECT_TRUE(event_names.count("stall") > 0);
+}
+
+TEST(PerfettoTracerTest, KillEventsCarryPacketArgs) {
+  const PerfettoTracer tracer = traced_run();
+  const util::Json doc = tracer.trace_json();
+  std::size_t kills = 0;
+  for (const util::Json& event : doc.at("traceEvents").items()) {
+    if (event.at("ph").as_string() == "M") continue;
+    if (event.at("name").as_string() != "kill") continue;
+    ++kills;
+    const util::Json* args = event.find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_LT(args->at("src").as_u64(), 8u);
+  }
+  EXPECT_GT(kills, 0u);
+}
+
+TEST(PerfettoTracerTest, EmptyTracerWritesValidDocument) {
+  const PerfettoTracer tracer;
+  EXPECT_EQ(tracer.num_events(), 0u);
+  const util::Json doc = tracer.trace_json();
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  EXPECT_TRUE(doc.at("traceEvents").items().empty());
+}
+
+}  // namespace
+}  // namespace specnoc::stats

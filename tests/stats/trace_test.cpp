@@ -1,10 +1,13 @@
 #include "stats/trace.h"
 
+#include <set>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "core/mot_network.h"
+#include "util/error.h"
 
 namespace specnoc::stats {
 namespace {
@@ -87,6 +90,138 @@ TEST(FlitKindNamesTest, Names) {
   EXPECT_STREQ(to_string(noc::FlitKind::kHeader), "header");
   EXPECT_STREQ(to_string(noc::FlitKind::kBody), "body");
   EXPECT_STREQ(to_string(noc::FlitKind::kTail), "tail");
+}
+
+TEST(CsvEscapeTest, PassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("fo2.l1i0>1"), "fo2.l1i0>1");
+  EXPECT_EQ(csv_escape("multicast"), "multicast");
+}
+
+TEST(CsvEscapeTest, QuotesSpecialFields) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(csv_escape(","), "\",\"");
+  EXPECT_EQ(csv_escape("\""), "\"\"\"\"");
+}
+
+/// Event-class row counts for a fixed run under one filter setting.
+struct ClassCounts {
+  std::size_t injections = 0;
+  std::size_t ejections = 0;
+  std::size_t node_ops = 0;
+  std::size_t channels = 0;
+};
+
+ClassCounts run_filtered(const TraceFilter& filter) {
+  core::NetworkConfig cfg;
+  core::MotNetwork net(Architecture::kOptHybridSpeculative, cfg);
+  std::ostringstream out;
+  FlitTracer tracer(out, filter);
+  net.net().hooks().traffic = &tracer;
+  net.net().hooks().energy = &tracer;
+  net.send_message(1, dest_bit(4) | dest_bit(6), false);
+  net.scheduler().run();
+  const std::string text = out.str();
+  ClassCounts counts;
+  counts.injections = count_lines_with(text, ",inject,");
+  counts.ejections = count_lines_with(text, ",eject,");
+  counts.node_ops = count_lines_with(text, ",node_op,");
+  counts.channels = count_lines_with(text, ",channel,");
+  return counts;
+}
+
+TEST(FlitTracerTest, AllFilterCombinationsGateExactlyTheirClasses) {
+  // The all-on run fixes the expected per-class volumes; the deterministic
+  // simulator reproduces them for every other filter setting.
+  TraceFilter everything;
+  everything.node_ops = true;
+  everything.channel_flits = true;
+  const ClassCounts all = run_filtered(everything);
+  ASSERT_GT(all.injections, 0u);
+  ASSERT_GT(all.ejections, 0u);
+  ASSERT_GT(all.node_ops, 0u);
+  ASSERT_GT(all.channels, 0u);
+
+  for (unsigned bits = 0; bits < 16; ++bits) {
+    TraceFilter filter;
+    filter.injections = (bits & 1u) != 0;
+    filter.ejections = (bits & 2u) != 0;
+    filter.node_ops = (bits & 4u) != 0;
+    filter.channel_flits = (bits & 8u) != 0;
+    const ClassCounts counts = run_filtered(filter);
+    EXPECT_EQ(counts.injections, filter.injections ? all.injections : 0u)
+        << "filter bits " << bits;
+    EXPECT_EQ(counts.ejections, filter.ejections ? all.ejections : 0u)
+        << "filter bits " << bits;
+    EXPECT_EQ(counts.node_ops, filter.node_ops ? all.node_ops : 0u)
+        << "filter bits " << bits;
+    EXPECT_EQ(counts.channels, filter.channel_flits ? all.channels : 0u)
+        << "filter bits " << bits;
+  }
+}
+
+// Exhaustive switches over the enums: a new enumerator missing from
+// all_node_kinds()/all_node_ops() breaks the static_asserts below, and one
+// missing from these switches fails the build under -Wswitch -Werror.
+constexpr bool covers(noc::NodeKind kind) {
+  switch (kind) {
+    case noc::NodeKind::kSource:
+    case noc::NodeKind::kSink:
+    case noc::NodeKind::kFanoutBaseline:
+    case noc::NodeKind::kFanoutSpeculative:
+    case noc::NodeKind::kFanoutNonSpeculative:
+    case noc::NodeKind::kFanoutOptSpeculative:
+    case noc::NodeKind::kFanoutOptNonSpeculative:
+    case noc::NodeKind::kFanin:
+    case noc::NodeKind::kMeshRouter:
+    case noc::NodeKind::kMeshRouterSpec:
+      return true;
+  }
+  return false;
+}
+
+constexpr bool covers(noc::NodeOp op) {
+  switch (op) {
+    case noc::NodeOp::kRouteForward:
+    case noc::NodeOp::kBroadcast:
+    case noc::NodeOp::kFastForward:
+    case noc::NodeOp::kThrottle:
+    case noc::NodeOp::kArbitrate:
+    case noc::NodeOp::kSourceSend:
+    case noc::NodeOp::kSinkConsume:
+      return true;
+  }
+  return false;
+}
+
+static_assert(noc::all_node_kinds().size() == 10);
+static_assert(noc::all_node_ops().size() == 7);
+
+TEST(NodeEnumNamesTest, EveryNodeKindHasAUniqueNameThatRoundTrips) {
+  std::set<std::string> names;
+  for (const noc::NodeKind kind : noc::all_node_kinds()) {
+    EXPECT_TRUE(covers(kind));
+    const char* name = noc::to_string(kind);
+    EXPECT_STRNE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << name;
+    EXPECT_EQ(noc::node_kind_from_string(name), kind) << name;
+  }
+  EXPECT_EQ(names.size(), noc::all_node_kinds().size());
+  EXPECT_THROW(noc::node_kind_from_string("no_such_kind"), ConfigError);
+}
+
+TEST(NodeEnumNamesTest, EveryNodeOpHasAUniqueName) {
+  std::set<std::string> names;
+  for (const noc::NodeOp op : noc::all_node_ops()) {
+    EXPECT_TRUE(covers(op));
+    const char* name = noc::to_string(op);
+    EXPECT_STRNE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+  EXPECT_EQ(names.size(), noc::all_node_ops().size());
 }
 
 }  // namespace
