@@ -2,6 +2,9 @@
 // end-to-end simulator (events/sec, simulated-ns/sec).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+
 #include "core/mot_network.h"
 #include "sim/scheduler.h"
 #include "stats/recorder.h"
@@ -32,6 +35,31 @@ BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(65536);
 
 void BM_SchedulerCascade(benchmark::State& state) {
   // Event handlers that schedule follow-ups: the simulator's hot pattern.
+  // The chain uses the kernel's native event type — exactly what the
+  // pre-rewrite bench did, when the native EventFn was std::function.
+  struct Tick {
+    sim::Scheduler* sched;
+    int* remaining;
+    void operator()() const {
+      if (--*remaining > 0) sched->schedule(3, Tick{sched, remaining});
+    }
+  };
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int remaining = 100000;
+    sched.schedule(0, Tick{&sched, &remaining});
+    sched.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_SchedulerCascade);
+
+void BM_SchedulerCascadeStdFunction(benchmark::State& state) {
+  // Same chain, but each event is a std::function copied into the kernel
+  // event — double type erasure. Quantifies what wrapping costs relative
+  // to BM_SchedulerCascade; not a pattern the simulator uses.
   for (auto _ : state) {
     sim::Scheduler sched;
     int remaining = 100000;
@@ -45,7 +73,49 @@ void BM_SchedulerCascade(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           100000);
 }
-BENCHMARK(BM_SchedulerCascade);
+BENCHMARK(BM_SchedulerCascadeStdFunction);
+
+// Delay values the simulator actually schedules, from
+// nodes/characteristics.cpp: switch/channel handshake latencies for the
+// five architectures, NI issue/consume delays, and the 900 ps fanin
+// watchdog timeout.
+constexpr TimePs kMixedDelays[] = {50,  52,  110, 120, 130, 140,
+                                   150, 263, 279, 299, 350, 900};
+
+void BM_SchedulerMixedDelays(benchmark::State& state) {
+  // 64 concurrent self-rescheduling chains with the realistic delay mix
+  // above, plus a rare ~20 ns retirement timer that lands beyond the
+  // bucket-queue window and exercises the overflow tier.
+  struct Tick {
+    sim::Scheduler* sched;
+    int* remaining;
+    std::uint32_t rng;
+    void operator()() const {
+      if (--*remaining <= 0) return;
+      const std::uint32_t r = rng * 1664525u + 1013904223u;
+      const TimePs delay =
+          (r >> 26) == 0 ? 20000
+                         : kMixedDelays[(r >> 8) %
+                                        (sizeof(kMixedDelays) /
+                                         sizeof(kMixedDelays[0]))];
+      sched->schedule(delay, Tick{sched, remaining, r});
+    }
+  };
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    sched.reserve(256);
+    int remaining = 100000;
+    for (std::uint32_t chain = 0; chain < 64; ++chain) {
+      sched.schedule(static_cast<TimePs>(chain),
+                     Tick{&sched, &remaining, chain * 2654435761u + 1u});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_SchedulerMixedDelays);
 
 void BM_NetworkConstruction(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the kernel microbenchmarks and writes google-benchmark JSON to
+# BENCH_kernel.json at the repo root. The JSON is committed alongside kernel
+# changes so perf regressions/improvements show up in review diffs.
+#
+# Usage: bench/run_kernel_bench.sh [build-dir] [output-json]
+#   SPECNOC_BENCH_MIN_TIME   per-benchmark min time (default 0.2; append
+#                            an "s" suffix on google-benchmark >= 1.8)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out="${2:-$repo_root/BENCH_kernel.json}"
+min_time="${SPECNOC_BENCH_MIN_TIME:-0.2}"
+
+bench="$build_dir/bench/bench_kernel_micro"
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not found; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"$bench" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json
+
+echo "wrote $out"

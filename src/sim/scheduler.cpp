@@ -1,32 +1,13 @@
 #include "sim/scheduler.h"
 
-#include <utility>
+// Regression note: the previous kernel (a std::priority_queue of
+// std::function entries) moved events out of priority_queue::top() through a
+// const_cast — UB-adjacent, and each pop paid an O(log n) sift plus a heap
+// allocation for any capture beyond the std::function SBO. The bucket-queue
+// pop path moves events out of a mutable slab entry instead; the ASan/UBSan
+// CI job exercises this path across the whole test suite.
 
 namespace specnoc::sim {
-
-void Scheduler::schedule(TimePs delay, EventFn fn) {
-  SPECNOC_EXPECTS(delay >= 0);
-  schedule_at(now_ + delay, std::move(fn));
-}
-
-void Scheduler::schedule_at(TimePs at, EventFn fn) {
-  SPECNOC_EXPECTS(at >= now_);
-  SPECNOC_EXPECTS(fn != nullptr);
-  queue_.push(Entry{at, next_seq_++, std::move(fn)});
-}
-
-bool Scheduler::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() returns const&; the handler may schedule new
-  // events, so move the entry out before popping.
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  SPECNOC_ASSERT(entry.time >= now_);
-  now_ = entry.time;
-  ++executed_;
-  entry.fn();
-  return true;
-}
 
 void Scheduler::run() {
   while (step()) {
@@ -35,10 +16,13 @@ void Scheduler::run() {
 
 void Scheduler::run_until(TimePs t) {
   SPECNOC_EXPECTS(t >= now_);
-  while (!queue_.empty() && queue_.top().time <= t) {
+  while (!queue_.empty() && queue_.min_time() <= t) {
     step();
   }
   now_ = t;
+  // Keep the bucket window tracking the clock so short relative delays
+  // scheduled after a long quiet gap still land in the O(1) near tier.
+  queue_.advance_to(t);
 }
 
 }  // namespace specnoc::sim

@@ -4,20 +4,29 @@
 // sequence tie-breaker makes runs bit-reproducible: two events at the same
 // picosecond always fire in the order they were scheduled, which matters for
 // arbitration fairness in the fanin nodes.
+//
+// The pending set is a hierarchical bucket queue (bucket_queue.h): O(1)
+// schedule/pop for the short-delay handshake events that dominate the
+// simulator, an overflow heap for far-future timers, and zero heap
+// allocations per event — callbacks are sim::InplaceEvent (event.h), whose
+// captures must fit 48 bytes of inline storage by construction.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <type_traits>
+#include <utility>
 
+#include "sim/bucket_queue.h"
+#include "sim/event.h"
 #include "util/contract.h"
 #include "util/units.h"
 
 namespace specnoc::sim {
 
-/// Callback invoked when an event fires.
-using EventFn = std::function<void()>;
+/// Callback invoked when an event fires. Move-only, fixed-capacity inline
+/// storage — oversized captures are a compile error, not a heap allocation.
+using EventFn = InplaceEvent;
 
 /// A deterministic discrete-event scheduler with picosecond resolution.
 class Scheduler {
@@ -30,19 +39,48 @@ class Scheduler {
   TimePs now() const { return now_; }
 
   /// Schedules `fn` to run `delay` picoseconds from now (delay >= 0).
-  void schedule(TimePs delay, EventFn fn);
+  /// The callable is constructed directly into the kernel's event slab —
+  /// its captures must fit InplaceEvent's inline storage (compile error
+  /// otherwise; see event.h).
+  template <typename F>
+  void schedule(TimePs delay, F&& fn) {
+    SPECNOC_EXPECTS(delay >= 0);
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` at absolute time `at` (must be >= now()).
-  void schedule_at(TimePs at, EventFn fn);
+  template <typename F>
+  void schedule_at(TimePs at, F&& fn) {
+    SPECNOC_EXPECTS(at >= now_);
+    if constexpr (std::is_same_v<std::decay_t<F>, InplaceEvent>) {
+      SPECNOC_EXPECTS(static_cast<bool>(fn));
+    }
+    queue_.push(at, std::forward<F>(fn));
+  }
 
   /// Runs the earliest pending event. Returns false if none are pending.
-  bool step();
+  bool step() {
+    if (queue_.empty()) return false;
+    const BucketQueue::PopRef ref = queue_.pop();
+    SPECNOC_ASSERT(ref.time >= now_);
+    now_ = ref.time;
+    ++executed_;
+    // Fire in place: the chunked slab keeps the entry's address stable
+    // while the handler schedules new events; recycle only afterwards.
+    queue_.invoke_and_dispose(ref);
+    queue_.recycle(ref);
+    return true;
+  }
 
   /// Runs events until the queue is empty.
   void run();
 
   /// Runs events with time <= `t`, then advances the clock to exactly `t`.
   void run_until(TimePs t);
+
+  /// Pre-sizes internal storage for `events` concurrently pending events
+  /// (optional; the slab grows on demand and is reused thereafter).
+  void reserve(std::size_t events) { queue_.reserve(events); }
 
   /// Number of pending events.
   std::size_t pending() const { return queue_.size(); }
@@ -51,22 +89,9 @@ class Scheduler {
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Entry {
-    TimePs time;
-    std::uint64_t seq;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   TimePs now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  BucketQueue queue_;
 };
 
 }  // namespace specnoc::sim

@@ -1,0 +1,351 @@
+// Kernel data-structure tests: InplaceEvent, the hierarchical bucket
+// queue, a randomized differential test against a sorted-vector reference
+// model, and the zero-allocations-per-event guarantee.
+#include "sim/bucket_queue.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event.h"
+#include "sim/scheduler.h"
+
+// Count every heap allocation in the binary so the allocation test below
+// can assert the kernel's steady state performs none. Counting is the only
+// side effect; allocation behavior is otherwise unchanged.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+// noinline keeps the malloc/free bodies out of allocator call sites, where
+// GCC's -Wmismatched-new-delete would mispair them.
+__attribute__((noinline)) void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+__attribute__((noinline)) void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p,
+                                                 std::size_t) noexcept {
+  std::free(p);
+}
+
+namespace specnoc::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// InplaceEvent
+
+static_assert(sizeof(InplaceEvent) <= 64,
+              "InplaceEvent should stay within a cache line");
+
+TEST(InplaceEventTest, DefaultConstructedIsEmpty) {
+  InplaceEvent e;
+  EXPECT_FALSE(static_cast<bool>(e));
+}
+
+TEST(InplaceEventTest, InvokesStoredCallable) {
+  int calls = 0;
+  InplaceEvent e([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(e));
+  e();
+  e();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceEventTest, MoveTransfersCallableAndEmptiesSource) {
+  int calls = 0;
+  InplaceEvent a([&calls] { ++calls; });
+  InplaceEvent b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  InplaceEvent c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceEventTest, DestroysNonTrivialCapture) {
+  auto token = std::make_shared<int>(42);
+  {
+    InplaceEvent e([token] { (void)*token; });
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InplaceEventTest, ResetDestroysCapture) {
+  auto token = std::make_shared<int>(7);
+  InplaceEvent e([token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  e.reset();
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InplaceEventTest, InvokeAndDisposeFiresOnceAndEmpties) {
+  auto token = std::make_shared<int>(0);
+  InplaceEvent e([token] { ++*token; });
+  e.invoke_and_dispose();
+  EXPECT_FALSE(static_cast<bool>(e));
+  EXPECT_EQ(*token, 1);
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InplaceEventTest, EmplaceReplacesExistingCallable) {
+  auto old_token = std::make_shared<int>(0);
+  int calls = 0;
+  InplaceEvent e([old_token] {});
+  e.emplace([&calls] { ++calls; });
+  EXPECT_EQ(old_token.use_count(), 1);  // old capture destroyed
+  e();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InplaceEventTest, HoldsCaptureAtFullCapacity) {
+  struct Big {
+    std::uint64_t words[InplaceEvent::kCapacity / sizeof(std::uint64_t) - 1];
+  };
+  Big big{};
+  big.words[0] = 11;
+  big.words[4] = 22;
+  std::uint64_t seen = 0;
+  // Capture is exactly kCapacity bytes: Big plus one reference.
+  InplaceEvent e([big, &seen] { seen = big.words[0] + big.words[4]; });
+  static_assert(sizeof(Big) + sizeof(void*) == InplaceEvent::kCapacity,
+                "capture should exactly fill the inline storage");
+  e();
+  EXPECT_EQ(seen, 33u);
+}
+
+// ---------------------------------------------------------------------------
+// BucketQueue
+
+TEST(BucketQueueTest, PopsInTimeOrderAcrossTiers) {
+  BucketQueue q;
+  std::vector<int> order;
+  q.push(10000, [&order] { order.push_back(3); });  // overflow tier
+  q.push(5, [&order] { order.push_back(1); });      // near tier
+  q.push(10000, [&order] { order.push_back(4); });  // same time, later seq
+  q.push(4095, [&order] { order.push_back(2); });   // last in-window bucket
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.min_time(), 5);
+  while (!q.empty()) {
+    const BucketQueue::PopRef ref = q.pop();
+    q.invoke_and_dispose(ref);
+    q.recycle(ref);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(BucketQueueTest, AdvanceToSlidesWindowPastOverflowBoundary) {
+  BucketQueue q;
+  std::vector<TimePs> times;
+  q.push(6000, [&times] { times.push_back(6000); });
+  EXPECT_EQ(q.min_time(), 6000);
+  q.advance_to(3000);  // 6000 now falls inside [3000, 3000 + 4096)
+  EXPECT_EQ(q.min_time(), 6000);
+  const BucketQueue::PopRef ref = q.pop();
+  EXPECT_EQ(ref.time, 6000);
+  q.invoke_and_dispose(ref);
+  q.recycle(ref);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(BucketQueueTest, SlotReuseAfterRecycle) {
+  BucketQueue q;
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    q.push(i, [&fired] { ++fired; });
+    const BucketQueue::PopRef ref = q.pop();
+    q.invoke_and_dispose(ref);
+    q.recycle(ref);
+    EXPECT_EQ(ref.slot, 0u);  // the single slot is reused every cycle
+  }
+  EXPECT_EQ(fired, 10000);
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: Scheduler (bucket queue) vs a sorted-vector reference
+// model implementing the (time, insertion seq) contract directly.
+
+struct RefModel {
+  struct Ev {
+    TimePs time;
+    std::uint64_t seq;
+    int id;
+  };
+  std::vector<Ev> evs;
+  std::uint64_t next_seq = 0;
+  TimePs now = 0;
+
+  void schedule_at(TimePs t, int id) { evs.push_back({t, next_seq++, id}); }
+  TimePs min_time() const {
+    TimePs best = evs.front().time;
+    for (const Ev& e : evs) best = e.time < best ? e.time : best;
+    return best;
+  }
+  Ev pop() {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < evs.size(); ++i) {
+      const bool earlier =
+          evs[i].time != evs[best].time ? evs[i].time < evs[best].time
+                                        : evs[i].seq < evs[best].seq;
+      if (earlier) best = i;
+    }
+    const Ev e = evs[best];
+    evs.erase(evs.begin() + static_cast<std::ptrdiff_t>(best));
+    now = e.time;
+    return e;
+  }
+};
+
+// Delays chosen to stress same-time bursts (0), bucket boundaries
+// (4094..4097 around the 4096-wide window), wrap-around (8191), and
+// overflow promotion (20000, 100000).
+constexpr TimePs kDelays[] = {0,    1,    2,    3,    50,    900,  4094,
+                              4095, 4096, 4097, 8191, 20000, 100000};
+constexpr auto kNumDelays =
+    static_cast<std::uint32_t>(sizeof(kDelays) / sizeof(kDelays[0]));
+
+TEST(BucketQueueFuzzTest, MatchesSortedReferenceModel) {
+  std::uint64_t rng_state = 0x243f6a8885a308d3ull;
+  auto rnd = [&rng_state](std::uint32_t bound) {
+    rng_state = rng_state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>((rng_state >> 33) % bound);
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    Scheduler s;
+    RefModel m;
+    std::vector<int> fired;        // real kernel fire order
+    std::vector<int> fired_model;  // reference model fire order
+    int next_id = 0;
+
+    // Events with id % 4 == 0 schedule one follow-up from inside their
+    // handler (push-during-pop); children get id + 1000000 and never
+    // re-spawn.
+    auto schedule_event = [&](TimePs at, int id) {
+      s.schedule_at(at, [&fired, &s, id] {
+        fired.push_back(id);
+        if (id % 4 == 0 && id < 1000000) {
+          s.schedule(
+              kDelays[static_cast<std::uint32_t>(id) % kNumDelays],
+              [&fired, id] { fired.push_back(id + 1000000); });
+        }
+      });
+      m.schedule_at(at, id);
+    };
+    auto model_step = [&] {
+      const RefModel::Ev e = m.pop();
+      fired_model.push_back(e.id);
+      if (e.id % 4 == 0 && e.id < 1000000) {
+        m.schedule_at(
+            e.time + kDelays[static_cast<std::uint32_t>(e.id) % kNumDelays],
+            e.id + 1000000);
+      }
+      return e;
+    };
+
+    for (int op = 0; op < 400; ++op) {
+      const std::uint32_t kind = rnd(100);
+      if (kind < 55) {
+        // Schedule a burst of 1..4 events, often at the identical time to
+        // exercise same-timestamp FIFO ordering.
+        TimePs at = s.now() + kDelays[rnd(kNumDelays)];
+        const std::uint32_t burst = 1 + rnd(4);
+        for (std::uint32_t i = 0; i < burst; ++i) {
+          schedule_event(at, next_id++);
+          if (rnd(3) == 0) at = s.now() + kDelays[rnd(kNumDelays)];
+        }
+      } else if (kind < 85) {
+        // Single-step both and compare each pop.
+        for (std::uint32_t i = 1 + rnd(6); i > 0 && s.pending() > 0; --i) {
+          ASSERT_FALSE(m.evs.empty());
+          ASSERT_TRUE(s.step());
+          const RefModel::Ev e = model_step();
+          ASSERT_EQ(fired.back(), e.id);
+          ASSERT_EQ(s.now(), e.time);
+        }
+      } else {
+        // run_until a random horizon; drain the model to the same time.
+        const TimePs horizon = s.now() + static_cast<TimePs>(rnd(30000));
+        s.run_until(horizon);
+        while (!m.evs.empty() && m.min_time() <= horizon) model_step();
+        m.now = horizon;
+        ASSERT_EQ(s.now(), horizon);
+        ASSERT_EQ(s.pending(), m.evs.size());
+        ASSERT_EQ(fired, fired_model);
+      }
+    }
+
+    s.run();
+    while (!m.evs.empty()) model_step();
+    ASSERT_EQ(fired, fired_model) << "round " << round;
+    // Every scheduled event fired exactly once: all parents plus one child
+    // per id % 4 == 0 parent.
+    const auto parents = static_cast<std::size_t>(next_id);
+    ASSERT_EQ(fired.size(), parents + (parents + 3) / 4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero heap allocations per scheduled event (after slab warm-up).
+
+TEST(SchedulerAllocationTest, ZeroAllocationsPerEventAfterWarmup) {
+  struct Tick {
+    Scheduler* s;
+    int* remaining;
+    void operator()() const {
+      if (--*remaining > 0) s->schedule(3, Tick{s, remaining});
+    }
+  };
+
+  Scheduler s;
+  s.reserve(256);
+  // Warm-up: touch every code path once (cascade, burst, overflow tier) so
+  // slab chunks and the overflow heap reach steady state.
+  {
+    int remaining = 1000;
+    s.schedule(0, Tick{&s, &remaining});
+    for (TimePs i = 0; i < 64; ++i) s.schedule(i, [] {});
+    s.schedule(20000, [] {});
+    s.run();
+  }
+
+  const std::uint64_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  int remaining = 100000;
+  s.schedule(3, Tick{&s, &remaining});
+  for (TimePs i = 0; i < 64; ++i) s.schedule(i, [] {});  // same-time burst
+  s.schedule(25000, [] {});  // overflow tier push + later promotion
+  s.run();
+  const std::uint64_t after = g_heap_allocs.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(after - before, 0u)
+      << "kernel allocated on the heap during steady-state event flow";
+}
+
+}  // namespace
+}  // namespace specnoc::sim

@@ -98,5 +98,34 @@ TEST(SchedulerTest, ScheduleAtAbsoluteTime) {
   EXPECT_EQ(seen, 25);
 }
 
+TEST(SchedulerTest, FarFutureEventsInterleaveWithNearOnes) {
+  // Delays far beyond the bucket-queue window (watchdog/horizon scale)
+  // must still interleave correctly with short handshake delays.
+  Scheduler s;
+  std::vector<TimePs> fire_times;
+  auto record = [&] { fire_times.push_back(s.now()); };
+  s.schedule(1000000, record);
+  s.schedule(50, record);
+  s.schedule(5000, record);
+  s.schedule(50, [&] {
+    record();
+    s.schedule(999950, record);  // lands at the same ps as the first event
+  });
+  s.run();
+  EXPECT_EQ(fire_times,
+            (std::vector<TimePs>{50, 50, 5000, 1000000, 1000000}));
+}
+
+TEST(SchedulerTest, ReserveDoesNotDisturbPendingEvents) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule(10, [&] { ++fired; });
+  s.reserve(1024);
+  s.schedule(20, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.executed(), 2u);
+}
+
 }  // namespace
 }  // namespace specnoc::sim
