@@ -9,103 +9,44 @@
 // latency distribution on the serial Baseline versus the parallel
 // multicast networks.
 //
+// The traffic comes from the workload subsystem: the directory-coherence
+// synthesizer emits the invalidate/ack dependency DAG once, and the
+// closed-loop replay driver plays the same trace on every architecture —
+// the protocol's request->ack feedback is expressed as trace dependencies
+// instead of a hand-rolled injection loop.
+//
 //   $ ./examples/cache_coherence [writes_per_proc]
 #include <algorithm>
-#include <bit>
 #include <cstdio>
-#include <map>
 #include <numeric>
 #include <vector>
 
 #include "core/mot_network.h"
 #include "util/cli.h"
-#include "util/rng.h"
+#include "workload/replay.h"
+#include "workload/synth.h"
 
 using namespace specnoc;
 
 namespace {
 
-/// Tracks one outstanding write: invalidate out, acks back.
-struct OutstandingWrite {
-  std::uint32_t writer = 0;
-  noc::DestMask pending_acks = 0;
-  TimePs issued = 0;
-};
-
-/// Coherence controller: reacts to delivered headers, issues acks, and
-/// completes writes. Invalidate packets are told apart from acks by their
-/// message id (invalidates are multicast or tracked explicitly).
-class CoherenceDriver final : public noc::TrafficObserver {
- public:
-  CoherenceDriver(core::MotNetwork& network, std::uint32_t writes_per_proc,
-                  std::uint64_t seed)
-      : network_(network), writes_per_proc_(writes_per_proc), rng_(seed) {}
-
-  void start() {
-    for (std::uint32_t p = 0; p < network_.topology().n(); ++p) {
-      issue_next_write(p);
+/// Write-completion latencies: for each write, time from the invalidate
+/// entering the network to the last ack header reaching the writer.
+std::vector<double> completion_latencies(
+    const workload::CoherenceWorkload& workload,
+    const workload::TraceReplayDriver& driver) {
+  std::vector<double> out;
+  out.reserve(workload.writes.size());
+  for (const auto& write : workload.writes) {
+    const TimePs issued = driver.injection_time(write.inv);
+    TimePs done = issued;
+    for (const std::size_t ack : write.acks) {
+      done = std::max(done, driver.delivery_time(ack));
     }
+    out.push_back(ps_to_ns(done - issued));
   }
-
-  void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
-                       noc::FlitKind kind, TimePs when) override {
-    if (kind != noc::FlitKind::kHeader) return;
-    const auto inv = invalidate_of_message_.find(packet.message);
-    if (inv != invalidate_of_message_.end()) {
-      // An invalidate header reached sharer `dest`: the sharer's cache
-      // controller sends the ack (unicast dest -> writer).
-      OutstandingWrite& write = writes_[inv->second];
-      const auto ack_msg = network_.send_message(
-          dest, noc::dest_bit(write.writer), false);
-      ack_of_message_[ack_msg] = inv->second;
-      return;
-    }
-    const auto ack = ack_of_message_.find(packet.message);
-    if (ack != ack_of_message_.end()) {
-      OutstandingWrite& write = writes_[ack->second];
-      write.pending_acks &= ~noc::dest_bit(packet.src);
-      if (write.pending_acks == 0) {
-        completion_ns_.push_back(ps_to_ns(when - write.issued));
-        issue_next_write(write.writer);
-      }
-    }
-  }
-
-  void on_packet_injected(const noc::Packet&, TimePs) override {}
-
-  const std::vector<double>& completions() const { return completion_ns_; }
-
- private:
-  void issue_next_write(std::uint32_t proc) {
-    if (writes_issued_[proc] >= writes_per_proc_) return;
-    ++writes_issued_[proc];
-    // Sharer set: 1..5 random other caches hold the line.
-    const auto k = static_cast<std::uint32_t>(rng_.uniform_int(1, 5));
-    noc::DestMask sharers = 0;
-    for (const auto d :
-         rng_.sample_without_replacement(network_.topology().n(), k + 1)) {
-      if (d != proc && static_cast<std::uint32_t>(
-                           std::popcount(sharers)) < k) {
-        sharers |= noc::dest_bit(d);
-      }
-    }
-    if (sharers == 0) sharers = noc::dest_bit((proc + 1) % 8);
-
-    const std::size_t id = writes_.size();
-    writes_.push_back({proc, sharers, network_.scheduler().now()});
-    const auto msg = network_.send_message(proc, sharers, false);
-    invalidate_of_message_[msg] = id;
-  }
-
-  core::MotNetwork& network_;
-  std::uint32_t writes_per_proc_;
-  Rng rng_;
-  std::vector<OutstandingWrite> writes_;
-  std::map<noc::MessageId, std::size_t> invalidate_of_message_;
-  std::map<noc::MessageId, std::size_t> ack_of_message_;
-  std::map<std::uint32_t, std::uint32_t> writes_issued_;
-  std::vector<double> completion_ns_;
-};
+  return out;
+}
 
 }  // namespace
 
@@ -116,20 +57,28 @@ int main(int argc, char** argv) {
   cli.add_positional_uint32("writes", &writes_per_proc, "writes issued per processor (default 200)");
   cli.parse_or_exit(argc, argv);
 
+  workload::CoherenceWorkloadParams params;
+  params.writes_per_proc = writes_per_proc;
+  params.think_delay = 0;  // back-to-back writes, like the original loop
+  params.seed = 2026;
+  const auto workload = workload::make_coherence_workload(params);
+
   std::printf("Write-invalidate coherence over an 8x8 MoT "
-              "(%u writes/processor, 1-5 sharers per line):\n\n",
-              writes_per_proc);
+              "(%u writes/processor, %u-%u sharers per line):\n\n",
+              writes_per_proc, params.min_sharers, params.max_sharers);
   std::printf("%-24s %12s %12s %12s\n", "Network", "mean (ns)", "min (ns)",
               "max (ns)");
   for (const auto arch : core::all_architectures()) {
     core::NetworkConfig config;
     core::MotNetwork network(arch, config);
-    CoherenceDriver driver(network, writes_per_proc, /*seed=*/2026);
+    workload::TraceReplayDriver driver(
+        network, workload.trace,
+        {workload::ReplayMode::kClosedLoop, /*measured=*/false});
     network.net().hooks().traffic = &driver;
     driver.start();
     network.scheduler().run();
 
-    const auto& c = driver.completions();
+    const auto c = completion_latencies(workload, driver);
     const double mean =
         std::accumulate(c.begin(), c.end(), 0.0) / static_cast<double>(c.size());
     const auto [lo, hi] = std::minmax_element(c.begin(), c.end());

@@ -11,8 +11,13 @@
 //                    --bench Multicast10 --trace out.csv --horizon-ns 200
 //   ./run_experiment --mode trace --arch OptHybridSpeculative
 //                    --bench Multicast10 --perfetto out.json --horizon-ns 200
+//   ./run_experiment --mode capture --arch Baseline --bench Multicast10
+//                    --dump-trace run.jsonl --horizon-ns 200
+//   ./run_experiment --workload run.jsonl --arch OptHybridSpeculative
+//   ./run_experiment --synth DnnLayers --arch OptHybridSpeculative
+//                    --replay closed --dump-trace dnn.jsonl
 //
-// --list prints the available architectures and benchmarks.
+// --list prints the available architectures, benchmarks, and synthesizers.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,10 +26,15 @@
 
 #include "stats/experiment.h"
 #include "stats/perfetto_trace.h"
+#include "stats/recorder.h"
 #include "stats/trace.h"
 #include "traffic/driver.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "workload/record.h"
+#include "workload/replay.h"
+#include "workload/synth.h"
+#include "workload/trace.h"
 
 using namespace specnoc;
 using namespace specnoc::literals;
@@ -43,6 +53,10 @@ struct Options {
   std::string trace_path;
   std::string perfetto_path;
   TimePs horizon = 200_ns;
+  std::string workload_path;  ///< --workload: replay this trace file
+  std::string synth_name;     ///< --synth: synthesize a workload trace
+  std::string replay_mode = "closed";
+  std::string dump_path;      ///< --dump-trace: write the trace here
 };
 
 void list_names() {
@@ -54,6 +68,10 @@ void list_names() {
   for (const auto bench : traffic::all_benchmarks()) {
     std::printf("  %s\n", traffic::to_string(bench));
   }
+  std::printf("workload synthesizers (--synth):\n");
+  std::printf("  %s\n", workload::to_string(workload::SynthId::kDnnLayers));
+  std::printf("  %s\n", workload::to_string(workload::SynthId::kCoherence));
+  std::printf("replay modes (--replay): timed, closed\n");
 }
 
 Options parse(int argc, char** argv) {
@@ -61,7 +79,8 @@ Options parse(int argc, char** argv) {
   util::CliParser cli("run_experiment",
                       "Run one simulation (saturation, latency, power, or "
                       "trace) and print its results.");
-  cli.add_string("--mode", &opts.mode, "saturation | latency | power | trace");
+  cli.add_string("--mode", &opts.mode,
+                 "saturation | latency | power | trace | workload | capture");
   cli.add_string("--arch", &opts.arch, "architecture name (see --list)");
   cli.add_string("--bench", &opts.bench, "benchmark name (see --list)");
   cli.add_uint32("--n", &opts.n, "network radix");
@@ -79,12 +98,28 @@ Options parse(int argc, char** argv) {
                  [&opts](const std::string& v) {
                    opts.horizon = util::parse_i64(v, "--horizon-ns") * 1000;
                  });
-  cli.add_action("--list", "print available architectures and benchmarks",
+  cli.add_string("--workload", &opts.workload_path,
+                 "replay this workload trace file (implies --mode workload)");
+  cli.add_string("--synth", &opts.synth_name,
+                 "synthesize a workload trace (see --list) instead of loading "
+                 "one (implies --mode workload)");
+  cli.add_string("--replay", &opts.replay_mode,
+                 "replay mode: timed (open loop, recorded times) or closed "
+                 "(dependency-aware)");
+  cli.add_string("--dump-trace", &opts.dump_path,
+                 "write the workload trace (synthesized, or captured in "
+                 "capture mode) to this file");
+  cli.add_action("--list",
+                 "print available architectures, benchmarks, and synthesizers",
                  [] {
                    list_names();
                    std::exit(0);
                  });
   cli.parse_or_exit(argc, argv);
+  if (opts.mode == "saturation" &&
+      (!opts.workload_path.empty() || !opts.synth_name.empty())) {
+    opts.mode = "workload";
+  }
   return opts;
 }
 
@@ -144,6 +179,83 @@ int run(const Options& opts) {
                 result.delivered_flits_per_ns,
                 static_cast<unsigned long long>(result.throttled_flits),
                 static_cast<unsigned long long>(result.broadcast_ops));
+    return 0;
+  }
+  if (opts.mode == "workload") {
+    if (opts.workload_path.empty() == opts.synth_name.empty()) {
+      std::fprintf(stderr,
+                   "workload mode needs exactly one of --workload FILE or "
+                   "--synth NAME\n");
+      return 2;
+    }
+    const workload::Trace trace =
+        opts.workload_path.empty()
+            ? workload::make_synth_workload(
+                  workload::synth_from_string(opts.synth_name), cfg.n,
+                  cfg.flits_per_packet, opts.seed)
+            : workload::load_trace(opts.workload_path);
+    if (!opts.dump_path.empty()) {
+      workload::save_trace(trace, opts.dump_path);
+      std::printf("wrote %zu-message trace to %s (hash %s)\n",
+                  trace.records.size(), opts.dump_path.c_str(),
+                  workload::trace_hash(trace).c_str());
+    }
+    const auto mode = workload::replay_mode_from_string(opts.replay_mode);
+    const auto result = runner.run_workload(
+        [arch, cfg] { return std::make_unique<core::MotNetwork>(arch, cfg); },
+        trace, mode);
+    std::printf("%s / %s replay of %s (%llu messages, trace %s)\n",
+                opts.arch.c_str(), workload::to_string(mode),
+                trace.meta.generator.empty() ? "<trace>"
+                                             : trace.meta.generator.c_str(),
+                static_cast<unsigned long long>(result.messages),
+                workload::trace_hash(trace).c_str());
+    std::printf("  makespan: %.3f ns   delivered: %llu/%llu messages, "
+                "%llu flits\n",
+                result.makespan_ns,
+                static_cast<unsigned long long>(result.messages_delivered),
+                static_cast<unsigned long long>(result.messages),
+                static_cast<unsigned long long>(result.flits_delivered));
+    std::printf("  mean latency: %.3f ns   p95: %.3f ns   max: %.3f ns\n",
+                result.mean_latency_ns, result.p95_latency_ns,
+                result.max_latency_ns);
+    if (!result.completed) {
+      std::printf("  WARNING: replay did not complete\n");
+      return 1;
+    }
+    return 0;
+  }
+  if (opts.mode == "capture") {
+    if (opts.dump_path.empty()) {
+      std::fprintf(stderr, "capture mode needs --dump-trace FILE\n");
+      return 2;
+    }
+    core::MotNetwork network(arch, cfg);
+    workload::TraceRecorder capture(network.net().packets(), cfg.n,
+                                    std::string("capture:") + opts.bench);
+    stats::TrafficRecorder recorder(network.net().packets());
+    noc::TeeTrafficObserver tee{&capture, &recorder};
+    network.net().hooks().traffic = &tee;
+    auto pattern = traffic::make_benchmark(bench, cfg.n);
+    traffic::DriverConfig dcfg;
+    dcfg.mode = traffic::InjectionMode::kOpenLoop;
+    dcfg.flits_per_ns_per_source = opts.rate > 0.0 ? opts.rate : 0.3;
+    dcfg.seed = opts.seed;
+    traffic::TrafficDriver driver(network, *pattern, dcfg);
+    driver.set_measured(true);
+    recorder.open_window(0);
+    driver.start();
+    network.scheduler().run_until(opts.horizon);
+    recorder.close_window(network.scheduler().now());
+    const workload::Trace trace = capture.trace();
+    workload::save_trace(trace, opts.dump_path);
+    std::printf("captured %zu messages (%llu flits delivered, %lld ns) to "
+                "%s (hash %s)\n",
+                trace.records.size(),
+                static_cast<unsigned long long>(
+                    recorder.window_flits_ejected()),
+                static_cast<long long>(opts.horizon / 1000),
+                opts.dump_path.c_str(), workload::trace_hash(trace).c_str());
     return 0;
   }
   if (opts.mode == "trace") {

@@ -31,6 +31,19 @@ ExperimentRunner::ExperimentRunner(core::NetworkConfig config,
                                    power::EnergyModelParams energy)
     : config_(std::move(config)), seed_(seed), energy_(energy) {}
 
+WorkloadSpec make_workload_spec(core::Architecture arch, std::string label,
+                                workload::ReplayMode mode,
+                                std::shared_ptr<const workload::Trace> trace) {
+  SPECNOC_EXPECTS(trace != nullptr);
+  WorkloadSpec spec;
+  spec.arch = arch;
+  spec.workload = std::move(label);
+  spec.mode = mode;
+  spec.trace_hash = workload::trace_hash(*trace);
+  spec.trace = std::move(trace);
+  return spec;
+}
+
 traffic::SimWindows ExperimentRunner::saturation_windows() {
   return {.warmup = 1000_ns, .measure = 4000_ns};
 }
@@ -257,6 +270,54 @@ PowerResult ExperimentRunner::power_run(
   return result;
 }
 
+WorkloadResult ExperimentRunner::run_workload(const NetworkFactory& factory,
+                                              const workload::Trace& trace,
+                                              workload::ReplayMode mode) const {
+  return workload_run(factory, trace, mode, nullptr, nullptr);
+}
+
+WorkloadResult ExperimentRunner::workload_run(
+    const NetworkFactory& factory, const workload::Trace& trace,
+    workload::ReplayMode mode, std::uint64_t* events_out,
+    MetricsSnapshot* metrics_out) const {
+  const auto network = factory();
+  TrafficRecorder recorder(network->net().packets());
+  workload::ReplayConfig replay_cfg;
+  replay_cfg.mode = mode;
+  workload::TraceReplayDriver driver(*network, trace, replay_cfg);
+  driver.set_downstream(&recorder);
+  network->net().hooks().traffic = &driver;
+  MetricsRegistry registry;
+  if (metrics_out != nullptr) network->net().hooks().metrics = &registry;
+
+  auto& sched = network->scheduler();
+  recorder.open_window(sched.now());
+  driver.start();
+  // The trace is finite, so the event queue drains once every injected
+  // message has delivered (or stalled for good).
+  sched.run();
+  recorder.close_window(sched.now());
+
+  WorkloadResult result;
+  result.messages = trace.records.size();
+  result.messages_delivered = driver.messages_delivered();
+  result.flits_delivered = recorder.window_flits_ejected();
+  result.makespan_ns = ps_to_ns(driver.completion_time());
+  result.mean_latency_ns = recorder.mean_latency_ps() / 1e3;
+  result.p95_latency_ns = recorder.latency_percentile_ps(95.0) / 1e3;
+  result.max_latency_ns = ps_to_ns(recorder.max_latency_ps());
+  result.completed = driver.finished();
+  if (!result.completed) {
+    SPECNOC_LOG(kWarn) << "workload replay did not complete: "
+                       << to_string(network->architecture()) << "/"
+                       << trace.meta.generator << " delivered "
+                       << result.messages_delivered << "/" << result.messages;
+  }
+  if (events_out != nullptr) *events_out = sched.executed();
+  if (metrics_out != nullptr) *metrics_out = registry.snapshot();
+  return result;
+}
+
 PowerResult ExperimentRunner::power_at_baseline_fraction(
     core::Architecture arch, traffic::BenchmarkId bench, double fraction) {
   SPECNOC_EXPECTS(fraction > 0.0 && fraction < 1.0);
@@ -320,6 +381,34 @@ std::vector<LatencyOutcome> ExperimentRunner::run_latency_sweep(
         spec.injected_flits_per_ns, spec.windows,
         spec.seed == 0 ? seed_ : spec.seed, &events,
         options.collect_metrics ? &snapshot : nullptr);
+    if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
+    return events;
+  });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i].spec = specs[i];
+    outcomes[i].run = runs[i];
+    if (!runs[i].ok) outcomes[i].metrics.reset();
+  }
+  return outcomes;
+}
+
+std::vector<WorkloadOutcome> ExperimentRunner::run_workload_grid(
+    const std::vector<WorkloadSpec>& specs, const BatchOptions& options) const {
+  std::vector<WorkloadOutcome> outcomes(specs.size());
+  const sim::ParallelRunner pool(runner_options(options));
+  const auto runs = pool.run(specs.size(), [&](std::size_t i) {
+    const auto& spec = specs[i];
+    if (spec.trace == nullptr) {
+      throw ConfigError("workload spec '" + spec.workload +
+                        "' has no trace attached (deserialized specs must be "
+                        "re-armed with make_workload_spec before running)");
+    }
+    std::uint64_t events = 0;
+    MetricsSnapshot snapshot;
+    outcomes[i].result =
+        workload_run(factory_for_spec(spec.arch, spec.factory), *spec.trace,
+                     spec.mode, &events,
+                     options.collect_metrics ? &snapshot : nullptr);
     if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
     return events;
   });

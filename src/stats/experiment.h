@@ -29,6 +29,8 @@
 #include "stats/metrics.h"
 #include "traffic/benchmark.h"
 #include "util/units.h"
+#include "workload/replay.h"
+#include "workload/trace.h"
 
 namespace specnoc::stats {
 
@@ -147,6 +149,51 @@ struct PowerOutcome {
   std::optional<MetricsSnapshot> metrics;
 };
 
+/// One trace replay (workload.h subsystem). Replay is RNG-free, so unlike
+/// the open-loop specs there is no seed: the run is fully determined by
+/// (network, trace, mode). The trace itself cannot travel through shard
+/// files — `trace_hash` is its serialized identity instead (part of
+/// spec_key, so sharded sweeps refuse to mix outcomes of different
+/// traces), and `workload` is the human-readable label rendered in
+/// tables. Deserialized specs come back with a null trace; a process that
+/// wants to *run* (rather than merge/render) them must re-attach it.
+struct WorkloadResult {
+  std::uint64_t messages = 0;           ///< trace records
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t flits_delivered = 0;
+  /// Time of the last header delivery — the workload's completion time
+  /// under this network (the figure of merit for closed-loop replay).
+  double makespan_ns = 0.0;
+  double mean_latency_ns = 0.0;
+  double p95_latency_ns = 0.0;
+  double max_latency_ns = 0.0;
+  /// False if the scheduler drained with messages still undelivered.
+  bool completed = true;
+};
+
+struct WorkloadSpec {
+  core::Architecture arch = core::Architecture::kBaseline;
+  std::string workload;  ///< label ("DnnLayers", "Coherence", a trace stem)
+  workload::ReplayMode mode = workload::ReplayMode::kClosedLoop;
+  std::shared_ptr<const workload::Trace> trace;
+  std::string trace_hash;  ///< workload::trace_hash(*trace)
+  NetworkFactory factory;
+  std::string custom;
+};
+
+struct WorkloadOutcome {
+  WorkloadSpec spec;
+  WorkloadResult result;  ///< valid only when run.ok
+  sim::RunOutcome run;
+  /// Present when the grid ran with BatchOptions::collect_metrics.
+  std::optional<MetricsSnapshot> metrics;
+};
+
+/// Builds a WorkloadSpec with the trace attached and its hash computed.
+WorkloadSpec make_workload_spec(core::Architecture arch, std::string label,
+                                workload::ReplayMode mode,
+                                std::shared_ptr<const workload::Trace> trace);
+
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(core::NetworkConfig config, std::uint64_t seed = 1,
@@ -200,6 +247,11 @@ class ExperimentRunner {
   /// call concurrently from batch workers.
   SaturationResult run_saturation(const NetworkFactory& factory,
                                   traffic::BenchmarkId bench) const;
+  /// Replays `trace` on a fresh network and reports its delivery profile.
+  /// RNG-free and const: safe to call concurrently from batch workers.
+  WorkloadResult run_workload(const NetworkFactory& factory,
+                              const workload::Trace& trace,
+                              workload::ReplayMode mode) const;
   LatencyResult measure_latency(const NetworkFactory& factory,
                                 traffic::BenchmarkId bench,
                                 double injected_flits_per_ns,
@@ -226,6 +278,11 @@ class ExperimentRunner {
       const BatchOptions& options = {}) const;
   std::vector<PowerOutcome> run_power_sweep(
       const std::vector<PowerSpec>& specs,
+      const BatchOptions& options = {}) const;
+  /// Specs must carry their trace (make_workload_spec); a spec whose trace
+  /// is null fails in its outcome slot with a ConfigError message.
+  std::vector<WorkloadOutcome> run_workload_grid(
+      const std::vector<WorkloadSpec>& specs,
       const BatchOptions& options = {}) const;
 
  private:
@@ -254,6 +311,11 @@ class ExperimentRunner {
                         traffic::SimWindows windows, std::uint64_t seed,
                         std::uint64_t* events_out,
                         MetricsSnapshot* metrics_out) const;
+  WorkloadResult workload_run(const NetworkFactory& factory,
+                              const workload::Trace& trace,
+                              workload::ReplayMode mode,
+                              std::uint64_t* events_out,
+                              MetricsSnapshot* metrics_out) const;
 
   core::NetworkConfig config_;
   std::uint64_t seed_;

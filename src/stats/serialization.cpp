@@ -77,6 +77,17 @@ Json to_json(const PowerSpec& spec) {
   return json;
 }
 
+Json to_json(const WorkloadSpec& spec) {
+  Json json = Json::object();
+  json.set("kind", "workload");
+  json.set("arch", core::to_string(spec.arch));
+  json.set("workload", spec.workload);
+  json.set("mode", workload::to_string(spec.mode));
+  json.set("trace_hash", spec.trace_hash);
+  if (!spec.custom.empty()) json.set("custom", spec.custom);
+  return json;
+}
+
 namespace {
 
 void expect_kind(const Json& json, const char* kind) {
@@ -120,6 +131,17 @@ PowerSpec power_spec_from_json(const Json& json) {
   spec.custom = custom_from_json(json);
   spec.injected_flits_per_ns = json.at("injected_flits_per_ns").as_double();
   spec.windows = windows_from_json(json.at("windows"));
+  return spec;
+}
+
+WorkloadSpec workload_spec_from_json(const Json& json) {
+  expect_kind(json, "workload");
+  WorkloadSpec spec;
+  spec.arch = arch_from_json(json);
+  spec.workload = json.at("workload").as_string();
+  spec.mode = workload::replay_mode_from_string(json.at("mode").as_string());
+  spec.trace_hash = json.at("trace_hash").as_string();
+  spec.custom = custom_from_json(json);
   return spec;
 }
 
@@ -186,6 +208,32 @@ PowerResult power_result_from_json(const Json& json) {
   result.offered_flits_per_ns = json.at("offered_flits_per_ns").as_double();
   result.throttled_flits = json.at("throttled_flits").as_u64();
   result.broadcast_ops = json.at("broadcast_ops").as_u64();
+  return result;
+}
+
+Json to_json(const WorkloadResult& result) {
+  Json json = Json::object();
+  json.set("messages", result.messages);
+  json.set("messages_delivered", result.messages_delivered);
+  json.set("flits_delivered", result.flits_delivered);
+  json.set("makespan_ns", result.makespan_ns);
+  json.set("mean_latency_ns", result.mean_latency_ns);
+  json.set("p95_latency_ns", result.p95_latency_ns);
+  json.set("max_latency_ns", result.max_latency_ns);
+  json.set("completed", result.completed);
+  return json;
+}
+
+WorkloadResult workload_result_from_json(const Json& json) {
+  WorkloadResult result;
+  result.messages = json.at("messages").as_u64();
+  result.messages_delivered = json.at("messages_delivered").as_u64();
+  result.flits_delivered = json.at("flits_delivered").as_u64();
+  result.makespan_ns = json.at("makespan_ns").as_double();
+  result.mean_latency_ns = json.at("mean_latency_ns").as_double();
+  result.p95_latency_ns = json.at("p95_latency_ns").as_double();
+  result.max_latency_ns = json.at("max_latency_ns").as_double();
+  result.completed = json.at("completed").as_bool();
   return result;
 }
 
@@ -306,6 +354,9 @@ Json to_json(const SaturationOutcome& outcome) {
 }
 Json to_json(const LatencyOutcome& outcome) { return outcome_to_json(outcome); }
 Json to_json(const PowerOutcome& outcome) { return outcome_to_json(outcome); }
+Json to_json(const WorkloadOutcome& outcome) {
+  return outcome_to_json(outcome);
+}
 
 SaturationOutcome saturation_outcome_from_json(const Json& json) {
   SaturationOutcome outcome;
@@ -335,6 +386,17 @@ PowerOutcome power_outcome_from_json(const Json& json) {
   outcome.run = run_outcome_from_json(json.at("run"));
   if (outcome.run.ok) {
     outcome.result = power_result_from_json(json.at("result"));
+  }
+  metrics_from_json(outcome, json);
+  return outcome;
+}
+
+WorkloadOutcome workload_outcome_from_json(const Json& json) {
+  WorkloadOutcome outcome;
+  outcome.spec = workload_spec_from_json(json.at("spec"));
+  outcome.run = run_outcome_from_json(json.at("run"));
+  if (outcome.run.ok) {
+    outcome.result = workload_result_from_json(json.at("result"));
   }
   metrics_from_json(outcome, json);
   return outcome;
@@ -379,6 +441,24 @@ std::string spec_key(const LatencySpec& spec) {
 std::string spec_key(const PowerSpec& spec) {
   return key_base("pow", spec.arch, spec.bench, spec.seed, spec.custom) +
          key_rate_windows(spec.injected_flits_per_ns, spec.windows);
+}
+
+std::string spec_key(const WorkloadSpec& spec) {
+  // The trace hash is part of the identity: shards replayed from different
+  // trace bytes hash to different grids, so the merge refuses to mix them.
+  std::string key = "wl|";
+  key += core::to_string(spec.arch);
+  key += '|';
+  key += spec.workload;
+  key += '|';
+  key += workload::to_string(spec.mode);
+  key += "|trace=";
+  key += spec.trace_hash;
+  if (!spec.custom.empty()) {
+    key += '|';
+    key += spec.custom;
+  }
+  return key;
 }
 
 std::string grid_hash(const std::vector<std::string>& keys) {

@@ -35,20 +35,27 @@ namespace specnoc::stats {
 util::Json to_json(const SaturationSpec& spec);
 util::Json to_json(const LatencySpec& spec);
 util::Json to_json(const PowerSpec& spec);
+/// The trace itself does not travel (like NetworkFactory, it cannot);
+/// its trace_hash identity does, and deserialized specs come back with a
+/// null trace — re-arm with make_workload_spec before running.
+util::Json to_json(const WorkloadSpec& spec);
 
 SaturationSpec saturation_spec_from_json(const util::Json& json);
 LatencySpec latency_spec_from_json(const util::Json& json);
 PowerSpec power_spec_from_json(const util::Json& json);
+WorkloadSpec workload_spec_from_json(const util::Json& json);
 
 // --- results -------------------------------------------------------------
 
 util::Json to_json(const SaturationResult& result);
 util::Json to_json(const LatencyResult& result);
 util::Json to_json(const PowerResult& result);
+util::Json to_json(const WorkloadResult& result);
 
 SaturationResult saturation_result_from_json(const util::Json& json);
 LatencyResult latency_result_from_json(const util::Json& json);
 PowerResult power_result_from_json(const util::Json& json);
+WorkloadResult workload_result_from_json(const util::Json& json);
 
 // --- run outcomes --------------------------------------------------------
 
@@ -68,10 +75,12 @@ MetricsSnapshot metrics_snapshot_from_json(const util::Json& json);
 util::Json to_json(const SaturationOutcome& outcome);
 util::Json to_json(const LatencyOutcome& outcome);
 util::Json to_json(const PowerOutcome& outcome);
+util::Json to_json(const WorkloadOutcome& outcome);
 
 SaturationOutcome saturation_outcome_from_json(const util::Json& json);
 LatencyOutcome latency_outcome_from_json(const util::Json& json);
 PowerOutcome power_outcome_from_json(const util::Json& json);
+WorkloadOutcome workload_outcome_from_json(const util::Json& json);
 
 // --- identity ------------------------------------------------------------
 
@@ -80,6 +89,7 @@ PowerOutcome power_outcome_from_json(const util::Json& json);
 std::string spec_key(const SaturationSpec& spec);
 std::string spec_key(const LatencySpec& spec);
 std::string spec_key(const PowerSpec& spec);
+std::string spec_key(const WorkloadSpec& spec);
 
 /// Keys of a whole grid, in grid order.
 template <typename Spec>

@@ -381,6 +381,20 @@ struct PowerTraits {
   }
 };
 
+struct WorkloadTraits {
+  using Spec = WorkloadSpec;
+  using Outcome = WorkloadOutcome;
+  static constexpr const char* kKind = "workload";
+  static std::vector<Outcome> run(ExperimentRunner& runner,
+                                  const std::vector<Spec>& specs,
+                                  const BatchOptions& batch) {
+    return runner.run_workload_grid(specs, batch);
+  }
+  static Outcome from_json(const Json& json) {
+    return workload_outcome_from_json(json);
+  }
+};
+
 /// Rendered saturation outcomes seed the runner's memoization cache so
 /// protocol methods (saturation(), power_at_baseline_fraction(), ...)
 /// reuse them exactly as a live run_saturation_grid() call would.
@@ -396,6 +410,7 @@ void prime_runner(ExperimentRunner& runner,
 }
 void prime_runner(ExperimentRunner&, const std::vector<LatencyOutcome>&) {}
 void prime_runner(ExperimentRunner&, const std::vector<PowerOutcome>&) {}
+void prime_runner(ExperimentRunner&, const std::vector<WorkloadOutcome>&) {}
 
 bool file_has_content(const std::string& path) {
   std::ifstream in(path);
@@ -616,6 +631,12 @@ std::vector<PowerOutcome> ShardedSweep::power_sweep(
     const std::string& name, ExperimentRunner& runner,
     const std::vector<PowerSpec>& specs) {
   return run_grid<PowerTraits>(name, runner, specs);
+}
+
+std::vector<WorkloadOutcome> ShardedSweep::workload_grid(
+    const std::string& name, ExperimentRunner& runner,
+    const std::vector<WorkloadSpec>& specs) {
+  return run_grid<WorkloadTraits>(name, runner, specs);
 }
 
 void ShardedSweep::flush() const {

@@ -53,7 +53,7 @@ struct SweepManifest {
 /// One registered grid: identity shared by every worker of the sweep.
 struct SweepGrid {
   std::string name;  ///< unique within the tool ("latency", "power", ...)
-  std::string kind;  ///< "saturation" | "latency" | "power"
+  std::string kind;  ///< "saturation" | "latency" | "power" | "workload"
   std::size_t size = 0;  ///< full grid size across all shards
   std::string hash;      ///< grid_hash() of all spec keys, in grid order
 };
@@ -168,6 +168,12 @@ class ShardedSweep {
   std::vector<PowerOutcome> power_sweep(
       const std::string& name, ExperimentRunner& runner,
       const std::vector<PowerSpec>& specs);
+  /// Workload specs embed their trace hash in the spec key, so workers
+  /// replaying different trace bytes produce different grid hashes and the
+  /// merge refuses to combine them.
+  std::vector<WorkloadOutcome> workload_grid(
+      const std::string& name, ExperimentRunner& runner,
+      const std::vector<WorkloadSpec>& specs);
 
   /// Worker mode: writes the "done" record, prints a one-line summary to
   /// stderr, and returns the process exit code (1 if any owned cell

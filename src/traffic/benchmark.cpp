@@ -21,7 +21,13 @@ BenchmarkId benchmark_from_string(const std::string& name) {
   for (const auto id : all_benchmarks()) {
     if (name == to_string(id)) return id;
   }
-  throw ConfigError("unknown benchmark '" + name + "'");
+  std::string valid;
+  for (const auto id : all_benchmarks()) {
+    if (!valid.empty()) valid += ", ";
+    valid += to_string(id);
+  }
+  throw ConfigError("unknown benchmark '" + name +
+                    "' (valid benchmarks: " + valid + ")");
 }
 
 std::unique_ptr<TrafficPattern> make_benchmark(BenchmarkId id,

@@ -1,0 +1,51 @@
+#include "workload/record.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace specnoc::workload {
+
+TraceRecorder::TraceRecorder(const noc::PacketStore& store, std::uint32_t n,
+                             std::string generator)
+    : store_(store) {
+  meta_.n = n;
+  meta_.generator = std::move(generator);
+}
+
+void TraceRecorder::on_flit_ejected(const noc::Packet& packet,
+                                    std::uint32_t dest, noc::FlitKind kind,
+                                    TimePs when) {
+  if (downstream_ != nullptr) {
+    downstream_->on_flit_ejected(packet, dest, kind, when);
+  }
+}
+
+void TraceRecorder::on_packet_injected(const noc::Packet& packet,
+                                       TimePs when) {
+  if (downstream_ != nullptr) downstream_->on_packet_injected(packet, when);
+  // The Baseline network expands a k-destination message into k unicast
+  // packets; capture the message once, on its first packet.
+  if (!seen_.insert(packet.message).second) return;
+  const noc::Message& msg = store_.message(packet.message);
+  TraceRecord rec;
+  rec.id = msg.id;
+  rec.src = msg.src;
+  rec.dests = msg.dests;
+  rec.size = packet.num_flits;
+  rec.earliest = msg.gen_time;
+  records_.push_back(std::move(rec));
+  ++captured_;
+}
+
+Trace TraceRecorder::trace() const {
+  Trace trace;
+  trace.meta = meta_;
+  trace.records = records_;
+  std::sort(trace.records.begin(), trace.records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return a.id < b.id;
+            });
+  return trace;
+}
+
+}  // namespace specnoc::workload

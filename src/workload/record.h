@@ -1,0 +1,61 @@
+// TraceRecorder: captures a live run into a workload trace.
+//
+// Installed as (or chained into) the network's traffic observer, it watches
+// on_packet_injected and logs one TraceRecord per application message —
+// source, full destination mask, flit count, and the message's generation
+// time as `earliest`. Replaying the captured trace in timed mode therefore
+// re-issues the exact send_message() sequence of the original run, which is
+// what makes the record→replay round trip byte-identical (tested in
+// tests/workload/replay_test.cpp).
+//
+// Captured traces carry no dependency edges: a synthetic open-loop run has
+// none to observe. Closed-loop structure comes from the synthesizers
+// (synth.h) or hand-written traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "noc/hooks.h"
+#include "noc/packet.h"
+#include "workload/trace.h"
+
+namespace specnoc::workload {
+
+class TraceRecorder final : public noc::TrafficObserver {
+ public:
+  /// `store` is the network's packet store (noc::Network::packets());
+  /// `n` its endpoint count. `generator` labels the trace's provenance.
+  TraceRecorder(const noc::PacketStore& store, std::uint32_t n,
+                std::string generator = "capture");
+
+  /// Forwards every observed traffic event to `downstream` (nullable), so
+  /// the recorder can sit in front of a stats::TrafficRecorder.
+  void set_downstream(noc::TrafficObserver* downstream) {
+    downstream_ = downstream;
+  }
+
+  void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs when) override;
+  void on_packet_injected(const noc::Packet& packet, TimePs when) override;
+
+  std::uint64_t messages_captured() const { return captured_; }
+
+  /// Builds the trace captured so far: one record per message, ordered by
+  /// message id (injection order can interleave differently across sources,
+  /// and the Baseline network splits one message into several packets — the
+  /// recorder de-duplicates and re-sorts).
+  Trace trace() const;
+
+ private:
+  const noc::PacketStore& store_;
+  TraceMeta meta_;
+  noc::TrafficObserver* downstream_ = nullptr;
+  std::vector<TraceRecord> records_;  ///< capture order, sorted in trace()
+  std::unordered_set<noc::MessageId> seen_;
+  std::uint64_t captured_ = 0;
+};
+
+}  // namespace specnoc::workload

@@ -1,0 +1,118 @@
+// TraceReplayDriver: injects a workload trace into any noc::MessageNetwork.
+//
+// Two replay modes:
+//  * Timed (open loop): every message is injected at its recorded
+//    `earliest` time, dependencies ignored — reproduces the exact offered
+//    load of the run that produced the trace.
+//  * Closed loop (dependency-aware): a message becomes eligible only after
+//    every message in its `deps` list has delivered all of its headers
+//    (observed through the existing noc::TrafficObserver delivery hook),
+//    then injects `delay` ps later, but never before `earliest`. The
+//    network's own latencies feed back into the injection schedule — the
+//    application behavior open-loop patterns cannot express.
+//
+// Replay is RNG-free: injection times are pure functions of the trace and
+// of delivery events, so replay output is byte-identical across processes,
+// shards, and job counts (the same determinism contract the per-source RNG
+// streams give the synthetic patterns).
+//
+// The driver must be installed as the network's traffic observer before
+// start() (it is how deliveries are detected); observers that want the
+// same event stream (TrafficRecorder, tracers) chain via set_downstream().
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "noc/hooks.h"
+#include "noc/message_network.h"
+#include "workload/trace.h"
+
+namespace specnoc::workload {
+
+enum class ReplayMode : std::uint8_t { kTimed, kClosedLoop };
+
+const char* to_string(ReplayMode mode);
+
+/// Parses a name produced by to_string; the ConfigError on unknown names
+/// lists the valid ones.
+ReplayMode replay_mode_from_string(const std::string& name);
+
+struct ReplayConfig {
+  ReplayMode mode = ReplayMode::kClosedLoop;
+  /// Tag injected messages as measured, so a downstream TrafficRecorder
+  /// collects a latency record per trace message.
+  bool measured = true;
+};
+
+class TraceReplayDriver final : public noc::TrafficObserver {
+ public:
+  /// Keeps references to both; they must outlive the driver. Throws
+  /// ConfigError when the trace does not fit the network (validate()
+  /// failure, endpoint-count mismatch, or message sizes that differ from
+  /// the network's fixed flits-per-packet).
+  TraceReplayDriver(noc::MessageNetwork& network, const Trace& trace,
+                    ReplayConfig config = {});
+
+  /// Forwards every observed traffic event to `downstream` (nullable).
+  void set_downstream(noc::TrafficObserver* downstream) {
+    downstream_ = downstream;
+  }
+
+  /// Schedules the initial injections. The driver must already be the
+  /// network's hooks().traffic observer. Call once, then run the scheduler
+  /// to completion (the trace is finite, so the event queue drains).
+  void start();
+
+  // -- TrafficObserver (delivery detection; events forwarded downstream) --
+  void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs when) override;
+  void on_packet_injected(const noc::Packet& packet, TimePs when) override;
+
+  std::uint64_t messages_injected() const { return injected_; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+
+  /// All trace messages injected and fully delivered. False after the
+  /// scheduler drains means the trace could not complete on this network
+  /// (e.g. a dependency never delivered).
+  bool finished() const { return delivered_ == states_.size(); }
+
+  /// Delivery time of the last header of the last message (the workload
+  /// makespan); 0 until the first delivery.
+  TimePs completion_time() const { return completion_time_; }
+
+  /// Per-message observability (indexed like trace.records; -1 = not yet).
+  TimePs injection_time(std::size_t index) const {
+    return states_[index].injected_at;
+  }
+  TimePs delivery_time(std::size_t index) const {
+    return states_[index].delivered_at;
+  }
+
+ private:
+  struct MessageState {
+    noc::DestMask remaining = 0;  ///< dests still missing a header
+    std::uint32_t pending_deps = 0;
+    TimePs injected_at = -1;
+    TimePs delivered_at = -1;
+    /// Indexes of messages whose deps include this one.
+    std::vector<std::uint32_t> dependents;
+  };
+
+  void inject(std::size_t index);
+  void complete(std::size_t index, TimePs when);
+
+  noc::MessageNetwork& network_;
+  const Trace& trace_;
+  ReplayConfig config_;
+  noc::TrafficObserver* downstream_ = nullptr;
+  bool started_ = false;
+  std::vector<MessageState> states_;
+  std::unordered_map<noc::MessageId, std::uint32_t> index_of_message_;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_ = 0;
+  TimePs completion_time_ = 0;
+};
+
+}  // namespace specnoc::workload

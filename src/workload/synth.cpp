@@ -1,0 +1,235 @@
+#include "workload/synth.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace specnoc::workload {
+
+namespace {
+
+noc::DestMask mask_of_range(std::uint32_t first, std::uint32_t count) {
+  noc::DestMask mask = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    mask |= noc::dest_bit(first + i);
+  }
+  return mask;
+}
+
+}  // namespace
+
+Trace make_dnn_workload(const DnnWorkloadParams& params) {
+  if (params.n < 3 || params.n > 64) {
+    throw ConfigError(
+        "dnn workload needs n in [3, 64] (weight source + PEs + reducer), "
+        "got n=" + std::to_string(params.n));
+  }
+  if (params.flits == 0) throw ConfigError("dnn workload: flits must be >= 1");
+  if (params.layers.empty()) {
+    throw ConfigError("dnn workload: at least one layer required");
+  }
+  if (params.layer_stagger < 0 || params.compute_delay < 0) {
+    throw ConfigError("dnn workload: times must be >= 0");
+  }
+  const std::uint32_t weight_source = 0;
+  const std::uint32_t reducer = params.n - 1;
+
+  Trace trace;
+  trace.meta.n = params.n;
+  trace.meta.generator = to_string(SynthId::kDnnLayers);
+  std::uint64_t next_id = 0;
+  const auto add = [&](std::uint32_t src, noc::DestMask dests, TimePs earliest,
+                       TimePs delay,
+                       std::vector<std::uint64_t> deps) -> std::uint64_t {
+    const std::uint64_t id = next_id++;
+    TraceRecord rec;
+    rec.id = id;
+    rec.src = src;
+    rec.dests = dests;
+    rec.size = params.flits;
+    rec.earliest = earliest;
+    rec.delay = delay;
+    rec.deps = std::move(deps);
+    trace.records.push_back(std::move(rec));
+    return id;
+  };
+
+  // Partial sums of the previous layer: the next layer's activations wait
+  // on the reduction being complete.
+  std::vector<std::uint64_t> prev_partials;
+  for (std::size_t l = 0; l < params.layers.size(); ++l) {
+    const DnnLayer& layer = params.layers[l];
+    if (layer.pes == 0 || layer.pes > params.n - 2) {
+      throw ConfigError("dnn workload layer " + std::to_string(l) +
+                        ": pes must be in [1, n-2] = [1, " +
+                        std::to_string(params.n - 2) + "], got " +
+                        std::to_string(layer.pes));
+    }
+    if (layer.weight_tiles == 0 || layer.activation_tiles == 0) {
+      throw ConfigError("dnn workload layer " + std::to_string(l) +
+                        ": weight_tiles and activation_tiles must be >= 1");
+    }
+    const TimePs layer_start =
+        static_cast<TimePs>(l) * params.layer_stagger;
+    const noc::DestMask pe_mask = mask_of_range(1, layer.pes);
+
+    // Weight broadcast: every tile is multicast from the weight source to
+    // all of the layer's PEs. No dependencies — weights stream in as soon
+    // as the layer's slot opens.
+    std::vector<std::uint64_t> weights;
+    for (std::uint32_t t = 0; t < layer.weight_tiles; ++t) {
+      weights.push_back(add(weight_source, pe_mask, layer_start, 0, {}));
+    }
+
+    // Activations: unicast into each PE. Layer 0 reads from the weight
+    // source (external input); later layers read the previous reduction.
+    const std::uint32_t act_source = l == 0 ? weight_source : reducer;
+    std::vector<std::vector<std::uint64_t>> activations(layer.pes);
+    for (std::uint32_t t = 0; t < layer.activation_tiles; ++t) {
+      for (std::uint32_t pe = 0; pe < layer.pes; ++pe) {
+        activations[pe].push_back(add(act_source, noc::dest_bit(1 + pe),
+                                      layer_start, 0, prev_partials));
+      }
+    }
+
+    // Reduction fan-in: each PE computes for compute_delay once its weights
+    // and activations are in, then unicasts its partial sum to the reducer.
+    std::vector<std::uint64_t> partials;
+    for (std::uint32_t pe = 0; pe < layer.pes; ++pe) {
+      std::vector<std::uint64_t> deps = weights;
+      deps.insert(deps.end(), activations[pe].begin(), activations[pe].end());
+      partials.push_back(add(1 + pe, noc::dest_bit(reducer), layer_start,
+                             params.compute_delay, std::move(deps)));
+    }
+    prev_partials = std::move(partials);
+  }
+  return trace;
+}
+
+CoherenceWorkload make_coherence_workload(
+    const CoherenceWorkloadParams& params) {
+  if (params.n < 2 || params.n > 64) {
+    throw ConfigError("coherence workload needs n in [2, 64], got n=" +
+                      std::to_string(params.n));
+  }
+  if (params.flits == 0) {
+    throw ConfigError("coherence workload: flits must be >= 1");
+  }
+  if (params.writes_per_proc == 0) {
+    throw ConfigError("coherence workload: writes_per_proc must be >= 1");
+  }
+  const std::uint32_t sharer_cap =
+      std::min(params.max_sharers, params.n - 1);
+  if (params.min_sharers == 0 || params.min_sharers > sharer_cap) {
+    throw ConfigError(
+        "coherence workload: min_sharers must be in [1, min(max_sharers, "
+        "n-1)] = [1, " + std::to_string(sharer_cap) + "], got " +
+        std::to_string(params.min_sharers));
+  }
+  if (params.think_delay < 0) {
+    throw ConfigError("coherence workload: think_delay must be >= 0");
+  }
+
+  // Per-processor RNG streams split from one root, the same idiom the
+  // open-loop TrafficDriver uses for its sources: sharer sets of different
+  // processors are independent, and the whole trace is a function of seed.
+  Rng root(params.seed);
+  std::vector<Rng> procs;
+  procs.reserve(params.n);
+  for (std::uint32_t p = 0; p < params.n; ++p) procs.push_back(root.split());
+
+  CoherenceWorkload workload;
+  workload.trace.meta.n = params.n;
+  workload.trace.meta.generator = to_string(SynthId::kCoherence);
+  std::uint64_t next_id = 0;
+  // Round-major so ids increase while every dependency points backward.
+  std::vector<std::vector<std::uint64_t>> prev_acks(params.n);
+  for (std::uint32_t round = 0; round < params.writes_per_proc; ++round) {
+    for (std::uint32_t p = 0; p < params.n; ++p) {
+      const auto num_sharers = static_cast<std::uint32_t>(
+          procs[p].uniform_int(params.min_sharers, sharer_cap));
+      // Sample distinct sharers among the other n-1 processors.
+      std::vector<std::uint32_t> picks =
+          procs[p].sample_without_replacement(params.n - 1, num_sharers);
+      noc::DestMask sharers = 0;
+      std::vector<std::uint32_t> sharer_ids;
+      for (const std::uint32_t pick : picks) {
+        const std::uint32_t sharer = pick >= p ? pick + 1 : pick;
+        sharers |= noc::dest_bit(sharer);
+        sharer_ids.push_back(sharer);
+      }
+
+      CoherenceWrite write;
+      write.writer = p;
+      write.inv = workload.trace.records.size();
+      TraceRecord inv;
+      inv.id = next_id++;
+      inv.src = p;
+      inv.dests = sharers;
+      inv.size = params.flits;
+      inv.delay = round == 0 ? 0 : params.think_delay;
+      inv.deps = prev_acks[p];  // all acks of this proc's previous write
+      workload.trace.records.push_back(inv);
+
+      std::vector<std::uint64_t> acks;
+      for (const std::uint32_t sharer : sharer_ids) {
+        write.acks.push_back(workload.trace.records.size());
+        TraceRecord ack;
+        ack.id = next_id++;
+        ack.src = sharer;
+        ack.dests = noc::dest_bit(p);
+        ack.size = params.flits;
+        ack.deps = {inv.id};
+        workload.trace.records.push_back(std::move(ack));
+        acks.push_back(workload.trace.records.back().id);
+      }
+      prev_acks[p] = std::move(acks);
+      workload.writes.push_back(std::move(write));
+    }
+  }
+  return workload;
+}
+
+const char* to_string(SynthId id) {
+  switch (id) {
+    case SynthId::kDnnLayers:
+      return "DnnLayers";
+    case SynthId::kCoherence:
+      return "Coherence";
+  }
+  SPECNOC_UNREACHABLE("SynthId");
+}
+
+SynthId synth_from_string(const std::string& name) {
+  if (name == "DnnLayers") return SynthId::kDnnLayers;
+  if (name == "Coherence") return SynthId::kCoherence;
+  throw ConfigError("unknown workload synthesizer '" + name +
+                    "' (valid synthesizers: DnnLayers, Coherence)");
+}
+
+Trace make_synth_workload(SynthId id, std::uint32_t n, std::uint32_t flits,
+                          std::uint64_t seed) {
+  switch (id) {
+    case SynthId::kDnnLayers: {
+      DnnWorkloadParams params;
+      params.n = n;
+      params.flits = flits;
+      const std::uint32_t pes = n - 2;
+      params.layers = {DnnLayer{std::min<std::uint32_t>(4, pes), 2, 1},
+                       DnnLayer{pes, 2, 1}};
+      return make_dnn_workload(params);
+    }
+    case SynthId::kCoherence: {
+      CoherenceWorkloadParams params;
+      params.n = n;
+      params.flits = flits;
+      params.seed = seed;
+      return make_coherence_workload(params).trace;
+    }
+  }
+  SPECNOC_UNREACHABLE("SynthId");
+}
+
+}  // namespace specnoc::workload

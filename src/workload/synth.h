@@ -1,0 +1,96 @@
+// Workload synthesizers: application-shaped traffic emitted as traces.
+//
+// Unlike the open-loop patterns in src/traffic/ (which draw destinations
+// per-injection from a rate process), these generate a complete dependency
+// DAG up front and hand it to the replay driver — the traffic's timing then
+// comes from the network itself via closed-loop replay.
+//
+// Two generators:
+//  * DNN-layer dataflow: per layer, weight-tile multicasts from a weight
+//    source to the layer's PEs, activation unicasts into each PE, and a
+//    partial-sum reduction fan-in to a reducer node; each layer's
+//    activations depend on the previous layer's reduction. This is the
+//    broadcast + fan-in shape a Mesh-of-Trees accelerates. RNG-free: the
+//    trace is a pure function of the layer shapes.
+//  * Directory coherence: per-processor chains of multicast invalidations,
+//    each answered by unicast acks from the sharers; the next write of a
+//    processor depends on all acks of its previous one (an invalidation
+//    storm with request→ack dependencies). Sharer sets come from per-proc
+//    deterministic RNG streams, so the trace depends only on the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace specnoc::workload {
+
+/// One layer of the DNN dataflow. PEs are endpoints 1..pes; endpoint 0 is
+/// the weight/activation source and endpoint n-1 the reduction target, so
+/// pes must be <= n - 2.
+struct DnnLayer {
+  std::uint32_t pes = 4;
+  std::uint32_t weight_tiles = 2;       ///< weight multicasts per layer
+  std::uint32_t activation_tiles = 1;   ///< activation unicasts per PE
+};
+
+struct DnnWorkloadParams {
+  std::uint32_t n = 8;
+  std::uint32_t flits = 5;  ///< must match the target network's packet size
+  std::vector<DnnLayer> layers = {DnnLayer{4, 2, 1}, DnnLayer{6, 2, 1}};
+  /// Earliest-time offset between consecutive layers' weight loads (the
+  /// weights of layer l may stream in while layer l-1 still computes).
+  TimePs layer_stagger = 0;
+  /// Local MAC time: a PE emits its partial sum this long after its weights
+  /// and activations arrived.
+  TimePs compute_delay = 2000;
+};
+
+/// Deterministic (RNG-free); throws ConfigError on inconsistent shapes.
+Trace make_dnn_workload(const DnnWorkloadParams& params);
+
+struct CoherenceWorkloadParams {
+  std::uint32_t n = 8;
+  std::uint32_t flits = 5;
+  std::uint32_t writes_per_proc = 4;
+  std::uint32_t min_sharers = 1;
+  std::uint32_t max_sharers = 5;  ///< clamped to n - 1 other processors
+  /// Writer-side think time between collecting all acks and issuing its
+  /// next invalidation.
+  TimePs think_delay = 1000;
+  std::uint64_t seed = 2026;
+};
+
+/// One write: the invalidation record and its ack records (indexes into
+/// CoherenceWorkload::trace.records).
+struct CoherenceWrite {
+  std::uint32_t writer = 0;
+  std::size_t inv = 0;
+  std::vector<std::size_t> acks;
+};
+
+struct CoherenceWorkload {
+  Trace trace;
+  std::vector<CoherenceWrite> writes;  ///< round-major, proc-minor order
+};
+
+CoherenceWorkload make_coherence_workload(
+    const CoherenceWorkloadParams& params);
+
+/// Named synthesizers for the harness layer.
+enum class SynthId : std::uint8_t { kDnnLayers, kCoherence };
+
+const char* to_string(SynthId id);
+
+/// Parses a synthesizer name; the ConfigError on unknown names lists the
+/// valid ones (mirrors traffic::benchmark_from_string).
+SynthId synth_from_string(const std::string& name);
+
+/// Builds a synthesizer's default workload scaled to an n-endpoint network
+/// with `flits`-flit packets. The seed only affects kCoherence.
+Trace make_synth_workload(SynthId id, std::uint32_t n, std::uint32_t flits,
+                          std::uint64_t seed);
+
+}  // namespace specnoc::workload

@@ -1,0 +1,223 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/shard.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace specnoc::workload {
+
+using util::Json;
+
+void Trace::validate() const {
+  if (meta.n < 2 || meta.n > 64) {
+    throw ConfigError(
+        "workload trace radix must be in [2, 64] (destination masks are "
+        "64-bit), got n=" + std::to_string(meta.n));
+  }
+  const noc::DestMask all =
+      meta.n >= 64 ? ~noc::DestMask{0}
+                   : ((noc::DestMask{1} << meta.n) - 1);
+  bool first = true;
+  std::uint64_t prev_id = 0;
+  for (const TraceRecord& rec : records) {
+    const auto fail = [&rec](const std::string& why) -> ConfigError {
+      return ConfigError("trace message " + std::to_string(rec.id) + ": " +
+                         why);
+    };
+    if (!first && rec.id <= prev_id) {
+      throw fail("ids must be strictly increasing (previous was " +
+                 std::to_string(prev_id) + ")");
+    }
+    first = false;
+    prev_id = rec.id;
+    if (rec.src >= meta.n) {
+      throw fail("source " + std::to_string(rec.src) +
+                 " out of range for n=" + std::to_string(meta.n));
+    }
+    if (rec.dests == 0) throw fail("empty destination set");
+    if ((rec.dests & ~all) != 0) {
+      throw fail("destination mask has bits beyond n=" +
+                 std::to_string(meta.n) +
+                 " endpoints (the 64-bit mask would truncate them)");
+    }
+    if (rec.size == 0) throw fail("size must be >= 1 flit");
+    if (rec.earliest < 0) throw fail("earliest time must be >= 0");
+    if (rec.delay < 0) throw fail("delay must be >= 0");
+    for (const std::uint64_t dep : rec.deps) {
+      if (dep >= rec.id) {
+        throw fail("dependency " + std::to_string(dep) +
+                   " does not precede the message (deps must reference "
+                   "earlier records)");
+      }
+      // ids are strictly increasing, so binary search finds the dep.
+      const auto it = std::lower_bound(
+          records.begin(), records.end(), dep,
+          [](const TraceRecord& r, std::uint64_t id) { return r.id < id; });
+      if (it == records.end() || it->id != dep) {
+        throw fail("dependency " + std::to_string(dep) +
+                   " names no record of this trace");
+      }
+    }
+  }
+}
+
+namespace {
+
+Json header_to_json(const TraceMeta& meta) {
+  Json json = Json::object();
+  json.set("record", "header");
+  json.set("format", kTraceFormat);
+  json.set("schema", static_cast<std::int64_t>(kTraceSchemaVersion));
+  json.set("n", meta.n);
+  if (!meta.generator.empty()) json.set("generator", meta.generator);
+  return json;
+}
+
+Json record_to_json(const TraceRecord& rec) {
+  Json json = Json::object();
+  json.set("record", "msg");
+  json.set("id", rec.id);
+  json.set("src", rec.src);
+  json.set("dests", rec.dests);
+  json.set("size", rec.size);
+  json.set("earliest", static_cast<std::int64_t>(rec.earliest));
+  if (rec.delay != 0) json.set("delay", static_cast<std::int64_t>(rec.delay));
+  Json deps = Json::array();
+  for (const std::uint64_t dep : rec.deps) deps.push_back(dep);
+  json.set("deps", std::move(deps));
+  return json;
+}
+
+TraceRecord record_from_json(const Json& json) {
+  TraceRecord rec;
+  rec.id = json.at("id").as_u64();
+  rec.src = static_cast<std::uint32_t>(json.at("src").as_u64());
+  rec.dests = json.at("dests").as_u64();
+  rec.size = static_cast<std::uint32_t>(json.at("size").as_u64());
+  rec.earliest = json.at("earliest").as_i64();
+  const Json* delay = json.find("delay");
+  if (delay != nullptr) rec.delay = delay->as_i64();
+  for (const Json& dep : json.at("deps").items()) {
+    rec.deps.push_back(dep.as_u64());
+  }
+  return rec;
+}
+
+}  // namespace
+
+void write_trace(const Trace& trace, std::ostream& out) {
+  trace.validate();
+  out << util::json_write(header_to_json(trace.meta)) << "\n";
+  for (const TraceRecord& rec : trace.records) {
+    out << util::json_write(record_to_json(rec)) << "\n";
+  }
+  Json end = Json::object();
+  end.set("record", "end");
+  end.set("messages", static_cast<std::uint64_t>(trace.records.size()));
+  out << util::json_write(end) << "\n";
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw ConfigError("cannot write trace file '" + path + "'");
+  write_trace(trace, out);
+  out.flush();
+  if (!out) throw ConfigError("short write to trace file '" + path + "'");
+}
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream out;
+  write_trace(trace, out);
+  return out.str();
+}
+
+Trace read_trace(std::istream& in, const std::string& origin) {
+  Trace trace;
+  bool have_header = false;
+  bool have_end = false;
+  std::uint64_t declared = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fail = [&](const std::string& why) -> ConfigError {
+      return ConfigError(origin + ":" + std::to_string(line_no) + ": " + why);
+    };
+    Json json;
+    try {
+      json = util::json_parse(line);
+    } catch (const ConfigError& error) {
+      throw fail(error.what());
+    }
+    try {
+      const std::string& record = json.at("record").as_string();
+      if (record == "header") {
+        if (have_header) throw fail("duplicate header record");
+        if (json.at("format").as_string() != kTraceFormat) {
+          throw fail("not a " + std::string(kTraceFormat) + " file (format '" +
+                     json.at("format").as_string() + "')");
+        }
+        const auto schema = json.at("schema").as_i64();
+        if (schema != kTraceSchemaVersion) {
+          throw fail("unsupported trace schema version " +
+                     std::to_string(schema) + " (this build reads version " +
+                     std::to_string(kTraceSchemaVersion) + ")");
+        }
+        trace.meta.n = static_cast<std::uint32_t>(json.at("n").as_u64());
+        const Json* generator = json.find("generator");
+        if (generator != nullptr) trace.meta.generator = generator->as_string();
+        have_header = true;
+        continue;
+      }
+      if (!have_header) throw fail("first record must be the header");
+      if (have_end) throw fail("record after the end record");
+      if (record == "msg") {
+        trace.records.push_back(record_from_json(json));
+        continue;
+      }
+      if (record == "end") {
+        declared = json.at("messages").as_u64();
+        have_end = true;
+        continue;
+      }
+      throw fail("unknown record type '" + record + "'");
+    } catch (const ConfigError&) {
+      throw;
+    }
+  }
+  if (!have_header) {
+    throw ConfigError(origin + ": no header record (empty or truncated file)");
+  }
+  if (!have_end) {
+    throw ConfigError(origin + ": no end record (truncated trace)");
+  }
+  if (declared != trace.records.size()) {
+    throw ConfigError(origin + ": end record declares " +
+                      std::to_string(declared) + " messages but " +
+                      std::to_string(trace.records.size()) + " are present");
+  }
+  trace.validate();
+  return trace;
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ConfigError("cannot open trace file '" + path + "'");
+  return read_trace(in, path);
+}
+
+std::string trace_hash(const Trace& trace) {
+  const std::uint64_t hash = sim::fnv1a64(trace_to_string(trace));
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+}  // namespace specnoc::workload

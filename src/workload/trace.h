@@ -1,0 +1,89 @@
+// Versioned, self-describing workload traces: the application-traffic
+// interchange format of the workload subsystem.
+//
+// A trace is an ordered list of message records over an n-endpoint network.
+// Each record names a message id, source, destination mask, size in flits,
+// an earliest injection time, and the set of earlier messages it depends
+// on — enough to replay the trace open loop (inject at the recorded times)
+// or closed loop (inject only after the dependencies are delivered; see
+// replay.h).
+//
+// On disk a trace is JSONL built on util::Json, one record per line:
+//   {"record":"header","format":"specnoc-workload-trace","schema":1,
+//    "n":8,"generator":"DnnLayers"}
+//   {"record":"msg","id":0,"src":0,"dests":254,"size":5,"earliest":0,
+//    "deps":[]}                                  (optionally "delay":ps)
+//   {"record":"end","messages":1}
+//
+// The writer is deterministic (util::Json preserves insertion order and
+// renders numbers canonically), so equal traces always serialize to equal
+// bytes — trace_hash() and golden-file comparisons rely on it. The parser
+// is strict: malformed lines, schema mismatches, dangling dependencies, or
+// a missing end record throw ConfigError with the offending line number.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "noc/packet.h"
+#include "util/units.h"
+
+namespace specnoc::workload {
+
+inline constexpr int kTraceSchemaVersion = 1;
+inline constexpr const char* kTraceFormat = "specnoc-workload-trace";
+
+/// One application message. `deps` lists ids of records earlier in the
+/// trace; in closed-loop replay the message becomes eligible only after
+/// every dependency has delivered all of its headers, then injects `delay`
+/// picoseconds later (local computation), but never before `earliest`.
+struct TraceRecord {
+  std::uint64_t id = 0;
+  std::uint32_t src = 0;
+  noc::DestMask dests = 0;
+  std::uint32_t size = 1;  ///< flits of the message's packet
+  TimePs earliest = 0;
+  TimePs delay = 0;
+  std::vector<std::uint64_t> deps;
+};
+
+/// Trace-level identity carried in the header record.
+struct TraceMeta {
+  std::uint32_t n = 0;       ///< endpoint count the trace was built for
+  std::string generator;     ///< provenance label ("DnnLayers", "capture", ...)
+};
+
+struct Trace {
+  TraceMeta meta;
+  std::vector<TraceRecord> records;
+
+  /// Structural validation; throws ConfigError on the first violation:
+  ///  * n must be in [2, 64] — noc::DestMask is 64 bits wide, so larger
+  ///    radixes would silently truncate destination sets;
+  ///  * record ids strictly increasing (which makes any dependency graph
+  ///    acyclic by construction);
+  ///  * src < n, dests nonzero and within the low n bits, size >= 1,
+  ///    earliest/delay >= 0;
+  ///  * every dep names an earlier record of the trace.
+  void validate() const;
+};
+
+/// Serializes a validated trace (deterministic bytes; see file comment).
+void write_trace(const Trace& trace, std::ostream& out);
+void save_trace(const Trace& trace, const std::string& path);
+std::string trace_to_string(const Trace& trace);
+
+/// Parses and validates one trace. Stream errors name `origin` in the
+/// message; the path overload names the file.
+Trace read_trace(std::istream& in, const std::string& origin = "<trace>");
+Trace load_trace(const std::string& path);
+
+/// Hex fnv1a64 fingerprint of the serialized trace: two traces hash equal
+/// iff they serialize to the same bytes. Used as the trace's identity in
+/// workload spec keys, so sharded sweeps refuse to mix outcomes produced
+/// from different traces.
+std::string trace_hash(const Trace& trace);
+
+}  // namespace specnoc::workload

@@ -9,6 +9,7 @@
 #include "stats/experiment.h"
 #include "util/error.h"
 #include "util/json.h"
+#include "workload/synth.h"
 
 namespace specnoc::stats {
 namespace {
@@ -173,6 +174,61 @@ TEST(SerializationTest, SpecKeysAreCanonicalAndUnique) {
   pow.windows = lat.windows;
   pow.seed = lat.seed;
   EXPECT_NE(spec_key(pow), key);  // kind prefix differs
+}
+
+TEST(SerializationTest, WorkloadOutcomeRoundTrips) {
+  const auto trace = std::make_shared<const workload::Trace>(
+      workload::make_synth_workload(workload::SynthId::kCoherence, 8, 5, 7));
+  WorkloadOutcome outcome;
+  outcome.spec = make_workload_spec(Architecture::kOptHybridSpeculative,
+                                    "Coherence",
+                                    workload::ReplayMode::kClosedLoop, trace);
+  outcome.result.messages = 129;
+  outcome.result.messages_delivered = 129;
+  outcome.result.flits_delivered = 970;
+  outcome.result.makespan_ns = 105.4;
+  outcome.result.mean_latency_ns = 7.842;
+  outcome.result.p95_latency_ns = 15.448;
+  outcome.result.max_latency_ns = 17.996;
+  outcome.result.completed = true;
+  outcome.run = ok_run();
+
+  const auto back = workload_outcome_from_json(
+      util::json_parse(util::json_write(to_json(outcome))));
+  EXPECT_EQ(back.spec.arch, outcome.spec.arch);
+  EXPECT_EQ(back.spec.workload, "Coherence");
+  EXPECT_EQ(back.spec.mode, workload::ReplayMode::kClosedLoop);
+  EXPECT_EQ(back.spec.trace_hash, outcome.spec.trace_hash);
+  EXPECT_EQ(back.spec.trace, nullptr);  // traces never travel, only hashes
+  EXPECT_EQ(back.result.messages, outcome.result.messages);
+  EXPECT_EQ(back.result.flits_delivered, outcome.result.flits_delivered);
+  EXPECT_EQ(back.result.makespan_ns, outcome.result.makespan_ns);
+  EXPECT_TRUE(back.result.completed);
+  EXPECT_EQ(util::json_write(to_json(back)),
+            util::json_write(to_json(outcome)));
+}
+
+TEST(SerializationTest, WorkloadSpecKeyEmbedsTraceIdentity) {
+  const auto trace = std::make_shared<const workload::Trace>(
+      workload::make_synth_workload(workload::SynthId::kDnnLayers, 8, 5, 0));
+  const auto spec = make_workload_spec(Architecture::kBaseline, "DnnLayers",
+                                       workload::ReplayMode::kClosedLoop,
+                                       trace);
+  EXPECT_EQ(spec_key(spec), "wl|Baseline|DnnLayers|closed|trace=" +
+                                workload::trace_hash(*trace));
+
+  // Any change to the trace bytes changes the key, so sweep merges refuse
+  // to combine outcomes replayed from different traces.
+  auto altered = *trace;
+  altered.records[0].earliest += 1;
+  const auto spec2 = make_workload_spec(
+      Architecture::kBaseline, "DnnLayers", workload::ReplayMode::kClosedLoop,
+      std::make_shared<const workload::Trace>(altered));
+  EXPECT_NE(spec_key(spec2), spec_key(spec));
+
+  auto timed = make_workload_spec(Architecture::kBaseline, "DnnLayers",
+                                  workload::ReplayMode::kTimed, trace);
+  EXPECT_NE(spec_key(timed), spec_key(spec));
 }
 
 TEST(SerializationTest, GridHashIsOrderSensitive) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "stats/serialization.h"
 #include "util/error.h"
 #include "util/json.h"
+#include "workload/synth.h"
 
 namespace specnoc::stats {
 namespace {
@@ -336,6 +338,72 @@ TEST(ShardedSweepTest, WorkerMergeRenderMatchesSingleProcess) {
     // wall_ms is wall-clock telemetry — the only field allowed to differ
     // between two runs of the same cell. Everything a table renders from
     // (spec, result, status) must be byte-identical.
+    auto a = rendered[i];
+    auto b = reference[i];
+    a.run.telemetry.wall_ms = 0.0;
+    b.run.telemetry.wall_ms = 0.0;
+    EXPECT_EQ(util::json_write(to_json(a)), util::json_write(to_json(b)))
+        << "cell " << i << " (" << spec_key(specs[i]) << ")";
+  }
+}
+
+// Same invariant for the workload kind, which additionally re-arms the
+// trace pointer on carried/rendered cells (traces don't travel in shard
+// files — only their hash does).
+TEST(ShardedSweepTest, WorkloadWorkerMergeRenderMatchesSingleProcess) {
+  const core::NetworkConfig cfg;
+  const auto trace = std::make_shared<const workload::Trace>(
+      workload::make_synth_workload(workload::SynthId::kDnnLayers, cfg.n,
+                                    cfg.flits_per_packet, 42));
+  std::vector<WorkloadSpec> specs;
+  for (const auto arch :
+       {Architecture::kBaseline, Architecture::kOptHybridSpeculative}) {
+    for (const auto mode :
+         {workload::ReplayMode::kClosedLoop, workload::ReplayMode::kTimed}) {
+      specs.push_back(make_workload_spec(arch, "DnnLayers", mode, trace));
+    }
+  }
+
+  ExperimentRunner ref_runner(cfg, 42);
+  ShardedSweep ref_sweep(base_options(SweepMode::kRun));
+  const auto reference = ref_sweep.workload_grid("workload", ref_runner,
+                                                 specs);
+  EXPECT_EQ(ref_sweep.finish(), 0);
+
+  constexpr unsigned kShards = 2;
+  std::vector<ShardFile> inputs;
+  for (unsigned shard = 0; shard < kShards; ++shard) {
+    auto options = base_options(SweepMode::kWorker);
+    options.shard = {shard, kShards};
+    options.out_path = temp_path("wl_s" + std::to_string(shard) + ".jsonl");
+    write_text(options.out_path, "");
+    ExperimentRunner runner(cfg, 42);
+    ShardedSweep sweep(options);
+    const auto outcomes = sweep.workload_grid("workload", runner, specs);
+    ASSERT_EQ(outcomes.size(), specs.size());
+    EXPECT_EQ(sweep.finish(), 0);
+    inputs.push_back(load_shard_file(options.out_path));
+  }
+
+  MergeReport report;
+  const ShardFile merged = merge_shards(inputs, &report);
+  ASSERT_TRUE(report.complete()) << report.summary();
+  const std::string merged_path = temp_path("wl_merged.jsonl");
+  write_shard_file(merged, merged_path);
+
+  auto render_options = base_options(SweepMode::kRender);
+  render_options.from_path = merged_path;
+  ExperimentRunner render_runner(cfg, 42);
+  ShardedSweep render_sweep(render_options);
+  const auto rendered =
+      render_sweep.workload_grid("workload", render_runner, specs);
+  EXPECT_EQ(render_sweep.finish(), 0);
+
+  ASSERT_EQ(rendered.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    // Rendered cells get their spec (and live trace) re-armed from the
+    // caller's grid, not from the file.
+    EXPECT_EQ(rendered[i].spec.trace.get(), trace.get()) << "cell " << i;
     auto a = rendered[i];
     auto b = reference[i];
     a.run.telemetry.wall_ms = 0.0;

@@ -54,7 +54,17 @@ TEST(BenchmarkTest, FromStringRoundTrip) {
   for (const auto id : all_benchmarks()) {
     EXPECT_EQ(benchmark_from_string(to_string(id)), id);
   }
-  EXPECT_THROW(benchmark_from_string("NotABenchmark"), ConfigError);
+  try {
+    benchmark_from_string("NotABenchmark");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    // The error lists every valid name, so a typo on the command line shows
+    // the available choices instead of a bare rejection.
+    const std::string what = e.what();
+    for (const auto id : all_benchmarks()) {
+      EXPECT_NE(what.find(to_string(id)), std::string::npos) << what;
+    }
+  }
 }
 
 TEST(BenchmarkTest, DefaultWindowsFollowPaper) {

@@ -20,6 +20,19 @@ TEST(UniformRandomTest, SingleDestInRange) {
   }
 }
 
+TEST(PatternRadixTest, RejectsRadixAbove64) {
+  // noc::DestMask is a 64-bit word; a wider radix would silently truncate
+  // destination sets, so every pattern factory refuses it up front.
+  EXPECT_THROW(make_uniform_random(128), ConfigError);
+  EXPECT_THROW(make_shuffle(128), ConfigError);
+  EXPECT_THROW(make_bit_reverse(128), ConfigError);
+  EXPECT_THROW(make_bit_complement(128), ConfigError);
+  EXPECT_THROW(make_transpose(256), ConfigError);
+  EXPECT_THROW(make_hotspot(128, 0, 0.7), ConfigError);
+  EXPECT_THROW(make_multicast_mix(128, 0.1, 2, 8), ConfigError);
+  EXPECT_NO_THROW(make_uniform_random(64));
+}
+
 TEST(UniformRandomTest, CoversAllDestinations) {
   auto p = make_uniform_random(8);
   Rng rng(2);

@@ -1,0 +1,213 @@
+#include "workload/replay.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mot_network.h"
+#include "stats/recorder.h"
+#include "traffic/benchmark.h"
+#include "traffic/driver.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workload/record.h"
+#include "workload/synth.h"
+
+namespace specnoc::workload {
+namespace {
+
+using namespace specnoc::literals;
+using core::Architecture;
+
+struct ReplayOutput {
+  std::uint64_t flits_ejected = 0;
+  std::vector<TimePs> latencies;
+};
+
+/// Replays `trace` in timed mode on a fresh network of `arch`, stopping at
+/// `horizon` like the run that produced it.
+ReplayOutput timed_replay(Architecture arch, const Trace& trace,
+                          TimePs horizon) {
+  core::MotNetwork network(arch, core::NetworkConfig{});
+  stats::TrafficRecorder recorder(network.net().packets());
+  TraceReplayDriver driver(network, trace,
+                           {ReplayMode::kTimed, /*measured=*/true});
+  driver.set_downstream(&recorder);
+  network.net().hooks().traffic = &driver;
+  recorder.open_window(0);
+  driver.start();
+  network.scheduler().run_until(horizon);
+  recorder.close_window(horizon);
+  return {recorder.window_flits_ejected(), recorder.measured_latencies()};
+}
+
+/// The record -> replay round trip: capture an open-loop Multicast10 run
+/// into a trace, replay it in timed mode on an identical network, and the
+/// delivered flit counts and per-message latency records come back
+/// byte-identical — the replay re-issues the exact send_message() sequence.
+TEST(ReplayRoundTripTest, CapturedRunReplaysByteIdentical) {
+  constexpr TimePs kHorizon = 200_ns;
+  for (const auto arch :
+       {Architecture::kBaseline, Architecture::kOptHybridSpeculative}) {
+    core::MotNetwork network(arch, core::NetworkConfig{});
+    TraceRecorder capture(network.net().packets(), network.endpoints(),
+                          "capture-test");
+    stats::TrafficRecorder recorder(network.net().packets());
+    capture.set_downstream(&recorder);
+    network.net().hooks().traffic = &capture;
+    auto pattern = traffic::make_benchmark(traffic::BenchmarkId::kMulticast10,
+                                           network.endpoints());
+    traffic::DriverConfig dcfg;
+    dcfg.flits_per_ns_per_source = 0.3;
+    dcfg.seed = 11;
+    traffic::TrafficDriver driver(network, *pattern, dcfg);
+    driver.set_measured(true);
+    driver.start();
+    recorder.open_window(0);
+    network.scheduler().run_until(kHorizon);
+    recorder.close_window(kHorizon);
+
+    const Trace trace = capture.trace();
+    ASSERT_GT(trace.records.size(), 10u);
+    const auto replayed = timed_replay(arch, trace, kHorizon);
+    EXPECT_EQ(replayed.flits_ejected, recorder.window_flits_ejected())
+        << core::to_string(arch);
+    EXPECT_EQ(replayed.latencies, recorder.measured_latencies())
+        << core::to_string(arch);
+  }
+}
+
+TEST(ReplayTest, TimedReplayIsDeterministic) {
+  const Trace trace = make_synth_workload(SynthId::kCoherence, 8, 5, 3);
+  const auto a = timed_replay(Architecture::kOptHybridSpeculative, trace,
+                              1000_ns);
+  const auto b = timed_replay(Architecture::kOptHybridSpeculative, trace,
+                              1000_ns);
+  EXPECT_EQ(a.flits_ejected, b.flits_ejected);
+  EXPECT_EQ(a.latencies, b.latencies);
+}
+
+/// Randomized dependency DAG over 8 endpoints: every message picks a
+/// source, a destination set excluding the source, up to 3 backward
+/// dependencies, and a local delay.
+Trace random_dag(std::uint32_t n, std::size_t messages, std::uint64_t seed) {
+  Rng rng(seed);
+  Trace trace;
+  trace.meta.n = n;
+  trace.meta.generator = "random-dag";
+  for (std::size_t i = 0; i < messages; ++i) {
+    TraceRecord rec;
+    rec.id = i;
+    rec.src = static_cast<std::uint32_t>(rng.uniform_below(n));
+    const auto num_dests = 1 + rng.uniform_below(3);
+    for (const std::uint32_t pick : rng.sample_without_replacement(
+             n - 1, static_cast<std::uint32_t>(num_dests))) {
+      rec.dests |= noc::dest_bit(pick >= rec.src ? pick + 1 : pick);
+    }
+    rec.size = 5;
+    rec.earliest = static_cast<TimePs>(rng.uniform_below(4)) * 500;
+    rec.delay = static_cast<TimePs>(rng.uniform_below(3)) * 700;
+    if (i > 0) {
+      std::set<std::uint64_t> deps;
+      const auto num_deps = rng.uniform_below(4);  // 0..3
+      for (std::uint64_t d = 0; d < num_deps; ++d) {
+        deps.insert(rng.uniform_below(i));
+      }
+      rec.deps.assign(deps.begin(), deps.end());
+    }
+    trace.records.push_back(std::move(rec));
+  }
+  trace.validate();
+  return trace;
+}
+
+using DepParam = std::tuple<Architecture, std::uint64_t>;
+
+class ClosedLoopDepTest : public ::testing::TestWithParam<DepParam> {};
+
+std::string dep_param_name(const ::testing::TestParamInfo<DepParam>& info) {
+  const auto& [arch, seed] = info.param;
+  return std::string(core::to_string(arch)) + "_s" + std::to_string(seed);
+}
+
+/// The dependency-ordering property: closed-loop replay never injects a
+/// message before every one of its deps has delivered all headers, and
+/// honors both the per-message earliest time and the post-dependency delay.
+TEST_P(ClosedLoopDepTest, NeverInjectsBeforeDepsDelivered) {
+  const auto& [arch, seed] = GetParam();
+  const Trace trace = random_dag(8, 40, seed);
+  core::MotNetwork network(arch, core::NetworkConfig{});
+  TraceReplayDriver driver(network, trace,
+                           {ReplayMode::kClosedLoop, /*measured=*/true});
+  network.net().hooks().traffic = &driver;
+  driver.start();
+  network.scheduler().run();
+
+  ASSERT_TRUE(driver.finished())
+      << driver.messages_delivered() << "/" << trace.records.size()
+      << " messages delivered";
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    const auto& rec = trace.records[i];
+    const TimePs injected = driver.injection_time(i);
+    ASSERT_GE(injected, TimePs{0}) << "message " << rec.id;
+    EXPECT_GE(injected, rec.earliest) << "message " << rec.id;
+    TimePs ready = 0;
+    for (const std::uint64_t dep : rec.deps) {
+      const TimePs dep_delivered = driver.delivery_time(dep);
+      ASSERT_GE(dep_delivered, TimePs{0})
+          << "dep " << dep << " of message " << rec.id;
+      EXPECT_LE(dep_delivered, injected)
+          << "message " << rec.id << " injected before dep " << dep;
+      ready = std::max(ready, dep_delivered);
+    }
+    if (!rec.deps.empty()) {
+      EXPECT_GE(injected, ready + rec.delay) << "message " << rec.id;
+    }
+    EXPECT_GT(driver.delivery_time(i), injected) << "message " << rec.id;
+  }
+  // The makespan is the last header delivery; the network may still drain
+  // body flits and handshakes afterwards.
+  EXPECT_LE(driver.completion_time(), network.scheduler().now());
+  EXPECT_GT(driver.completion_time(), TimePs{0});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchsAndSeeds, ClosedLoopDepTest,
+    ::testing::Combine(::testing::ValuesIn(core::all_architectures()),
+                       ::testing::Values(1u, 2u, 3u)),
+    dep_param_name);
+
+TEST(ReplayTest, RejectsTraceThatDoesNotFitNetwork) {
+  core::MotNetwork network(Architecture::kOptNonSpeculative,
+                           core::NetworkConfig{});  // 8 endpoints, 5 flits
+  {
+    Trace trace = make_synth_workload(SynthId::kDnnLayers, 16, 5, 1);
+    EXPECT_THROW(TraceReplayDriver(network, trace), ConfigError);
+  }
+  {
+    Trace trace = make_synth_workload(SynthId::kDnnLayers, 8, 3, 1);
+    EXPECT_THROW(TraceReplayDriver(network, trace), ConfigError);
+  }
+}
+
+TEST(ReplayTest, ModeNamesRoundTripAndErrorListsValidModes) {
+  EXPECT_EQ(replay_mode_from_string("timed"), ReplayMode::kTimed);
+  EXPECT_EQ(replay_mode_from_string("closed"), ReplayMode::kClosedLoop);
+  EXPECT_STREQ(to_string(ReplayMode::kTimed), "timed");
+  EXPECT_STREQ(to_string(ReplayMode::kClosedLoop), "closed");
+  try {
+    replay_mode_from_string("open");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("timed"), std::string::npos) << what;
+    EXPECT_NE(what.find("closed"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace specnoc::workload

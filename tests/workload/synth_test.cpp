@@ -1,0 +1,151 @@
+#include "workload/synth.h"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "noc/packet.h"
+#include "util/error.h"
+
+namespace specnoc::workload {
+namespace {
+
+TEST(DnnSynthTest, DefaultWorkloadShape) {
+  const DnnWorkloadParams params;
+  const Trace trace = make_dnn_workload(params);
+  EXPECT_NO_THROW(trace.validate());
+  EXPECT_EQ(trace.meta.n, params.n);
+  std::size_t expected = 0;
+  for (const auto& layer : params.layers) {
+    expected += layer.weight_tiles;                 // weight multicasts
+    expected += layer.pes * layer.activation_tiles; // activation unicasts
+    expected += layer.pes;                          // partial-sum fan-in
+  }
+  EXPECT_EQ(trace.records.size(), expected);
+}
+
+TEST(DnnSynthTest, WeightsMulticastToAllLayerPes) {
+  DnnWorkloadParams params;
+  params.layers = {DnnLayer{5, 3, 2}};
+  const Trace trace = make_dnn_workload(params);
+  // The first weight_tiles records are the layer's weight multicasts: from
+  // the weight source (endpoint 0) to all of PEs 1..pes at once.
+  noc::DestMask pe_mask = 0;
+  for (std::uint32_t pe = 1; pe <= 5; ++pe) pe_mask |= noc::dest_bit(pe);
+  for (std::uint32_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(trace.records[t].src, 0u);
+    EXPECT_EQ(trace.records[t].dests, pe_mask);
+    EXPECT_TRUE(trace.records[t].deps.empty());
+  }
+}
+
+TEST(DnnSynthTest, PartialSumsDependOnWeightsAndActivations) {
+  DnnWorkloadParams params;
+  params.n = 8;
+  params.layers = {DnnLayer{2, 1, 1}, DnnLayer{2, 1, 1}};
+  const Trace trace = make_dnn_workload(params);
+  // Layer 0: records 0 (weights), 1-2 (activations), 3-4 (partial sums).
+  for (std::size_t p : {std::size_t{3}, std::size_t{4}}) {
+    const auto& rec = trace.records[p];
+    EXPECT_EQ(rec.dests, noc::dest_bit(params.n - 1));  // fan-in to reducer
+    EXPECT_EQ(rec.delay, params.compute_delay);
+    EXPECT_FALSE(rec.deps.empty());
+  }
+  // Layer 1 activations (records 6-7) depend on layer 0's partial sums and
+  // are sourced by the reducer streaming results back out.
+  for (std::size_t a : {std::size_t{6}, std::size_t{7}}) {
+    const auto& rec = trace.records[a];
+    EXPECT_EQ(rec.src, params.n - 1);
+    EXPECT_EQ(rec.deps, (std::vector<std::uint64_t>{3, 4}));
+  }
+}
+
+TEST(DnnSynthTest, DeterministicAndShapeChecked) {
+  const DnnWorkloadParams params;
+  EXPECT_EQ(trace_hash(make_dnn_workload(params)),
+            trace_hash(make_dnn_workload(params)));
+  DnnWorkloadParams bad;
+  bad.n = 8;
+  bad.layers = {DnnLayer{7, 1, 1}};  // pes > n - 2
+  EXPECT_THROW(make_dnn_workload(bad), ConfigError);
+  DnnWorkloadParams empty;
+  empty.layers.clear();
+  EXPECT_THROW(make_dnn_workload(empty), ConfigError);
+}
+
+TEST(CoherenceSynthTest, SeedDeterminesTrace) {
+  CoherenceWorkloadParams params;
+  const auto a = make_coherence_workload(params);
+  const auto b = make_coherence_workload(params);
+  EXPECT_EQ(trace_hash(a.trace), trace_hash(b.trace));
+  params.seed += 1;
+  const auto c = make_coherence_workload(params);
+  EXPECT_NE(trace_hash(a.trace), trace_hash(c.trace));
+}
+
+TEST(CoherenceSynthTest, AcksAnswerInvalidationsAndChainWrites) {
+  CoherenceWorkloadParams params;
+  params.n = 8;
+  params.writes_per_proc = 3;
+  const auto workload = make_coherence_workload(params);
+  EXPECT_NO_THROW(workload.trace.validate());
+  EXPECT_EQ(workload.writes.size(), std::size_t{8 * 3});
+
+  // Last seen write per processor, to check the write chain.
+  std::vector<const CoherenceWrite*> prev(params.n, nullptr);
+  for (const auto& write : workload.writes) {
+    const auto& inv = workload.trace.records[write.inv];
+    EXPECT_EQ(inv.src, write.writer);
+    EXPECT_EQ(std::popcount(inv.dests),
+              static_cast<int>(write.acks.size()));
+    EXPECT_EQ(inv.dests & noc::dest_bit(write.writer), 0u)
+        << "writer invalidated itself";
+    // Every ack is a unicast back to the writer, dependent on the INV.
+    for (const std::size_t a : write.acks) {
+      const auto& ack = workload.trace.records[a];
+      EXPECT_EQ(ack.dests, noc::dest_bit(write.writer));
+      EXPECT_NE(inv.dests & noc::dest_bit(ack.src), 0u)
+          << "ack from a non-sharer";
+      EXPECT_EQ(ack.deps, (std::vector<std::uint64_t>{inv.id}));
+    }
+    // The next write of the same processor waits for all previous acks.
+    if (prev[write.writer] != nullptr) {
+      std::vector<std::uint64_t> expected;
+      for (const std::size_t a : prev[write.writer]->acks) {
+        expected.push_back(workload.trace.records[a].id);
+      }
+      EXPECT_EQ(inv.deps, expected);
+      EXPECT_EQ(inv.delay, params.think_delay);
+    } else {
+      EXPECT_TRUE(inv.deps.empty());
+    }
+    prev[write.writer] = &write;
+  }
+}
+
+TEST(SynthNamesTest, RoundTripAndErrorListsValidNames) {
+  EXPECT_EQ(synth_from_string("DnnLayers"), SynthId::kDnnLayers);
+  EXPECT_EQ(synth_from_string("Coherence"), SynthId::kCoherence);
+  try {
+    synth_from_string("Resnet");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DnnLayers"), std::string::npos) << what;
+    EXPECT_NE(what.find("Coherence"), std::string::npos) << what;
+  }
+}
+
+TEST(SynthNamesTest, DefaultWorkloadsScaleWithN) {
+  for (const std::uint32_t n : {4u, 8u, 16u}) {
+    for (const auto id : {SynthId::kDnnLayers, SynthId::kCoherence}) {
+      const Trace trace = make_synth_workload(id, n, 5, 42);
+      EXPECT_NO_THROW(trace.validate());
+      EXPECT_EQ(trace.meta.n, n);
+      EXPECT_FALSE(trace.records.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace specnoc::workload

@@ -1,0 +1,145 @@
+#include "workload/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "noc/packet.h"
+#include "util/error.h"
+
+namespace specnoc::workload {
+namespace {
+
+Trace small_trace() {
+  Trace trace;
+  trace.meta.n = 8;
+  trace.meta.generator = "test";
+  trace.records.push_back({0, 0, noc::dest_bit(3) | noc::dest_bit(5), 5, 0,
+                           0, {}});
+  trace.records.push_back({1, 3, noc::dest_bit(0), 5, 1000, 500, {0}});
+  trace.records.push_back({2, 5, noc::dest_bit(0), 5, 1000, 0, {0, 1}});
+  return trace;
+}
+
+TEST(TraceTest, WriteReadRoundTrip) {
+  const Trace trace = small_trace();
+  const std::string bytes = trace_to_string(trace);
+  std::istringstream in(bytes);
+  const Trace back = read_trace(in, "roundtrip");
+  ASSERT_EQ(back.records.size(), trace.records.size());
+  EXPECT_EQ(back.meta.n, trace.meta.n);
+  EXPECT_EQ(back.meta.generator, trace.meta.generator);
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    EXPECT_EQ(back.records[i].id, trace.records[i].id);
+    EXPECT_EQ(back.records[i].src, trace.records[i].src);
+    EXPECT_EQ(back.records[i].dests, trace.records[i].dests);
+    EXPECT_EQ(back.records[i].size, trace.records[i].size);
+    EXPECT_EQ(back.records[i].earliest, trace.records[i].earliest);
+    EXPECT_EQ(back.records[i].delay, trace.records[i].delay);
+    EXPECT_EQ(back.records[i].deps, trace.records[i].deps);
+  }
+  // The writer is deterministic, so re-serializing reproduces the bytes.
+  EXPECT_EQ(trace_to_string(back), bytes);
+  EXPECT_EQ(trace_hash(back), trace_hash(trace));
+}
+
+TEST(TraceTest, HashChangesWithContent) {
+  Trace a = small_trace();
+  Trace b = small_trace();
+  b.records[1].earliest += 1;
+  EXPECT_NE(trace_hash(a), trace_hash(b));
+}
+
+TEST(TraceTest, ValidateEnforcesRadixCeiling) {
+  // noc::DestMask is 64 bits; traces for wider networks would silently
+  // truncate destination sets.
+  Trace trace = small_trace();
+  trace.meta.n = 65;
+  EXPECT_THROW(trace.validate(), ConfigError);
+  trace.meta.n = 1;
+  EXPECT_THROW(trace.validate(), ConfigError);
+  trace.meta.n = 64;
+  EXPECT_NO_THROW(trace.validate());
+}
+
+TEST(TraceTest, ValidateRejectsStructuralErrors) {
+  {
+    Trace trace = small_trace();
+    trace.records[1].id = 0;  // ids must be strictly increasing
+    EXPECT_THROW(trace.validate(), ConfigError);
+  }
+  {
+    Trace trace = small_trace();
+    trace.records[0].src = 8;  // src out of range
+    EXPECT_THROW(trace.validate(), ConfigError);
+  }
+  {
+    Trace trace = small_trace();
+    trace.records[0].dests = noc::dest_bit(8);  // dest beyond n endpoints
+    EXPECT_THROW(trace.validate(), ConfigError);
+  }
+  {
+    Trace trace = small_trace();
+    trace.records[0].dests = 0;  // empty destination set
+    EXPECT_THROW(trace.validate(), ConfigError);
+  }
+  {
+    Trace trace = small_trace();
+    trace.records[0].size = 0;
+    EXPECT_THROW(trace.validate(), ConfigError);
+  }
+  {
+    Trace trace = small_trace();
+    trace.records[2].deps = {7};  // dangling dependency
+    EXPECT_THROW(trace.validate(), ConfigError);
+  }
+  {
+    Trace trace = small_trace();
+    trace.records[1].deps = {1};  // self/forward dependency
+    EXPECT_THROW(trace.validate(), ConfigError);
+  }
+}
+
+TEST(TraceTest, ParserRejectsMalformedStreams) {
+  const std::string good = trace_to_string(small_trace());
+  {
+    std::istringstream in("not json\n");
+    EXPECT_THROW(read_trace(in, "bad"), ConfigError);
+  }
+  {
+    // Missing header: first line is a msg record.
+    std::istringstream in(good.substr(good.find('\n') + 1));
+    EXPECT_THROW(read_trace(in, "headerless"), ConfigError);
+  }
+  {
+    // Truncated: drop the end record.
+    std::istringstream in(good.substr(0, good.rfind("{\"record\":\"end\"")));
+    EXPECT_THROW(read_trace(in, "truncated"), ConfigError);
+  }
+  {
+    // Wrong message count in the end record.
+    std::string tampered = good;
+    const auto pos = tampered.find("\"messages\":3");
+    ASSERT_NE(pos, std::string::npos);
+    tampered.replace(pos, 12, "\"messages\":2");
+    std::istringstream in(tampered);
+    EXPECT_THROW(read_trace(in, "count"), ConfigError);
+  }
+}
+
+TEST(TraceTest, ParserNamesOffendingLine) {
+  std::istringstream in(
+      "{\"record\":\"header\",\"format\":\"specnoc-workload-trace\","
+      "\"schema\":1,\"n\":8,\"generator\":\"t\"}\n"
+      "garbage\n");
+  try {
+    read_trace(in, "lined");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("lined:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace specnoc::workload
