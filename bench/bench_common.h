@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "core/config.h"
+#include "noc/partition.h"
 #include "sim/parallel_runner.h"
 #include "sim/shard.h"
 #include "stats/experiment.h"
@@ -110,7 +112,20 @@ struct HarnessOptions {
   std::string metrics_path;
   /// --progress: live progress lines to stderr every this many ms.
   unsigned progress_ms = 0;
+  /// --sim-threads: scheduler lanes/worker threads for the partitioned
+  /// kernel inside each simulation (distinct from --jobs, which
+  /// parallelizes across grid cells). 1 = the exact sequential path;
+  /// results are identical for any count (DESIGN.md §9).
+  unsigned sim_threads = 1;
+  /// --partition: static partition strategy for the partitioned kernel.
+  noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
   std::shared_ptr<OutputSink> sink = std::make_shared<OutputSink>();
+
+  /// Applies the kernel flags to a harness's NetworkConfig.
+  void apply_kernel(core::NetworkConfig& cfg) const {
+    cfg.sim_threads = sim_threads;
+    cfg.partition = partition;
+  }
 
   stats::BatchOptions batch() const {
     stats::BatchOptions options;
@@ -168,6 +183,14 @@ inline HarnessOptions parse_args(
                  "to this JSON file (observational; tables are unchanged)");
   cli.add_unsigned("--progress", &opts.progress_ms,
                    "live progress lines to stderr every N ms (0: off)");
+  cli.add_unsigned("--sim-threads", &opts.sim_threads,
+                   "partitioned-kernel worker threads inside each simulation "
+                   "(1: exact sequential path; results identical for any N)");
+  cli.add_custom("--partition", "NAME",
+                 "partition strategy: auto | none | tree | quadrant | rows",
+                 [&opts](const std::string& value) {
+                   opts.partition = noc::partition_strategy_from_string(value);
+                 });
   if (sharding == Sharding::kSupported) {
     cli.add_custom("--shard", "i/K",
                    "worker mode: run only shard i of K (requires --out)",

@@ -2,10 +2,12 @@
 // end-to-end simulator (events/sec, simulated-ns/sec).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
 #include "core/mot_network.h"
+#include "sim/partitioned_scheduler.h"
 #include "sim/scheduler.h"
 #include "stats/recorder.h"
 #include "traffic/benchmark.h"
@@ -152,6 +154,71 @@ BENCHMARK(BM_SaturatedSimulation)
     ->Arg(static_cast<int>(core::Architecture::kBaseline))
     ->Arg(static_cast<int>(core::Architecture::kOptHybridSpeculative))
     ->Arg(static_cast<int>(core::Architecture::kOptAllSpeculative));
+
+void BM_PartitionedSaturatedSimulation(benchmark::State& state) {
+  // The BM_SaturatedSimulation OptHybridSpeculative run under the
+  // partitioned kernel (8 per-tree lanes on the 8x8 MoT), at the worker
+  // count in Arg. Results are byte-identical to sequential for this
+  // workload (see kernel_determinism_test.cpp), so wall time is the only
+  // thing that varies.
+  //
+  // Wall time is honest but only meaningful when the host has as many free
+  // cores as workers; `model_speedup` is the machine-independent number:
+  // total events / the largest per-worker event share under the static
+  // contiguous lane blocks workers execute (the per-window critical path,
+  // ignoring barrier cost). Arg 1 vs BM_SaturatedSimulation isolates the
+  // pure partitioning overhead (windowing + mailbox drains, no threads).
+  const auto workers = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  double model_speedup = 0.0;
+  for (auto _ : state) {
+    core::NetworkConfig cfg;
+    cfg.sim_threads = 8;  // one lane per source tree
+    core::MotNetwork net(core::Architecture::kOptHybridSpeculative, cfg);
+    net.net().set_worker_threads(workers);
+    stats::TrafficRecorder rec(net.net().packets());
+    net.net().hooks().traffic = &rec;
+    auto pattern = traffic::make_benchmark(
+        traffic::BenchmarkId::kUniformRandom, 8);
+    traffic::DriverConfig dcfg;
+    dcfg.mode = traffic::InjectionMode::kBacklogged;
+    dcfg.seed = 7;
+    traffic::TrafficDriver driver(net, *pattern, dcfg);
+    driver.start();
+    net.net().run_until(1000_ns);
+    sim::PartitionedScheduler& psched = *net.net().partitioned_scheduler();
+    events = psched.executed();
+    windows = psched.windows();
+    const std::vector<std::uint64_t> lane_events =
+        psched.per_lane_executed();
+    const std::uint32_t lanes = psched.lanes();
+    std::uint64_t max_share = 0;
+    for (std::uint32_t w = 0; w < workers; ++w) {
+      const std::uint32_t first = w * lanes / workers;
+      const std::uint32_t last = (w + 1) * lanes / workers;
+      std::uint64_t share = 0;
+      for (std::uint32_t lane = first; lane < last; ++lane) {
+        share += lane_events[lane];
+      }
+      max_share = std::max(max_share, share);
+    }
+    model_speedup =
+        static_cast<double>(events) / static_cast<double>(max_share);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  state.counters["windows"] =
+      benchmark::Counter(static_cast<double>(windows));
+  state.counters["model_speedup"] = benchmark::Counter(model_speedup);
+  state.SetLabel("1000 simulated ns per iteration, 8 lanes");
+}
+BENCHMARK(BM_PartitionedSaturatedSimulation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

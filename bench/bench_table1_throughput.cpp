@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
       "Table 1 (left): saturation throughput, 6 benchmarks x 6 networks.",
       specnoc::bench::Sharding::kSupported);
   core::NetworkConfig cfg;  // 8x8, 5-flit packets
+  opts.apply_kernel(cfg);  // --sim-threads/--partition (default: sequential)
   stats::ExperimentRunner runner(cfg, opts.seed);
   stats::ShardedSweep sweep = specnoc::bench::make_sweep(opts);
 

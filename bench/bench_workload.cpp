@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
       "all six networks, closed loop and timed.",
       specnoc::bench::Sharding::kSupported);
   core::NetworkConfig cfg;  // 8x8, 5-flit packets
+  opts.apply_kernel(cfg);  // --sim-threads/--partition (default: sequential)
   stats::ExperimentRunner runner(cfg, opts.seed);
   stats::ShardedSweep sweep = specnoc::bench::make_sweep(opts);
 

@@ -3,9 +3,16 @@
 # BENCH_kernel.json at the repo root. The JSON is committed alongside kernel
 # changes so perf regressions/improvements show up in review diffs.
 #
+# The suite includes the PDES section (BM_PartitionedSaturatedSimulation):
+# the saturated 8x8 run under the partitioned kernel at 1/2/4 workers. On
+# hosts with fewer cores than workers the wall time is honest but
+# serialized; the machine-independent headline is its `model_speedup`
+# counter (total events / largest per-worker event share).
+#
 # Usage: bench/run_kernel_bench.sh [build-dir] [output-json]
 #   SPECNOC_BENCH_MIN_TIME   per-benchmark min time (default 0.2; append
 #                            an "s" suffix on google-benchmark >= 1.8)
+#   SPECNOC_BENCH_FILTER     --benchmark_filter regex (default: all)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -22,6 +29,7 @@ fi
 
 "$bench" \
   --benchmark_min_time="$min_time" \
+  --benchmark_filter="${SPECNOC_BENCH_FILTER:-.*}" \
   --benchmark_out="$out" \
   --benchmark_out_format=json
 

@@ -24,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "noc/partition.h"
 #include "stats/experiment.h"
 #include "stats/perfetto_trace.h"
 #include "stats/recorder.h"
@@ -57,6 +58,11 @@ struct Options {
   std::string synth_name;     ///< --synth: synthesize a workload trace
   std::string replay_mode = "closed";
   std::string dump_path;      ///< --dump-trace: write the trace here
+  /// --threads: scheduler lanes/worker threads for the partitioned kernel
+  /// (1 = the exact sequential path). Honored by the saturation and timed
+  /// workload modes; event-order-sensitive modes force 1 with a note.
+  unsigned threads = 1;
+  noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
 };
 
 void list_names() {
@@ -109,6 +115,14 @@ Options parse(int argc, char** argv) {
   cli.add_string("--dump-trace", &opts.dump_path,
                  "write the workload trace (synthesized, or captured in "
                  "capture mode) to this file");
+  cli.add_unsigned("--threads", &opts.threads,
+                   "worker threads for the partitioned kernel (1: exact "
+                   "sequential path); results are identical for any count");
+  cli.add_custom("--partition", "NAME",
+                 "partition strategy: auto | none | tree | quadrant | rows",
+                 [&opts](const std::string& value) {
+                   opts.partition = noc::partition_strategy_from_string(value);
+                 });
   cli.add_action("--list",
                  "print available architectures, benchmarks, and synthesizers",
                  [] {
@@ -129,6 +143,25 @@ int run(const Options& opts) {
   core::NetworkConfig cfg;
   cfg.n = opts.n;
   cfg.clock_period = opts.clock;
+  cfg.sim_threads = opts.threads;
+  cfg.partition = opts.partition;
+  // Event-order-sensitive modes have no windowed equivalent (DESIGN.md §9):
+  // latency/power drain event-by-event or accumulate order-dependent
+  // doubles, and capture/trace observe the global event interleave.
+  if (opts.threads > 1 &&
+      (opts.mode == "latency" || opts.mode == "power" ||
+       opts.mode == "capture" || opts.mode == "trace")) {
+    std::printf("note: %s mode is sequential-only; ignoring --threads %u\n",
+                opts.mode.c_str(), opts.threads);
+    cfg.sim_threads = 1;
+  }
+  if (opts.mode == "workload" && opts.replay_mode == "closed" &&
+      opts.threads > 1) {
+    std::printf("note: closed-loop replay is sequential-only (zero-lookahead "
+                "feedback); ignoring --threads %u\n",
+                opts.threads);
+    cfg.sim_threads = 1;
+  }
   stats::ExperimentRunner runner(cfg, opts.seed);
 
   if (opts.mode == "saturation") {

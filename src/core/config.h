@@ -7,6 +7,7 @@
 #include "mot/layout.h"
 #include "nodes/characteristics.h"
 #include "noc/hooks.h"
+#include "noc/partition.h"
 #include "util/units.h"
 
 namespace specnoc::core {
@@ -44,6 +45,14 @@ struct NetworkConfig {
 
   /// Floorplan / wire model.
   mot::LayoutConfig layout{};
+
+  /// Worker threads for the conservative PDES kernel. 1 (default) keeps the
+  /// classic single-scheduler network; 0 means hardware concurrency. Any
+  /// value produces identical simulation results — see DESIGN.md §9.
+  unsigned sim_threads = 1;
+
+  /// How to map trees onto scheduler lanes when sim_threads != 1.
+  noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
 
   /// Per-kind overrides of the default node characteristics (tests and
   /// sensitivity studies); unlisted kinds use default_characteristics().

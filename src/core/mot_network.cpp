@@ -1,5 +1,6 @@
 #include "core/mot_network.h"
 
+#include <algorithm>
 #include <bit>
 #include <string>
 
@@ -48,12 +49,49 @@ void MotNetwork::build() {
   const std::uint32_t n = topology_.n();
   const std::uint32_t levels = topology_.levels();
 
+  // Partition plan. A source's entire fanout tree and a destination's
+  // entire fanin tree are intra-partition by construction; only the middle
+  // channels can cross partitions, so their minimum wire latency is the
+  // conservative lookahead. sim_threads == 1 keeps the classic
+  // single-scheduler network (byte-for-byte identical to pre-PDES builds);
+  // a zero-latency wire model (wire_delay_ps_per_um == 0) has no usable
+  // lookahead and also falls back to sequential execution.
+  std::uint32_t lanes = 1;
+  switch (config_.partition) {
+    case noc::PartitionStrategy::kNone:
+      lanes = 1;
+      break;
+    case noc::PartitionStrategy::kAuto:
+    case noc::PartitionStrategy::kTree:
+      lanes = n;
+      break;
+    case noc::PartitionStrategy::kQuadrant:
+      lanes = std::min<std::uint32_t>(4, n);
+      break;
+    case noc::PartitionStrategy::kRows:
+      throw ConfigError(
+          "partition strategy 'rows' applies to mesh networks only (valid "
+          "strategies for MoT: auto, none, tree, quadrant)");
+  }
+  const noc::ChannelParams middle_probe = layout_.middle_channel();
+  const TimePs lookahead =
+      std::min(middle_probe.delay_fwd, middle_probe.delay_ack);
+  if (config_.sim_threads == 1 || lookahead <= 0) lanes = 1;
+  net_.enable_partitions(lanes, lanes > 1 ? lookahead : 1);
+  net_.set_worker_threads(config_.sim_threads);
+  const std::uint32_t num_lanes = net_.partitions();
+  const auto lane_of = [n, num_lanes](std::uint32_t tree) {
+    return tree * num_lanes / n;
+  };
+
   // Network interfaces.
   for (std::uint32_t s = 0; s < n; ++s) {
+    net_.set_build_partition(lane_of(s));
     net_.register_source(net_.add_node<noc::SourceNode>(
         s, config_.source_issue_delay));
   }
   for (std::uint32_t d = 0; d < n; ++d) {
+    net_.set_build_partition(lane_of(d));
     net_.register_sink(net_.add_node<noc::SinkNode>(
         d, config_.sink_consume_delay));
   }
@@ -61,6 +99,7 @@ void MotNetwork::build() {
   // Fanout trees.
   fanout_.resize(n);
   for (std::uint32_t s = 0; s < n; ++s) {
+    net_.set_build_partition(lane_of(s));
     fanout_[s].resize(topology_.nodes_per_tree(), nullptr);
     for (std::uint32_t level = 0; level < levels; ++level) {
       for (std::uint32_t i = 0; i < topology_.nodes_at_level(level); ++i) {
@@ -107,6 +146,7 @@ void MotNetwork::build() {
   auto fanin_chars = config_.chars_for(noc::NodeKind::kFanin);
   fanin_chars.clock_period = config_.clock_period;
   for (std::uint32_t d = 0; d < n; ++d) {
+    net_.set_build_partition(lane_of(d));
     fanin_[d].resize(topology_.nodes_per_tree(), nullptr);
     for (std::uint32_t level = 0; level < levels; ++level) {
       for (std::uint32_t i = 0; i < topology_.nodes_at_level(level); ++i) {
@@ -193,7 +233,10 @@ noc::MessageId MotNetwork::send_message(std::uint32_t src,
   SPECNOC_EXPECTS(src < topology_.n());
   SPECNOC_EXPECTS(dests != 0);
   SPECNOC_EXPECTS(topology_.n() >= 64 || (dests >> topology_.n()) == 0);
-  const TimePs now = net_.scheduler().now();
+  // The source's own lane clock: send_message may run inside a source-lane
+  // event of a partitioned simulation, where the global clock is undefined
+  // mid-window.
+  const TimePs now = net_.source(src).lane().now();
   noc::Message& msg = net_.packets().create_message(src, dests, now, measured);
   noc::SourceNode& source = net_.source(src);
   const bool multicast = (dests & (dests - 1)) != 0;

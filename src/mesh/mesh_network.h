@@ -9,6 +9,7 @@
 #include "mesh/mesh_router.h"
 #include "mesh/mesh_topology.h"
 #include "noc/message_network.h"
+#include "noc/partition.h"
 
 namespace specnoc::mesh {
 
@@ -42,6 +43,11 @@ struct MeshConfig {
   TimePs sink_consume_delay = 50;
   /// 0 = asynchronous routers; otherwise clocked (see core::NetworkConfig).
   TimePs clock_period = 0;
+
+  /// PDES worker threads (1 = classic single-scheduler network, 0 = auto)
+  /// and the row-band lane mapping; see core::NetworkConfig::sim_threads.
+  unsigned sim_threads = 1;
+  noc::PartitionStrategy partition = noc::PartitionStrategy::kAuto;
 };
 
 class MeshNetwork final : public noc::MessageNetwork {

@@ -1,7 +1,9 @@
 #include "noc/channel.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "sim/partitioned_scheduler.h"
 #include "noc/node.h"
 
 namespace specnoc::noc {
@@ -12,6 +14,7 @@ Channel::Channel(sim::Scheduler& scheduler, SimHooks& hooks,
       name_(std::move(name)) {
   SPECNOC_EXPECTS(params_.delay_fwd >= 0 && params_.delay_ack >= 0);
   SPECNOC_EXPECTS(params_.capacity >= 1);
+  down_sched_ = &scheduler_;
 }
 
 void Channel::connect(Node& up, std::uint32_t up_port, Node& down,
@@ -25,6 +28,20 @@ void Channel::connect(Node& up, std::uint32_t up_port, Node& down,
   down.attach_input(down_port, *this);
 }
 
+void Channel::make_cross_partition(sim::PartitionedScheduler& psched,
+                                   std::uint32_t up_lane,
+                                   std::uint32_t down_lane) {
+  SPECNOC_EXPECTS(!cross_ && queue_.empty() && !send_outstanding_);
+  SPECNOC_EXPECTS(up_lane != down_lane);
+  cross_ = true;
+  psched_ = &psched;
+  up_lane_ = up_lane;
+  down_lane_ = down_lane;
+  down_sched_ = &psched.lane(down_lane);
+  fwd_drain_ = psched.add_drain([this] { drain_forward(); });
+  credit_drain_ = psched.add_drain([this] { drain_credits(); });
+}
+
 std::uint32_t Channel::occupancy() const {
   return static_cast<std::uint32_t>(queue_.size()) +
          (awaiting_node_ack_ ? 1u : 0u);
@@ -33,12 +50,16 @@ std::uint32_t Channel::occupancy() const {
 void Channel::send(const Flit& flit) {
   SPECNOC_EXPECTS(down_ != nullptr);
   SPECNOC_EXPECTS(!send_outstanding_);
-  SPECNOC_EXPECTS(occupancy() < params_.capacity);
   send_outstanding_ = true;
   ++flits_carried_;
   if (hooks_.energy != nullptr) {
     hooks_.energy->on_channel_flit(params_.length, scheduler_.now());
   }
+  if (cross_) {
+    send_cross(flit);
+    return;
+  }
+  SPECNOC_EXPECTS(occupancy() < params_.capacity);
   queue_.push_back({flit, scheduler_.now() + params_.delay_fwd});
   // If a slot remains behind this flit, the first FIFO stage hands the ack
   // straight back; otherwise the upstream waits for the head to drain.
@@ -51,13 +72,61 @@ void Channel::send(const Flit& flit) {
   try_deliver();
 }
 
+void Channel::send_cross(const Flit& flit) {
+  const TimePs now = scheduler_.now();
+  if (fwd_box_.empty()) psched_->note_dirty(up_lane_, fwd_drain_);
+  fwd_box_.push_back({flit, now + params_.delay_fwd});
+  const std::uint64_t k = ++sends_;
+  // Credit-counted mirror of the sequential occupancy check: the k-th flit
+  // finds a free FIFO slot iff at least k - capacity + 1 downstream acks
+  // have already happened. Acks from the current window are still in the
+  // mailbox; deferring the release to the credit drain yields the identical
+  // release time max(send, ack) + delay_ack either way.
+  if (credits_seen_ + params_.capacity >= k + 1) {
+    release_upstream();
+  } else {
+    SPECNOC_ASSERT(!release_pending_);
+    release_pending_ = true;
+    release_needs_ = k + 1 - params_.capacity;
+    release_send_time_ = now;
+  }
+}
+
+void Channel::drain_forward() {
+  for (const QueuedFlit& queued : fwd_box_) queue_.push_back(queued);
+  fwd_box_.clear();
+  try_deliver();
+}
+
+void Channel::drain_credits() {
+  for (const TimePs when : credit_box_) {
+    ++credits_seen_;
+    if (!release_pending_ || credits_seen_ != release_needs_) continue;
+    release_pending_ = false;
+    // The upstream genuinely stalled only if the freeing ack came after the
+    // send. (A same-picosecond tie is counted as no stall; the sequential
+    // kernel's answer would depend on intra-tick event order, which has no
+    // cross-lane equivalent — see DESIGN.md.)
+    if (when > release_send_time_ && hooks_.metrics != nullptr) {
+      hooks_.metrics->on_channel_stall(*this, release_send_time_, when);
+    }
+    const TimePs at = std::max(release_send_time_, when) + params_.delay_ack;
+    SPECNOC_ASSERT(send_outstanding_);
+    scheduler_.schedule_at(at, [this] {
+      send_outstanding_ = false;
+      up_->on_output_ack(up_port_);
+    });
+  }
+  credit_box_.clear();
+}
+
 void Channel::try_deliver() {
   if (head_scheduled_ || awaiting_node_ack_ || queue_.empty()) {
     return;
   }
   head_scheduled_ = true;
-  const TimePs at = std::max(scheduler_.now(), queue_.front().ready_at);
-  scheduler_.schedule_at(at, [this] {
+  const TimePs at = std::max(down_sched_->now(), queue_.front().ready_at);
+  down_sched_->schedule_at(at, [this] {
     SPECNOC_ASSERT(head_scheduled_ && !awaiting_node_ack_);
     SPECNOC_ASSERT(!queue_.empty());
     head_scheduled_ = false;
@@ -71,7 +140,12 @@ void Channel::try_deliver() {
 void Channel::ack() {
   SPECNOC_EXPECTS(awaiting_node_ack_);
   awaiting_node_ack_ = false;
-  if (send_outstanding_ && occupancy() + 1 == params_.capacity) {
+  if (cross_) {
+    // Every ack is a credit for the upstream half, consumed at the next
+    // window barrier.
+    if (credit_box_.empty()) psched_->note_dirty(down_lane_, credit_drain_);
+    credit_box_.push_back(down_sched_->now());
+  } else if (send_outstanding_ && occupancy() + 1 == params_.capacity) {
     // The upstream was stalled on a full pipe; this ack frees a slot.
     if (stalled_) {
       stalled_ = false;

@@ -21,11 +21,16 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <vector>
 
 #include "sim/scheduler.h"
 #include "util/units.h"
 #include "noc/flit.h"
 #include "noc/hooks.h"
+
+namespace specnoc::sim {
+class PartitionedScheduler;
+}  // namespace specnoc::sim
 
 namespace specnoc::noc {
 
@@ -75,6 +80,17 @@ class Channel {
   /// Total flits that have traversed this channel (activity statistics).
   std::uint64_t flits_carried() const { return flits_carried_; }
 
+  /// Splits the channel across a partition boundary: the upstream half
+  /// (send/ack-release accounting) stays on the constructing scheduler —
+  /// which must be the upstream node's lane — while delivery runs on
+  /// `down_lane`. Flits and downstream acks travel through mailboxes whose
+  /// drains are registered with `psched` here, so registration order (=
+  /// channel creation order) is the canonical cross-partition merge order.
+  /// Must be called before any traffic flows.
+  void make_cross_partition(sim::PartitionedScheduler& psched,
+                            std::uint32_t up_lane, std::uint32_t down_lane);
+  bool cross_partition() const { return cross_; }
+
  private:
   struct QueuedFlit {
     Flit flit;
@@ -83,6 +99,9 @@ class Channel {
 
   void try_deliver();
   void release_upstream();
+  void send_cross(const Flit& flit);
+  void drain_forward();
+  void drain_credits();
 
   sim::Scheduler& scheduler_;
   SimHooks& hooks_;
@@ -100,6 +119,26 @@ class Channel {
   bool stalled_ = false;           ///< last send filled the pipe to capacity
   TimePs stall_start_ = 0;         ///< when the pipe went full
   std::uint64_t flits_carried_ = 0;
+
+  // Cross-partition state. The upstream lane owns sends_/credits_seen_ and
+  // the release bookkeeping; the downstream lane owns queue_ and the
+  // delivery handshake above. The mailboxes are written by one lane during
+  // a window and read only in the window barrier's serial section, so they
+  // need no locks.
+  bool cross_ = false;
+  sim::PartitionedScheduler* psched_ = nullptr;
+  sim::Scheduler* down_sched_ = nullptr;  ///< == &scheduler_ when !cross_
+  std::uint32_t up_lane_ = 0;
+  std::uint32_t down_lane_ = 0;
+  std::uint32_t fwd_drain_ = 0;
+  std::uint32_t credit_drain_ = 0;
+  std::uint64_t sends_ = 0;         ///< flits sent (up lane)
+  std::uint64_t credits_seen_ = 0;  ///< downstream acks drained (up lane)
+  bool release_pending_ = false;    ///< a send is waiting for a credit
+  std::uint64_t release_needs_ = 0; ///< credit count that frees the slot
+  TimePs release_send_time_ = 0;    ///< when the waiting send happened
+  std::vector<QueuedFlit> fwd_box_;  ///< up -> down mailbox
+  std::vector<TimePs> credit_box_;   ///< down -> up mailbox (ack times)
 };
 
 }  // namespace specnoc::noc

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/partitioned_scheduler.h"
 #include "sim/scheduler.h"
 #include "noc/channel.h"
 #include "noc/hooks.h"
@@ -17,6 +18,15 @@ namespace specnoc::noc {
 
 /// Container and factory for a simulated network. Topology layers (mot/core)
 /// populate it; experiment layers drive its scheduler and hooks.
+///
+/// Partitioned mode: a builder may call enable_partitions() before creating
+/// any nodes, then tag each node with set_build_partition() as it builds.
+/// Nodes are then constructed on their partition's scheduler lane, channels
+/// whose endpoints live in different partitions are split into mailbox
+/// halves (Channel::make_cross_partition), and run()/run_until() execute
+/// the lanes through the conservative window protocol of
+/// sim::PartitionedScheduler. Without enable_partitions() everything runs
+/// on the single global scheduler exactly as before.
 class Network {
  public:
   Network() = default;
@@ -27,17 +37,58 @@ class Network {
   SimHooks& hooks() { return hooks_; }
   PacketStore& packets() { return packets_; }
 
+  /// Switches the network into partitioned mode with `lanes` scheduler
+  /// lanes and the given conservative lookahead (the minimum latency of any
+  /// cross-partition channel, computed by the builder from its channel
+  /// delay plan). Must be called before any node exists. `lanes` == 1 is a
+  /// no-op (the network stays sequential); `lookahead` <= 0 with more than
+  /// one lane is a ConfigError — a zero-lookahead topology cannot be
+  /// partitioned conservatively.
+  void enable_partitions(std::uint32_t lanes, TimePs lookahead);
+
+  bool partitioned() const { return psched_ != nullptr; }
+  std::uint32_t partitions() const {
+    return psched_ != nullptr ? psched_->lanes() : 1;
+  }
+  sim::PartitionedScheduler* partitioned_scheduler() { return psched_.get(); }
+
+  /// Scheduler lane `i` (the global scheduler when not partitioned).
+  sim::Scheduler& lane(std::uint32_t i) {
+    return psched_ != nullptr ? psched_->lane(i) : scheduler_;
+  }
+
+  /// Partition that subsequently created nodes belong to.
+  void set_build_partition(std::uint32_t partition);
+
+  /// Worker threads for partitioned runs; 0 = hardware concurrency. The
+  /// effective count is additionally clamped to the partition count. Has no
+  /// effect on sequential networks.
+  void set_worker_threads(unsigned threads);
+  unsigned worker_threads() const { return worker_threads_; }
+
+  /// Unified run surface: dispatches to the global scheduler or to the
+  /// partitioned window executor. Drivers and experiments should use these
+  /// rather than scheduler().run*() so `--threads` takes effect.
+  void run();
+  void run_until(TimePs t);
+  TimePs now() const;
+  std::uint64_t executed() const;
+
   /// Creates a node of type T (constructed with scheduler and hooks first).
   template <typename T, typename... Args>
   T& add_node(Args&&... args) {
-    auto node = std::make_unique<T>(scheduler_, hooks_,
+    auto node = std::make_unique<T>(lane(build_partition_), hooks_,
                                     std::forward<Args>(args)...);
     T& ref = *node;
+    ref.set_partition(build_partition_);
     nodes_.push_back(std::move(node));
     return ref;
   }
 
-  /// Creates a channel and wires it between two node ports.
+  /// Creates a channel and wires it between two node ports. In partitioned
+  /// mode the channel lives on the upstream node's lane and is split into
+  /// cross-partition halves when the endpoints' partitions differ (the
+  /// channel's min latency must be >= the declared lookahead).
   Channel& add_channel(ChannelParams params, std::string name, Node& up,
                        std::uint32_t up_port, Node& down,
                        std::uint32_t down_port);
@@ -61,6 +112,8 @@ class Network {
   }
 
  private:
+  unsigned effective_threads() const;
+
   sim::Scheduler scheduler_;
   SimHooks hooks_;
   PacketStore packets_;
@@ -68,6 +121,10 @@ class Network {
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<SourceNode*> sources_;
   std::vector<SinkNode*> sinks_;
+
+  std::unique_ptr<sim::PartitionedScheduler> psched_;
+  std::uint32_t build_partition_ = 0;
+  unsigned worker_threads_ = 1;
 };
 
 }  // namespace specnoc::noc

@@ -41,6 +41,14 @@ class Node {
   const NodeSite& site() const { return site_; }
   void set_site(const NodeSite& site) { site_ = site; }
 
+  /// Scheduler lane this node's events run on. Equals the network's global
+  /// scheduler unless the network was built with partitions enabled.
+  sim::Scheduler& lane() { return scheduler_; }
+
+  /// Partition this node belongs to (0 when partitioning is disabled).
+  std::uint32_t partition() const { return partition_; }
+  void set_partition(std::uint32_t partition) { partition_ = partition; }
+
   virtual void deliver(const Flit& flit, std::uint32_t in_port) = 0;
   virtual void on_output_ack(std::uint32_t out_port) = 0;
 
@@ -76,6 +84,7 @@ class Node {
   sim::Scheduler& scheduler_;
   SimHooks& hooks_;
   NodeKind kind_;
+  std::uint32_t partition_ = 0;
   NodeSite site_;
   std::string name_;
   std::vector<Channel*> inputs_;

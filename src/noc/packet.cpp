@@ -5,6 +5,7 @@ namespace specnoc::noc {
 Message& PacketStore::create_message(std::uint32_t src, DestMask dests,
                                      TimePs gen_time, bool measured) {
   SPECNOC_EXPECTS(dests != 0);
+  const std::lock_guard<std::mutex> lock(mutex_);
   Message msg;
   msg.id = messages_.size();
   msg.src = src;
@@ -20,6 +21,7 @@ Packet& PacketStore::create_packet(const Message& msg, DestMask dests,
   SPECNOC_EXPECTS(dests != 0);
   SPECNOC_EXPECTS((dests & ~msg.dests) == 0);
   SPECNOC_EXPECTS(num_flits >= 1);
+  const std::lock_guard<std::mutex> lock(mutex_);
   Packet pkt;
   pkt.id = packets_.size();
   pkt.message = msg.id;

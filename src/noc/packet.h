@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 
 #include "util/contract.h"
 #include "util/units.h"
@@ -51,6 +52,12 @@ struct Packet {
 
 /// Owns all messages and packets created during a run. Deque storage keeps
 /// references stable, so flits can carry plain `const Packet*`.
+///
+/// Creation is serialized with a mutex: partitioned runs create messages
+/// from several scheduler lanes at once. Ids then depend on cross-lane
+/// creation order, so they are labels, never ordering keys — every consumer
+/// (recorder, replay driver) treats them as opaque map keys. The lock is
+/// uncontended in sequential runs.
 class PacketStore {
  public:
   Message& create_message(std::uint32_t src, DestMask dests, TimePs gen_time,
@@ -59,11 +66,21 @@ class PacketStore {
   Packet& create_packet(const Message& msg, DestMask dests,
                         std::uint32_t num_flits);
 
-  std::size_t num_messages() const { return messages_.size(); }
-  std::size_t num_packets() const { return packets_.size(); }
-  const Message& message(MessageId id) const { return messages_.at(id); }
+  std::size_t num_messages() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return messages_.size();
+  }
+  std::size_t num_packets() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return packets_.size();
+  }
+  const Message& message(MessageId id) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return messages_.at(id);
+  }
 
  private:
+  mutable std::mutex mutex_;
   std::deque<Message> messages_;
   std::deque<Packet> packets_;
 };

@@ -1,0 +1,29 @@
+#include "noc/partition.h"
+
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::noc {
+
+const char* to_string(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kAuto: return "auto";
+    case PartitionStrategy::kNone: return "none";
+    case PartitionStrategy::kTree: return "tree";
+    case PartitionStrategy::kQuadrant: return "quadrant";
+    case PartitionStrategy::kRows: return "rows";
+  }
+  SPECNOC_UNREACHABLE("PartitionStrategy");
+}
+
+PartitionStrategy partition_strategy_from_string(const std::string& name) {
+  if (name == "auto") return PartitionStrategy::kAuto;
+  if (name == "none") return PartitionStrategy::kNone;
+  if (name == "tree") return PartitionStrategy::kTree;
+  if (name == "quadrant") return PartitionStrategy::kQuadrant;
+  if (name == "rows") return PartitionStrategy::kRows;
+  throw ConfigError("unknown partition strategy '" + name +
+                    "' (valid strategies: auto, none, tree, quadrant, rows)");
+}
+
+}  // namespace specnoc::noc

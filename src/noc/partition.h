@@ -1,0 +1,26 @@
+// Static partition strategies for the conservative PDES kernel.
+//
+// A strategy maps every endpoint (and therefore every node the builders
+// derive from an endpoint) to one scheduler lane. The mapping is a pure
+// function of the topology — never of the thread count — which is what
+// makes partitioned runs reproducible at any thread count.
+#pragma once
+
+#include <string>
+
+namespace specnoc::noc {
+
+enum class PartitionStrategy {
+  kAuto,      ///< topology default: kTree for MoT, kRows for mesh
+  kNone,      ///< force sequential execution (single lane)
+  kTree,      ///< MoT: one lane per source tree (lane = source index)
+  kQuadrant,  ///< MoT: four lanes (lane = source * 4 / n)
+  kRows,      ///< mesh: one lane per router row (lane = y coordinate)
+};
+
+const char* to_string(PartitionStrategy strategy);
+
+/// Parses a strategy name; throws ConfigError naming the valid strategies.
+PartitionStrategy partition_strategy_from_string(const std::string& name);
+
+}  // namespace specnoc::noc

@@ -1,0 +1,207 @@
+#include "sim/partitioned_scheduler.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/contract.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace specnoc::sim {
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#endif
+}
+
+}  // namespace
+
+PartitionedScheduler::PartitionedScheduler(Scheduler& lane0,
+                                           std::uint32_t lanes,
+                                           TimePs lookahead)
+    : lookahead_(lookahead) {
+  SPECNOC_EXPECTS(lanes >= 1);
+  SPECNOC_EXPECTS(lookahead > 0);
+  lanes_.reserve(lanes);
+  lanes_.push_back(&lane0);
+  owned_.reserve(lanes - 1);
+  for (std::uint32_t i = 1; i < lanes; ++i) {
+    owned_.push_back(std::make_unique<Scheduler>());
+    lanes_.push_back(owned_.back().get());
+  }
+  staged_.resize(lanes);
+  idle_windows_.assign(lanes, 0);
+}
+
+PartitionedScheduler::~PartitionedScheduler() = default;
+
+void PartitionedScheduler::set_threads(std::uint32_t threads) {
+  threads_ = std::max<std::uint32_t>(1, threads);
+}
+
+std::uint32_t PartitionedScheduler::add_drain(std::function<void()> drain) {
+  SPECNOC_EXPECTS(static_cast<bool>(drain));
+  drains_.push_back(std::move(drain));
+  return static_cast<std::uint32_t>(drains_.size() - 1);
+}
+
+void PartitionedScheduler::note_dirty(std::uint32_t producer_lane,
+                                      std::uint32_t id) {
+  SPECNOC_ASSERT(producer_lane < staged_.size() && id < drains_.size());
+  staged_[producer_lane].push_back(id);
+}
+
+void PartitionedScheduler::drain_staged() {
+  // Merge the per-producer staging lists and run the dirty drains in drain
+  // id order — registration order, i.e. channel creation order. This is the
+  // canonical cross-partition merge: identical for every thread count, so
+  // same-timestamp mailbox events always enter a consumer lane's
+  // (time, seq) order the same way.
+  std::size_t total = 0;
+  for (const auto& lane_staged : staged_) total += lane_staged.size();
+  if (total == 0) return;
+  std::vector<std::uint32_t> dirty;
+  dirty.reserve(total);
+  for (auto& lane_staged : staged_) {
+    dirty.insert(dirty.end(), lane_staged.begin(), lane_staged.end());
+    lane_staged.clear();
+  }
+  std::sort(dirty.begin(), dirty.end());
+  for (const std::uint32_t id : dirty) drains_[id]();
+}
+
+bool PartitionedScheduler::advance_window(TimePs horizon) {
+  drain_staged();
+  TimePs min_next = Scheduler::kIdleTime;
+  for (const Scheduler* lane : lanes_) {
+    min_next = std::min(min_next, lane->next_time());
+  }
+  if (min_next == Scheduler::kIdleTime || min_next > horizon) return false;
+  window_end_ = std::min(min_next + lookahead_ - 1, horizon);
+  ++windows_;
+  return true;
+}
+
+void PartitionedScheduler::run_lane_window(std::uint32_t lane,
+                                           TimePs window_end) {
+  Scheduler& sched = *lanes_[lane];
+  const std::uint64_t before = sched.executed();
+  sched.run_until(window_end);
+  if (sched.executed() == before) ++idle_windows_[lane];
+}
+
+void PartitionedScheduler::run_windows_sequential(TimePs horizon) {
+  while (advance_window(horizon)) {
+    const TimePs window_end = window_end_;
+    for (std::uint32_t lane = 0; lane < lanes(); ++lane) {
+      run_lane_window(lane, window_end);
+    }
+  }
+}
+
+void PartitionedScheduler::worker_loop(std::uint32_t worker,
+                                       std::uint32_t num_workers,
+                                       TimePs horizon) {
+  // Contiguous static lane block per worker: the same worker executes the
+  // same lanes every window, so lane state never migrates between threads
+  // mid-run (no per-window handoff to order).
+  const std::uint32_t first = worker * lanes() / num_workers;
+  const std::uint32_t last = (worker + 1) * lanes() / num_workers;
+  std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  for (;;) {
+    if (done_) return;
+    const TimePs window_end = window_end_;
+    for (std::uint32_t lane = first; lane < last; ++lane) {
+      run_lane_window(lane, window_end);
+    }
+    if (arrivals_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        num_workers) {
+      // Last arriver: drain mailboxes and open the next window while the
+      // other workers spin. All serial-section writes are published by the
+      // release store to generation_.
+      done_ = !advance_window(horizon);
+      arrivals_.store(0, std::memory_order_relaxed);
+      generation_.store(gen + 1, std::memory_order_release);
+    } else {
+      // The container may have fewer cores than workers, so fall back to
+      // yield quickly — a pure spin would serialize at timeslice length.
+      int spins = 0;
+      while (generation_.load(std::memory_order_acquire) == gen) {
+        if (++spins < 64) {
+          cpu_relax();
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+    ++gen;
+  }
+}
+
+void PartitionedScheduler::run_windows_parallel(TimePs horizon) {
+  const std::uint32_t num_workers = std::min(threads_, lanes());
+  // Publish the first window before the workers exist; thread creation is
+  // the synchronization point.
+  done_ = !advance_window(horizon);
+  if (done_) return;
+  arrivals_.store(0, std::memory_order_relaxed);
+  std::vector<std::thread> pool;
+  pool.reserve(num_workers - 1);
+  for (std::uint32_t w = 1; w < num_workers; ++w) {
+    pool.emplace_back([this, w, num_workers, horizon] {
+      worker_loop(w, num_workers, horizon);
+    });
+  }
+  worker_loop(0, num_workers, horizon);
+  for (std::thread& t : pool) t.join();
+}
+
+void PartitionedScheduler::run_windows(TimePs horizon) {
+  if (std::min(threads_, lanes()) <= 1) {
+    run_windows_sequential(horizon);
+  } else {
+    run_windows_parallel(horizon);
+  }
+}
+
+void PartitionedScheduler::run() { run_windows(Scheduler::kIdleTime - 1); }
+
+void PartitionedScheduler::run_until(TimePs t) {
+  SPECNOC_EXPECTS(t >= now());
+  run_windows(t);
+  // All events <= t have executed (advance_window only refuses a window
+  // when no lane holds one); align every lane clock to exactly t, matching
+  // Scheduler::run_until semantics.
+  for (Scheduler* lane : lanes_) lane->run_until(t);
+}
+
+TimePs PartitionedScheduler::now() const {
+  TimePs t = 0;
+  for (const Scheduler* lane : lanes_) t = std::max(t, lane->now());
+  return t;
+}
+
+std::uint64_t PartitionedScheduler::executed() const {
+  std::uint64_t total = 0;
+  for (const Scheduler* lane : lanes_) total += lane->executed();
+  return total;
+}
+
+std::size_t PartitionedScheduler::pending() const {
+  std::size_t total = 0;
+  for (const Scheduler* lane : lanes_) total += lane->pending();
+  return total;
+}
+
+std::vector<std::uint64_t> PartitionedScheduler::per_lane_executed() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(lanes_.size());
+  for (const Scheduler* lane : lanes_) out.push_back(lane->executed());
+  return out;
+}
+
+}  // namespace specnoc::sim

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <type_traits>
 #include <utility>
 
@@ -31,6 +32,9 @@ using EventFn = InplaceEvent;
 /// A deterministic discrete-event scheduler with picosecond resolution.
 class Scheduler {
  public:
+  /// next_time() when the queue is empty: later than any real event.
+  static constexpr TimePs kIdleTime = std::numeric_limits<TimePs>::max();
+
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -84,6 +88,12 @@ class Scheduler {
 
   /// Number of pending events.
   std::size_t pending() const { return queue_.size(); }
+
+  /// Timestamp of the earliest pending event, or kIdleTime when none are
+  /// pending (used by the partitioned scheduler's window computation).
+  TimePs next_time() const {
+    return queue_.empty() ? kIdleTime : queue_.min_time();
+  }
 
   /// Total number of events executed so far (for kernel benchmarks).
   std::uint64_t executed() const { return executed_; }

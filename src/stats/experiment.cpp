@@ -24,6 +24,20 @@ sim::RunnerOptions runner_options(const BatchOptions& options) {
   return runner;
 }
 
+// Attaches the window-protocol shape of a partitioned run to the registry
+// before snapshotting. Everything recorded is thread-count-invariant.
+void record_pdes_shape(noc::Network& net, MetricsRegistry& registry) {
+  sim::PartitionedScheduler* psched = net.partitioned_scheduler();
+  if (psched == nullptr) return;
+  PdesMetrics pdes;
+  pdes.lanes = psched->lanes();
+  pdes.lookahead_ps = psched->lookahead();
+  pdes.windows = psched->windows();
+  pdes.lane_events = psched->per_lane_executed();
+  pdes.lane_idle_windows = psched->per_lane_idle_windows();
+  registry.record_pdes(std::move(pdes));
+}
+
 }  // namespace
 
 ExperimentRunner::ExperimentRunner(core::NetworkConfig config,
@@ -57,6 +71,20 @@ NetworkFactory ExperimentRunner::factory_for(core::Architecture arch) const {
 NetworkFactory ExperimentRunner::factory_for_spec(
     core::Architecture arch, const NetworkFactory& factory) const {
   return factory ? factory : factory_for(arch);
+}
+
+NetworkFactory ExperimentRunner::sequential_factory_for(
+    core::Architecture arch) const {
+  core::NetworkConfig config = config_;
+  config.sim_threads = 1;
+  return [arch, config = std::move(config)] {
+    return std::make_unique<core::MotNetwork>(arch, config);
+  };
+}
+
+NetworkFactory ExperimentRunner::sequential_factory_for_spec(
+    core::Architecture arch, const NetworkFactory& factory) const {
+  return factory ? factory : sequential_factory_for(arch);
 }
 
 const SaturationResult& ExperimentRunner::saturation(
@@ -98,12 +126,15 @@ SaturationResult ExperimentRunner::saturation_run(
   traffic::TrafficDriver driver(*network, *pattern, driver_cfg);
   driver.start();
 
+  // Time-bounded driving goes through the network's unified run surface, so
+  // a partitioned network (config.sim_threads != 1) executes its lanes in
+  // parallel; results are identical at any thread count (DESIGN.md §9).
   const auto windows = saturation_windows();
-  auto& sched = network->scheduler();
-  sched.run_until(windows.warmup);
-  recorder.open_window(sched.now());
-  sched.run_until(windows.warmup + windows.measure);
-  recorder.close_window(sched.now());
+  auto& net = network->net();
+  net.run_until(windows.warmup);
+  recorder.open_window(net.now());
+  net.run_until(windows.warmup + windows.measure);
+  recorder.close_window(net.now());
 
   SaturationResult result;
   const std::uint32_t n = network->topology().n();
@@ -119,8 +150,11 @@ SaturationResult ExperimentRunner::saturation_run(
           ? static_cast<double>(store.num_packets()) /
                 static_cast<double>(store.num_messages())
           : 1.0;
-  if (events_out != nullptr) *events_out = sched.executed();
-  if (metrics_out != nullptr) *metrics_out = registry.snapshot();
+  if (events_out != nullptr) *events_out = net.executed();
+  if (metrics_out != nullptr) {
+    record_pdes_shape(net, registry);
+    *metrics_out = registry.snapshot();
+  }
   return result;
 }
 
@@ -128,8 +162,8 @@ LatencyResult ExperimentRunner::measure_latency(core::Architecture arch,
                                                 traffic::BenchmarkId bench,
                                                 double injected_flits_per_ns,
                                                 traffic::SimWindows windows) {
-  return measure_latency(factory_for(arch), bench, injected_flits_per_ns,
-                         windows);
+  return measure_latency(sequential_factory_for(arch), bench,
+                         injected_flits_per_ns, windows);
 }
 
 LatencyResult ExperimentRunner::measure_latency(
@@ -149,6 +183,11 @@ LatencyResult ExperimentRunner::latency_run(
                       std::to_string(injected_flits_per_ns));
   }
   const auto network = factory();
+  if (network->net().partitioned()) {
+    throw ConfigError(
+        "the latency protocol drains the network event-by-event, which has "
+        "no windowed equivalent; build the network with sim_threads = 1");
+  }
   TrafficRecorder recorder(network->net().packets());
   network->net().hooks().traffic = &recorder;
   MetricsRegistry registry;
@@ -211,8 +250,8 @@ PowerResult ExperimentRunner::measure_power(core::Architecture arch,
                                             traffic::BenchmarkId bench,
                                             double injected_flits_per_ns,
                                             traffic::SimWindows windows) {
-  return measure_power(factory_for(arch), bench, injected_flits_per_ns,
-                       windows);
+  return measure_power(sequential_factory_for(arch), bench,
+                       injected_flits_per_ns, windows);
 }
 
 PowerResult ExperimentRunner::measure_power(
@@ -232,6 +271,12 @@ PowerResult ExperimentRunner::power_run(
                       std::to_string(injected_flits_per_ns));
   }
   const auto network = factory();
+  if (network->net().partitioned()) {
+    throw ConfigError(
+        "the power protocol's energy accumulation is event-order-dependent, "
+        "so it requires sequential execution; build the network with "
+        "sim_threads = 1");
+  }
   TrafficRecorder recorder(network->net().packets());
   power::PowerMeter meter(energy_);
   network->net().hooks().traffic = &recorder;
@@ -290,13 +335,15 @@ WorkloadResult ExperimentRunner::workload_run(
   MetricsRegistry registry;
   if (metrics_out != nullptr) network->net().hooks().metrics = &registry;
 
-  auto& sched = network->scheduler();
-  recorder.open_window(sched.now());
+  auto& net = network->net();
+  recorder.open_window(net.now());
   driver.start();
   // The trace is finite, so the event queue drains once every injected
-  // message has delivered (or stalled for good).
-  sched.run();
-  recorder.close_window(sched.now());
+  // message has delivered (or stalled for good). Timed replay may run
+  // partitioned; closed-loop replay requires a sequential network (the
+  // driver throws otherwise).
+  net.run();
+  recorder.close_window(net.now());
 
   WorkloadResult result;
   result.messages = trace.records.size();
@@ -313,8 +360,11 @@ WorkloadResult ExperimentRunner::workload_run(
                        << trace.meta.generator << " delivered "
                        << result.messages_delivered << "/" << result.messages;
   }
-  if (events_out != nullptr) *events_out = sched.executed();
-  if (metrics_out != nullptr) *metrics_out = registry.snapshot();
+  if (events_out != nullptr) *events_out = net.executed();
+  if (metrics_out != nullptr) {
+    record_pdes_shape(net, registry);
+    *metrics_out = registry.snapshot();
+  }
   return result;
 }
 
@@ -377,7 +427,7 @@ std::vector<LatencyOutcome> ExperimentRunner::run_latency_sweep(
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
     outcomes[i].result = latency_run(
-        factory_for_spec(spec.arch, spec.factory), spec.bench,
+        sequential_factory_for_spec(spec.arch, spec.factory), spec.bench,
         spec.injected_flits_per_ns, spec.windows,
         spec.seed == 0 ? seed_ : spec.seed, &events,
         options.collect_metrics ? &snapshot : nullptr);
@@ -405,9 +455,12 @@ std::vector<WorkloadOutcome> ExperimentRunner::run_workload_grid(
     }
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
+    const NetworkFactory net_factory =
+        spec.mode == workload::ReplayMode::kClosedLoop
+            ? sequential_factory_for_spec(spec.arch, spec.factory)
+            : factory_for_spec(spec.arch, spec.factory);
     outcomes[i].result =
-        workload_run(factory_for_spec(spec.arch, spec.factory), *spec.trace,
-                     spec.mode, &events,
+        workload_run(net_factory, *spec.trace, spec.mode, &events,
                      options.collect_metrics ? &snapshot : nullptr);
     if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
     return events;
@@ -429,7 +482,7 @@ std::vector<PowerOutcome> ExperimentRunner::run_power_sweep(
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
     outcomes[i].result = power_run(
-        factory_for_spec(spec.arch, spec.factory), spec.bench,
+        sequential_factory_for_spec(spec.arch, spec.factory), spec.bench,
         spec.injected_flits_per_ns, spec.windows,
         spec.seed == 0 ? seed_ : spec.seed, &events,
         options.collect_metrics ? &snapshot : nullptr);

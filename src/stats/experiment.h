@@ -289,6 +289,15 @@ class ExperimentRunner {
   NetworkFactory factory_for(core::Architecture arch) const;
   NetworkFactory factory_for_spec(core::Architecture arch,
                                   const NetworkFactory& factory) const;
+  /// As factory_for, but with sim_threads forced to 1. The latency drain
+  /// loop, power accounting, and closed-loop replay are event-granular
+  /// protocols that have no windowed equivalent, so their canonical
+  /// networks are always built sequential regardless of config_.sim_threads
+  /// (custom factories are the caller's contract; a partitioned network
+  /// handed to these protocols raises ConfigError).
+  NetworkFactory sequential_factory_for(core::Architecture arch) const;
+  NetworkFactory sequential_factory_for_spec(
+      core::Architecture arch, const NetworkFactory& factory) const;
 
   /// Single-run workers behind both the public serial methods and the
   /// batch APIs. `events_out` (when non-null) receives the number of

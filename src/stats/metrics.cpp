@@ -156,6 +156,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   for (const auto& [klass, metrics] : channels_) {
     snap.channels.push_back(metrics);
   }
+  snap.pdes = pdes_;
   return snap;
 }
 

@@ -71,11 +71,28 @@ struct ChannelClassMetrics {
 /// ("mid.s3.d5" -> "middle", "fo2.l1i0>1" -> "fanout", ...).
 std::string channel_class(const std::string& name);
 
+/// Execution-shape statistics of a partitioned (PDES) run: how the window
+/// protocol behaved, not what the simulation computed. `lanes == 0` means
+/// the run was sequential. Everything here is a function of the topology
+/// and the partition strategy alone — deliberately independent of the
+/// worker-thread count, so snapshots of the same partitioned simulation are
+/// equal at any thread count.
+struct PdesMetrics {
+  std::uint32_t lanes = 0;
+  TimePs lookahead_ps = 0;
+  std::uint64_t windows = 0;
+  std::vector<std::uint64_t> lane_events;        ///< events executed per lane
+  std::vector<std::uint64_t> lane_idle_windows;  ///< windows a lane sat idle
+
+  bool empty() const { return lanes == 0; }
+};
+
 /// Immutable per-run aggregate. Sites are sorted by (kind, level) and
 /// channel classes by name, so equal simulations produce equal snapshots.
 struct MetricsSnapshot {
   std::vector<MetricsSite> sites;
   std::vector<ChannelClassMetrics> channels;
+  PdesMetrics pdes;  ///< window/stall shape of partitioned runs
 
   bool empty() const { return sites.empty() && channels.empty(); }
 
@@ -105,6 +122,10 @@ class MetricsRegistry final : public noc::MetricsObserver {
   void on_channel_stall(const noc::Channel& channel, TimePs start,
                         TimePs end) override;
 
+  /// Attaches the window-protocol shape of a partitioned run (called by
+  /// the experiment layer after the run; no-op data until then).
+  void record_pdes(PdesMetrics pdes) { pdes_ = std::move(pdes); }
+
   MetricsSnapshot snapshot() const;
 
  private:
@@ -112,6 +133,7 @@ class MetricsRegistry final : public noc::MetricsObserver {
 
   std::map<std::pair<noc::NodeKind, std::int32_t>, SiteCounters> sites_;
   std::map<std::string, ChannelClassMetrics> channels_;
+  PdesMetrics pdes_;
 };
 
 }  // namespace specnoc::stats

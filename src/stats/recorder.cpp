@@ -22,11 +22,14 @@ void TrafficRecorder::on_flit_ejected(const noc::Packet& packet,
 
   const noc::Message& msg = store_.message(packet.message);
   if (!msg.measured) return;
-  auto [it, inserted] = pending_.try_emplace(msg.id, msg.dests);
-  SPECNOC_ASSERT((it->second & noc::dest_bit(dest)) != 0);
-  it->second &= ~noc::dest_bit(dest);
-  if (it->second == 0) {
-    latencies_.push_back(when - msg.gen_time);
+  auto [it, inserted] =
+      pending_.try_emplace(msg.id, PendingMessage{msg.dests, when});
+  PendingMessage& entry = it->second;
+  SPECNOC_ASSERT((entry.remaining & noc::dest_bit(dest)) != 0);
+  entry.remaining &= ~noc::dest_bit(dest);
+  entry.last = std::max(entry.last, when);
+  if (entry.remaining == 0) {
+    latencies_.push_back(entry.last - msg.gen_time);
     pending_.erase(it);
   }
 }

@@ -54,9 +54,18 @@ class TrafficRecorder final : public noc::TrafficObserver {
   }
 
  private:
+  /// A measured message with headers still in flight. `last` tracks the
+  /// latest header arrival seen so far rather than relying on the final
+  /// on_flit_ejected call being the latest: partitioned runs deliver a
+  /// message's headers from several scheduler lanes, so the hook call order
+  /// is not timestamp order.
+  struct PendingMessage {
+    noc::DestMask remaining = 0;  ///< destinations still missing a header
+    TimePs last = 0;              ///< max header arrival time so far
+  };
+
   const noc::PacketStore& store_;
-  // message id -> destinations still missing a header
-  std::unordered_map<noc::MessageId, noc::DestMask> pending_;
+  std::unordered_map<noc::MessageId, PendingMessage> pending_;
   std::vector<TimePs> latencies_;
 
   bool window_open_ = false;

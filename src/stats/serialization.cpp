@@ -287,6 +287,26 @@ Json to_json(const MetricsSnapshot& snapshot) {
     channels.push_back(std::move(entry));
   }
   json.set("channels", std::move(channels));
+  // Omitted entirely for sequential runs, which keeps pre-PDES golden
+  // records byte-stable.
+  if (!snapshot.pdes.empty()) {
+    Json pdes = Json::object();
+    pdes.set("lanes", static_cast<std::uint64_t>(snapshot.pdes.lanes));
+    pdes.set("lookahead_ps",
+             static_cast<std::int64_t>(snapshot.pdes.lookahead_ps));
+    pdes.set("windows", snapshot.pdes.windows);
+    Json lane_events = Json::array();
+    for (const std::uint64_t events : snapshot.pdes.lane_events) {
+      lane_events.push_back(events);
+    }
+    pdes.set("lane_events", std::move(lane_events));
+    Json lane_idle = Json::array();
+    for (const std::uint64_t idle : snapshot.pdes.lane_idle_windows) {
+      lane_idle.push_back(idle);
+    }
+    pdes.set("lane_idle_windows", std::move(lane_idle));
+    json.set("pdes", std::move(pdes));
+  }
   return json;
 }
 
@@ -318,6 +338,17 @@ MetricsSnapshot metrics_snapshot_from_json(const Json& json) {
       channel.histogram[b] = histogram[b].as_u64();
     }
     snapshot.channels.push_back(std::move(channel));
+  }
+  if (const Json* pdes = json.find("pdes"); pdes != nullptr) {
+    snapshot.pdes.lanes = static_cast<std::uint32_t>(pdes->at("lanes").as_u64());
+    snapshot.pdes.lookahead_ps = pdes->at("lookahead_ps").as_i64();
+    snapshot.pdes.windows = pdes->at("windows").as_u64();
+    for (const Json& events : pdes->at("lane_events").items()) {
+      snapshot.pdes.lane_events.push_back(events.as_u64());
+    }
+    for (const Json& idle : pdes->at("lane_idle_windows").items()) {
+      snapshot.pdes.lane_idle_windows.push_back(idle.as_u64());
+    }
   }
   return snapshot;
 }

@@ -49,7 +49,11 @@ TimePs TrafficDriver::draw_interarrival(std::uint32_t src) {
 }
 
 void TrafficDriver::schedule_next_arrival(std::uint32_t src) {
-  network_.net().scheduler().schedule(draw_interarrival(src), [this, src] {
+  // Arrivals live on the source's own scheduler lane (the global scheduler
+  // when the network is sequential), so open-loop generation parallelizes
+  // with the rest of the source's partition.
+  network_.net().source(src).lane().schedule(draw_interarrival(src),
+                                             [this, src] {
     if (stopped_) return;
     generate(src);
     schedule_next_arrival(src);

@@ -10,6 +10,7 @@
 //    saturation throughput.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -60,11 +61,14 @@ class TrafficDriver {
   noc::MessageNetwork& network_;
   TrafficPattern& pattern_;
   DriverConfig config_;
-  std::vector<Rng> rng_per_source_;
+  std::vector<Rng> rng_per_source_;  ///< each touched only by its source lane
   bool measured_ = false;
-  bool stopped_ = false;
+  // stopped_/messages_generated_ are written from source-lane events, which
+  // run on different worker threads in a partitioned simulation; relaxed
+  // atomics suffice (counters, no ordering dependencies).
+  std::atomic<bool> stopped_{false};
   bool started_ = false;
-  std::uint64_t messages_generated_ = 0;
+  std::atomic<std::uint64_t> messages_generated_{0};
   std::uint32_t active_sources_ = 0;
 };
 

@@ -66,19 +66,26 @@ TraceReplayDriver::TraceReplayDriver(noc::MessageNetwork& network,
 void TraceReplayDriver::start() {
   SPECNOC_EXPECTS(!started_);
   started_ = true;
-  sim::Scheduler& scheduler = network_.net().scheduler();
+  if (config_.mode == ReplayMode::kClosedLoop && network_.net().partitioned()) {
+    throw ConfigError(
+        "closed-loop replay schedules injections from delivery events — a "
+        "zero-lookahead feedback path the partitioned window protocol cannot "
+        "honor; build the network with sim_threads = 1");
+  }
   for (std::size_t i = 0; i < trace_.records.size(); ++i) {
     const TraceRecord& rec = trace_.records[i];
     TimePs at;
     if (config_.mode == ReplayMode::kTimed) {
-      // Open loop: recorded times are the whole schedule.
+      // Open loop: recorded times are the whole schedule. Each injection is
+      // scheduled on its source's own lane, so timed replay runs under the
+      // partitioned kernel unchanged.
       at = rec.earliest;
     } else {
       if (!rec.deps.empty()) continue;  // injected when the deps deliver
       at = std::max(rec.earliest, rec.delay);
     }
-    scheduler.schedule_at(std::max(at, scheduler.now()),
-                          [this, i] { inject(i); });
+    sim::Scheduler& lane = network_.net().source(rec.src).lane();
+    lane.schedule_at(std::max(at, lane.now()), [this, i] { inject(i); });
   }
 }
 
@@ -86,9 +93,13 @@ void TraceReplayDriver::inject(std::size_t index) {
   const TraceRecord& rec = trace_.records[index];
   MessageState& state = states_[index];
   SPECNOC_ASSERT(state.injected_at < 0);
-  state.injected_at = network_.net().scheduler().now();
+  state.injected_at = network_.net().source(rec.src).lane().now();
   const noc::MessageId id =
       network_.send_message(rec.src, rec.dests, config_.measured);
+  // Injections run on source lanes (concurrently in partitioned runs);
+  // deliveries arrive through the serialized hook path. The id map and the
+  // injection counter are the only state both sides touch.
+  const std::lock_guard<std::mutex> lock(mutex_);
   index_of_message_.emplace(id, static_cast<std::uint32_t>(index));
   ++injected_;
 }
@@ -100,13 +111,18 @@ void TraceReplayDriver::on_flit_ejected(const noc::Packet& packet,
     downstream_->on_flit_ejected(packet, dest, kind, when);
   }
   if (kind != noc::FlitKind::kHeader) return;
-  const auto it = index_of_message_.find(packet.message);
-  if (it == index_of_message_.end()) return;  // not a trace message
-  MessageState& state = states_[it->second];
+  std::uint32_t index;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_of_message_.find(packet.message);
+    if (it == index_of_message_.end()) return;  // not a trace message
+    index = it->second;
+  }
+  MessageState& state = states_[index];
   const noc::DestMask bit = noc::dest_bit(dest);
   SPECNOC_ASSERT((state.remaining & bit) != 0);
   state.remaining &= ~bit;
-  if (state.remaining == 0) complete(it->second, when);
+  if (state.remaining == 0) complete(index, when);
 }
 
 void TraceReplayDriver::on_packet_injected(const noc::Packet& packet,

@@ -19,9 +19,16 @@
 // The driver must be installed as the network's traffic observer before
 // start() (it is how deliveries are detected); observers that want the
 // same event stream (TrafficRecorder, tracers) chain via set_downstream().
+//
+// Timed replay runs under the partitioned kernel unchanged (injections are
+// scheduled per source lane). Closed-loop replay requires a sequential
+// network: its delivery->injection feedback has no lookahead, which the
+// window protocol cannot honor, so start() throws ConfigError on a
+// partitioned network.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -109,6 +116,12 @@ class TraceReplayDriver final : public noc::TrafficObserver {
   noc::TrafficObserver* downstream_ = nullptr;
   bool started_ = false;
   std::vector<MessageState> states_;
+  /// Guards index_of_message_ and injected_: timed replay on a partitioned
+  /// network injects from several source lanes concurrently while the
+  /// (serialized) delivery hook reads the map. Message ids are opaque
+  /// labels here — map keys only, never ordering — so assignment-order
+  /// nondeterminism across lanes is invisible to replay results.
+  mutable std::mutex mutex_;
   std::unordered_map<noc::MessageId, std::uint32_t> index_of_message_;
   std::uint64_t injected_ = 0;
   std::uint64_t delivered_ = 0;

@@ -17,9 +17,13 @@ namespace {
 
 using namespace specnoc::literals;
 
-stats::MetricsSnapshot run_hybrid_multicast(TimePs horizon) {
+stats::MetricsSnapshot run_hybrid_multicast(TimePs horizon,
+                                            unsigned sim_threads = 1,
+                                            unsigned workers = 0) {
   core::NetworkConfig cfg;  // 8x8
+  cfg.sim_threads = sim_threads;
   core::MotNetwork net(core::Architecture::kOptHybridSpeculative, cfg);
+  if (workers != 0) net.net().set_worker_threads(workers);
   stats::MetricsRegistry registry;
   net.net().hooks().metrics = &registry;
   auto pattern =
@@ -29,8 +33,36 @@ stats::MetricsSnapshot run_hybrid_multicast(TimePs horizon) {
   dcfg.seed = 99;
   traffic::TrafficDriver driver(net, *pattern, dcfg);
   driver.start();
-  net.scheduler().run_until(horizon);
+  net.net().run_until(horizon);
   return registry.snapshot();
+}
+
+void expect_same_counters(const stats::MetricsSnapshot& a,
+                          const stats::MetricsSnapshot& b) {
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(a.sites[i].kind, b.sites[i].kind);
+    EXPECT_EQ(a.sites[i].level, b.sites[i].level);
+    EXPECT_EQ(a.sites[i].counters.kills, b.sites[i].counters.kills);
+    EXPECT_EQ(a.sites[i].counters.prealloc_hits,
+              b.sites[i].counters.prealloc_hits);
+    EXPECT_EQ(a.sites[i].counters.prealloc_misses,
+              b.sites[i].counters.prealloc_misses);
+    EXPECT_EQ(a.sites[i].counters.contended_grants,
+              b.sites[i].counters.contended_grants);
+    EXPECT_EQ(a.sites[i].counters.watchdog_releases,
+              b.sites[i].counters.watchdog_releases);
+  }
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t i = 0; i < a.channels.size(); ++i) {
+    EXPECT_EQ(a.channels[i].klass, b.channels[i].klass);
+    EXPECT_EQ(a.channels[i].stalls, b.channels[i].stalls)
+        << a.channels[i].klass;
+    EXPECT_EQ(a.channels[i].stall_time_ps, b.channels[i].stall_time_ps)
+        << a.channels[i].klass;
+    EXPECT_EQ(a.channels[i].histogram, b.channels[i].histogram)
+        << a.channels[i].klass;
+  }
 }
 
 TEST(MetricsConfinementTest, KillsLandOnlyAtFirstNonSpeculativeLevel) {
@@ -64,6 +96,35 @@ TEST(MetricsConfinementTest, KillsLandOnlyAtFirstNonSpeculativeLevel) {
   EXPECT_GT(snap.total_prealloc_hits(), 0u);
   EXPECT_GT(snap.total_prealloc_misses(), 0u);
   EXPECT_GT(snap.total_stalls(), 0u);
+}
+
+// The confinement claim is structural, so it must survive the partitioned
+// kernel unchanged: same run under per-tree partitions, kills still land
+// only on level 1.
+TEST(MetricsConfinementTest, ConfinementHoldsUnderPartitionedKernel) {
+  const stats::MetricsSnapshot snap =
+      run_hybrid_multicast(2000_ns, /*sim_threads=*/4);
+  ASSERT_FALSE(snap.empty());
+  ASSERT_GT(snap.total_kills(), 0u);
+  EXPECT_EQ(snap.kills_at_level(0), 0u);
+  EXPECT_EQ(snap.kills_at_level(2), 0u);
+  EXPECT_EQ(snap.kills_at_level(1), snap.total_kills());
+}
+
+// Worker-thread-count invariance of every simulated counter: the snapshot
+// of a partitioned run is a pure function of (topology, partition
+// strategy, traffic) — 1, 2 and 4 workers produce byte-identical site and
+// channel counters.
+TEST(MetricsConfinementTest, ThreadCountChangesNoSimulatedCounter) {
+  const stats::MetricsSnapshot reference =
+      run_hybrid_multicast(1000_ns, /*sim_threads=*/2, /*workers=*/1);
+  ASSERT_GT(reference.total_kills(), 0u);
+  for (const unsigned workers : {2u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const stats::MetricsSnapshot run =
+        run_hybrid_multicast(1000_ns, /*sim_threads=*/2, workers);
+    expect_same_counters(reference, run);
+  }
 }
 
 }  // namespace

@@ -46,5 +46,90 @@ TEST(KernelDeterminismTest, Golden8x8OptHybridSpeculativeRun) {
   EXPECT_EQ(rec.mean_latency_ps(), 7534.8138212826434);
 }
 
+// Aggregate statistics of one golden run; every field is insensitive to
+// the wall-clock order in which worker threads fire the delivery hooks
+// (counts, maxima, and exact integer-valued double sums), so byte-equality
+// across thread counts is a meaningful determinism check.
+struct GoldenStats {
+  std::uint64_t executed = 0;
+  std::uint64_t generated = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t ejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t pending = 0;
+  TimePs max_latency = 0;
+  double mean_latency = 0.0;
+
+  bool operator==(const GoldenStats& o) const {
+    return executed == o.executed && generated == o.generated &&
+           injected == o.injected && ejected == o.ejected &&
+           completed == o.completed && pending == o.pending &&
+           max_latency == o.max_latency && mean_latency == o.mean_latency;
+  }
+};
+
+void PrintTo(const GoldenStats& s, std::ostream* os) {
+  *os << "{executed=" << s.executed << " generated=" << s.generated
+      << " injected=" << s.injected << " ejected=" << s.ejected
+      << " completed=" << s.completed << " pending=" << s.pending
+      << " max=" << s.max_latency << " mean=" << s.mean_latency << "}";
+}
+
+GoldenStats golden_run(core::Architecture arch, unsigned threads,
+                       TimePs horizon) {
+  core::NetworkConfig cfg;  // n = 8
+  cfg.sim_threads = threads;
+  core::MotNetwork net(arch, cfg);
+  stats::TrafficRecorder rec(net.net().packets());
+  net.net().hooks().traffic = &rec;
+  auto pattern =
+      traffic::make_benchmark(traffic::BenchmarkId::kUniformRandom, 8);
+  traffic::DriverConfig dcfg;
+  dcfg.mode = traffic::InjectionMode::kBacklogged;
+  dcfg.seed = 7;
+  traffic::TrafficDriver driver(net, *pattern, dcfg);
+  driver.set_measured(true);
+  rec.open_window(0);
+  driver.start();
+  net.net().run_until(horizon);
+  rec.close_window(net.net().now());
+
+  GoldenStats s;
+  s.executed = net.net().executed();
+  s.generated = driver.messages_generated();
+  s.injected = rec.window_flits_injected();
+  s.ejected = rec.window_flits_ejected();
+  s.completed = rec.completed_measured();
+  s.pending = rec.pending_measured();
+  s.max_latency = rec.max_latency_ps();
+  s.mean_latency = rec.mean_latency_ps();
+  return s;
+}
+
+// The same golden run must be byte-identical at every worker-thread count:
+// sim_threads == 1 takes today's sequential code path, sim_threads > 1 the
+// per-tree partitioned kernel, and the window protocol guarantees the two
+// produce identical event orders per lane (DESIGN.md §9).
+TEST(KernelDeterminismTest, Golden8x8ByteIdenticalAcrossThreadCounts) {
+  const GoldenStats expected = {923768u, 5648u,  28200u, 28134u,
+                                5629u,   0u,     36822,  7534.8138212826434};
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(golden_run(core::Architecture::kOptHybridSpeculative, threads,
+                         2000_ns),
+              expected);
+  }
+}
+
+TEST(KernelDeterminismTest, Baseline8x8ByteIdenticalAcrossThreadCounts) {
+  const GoldenStats reference =
+      golden_run(core::Architecture::kBaseline, 1, 800_ns);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(golden_run(core::Architecture::kBaseline, threads, 800_ns),
+              reference);
+  }
+}
+
 }  // namespace
 }  // namespace specnoc

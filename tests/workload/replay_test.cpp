@@ -29,10 +29,15 @@ struct ReplayOutput {
 };
 
 /// Replays `trace` in timed mode on a fresh network of `arch`, stopping at
-/// `horizon` like the run that produced it.
+/// `horizon` like the run that produced it. `sim_threads`/`workers` select
+/// the partitioned kernel (workers = 0 keeps the config's thread count).
 ReplayOutput timed_replay(Architecture arch, const Trace& trace,
-                          TimePs horizon) {
-  core::MotNetwork network(arch, core::NetworkConfig{});
+                          TimePs horizon, unsigned sim_threads = 1,
+                          unsigned workers = 0) {
+  core::NetworkConfig cfg;
+  cfg.sim_threads = sim_threads;
+  core::MotNetwork network(arch, cfg);
+  if (workers != 0) network.net().set_worker_threads(workers);
   stats::TrafficRecorder recorder(network.net().packets());
   TraceReplayDriver driver(network, trace,
                            {ReplayMode::kTimed, /*measured=*/true});
@@ -40,7 +45,7 @@ ReplayOutput timed_replay(Architecture arch, const Trace& trace,
   network.net().hooks().traffic = &driver;
   recorder.open_window(0);
   driver.start();
-  network.scheduler().run_until(horizon);
+  network.net().run_until(horizon);
   recorder.close_window(horizon);
   return {recorder.window_flits_ejected(), recorder.measured_latencies()};
 }
@@ -89,6 +94,44 @@ TEST(ReplayTest, TimedReplayIsDeterministic) {
                               1000_ns);
   EXPECT_EQ(a.flits_ejected, b.flits_ejected);
   EXPECT_EQ(a.latencies, b.latencies);
+}
+
+/// Timed replay under the partitioned kernel: per-message latency records
+/// and delivered flit counts are a pure function of (network, trace) — the
+/// worker-thread count never changes them.
+TEST(ReplayTest, TimedReplayIsWorkerCountInvariantUnderPartitions) {
+  const Trace trace = make_synth_workload(SynthId::kCoherence, 8, 5, 3);
+  auto reference = timed_replay(Architecture::kOptHybridSpeculative, trace,
+                                1000_ns, /*sim_threads=*/2, /*workers=*/1);
+  EXPECT_GT(reference.flits_ejected, 0u);
+  // The recorder's latency list is push-ordered by hook arrival, which is
+  // wall-clock dependent across workers; the multiset of latencies is the
+  // invariant, so compare sorted.
+  std::sort(reference.latencies.begin(), reference.latencies.end());
+  for (const unsigned workers : {2u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    auto run = timed_replay(Architecture::kOptHybridSpeculative, trace,
+                            1000_ns, /*sim_threads=*/2, workers);
+    std::sort(run.latencies.begin(), run.latencies.end());
+    EXPECT_EQ(run.flits_ejected, reference.flits_ejected);
+    EXPECT_EQ(run.latencies, reference.latencies);
+  }
+}
+
+/// Closed-loop replay feeds delivery times back into the injection
+/// schedule with no lookahead, which the window protocol cannot honor —
+/// pinned: requesting it on a partitioned network is a ConfigError, not a
+/// silently different simulation.
+TEST(ReplayTest, ClosedLoopOnPartitionedNetworkIsAConfigError) {
+  const Trace trace = make_synth_workload(SynthId::kCoherence, 8, 5, 3);
+  core::NetworkConfig cfg;
+  cfg.sim_threads = 2;
+  core::MotNetwork network(Architecture::kOptHybridSpeculative, cfg);
+  ASSERT_TRUE(network.net().partitioned());
+  TraceReplayDriver driver(network, trace,
+                           {ReplayMode::kClosedLoop, /*measured=*/true});
+  network.net().hooks().traffic = &driver;
+  EXPECT_THROW(driver.start(), ConfigError);
 }
 
 /// Randomized dependency DAG over 8 endpoints: every message picks a
