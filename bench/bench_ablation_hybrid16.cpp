@@ -6,12 +6,17 @@
 // and reports zero-ish-load latency, saturation, power, and address bits —
 // the cost/benefit landscape of local speculation placement.
 //
-// The design points use custom network factories; their `custom` label is
-// the speculation-level set, which is what identifies each cell in shard
-// files (factories cannot travel between worker processes).
+// The design points go through core::ArchitectureRegistry: each label (the
+// speculation-level set) is registered once in main(), and the specs carry
+// only the label in their `custom` field — ExperimentRunner rebuilds the
+// network from the registry. The label is also what identifies each cell
+// in shard files (factories cannot travel between worker processes), so a
+// phase-2 worker or --from render reconstructs identical networks simply
+// by re-registering the same labels.
 #include <vector>
 
 #include "bench_common.h"
+#include "core/registry.h"
 #include "stats/experiment.h"
 
 using namespace specnoc;
@@ -21,14 +26,13 @@ namespace {
 
 struct DesignPoint {
   std::string label;  ///< speculation-level set, e.g. "{0,2}"
+  std::vector<std::uint32_t> levels;
   core::SpeculationMap spec;
-  stats::NetworkFactory factory;
 };
 
 /// Every subset of non-leaf levels, in bitmask order (the paper's Figure
 /// 3(d) hybrid is "{0,2}").
-std::vector<DesignPoint> design_points(const core::NetworkConfig& cfg,
-                                       const mot::MotTopology& topo) {
+std::vector<DesignPoint> design_points(const mot::MotTopology& topo) {
   std::vector<DesignPoint> points;
   const std::uint32_t free_levels = topo.levels() - 1;
   for (std::uint32_t bits = 0; bits < (1u << free_levels); ++bits) {
@@ -42,10 +46,8 @@ std::vector<DesignPoint> design_points(const core::NetworkConfig& cfg,
       }
     }
     label += "}";
-    const auto spec = core::SpeculationMap::from_levels(topo, levels);
-    points.push_back({label, spec, [cfg, spec] {
-                        return std::make_unique<core::MotNetwork>(cfg, spec);
-                      }});
+    auto spec = core::SpeculationMap::from_levels(topo, levels);
+    points.push_back({label, std::move(levels), std::move(spec)});
   }
   return points;
 }
@@ -63,7 +65,11 @@ int main(int argc, char** argv) {
   stats::ShardedSweep sweep = specnoc::bench::make_sweep(opts);
   specnoc::bench::TelemetryTable telemetry;
   const mot::MotTopology topo(cfg.n);
-  const auto points = design_points(cfg, topo);
+  const auto points = design_points(topo);
+  auto& registry = core::ArchitectureRegistry::global();
+  for (const auto& point : points) {
+    registry.add_speculation_levels(point.label, point.levels);
+  }
 
   using traffic::BenchmarkId;
   constexpr BenchmarkId kBenches[] = {BenchmarkId::kUniformRandom,
@@ -78,11 +84,14 @@ int main(int argc, char** argv) {
       sat_specs.push_back({.arch = core::Architecture::kCustomHybrid,
                            .bench = bench,
                            .seed = 0,
-                           .factory = point.factory,
+                           .factory = {},
                            .custom = point.label});
     }
   }
   const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
+  // Phase-1 workers stop here: the downstream specs need anchor results
+  // this shard did not simulate.
+  if (sweep.anchors_only()) return sweep.finish();
   telemetry.add_all(sat_outcomes);
   specnoc::bench::MetricsReport metrics;
   metrics.add_all("anchor", sat_outcomes);
@@ -102,7 +111,7 @@ int main(int argc, char** argv) {
                                0.25 * sat.injected_flits_per_ns,
                            .windows = windows,
                            .seed = 0,
-                           .factory = point.factory,
+                           .factory = {},
                            .custom = point.label});
     }
     const auto& sat_uniform = sat_outcomes[2 * p].result;
@@ -112,7 +121,7 @@ int main(int argc, char** argv) {
                                0.25 * sat_uniform.injected_flits_per_ns,
                            .windows = windows,
                            .seed = 0,
-                           .factory = point.factory,
+                           .factory = {},
                            .custom = point.label});
   }
   const auto lat_outcomes = sweep.latency_sweep("latency", runner, lat_specs);

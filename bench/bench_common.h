@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/registry.h"
 #include "noc/partition.h"
 #include "sim/parallel_runner.h"
 #include "sim/shard.h"
@@ -106,6 +107,8 @@ struct HarnessOptions {
   sim::ShardRef shard;    ///< --shard i/K (worker mode)
   std::string out_path;   ///< --out (worker mode)
   std::string from_path;  ///< --from (render mode)
+  bool anchors_only = false;   ///< --anchors-only (worker mode, phase 1)
+  std::string anchors_from;    ///< --anchors-from (worker mode, phase 2)
   /// --metrics: collect a per-run MetricsSnapshot and write them all to
   /// this JSON file. Observational only — tables are byte-identical with
   /// and without it.
@@ -151,6 +154,8 @@ struct HarnessOptions {
     options.shard = shard;
     options.out_path = out_path;
     options.from_path = from_path;
+    options.anchors_only = anchors_only;
+    options.anchors_from = anchors_from;
     return options;
   }
 };
@@ -186,6 +191,10 @@ inline HarnessOptions parse_args(
   cli.add_unsigned("--sim-threads", &opts.sim_threads,
                    "partitioned-kernel worker threads inside each simulation "
                    "(1: exact sequential path; results identical for any N)");
+  bool list_arch = false;
+  cli.add_flag("--list-arch", &list_arch,
+               "list the registered network architectures and exit (the "
+               "canonical set; harnesses may register design points later)");
   cli.add_custom("--partition", "NAME",
                  "partition strategy: auto | none | tree | quadrant | rows",
                  [&opts](const std::string& value) {
@@ -203,17 +212,39 @@ inline HarnessOptions parse_args(
     cli.add_string("--from", &opts.from_path,
                    "render tables from a merged shard file (see sweep_merge) "
                    "instead of simulating");
+    cli.add_flag("--anchors-only", &opts.anchors_only,
+                 "worker mode, phase 1: run only this shard's anchor cells "
+                 "and exit (merge the anchor shards, then run phase 2 with "
+                 "--anchors-from)");
+    cli.add_string("--anchors-from", &opts.anchors_from,
+                   "worker mode, phase 2: load anchor outcomes from this "
+                   "merged shard file instead of simulating them");
   }
   if (extra) extra(cli);
 
   try {
     if (!cli.parse(argc, argv)) std::exit(0);
+    if (list_arch) {
+      for (const auto& name : core::ArchitectureRegistry::global().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      std::exit(0);
+    }
     if (shard_given && opts.out_path.empty()) {
       throw util::UsageError("--shard requires --out <shard.jsonl>");
     }
     if (!opts.from_path.empty() &&
         (shard_given || !opts.out_path.empty())) {
       throw util::UsageError("--from cannot be combined with --shard/--out");
+    }
+    if ((opts.anchors_only || !opts.anchors_from.empty()) &&
+        opts.out_path.empty()) {
+      throw util::UsageError(
+          "--anchors-only/--anchors-from require worker mode (--shard/--out)");
+    }
+    if (opts.anchors_only && !opts.anchors_from.empty()) {
+      throw util::UsageError(
+          "--anchors-only cannot be combined with --anchors-from");
     }
     if (!opts.csv_path.empty()) opts.sink->mirror_csv(opts.csv_path);
     if (!opts.json_path.empty()) opts.sink->mirror_jsonl(opts.json_path);

@@ -39,6 +39,9 @@ int main(int argc, char** argv) {
     }
   }
   const auto sat_outcomes = sweep.anchor_saturation(runner, sat_specs);
+  // Phase-1 workers stop here: the downstream specs need anchor results
+  // this shard did not simulate.
+  if (sweep.anchors_only()) return sweep.finish();
   telemetry.add_all(sat_outcomes);
   specnoc::bench::MetricsReport metrics;
   metrics.add_all("anchor", sat_outcomes);

@@ -56,9 +56,9 @@ TimePs measure_fanout_latency(MakeNode&& make_node) {
   in.connect(driver, 0, *node, 0);
   out0.connect(*node, 0, top, 0);
   out1.connect(*node, 1, bottom, 0);
-  const noc::Message& msg = store.create_message(0, noc::dest_bit(0), 0,
+  const noc::Message& msg = store.create_message(0, noc::DestSet::single(0), 0,
                                                  false);
-  const noc::Packet& pkt = store.create_packet(msg, noc::dest_bit(0), 1);
+  const noc::Packet& pkt = store.create_packet(msg, noc::DestSet::single(0), 1);
   driver.send(noc::make_flit(pkt, 0));
   sched.run();
   return top.first_arrival;
@@ -75,9 +75,9 @@ TimePs measure_fanin_latency() {
   noc::Channel in(sched, hooks, {}, "in"), out(sched, hooks, {}, "out");
   in.connect(driver, 0, node, 0);
   out.connect(node, 0, sink, 0);
-  const noc::Message& msg = store.create_message(0, noc::dest_bit(0), 0,
+  const noc::Message& msg = store.create_message(0, noc::DestSet::single(0), 0,
                                                  false);
-  const noc::Packet& pkt = store.create_packet(msg, noc::dest_bit(0), 1);
+  const noc::Packet& pkt = store.create_packet(msg, noc::DestSet::single(0), 1);
   driver.send(noc::make_flit(pkt, 0));
   sched.run();
   return sink.first_arrival;
@@ -114,31 +114,36 @@ int main(int argc, char** argv) {
       case noc::NodeKind::kFanoutBaseline:
         simulated = measure_fanout_latency([&](auto& s, auto& h) {
           return std::make_unique<nodes::BaselineFanoutNode>(
-              s, h, "dut", chars_copy, noc::dest_bit(0), noc::dest_bit(1));
+              s, h, "dut", chars_copy, noc::DestRange{0, 1},
+              noc::DestRange{1, 2});
         });
         break;
       case noc::NodeKind::kFanoutSpeculative:
         simulated = measure_fanout_latency([&](auto& s, auto& h) {
           return std::make_unique<nodes::SpecFanoutNode>(
-              s, h, "dut", chars_copy, noc::dest_bit(0), noc::dest_bit(1));
+              s, h, "dut", chars_copy, noc::DestRange{0, 1},
+              noc::DestRange{1, 2});
         });
         break;
       case noc::NodeKind::kFanoutNonSpeculative:
         simulated = measure_fanout_latency([&](auto& s, auto& h) {
           return std::make_unique<nodes::NonSpecFanoutNode>(
-              s, h, "dut", chars_copy, noc::dest_bit(0), noc::dest_bit(1));
+              s, h, "dut", chars_copy, noc::DestRange{0, 1},
+              noc::DestRange{1, 2});
         });
         break;
       case noc::NodeKind::kFanoutOptSpeculative:
         simulated = measure_fanout_latency([&](auto& s, auto& h) {
           return std::make_unique<nodes::OptSpecFanoutNode>(
-              s, h, "dut", chars_copy, noc::dest_bit(0), noc::dest_bit(1));
+              s, h, "dut", chars_copy, noc::DestRange{0, 1},
+              noc::DestRange{1, 2});
         });
         break;
       case noc::NodeKind::kFanoutOptNonSpeculative:
         simulated = measure_fanout_latency([&](auto& s, auto& h) {
           return std::make_unique<nodes::OptNonSpecFanoutNode>(
-              s, h, "dut", chars_copy, noc::dest_bit(0), noc::dest_bit(1));
+              s, h, "dut", chars_copy, noc::DestRange{0, 1},
+              noc::DestRange{1, 2});
         });
         break;
       case noc::NodeKind::kFanin:

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Runs the E10 radix-scaling grid and refreshes BENCH_radix.json at the
+# repo root. The JSON is committed alongside addressing changes so scaling
+# regressions show up in review; absolute rates are machine-dependent —
+# compare shapes, not numbers, across hosts.
+set -e
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo_root/build}"
+out="${2:-$repo_root/BENCH_radix.json}"
+"$build/bench/bench_radix" --max-radix 1024 --json-out "$out"
+echo "wrote $out"

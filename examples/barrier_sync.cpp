@@ -52,7 +52,7 @@ BarrierWorkload make_barrier_workload(std::uint32_t n, std::uint32_t flits,
       workload::TraceRecord arrival;
       arrival.id = next_id++;
       arrival.src = w;
-      arrival.dests = noc::dest_bit(0);
+      arrival.dests = noc::DestSet::single(0);
       arrival.size = flits;
       arrival.delay = static_cast<TimePs>(rng.uniform_int(5000, 50000));
       if (round > 0) arrival.deps = {prev_release};
@@ -62,8 +62,8 @@ BarrierWorkload make_barrier_workload(std::uint32_t n, std::uint32_t flits,
     workload::TraceRecord release;
     release.id = next_id++;
     release.src = 0;
-    noc::DestMask workers = 0;
-    for (std::uint32_t w = 1; w < n; ++w) workers |= noc::dest_bit(w);
+    noc::DestSet workers;
+    for (std::uint32_t w = 1; w < n; ++w) workers.set(w);
     release.dests = workers;
     release.size = flits;
     release.deps = std::move(arrivals);

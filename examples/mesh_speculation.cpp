@@ -55,12 +55,12 @@ int main(int argc, char** argv) {
 
   const std::uint32_t n = cols * rows;
   const std::uint32_t src = 0;
-  noc::DestMask dests = 0;
+  noc::DestSet dests;
   // A spread-out destination set: the four quadrant corners-ish.
-  dests |= noc::dest_bit(n - 1);
-  dests |= noc::dest_bit(cols - 1);
-  dests |= noc::dest_bit(n - cols);
-  dests |= noc::dest_bit(n / 2);
+  dests.set(n - 1);
+  dests.set(cols - 1);
+  dests.set(n - cols);
+  dests.set(n / 2);
 
   std::printf("%ux%u mesh, multicast from endpoint %u to 4 destinations\n\n",
               cols, rows, src);

@@ -51,14 +51,17 @@ int main() {
   HeaderLog log;
   network.net().hooks().traffic = &log;
 
-  network.send_message(/*src=*/0, noc::dest_bit(5), /*measured=*/false);
+  network.send_message(/*src=*/0, noc::DestSet::single(5),
+                       /*measured=*/false);
   network.scheduler().run();
   std::printf("\nunicast 0 -> 5 : header delivered at %.2f ns\n",
               ps_to_ns(log.arrivals.at(5)));
 
   log.arrivals.clear();
-  const noc::DestMask dests =
-      noc::dest_bit(1) | noc::dest_bit(4) | noc::dest_bit(6);
+  noc::DestSet dests;
+  dests.set(1);
+  dests.set(4);
+  dests.set(6);
   const TimePs t0 = network.scheduler().now();
   network.send_message(/*src=*/3, dests, /*measured=*/false);
   network.scheduler().run();
@@ -74,7 +77,7 @@ int main() {
     core::MotNetwork net(arch, config);
     HeaderLog arch_log;
     net.net().hooks().traffic = &arch_log;
-    net.send_message(2, 0xFF, false);
+    net.send_message(2, noc::DestSet::from_word(0xFF), false);
     net.scheduler().run();
     TimePs last = 0;
     for (const auto& [dest, when] : arch_log.arrivals) {

@@ -24,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "core/registry.h"
 #include "noc/partition.h"
 #include "stats/experiment.h"
 #include "stats/perfetto_trace.h"
@@ -66,9 +67,9 @@ struct Options {
 };
 
 void list_names() {
-  std::printf("architectures:\n");
-  for (const auto arch : core::all_architectures()) {
-    std::printf("  %s\n", core::to_string(arch));
+  std::printf("architectures (core::ArchitectureRegistry):\n");
+  for (const auto& name : core::ArchitectureRegistry::global().names()) {
+    std::printf("  %s\n", name.c_str());
   }
   std::printf("benchmarks:\n");
   for (const auto bench : traffic::all_benchmarks()) {

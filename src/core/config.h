@@ -13,7 +13,8 @@
 namespace specnoc::core {
 
 struct NetworkConfig {
-  /// Radix: N sources, N destinations. Power of two in [2, 64].
+  /// Radix: N sources, N destinations. Power of two in
+  /// [2, noc::kMaxEndpoints].
   std::uint32_t n = 8;
 
   /// Fixed packet size; the paper uses 5 flits.

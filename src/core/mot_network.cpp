@@ -107,8 +107,8 @@ void MotNetwork::build() {
         const noc::NodeKind kind = fanout_kind(arch_, spec);
         auto chars = config_.chars_for(kind);
         chars.clock_period = config_.clock_period;
-        const noc::DestMask top = topology_.subtree_mask(level, i, 0);
-        const noc::DestMask bottom = topology_.subtree_mask(level, i, 1);
+        const noc::DestRange top = topology_.subtree_span(level, i, 0);
+        const noc::DestRange bottom = topology_.subtree_span(level, i, 1);
         const std::string name = fo_name(s, level, i);
         nodes::FanoutNodeBase* node = nullptr;
         switch (kind) {
@@ -229,30 +229,28 @@ void MotNetwork::build() {
 }
 
 noc::MessageId MotNetwork::send_message(std::uint32_t src,
-                                        noc::DestMask dests, bool measured) {
+                                        noc::DestSet dests, bool measured) {
   SPECNOC_EXPECTS(src < topology_.n());
-  SPECNOC_EXPECTS(dests != 0);
-  SPECNOC_EXPECTS(topology_.n() >= 64 || (dests >> topology_.n()) == 0);
+  SPECNOC_EXPECTS(dests.any());
+  SPECNOC_EXPECTS(dests.within(topology_.n()));
   // The source's own lane clock: send_message may run inside a source-lane
   // event of a partitioned simulation, where the global clock is undefined
   // mid-window.
   const TimePs now = net_.source(src).lane().now();
-  noc::Message& msg = net_.packets().create_message(src, dests, now, measured);
+  const bool multicast = dests.is_multicast();
+  noc::Message& msg =
+      net_.packets().create_message(src, std::move(dests), now, measured);
   noc::SourceNode& source = net_.source(src);
-  const bool multicast = (dests & (dests - 1)) != 0;
   if (multicast && !traits(arch_).multicast_capable) {
     // Serial multicast: one unicast copy per destination, in ascending
     // destination order, queued back-to-back at the source NI.
-    noc::DestMask remaining = dests;
-    while (remaining != 0) {
-      const noc::DestMask low = remaining & (~remaining + 1);
+    msg.dests.for_each_dest([&](std::uint32_t d) {
       source.enqueue_packet(net_.packets().create_packet(
-          msg, low, config_.flits_per_packet));
-      remaining ^= low;
-    }
+          msg, noc::DestSet::single(d), config_.flits_per_packet));
+    });
   } else {
-    source.enqueue_packet(
-        net_.packets().create_packet(msg, dests, config_.flits_per_packet));
+    source.enqueue_packet(net_.packets().create_packet(
+        msg, msg.dests, config_.flits_per_packet));
   }
   return msg.id;
 }

@@ -46,7 +46,7 @@ class MotNetwork final : public noc::MessageNetwork {
   /// is expanded into one unicast packet per destination, queued
   /// back-to-back (serial multicast); every other architecture injects a
   /// single (multicast-capable) packet. Returns the message id.
-  noc::MessageId send_message(std::uint32_t src, noc::DestMask dests,
+  noc::MessageId send_message(std::uint32_t src, noc::DestSet dests,
                               bool measured) override;
 
   /// Header address bits for this architecture (Section 5.2(d)): the

@@ -1,0 +1,89 @@
+#include "core/registry.h"
+
+#include <utility>
+
+#include "mot/topology.h"
+#include "util/error.h"
+
+namespace specnoc::core {
+
+ArchitectureRegistry::ArchitectureRegistry() {
+  for (const auto arch : all_architectures()) {
+    add(
+        to_string(arch),
+        [arch](const NetworkConfig& config) {
+          return std::make_unique<MotNetwork>(arch, config);
+        },
+        arch);
+  }
+}
+
+ArchitectureRegistry& ArchitectureRegistry::global() {
+  static ArchitectureRegistry registry;
+  return registry;
+}
+
+void ArchitectureRegistry::add(const std::string& name, NetworkBuilder build,
+                               Architecture reported) {
+  if (name.empty()) throw ConfigError("architecture name must be non-empty");
+  if (!build) {
+    throw ConfigError("architecture '" + name + "' needs a builder");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      entries_.emplace(name, Entry{reported, std::move(build)});
+  if (!inserted) {
+    throw ConfigError("architecture '" + name +
+                      "' is already registered; re-binding a name would "
+                      "change the identity of serialized results");
+  }
+}
+
+void ArchitectureRegistry::add_speculation_levels(
+    const std::string& name, std::vector<std::uint32_t> levels) {
+  add(name, [levels = std::move(levels)](const NetworkConfig& config) {
+    const mot::MotTopology topology(config.n);
+    return std::make_unique<MotNetwork>(
+        config, SpeculationMap::from_levels(topology, levels));
+  });
+}
+
+bool ArchitectureRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> ArchitectureRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iterates in sorted order
+}
+
+ArchitectureRegistry::Entry ArchitectureRegistry::entry(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [known_name, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += known_name;
+    }
+    throw ConfigError("unknown architecture '" + name +
+                      "' (registered: " + known + ")");
+  }
+  return it->second;
+}
+
+std::unique_ptr<MotNetwork> ArchitectureRegistry::build(
+    const std::string& name, const NetworkConfig& config) const {
+  return entry(name).build(config);
+}
+
+Architecture ArchitectureRegistry::reported(const std::string& name) const {
+  return entry(name).arch;
+}
+
+}  // namespace specnoc::core

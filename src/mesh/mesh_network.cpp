@@ -155,27 +155,24 @@ void MeshNetwork::build() {
 }
 
 noc::MessageId MeshNetwork::send_message(std::uint32_t src,
-                                         noc::DestMask dests,
+                                         noc::DestSet dests,
                                          bool measured) {
   SPECNOC_EXPECTS(src < topology_.n());
-  SPECNOC_EXPECTS(dests != 0);
-  SPECNOC_EXPECTS((topology_.n() >= 64) || (dests >> topology_.n()) == 0);
+  SPECNOC_EXPECTS(dests.any());
+  SPECNOC_EXPECTS(dests.within(topology_.n()));
   // The source's own lane clock (== the global clock when sequential).
+  const bool multicast = dests.is_multicast();
   noc::Message& msg = net_.packets().create_message(
-      src, dests, net_.source(src).lane().now(), measured);
+      src, std::move(dests), net_.source(src).lane().now(), measured);
   noc::SourceNode& source = net_.source(src);
-  const bool multicast = (dests & (dests - 1)) != 0;
   if (multicast && config_.multicast == MulticastMode::kSerial) {
-    noc::DestMask remaining = dests;
-    while (remaining != 0) {
-      const noc::DestMask low = remaining & (~remaining + 1);
-      source.enqueue_packet(
-          net_.packets().create_packet(msg, low, config_.flits_per_packet));
-      remaining ^= low;
-    }
+    msg.dests.for_each_dest([&](std::uint32_t d) {
+      source.enqueue_packet(net_.packets().create_packet(
+          msg, noc::DestSet::single(d), config_.flits_per_packet));
+    });
   } else {
-    source.enqueue_packet(
-        net_.packets().create_packet(msg, dests, config_.flits_per_packet));
+    source.enqueue_packet(net_.packets().create_packet(
+        msg, msg.dests, config_.flits_per_packet));
   }
   return msg.id;
 }

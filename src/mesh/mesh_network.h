@@ -59,7 +59,7 @@ class MeshNetwork final : public noc::MessageNetwork {
   std::uint32_t flits_per_packet() const override {
     return config_.flits_per_packet;
   }
-  noc::MessageId send_message(std::uint32_t src, noc::DestMask dests,
+  noc::MessageId send_message(std::uint32_t src, noc::DestSet dests,
                               bool measured) override;
 
   sim::Scheduler& scheduler() { return net_.scheduler(); }

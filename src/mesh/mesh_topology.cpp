@@ -32,8 +32,10 @@ Port opposite(Port port) {
 
 MeshTopology::MeshTopology(std::uint32_t cols, std::uint32_t rows)
     : cols_(cols), rows_(rows) {
-  if (cols < 1 || rows < 1 || cols * rows < 2 || cols * rows > 64) {
-    throw ConfigError("mesh must have 2..64 routers, got " +
+  if (cols < 1 || rows < 1 || cols * rows < 2 ||
+      cols * rows > noc::kMaxEndpoints) {
+    throw ConfigError("mesh must have 2.." +
+                      std::to_string(noc::kMaxEndpoints) + " routers, got " +
                       std::to_string(cols) + "x" + std::to_string(rows));
   }
 }
@@ -85,7 +87,7 @@ std::uint32_t MeshTopology::distance(std::uint32_t a, std::uint32_t b) const {
 }
 
 PortMask MeshTopology::route_dirs(std::uint32_t id, std::uint32_t src,
-                                  noc::DestMask dests) const {
+                                  const noc::DestSet& dests) const {
   SPECNOC_EXPECTS(id < n());
   SPECNOC_EXPECTS(src < n());
   const std::uint32_t x = x_of(id);
@@ -93,29 +95,26 @@ PortMask MeshTopology::route_dirs(std::uint32_t id, std::uint32_t src,
   const std::uint32_t sx = x_of(src);
   const std::uint32_t sy = y_of(src);
   PortMask dirs = 0;
-  noc::DestMask remaining = dests;
-  while (remaining != 0) {
-    const auto d = static_cast<std::uint32_t>(std::countr_zero(remaining));
-    remaining &= remaining - 1;
-    if (d >= n()) continue;  // bits beyond the mesh are ignored
+  dests.for_each_dest([&](std::uint32_t d) {
+    if (d >= n()) return;  // members beyond the mesh are ignored
     const std::uint32_t dx = x_of(d);
     const std::uint32_t dy = y_of(d);
     // X-leg of the path (row y_src, still short of the turn column):
     if (y == sy && ((sx <= x && x < dx) || (dx < x && x <= sx))) {
       dirs |= dx > x ? port_bit(Port::kEast) : port_bit(Port::kWest);
-      continue;
+      return;
     }
     // Y-leg (the destination's column, short of the destination row):
     if (x == dx && ((sy <= y && y < dy) || (dy < y && y <= sy))) {
       dirs |= dy > y ? port_bit(Port::kSouth) : port_bit(Port::kNorth);
-      continue;
+      return;
     }
     if (x == dx && y == dy) {
       dirs |= port_bit(Port::kLocal);
     }
     // Otherwise this router is not on src's XY path to d: another branch
     // of the multicast tree serves it.
-  }
+  });
   return dirs;
 }
 

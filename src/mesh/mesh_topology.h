@@ -33,7 +33,8 @@ constexpr PortMask port_bit(Port port) {
 
 class MeshTopology {
  public:
-  /// cols, rows >= 1 with 2 <= cols*rows <= 64. Throws ConfigError.
+  /// cols, rows >= 1 with 2 <= cols*rows <= noc::kMaxEndpoints. Throws
+  /// ConfigError.
   MeshTopology(std::uint32_t cols, std::uint32_t rows);
 
   std::uint32_t cols() const { return cols_; }
@@ -61,7 +62,7 @@ class MeshTopology {
   /// served by other branches of the tree. An empty result cannot occur
   /// for a flit that legally reached `id`.
   PortMask route_dirs(std::uint32_t id, std::uint32_t src,
-                      noc::DestMask dests) const;
+                      const noc::DestSet& dests) const;
 
  private:
   std::uint32_t cols_;

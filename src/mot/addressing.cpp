@@ -44,9 +44,10 @@ SourceRouteEncoder::SourceRouteEncoder(const MotTopology& topology,
 
 RouteSymbol SourceRouteEncoder::symbol_for(std::uint32_t level,
                                            std::uint32_t index,
-                                           noc::DestMask dests) const {
-  const bool top = (dests & topology_.subtree_mask(level, index, 0)) != 0;
-  const bool bottom = (dests & topology_.subtree_mask(level, index, 1)) != 0;
+                                           const noc::DestSet& dests) const {
+  const bool top = dests.intersects(topology_.subtree_span(level, index, 0));
+  const bool bottom =
+      dests.intersects(topology_.subtree_span(level, index, 1));
   if (top && bottom) return RouteSymbol::kBoth;
   if (top) return RouteSymbol::kTop;
   if (bottom) return RouteSymbol::kBottom;
@@ -54,8 +55,8 @@ RouteSymbol SourceRouteEncoder::symbol_for(std::uint32_t level,
 }
 
 std::vector<RouteSymbol> SourceRouteEncoder::encode(
-    noc::DestMask dests) const {
-  SPECNOC_EXPECTS(dests != 0);
+    const noc::DestSet& dests) const {
+  SPECNOC_EXPECTS(dests.any());
   std::vector<RouteSymbol> fields;
   fields.reserve(addressed_);
   for (std::uint32_t id = 0; id < speculative_.size(); ++id) {

@@ -43,13 +43,14 @@ class SourceRouteEncoder {
                      std::vector<bool> speculative_by_heap_id);
 
   /// The ground-truth symbol for node (level, index) given a destination
-  /// set: which of its two subtrees contain destinations.
+  /// set: which of its two subtrees contain destinations. Range-based, so
+  /// no allocation at any radix.
   RouteSymbol symbol_for(std::uint32_t level, std::uint32_t index,
-                         noc::DestMask dests) const;
+                         const noc::DestSet& dests) const;
 
   /// Encoded header fields: one symbol per *addressed* (non-speculative)
   /// node, in heap order. This is exactly what a hardware header carries.
-  std::vector<RouteSymbol> encode(noc::DestMask dests) const;
+  std::vector<RouteSymbol> encode(const noc::DestSet& dests) const;
 
   /// The symbol an addressed node reads from an encoded header. `field_slot`
   /// is the node's position among addressed nodes (see field_slot()).

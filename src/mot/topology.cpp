@@ -7,7 +7,8 @@ namespace specnoc::mot {
 
 MotTopology::MotTopology(std::uint32_t n) : n_(n) {
   if (n < 2 || n > kMaxRadix || !is_pow2(n)) {
-    throw ConfigError("MoT radix must be a power of two in [2, 64], got " +
+    throw ConfigError("MoT radix must be a power of two in [2, " +
+                      std::to_string(kMaxRadix) + "], got " +
                       std::to_string(n));
   }
   levels_ = log2_exact(n);
@@ -40,25 +41,27 @@ std::pair<std::uint32_t, std::uint32_t> MotTopology::fanout_span(
   return {index * width, (index + 1) * width};
 }
 
-noc::DestMask MotTopology::span_mask(std::uint32_t level,
-                                     std::uint32_t index) const {
-  const auto [lo, hi] = fanout_span(level, index);
-  const std::uint32_t width = hi - lo;
-  const noc::DestMask ones =
-      width >= 64 ? ~noc::DestMask{0} : ((noc::DestMask{1} << width) - 1);
-  return ones << lo;
-}
-
-noc::DestMask MotTopology::subtree_mask(std::uint32_t level,
-                                        std::uint32_t index,
-                                        std::uint32_t child) const {
+noc::DestRange MotTopology::subtree_span(std::uint32_t level,
+                                         std::uint32_t index,
+                                         std::uint32_t child) const {
   SPECNOC_EXPECTS(child < 2);
   const auto [lo, hi] = fanout_span(level, index);
   const std::uint32_t half = (hi - lo) / 2;
   SPECNOC_ASSERT(half >= 1);
-  const noc::DestMask ones = (half >= 64) ? ~noc::DestMask{0}
-                                          : ((noc::DestMask{1} << half) - 1);
-  return ones << (lo + child * half);
+  return noc::DestRange{lo + child * half, lo + (child + 1) * half};
+}
+
+noc::DestSet MotTopology::span_mask(std::uint32_t level,
+                                    std::uint32_t index) const {
+  const auto [lo, hi] = fanout_span(level, index);
+  return noc::DestSet::range(lo, hi);
+}
+
+noc::DestSet MotTopology::subtree_mask(std::uint32_t level,
+                                       std::uint32_t index,
+                                       std::uint32_t child) const {
+  const noc::DestRange span = subtree_span(level, index, child);
+  return noc::DestSet::range(span.lo, span.hi);
 }
 
 std::uint32_t MotTopology::route_bit(std::uint32_t dest,

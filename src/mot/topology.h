@@ -21,12 +21,13 @@
 
 namespace specnoc::mot {
 
-/// Maximum supported radix (DestMask is a 64-bit mask).
-inline constexpr std::uint32_t kMaxRadix = 64;
+/// Maximum supported radix (the DestSet endpoint ceiling, a 64x64 grid).
+inline constexpr std::uint32_t kMaxRadix = noc::kMaxEndpoints;
 
 class MotTopology {
  public:
-  /// n must be a power of two in [2, 64]. Throws ConfigError otherwise.
+  /// n must be a power of two in [2, kMaxRadix]. Throws ConfigError
+  /// otherwise.
   explicit MotTopology(std::uint32_t n);
 
   std::uint32_t n() const { return n_; }
@@ -49,13 +50,20 @@ class MotTopology {
   std::pair<std::uint32_t, std::uint32_t> fanout_span(std::uint32_t level,
                                                       std::uint32_t index) const;
 
-  /// Mask of all destinations covered by fanout node (level, index).
-  noc::DestMask span_mask(std::uint32_t level, std::uint32_t index) const;
+  /// Destination range reached through output `child` (0 = top = lower
+  /// half, 1 = bottom = upper half) of fanout node (level, index). Subtree
+  /// coverage is always contiguous, so ranges — not masks — are what the
+  /// routing fast path stores: two 8-byte ranges per node at any radix.
+  noc::DestRange subtree_span(std::uint32_t level, std::uint32_t index,
+                              std::uint32_t child) const;
 
-  /// Mask of destinations reached through output `child` (0 = top = lower
-  /// half, 1 = bottom = upper half) of fanout node (level, index).
-  noc::DestMask subtree_mask(std::uint32_t level, std::uint32_t index,
-                             std::uint32_t child) const;
+  /// Set of all destinations covered by fanout node (level, index).
+  noc::DestSet span_mask(std::uint32_t level, std::uint32_t index) const;
+
+  /// Set of destinations reached through output `child` of fanout node
+  /// (level, index) — subtree_span as a materialized DestSet.
+  noc::DestSet subtree_mask(std::uint32_t level, std::uint32_t index,
+                            std::uint32_t child) const;
 
   /// Routing bit for destination `dest` at fanout level `level`:
   /// bit (L-1-level) of dest, MSB first.

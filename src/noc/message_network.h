@@ -25,8 +25,9 @@ class MessageNetwork {
   virtual std::uint32_t flits_per_packet() const = 0;
 
   /// Sends a message from `src` to the destination set at the current
-  /// simulation time; returns the message id.
-  virtual MessageId send_message(std::uint32_t src, DestMask dests,
+  /// simulation time; returns the message id. Taken by value: callers
+  /// typically move a freshly built set in.
+  virtual MessageId send_message(std::uint32_t src, DestSet dests,
                                  bool measured) = 0;
 };
 

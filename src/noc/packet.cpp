@@ -2,31 +2,31 @@
 
 namespace specnoc::noc {
 
-Message& PacketStore::create_message(std::uint32_t src, DestMask dests,
+Message& PacketStore::create_message(std::uint32_t src, DestSet dests,
                                      TimePs gen_time, bool measured) {
-  SPECNOC_EXPECTS(dests != 0);
+  SPECNOC_EXPECTS(dests.any());
   const std::lock_guard<std::mutex> lock(mutex_);
   Message msg;
   msg.id = messages_.size();
   msg.src = src;
-  msg.dests = dests;
+  msg.dests = std::move(dests);
   msg.gen_time = gen_time;
   msg.measured = measured;
   messages_.push_back(msg);
   return messages_.back();
 }
 
-Packet& PacketStore::create_packet(const Message& msg, DestMask dests,
+Packet& PacketStore::create_packet(const Message& msg, DestSet dests,
                                    std::uint32_t num_flits) {
-  SPECNOC_EXPECTS(dests != 0);
-  SPECNOC_EXPECTS((dests & ~msg.dests) == 0);
+  SPECNOC_EXPECTS(dests.any());
+  SPECNOC_EXPECTS(dests.subset_of(msg.dests));
   SPECNOC_EXPECTS(num_flits >= 1);
   const std::lock_guard<std::mutex> lock(mutex_);
   Packet pkt;
   pkt.id = packets_.size();
   pkt.message = msg.id;
   pkt.src = msg.src;
-  pkt.dests = dests;
+  pkt.dests = std::move(dests);
   pkt.num_flits = num_flits;
   pkt.gen_time = msg.gen_time;
   pkt.measured = msg.measured;

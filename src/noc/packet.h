@@ -13,6 +13,7 @@
 
 #include "util/contract.h"
 #include "util/units.h"
+#include "noc/dest_set.h"
 #include "noc/flit.h"
 
 namespace specnoc::noc {
@@ -20,18 +21,11 @@ namespace specnoc::noc {
 using PacketId = std::uint64_t;
 using MessageId = std::uint64_t;
 
-/// Bitmask over destination indices; supports networks up to 64x64.
-using DestMask = std::uint64_t;
-
-constexpr DestMask dest_bit(std::uint32_t d) {
-  return DestMask{1} << d;
-}
-
 /// Application-level send request.
 struct Message {
   MessageId id = 0;
   std::uint32_t src = 0;
-  DestMask dests = 0;       ///< full destination set of the message
+  DestSet dests;            ///< full destination set of the message
   TimePs gen_time = 0;      ///< when the traffic generator created it
   bool measured = false;    ///< inside the measurement window
   std::uint32_t num_packets = 0;  ///< 1, or k for serialized multicast
@@ -42,12 +36,12 @@ struct Packet {
   PacketId id = 0;
   MessageId message = 0;
   std::uint32_t src = 0;
-  DestMask dests = 0;       ///< destinations of *this packet*
+  DestSet dests;            ///< destinations of *this packet*
   std::uint32_t num_flits = 1;
   TimePs gen_time = 0;
   bool measured = false;
 
-  bool is_multicast() const { return (dests & (dests - 1)) != 0; }
+  bool is_multicast() const { return dests.is_multicast(); }
 };
 
 /// Owns all messages and packets created during a run. Deque storage keeps
@@ -60,10 +54,10 @@ struct Packet {
 /// uncontended in sequential runs.
 class PacketStore {
  public:
-  Message& create_message(std::uint32_t src, DestMask dests, TimePs gen_time,
+  Message& create_message(std::uint32_t src, DestSet dests, TimePs gen_time,
                           bool measured);
 
-  Packet& create_packet(const Message& msg, DestMask dests,
+  Packet& create_packet(const Message& msg, DestSet dests,
                         std::uint32_t num_flits);
 
   std::size_t num_messages() const {

@@ -6,13 +6,14 @@ FanoutNodeBase::FanoutNodeBase(sim::Scheduler& scheduler,
                                noc::SimHooks& hooks, noc::NodeKind kind,
                                std::string name,
                                const NodeCharacteristics& chars,
-                               noc::DestMask top_mask,
-                               noc::DestMask bottom_mask)
+                               noc::DestRange top_span,
+                               noc::DestRange bottom_span)
     : Node(scheduler, hooks, kind, std::move(name)), chars_(chars),
-      top_mask_(top_mask), bottom_mask_(bottom_mask) {
+      top_span_(top_span), bottom_span_(bottom_span) {
   SPECNOC_EXPECTS(chars.fwd_header >= 0 && chars.fwd_body >= 0 &&
                   chars.ack_delay >= 0);
-  SPECNOC_EXPECTS((top_mask & bottom_mask) == 0);
+  SPECNOC_EXPECTS(top_span.hi <= bottom_span.lo ||
+                  bottom_span.hi <= top_span.lo);
 }
 
 void FanoutNodeBase::deliver(const noc::Flit& flit, std::uint32_t in_port) {
@@ -33,8 +34,8 @@ void FanoutNodeBase::on_output_ack(std::uint32_t out_port) {
 
 Dirs FanoutNodeBase::true_dirs(const noc::Packet& packet) const {
   Dirs dirs = kDirNone;
-  if ((packet.dests & top_mask_) != 0) dirs |= kDirTop;
-  if ((packet.dests & bottom_mask_) != 0) dirs |= kDirBottom;
+  if (packet.dests.intersects(top_span_)) dirs |= kDirTop;
+  if (packet.dests.intersects(bottom_span_)) dirs |= kDirBottom;
   return dirs;
 }
 

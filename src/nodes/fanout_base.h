@@ -34,13 +34,15 @@ inline constexpr Dirs kDirBoth = 0b11;
 
 class FanoutNodeBase : public noc::Node {
  public:
-  /// `top_mask` / `bottom_mask`: destination sets reachable through each
-  /// output (from MotTopology::subtree_mask); they define ground-truth
+  /// `top_span` / `bottom_span`: destination ranges reachable through each
+  /// output (from MotTopology::subtree_span); they define ground-truth
   /// routing, equivalent to decoding this node's source-routing field.
+  /// Ranges (not masks) keep per-node storage at 16 bytes regardless of
+  /// radix — a radix-4096 network has ~16.7M fanout nodes.
   FanoutNodeBase(sim::Scheduler& scheduler, noc::SimHooks& hooks,
                  noc::NodeKind kind, std::string name,
-                 const NodeCharacteristics& chars, noc::DestMask top_mask,
-                 noc::DestMask bottom_mask);
+                 const NodeCharacteristics& chars, noc::DestRange top_span,
+                 noc::DestRange bottom_span);
 
   void deliver(const noc::Flit& flit, std::uint32_t in_port) final;
   void on_output_ack(std::uint32_t out_port) final;
@@ -91,8 +93,8 @@ class FanoutNodeBase : public noc::Node {
   void ack_input();
 
   NodeCharacteristics chars_;
-  noc::DestMask top_mask_;
-  noc::DestMask bottom_mask_;
+  noc::DestRange top_span_;
+  noc::DestRange bottom_span_;
   OutputState out_[2];
   bool input_busy_ = false;
   int sends_remaining_ = 0;

@@ -5,10 +5,10 @@ namespace specnoc::nodes {
 BaselineFanoutNode::BaselineFanoutNode(sim::Scheduler& scheduler,
                                        noc::SimHooks& hooks, std::string name,
                                        const NodeCharacteristics& chars,
-                                       noc::DestMask top_mask,
-                                       noc::DestMask bottom_mask)
+                                       noc::DestRange top_span,
+                                       noc::DestRange bottom_span)
     : FanoutNodeBase(scheduler, hooks, noc::NodeKind::kFanoutBaseline,
-                     std::move(name), chars, top_mask, bottom_mask) {}
+                     std::move(name), chars, top_span, bottom_span) {}
 
 void BaselineFanoutNode::process(const noc::Flit& flit) {
   const Dirs dirs = true_dirs(*flit.packet);
@@ -21,10 +21,10 @@ void BaselineFanoutNode::process(const noc::Flit& flit) {
 SpecFanoutNode::SpecFanoutNode(sim::Scheduler& scheduler,
                                noc::SimHooks& hooks, std::string name,
                                const NodeCharacteristics& chars,
-                               noc::DestMask top_mask,
-                               noc::DestMask bottom_mask)
+                               noc::DestRange top_span,
+                               noc::DestRange bottom_span)
     : FanoutNodeBase(scheduler, hooks, noc::NodeKind::kFanoutSpeculative,
-                     std::move(name), chars, top_mask, bottom_mask) {}
+                     std::move(name), chars, top_span, bottom_span) {}
 
 void SpecFanoutNode::process(const noc::Flit& flit) {
   forward(flit, kDirBoth, noc::NodeOp::kBroadcast);
@@ -33,10 +33,10 @@ void SpecFanoutNode::process(const noc::Flit& flit) {
 NonSpecFanoutNode::NonSpecFanoutNode(sim::Scheduler& scheduler,
                                      noc::SimHooks& hooks, std::string name,
                                      const NodeCharacteristics& chars,
-                                     noc::DestMask top_mask,
-                                     noc::DestMask bottom_mask)
+                                     noc::DestRange top_span,
+                                     noc::DestRange bottom_span)
     : FanoutNodeBase(scheduler, hooks, noc::NodeKind::kFanoutNonSpeculative,
-                     std::move(name), chars, top_mask, bottom_mask) {}
+                     std::move(name), chars, top_span, bottom_span) {}
 
 void NonSpecFanoutNode::process(const noc::Flit& flit) {
   const Dirs dirs = true_dirs(*flit.packet);
@@ -56,10 +56,10 @@ TimePs NonSpecFanoutNode::processing_latency(const noc::Flit& flit) const {
 OptSpecFanoutNode::OptSpecFanoutNode(sim::Scheduler& scheduler,
                                      noc::SimHooks& hooks, std::string name,
                                      const NodeCharacteristics& chars,
-                                     noc::DestMask top_mask,
-                                     noc::DestMask bottom_mask)
+                                     noc::DestRange top_span,
+                                     noc::DestRange bottom_span)
     : FanoutNodeBase(scheduler, hooks, noc::NodeKind::kFanoutOptSpeculative,
-                     std::move(name), chars, top_mask, bottom_mask) {}
+                     std::move(name), chars, top_span, bottom_span) {}
 
 void OptSpecFanoutNode::process(const noc::Flit& flit) {
   if (flit.is_header() || flit.is_tail()) {
@@ -88,11 +88,11 @@ OptNonSpecFanoutNode::OptNonSpecFanoutNode(sim::Scheduler& scheduler,
                                            noc::SimHooks& hooks,
                                            std::string name,
                                            const NodeCharacteristics& chars,
-                                           noc::DestMask top_mask,
-                                           noc::DestMask bottom_mask)
+                                           noc::DestRange top_span,
+                                           noc::DestRange bottom_span)
     : FanoutNodeBase(scheduler, hooks,
                      noc::NodeKind::kFanoutOptNonSpeculative, std::move(name),
-                     chars, top_mask, bottom_mask) {}
+                     chars, top_span, bottom_span) {}
 
 void OptNonSpecFanoutNode::process(const noc::Flit& flit) {
   const Dirs dirs = true_dirs(*flit.packet);

@@ -29,7 +29,7 @@ class BaselineFanoutNode final : public FanoutNodeBase {
  public:
   BaselineFanoutNode(sim::Scheduler& scheduler, noc::SimHooks& hooks,
                      std::string name, const NodeCharacteristics& chars,
-                     noc::DestMask top_mask, noc::DestMask bottom_mask);
+                     noc::DestRange top_span, noc::DestRange bottom_span);
 
  private:
   void process(const noc::Flit& flit) override;
@@ -41,7 +41,7 @@ class SpecFanoutNode final : public FanoutNodeBase {
  public:
   SpecFanoutNode(sim::Scheduler& scheduler, noc::SimHooks& hooks,
                  std::string name, const NodeCharacteristics& chars,
-                 noc::DestMask top_mask, noc::DestMask bottom_mask);
+                 noc::DestRange top_span, noc::DestRange bottom_span);
 
  private:
   void process(const noc::Flit& flit) override;
@@ -55,7 +55,7 @@ class NonSpecFanoutNode final : public FanoutNodeBase {
  public:
   NonSpecFanoutNode(sim::Scheduler& scheduler, noc::SimHooks& hooks,
                     std::string name, const NodeCharacteristics& chars,
-                    noc::DestMask top_mask, noc::DestMask bottom_mask);
+                    noc::DestRange top_span, noc::DestRange bottom_span);
 
  private:
   void process(const noc::Flit& flit) override;
@@ -71,7 +71,7 @@ class OptSpecFanoutNode final : public FanoutNodeBase {
  public:
   OptSpecFanoutNode(sim::Scheduler& scheduler, noc::SimHooks& hooks,
                     std::string name, const NodeCharacteristics& chars,
-                    noc::DestMask top_mask, noc::DestMask bottom_mask);
+                    noc::DestRange top_span, noc::DestRange bottom_span);
 
  private:
   void process(const noc::Flit& flit) override;
@@ -85,7 +85,7 @@ class OptNonSpecFanoutNode final : public FanoutNodeBase {
  public:
   OptNonSpecFanoutNode(sim::Scheduler& scheduler, noc::SimHooks& hooks,
                        std::string name, const NodeCharacteristics& chars,
-                       noc::DestMask top_mask, noc::DestMask bottom_mask);
+                       noc::DestRange top_span, noc::DestRange bottom_span);
 
  private:
   void process(const noc::Flit& flit) override;

@@ -1,5 +1,7 @@
 #include "stats/experiment.h"
 
+#include "core/registry.h"
+
 #include <string>
 
 #include "power/power_meter.h"
@@ -69,8 +71,15 @@ NetworkFactory ExperimentRunner::factory_for(core::Architecture arch) const {
 }
 
 NetworkFactory ExperimentRunner::factory_for_spec(
-    core::Architecture arch, const NetworkFactory& factory) const {
-  return factory ? factory : factory_for(arch);
+    core::Architecture arch, const NetworkFactory& factory,
+    const std::string& custom) const {
+  if (factory) return factory;
+  if (!custom.empty()) {
+    return [custom, config = config_] {
+      return core::ArchitectureRegistry::global().build(custom, config);
+    };
+  }
+  return factory_for(arch);
 }
 
 NetworkFactory ExperimentRunner::sequential_factory_for(
@@ -83,8 +92,17 @@ NetworkFactory ExperimentRunner::sequential_factory_for(
 }
 
 NetworkFactory ExperimentRunner::sequential_factory_for_spec(
-    core::Architecture arch, const NetworkFactory& factory) const {
-  return factory ? factory : sequential_factory_for(arch);
+    core::Architecture arch, const NetworkFactory& factory,
+    const std::string& custom) const {
+  if (factory) return factory;
+  if (!custom.empty()) {
+    core::NetworkConfig config = config_;
+    config.sim_threads = 1;
+    return [custom, config = std::move(config)] {
+      return core::ArchitectureRegistry::global().build(custom, config);
+    };
+  }
+  return sequential_factory_for(arch);
 }
 
 const SaturationResult& ExperimentRunner::saturation(
@@ -397,7 +415,7 @@ std::vector<SaturationOutcome> ExperimentRunner::run_saturation_grid(
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
     outcomes[i].result =
-        saturation_run(factory_for_spec(spec.arch, spec.factory), spec.bench,
+        saturation_run(factory_for_spec(spec.arch, spec.factory, spec.custom), spec.bench,
                        spec.seed == 0 ? seed_ : spec.seed, &events,
                        options.collect_metrics ? &snapshot : nullptr);
     if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
@@ -408,9 +426,10 @@ std::vector<SaturationOutcome> ExperimentRunner::run_saturation_grid(
     outcomes[i].spec = specs[i];
     outcomes[i].run = runs[i];
     if (!runs[i].ok) outcomes[i].metrics.reset();
-    // Canonical cells (runner seed, canonical network) warm the
-    // memoization cache so saturation() reuses them.
-    if (runs[i].ok && specs[i].seed == 0 && !specs[i].factory) {
+    // Canonical cells (runner seed, canonical network, no custom label)
+    // warm the memoization cache so saturation() reuses them.
+    if (runs[i].ok && specs[i].seed == 0 && !specs[i].factory &&
+        specs[i].custom.empty()) {
       saturation_cache_.emplace(std::make_pair(specs[i].arch, specs[i].bench),
                                 outcomes[i].result);
     }
@@ -427,7 +446,7 @@ std::vector<LatencyOutcome> ExperimentRunner::run_latency_sweep(
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
     outcomes[i].result = latency_run(
-        sequential_factory_for_spec(spec.arch, spec.factory), spec.bench,
+        sequential_factory_for_spec(spec.arch, spec.factory, spec.custom), spec.bench,
         spec.injected_flits_per_ns, spec.windows,
         spec.seed == 0 ? seed_ : spec.seed, &events,
         options.collect_metrics ? &snapshot : nullptr);
@@ -457,8 +476,8 @@ std::vector<WorkloadOutcome> ExperimentRunner::run_workload_grid(
     MetricsSnapshot snapshot;
     const NetworkFactory net_factory =
         spec.mode == workload::ReplayMode::kClosedLoop
-            ? sequential_factory_for_spec(spec.arch, spec.factory)
-            : factory_for_spec(spec.arch, spec.factory);
+            ? sequential_factory_for_spec(spec.arch, spec.factory, spec.custom)
+            : factory_for_spec(spec.arch, spec.factory, spec.custom);
     outcomes[i].result =
         workload_run(net_factory, *spec.trace, spec.mode, &events,
                      options.collect_metrics ? &snapshot : nullptr);
@@ -482,7 +501,7 @@ std::vector<PowerOutcome> ExperimentRunner::run_power_sweep(
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
     outcomes[i].result = power_run(
-        sequential_factory_for_spec(spec.arch, spec.factory), spec.bench,
+        sequential_factory_for_spec(spec.arch, spec.factory, spec.custom), spec.bench,
         spec.injected_flits_per_ns, spec.windows,
         spec.seed == 0 ? seed_ : spec.seed, &events,
         options.collect_metrics ? &snapshot : nullptr);

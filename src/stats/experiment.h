@@ -287,8 +287,14 @@ class ExperimentRunner {
 
  private:
   NetworkFactory factory_for(core::Architecture arch) const;
+  /// Resolves a spec's network: an explicit factory wins; otherwise a
+  /// non-empty `custom` label is rebuilt from the process-wide
+  /// ArchitectureRegistry (how deserialized design points — whose
+  /// factories cannot travel through shard files — come back to life);
+  /// otherwise the architecture's canonical network.
   NetworkFactory factory_for_spec(core::Architecture arch,
-                                  const NetworkFactory& factory) const;
+                                  const NetworkFactory& factory,
+                                  const std::string& custom) const;
   /// As factory_for, but with sim_threads forced to 1. The latency drain
   /// loop, power accounting, and closed-loop replay are event-granular
   /// protocols that have no windowed equivalent, so their canonical
@@ -296,8 +302,9 @@ class ExperimentRunner {
   /// (custom factories are the caller's contract; a partitioned network
   /// handed to these protocols raises ConfigError).
   NetworkFactory sequential_factory_for(core::Architecture arch) const;
-  NetworkFactory sequential_factory_for_spec(
-      core::Architecture arch, const NetworkFactory& factory) const;
+  NetworkFactory sequential_factory_for_spec(core::Architecture arch,
+                                             const NetworkFactory& factory,
+                                             const std::string& custom) const;
 
   /// Single-run workers behind both the public serial methods and the
   /// batch APIs. `events_out` (when non-null) receives the number of

@@ -25,10 +25,10 @@ void TrafficRecorder::on_flit_ejected(const noc::Packet& packet,
   auto [it, inserted] =
       pending_.try_emplace(msg.id, PendingMessage{msg.dests, when});
   PendingMessage& entry = it->second;
-  SPECNOC_ASSERT((entry.remaining & noc::dest_bit(dest)) != 0);
-  entry.remaining &= ~noc::dest_bit(dest);
+  SPECNOC_ASSERT(entry.remaining.test(dest));
+  entry.remaining.reset(dest);
   entry.last = std::max(entry.last, when);
-  if (entry.remaining == 0) {
+  if (entry.remaining.none()) {
     latencies_.push_back(entry.last - msg.gen_time);
     pending_.erase(it);
   }

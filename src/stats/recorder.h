@@ -60,7 +60,7 @@ class TrafficRecorder final : public noc::TrafficObserver {
   /// message's headers from several scheduler lanes, so the hook call order
   /// is not timestamp order.
   struct PendingMessage {
-    noc::DestMask remaining = 0;  ///< destinations still missing a header
+    noc::DestSet remaining;  ///< destinations still missing a header
     TimePs last = 0;              ///< max header arrival time so far
   };
 

@@ -31,11 +31,13 @@ SweepManifest manifest_from_json(const Json& json) {
   }
   SweepManifest manifest;
   manifest.schema_version = static_cast<int>(json.at("schema").as_i64());
-  if (manifest.schema_version != kSweepSchemaVersion) {
+  if (manifest.schema_version < kSweepSchemaVersionMin ||
+      manifest.schema_version > kSweepSchemaVersion) {
     throw ConfigError("unsupported sweep schema version " +
                       std::to_string(manifest.schema_version) + " (this build "
-                      "reads version " + std::to_string(kSweepSchemaVersion) +
-                      ")");
+                      "reads versions " +
+                      std::to_string(kSweepSchemaVersionMin) + ".." +
+                      std::to_string(kSweepSchemaVersion) + ")");
   }
   manifest.tool = json.at("tool").as_string();
   manifest.shard.index = static_cast<unsigned>(json.at("shard").as_u64());
@@ -56,6 +58,7 @@ Json grid_to_json(const SweepGrid& grid) {
   json.set("kind", grid.kind);
   json.set("size", static_cast<std::uint64_t>(grid.size));
   json.set("hash", grid.hash);
+  if (grid.shared) json.set("shared", true);
   return json;
 }
 
@@ -65,6 +68,8 @@ SweepGrid grid_from_json(const Json& json) {
   grid.kind = json.at("kind").as_string();
   grid.size = static_cast<std::size_t>(json.at("size").as_u64());
   grid.hash = json.at("hash").as_string();
+  const Json* shared = json.find("shared");  // absent in schema-1 files
+  grid.shared = shared != nullptr && shared->as_bool();
   return grid;
 }
 
@@ -85,7 +90,7 @@ bool valid_status(const std::string& status) {
 
 bool same_grid(const SweepGrid& a, const SweepGrid& b) {
   return a.name == b.name && a.kind == b.kind && a.size == b.size &&
-         a.hash == b.hash;
+         a.hash == b.hash && a.shared == b.shared;
 }
 
 void append_cells(std::string& out, const std::vector<std::size_t>& cells) {
@@ -220,7 +225,8 @@ bool MergeReport::complete() const {
 std::string MergeReport::summary() const {
   std::string out;
   for (const auto& grid : grids) {
-    out += "grid " + grid.name + ": " + std::to_string(grid.size) +
+    out += "grid " + grid.name + (grid.shared ? " (shared)" : "") + ": " +
+           std::to_string(grid.size) +
            " cells, " + std::to_string(grid.present) + " present, " +
            std::to_string(grid.missing.size()) + " missing";
     append_cells(out, grid.missing);
@@ -298,6 +304,7 @@ ShardFile merge_shards(const std::vector<ShardFile>& inputs,
     MergeReport::Grid coverage;
     coverage.name = grid.name;
     coverage.size = grid.size;
+    coverage.shared = grid.shared;
     auto& out_records = merged.records[grid.name];
     for (const auto& input : inputs) {
       const auto records = input.records.find(grid.name);
@@ -310,7 +317,10 @@ ShardFile merge_shards(const std::vector<ShardFile>& inputs,
                               std::to_string(cell) +
                               " has conflicting keys across shard files");
           }
-          coverage.duplicates.push_back(cell);
+          // Shared (anchor) grids overlap by construction — every worker
+          // may carry the full grid — so the duplicate is expected, not a
+          // coverage defect.
+          if (!grid.shared) coverage.duplicates.push_back(cell);
           continue;  // first input in argument order wins
         }
         out_records.emplace(cell, record);
@@ -421,12 +431,37 @@ bool file_has_content(const std::string& path) {
 
 ShardedSweep::ShardedSweep(SweepOptions options)
     : options_(std::move(options)) {
+  if (options_.mode != SweepMode::kWorker &&
+      (options_.anchors_only || !options_.anchors_from.empty())) {
+    throw ConfigError(
+        "--anchors-only/--anchors-from apply to worker mode (--shard/--out)");
+  }
+  if (options_.anchors_only && !options_.anchors_from.empty()) {
+    throw ConfigError("--anchors-only cannot be combined with --anchors-from");
+  }
   switch (options_.mode) {
     case SweepMode::kRun:
       break;
     case SweepMode::kWorker: {
       if (options_.out_path.empty()) {
         throw ConfigError("worker mode requires --out <shard.jsonl>");
+      }
+      if (!options_.anchors_from.empty()) {
+        anchors_ = load_shard_file(options_.anchors_from);
+        const SweepManifest& m = anchors_.manifest;
+        if (m.tool != options_.tool) {
+          throw ConfigError("--anchors-from file '" + options_.anchors_from +
+                            "' was produced by tool '" + m.tool +
+                            "', not by this harness ('" + options_.tool +
+                            "')");
+        }
+        if (m.seed != options_.seed) {
+          throw ConfigError("--anchors-from file '" + options_.anchors_from +
+                            "' was produced with seed " +
+                            std::to_string(m.seed) + "; rerun with --seed " +
+                            std::to_string(m.seed) +
+                            " (anchors would not match)");
+        }
       }
       file_.manifest.tool = options_.tool;
       file_.manifest.shard = options_.shard;
@@ -472,8 +507,84 @@ ShardedSweep::ShardedSweep(SweepOptions options)
 }
 
 std::vector<SaturationOutcome> ShardedSweep::anchor_saturation(
-    ExperimentRunner& runner, const std::vector<SaturationSpec>& specs) {
-  return runner.run_saturation_grid(specs, labeled_batch("anchor"));
+    ExperimentRunner& runner, const std::vector<SaturationSpec>& specs,
+    const std::string& name) {
+  if (options_.mode == SweepMode::kRun) {
+    return runner.run_saturation_grid(specs, labeled_batch(name));
+  }
+
+  const std::vector<std::string> keys = spec_keys(specs);
+  SweepGrid grid{name, SaturationTraits::kKind, specs.size(),
+                 grid_hash(keys)};
+  grid.shared = true;
+
+  if (options_.mode == SweepMode::kRender) {
+    if (file_.find_grid(name) == nullptr) {
+      // The merged file predates shared anchor grids (schema-1 workers
+      // never recorded anchors): simulate them, exactly as before.
+      return runner.run_saturation_grid(specs, labeled_batch(name));
+    }
+    auto outcomes = load_grid<SaturationTraits>(
+        file_, "--from file '" + options_.from_path + "'", grid, keys, specs,
+        /*strict=*/false);
+    prime_runner(runner, outcomes);
+    return outcomes;
+  }
+
+  // Worker. --anchors-only and the classic single-invocation worker both
+  // go through run_grid, which registers the shared grid and records this
+  // shard's owned cells. --anchors-from skips simulation entirely.
+  if (!options_.anchors_from.empty()) {
+    if (file_.find_grid(name) != nullptr) {
+      throw ConfigError("sweep grid '" + name + "' registered twice");
+    }
+    auto outcomes = load_grid<SaturationTraits>(
+        anchors_, "--anchors-from file '" + options_.anchors_from + "'", grid,
+        keys, specs, /*strict=*/true);
+    // Copy the anchor records into this shard file: the merged downstream
+    // file then carries the anchors itself, so --from never needs the
+    // phase-1 file. The merge accepts the K-way overlap (shared grid).
+    file_.grids.push_back(grid);
+    auto& out_records = file_.records[name];
+    const auto records = anchors_.records.find(name);
+    if (records != anchors_.records.end()) {
+      for (const auto& [cell, record] : records->second) {
+        out_records.emplace(cell, record);
+      }
+    }
+    flush();
+    prime_runner(runner, outcomes);
+    return outcomes;
+  }
+
+  if (options_.anchors_only) {
+    // Phase 1: simulate only the owned cells (resume carry-over included);
+    // the harness exits via finish() before building downstream grids.
+    return run_grid<SaturationTraits>(name, runner, specs, /*shared=*/true);
+  }
+
+  // Classic worker: every anchor result is needed to construct the
+  // downstream specs, so the full grid still runs — but the owned cells
+  // are now recorded, giving the merged file complete anchor coverage.
+  auto outcomes = runner.run_saturation_grid(specs, labeled_batch(name));
+  if (file_.find_grid(name) != nullptr) {
+    throw ConfigError("sweep grid '" + name + "' registered twice");
+  }
+  file_.grids.push_back(grid);
+  auto& out_records = file_.records[name];
+  const sim::ShardPlan plan(options_.shard.count);
+  for (const std::size_t cell :
+       plan.cells_of(keys, options_.shard.index)) {
+    SweepRecord record;
+    record.cell = cell;
+    record.key = keys[cell];
+    record.status = run_status(outcomes[cell].run);
+    record.data = to_json(outcomes[cell]);
+    out_records.insert_or_assign(cell, std::move(record));
+    if (!outcomes[cell].run.ok) ++failures_;
+  }
+  flush();
+  return outcomes;
 }
 
 BatchOptions ShardedSweep::labeled_batch(const std::string& name) const {
@@ -485,7 +596,7 @@ BatchOptions ShardedSweep::labeled_batch(const std::string& name) const {
 template <typename Traits>
 std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
     const std::string& name, ExperimentRunner& runner,
-    const std::vector<typename Traits::Spec>& specs) {
+    const std::vector<typename Traits::Spec>& specs, bool shared) {
   using Outcome = typename Traits::Outcome;
   using Spec = typename Traits::Spec;
 
@@ -494,7 +605,8 @@ std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
   }
 
   const std::vector<std::string> keys = spec_keys(specs);
-  const SweepGrid grid{name, Traits::kKind, specs.size(), grid_hash(keys)};
+  SweepGrid grid{name, Traits::kKind, specs.size(), grid_hash(keys)};
+  grid.shared = shared;
 
   if (options_.mode == SweepMode::kWorker) {
     if (file_.find_grid(name) != nullptr) {
@@ -570,22 +682,35 @@ std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
   }
 
   // kRender: outcomes come from the loaded (merged) file.
-  const SweepGrid* loaded = file_.find_grid(name);
+  auto outcomes = load_grid<Traits>(
+      file_, "--from file '" + options_.from_path + "'", grid, keys, specs,
+      /*strict=*/false);
+  prime_runner(runner, outcomes);
+  return outcomes;
+}
+
+template <typename Traits>
+std::vector<typename Traits::Outcome> ShardedSweep::load_grid(
+    const ShardFile& src, const std::string& origin, const SweepGrid& grid,
+    const std::vector<std::string>& keys,
+    const std::vector<typename Traits::Spec>& specs, bool strict) {
+  using Outcome = typename Traits::Outcome;
+
+  const SweepGrid* loaded = src.find_grid(grid.name);
   if (loaded == nullptr) {
-    throw ConfigError("--from file '" + options_.from_path +
-                      "' has no grid '" + name + "'");
+    throw ConfigError(origin + " has no grid '" + grid.name + "'");
   }
   if (!same_grid(*loaded, grid)) {
     throw ConfigError(
-        "--from file grid '" + name + "' (size " +
+        origin + " grid '" + grid.name + "' (size " +
         std::to_string(loaded->size) + ", hash " + loaded->hash +
         ") does not match this invocation's grid (size " +
         std::to_string(grid.size) + ", hash " + grid.hash +
         "); was the sweep run with the same configuration?");
   }
   const std::map<std::size_t, SweepRecord>* records = nullptr;
-  const auto it = file_.records.find(name);
-  if (it != file_.records.end()) records = &it->second;
+  const auto it = src.records.find(grid.name);
+  if (it != src.records.end()) records = &it->second;
 
   std::vector<Outcome> outcomes(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -596,22 +721,34 @@ std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
       if (rec != records->end()) record = &rec->second;
     }
     if (record == nullptr) {
+      if (strict) {
+        throw ConfigError(origin + " is missing grid '" + grid.name +
+                          "' cell " + std::to_string(i) +
+                          " (merge every anchor shard before phase 2)");
+      }
       outcomes[i].run.ok = false;
-      outcomes[i].run.error =
-          "cell missing from '" + options_.from_path + "' (partial merge?)";
+      outcomes[i].run.error = "cell missing from " + origin +
+                              " (partial merge?)";
       ++failures_;
       continue;
     }
     if (record->key != keys[i]) {
-      throw ConfigError("--from file grid '" + name + "' cell " +
+      throw ConfigError(origin + " grid '" + grid.name + "' cell " +
                         std::to_string(i) + " records key '" + record->key +
                         "' but this invocation expects '" + keys[i] + "'");
     }
     outcomes[i] = Traits::from_json(record->data);
     outcomes[i].spec = specs[i];
-    if (!outcomes[i].run.ok) ++failures_;
+    if (!outcomes[i].run.ok) {
+      if (strict) {
+        throw ConfigError(origin + " grid '" + grid.name + "' cell " +
+                          std::to_string(i) + " failed in phase 1 (" +
+                          outcomes[i].run.error +
+                          "); re-run that anchor worker before phase 2");
+      }
+      ++failures_;
+    }
   }
-  prime_runner(runner, outcomes);
   return outcomes;
 }
 

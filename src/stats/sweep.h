@@ -13,11 +13,12 @@
 // whole format is built around, and it holds because outcomes are merged
 // in spec order and every number round-trips JSON exactly.
 //
-// Shard file layout (JSONL, one record per line, schema_version 1):
-//   {"record":"manifest","format":"specnoc-sweep","schema":1,"tool":...,
+// Shard file layout (JSONL, one record per line, schema_version 2;
+// version-1 files — which predate shared grids — still load):
+//   {"record":"manifest","format":"specnoc-sweep","schema":2,"tool":...,
 //    "shard":i,"shards":K,"seed":S}
 //   {"record":"grid","name":...,"kind":"saturation|latency|power",
-//    "size":N,"hash":<hex fnv1a64 of the N spec keys>}
+//    "size":N,"hash":<hex fnv1a64 of the N spec keys>[,"shared":true]}
 //   {"record":"outcome","grid":...,"cell":c,"key":...,
 //    "status":"ok|retried|failed","data":{spec,run[,result]}}   (x many)
 //   {"record":"done","outcomes":M}
@@ -26,6 +27,29 @@
 // merging reports their missing cells, and re-running a worker with the
 // same --out resumes it — completed cells are carried over, failed and
 // missing ones re-run.
+//
+// Anchor grids (schema 2) are *shared* grids: cheap prerequisite runs
+// whose results parameterize the downstream sharded specs (e.g. the
+// saturation points that fix the 25%-load operating rates). Because every
+// worker needs every anchor result to even construct its downstream grid,
+// anchors historically re-ran in full in each of the K workers. Shared
+// grids break that duplication with a two-phase protocol:
+//   phase 1: each worker runs with --anchors-only; it simulates only its
+//            owned anchor cells, records them under a shared grid, and
+//            exits before touching the downstream grids.
+//   merge:   sweep_merge combines the anchor shards as usual.
+//   phase 2: each worker runs with --anchors-from <merged.jsonl>; anchor
+//            outcomes load from the file (zero anchor simulation), the
+//            downstream grids run sharded as before, and the anchors are
+//            copied into each shard file so the final merge stays
+//            self-contained.
+// The classic single-invocation worker (neither flag) still runs the full
+// anchor grid but now records its owned cells under the shared grid, so a
+// merged file always carries the anchors and --from renders without
+// resimulating them. Shared grids are the one place the merge accepts the
+// same cell from multiple files: records are value-identical by
+// construction (same spec key, same deterministic runner), so the first
+// input wins and the duplicate is not an error.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +64,9 @@
 
 namespace specnoc::stats {
 
-inline constexpr int kSweepSchemaVersion = 1;
+inline constexpr int kSweepSchemaVersion = 2;
+/// Oldest schema the loader still reads (1 = before shared anchor grids).
+inline constexpr int kSweepSchemaVersionMin = 1;
 inline constexpr const char* kSweepFormat = "specnoc-sweep";
 
 struct SweepManifest {
@@ -56,6 +82,9 @@ struct SweepGrid {
   std::string kind;  ///< "saturation" | "latency" | "power" | "workload"
   std::size_t size = 0;  ///< full grid size across all shards
   std::string hash;      ///< grid_hash() of all spec keys, in grid order
+  /// Anchor grids: multiple workers may record the same cell (identical
+  /// bytes); the merge keeps the first and does not flag the overlap.
+  bool shared = false;
 };
 
 /// One recorded cell. `data` holds the serialized outcome (spec/run, plus
@@ -93,8 +122,11 @@ struct MergeReport {
     std::string name;
     std::size_t size = 0;
     std::size_t present = 0;
+    bool shared = false;
     std::vector<std::size_t> missing;
-    std::vector<std::size_t> duplicates;  ///< recorded by more than one file
+    /// Recorded by more than one file. Expected (and not reported) for
+    /// shared grids, where overlap is by construction.
+    std::vector<std::size_t> duplicates;
     std::vector<std::size_t> failed;      ///< status "failed"
   };
   std::vector<Grid> grids;
@@ -133,6 +165,12 @@ struct SweepOptions {
   sim::ShardRef shard;    ///< worker mode
   std::string out_path;   ///< worker mode
   std::string from_path;  ///< render mode
+  /// Worker mode, phase 1: simulate only this shard's anchor cells and
+  /// stop — the harness must skip its downstream grids (anchors_only()).
+  bool anchors_only = false;
+  /// Worker mode, phase 2: load anchor outcomes from this merged shard
+  /// file instead of simulating them.
+  std::string anchors_from;
 };
 
 /// The harness-facing session. Grids registered through it execute
@@ -150,9 +188,25 @@ class ShardedSweep {
   /// return finish() instead.
   bool should_render() const { return options_.mode != SweepMode::kWorker; }
 
-  /// Anchors: executed in full in every mode, never recorded.
+  /// True when this worker runs with --anchors-only: the harness should
+  /// return finish() right after its anchor grids, never constructing the
+  /// downstream grids (their specs would need the missing anchor results).
+  bool anchors_only() const { return options_.anchors_only; }
+
+  /// Anchors: a shared grid of cheap prerequisite runs whose results
+  /// parameterize the downstream sharded specs. Mode behavior:
+  ///  - run: simulate in full (unchanged).
+  ///  - worker, classic: simulate in full, record owned cells.
+  ///  - worker --anchors-only: simulate owned cells only; unowned cells
+  ///    come back run.ok == false (the harness exits via finish() next).
+  ///  - worker --anchors-from: load every cell from the merged anchor
+  ///    file — zero anchor simulation — and copy the records into this
+  ///    shard file so the final merge is self-contained.
+  ///  - render: load from the --from file; files predating shared grids
+  ///    (schema 1) fall back to simulating, as before.
   std::vector<SaturationOutcome> anchor_saturation(
-      ExperimentRunner& runner, const std::vector<SaturationSpec>& specs);
+      ExperimentRunner& runner, const std::vector<SaturationSpec>& specs,
+      const std::string& name = "anchor");
 
   /// Sharded grids. `name` must be unique within the harness and identical
   /// across its workers. In worker mode, cells not owned by this shard
@@ -184,7 +238,18 @@ class ShardedSweep {
   template <typename Traits>
   std::vector<typename Traits::Outcome> run_grid(
       const std::string& name, ExperimentRunner& runner,
-      const std::vector<typename Traits::Spec>& specs);
+      const std::vector<typename Traits::Spec>& specs, bool shared = false);
+
+  /// Reads a whole grid's outcomes out of `src` (a loaded --from or
+  /// --anchors-from file), validating grid identity and per-cell keys.
+  /// `strict` — used for anchors, whose results feed downstream spec
+  /// construction — turns missing or failed cells into ConfigError instead
+  /// of failed outcomes.
+  template <typename Traits>
+  std::vector<typename Traits::Outcome> load_grid(
+      const ShardFile& src, const std::string& origin, const SweepGrid& grid,
+      const std::vector<std::string>& keys,
+      const std::vector<typename Traits::Spec>& specs, bool strict);
 
   /// options_.batch with "/<name>" appended to a non-empty progress label,
   /// so live progress lines identify the grid being executed.
@@ -193,8 +258,9 @@ class ShardedSweep {
   void flush() const;
 
   SweepOptions options_;
-  ShardFile file_;    ///< worker: being built; render: the loaded file
-  ShardFile resume_;  ///< worker: previous contents of out_path, if any
+  ShardFile file_;     ///< worker: being built; render: the loaded file
+  ShardFile anchors_;  ///< worker: the loaded --anchors-from file, if any
+  ShardFile resume_;   ///< worker: previous contents of out_path, if any
   bool resuming_ = false;
   std::size_t executed_ = 0;
   std::size_t carried_ = 0;

@@ -1,6 +1,7 @@
 #include "traffic/driver.h"
 
 #include <cmath>
+#include <utility>
 
 #include "util/contract.h"
 #include "util/error.h"
@@ -61,8 +62,8 @@ void TrafficDriver::schedule_next_arrival(std::uint32_t src) {
 }
 
 void TrafficDriver::generate(std::uint32_t src) {
-  const noc::DestMask dests = pattern_.next_dests(src, rng_per_source_[src]);
-  network_.send_message(src, dests, measured_);
+  noc::DestSet dests = pattern_.next_dests(src, rng_per_source_[src]);
+  network_.send_message(src, std::move(dests), measured_);
   ++messages_generated_;
 }
 

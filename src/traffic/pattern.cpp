@@ -10,17 +10,18 @@ namespace specnoc::traffic {
 namespace {
 
 void check_radix(std::uint32_t n) {
-  if (n < 2 || n > 64 || !is_pow2(n)) {
+  if (n < 2 || n > noc::kMaxEndpoints || !is_pow2(n)) {
     throw ConfigError("traffic pattern radix must be a power of two in "
-                      "[2, 64], got " + std::to_string(n));
+                      "[2, " + std::to_string(noc::kMaxEndpoints) +
+                      "], got " + std::to_string(n));
   }
 }
 
 class UniformRandom final : public TrafficPattern {
  public:
   explicit UniformRandom(std::uint32_t n) : n_(n) { check_radix(n); }
-  noc::DestMask next_dests(std::uint32_t, Rng& rng) override {
-    return noc::dest_bit(static_cast<std::uint32_t>(rng.uniform_below(n_)));
+  noc::DestSet next_dests(std::uint32_t, Rng& rng) override {
+    return noc::DestSet::single(static_cast<std::uint32_t>(rng.uniform_below(n_)));
   }
   std::string name() const override { return "UniformRandom"; }
 
@@ -35,9 +36,9 @@ class Permutation final : public TrafficPattern {
       : n_(n), name_(std::move(name)), map_(map) {
     check_radix(n);
   }
-  noc::DestMask next_dests(std::uint32_t src, Rng&) override {
+  noc::DestSet next_dests(std::uint32_t src, Rng&) override {
     SPECNOC_EXPECTS(src < n_);
-    return noc::dest_bit(map_(src, log2_exact(n_)));
+    return noc::DestSet::single(map_(src, log2_exact(n_)));
   }
   std::string name() const override { return name_; }
 
@@ -57,11 +58,11 @@ class Hotspot final : public TrafficPattern {
       throw ConfigError("hotspot fraction must be in [0, 1]");
     }
   }
-  noc::DestMask next_dests(std::uint32_t, Rng& rng) override {
+  noc::DestSet next_dests(std::uint32_t, Rng& rng) override {
     if (rng.bernoulli(fraction_)) {
-      return noc::dest_bit(hot_);
+      return noc::DestSet::single(hot_);
     }
-    return noc::dest_bit(static_cast<std::uint32_t>(rng.uniform_below(n_)));
+    return noc::DestSet::single(static_cast<std::uint32_t>(rng.uniform_below(n_)));
   }
   std::string name() const override { return "Hotspot"; }
 
@@ -71,15 +72,15 @@ class Hotspot final : public TrafficPattern {
   double fraction_;
 };
 
-noc::DestMask random_subset(std::uint32_t n, std::uint32_t min_dests,
-                            std::uint32_t max_dests, Rng& rng) {
+noc::DestSet random_subset(std::uint32_t n, std::uint32_t min_dests,
+                           std::uint32_t max_dests, Rng& rng) {
   const auto k = static_cast<std::uint32_t>(
       rng.uniform_int(min_dests, max_dests));
-  noc::DestMask mask = 0;
+  noc::DestSet dests;
   for (const auto d : rng.sample_without_replacement(n, k)) {
-    mask |= noc::dest_bit(d);
+    dests.set(d);
   }
-  return mask;
+  return dests;
 }
 
 void check_subset_bounds(std::uint32_t n, std::uint32_t min_dests,
@@ -101,11 +102,11 @@ class MulticastMix final : public TrafficPattern {
     }
     check_subset_bounds(n, min_, max_);
   }
-  noc::DestMask next_dests(std::uint32_t, Rng& rng) override {
+  noc::DestSet next_dests(std::uint32_t, Rng& rng) override {
     if (rng.bernoulli(fraction_)) {
       return random_subset(n_, min_, max_, rng);
     }
-    return noc::dest_bit(static_cast<std::uint32_t>(rng.uniform_below(n_)));
+    return noc::DestSet::single(static_cast<std::uint32_t>(rng.uniform_below(n_)));
   }
   std::string name() const override {
     return "Multicast" + std::to_string(static_cast<int>(fraction_ * 100));
@@ -131,12 +132,12 @@ class MulticastStatic final : public TrafficPattern {
       is_multicast_source_[s] = true;
     }
   }
-  noc::DestMask next_dests(std::uint32_t src, Rng& rng) override {
+  noc::DestSet next_dests(std::uint32_t src, Rng& rng) override {
     SPECNOC_EXPECTS(src < n_);
     if (is_multicast_source_[src]) {
       return random_subset(n_, min_, max_, rng);
     }
-    return noc::dest_bit(static_cast<std::uint32_t>(rng.uniform_below(n_)));
+    return noc::DestSet::single(static_cast<std::uint32_t>(rng.uniform_below(n_)));
   }
   std::string name() const override { return "Multicast_static"; }
 

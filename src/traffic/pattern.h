@@ -27,7 +27,7 @@ class TrafficPattern {
   virtual ~TrafficPattern() = default;
 
   /// Draws the destination set for the next message from `src`.
-  virtual noc::DestMask next_dests(std::uint32_t src, Rng& rng) = 0;
+  virtual noc::DestSet next_dests(std::uint32_t src, Rng& rng) = 0;
 
   /// False for sources that inject nothing in this pattern.
   virtual bool source_active(std::uint32_t src) const {

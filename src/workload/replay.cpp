@@ -119,10 +119,9 @@ void TraceReplayDriver::on_flit_ejected(const noc::Packet& packet,
     index = it->second;
   }
   MessageState& state = states_[index];
-  const noc::DestMask bit = noc::dest_bit(dest);
-  SPECNOC_ASSERT((state.remaining & bit) != 0);
-  state.remaining &= ~bit;
-  if (state.remaining == 0) complete(index, when);
+  SPECNOC_ASSERT(state.remaining.test(dest));
+  state.remaining.reset(dest);
+  if (state.remaining.none()) complete(index, when);
 }
 
 void TraceReplayDriver::on_packet_injected(const noc::Packet& packet,

@@ -99,7 +99,7 @@ class TraceReplayDriver final : public noc::TrafficObserver {
 
  private:
   struct MessageState {
-    noc::DestMask remaining = 0;  ///< dests still missing a header
+    noc::DestSet remaining;  ///< dests still missing a header
     std::uint32_t pending_deps = 0;
     TimePs injected_at = -1;
     TimePs delivered_at = -1;

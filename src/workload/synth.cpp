@@ -10,12 +10,8 @@ namespace specnoc::workload {
 
 namespace {
 
-noc::DestMask mask_of_range(std::uint32_t first, std::uint32_t count) {
-  noc::DestMask mask = 0;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    mask |= noc::dest_bit(first + i);
-  }
-  return mask;
+noc::DestSet mask_of_range(std::uint32_t first, std::uint32_t count) {
+  return noc::DestSet::range(first, first + count);
 }
 
 }  // namespace
@@ -40,7 +36,7 @@ Trace make_dnn_workload(const DnnWorkloadParams& params) {
   trace.meta.n = params.n;
   trace.meta.generator = to_string(SynthId::kDnnLayers);
   std::uint64_t next_id = 0;
-  const auto add = [&](std::uint32_t src, noc::DestMask dests, TimePs earliest,
+  const auto add = [&](std::uint32_t src, noc::DestSet dests, TimePs earliest,
                        TimePs delay,
                        std::vector<std::uint64_t> deps) -> std::uint64_t {
     const std::uint64_t id = next_id++;
@@ -73,7 +69,7 @@ Trace make_dnn_workload(const DnnWorkloadParams& params) {
     }
     const TimePs layer_start =
         static_cast<TimePs>(l) * params.layer_stagger;
-    const noc::DestMask pe_mask = mask_of_range(1, layer.pes);
+    const noc::DestSet pe_mask = mask_of_range(1, layer.pes);
 
     // Weight broadcast: every tile is multicast from the weight source to
     // all of the layer's PEs. No dependencies — weights stream in as soon
@@ -89,7 +85,7 @@ Trace make_dnn_workload(const DnnWorkloadParams& params) {
     std::vector<std::vector<std::uint64_t>> activations(layer.pes);
     for (std::uint32_t t = 0; t < layer.activation_tiles; ++t) {
       for (std::uint32_t pe = 0; pe < layer.pes; ++pe) {
-        activations[pe].push_back(add(act_source, noc::dest_bit(1 + pe),
+        activations[pe].push_back(add(act_source, noc::DestSet::single(1 + pe),
                                       layer_start, 0, prev_partials));
       }
     }
@@ -100,7 +96,7 @@ Trace make_dnn_workload(const DnnWorkloadParams& params) {
     for (std::uint32_t pe = 0; pe < layer.pes; ++pe) {
       std::vector<std::uint64_t> deps = weights;
       deps.insert(deps.end(), activations[pe].begin(), activations[pe].end());
-      partials.push_back(add(1 + pe, noc::dest_bit(reducer), layer_start,
+      partials.push_back(add(1 + pe, noc::DestSet::single(reducer), layer_start,
                              params.compute_delay, std::move(deps)));
     }
     prev_partials = std::move(partials);
@@ -153,11 +149,11 @@ CoherenceWorkload make_coherence_workload(
       // Sample distinct sharers among the other n-1 processors.
       std::vector<std::uint32_t> picks =
           procs[p].sample_without_replacement(params.n - 1, num_sharers);
-      noc::DestMask sharers = 0;
+      noc::DestSet sharers;
       std::vector<std::uint32_t> sharer_ids;
       for (const std::uint32_t pick : picks) {
         const std::uint32_t sharer = pick >= p ? pick + 1 : pick;
-        sharers |= noc::dest_bit(sharer);
+        sharers.set(sharer);
         sharer_ids.push_back(sharer);
       }
 
@@ -179,7 +175,7 @@ CoherenceWorkload make_coherence_workload(
         TraceRecord ack;
         ack.id = next_id++;
         ack.src = sharer;
-        ack.dests = noc::dest_bit(p);
+        ack.dests = noc::DestSet::single(p);
         ack.size = params.flits;
         ack.deps = {inv.id};
         workload.trace.records.push_back(std::move(ack));

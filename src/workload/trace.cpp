@@ -13,15 +13,22 @@ namespace specnoc::workload {
 
 using util::Json;
 
+namespace {
+
+std::uint32_t highest_dest(const noc::DestSet& dests) {
+  std::uint32_t highest = 0;
+  dests.for_each_dest([&](std::uint32_t d) { highest = d; });
+  return highest;
+}
+
+}  // namespace
+
 void Trace::validate() const {
-  if (meta.n < 2 || meta.n > 64) {
-    throw ConfigError(
-        "workload trace radix must be in [2, 64] (destination masks are "
-        "64-bit), got n=" + std::to_string(meta.n));
+  if (meta.n < 2 || meta.n > noc::kMaxEndpoints) {
+    throw ConfigError("workload trace radix must be in [2, " +
+                      std::to_string(noc::kMaxEndpoints) + "], got n=" +
+                      std::to_string(meta.n));
   }
-  const noc::DestMask all =
-      meta.n >= 64 ? ~noc::DestMask{0}
-                   : ((noc::DestMask{1} << meta.n) - 1);
   bool first = true;
   std::uint64_t prev_id = 0;
   for (const TraceRecord& rec : records) {
@@ -39,11 +46,12 @@ void Trace::validate() const {
       throw fail("source " + std::to_string(rec.src) +
                  " out of range for n=" + std::to_string(meta.n));
     }
-    if (rec.dests == 0) throw fail("empty destination set");
-    if ((rec.dests & ~all) != 0) {
-      throw fail("destination mask has bits beyond n=" +
-                 std::to_string(meta.n) +
-                 " endpoints (the 64-bit mask would truncate them)");
+    if (rec.dests.none()) throw fail("empty destination set");
+    if (!rec.dests.within(meta.n)) {
+      throw fail("destination set addresses endpoint " +
+                 std::to_string(highest_dest(rec.dests)) +
+                 ", beyond the trace's configured radix n=" +
+                 std::to_string(meta.n));
     }
     if (rec.size == 0) throw fail("size must be >= 1 flit");
     if (rec.earliest < 0) throw fail("earliest time must be >= 0");
@@ -68,22 +76,33 @@ void Trace::validate() const {
 
 namespace {
 
+/// Schema a trace of radix n serializes with: schema 1 keeps the integer
+/// mask wire form (and the bytes of every existing golden); schema 2
+/// carries hex-string destination sets for radixes beyond one word.
+int schema_for(std::uint32_t n) {
+  return n <= 64 ? kTraceSchemaVersion : kTraceSchemaVersionLarge;
+}
+
 Json header_to_json(const TraceMeta& meta) {
   Json json = Json::object();
   json.set("record", "header");
   json.set("format", kTraceFormat);
-  json.set("schema", static_cast<std::int64_t>(kTraceSchemaVersion));
+  json.set("schema", static_cast<std::int64_t>(schema_for(meta.n)));
   json.set("n", meta.n);
   if (!meta.generator.empty()) json.set("generator", meta.generator);
   return json;
 }
 
-Json record_to_json(const TraceRecord& rec) {
+Json record_to_json(const TraceRecord& rec, int schema) {
   Json json = Json::object();
   json.set("record", "msg");
   json.set("id", rec.id);
   json.set("src", rec.src);
-  json.set("dests", rec.dests);
+  if (schema == kTraceSchemaVersion) {
+    json.set("dests", rec.dests.to_word());
+  } else {
+    json.set("dests", rec.dests.to_hex());
+  }
   json.set("size", rec.size);
   json.set("earliest", static_cast<std::int64_t>(rec.earliest));
   if (rec.delay != 0) json.set("delay", static_cast<std::int64_t>(rec.delay));
@@ -93,11 +112,15 @@ Json record_to_json(const TraceRecord& rec) {
   return json;
 }
 
-TraceRecord record_from_json(const Json& json) {
+TraceRecord record_from_json(const Json& json, int schema) {
   TraceRecord rec;
   rec.id = json.at("id").as_u64();
   rec.src = static_cast<std::uint32_t>(json.at("src").as_u64());
-  rec.dests = json.at("dests").as_u64();
+  if (schema == kTraceSchemaVersion) {
+    rec.dests = noc::DestSet::from_word(json.at("dests").as_u64());
+  } else {
+    rec.dests = noc::DestSet::from_hex(json.at("dests").as_string());
+  }
   rec.size = static_cast<std::uint32_t>(json.at("size").as_u64());
   rec.earliest = json.at("earliest").as_i64();
   const Json* delay = json.find("delay");
@@ -112,9 +135,10 @@ TraceRecord record_from_json(const Json& json) {
 
 void write_trace(const Trace& trace, std::ostream& out) {
   trace.validate();
+  const int schema = schema_for(trace.meta.n);
   out << util::json_write(header_to_json(trace.meta)) << "\n";
   for (const TraceRecord& rec : trace.records) {
-    out << util::json_write(record_to_json(rec)) << "\n";
+    out << util::json_write(record_to_json(rec, schema)) << "\n";
   }
   Json end = Json::object();
   end.set("record", "end");
@@ -140,6 +164,7 @@ Trace read_trace(std::istream& in, const std::string& origin) {
   Trace trace;
   bool have_header = false;
   bool have_end = false;
+  int schema = kTraceSchemaVersion;
   std::uint64_t declared = 0;
   std::string line;
   std::size_t line_no = 0;
@@ -163,13 +188,35 @@ Trace read_trace(std::istream& in, const std::string& origin) {
           throw fail("not a " + std::string(kTraceFormat) + " file (format '" +
                      json.at("format").as_string() + "')");
         }
-        const auto schema = json.at("schema").as_i64();
-        if (schema != kTraceSchemaVersion) {
+        const auto declared_schema = json.at("schema").as_i64();
+        if (declared_schema != kTraceSchemaVersion &&
+            declared_schema != kTraceSchemaVersionLarge) {
           throw fail("unsupported trace schema version " +
-                     std::to_string(schema) + " (this build reads version " +
-                     std::to_string(kTraceSchemaVersion) + ")");
+                     std::to_string(declared_schema) +
+                     " (this build reads versions " +
+                     std::to_string(kTraceSchemaVersion) + " and " +
+                     std::to_string(kTraceSchemaVersionLarge) + ")");
         }
+        schema = static_cast<int>(declared_schema);
         trace.meta.n = static_cast<std::uint32_t>(json.at("n").as_u64());
+        if (trace.meta.n < 2 || trace.meta.n > noc::kMaxEndpoints) {
+          throw fail("trace radix n=" + std::to_string(trace.meta.n) +
+                     " outside the supported range [2, " +
+                     std::to_string(noc::kMaxEndpoints) + "]");
+        }
+        // The schema <-> radix pairing is strict both ways: integer masks
+        // cannot express n > 64, and hex sets for n <= 64 would fork the
+        // byte-exact wire form the goldens pin.
+        if (schema == kTraceSchemaVersion && trace.meta.n > 64) {
+          throw fail("schema 1 carries integer 64-bit destination masks and "
+                     "cannot address n=" + std::to_string(trace.meta.n) +
+                     " endpoints (schema 2 required beyond radix 64)");
+        }
+        if (schema == kTraceSchemaVersionLarge && trace.meta.n <= 64) {
+          throw fail("schema 2 is reserved for radixes above 64; a trace "
+                     "with n=" + std::to_string(trace.meta.n) +
+                     " must use schema 1");
+        }
         const Json* generator = json.find("generator");
         if (generator != nullptr) trace.meta.generator = generator->as_string();
         have_header = true;
@@ -178,7 +225,15 @@ Trace read_trace(std::istream& in, const std::string& origin) {
       if (!have_header) throw fail("first record must be the header");
       if (have_end) throw fail("record after the end record");
       if (record == "msg") {
-        trace.records.push_back(record_from_json(json));
+        TraceRecord rec = record_from_json(json, schema);
+        if (!rec.dests.within(trace.meta.n)) {
+          throw fail("destination set of message " + std::to_string(rec.id) +
+                     " addresses endpoint " +
+                     std::to_string(highest_dest(rec.dests)) +
+                     ", beyond the configured radix n=" +
+                     std::to_string(trace.meta.n));
+        }
+        trace.records.push_back(std::move(rec));
         continue;
       }
       if (record == "end") {

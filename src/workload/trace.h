@@ -15,6 +15,17 @@
 //    "deps":[]}                                  (optionally "delay":ps)
 //   {"record":"end","messages":1}
 //
+// Two schema versions exist, selected by the radix:
+//   * schema 1 (n <= 64): "dests" is the integer 64-bit mask. Every trace
+//     written before the large-radix work is schema 1, and the writer still
+//     emits it for n <= 64, so existing goldens stay byte-identical.
+//   * schema 2 (64 < n <= noc::kMaxEndpoints): "dests" is the lowercase
+//     big-integer hex string of the destination set (DestSet::to_hex).
+// The pairing is strict in both directions: a schema-1 header with n > 64
+// or a schema-2 header with n <= 64 is rejected, as is a record whose
+// destination set addresses an endpoint >= n (reported with the offending
+// line number and the configured radix).
+//
 // The writer is deterministic (util::Json preserves insertion order and
 // renders numbers canonically), so equal traces always serialize to equal
 // bytes — trace_hash() and golden-file comparisons rely on it. The parser
@@ -32,7 +43,10 @@
 
 namespace specnoc::workload {
 
+/// Schema written for traces with n <= 64 endpoints (integer dest masks).
 inline constexpr int kTraceSchemaVersion = 1;
+/// Schema written for larger radixes (hex-string dest sets).
+inline constexpr int kTraceSchemaVersionLarge = 2;
 inline constexpr const char* kTraceFormat = "specnoc-workload-trace";
 
 /// One application message. `deps` lists ids of records earlier in the
@@ -42,7 +56,7 @@ inline constexpr const char* kTraceFormat = "specnoc-workload-trace";
 struct TraceRecord {
   std::uint64_t id = 0;
   std::uint32_t src = 0;
-  noc::DestMask dests = 0;
+  noc::DestSet dests;
   std::uint32_t size = 1;  ///< flits of the message's packet
   TimePs earliest = 0;
   TimePs delay = 0;
@@ -60,11 +74,10 @@ struct Trace {
   std::vector<TraceRecord> records;
 
   /// Structural validation; throws ConfigError on the first violation:
-  ///  * n must be in [2, 64] — noc::DestMask is 64 bits wide, so larger
-  ///    radixes would silently truncate destination sets;
+  ///  * n must be in [2, noc::kMaxEndpoints];
   ///  * record ids strictly increasing (which makes any dependency graph
   ///    acyclic by construction);
-  ///  * src < n, dests nonzero and within the low n bits, size >= 1,
+  ///  * src < n, dests nonempty and within the n endpoints, size >= 1,
   ///    earliest/delay >= 0;
   ///  * every dep names an earlier record of the trace.
   void validate() const;

@@ -45,7 +45,7 @@ TEST(NetworkConfigTest, OverriddenTimingChangesNetworkBehaviour) {
     MotNetwork net(Architecture::kBasicNonSpeculative, cfg);
     HeaderTime obs;
     net.net().hooks().traffic = &obs;
-    net.send_message(0, noc::dest_bit(7), false);
+    net.send_message(0, noc::DestSet::single(7), false);
     net.scheduler().run();
     return obs.at;
   };
@@ -74,8 +74,7 @@ TEST(NetworkConfigTest, SmallestAndLargestRadixBuild) {
       std::uint32_t& c_;
     } obs(headers);
     net.net().hooks().traffic = &obs;
-    const noc::DestMask all =
-        n >= 64 ? ~noc::DestMask{0} : ((noc::DestMask{1} << n) - 1);
+    const noc::DestSet all = noc::DestSet::first_n(n);
     net.send_message(0, all, false);
     net.scheduler().run();
     EXPECT_EQ(headers, n);

@@ -10,7 +10,8 @@
 namespace specnoc::core {
 namespace {
 
-using noc::dest_bit;
+using noc::DestSet;
+
 
 class HeaderCount : public noc::TrafficObserver {
  public:
@@ -40,7 +41,7 @@ TEST(CustomNetworkTest, CustomPlacementRoutesExactly) {
   MotNetwork net(cfg, SpeculationMap::from_levels(topo, {1}));
   HeaderCount rec;
   net.net().hooks().traffic = &rec;
-  net.send_message(3, dest_bit(0) | dest_bit(8) | dest_bit(15), false);
+  net.send_message(3, DestSet::single(0) | DestSet::single(8) | DestSet::single(15), false);
   net.scheduler().run();
   EXPECT_EQ(rec.headers.size(), 3u);
   for (const auto& [dest, count] : rec.headers) {
@@ -74,7 +75,7 @@ TEST(CustomNetworkTest, NonLocalCustomMapStillRoutesCorrectly) {
   MotNetwork net(cfg, map);
   HeaderCount rec;
   net.net().hooks().traffic = &rec;
-  net.send_message(0, 0xFF, false);
+  net.send_message(0, noc::DestSet::from_word(0xFF), false);
   net.scheduler().run();
   EXPECT_EQ(rec.headers.size(), 8u);
 }

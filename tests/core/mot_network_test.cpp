@@ -8,8 +8,7 @@
 namespace specnoc::core {
 namespace {
 
-using noc::dest_bit;
-using noc::DestMask;
+using noc::DestSet;
 
 /// Records header/flit ejections per destination.
 class EjectionRecorder : public noc::TrafficObserver {
@@ -46,7 +45,7 @@ TEST_P(MotNetworkTest, UnicastReachesExactlyItsDestination) {
     for (std::uint32_t dst = 0; dst < 8; ++dst) {
       rec.flits_per_dest.clear();
       rec.headers.clear();
-      net.send_message(src, dest_bit(dst), false);
+      net.send_message(src, DestSet::single(dst), false);
       net.scheduler().run();
       // All 5 flits arrive at dst and nowhere else.
       ASSERT_EQ(rec.flits_per_dest.size(), 1u)
@@ -63,8 +62,8 @@ TEST_P(MotNetworkTest, MulticastReachesAllDestinationsOnce) {
   MotNetwork net(GetParam(), cfg);
   EjectionRecorder rec;
   net.net().hooks().traffic = &rec;
-  const DestMask dests = dest_bit(0) | dest_bit(3) | dest_bit(5) |
-                         dest_bit(6);
+  const DestSet dests = DestSet::single(0) | DestSet::single(3) | DestSet::single(5) |
+                         DestSet::single(6);
   net.send_message(2, dests, false);
   net.scheduler().run();
   EXPECT_EQ(rec.flits_per_dest.size(), 4u);
@@ -78,7 +77,7 @@ TEST_P(MotNetworkTest, BroadcastReachesEveryone) {
   MotNetwork net(GetParam(), cfg);
   EjectionRecorder rec;
   net.net().hooks().traffic = &rec;
-  net.send_message(7, 0xFF, false);
+  net.send_message(7, noc::DestSet::from_word(0xFF), false);
   net.scheduler().run();
   EXPECT_EQ(rec.flits_per_dest.size(), 8u);
   for (std::uint32_t d = 0; d < 8; ++d) {
@@ -98,7 +97,7 @@ TEST(MotNetworkSerialTest, BaselineSerializesMulticast) {
   EjectionRecorder rec;
   net.net().hooks().traffic = &rec;
   const auto msg_id =
-      net.send_message(0, dest_bit(1) | dest_bit(4) | dest_bit(6), false);
+      net.send_message(0, DestSet::single(1) | DestSet::single(4) | DestSet::single(6), false);
   net.scheduler().run();
   // Three unicast packets injected for the one message.
   EXPECT_EQ(rec.injected_packets, 3);
@@ -115,7 +114,7 @@ TEST(MotNetworkSerialTest, ParallelNetworksSendOnePacket) {
   EjectionRecorder rec;
   net.net().hooks().traffic = &rec;
   const auto msg_id =
-      net.send_message(0, dest_bit(1) | dest_bit(4) | dest_bit(6), false);
+      net.send_message(0, DestSet::single(1) | DestSet::single(4) | DestSet::single(6), false);
   net.scheduler().run();
   EXPECT_EQ(rec.injected_packets, 1);
   EXPECT_EQ(net.net().packets().message(msg_id).num_packets, 1u);
@@ -168,7 +167,7 @@ TEST(MotNetworkTimingTest, HybridUnicastHeaderFasterThanNonSpec) {
     MotNetwork net(arch, cfg);
     EjectionRecorder rec;
     net.net().hooks().traffic = &rec;
-    net.send_message(0, dest_bit(5), false);
+    net.send_message(0, DestSet::single(5), false);
     net.scheduler().run();
     return rec.headers.at(0).when;
   };
@@ -189,7 +188,7 @@ TEST(MotNetworkTest16, WorksAt16x16) {
     MotNetwork net(arch, cfg);
     EjectionRecorder rec;
     net.net().hooks().traffic = &rec;
-    net.send_message(3, dest_bit(0) | dest_bit(9) | dest_bit(15), false);
+    net.send_message(3, DestSet::single(0) | DestSet::single(9) | DestSet::single(15), false);
     net.scheduler().run();
     EXPECT_EQ(rec.flits_per_dest.size(), 3u) << to_string(arch);
     EXPECT_EQ(rec.flits_per_dest[9], 5u);
@@ -204,7 +203,7 @@ TEST(MotNetworkTest, ManyConcurrentMessagesAllDelivered) {
   // Every source broadcasts simultaneously: stresses arbitration and the
   // C-element joins without deadlocking.
   for (std::uint32_t s = 0; s < 8; ++s) {
-    net.send_message(s, 0xFF, false);
+    net.send_message(s, noc::DestSet::from_word(0xFF), false);
   }
   net.scheduler().run();
   std::uint64_t total = 0;

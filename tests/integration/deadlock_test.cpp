@@ -95,7 +95,7 @@ TEST(DeadlockFreedomTest, AllSourcesBroadcastSimultaneouslyAndDrain) {
   rec.open_window(0);
   for (int wave = 0; wave < 50; ++wave) {
     for (std::uint32_t s = 0; s < 8; ++s) {
-      net.send_message(s, 0xFF, false);
+      net.send_message(s, noc::DestSet::from_word(0xFF), false);
     }
   }
   net.scheduler().run();

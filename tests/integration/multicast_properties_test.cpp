@@ -25,7 +25,7 @@ namespace specnoc {
 namespace {
 
 using core::Architecture;
-using noc::DestMask;
+using noc::DestSet;
 using noc::NodeOp;
 
 struct NetConfig {
@@ -49,20 +49,20 @@ class EjectionRecorder : public noc::TrafficObserver {
  public:
   void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
                        noc::FlitKind kind, TimePs) override {
-    EXPECT_NE(packet.dests & noc::dest_bit(dest), 0u)
+    EXPECT_TRUE(packet.dests.test(dest))
         << "packet " << packet.id << " ejected at non-destination " << dest;
     ++ejected_flits;
     if (kind == noc::FlitKind::kHeader) {
       ++headers[{packet.id, dest}];
     }
     packet_dests[packet.id] = packet.dests;
-    header_mask[packet.id] |= noc::dest_bit(dest);
+    header_mask[packet.id] |= noc::DestSet::single(dest);
   }
   void on_packet_injected(const noc::Packet&, TimePs) override {}
 
   std::map<std::pair<noc::PacketId, std::uint32_t>, int> headers;
-  std::map<noc::PacketId, DestMask> packet_dests;
-  std::map<noc::PacketId, DestMask> header_mask;
+  std::map<noc::PacketId, DestSet> packet_dests;
+  std::map<noc::PacketId, DestSet> header_mask;
   std::uint64_t ejected_flits = 0;
 };
 
@@ -83,10 +83,10 @@ class OpCounter : public noc::EnergyObserver {
   std::array<std::uint64_t, 8> counts{};
 };
 
-DestMask random_dests(Rng& rng, std::uint32_t n) {
-  const DestMask full = n >= 64 ? ~DestMask{0} : (DestMask{1} << n) - 1;
-  DestMask dests = rng() & full;
-  if (dests == 0) dests = noc::dest_bit(0);
+DestSet random_dests(Rng& rng, std::uint32_t n) {
+  const std::uint64_t full = n >= 64 ? ~0ull : (1ull << n) - 1;
+  DestSet dests = DestSet::from_word(rng() & full);
+  if (dests.none()) dests = DestSet::single(0);
   return dests;
 }
 
@@ -101,13 +101,13 @@ Workload drive(core::MotNetwork& net, std::uint64_t seed, bool multicast) {
   Workload load;
   for (int i = 0; i < 60; ++i) {
     const auto src = static_cast<std::uint32_t>(rng.uniform_below(n));
-    const DestMask dests =
+    const DestSet dests =
         multicast ? random_dests(rng, n)
-                  : noc::dest_bit(
+                  : noc::DestSet::single(
                         static_cast<std::uint32_t>(rng.uniform_below(n)));
     net.send_message(src, dests, false);
     ++load.messages;
-    load.dest_count += static_cast<unsigned>(std::popcount(dests));
+    load.dest_count += dests.count();
   }
   net.scheduler().run();
   return load;

@@ -20,7 +20,7 @@ namespace specnoc {
 namespace {
 
 using core::Architecture;
-using noc::DestMask;
+using noc::DestSet;
 
 struct ArchAndSize {
   Architecture arch;
@@ -69,14 +69,15 @@ TEST_P(PropertyTest, DeliveryExactnessUnderRandomMulticast) {
   Rng rng(1234 + n);
   struct Sent {
     std::uint32_t src;
-    DestMask dests;
+    DestSet dests;
     noc::MessageId msg;
   };
   std::vector<Sent> sent;
   for (int i = 0; i < 60; ++i) {
     const auto src = static_cast<std::uint32_t>(rng.uniform_below(n));
-    DestMask dests = rng() & ((n >= 64 ? ~0ull : (1ull << n) - 1));
-    if (dests == 0) dests = noc::dest_bit(0);
+    DestSet dests =
+        DestSet::from_word(rng() & (n >= 64 ? ~0ull : (1ull << n) - 1));
+    if (dests.none()) dests = DestSet::single(0);
     sent.push_back({src, dests, net.send_message(src, dests, false)});
   }
   net.scheduler().run();
@@ -93,7 +94,7 @@ TEST_P(PropertyTest, DeliveryExactnessUnderRandomMulticast) {
   std::uint64_t expected_flits = 0;
   for (const auto& s : sent) {
     const auto num_dests = static_cast<std::uint64_t>(
-        static_cast<unsigned>(std::popcount(s.dests)));
+        s.dests.count());
     expected_flits += 5 * num_dests;
   }
   std::uint64_t actual = 0;
@@ -115,8 +116,8 @@ TEST_P(PropertyTest, PerPacketFlitOrderAtEveryDestination) {
   Rng rng(77);
   for (int i = 0; i < 40; ++i) {
     const auto src = static_cast<std::uint32_t>(rng.uniform_below(n));
-    DestMask dests = rng() & ((1ull << n) - 1);
-    if (dests == 0) dests = noc::dest_bit(n - 1);
+    DestSet dests = DestSet::from_word(rng() & ((1ull << n) - 1));
+    if (dests.none()) dests = DestSet::single(n - 1);
     net.send_message(src, dests, false);
   }
   net.scheduler().run();
@@ -142,8 +143,8 @@ TEST_P(PropertyTest, DeterministicEjectionSchedule) {
     Rng rng(555);
     for (int i = 0; i < 30; ++i) {
       const auto src = static_cast<std::uint32_t>(rng.uniform_below(n));
-      DestMask dests = rng() & ((1ull << n) - 1);
-      if (dests == 0) dests = noc::dest_bit(0);
+      DestSet dests = DestSet::from_word(rng() & ((1ull << n) - 1));
+      if (dests.none()) dests = DestSet::single(0);
       net.send_message(src, dests, false);
     }
     net.scheduler().run();

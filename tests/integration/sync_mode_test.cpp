@@ -27,7 +27,7 @@ TimePs unicast_header_latency(Architecture arch, TimePs clock_period) {
   core::MotNetwork net(arch, cfg);
   LastHeader obs;
   net.net().hooks().traffic = &obs;
-  net.send_message(0, noc::dest_bit(5), false);
+  net.send_message(0, noc::DestSet::single(5), false);
   net.scheduler().run();
   return obs.last;
 }

@@ -38,7 +38,7 @@ TEST(MeshNetworkTest, UnicastReachesExactlyItsDestination) {
   for (std::uint32_t src = 0; src < 16; ++src) {
     for (std::uint32_t dst = 0; dst < 16; ++dst) {
       rec.flits.clear();
-      net.send_message(src, noc::dest_bit(dst), false);
+      net.send_message(src, noc::DestSet::single(dst), false);
       net.scheduler().run();
       ASSERT_EQ(rec.flits.size(), 1u) << src << "->" << dst;
       EXPECT_EQ(rec.flits[dst], 5u);
@@ -52,13 +52,13 @@ TEST(MeshNetworkTest, LatencyScalesWithManhattanDistance) {
   EjectionMap rec;
   net.net().hooks().traffic = &rec;
   const TimePs t0 = net.scheduler().now();
-  net.send_message(0, noc::dest_bit(1), false);  // 1 hop
+  net.send_message(0, noc::DestSet::single(1), false);  // 1 hop
   net.scheduler().run();
   const TimePs near = rec.header_time.begin()->second - t0;
 
   rec.header_time.clear();
   const TimePs t1 = net.scheduler().now();
-  net.send_message(0, noc::dest_bit(15), false);  // 6 hops
+  net.send_message(0, noc::DestSet::single(15), false);  // 6 hops
   net.scheduler().run();
   const TimePs far = rec.header_time.begin()->second - t1;
   EXPECT_GT(far, near + 4 * 350);  // at least 5 extra router traversals
@@ -69,8 +69,8 @@ TEST(MeshNetworkTest, TreeMulticastReachesAllOnce) {
   MeshNetwork net(cfg);
   EjectionMap rec;
   net.net().hooks().traffic = &rec;
-  const noc::DestMask dests = noc::dest_bit(0) | noc::dest_bit(3) |
-                              noc::dest_bit(9) | noc::dest_bit(15);
+  const noc::DestSet dests = noc::DestSet::single(0) | noc::DestSet::single(3) |
+                              noc::DestSet::single(9) | noc::DestSet::single(15);
   net.send_message(5, dests, false);
   net.scheduler().run();
   EXPECT_EQ(rec.injected, 1);  // one tree packet
@@ -86,7 +86,7 @@ TEST(MeshNetworkTest, SerialModeExpandsMulticast) {
   MeshNetwork net(cfg);
   EjectionMap rec;
   net.net().hooks().traffic = &rec;
-  net.send_message(5, noc::dest_bit(0) | noc::dest_bit(15), false);
+  net.send_message(5, noc::DestSet::single(0) | noc::DestSet::single(15), false);
   net.scheduler().run();
   EXPECT_EQ(rec.injected, 2);
   EXPECT_EQ(rec.flits[0], 5u);
@@ -100,7 +100,7 @@ TEST(MeshNetworkTest, BroadcastFromEveryCorner) {
   net.net().hooks().traffic = &rec;
   for (const std::uint32_t src : {0u, 3u, 12u, 15u}) {
     rec.flits.clear();
-    net.send_message(src, 0xFFFF, false);
+    net.send_message(src, noc::DestSet::from_word(0xFFFF), false);
     net.scheduler().run();
     ASSERT_EQ(rec.flits.size(), 16u) << src;
     for (const auto& [dest, count] : rec.flits) {
@@ -116,7 +116,7 @@ TEST(MeshNetworkTest, WorksOn8x8With64Endpoints) {
   MeshNetwork net(cfg);
   EjectionMap rec;
   net.net().hooks().traffic = &rec;
-  net.send_message(0, ~noc::DestMask{0}, false);  // broadcast to all 64
+  net.send_message(0, noc::DestSet::first_n(64), false);  // broadcast to all 64
   net.scheduler().run();
   EXPECT_EQ(rec.flits.size(), 64u);
 }
@@ -150,7 +150,7 @@ TEST(MeshNetworkTest, NonSquareShapes) {
   MeshNetwork net(cfg);
   EjectionMap rec;
   net.net().hooks().traffic = &rec;
-  net.send_message(0, noc::dest_bit(15) | noc::dest_bit(7), false);
+  net.send_message(0, noc::DestSet::single(15) | noc::DestSet::single(7), false);
   net.scheduler().run();
   EXPECT_EQ(rec.flits.size(), 2u);
 }

@@ -13,7 +13,8 @@
 namespace specnoc::mesh {
 namespace {
 
-using noc::dest_bit;
+using noc::DestSet;
+
 using noc::Packet;
 using specnoc::testing::DriverEndpoint;
 using specnoc::testing::RecordingEndpoint;
@@ -50,7 +51,7 @@ class RouterHarness {
     }
   }
 
-  const Packet& make_packet(std::uint32_t src, noc::DestMask dests,
+  const Packet& make_packet(std::uint32_t src, noc::DestSet dests,
                             std::uint32_t num_flits = 5) {
     const noc::Message& msg = store.create_message(src, dests, 0, false);
     return store.create_packet(msg, dests, num_flits);
@@ -89,7 +90,7 @@ constexpr auto kWestIn = static_cast<std::uint32_t>(Port::kWest);
 TEST(MeshRouterUnitTest, UnicastLocalInjectionRoutesXFirst) {
   RouterHarness<MeshRouter> h(kLocalIn);
   // Router 4 is (1,1). Destination (2,2) = id 8: east first.
-  const Packet& pkt = h.make_packet(4, dest_bit(8));
+  const Packet& pkt = h.make_packet(4, DestSet::single(8));
   h.stream(pkt);
   h.sched.run();
   EXPECT_EQ(h.delivered(Port::kEast), 5u);
@@ -102,7 +103,7 @@ TEST(MeshRouterUnitTest, MulticastForksToAllNeededPorts) {
   // From (1,1): dest 3 (0,1) west, dest 5 (2,1) east, dest 7 (1,2) south,
   // dest 4 itself local.
   const Packet& pkt =
-      h.make_packet(4, dest_bit(3) | dest_bit(5) | dest_bit(7) | dest_bit(4));
+      h.make_packet(4, DestSet::single(3) | DestSet::single(5) | DestSet::single(7) | DestSet::single(4));
   h.stream(pkt);
   h.sched.run();
   EXPECT_EQ(h.delivered(Port::kWest), 5u);
@@ -116,7 +117,7 @@ TEST(MeshRouterUnitTest, MisroutedFlitThrottledFast) {
   // A flit arriving from the west whose packet's tree does not pass
   // through router 4 (src (0,0) -> dest (0,2): pure Y-leg in column 0).
   RouterHarness<MeshRouter> h(kWestIn);
-  const Packet& pkt = h.make_packet(0, dest_bit(6), 2);
+  const Packet& pkt = h.make_packet(0, DestSet::single(6), 2);
   h.stream(pkt);
   h.sched.run();
   for (const Port port : {Port::kLocal, Port::kNorth, Port::kEast,
@@ -131,7 +132,7 @@ TEST(MeshRouterUnitTest, MisroutedFlitThrottledFast) {
 TEST(MeshRouterUnitTest, ValidTreeArrivalForwarded) {
   // src (0,1)=3 -> dest (2,1)=5: the x-leg passes through (1,1) from west.
   RouterHarness<MeshRouter> h(kWestIn);
-  const Packet& pkt = h.make_packet(3, dest_bit(5));
+  const Packet& pkt = h.make_packet(3, DestSet::single(5));
   h.stream(pkt);
   h.sched.run();
   EXPECT_EQ(h.delivered(Port::kEast), 5u);
@@ -140,7 +141,7 @@ TEST(MeshRouterUnitTest, ValidTreeArrivalForwarded) {
 
 TEST(MeshRouterUnitTest, HeaderLatencyIsEntryPlusWires) {
   RouterHarness<MeshRouter> h(kLocalIn);
-  const Packet& pkt = h.make_packet(4, dest_bit(5), 1);
+  const Packet& pkt = h.make_packet(4, DestSet::single(5), 1);
   h.stream(pkt);
   h.sched.run();
   ASSERT_EQ(h.delivered(Port::kEast), 1u);
@@ -155,7 +156,7 @@ TEST(SpecMeshRouterUnitTest, EarlyCopiesOnIdlePorts) {
   // Conventional path (400 ps) slower than the speculation stage (150 ps),
   // as in the default characteristics.
   RouterHarness<SpecMeshRouter> h(kLocalIn, 0, /*fwd_header=*/400);
-  const Packet& pkt = h.make_packet(4, dest_bit(5), 1);  // east dest
+  const Packet& pkt = h.make_packet(4, DestSet::single(5), 1);  // east dest
   h.stream(pkt);
   h.sched.run();
   // The speculative stage (150 ps) broadcast to all four idle mesh ports;
@@ -170,7 +171,7 @@ TEST(SpecMeshRouterUnitTest, EarlyCopiesOnIdlePorts) {
 
 TEST(SpecMeshRouterUnitTest, EarlyCopyArrivesAtSpeculationLatency) {
   RouterHarness<SpecMeshRouter> h(kLocalIn, 0, /*fwd_header=*/400);
-  const Packet& pkt = h.make_packet(4, dest_bit(5), 1);
+  const Packet& pkt = h.make_packet(4, DestSet::single(5), 1);
   h.stream(pkt);
   h.sched.run();
   // in wire 5 + speculation 150 + out wire 5 = 160, well before the
@@ -187,7 +188,7 @@ TEST(SpecMeshRouterUnitTest, FastConventionalPathClosesSpeculationWindow) {
   // is forwarded conventionally and the late speculative event must not
   // re-send it (duplicate) — only the tree port sees the flit.
   RouterHarness<SpecMeshRouter> h(kLocalIn, 0, /*fwd_header=*/100);
-  const Packet& pkt = h.make_packet(4, dest_bit(5), 1);
+  const Packet& pkt = h.make_packet(4, DestSet::single(5), 1);
   h.stream(pkt);
   h.sched.run();
   EXPECT_EQ(h.delivered(Port::kEast), 1u);
@@ -202,7 +203,7 @@ TEST(SpecMeshRouterUnitTest, BusyPortsAreSkippedNotWaitedOn) {
   // speculative copies of later flits are skipped without stalling).
   RouterHarness<SpecMeshRouter> h(kLocalIn, /*sink_ack_delay=*/2000,
                                   /*fwd_header=*/400);
-  const Packet& pkt = h.make_packet(4, dest_bit(5), 3);  // east dest
+  const Packet& pkt = h.make_packet(4, DestSet::single(5), 3);  // east dest
   h.stream(pkt);
   h.sched.run();
   // All three flits eventually delivered east (the guaranteed tree path).
@@ -215,7 +216,7 @@ TEST(SpecMeshRouterUnitTest, BusyPortsAreSkippedNotWaitedOn) {
 TEST(SpecMeshRouterUnitTest, LocalEjectionStillExact) {
   RouterHarness<SpecMeshRouter> h(kWestIn, 0, /*fwd_header=*/400);
   // src (0,1) -> dest (1,1) = router 4 itself: valid arrival, local only.
-  const Packet& pkt = h.make_packet(3, dest_bit(4), 5);
+  const Packet& pkt = h.make_packet(3, DestSet::single(4), 5);
   h.stream(pkt);
   h.sched.run();
   EXPECT_EQ(h.delivered(Port::kLocal), 5u);

@@ -24,8 +24,10 @@ TEST(MeshTopologyTest, ShapeAndCoords) {
 TEST(MeshTopologyTest, RejectsBadShapes) {
   EXPECT_THROW(MeshTopology(1, 1), ConfigError);
   EXPECT_THROW(MeshTopology(0, 4), ConfigError);
-  EXPECT_THROW(MeshTopology(9, 8), ConfigError);  // 72 > 64
+  EXPECT_THROW(MeshTopology(128, 64), ConfigError);  // 8192 > kMaxEndpoints
   EXPECT_NO_THROW(MeshTopology(8, 8));
+  EXPECT_NO_THROW(MeshTopology(9, 8));  // 72 endpoints: past the old cap
+  EXPECT_NO_THROW(MeshTopology(64, 64));
   EXPECT_NO_THROW(MeshTopology(2, 1));
 }
 
@@ -58,18 +60,18 @@ TEST(MeshRouteTest, UnicastXYGoesXFirst) {
   const auto src = t.id_at(0, 0);
   const auto dst = t.id_at(2, 3);
   // At the source: move east (X first).
-  EXPECT_EQ(t.route_dirs(src, src, noc::dest_bit(dst)),
+  EXPECT_EQ(t.route_dirs(src, src, noc::DestSet::single(dst)),
             port_bit(Port::kEast));
   // Mid X-leg.
-  EXPECT_EQ(t.route_dirs(t.id_at(1, 0), src, noc::dest_bit(dst)),
+  EXPECT_EQ(t.route_dirs(t.id_at(1, 0), src, noc::DestSet::single(dst)),
             port_bit(Port::kEast));
   // Turn column: go south.
-  EXPECT_EQ(t.route_dirs(t.id_at(2, 0), src, noc::dest_bit(dst)),
+  EXPECT_EQ(t.route_dirs(t.id_at(2, 0), src, noc::DestSet::single(dst)),
             port_bit(Port::kSouth));
-  EXPECT_EQ(t.route_dirs(t.id_at(2, 2), src, noc::dest_bit(dst)),
+  EXPECT_EQ(t.route_dirs(t.id_at(2, 2), src, noc::DestSet::single(dst)),
             port_bit(Port::kSouth));
   // Destination: local.
-  EXPECT_EQ(t.route_dirs(dst, src, noc::dest_bit(dst)),
+  EXPECT_EQ(t.route_dirs(dst, src, noc::DestSet::single(dst)),
             port_bit(Port::kLocal));
 }
 
@@ -78,16 +80,16 @@ TEST(MeshRouteTest, OffPathRouterContributesNothing) {
   const auto src = t.id_at(0, 0);
   const auto dst = t.id_at(2, 3);
   // (1,1) is not on the XY path 0,0 -> 2,0 -> 2,3.
-  EXPECT_EQ(t.route_dirs(t.id_at(1, 1), src, noc::dest_bit(dst)), 0);
-  EXPECT_EQ(t.route_dirs(t.id_at(3, 0), src, noc::dest_bit(dst)), 0);
+  EXPECT_EQ(t.route_dirs(t.id_at(1, 1), src, noc::DestSet::single(dst)), 0);
+  EXPECT_EQ(t.route_dirs(t.id_at(3, 0), src, noc::DestSet::single(dst)), 0);
 }
 
 TEST(MeshRouteTest, MulticastTreeForksAtColumns) {
   MeshTopology t(4, 4);
   const auto src = t.id_at(1, 1);
-  const noc::DestMask dests = noc::dest_bit(t.id_at(3, 0)) |  // east, north
-                              noc::dest_bit(t.id_at(1, 3)) |  // same col S
-                              noc::dest_bit(t.id_at(0, 1));   // west
+  const noc::DestSet dests = noc::DestSet::single(t.id_at(3, 0)) |  // east, north
+                              noc::DestSet::single(t.id_at(1, 3)) |  // same col S
+                              noc::DestSet::single(t.id_at(0, 1));   // west
   const auto at_src = t.route_dirs(src, src, dests);
   EXPECT_EQ(at_src, port_bit(Port::kEast) | port_bit(Port::kWest) |
                         port_bit(Port::kSouth));
@@ -99,15 +101,15 @@ TEST(MeshRouteTest, MulticastTreeForksAtColumns) {
 
 TEST(MeshRouteTest, SelfDestinationIsLocal) {
   MeshTopology t(2, 2);
-  EXPECT_EQ(t.route_dirs(0, 0, noc::dest_bit(0)), port_bit(Port::kLocal));
+  EXPECT_EQ(t.route_dirs(0, 0, noc::DestSet::single(0)), port_bit(Port::kLocal));
 }
 
 TEST(MeshRouteTest, DestAtTurnWithBranchKeepsBothDirs) {
   MeshTopology t(4, 4);
   const auto src = t.id_at(0, 1);
   // Destination at (2,1) (on the x-leg) and (2,3) (branch at column 2).
-  const noc::DestMask dests =
-      noc::dest_bit(t.id_at(2, 1)) | noc::dest_bit(t.id_at(2, 3));
+  const noc::DestSet dests =
+      noc::DestSet::single(t.id_at(2, 1)) | noc::DestSet::single(t.id_at(2, 3));
   // At (2,1): local delivery AND a south branch.
   EXPECT_EQ(t.route_dirs(t.id_at(2, 1), src, dests),
             port_bit(Port::kLocal) | port_bit(Port::kSouth));
@@ -120,10 +122,10 @@ TEST(MeshRouteTest, TreeCoversAllDestinations) {
   Rng rng(42);
   for (int trial = 0; trial < 100; ++trial) {
     const auto src = static_cast<std::uint32_t>(rng.uniform_below(64));
-    noc::DestMask dests = rng();
-    if (dests == 0) dests = 1;
+    noc::DestSet dests = noc::DestSet::from_word(rng());
+    if (dests.none()) dests = noc::DestSet::single(0);
     // BFS over the multicast tree.
-    noc::DestMask delivered = 0;
+    noc::DestSet delivered;
     std::vector<std::uint32_t> frontier{src};
     std::vector<bool> visited(64, false);
     while (!frontier.empty()) {
@@ -132,7 +134,7 @@ TEST(MeshRouteTest, TreeCoversAllDestinations) {
       if (visited[id]) continue;
       visited[id] = true;
       const auto dirs = t.route_dirs(id, src, dests);
-      if (dirs & port_bit(Port::kLocal)) delivered |= noc::dest_bit(id);
+      if (dirs & port_bit(Port::kLocal)) delivered.set(id);
       for (const Port port :
            {Port::kNorth, Port::kEast, Port::kSouth, Port::kWest}) {
         if (dirs & port_bit(port)) {

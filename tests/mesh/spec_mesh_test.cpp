@@ -69,7 +69,7 @@ TEST(SpecMeshTest, UnicastExactlyOnceFromEverySourceToEveryDest) {
   for (std::uint32_t src = 0; src < 16; ++src) {
     for (std::uint32_t dst = 0; dst < 16; ++dst) {
       rec.flits.clear();
-      net.send_message(src, noc::dest_bit(dst), false);
+      net.send_message(src, noc::DestSet::single(dst), false);
       net.scheduler().run();
       ASSERT_EQ(rec.flits.size(), 1u) << src << "->" << dst;
       EXPECT_EQ(rec.flits.begin()->second, 5u) << src << "->" << dst;
@@ -86,10 +86,10 @@ TEST(SpecMeshTest, RandomMulticastExactlyOnce) {
   std::uint64_t expected_deliveries = 0;
   for (int i = 0; i < 200; ++i) {
     const auto src = static_cast<std::uint32_t>(rng.uniform_below(16));
-    noc::DestMask dests = rng() & 0xFFFF;
-    if (dests == 0) dests = noc::dest_bit(15);
+    noc::DestSet dests = noc::DestSet::from_word(rng() & 0xFFFF);
+    if (dests.none()) dests = noc::DestSet::single(15);
     expected_deliveries +=
-        static_cast<std::uint64_t>(std::popcount(dests));
+        static_cast<std::uint64_t>(dests.count());
     net.send_message(src, dests, false);
     net.scheduler().run();
   }
@@ -108,7 +108,7 @@ TEST(SpecMeshTest, RedundantCopiesAreThrottledNextHop) {
   // Router 0 (0,0) is speculative (checkerboard, x+y even). A unicast from
   // endpoint 0 east to endpoint 3 broadcasts at router 0; the copy sent
   // south to router 4 must be throttled there.
-  net.send_message(0, noc::dest_bit(3), false);
+  net.send_message(0, noc::DestSet::single(3), false);
   net.scheduler().run();
   EXPECT_EQ(rec.flits.size(), 1u);
   EXPECT_GT(net.router(4).throttled_flits(), 0u);
@@ -131,7 +131,7 @@ TEST(SpecMeshTest, SpeculationReducesUnicastLatency) {
       TimePs& out_;
     } obs(header);
     net.net().hooks().traffic = &obs;
-    net.send_message(0, noc::dest_bit(15), false);  // 6-hop path
+    net.send_message(0, noc::DestSet::single(15), false);  // 6-hop path
     net.scheduler().run();
     return header;
   };

@@ -55,7 +55,7 @@ TEST(AddressingTest, SymbolForUnicastPath) {
   MotTopology t(8);
   SourceRouteEncoder enc(t, no_speculation(t));
   // Destination 5 = 0b101: bottom at root, top at (1,1), bottom at (2,2).
-  const noc::DestMask d5 = noc::dest_bit(5);
+  const noc::DestSet d5 = noc::DestSet::single(5);
   EXPECT_EQ(enc.symbol_for(0, 0, d5), RouteSymbol::kBottom);
   EXPECT_EQ(enc.symbol_for(1, 1, d5), RouteSymbol::kTop);
   EXPECT_EQ(enc.symbol_for(2, 2, d5), RouteSymbol::kBottom);
@@ -68,7 +68,7 @@ TEST(AddressingTest, SymbolForUnicastPath) {
 TEST(AddressingTest, SymbolForBroadcastIsBothEverywhere) {
   MotTopology t(8);
   SourceRouteEncoder enc(t, no_speculation(t));
-  const noc::DestMask all = (noc::DestMask{1} << 8) - 1;
+  const noc::DestSet all = noc::DestSet::first_n(8);
   for (std::uint32_t level = 0; level < 3; ++level) {
     for (std::uint32_t i = 0; i < t.nodes_at_level(level); ++i) {
       EXPECT_EQ(enc.symbol_for(level, i, all), RouteSymbol::kBoth);
@@ -79,7 +79,7 @@ TEST(AddressingTest, SymbolForBroadcastIsBothEverywhere) {
 TEST(AddressingTest, EncodeSkipsSpeculativeNodes) {
   MotTopology t(8);
   SourceRouteEncoder enc(t, spec_levels(t, {0}));
-  const auto fields = enc.encode(noc::dest_bit(0));
+  const auto fields = enc.encode(noc::DestSet::single(0));
   EXPECT_EQ(fields.size(), 6u);  // 7 nodes - 1 speculative root
   EXPECT_EQ(enc.field_slot(0, 0), -1);
   EXPECT_EQ(enc.field_slot(1, 0), 0);
@@ -92,8 +92,8 @@ TEST(AddressingTest, DecodeMatchesSymbolFor) {
   Rng rng(99);
   SourceRouteEncoder enc(t, spec_levels(t, {0, 2}));
   for (int trial = 0; trial < 200; ++trial) {
-    noc::DestMask dests = rng() & 0xFFFF;
-    if (dests == 0) dests = 1;
+    noc::DestSet dests = noc::DestSet::from_word(rng() & 0xFFFF);
+    if (dests.none()) dests = noc::DestSet::single(0);
     const auto fields = enc.encode(dests);
     for (std::uint32_t level = 0; level < t.levels(); ++level) {
       for (std::uint32_t i = 0; i < t.nodes_at_level(level); ++i) {
@@ -129,7 +129,7 @@ TEST(AddressingTest, UnicastPropertyAllSizes) {
       std::uint32_t non_kill = 0;
       for (std::uint32_t level = 0; level < t.levels(); ++level) {
         for (std::uint32_t i = 0; i < t.nodes_at_level(level); ++i) {
-          const auto sym = enc.symbol_for(level, i, noc::dest_bit(d));
+          const auto sym = enc.symbol_for(level, i, noc::DestSet::single(d));
           if (sym == RouteSymbol::kThrottle) continue;
           ++non_kill;
           EXPECT_EQ(i, t.path_index(d, level));

@@ -21,9 +21,12 @@ TEST(MotTopologyTest, RejectsInvalidRadix) {
   EXPECT_THROW(MotTopology(0), ConfigError);
   EXPECT_THROW(MotTopology(1), ConfigError);
   EXPECT_THROW(MotTopology(6), ConfigError);
-  EXPECT_THROW(MotTopology(128), ConfigError);
+  EXPECT_THROW(MotTopology(kMaxRadix * 2), ConfigError);
   EXPECT_NO_THROW(MotTopology(2));
   EXPECT_NO_THROW(MotTopology(64));
+  // The old 64-endpoint ceiling is gone: large power-of-two radixes build.
+  EXPECT_NO_THROW(MotTopology(128));
+  EXPECT_NO_THROW(MotTopology{kMaxRadix});
 }
 
 TEST(MotTopologyTest, HeapIdRoundTrip) {
@@ -54,10 +57,10 @@ TEST(MotTopologyTest, SubtreeMasksPartitionSpan) {
       for (std::uint32_t i = 0; i < t.nodes_at_level(level); ++i) {
         const auto top = t.subtree_mask(level, i, 0);
         const auto bottom = t.subtree_mask(level, i, 1);
-        EXPECT_EQ(top & bottom, 0u);
+        EXPECT_FALSE(top.intersects(bottom));
         EXPECT_EQ(top | bottom, t.span_mask(level, i));
-        EXPECT_NE(top, 0u);
-        EXPECT_NE(bottom, 0u);
+        EXPECT_TRUE(top.any());
+        EXPECT_TRUE(bottom.any());
       }
     }
   }
@@ -80,7 +83,7 @@ TEST(MotTopologyTest, PathIndexFollowsRouteBits) {
         EXPECT_EQ(t.path_index(d, level), index);
         // The destination must be inside the subtree the route bit picks.
         const auto child = t.route_bit(d, level);
-        EXPECT_NE(t.subtree_mask(level, index, child) & noc::dest_bit(d), 0u);
+        EXPECT_TRUE(t.subtree_mask(level, index, child).test(d));
         index = index * 2 + child;
       }
     }

@@ -15,8 +15,8 @@ TEST(ChannelTest, DeliversAfterForwardDelay) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
 
   DriverEndpoint up(sched, hooks);
   RecordingEndpoint down(sched, hooks, /*ack_delay=*/0);
@@ -37,8 +37,8 @@ TEST(ChannelTest, AckFreesChannelAfterAckDelay) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
 
   DriverEndpoint up(sched, hooks);
   RecordingEndpoint down(sched, hooks, /*ack_delay=*/50);
@@ -58,8 +58,8 @@ TEST(ChannelTest, BackToBackTransactions) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
 
   DriverEndpoint up(sched, hooks);
   RecordingEndpoint down(sched, hooks, /*ack_delay=*/0);
@@ -87,8 +87,8 @@ TEST(ChannelTest, CountsFlitsCarried) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
 
   DriverEndpoint up(sched, hooks);
   RecordingEndpoint down(sched, hooks, 0);
@@ -109,8 +109,8 @@ TEST(PipelinedChannelTest, CapacityTwoAcksUpstreamBeforeNodeAck) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
 
   DriverEndpoint up(sched, hooks);
   RecordingEndpoint down(sched, hooks, /*ack_delay=*/1000);  // slow node
@@ -133,8 +133,8 @@ TEST(PipelinedChannelTest, FullPipeDefersUpstreamAck) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
 
   DriverEndpoint up(sched, hooks);
   RecordingEndpoint down(sched, hooks, /*ack_delay=*/500);
@@ -168,8 +168,8 @@ TEST(PipelinedChannelTest, CapacityOneMatchesPlainWireTiming) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
 
   DriverEndpoint up(sched, hooks);
   RecordingEndpoint down(sched, hooks, /*ack_delay=*/50);
@@ -187,8 +187,8 @@ TEST(ChannelTest, ZeroDelayChannelStillHandshakes) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
 
   DriverEndpoint up(sched, hooks);
   RecordingEndpoint down(sched, hooks, 0);

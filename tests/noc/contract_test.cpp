@@ -21,8 +21,8 @@ TEST(ContractDeathTest, ChannelDoubleSendAborts) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 2);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 2);
   DriverEndpoint up(sched, hooks);
   RecordingEndpoint down(sched, hooks, 0);
   Channel ch(sched, hooks, {.delay_fwd = 10, .delay_ack = 10, .length = 0},

@@ -46,8 +46,8 @@ TEST(NetworkTest, EndToEndThroughContainer) {
   net.add_channel({.delay_fwd = 10, .delay_ack = 10, .length = 0}, "c", src,
                   0, sink, 0);
 
-  const Message& msg = net.packets().create_message(0, dest_bit(7), 0, true);
-  const Packet& pkt = net.packets().create_packet(msg, dest_bit(7), 3);
+  const Message& msg = net.packets().create_message(0, DestSet::single(7), 0, true);
+  const Packet& pkt = net.packets().create_packet(msg, DestSet::single(7), 3);
   src.enqueue_packet(pkt);
   net.scheduler().run();
   EXPECT_EQ(sink.flits_consumed(), 3u);
@@ -67,8 +67,8 @@ TEST(NetworkTest, SharedHooksReachAllComponents) {
   auto& src = net.add_node<SourceNode>(0, 0);
   auto& sink = net.add_node<SinkNode>(0, 0);
   net.add_channel({}, "c", src, 0, sink, 0);
-  const Message& msg = net.packets().create_message(0, dest_bit(0), 0, false);
-  src.enqueue_packet(net.packets().create_packet(msg, dest_bit(0), 2));
+  const Message& msg = net.packets().create_message(0, DestSet::single(0), 0, false);
+  src.enqueue_packet(net.packets().create_packet(msg, DestSet::single(0), 2));
   net.scheduler().run();
   EXPECT_EQ(counter.wires, 2);
   EXPECT_EQ(counter.ops, 4);  // 2 source sends + 2 sink consumes

@@ -7,8 +7,8 @@ namespace {
 
 TEST(PacketStoreTest, CreateMessageAssignsSequentialIds) {
   PacketStore store;
-  const Message& m0 = store.create_message(0, dest_bit(3), 100, true);
-  const Message& m1 = store.create_message(1, dest_bit(2) | dest_bit(5), 200,
+  const Message& m0 = store.create_message(0, DestSet::single(3), 100, true);
+  const Message& m1 = store.create_message(1, DestSet::single(2) | DestSet::single(5), 200,
                                            false);
   EXPECT_EQ(m0.id, 0u);
   EXPECT_EQ(m1.id, 1u);
@@ -19,9 +19,9 @@ TEST(PacketStoreTest, CreateMessageAssignsSequentialIds) {
 
 TEST(PacketStoreTest, PacketsInheritMessageProperties) {
   PacketStore store;
-  const Message& msg = store.create_message(2, dest_bit(1) | dest_bit(4), 50,
+  const Message& msg = store.create_message(2, DestSet::single(1) | DestSet::single(4), 50,
                                             true);
-  const Packet& pkt = store.create_packet(msg, dest_bit(1), 5);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(1), 5);
   EXPECT_EQ(pkt.message, msg.id);
   EXPECT_EQ(pkt.src, 2u);
   EXPECT_EQ(pkt.gen_time, 50);
@@ -33,40 +33,40 @@ TEST(PacketStoreTest, PacketsInheritMessageProperties) {
 TEST(PacketStoreTest, SerializedCopiesCountPackets) {
   PacketStore store;
   const Message& msg =
-      store.create_message(0, dest_bit(0) | dest_bit(1) | dest_bit(2), 0,
+      store.create_message(0, DestSet::single(0) | DestSet::single(1) | DestSet::single(2), 0,
                            false);
-  store.create_packet(msg, dest_bit(0), 5);
-  store.create_packet(msg, dest_bit(1), 5);
-  store.create_packet(msg, dest_bit(2), 5);
+  store.create_packet(msg, DestSet::single(0), 5);
+  store.create_packet(msg, DestSet::single(1), 5);
+  store.create_packet(msg, DestSet::single(2), 5);
   EXPECT_EQ(store.message(msg.id).num_packets, 3u);
   EXPECT_EQ(store.num_packets(), 3u);
 }
 
 TEST(PacketStoreTest, ReferencesStableAcrossGrowth) {
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& first = store.create_packet(msg, dest_bit(0), 1);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& first = store.create_packet(msg, DestSet::single(0), 1);
   const Packet* first_addr = &first;
   for (int i = 0; i < 10000; ++i) {
-    store.create_packet(msg, dest_bit(0), 1);
+    store.create_packet(msg, DestSet::single(0), 1);
   }
   EXPECT_EQ(first_addr->id, 0u);  // still valid and unchanged
 }
 
 TEST(PacketTest, MulticastPredicate) {
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(2) | dest_bit(7), 0,
+  const Message& msg = store.create_message(0, DestSet::single(2) | DestSet::single(7), 0,
                                             false);
-  const Packet& uni = store.create_packet(msg, dest_bit(2), 5);
-  const Packet& multi = store.create_packet(msg, dest_bit(2) | dest_bit(7), 5);
+  const Packet& uni = store.create_packet(msg, DestSet::single(2), 5);
+  const Packet& multi = store.create_packet(msg, DestSet::single(2) | DestSet::single(7), 5);
   EXPECT_FALSE(uni.is_multicast());
   EXPECT_TRUE(multi.is_multicast());
 }
 
 TEST(FlitTest, MakeFlitKinds) {
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
   EXPECT_EQ(make_flit(pkt, 0).kind, FlitKind::kHeader);
   EXPECT_EQ(make_flit(pkt, 1).kind, FlitKind::kBody);
   EXPECT_EQ(make_flit(pkt, 3).kind, FlitKind::kBody);
@@ -75,8 +75,8 @@ TEST(FlitTest, MakeFlitKinds) {
 
 TEST(FlitTest, SingleFlitPacketClosesOnHeader) {
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 1);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 1);
   const Flit flit = make_flit(pkt, 0);
   EXPECT_TRUE(flit.is_header());
   EXPECT_FALSE(flit.is_tail());
@@ -85,17 +85,17 @@ TEST(FlitTest, SingleFlitPacketClosesOnHeader) {
 
 TEST(FlitTest, TailClosesPacket) {
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 3);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 3);
   EXPECT_FALSE(closes_packet(make_flit(pkt, 0)));
   EXPECT_FALSE(closes_packet(make_flit(pkt, 1)));
   EXPECT_TRUE(closes_packet(make_flit(pkt, 2)));
 }
 
 TEST(DestBitTest, MaskHelpers) {
-  EXPECT_EQ(dest_bit(0), 1ull);
-  EXPECT_EQ(dest_bit(5), 32ull);
-  EXPECT_EQ(dest_bit(63), 1ull << 63);
+  EXPECT_EQ(DestSet::single(0).to_word(), 1ull);
+  EXPECT_EQ(DestSet::single(5).to_word(), 32ull);
+  EXPECT_EQ(DestSet::single(63).to_word(), 1ull << 63);
 }
 
 }  // namespace

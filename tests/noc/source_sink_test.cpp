@@ -36,8 +36,8 @@ TEST(SourceNodeTest, InjectsAllFlitsOfQueuedPacket) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 5);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 5);
 
   SourceNode src(sched, hooks, 0, /*issue_delay=*/10);
   RecordingEndpoint down(sched, hooks, /*ack_delay=*/0);
@@ -61,8 +61,8 @@ TEST(SourceNodeTest, ReportsInjectionAtHeaderIssue) {
   CollectingObserver obs;
   hooks.traffic = &obs;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 3);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 3);
 
   SourceNode src(sched, hooks, 0, /*issue_delay=*/25);
   RecordingEndpoint down(sched, hooks, 0);
@@ -81,9 +81,9 @@ TEST(SourceNodeTest, PacketsSerializeInFifoOrder) {
   SimHooks hooks;
   PacketStore store;
   const Message& msg =
-      store.create_message(0, dest_bit(0) | dest_bit(1), 0, false);
-  const Packet& p0 = store.create_packet(msg, dest_bit(0), 2);
-  const Packet& p1 = store.create_packet(msg, dest_bit(1), 2);
+      store.create_message(0, DestSet::single(0) | DestSet::single(1), 0, false);
+  const Packet& p0 = store.create_packet(msg, DestSet::single(0), 2);
+  const Packet& p1 = store.create_packet(msg, DestSet::single(1), 2);
 
   SourceNode src(sched, hooks, 0, 0);
   RecordingEndpoint down(sched, hooks, 0);
@@ -104,7 +104,7 @@ TEST(SourceNodeTest, RefillCallbackKeepsSourceBacklogged) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
 
   SourceNode src(sched, hooks, 0, 0);
   RecordingEndpoint down(sched, hooks, 0);
@@ -116,7 +116,7 @@ TEST(SourceNodeTest, RefillCallbackKeepsSourceBacklogged) {
   src.set_refill(2, [&] {
     if (generated < 6) {
       ++generated;
-      src.enqueue_packet(store.create_packet(msg, dest_bit(0), 1));
+      src.enqueue_packet(store.create_packet(msg, DestSet::single(0), 1));
     }
   });
   sched.run();
@@ -130,8 +130,8 @@ TEST(SinkNodeTest, ConsumesAndReportsEjection) {
   CollectingObserver obs;
   hooks.traffic = &obs;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(3), 0, true);
-  const Packet& pkt = store.create_packet(msg, dest_bit(3), 2);
+  const Message& msg = store.create_message(0, DestSet::single(3), 0, true);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(3), 2);
 
   SourceNode src(sched, hooks, 0, 0);
   SinkNode sink(sched, hooks, /*dest_id=*/3, /*consume_delay=*/40);
@@ -153,8 +153,8 @@ TEST(SinkNodeTest, BackpressuresWhileConsuming) {
   sim::Scheduler sched;
   SimHooks hooks;
   PacketStore store;
-  const Message& msg = store.create_message(0, dest_bit(0), 0, false);
-  const Packet& pkt = store.create_packet(msg, dest_bit(0), 3);
+  const Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+  const Packet& pkt = store.create_packet(msg, DestSet::single(0), 3);
 
   SourceNode src(sched, hooks, 0, 0);
   SinkNode sink(sched, hooks, 0, /*consume_delay=*/100);

@@ -9,7 +9,8 @@
 namespace specnoc::nodes {
 namespace {
 
-using noc::dest_bit;
+using noc::DestSet;
+
 using noc::Packet;
 using specnoc::testing::DriverEndpoint;
 using specnoc::testing::RecordingEndpoint;
@@ -36,8 +37,8 @@ class FaninHarness {
   }
 
   const Packet& make_packet(std::uint32_t num_flits = 3) {
-    const noc::Message& msg = store.create_message(0, dest_bit(0), 0, false);
-    return store.create_packet(msg, dest_bit(0), num_flits);
+    const noc::Message& msg = store.create_message(0, DestSet::single(0), 0, false);
+    return store.create_packet(msg, DestSet::single(0), num_flits);
   }
 
   /// Streams a whole packet from the given driver (handshake-respecting).

@@ -9,8 +9,8 @@
 namespace specnoc::nodes {
 namespace {
 
-using noc::dest_bit;
-using noc::DestMask;
+using noc::DestRange;
+using noc::DestSet;
 using noc::Flit;
 using noc::Packet;
 using specnoc::testing::DriverEndpoint;
@@ -22,8 +22,8 @@ template <typename NodeT>
 class FanoutHarness {
  public:
   explicit FanoutHarness(NodeCharacteristics chars,
-                         DestMask top = dest_bit(0) | dest_bit(1),
-                         DestMask bottom = dest_bit(2) | dest_bit(3),
+                         DestRange top = DestRange{0, 2},
+                         DestRange bottom = DestRange{2, 4},
                          TimePs sink_ack_delay = 0)
       : node(sched, hooks, "dut", chars, top, bottom),
         driver(sched, hooks),
@@ -39,7 +39,7 @@ class FanoutHarness {
     out1.connect(node, 1, bottom_sink, 0);
   }
 
-  const Packet& make_packet(DestMask dests, std::uint32_t num_flits = 5) {
+  const Packet& make_packet(DestSet dests, std::uint32_t num_flits = 5) {
     const noc::Message& msg = store.create_message(0, dests, 0, false);
     return store.create_packet(msg, dests, num_flits);
   }
@@ -75,7 +75,7 @@ NodeCharacteristics test_chars() {
 
 TEST(NonSpecFanoutTest, UnicastRoutesToSingleOutput) {
   FanoutHarness<NonSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(2));  // bottom subtree
+  const Packet& pkt = h.make_packet(DestSet::single(2));  // bottom subtree
   h.send_packet(pkt);
   h.sched.run();
   EXPECT_EQ(h.top_sink.deliveries.size(), 0u);
@@ -84,7 +84,7 @@ TEST(NonSpecFanoutTest, UnicastRoutesToSingleOutput) {
 
 TEST(NonSpecFanoutTest, MulticastToBothReplicates) {
   FanoutHarness<NonSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(1) | dest_bit(3));
+  const Packet& pkt = h.make_packet(DestSet::single(1) | DestSet::single(3));
   h.send_packet(pkt);
   h.sched.run();
   EXPECT_EQ(h.top_sink.deliveries.size(), 5u);
@@ -94,7 +94,7 @@ TEST(NonSpecFanoutTest, MulticastToBothReplicates) {
 TEST(NonSpecFanoutTest, MisroutedPacketThrottledEntirely) {
   FanoutHarness<NonSpecFanoutNode> h(test_chars());
   // Destination 7 lies in neither subtree of this node.
-  const Packet& pkt = h.make_packet(dest_bit(7));
+  const Packet& pkt = h.make_packet(DestSet::single(7));
   h.send_packet(pkt);
   h.sched.run();
   EXPECT_EQ(h.top_sink.deliveries.size(), 0u);
@@ -105,7 +105,7 @@ TEST(NonSpecFanoutTest, MisroutedPacketThrottledEntirely) {
 
 TEST(NonSpecFanoutTest, HeaderForwardLatency) {
   FanoutHarness<NonSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(0), 1);
+  const Packet& pkt = h.make_packet(DestSet::single(0), 1);
   h.send_packet(pkt);
   h.sched.run();
   ASSERT_EQ(h.top_sink.deliveries.size(), 1u);
@@ -115,7 +115,7 @@ TEST(NonSpecFanoutTest, HeaderForwardLatency) {
 
 TEST(NonSpecFanoutTest, AckAfterForwardTiming) {
   FanoutHarness<NonSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(0), 1);
+  const Packet& pkt = h.make_packet(DestSet::single(0), 1);
   h.send_packet(pkt);
   h.sched.run();
   ASSERT_EQ(h.driver.ack_times.size(), 1u);
@@ -125,7 +125,7 @@ TEST(NonSpecFanoutTest, AckAfterForwardTiming) {
 
 TEST(SpecFanoutTest, AlwaysBroadcastsUnicast) {
   FanoutHarness<SpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(0));
+  const Packet& pkt = h.make_packet(DestSet::single(0));
   h.send_packet(pkt);
   h.sched.run();
   // Both outputs get all five flits, even though only top is correct.
@@ -135,7 +135,7 @@ TEST(SpecFanoutTest, AlwaysBroadcastsUnicast) {
 
 TEST(SpecFanoutTest, BroadcastsMisroutedPacketToo) {
   FanoutHarness<SpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(7), 2);
+  const Packet& pkt = h.make_packet(DestSet::single(7), 2);
   h.send_packet(pkt);
   h.sched.run();
   EXPECT_EQ(h.top_sink.deliveries.size(), 2u);
@@ -147,10 +147,9 @@ TEST(SpecFanoutTest, CElementWaitsForBothOutputs) {
   // flit was issued on both outputs — but issuing does not wait for the
   // downstream ack, so back-to-back flits are limited by the slow output.
   FanoutHarness<SpecFanoutNode> h(test_chars(),
-                                  dest_bit(0) | dest_bit(1),
-                                  dest_bit(2) | dest_bit(3),
+                                  DestRange{0, 2}, DestRange{2, 4},
                                   /*sink_ack_delay=*/200);
-  const Packet& pkt = h.make_packet(dest_bit(0), 2);
+  const Packet& pkt = h.make_packet(DestSet::single(0), 2);
   h.send_packet(pkt);
   h.sched.run();
   ASSERT_EQ(h.top_sink.deliveries.size(), 2u);
@@ -168,8 +167,8 @@ TEST(SpecFanoutTest, FasterThanNonSpecForSameTraffic) {
   spec.fwd_header = spec.fwd_body = 10;  // speculative nodes are fast
   FanoutHarness<SpecFanoutNode> fast(spec);
   FanoutHarness<NonSpecFanoutNode> slow(test_chars());
-  const Packet& p1 = fast.make_packet(dest_bit(0), 1);
-  const Packet& p2 = slow.make_packet(dest_bit(0), 1);
+  const Packet& p1 = fast.make_packet(DestSet::single(0), 1);
+  const Packet& p2 = slow.make_packet(DestSet::single(0), 1);
   fast.send_packet(p1);
   slow.send_packet(p2);
   fast.sched.run();
@@ -180,7 +179,7 @@ TEST(SpecFanoutTest, FasterThanNonSpecForSameTraffic) {
 
 TEST(OptSpecFanoutTest, HeaderAndTailBroadcastBodyRouted) {
   FanoutHarness<OptSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(0), 5);  // top is correct
+  const Packet& pkt = h.make_packet(DestSet::single(0), 5);  // top is correct
   h.send_packet(pkt);
   h.sched.run();
   // Top (correct): header + 3 bodies + tail = 5.
@@ -193,7 +192,7 @@ TEST(OptSpecFanoutTest, HeaderAndTailBroadcastBodyRouted) {
 
 TEST(OptSpecFanoutTest, MulticastBodyGoesBothWays) {
   FanoutHarness<OptSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(0) | dest_bit(2), 5);
+  const Packet& pkt = h.make_packet(DestSet::single(0) | DestSet::single(2), 5);
   h.send_packet(pkt);
   h.sched.run();
   EXPECT_EQ(h.top_sink.deliveries.size(), 5u);
@@ -202,7 +201,7 @@ TEST(OptSpecFanoutTest, MulticastBodyGoesBothWays) {
 
 TEST(OptSpecFanoutTest, MisroutedBodyThrottled) {
   FanoutHarness<OptSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(7), 5);
+  const Packet& pkt = h.make_packet(DestSet::single(7), 5);
   h.send_packet(pkt);
   h.sched.run();
   // Header and tail are still (wastefully) broadcast; bodies die here.
@@ -212,7 +211,7 @@ TEST(OptSpecFanoutTest, MisroutedBodyThrottled) {
 
 TEST(OptNonSpecFanoutTest, BodyFastForwardLatency) {
   FanoutHarness<OptNonSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(0), 2);
+  const Packet& pkt = h.make_packet(DestSet::single(0), 2);
   h.send_packet(pkt);
   h.sched.run();
   ASSERT_EQ(h.top_sink.deliveries.size(), 2u);
@@ -225,7 +224,7 @@ TEST(OptNonSpecFanoutTest, BodyFastForwardLatency) {
 
 TEST(OptNonSpecFanoutTest, RoutesLikeNonSpec) {
   FanoutHarness<OptNonSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(1) | dest_bit(2), 5);
+  const Packet& pkt = h.make_packet(DestSet::single(1) | DestSet::single(2), 5);
   h.send_packet(pkt);
   h.sched.run();
   EXPECT_EQ(h.top_sink.deliveries.size(), 5u);
@@ -234,7 +233,7 @@ TEST(OptNonSpecFanoutTest, RoutesLikeNonSpec) {
 
 TEST(OptNonSpecFanoutTest, ThrottlesMisrouted) {
   FanoutHarness<OptNonSpecFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(6), 5);
+  const Packet& pkt = h.make_packet(DestSet::single(6), 5);
   h.send_packet(pkt);
   h.sched.run();
   EXPECT_EQ(h.top_sink.deliveries.size(), 0u);
@@ -244,7 +243,7 @@ TEST(OptNonSpecFanoutTest, ThrottlesMisrouted) {
 
 TEST(BaselineFanoutTest, RoutesUnicast) {
   FanoutHarness<BaselineFanoutNode> h(test_chars());
-  const Packet& pkt = h.make_packet(dest_bit(3), 5);
+  const Packet& pkt = h.make_packet(DestSet::single(3), 5);
   h.send_packet(pkt);
   h.sched.run();
   EXPECT_EQ(h.top_sink.deliveries.size(), 0u);
@@ -271,7 +270,7 @@ TEST(FanoutNodesTest, EnergyOpsReported) {
   FanoutHarness<OptSpecFanoutNode> h(test_chars());
   CountingEnergy energy;
   h.hooks.energy = &energy;
-  const Packet& pkt = h.make_packet(dest_bit(0), 5);
+  const Packet& pkt = h.make_packet(DestSet::single(0), 5);
   h.send_packet(pkt);
   h.sched.run();
   EXPECT_EQ(energy.broadcasts, 2);  // header + tail

@@ -8,8 +8,9 @@
 namespace specnoc::power {
 namespace {
 
+using noc::DestSet;
+
 using core::Architecture;
-using noc::dest_bit;
 
 TEST(EnergyModelTest, ActivityFactors) {
   EnergyModelParams params;
@@ -28,13 +29,13 @@ TEST(PowerMeterTest, WindowGatingExcludesOutsideEvents) {
   net.net().hooks().energy = &meter;
 
   // One message before the window, one inside.
-  net.send_message(0, dest_bit(3), false);
+  net.send_message(0, DestSet::single(3), false);
   net.scheduler().run();
   const EnergyFj before_window = meter.total_energy();
   EXPECT_GT(before_window, 0.0);
 
   meter.open_window(net.scheduler().now());
-  net.send_message(0, dest_bit(3), false);
+  net.send_message(0, DestSet::single(3), false);
   net.scheduler().run();
   meter.close_window(net.scheduler().now());
   // The window saw exactly one message's worth of energy.
@@ -63,7 +64,7 @@ TEST(PowerMeterTest, SpeculationCostsMoreEnergyPerMessage) {
     core::MotNetwork net(arch, cfg);
     PowerMeter meter;
     net.net().hooks().energy = &meter;
-    net.send_message(0, dest_bit(5), false);
+    net.send_message(0, DestSet::single(5), false);
     net.scheduler().run();
     return meter.total_energy();
   };
@@ -82,7 +83,7 @@ TEST(PowerMeterTest, OptSpecSavesBodyEnergyVsBasicSpec) {
     core::MotNetwork net(arch, cfg);
     PowerMeter meter;
     net.net().hooks().energy = &meter;
-    net.send_message(2, dest_bit(6), false);
+    net.send_message(2, DestSet::single(6), false);
     net.scheduler().run();
     return meter.total_energy();
   };
@@ -96,7 +97,7 @@ TEST(PowerMeterTest, ThrottleOpsCountedInHybrid) {
   PowerMeter meter;
   net.net().hooks().energy = &meter;
   meter.open_window(0);
-  net.send_message(0, dest_bit(7), false);  // unicast -> 1 redundant copy
+  net.send_message(0, DestSet::single(7), false);  // unicast -> 1 redundant copy
   net.scheduler().run();
   meter.close_window(net.scheduler().now());
   // All 5 flits of the wrong-path copy are throttled at the level-1 node.
@@ -110,7 +111,7 @@ TEST(PowerMeterTest, OptHybridThrottlesOnlyHeaderAndTail) {
   PowerMeter meter;
   net.net().hooks().energy = &meter;
   meter.open_window(0);
-  net.send_message(0, dest_bit(7), false);
+  net.send_message(0, DestSet::single(7), false);
   net.scheduler().run();
   meter.close_window(net.scheduler().now());
   // Body flits never take the wrong path; only header + tail are throttled.

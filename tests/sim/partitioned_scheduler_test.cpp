@@ -121,9 +121,9 @@ TEST(PartitionedNetworkTest, CrossChannelDeliversEndToEnd) {
   ASSERT_TRUE(net.partitioned());
 
   const noc::Message& msg =
-      net.packets().create_message(0, noc::dest_bit(7), 0, true);
+      net.packets().create_message(0, noc::DestSet::single(7), 0, true);
   const noc::Packet& pkt =
-      net.packets().create_packet(msg, noc::dest_bit(7), 3);
+      net.packets().create_packet(msg, noc::DestSet::single(7), 3);
   src.enqueue_packet(pkt);
   net.run();
   EXPECT_EQ(sink.flits_consumed(), 3u);

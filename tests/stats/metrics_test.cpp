@@ -10,8 +10,9 @@
 namespace specnoc::stats {
 namespace {
 
+using noc::DestSet;
+
 using core::Architecture;
-using noc::dest_bit;
 using noc::NodeKind;
 
 TEST(StallBucketTest, Boundaries) {
@@ -63,7 +64,7 @@ MetricsSnapshot hybrid_multicast_snapshot() {
   // the fanin trees, exercising stalls and contended grants.
   for (int round = 0; round < 4; ++round) {
     for (std::uint32_t s = 0; s < 8; ++s) {
-      net.send_message(s, dest_bit(0) | dest_bit(1), false);
+      net.send_message(s, DestSet::single(0) | DestSet::single(1), false);
     }
   }
   net.scheduler().run();

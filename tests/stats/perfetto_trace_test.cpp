@@ -13,8 +13,9 @@
 namespace specnoc::stats {
 namespace {
 
+using noc::DestSet;
+
 using core::Architecture;
-using noc::dest_bit;
 
 /// Congested multicast run on the 8x8 hybrid network with the tracer on
 /// all three observer hooks.
@@ -27,7 +28,7 @@ PerfettoTracer traced_run() {
   net.net().hooks().metrics = &tracer;
   for (int round = 0; round < 2; ++round) {
     for (std::uint32_t s = 0; s < 8; ++s) {
-      net.send_message(s, dest_bit(0) | dest_bit(1), false);
+      net.send_message(s, DestSet::single(0) | DestSet::single(1), false);
     }
   }
   net.scheduler().run();

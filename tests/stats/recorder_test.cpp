@@ -7,15 +7,16 @@
 namespace specnoc::stats {
 namespace {
 
+using noc::DestSet;
+
 using core::Architecture;
-using noc::dest_bit;
 
 TEST(TrafficRecorderTest, MeasuresUnicastLatency) {
   core::NetworkConfig cfg;
   core::MotNetwork net(Architecture::kOptNonSpeculative, cfg);
   TrafficRecorder rec(net.net().packets());
   net.net().hooks().traffic = &rec;
-  net.send_message(0, dest_bit(4), true);
+  net.send_message(0, DestSet::single(4), true);
   net.scheduler().run();
   ASSERT_EQ(rec.measured_latencies().size(), 1u);
   EXPECT_GT(rec.measured_latencies()[0], 0);
@@ -29,7 +30,7 @@ TEST(TrafficRecorderTest, MulticastCompletesOnLastHeader) {
   core::MotNetwork net(Architecture::kOptHybridSpeculative, cfg);
   TrafficRecorder rec(net.net().packets());
   net.net().hooks().traffic = &rec;
-  net.send_message(1, dest_bit(0) | dest_bit(7), true);
+  net.send_message(1, DestSet::single(0) | DestSet::single(7), true);
   net.scheduler().run();
   ASSERT_EQ(rec.measured_latencies().size(), 1u);
   EXPECT_EQ(rec.completed_measured(), 1u);
@@ -39,7 +40,7 @@ TEST(TrafficRecorderTest, SerialMulticastLatencyIsLastCopy) {
   // On the Baseline, the message completes only when the last serialized
   // unicast copy's header arrives — much later than the first.
   core::NetworkConfig cfg;
-  auto latency_for = [&](Architecture arch, noc::DestMask dests) {
+  auto latency_for = [&](Architecture arch, noc::DestSet dests) {
     core::MotNetwork net(arch, cfg);
     TrafficRecorder rec(net.net().packets());
     net.net().hooks().traffic = &rec;
@@ -47,13 +48,14 @@ TEST(TrafficRecorderTest, SerialMulticastLatencyIsLastCopy) {
     net.scheduler().run();
     return rec.mean_latency_ps();
   };
-  const auto uni = latency_for(Architecture::kBaseline, dest_bit(3));
-  const auto multi = latency_for(Architecture::kBaseline,
-                                 0xFF);  // broadcast, 8 serial copies
+  const auto uni = latency_for(Architecture::kBaseline, DestSet::single(3));
+  const auto multi = latency_for(
+      Architecture::kBaseline,
+      DestSet::from_word(0xFF));  // broadcast, 8 serial copies
   EXPECT_GT(multi, 2 * uni);
   // The parallel network's broadcast is barely slower than its unicast.
   const auto par_multi =
-      latency_for(Architecture::kBasicNonSpeculative, 0xFF);
+      latency_for(Architecture::kBasicNonSpeculative, DestSet::from_word(0xFF));
   EXPECT_LT(par_multi, multi);
 }
 
@@ -62,7 +64,7 @@ TEST(TrafficRecorderTest, UnmeasuredMessagesIgnored) {
   core::MotNetwork net(Architecture::kOptNonSpeculative, cfg);
   TrafficRecorder rec(net.net().packets());
   net.net().hooks().traffic = &rec;
-  net.send_message(0, dest_bit(1), false);
+  net.send_message(0, DestSet::single(1), false);
   net.scheduler().run();
   EXPECT_EQ(rec.measured_latencies().size(), 0u);
   EXPECT_EQ(rec.pending_measured(), 0u);
@@ -76,8 +78,8 @@ TEST(TrafficRecorderTest, WindowCountsFlits) {
   TrafficRecorder rec(net.net().packets());
   net.net().hooks().traffic = &rec;
   rec.open_window(0);
-  net.send_message(0, dest_bit(1), false);
-  net.send_message(2, dest_bit(3) | dest_bit(5), false);  // 2 copies out
+  net.send_message(0, DestSet::single(1), false);
+  net.send_message(2, DestSet::single(3) | DestSet::single(5), false);  // 2 copies out
   net.scheduler().run();
   rec.close_window(net.scheduler().now());
   // Injected: 2 packets x 5 flits. Delivered: 5 + 2*5.
@@ -92,8 +94,8 @@ TEST(TrafficRecorderTest, MaxLatencyTracksWorstMessage) {
   core::MotNetwork net(Architecture::kBaseline, cfg);
   TrafficRecorder rec(net.net().packets());
   net.net().hooks().traffic = &rec;
-  net.send_message(0, dest_bit(1), true);
-  net.send_message(3, 0xFF, true);  // serialized broadcast, slow
+  net.send_message(0, DestSet::single(1), true);
+  net.send_message(3, noc::DestSet::from_word(0xFF), true);  // serialized broadcast, slow
   net.scheduler().run();
   ASSERT_EQ(rec.completed_measured(), 2u);
   EXPECT_GT(rec.max_latency_ps(), rec.measured_latencies()[0]);

@@ -96,12 +96,15 @@ TEST(ShardFileTest, LoaderRejectsMalformedFiles) {
              "{\"record\":\"manifest\",\"format\":\"nope\",\"schema\":1,"
              "\"tool\":\"t\",\"shard\":0,\"shards\":1,\"seed\":42}\n");
   EXPECT_THROW(load_shard_file(path), ConfigError);
-  // Unsupported schema version.
+  // Unsupported schema version (this build reads 1..2).
   write_text(path,
              "{\"record\":\"manifest\",\"format\":\"specnoc-sweep\","
-             "\"schema\":2,\"tool\":\"t\",\"shard\":0,\"shards\":1,"
+             "\"schema\":3,\"tool\":\"t\",\"shard\":0,\"shards\":1,"
              "\"seed\":42}\n");
   EXPECT_THROW(load_shard_file(path), ConfigError);
+  // Schema-1 files (before shared anchor grids) still load.
+  write_text(path, kManifestLine);
+  EXPECT_NO_THROW(load_shard_file(path));
   // Outcome for an unregistered grid.
   write_text(path, std::string(kManifestLine) + outcome_line(0, "ok"));
   EXPECT_THROW(load_shard_file(path), ConfigError);
@@ -529,6 +532,322 @@ TEST(ShardedSweepTest, RenderValidatesManifestAndGridIdentity) {
       EXPECT_NE(outcome.run.error.find("missing"), std::string::npos);
     }
   }
+}
+
+TEST(MergeTest, SharedGridsTolerateDuplicateCells) {
+  // Anchor grids overlap by construction: every phase-2 worker copies the
+  // full anchor grid into its shard file. The merge keeps the first record
+  // and does not flag the overlap as a coverage defect.
+  auto a = make_shard(0, 2, {0, 1, 2});
+  auto b = make_shard(1, 2, {0, 1, 2});
+  a.grids[0].shared = true;
+  b.grids[0].shared = true;
+  MergeReport report;
+  const ShardFile merged = merge_shards({a, b}, &report);
+  EXPECT_TRUE(report.complete()) << report.summary();
+  ASSERT_EQ(report.grids.size(), 1u);
+  EXPECT_TRUE(report.grids[0].shared);
+  EXPECT_TRUE(report.grids[0].duplicates.empty());
+  EXPECT_EQ(merged.records.at("g").size(), 3u);
+  EXPECT_NE(report.summary().find("(shared)"), std::string::npos);
+
+  // A shared/non-shared disagreement is a real identity mismatch.
+  auto c = make_shard(1, 2, {1});
+  EXPECT_THROW(merge_shards({a, c}, nullptr), ConfigError);
+}
+
+std::vector<SaturationSpec> small_anchor_grid() {
+  std::vector<SaturationSpec> specs;
+  for (const auto arch :
+       {Architecture::kBaseline, Architecture::kOptHybridSpeculative}) {
+    specs.push_back({.arch = arch,
+                     .bench = BenchmarkId::kUniformRandom,
+                     .seed = 0,
+                     .factory = {},
+                     .custom = {}});
+  }
+  return specs;
+}
+
+/// Derives the downstream grid a harness would build from anchor results:
+/// one latency cell per anchor at 25% of its saturation rate.
+std::vector<LatencySpec> derived_latency_grid(
+    const std::vector<SaturationSpec>& sat_specs,
+    const std::vector<SaturationOutcome>& sat_outcomes) {
+  std::vector<LatencySpec> specs;
+  for (std::size_t i = 0; i < sat_specs.size(); ++i) {
+    specs.push_back({.arch = sat_specs[i].arch,
+                     .bench = sat_specs[i].bench,
+                     .injected_flits_per_ns =
+                         0.25 * sat_outcomes[i].result.injected_flits_per_ns,
+                     .windows = {.warmup = 100_ns, .measure = 800_ns},
+                     .seed = 0,
+                     .factory = {},
+                     .custom = {}});
+  }
+  return specs;
+}
+
+// The full two-phase anchor protocol: --anchors-only workers + merge +
+// --anchors-from workers + merge + render must reproduce the single-process
+// tables byte-for-byte, with each anchor cell simulated exactly once
+// across the whole fleet.
+TEST(ShardedSweepTest, TwoPhaseAnchorProtocolMatchesSingleProcess) {
+  const core::NetworkConfig cfg;
+  const auto sat_specs = small_anchor_grid();
+  const auto sat_keys = spec_keys(sat_specs);
+
+  // Reference: plain single-process run.
+  ExperimentRunner ref_runner(cfg, 42);
+  ShardedSweep ref_sweep(base_options(SweepMode::kRun));
+  const auto ref_anchors = ref_sweep.anchor_saturation(ref_runner, sat_specs);
+  const auto lat_specs = derived_latency_grid(sat_specs, ref_anchors);
+  const auto reference = ref_sweep.latency_sweep("latency", ref_runner,
+                                                 lat_specs);
+
+  // Phase 1: anchors only, sharded across 2 workers.
+  constexpr unsigned kShards = 2;
+  std::vector<ShardFile> anchor_inputs;
+  for (unsigned shard = 0; shard < kShards; ++shard) {
+    auto options = base_options(SweepMode::kWorker);
+    options.shard = {shard, kShards};
+    options.anchors_only = true;
+    options.out_path = temp_path("p1_s" + std::to_string(shard) + ".jsonl");
+    write_text(options.out_path, "");
+    ExperimentRunner runner(cfg, 42);
+    ShardedSweep sweep(options);
+    EXPECT_TRUE(sweep.anchors_only());
+    const auto outcomes = sweep.anchor_saturation(runner, sat_specs);
+    ASSERT_EQ(outcomes.size(), sat_specs.size());
+    const sim::ShardPlan plan(kShards);
+    for (std::size_t i = 0; i < sat_specs.size(); ++i) {
+      EXPECT_EQ(outcomes[i].run.ok,
+                plan.shard_of(sat_keys[i]) == shard);
+    }
+    // The harness returns finish() here, before any downstream grid.
+    EXPECT_EQ(sweep.finish(), 0);
+    anchor_inputs.push_back(load_shard_file(options.out_path));
+    // The shard file holds only this worker's owned anchor cells.
+    const auto& records = anchor_inputs.back().records.at("anchor");
+    for (const auto& [cell, record] : records) {
+      EXPECT_EQ(plan.shard_of(record.key), shard);
+    }
+    ASSERT_EQ(anchor_inputs.back().grids.size(), 1u);
+    EXPECT_TRUE(anchor_inputs.back().grids[0].shared);
+  }
+  MergeReport anchor_report;
+  const ShardFile merged_anchors =
+      merge_shards(anchor_inputs, &anchor_report);
+  ASSERT_TRUE(anchor_report.complete()) << anchor_report.summary();
+  const std::string anchors_path = temp_path("p1_merged.jsonl");
+  write_shard_file(merged_anchors, anchors_path);
+
+  // Phase 2: anchors load from the merged file; downstream grid shards.
+  std::vector<ShardFile> inputs;
+  for (unsigned shard = 0; shard < kShards; ++shard) {
+    auto options = base_options(SweepMode::kWorker);
+    options.shard = {shard, kShards};
+    options.anchors_from = anchors_path;
+    options.out_path = temp_path("p2_s" + std::to_string(shard) + ".jsonl");
+    write_text(options.out_path, "");
+    ExperimentRunner runner(cfg, 42);
+    ShardedSweep sweep(options);
+    EXPECT_FALSE(sweep.anchors_only());
+    const auto anchors = sweep.anchor_saturation(runner, sat_specs);
+    // Loaded anchors carry the phase-1 numbers — identical to the
+    // reference run's, so the derived specs (and grid hash) match.
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      ASSERT_TRUE(anchors[i].run.ok);
+      EXPECT_EQ(anchors[i].result.injected_flits_per_ns,
+                ref_anchors[i].result.injected_flits_per_ns);
+    }
+    const auto derived = derived_latency_grid(sat_specs, anchors);
+    sweep.latency_sweep("latency", runner, derived);
+    EXPECT_EQ(sweep.finish(), 0);
+    inputs.push_back(load_shard_file(options.out_path));
+  }
+  MergeReport report;
+  const ShardFile merged = merge_shards(inputs, &report);
+  ASSERT_TRUE(report.complete()) << report.summary();
+  const std::string merged_path = temp_path("p2_merged.jsonl");
+  write_shard_file(merged, merged_path);
+
+  // Render: anchors and latency cells both come from the merged file.
+  auto render_options = base_options(SweepMode::kRender);
+  render_options.from_path = merged_path;
+  ExperimentRunner render_runner(cfg, 42);
+  ShardedSweep render_sweep(render_options);
+  const auto rendered_anchors =
+      render_sweep.anchor_saturation(render_runner, sat_specs);
+  const auto rendered = render_sweep.latency_sweep(
+      "latency", render_runner,
+      derived_latency_grid(sat_specs, rendered_anchors));
+  ASSERT_EQ(rendered.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    auto a = rendered[i];
+    auto b = reference[i];
+    a.run.telemetry.wall_ms = 0.0;
+    b.run.telemetry.wall_ms = 0.0;
+    EXPECT_EQ(util::json_write(to_json(a)), util::json_write(to_json(b)))
+        << "cell " << i;
+  }
+}
+
+// --anchors-from must load, never simulate: a sentinel planted in the
+// anchor file comes back verbatim from the phase-2 worker.
+TEST(ShardedSweepTest, AnchorsFromLoadsWithoutSimulating) {
+  const core::NetworkConfig cfg;
+  std::vector<SaturationSpec> specs = {{.arch = Architecture::kBaseline,
+                                        .bench = BenchmarkId::kUniformRandom,
+                                        .seed = 0,
+                                        .factory = {},
+                                        .custom = {}}};
+  const auto keys = spec_keys(specs);
+
+  SaturationOutcome fabricated;
+  fabricated.spec = specs[0];
+  fabricated.run.ok = true;
+  fabricated.run.telemetry.attempts = 1;
+  fabricated.result.injected_flits_per_ns = 123.25;  // sentinel
+
+  ShardFile anchors;
+  anchors.manifest.tool = "sweep_test";
+  anchors.manifest.shard = {0, 1};
+  anchors.manifest.seed = 42;
+  SweepGrid grid{"anchor", "saturation", specs.size(), grid_hash(keys)};
+  grid.shared = true;
+  anchors.grids.push_back(grid);
+  anchors.records["anchor"].emplace(
+      0, SweepRecord{0, keys[0], "ok", to_json(fabricated)});
+  anchors.complete = true;
+  const std::string anchors_path = temp_path("sentinel_anchors.jsonl");
+  write_shard_file(anchors, anchors_path);
+
+  auto options = base_options(SweepMode::kWorker);
+  options.shard = {0, 1};
+  options.anchors_from = anchors_path;
+  options.out_path = temp_path("sentinel_worker.jsonl");
+  write_text(options.out_path, "");
+  ExperimentRunner runner(cfg, 42);
+  ShardedSweep sweep(options);
+  const auto outcomes = sweep.anchor_saturation(runner, specs);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].result.injected_flits_per_ns, 123.25);
+  // The runner's saturation cache is primed from the file too.
+  EXPECT_EQ(runner
+                .saturation(Architecture::kBaseline,
+                            BenchmarkId::kUniformRandom)
+                .injected_flits_per_ns,
+            123.25);
+  // And the anchor records were copied into this worker's shard file, so
+  // the final merge is self-contained.
+  EXPECT_EQ(sweep.finish(), 0);
+  const ShardFile out = load_shard_file(options.out_path);
+  const SweepGrid* copied = out.find_grid("anchor");
+  ASSERT_NE(copied, nullptr);
+  EXPECT_TRUE(copied->shared);
+  EXPECT_EQ(out.records.at("anchor").size(), 1u);
+}
+
+// Strictness: anchors parameterize downstream specs, so a missing or
+// failed anchor cell in the --anchors-from file is a hard error, not a
+// quietly-failed outcome.
+TEST(ShardedSweepTest, AnchorsFromRejectsIncompleteOrFailedAnchors) {
+  const core::NetworkConfig cfg;
+  std::vector<SaturationSpec> specs = {{.arch = Architecture::kBaseline,
+                                        .bench = BenchmarkId::kUniformRandom,
+                                        .seed = 0,
+                                        .factory = {},
+                                        .custom = {}}};
+  const auto keys = spec_keys(specs);
+
+  ShardFile anchors;
+  anchors.manifest.tool = "sweep_test";
+  anchors.manifest.shard = {0, 1};
+  anchors.manifest.seed = 42;
+  SweepGrid grid{"anchor", "saturation", specs.size(), grid_hash(keys)};
+  grid.shared = true;
+  anchors.grids.push_back(grid);
+  anchors.complete = true;  // complete file, but the cell is missing
+  const std::string anchors_path = temp_path("partial_anchors.jsonl");
+  write_shard_file(anchors, anchors_path);
+
+  auto make_worker = [&](const std::string& suffix) {
+    auto options = base_options(SweepMode::kWorker);
+    options.shard = {0, 1};
+    options.anchors_from = anchors_path;
+    options.out_path = temp_path("strict_worker_" + suffix + ".jsonl");
+    write_text(options.out_path, "");
+    return options;
+  };
+  {
+    ExperimentRunner runner(cfg, 42);
+    ShardedSweep sweep(make_worker("missing"));
+    EXPECT_THROW(sweep.anchor_saturation(runner, specs), ConfigError);
+  }
+  {
+    SaturationOutcome failed;
+    failed.spec = specs[0];
+    failed.run.ok = false;
+    failed.run.error = "boom";
+    anchors.records["anchor"].emplace(
+        0, SweepRecord{0, keys[0], "failed", to_json(failed)});
+    write_shard_file(anchors, anchors_path);
+    ExperimentRunner runner(cfg, 42);
+    ShardedSweep sweep(make_worker("failed"));
+    EXPECT_THROW(sweep.anchor_saturation(runner, specs), ConfigError);
+  }
+  {
+    // A seed mismatch is caught at construction.
+    auto options = make_worker("seed");
+    options.seed = 7;
+    EXPECT_THROW(ShardedSweep{options}, ConfigError);
+  }
+}
+
+// The classic single-invocation worker still simulates the full anchor
+// grid but now records its owned cells, so a merged file carries the
+// anchors and --from renders without resimulating them.
+TEST(ShardedSweepTest, ClassicWorkerRecordsAnchorsForRender) {
+  const core::NetworkConfig cfg;
+  const auto specs = small_anchor_grid();
+  const auto keys = spec_keys(specs);
+
+  auto options = base_options(SweepMode::kWorker);
+  options.shard = {0, 1};
+  options.out_path = temp_path("classic_worker.jsonl");
+  write_text(options.out_path, "");
+  ExperimentRunner runner(cfg, 42);
+  ShardedSweep sweep(options);
+  const auto outcomes = sweep.anchor_saturation(runner, specs);
+  for (const auto& outcome : outcomes) EXPECT_TRUE(outcome.run.ok);
+  EXPECT_EQ(sweep.finish(), 0);
+
+  const ShardFile out = load_shard_file(options.out_path);
+  const SweepGrid* grid = out.find_grid("anchor");
+  ASSERT_NE(grid, nullptr);
+  EXPECT_TRUE(grid->shared);
+  EXPECT_EQ(out.records.at("anchor").size(), specs.size());
+
+  // Render returns the recorded anchors; plant a sentinel to prove they
+  // load from the file rather than re-simulate.
+  ShardFile doctored = out;
+  SaturationOutcome fabricated;
+  fabricated.spec = specs[0];
+  fabricated.run.ok = true;
+  fabricated.run.telemetry.attempts = 1;
+  fabricated.result.injected_flits_per_ns = 321.5;
+  doctored.records.at("anchor").at(0).data = to_json(fabricated);
+  const std::string doctored_path = temp_path("classic_doctored.jsonl");
+  write_shard_file(doctored, doctored_path);
+
+  auto render_options = base_options(SweepMode::kRender);
+  render_options.from_path = doctored_path;
+  ExperimentRunner render_runner(cfg, 42);
+  ShardedSweep render_sweep(render_options);
+  const auto rendered = render_sweep.anchor_saturation(render_runner, specs);
+  ASSERT_EQ(rendered.size(), specs.size());
+  EXPECT_EQ(rendered[0].result.injected_flits_per_ns, 321.5);
 }
 
 TEST(ShardedSweepTest, RenderPrimesSaturationCache) {

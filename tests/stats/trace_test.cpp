@@ -12,8 +12,9 @@
 namespace specnoc::stats {
 namespace {
 
+using noc::DestSet;
+
 using core::Architecture;
-using noc::dest_bit;
 
 std::size_t count_lines_with(const std::string& text,
                              const std::string& needle) {
@@ -39,7 +40,7 @@ TEST(FlitTracerTest, TracesInjectionsAndEjections) {
   std::ostringstream out;
   FlitTracer tracer(out);
   net.net().hooks().traffic = &tracer;
-  net.send_message(2, dest_bit(5) | dest_bit(6), false);
+  net.send_message(2, DestSet::single(5) | DestSet::single(6), false);
   net.scheduler().run();
 
   const std::string text = out.str();
@@ -62,7 +63,7 @@ TEST(FlitTracerTest, NodeOpsAndChannelsBehindFilter) {
   FlitTracer tracer(out, filter);
   net.net().hooks().traffic = &tracer;
   net.net().hooks().energy = &tracer;
-  net.send_message(0, dest_bit(3), false);
+  net.send_message(0, DestSet::single(3), false);
   net.scheduler().run();
 
   const std::string text = out.str();
@@ -81,7 +82,7 @@ TEST(FlitTracerTest, FilterSuppressesClasses) {
   filter.ejections = false;
   FlitTracer tracer(out, filter);
   net.net().hooks().traffic = &tracer;
-  net.send_message(0, dest_bit(1), false);
+  net.send_message(0, DestSet::single(1), false);
   net.scheduler().run();
   EXPECT_EQ(tracer.rows_written(), 0u);
 }
@@ -122,7 +123,7 @@ ClassCounts run_filtered(const TraceFilter& filter) {
   FlitTracer tracer(out, filter);
   net.net().hooks().traffic = &tracer;
   net.net().hooks().energy = &tracer;
-  net.send_message(1, dest_bit(4) | dest_bit(6), false);
+  net.send_message(1, DestSet::single(4) | DestSet::single(6), false);
   net.scheduler().run();
   const std::string text = out.str();
   ClassCounts counts;

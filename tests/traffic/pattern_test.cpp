@@ -15,30 +15,34 @@ TEST(UniformRandomTest, SingleDestInRange) {
   Rng rng(1);
   for (int i = 0; i < 1000; ++i) {
     const auto dests = p->next_dests(0, rng);
-    EXPECT_EQ(std::popcount(dests), 1);
-    EXPECT_LT(dests, 1u << 8);
+    EXPECT_EQ(dests.count(), 1u);
+    EXPECT_TRUE(dests.within(8));
   }
 }
 
-TEST(PatternRadixTest, RejectsRadixAbove64) {
-  // noc::DestMask is a 64-bit word; a wider radix would silently truncate
-  // destination sets, so every pattern factory refuses it up front.
-  EXPECT_THROW(make_uniform_random(128), ConfigError);
-  EXPECT_THROW(make_shuffle(128), ConfigError);
-  EXPECT_THROW(make_bit_reverse(128), ConfigError);
-  EXPECT_THROW(make_bit_complement(128), ConfigError);
-  EXPECT_THROW(make_transpose(256), ConfigError);
-  EXPECT_THROW(make_hotspot(128, 0, 0.7), ConfigError);
-  EXPECT_THROW(make_multicast_mix(128, 0.1, 2, 8), ConfigError);
+TEST(PatternRadixTest, RejectsRadixAboveMaxEndpoints) {
+  // noc::DestSet caps out at kMaxEndpoints; a wider radix would silently
+  // truncate destination sets, so every pattern factory refuses it up front.
+  const std::uint32_t over = noc::kMaxEndpoints * 2;
+  EXPECT_THROW(make_uniform_random(over), ConfigError);
+  EXPECT_THROW(make_shuffle(over), ConfigError);
+  EXPECT_THROW(make_bit_reverse(over), ConfigError);
+  EXPECT_THROW(make_bit_complement(over), ConfigError);
+  EXPECT_THROW(make_transpose(over), ConfigError);
+  EXPECT_THROW(make_hotspot(over, 0, 0.7), ConfigError);
+  EXPECT_THROW(make_multicast_mix(over, 0.1, 2, 8), ConfigError);
+  // Radixes past the old 64-endpoint ceiling are now in range.
   EXPECT_NO_THROW(make_uniform_random(64));
+  EXPECT_NO_THROW(make_uniform_random(128));
+  EXPECT_NO_THROW(make_uniform_random(noc::kMaxEndpoints));
 }
 
 TEST(UniformRandomTest, CoversAllDestinations) {
   auto p = make_uniform_random(8);
   Rng rng(2);
-  std::map<noc::DestMask, int> counts;
+  std::map<std::uint64_t, int> counts;
   for (int i = 0; i < 8000; ++i) {
-    ++counts[p->next_dests(3, rng)];
+    ++counts[p->next_dests(3, rng).to_word()];
   }
   EXPECT_EQ(counts.size(), 8u);
   for (const auto& [mask, count] : counts) {
@@ -53,7 +57,7 @@ TEST(ShuffleTest, FixedPermutation8) {
   // dst = rotl3(src): 0->0, 1->2, 2->4, 3->6, 4->1, 5->3, 6->5, 7->7.
   const std::uint32_t expected[] = {0, 2, 4, 6, 1, 3, 5, 7};
   for (std::uint32_t s = 0; s < 8; ++s) {
-    EXPECT_EQ(p->next_dests(s, rng), noc::dest_bit(expected[s]));
+    EXPECT_EQ(p->next_dests(s, rng), noc::DestSet::single(expected[s]));
   }
 }
 
@@ -61,35 +65,35 @@ TEST(ShuffleTest, IsPermutationForAllSizes) {
   for (std::uint32_t n : {4u, 8u, 16u, 32u}) {
     auto p = make_shuffle(n);
     Rng rng(1);
-    noc::DestMask seen = 0;
+    noc::DestSet seen;
     for (std::uint32_t s = 0; s < n; ++s) {
       seen |= p->next_dests(s, rng);
     }
-    EXPECT_EQ(std::popcount(seen), static_cast<int>(n));
+    EXPECT_EQ(seen.count(), n);
   }
 }
 
 TEST(BitReverseTest, FixedMapping) {
   auto p = make_bit_reverse(8);
   Rng rng(1);
-  EXPECT_EQ(p->next_dests(1, rng), noc::dest_bit(4));
-  EXPECT_EQ(p->next_dests(3, rng), noc::dest_bit(6));
+  EXPECT_EQ(p->next_dests(1, rng), noc::DestSet::single(4));
+  EXPECT_EQ(p->next_dests(3, rng), noc::DestSet::single(6));
 }
 
 TEST(BitComplementTest, FixedMapping) {
   auto p = make_bit_complement(8);
   Rng rng(1);
-  EXPECT_EQ(p->next_dests(0, rng), noc::dest_bit(7));
-  EXPECT_EQ(p->next_dests(5, rng), noc::dest_bit(2));
+  EXPECT_EQ(p->next_dests(0, rng), noc::DestSet::single(7));
+  EXPECT_EQ(p->next_dests(5, rng), noc::DestSet::single(2));
 }
 
 TEST(TransposeTest, FixedMapping16) {
   auto p = make_transpose(16);
   Rng rng(1);
   // 16 nodes = 4 bits; (x,y) -> (y,x): 0b0110 (1,2) -> 0b1001 (2,1).
-  EXPECT_EQ(p->next_dests(0b0110, rng), noc::dest_bit(0b1001));
-  EXPECT_EQ(p->next_dests(0b0000, rng), noc::dest_bit(0b0000));
-  EXPECT_EQ(p->next_dests(0b1111, rng), noc::dest_bit(0b1111));
+  EXPECT_EQ(p->next_dests(0b0110, rng), noc::DestSet::single(0b1001));
+  EXPECT_EQ(p->next_dests(0b0000, rng), noc::DestSet::single(0b0000));
+  EXPECT_EQ(p->next_dests(0b1111, rng), noc::DestSet::single(0b1111));
 }
 
 TEST(TransposeTest, RequiresEvenBits) {
@@ -104,8 +108,8 @@ TEST(TransposeTest, IsInvolution) {
   Rng rng(1);
   for (std::uint32_t s = 0; s < 64; ++s) {
     const auto d = p->next_dests(s, rng);
-    const auto dest = static_cast<std::uint32_t>(std::countr_zero(d));
-    EXPECT_EQ(p->next_dests(dest, rng), noc::dest_bit(s));
+    const auto dest = d.first();
+    EXPECT_EQ(p->next_dests(dest, rng), noc::DestSet::single(s));
   }
 }
 
@@ -115,7 +119,7 @@ TEST(HotspotTest, FractionGoesToHotDest) {
   int hot = 0;
   const int samples = 20000;
   for (int i = 0; i < samples; ++i) {
-    if (p->next_dests(0, rng) == noc::dest_bit(4)) ++hot;
+    if (p->next_dests(0, rng) == noc::DestSet::single(4)) ++hot;
   }
   // 0.7 direct + 0.3 * 1/8 uniform spillover = 0.7375.
   EXPECT_NEAR(static_cast<double>(hot) / samples, 0.7375, 0.02);
@@ -132,7 +136,7 @@ TEST(MulticastMixTest, FractionOfMulticasts) {
   int multicast = 0;
   const int samples = 20000;
   for (int i = 0; i < samples; ++i) {
-    if (std::popcount(p->next_dests(2, rng)) > 1) ++multicast;
+    if (p->next_dests(2, rng).is_multicast()) ++multicast;
   }
   EXPECT_NEAR(static_cast<double>(multicast) / samples, 0.10, 0.01);
 }
@@ -141,7 +145,7 @@ TEST(MulticastMixTest, SubsetSizesWithinBounds) {
   auto p = make_multicast_mix(8, 1.0, 3, 5);
   Rng rng(9);
   for (int i = 0; i < 2000; ++i) {
-    const int size = std::popcount(p->next_dests(0, rng));
+    const int size = static_cast<int>(p->next_dests(0, rng).count());
     EXPECT_GE(size, 3);
     EXPECT_LE(size, 5);
   }
@@ -159,10 +163,10 @@ TEST(MulticastStaticTest, OnlyListedSourcesMulticast) {
   Rng rng(11);
   for (int i = 0; i < 500; ++i) {
     for (std::uint32_t s : {0u, 3u, 5u}) {
-      EXPECT_GT(std::popcount(p->next_dests(s, rng)), 1);
+      EXPECT_GT(p->next_dests(s, rng).count(), 1u);
     }
     for (std::uint32_t s : {1u, 2u, 4u, 6u, 7u}) {
-      EXPECT_EQ(std::popcount(p->next_dests(s, rng)), 1);
+      EXPECT_EQ(p->next_dests(s, rng).count(), 1u);
     }
   }
 }

@@ -149,7 +149,7 @@ Trace random_dag(std::uint32_t n, std::size_t messages, std::uint64_t seed) {
     const auto num_dests = 1 + rng.uniform_below(3);
     for (const std::uint32_t pick : rng.sample_without_replacement(
              n - 1, static_cast<std::uint32_t>(num_dests))) {
-      rec.dests |= noc::dest_bit(pick >= rec.src ? pick + 1 : pick);
+      rec.dests |= noc::DestSet::single(pick >= rec.src ? pick + 1 : pick);
     }
     rec.size = 5;
     rec.earliest = static_cast<TimePs>(rng.uniform_below(4)) * 500;

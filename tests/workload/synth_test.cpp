@@ -30,8 +30,8 @@ TEST(DnnSynthTest, WeightsMulticastToAllLayerPes) {
   const Trace trace = make_dnn_workload(params);
   // The first weight_tiles records are the layer's weight multicasts: from
   // the weight source (endpoint 0) to all of PEs 1..pes at once.
-  noc::DestMask pe_mask = 0;
-  for (std::uint32_t pe = 1; pe <= 5; ++pe) pe_mask |= noc::dest_bit(pe);
+  noc::DestSet pe_mask;
+  for (std::uint32_t pe = 1; pe <= 5; ++pe) pe_mask |= noc::DestSet::single(pe);
   for (std::uint32_t t = 0; t < 3; ++t) {
     EXPECT_EQ(trace.records[t].src, 0u);
     EXPECT_EQ(trace.records[t].dests, pe_mask);
@@ -47,7 +47,7 @@ TEST(DnnSynthTest, PartialSumsDependOnWeightsAndActivations) {
   // Layer 0: records 0 (weights), 1-2 (activations), 3-4 (partial sums).
   for (std::size_t p : {std::size_t{3}, std::size_t{4}}) {
     const auto& rec = trace.records[p];
-    EXPECT_EQ(rec.dests, noc::dest_bit(params.n - 1));  // fan-in to reducer
+    EXPECT_EQ(rec.dests, noc::DestSet::single(params.n - 1));  // fan-in to reducer
     EXPECT_EQ(rec.delay, params.compute_delay);
     EXPECT_FALSE(rec.deps.empty());
   }
@@ -96,16 +96,14 @@ TEST(CoherenceSynthTest, AcksAnswerInvalidationsAndChainWrites) {
   for (const auto& write : workload.writes) {
     const auto& inv = workload.trace.records[write.inv];
     EXPECT_EQ(inv.src, write.writer);
-    EXPECT_EQ(std::popcount(inv.dests),
-              static_cast<int>(write.acks.size()));
-    EXPECT_EQ(inv.dests & noc::dest_bit(write.writer), 0u)
+    EXPECT_EQ(inv.dests.count(), write.acks.size());
+    EXPECT_FALSE(inv.dests.test(write.writer))
         << "writer invalidated itself";
     // Every ack is a unicast back to the writer, dependent on the INV.
     for (const std::size_t a : write.acks) {
       const auto& ack = workload.trace.records[a];
-      EXPECT_EQ(ack.dests, noc::dest_bit(write.writer));
-      EXPECT_NE(inv.dests & noc::dest_bit(ack.src), 0u)
-          << "ack from a non-sharer";
+      EXPECT_EQ(ack.dests, noc::DestSet::single(write.writer));
+      EXPECT_TRUE(inv.dests.test(ack.src)) << "ack from a non-sharer";
       EXPECT_EQ(ack.deps, (std::vector<std::uint64_t>{inv.id}));
     }
     // The next write of the same processor waits for all previous acks.

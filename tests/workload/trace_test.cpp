@@ -14,10 +14,10 @@ Trace small_trace() {
   Trace trace;
   trace.meta.n = 8;
   trace.meta.generator = "test";
-  trace.records.push_back({0, 0, noc::dest_bit(3) | noc::dest_bit(5), 5, 0,
+  trace.records.push_back({0, 0, noc::DestSet::single(3) | noc::DestSet::single(5), 5, 0,
                            0, {}});
-  trace.records.push_back({1, 3, noc::dest_bit(0), 5, 1000, 500, {0}});
-  trace.records.push_back({2, 5, noc::dest_bit(0), 5, 1000, 0, {0, 1}});
+  trace.records.push_back({1, 3, noc::DestSet::single(0), 5, 1000, 500, {0}});
+  trace.records.push_back({2, 5, noc::DestSet::single(0), 5, 1000, 0, {0, 1}});
   return trace;
 }
 
@@ -51,13 +51,15 @@ TEST(TraceTest, HashChangesWithContent) {
 }
 
 TEST(TraceTest, ValidateEnforcesRadixCeiling) {
-  // noc::DestMask is 64 bits; traces for wider networks would silently
-  // truncate destination sets.
+  // noc::DestSet caps at kMaxEndpoints; traces for wider networks would
+  // silently truncate destination sets.
   Trace trace = small_trace();
-  trace.meta.n = 65;
+  trace.meta.n = noc::kMaxEndpoints * 2;
   EXPECT_THROW(trace.validate(), ConfigError);
   trace.meta.n = 1;
   EXPECT_THROW(trace.validate(), ConfigError);
+  trace.meta.n = 65;  // past the old 64-endpoint ceiling, now in range
+  EXPECT_NO_THROW(trace.validate());
   trace.meta.n = 64;
   EXPECT_NO_THROW(trace.validate());
 }
@@ -75,12 +77,12 @@ TEST(TraceTest, ValidateRejectsStructuralErrors) {
   }
   {
     Trace trace = small_trace();
-    trace.records[0].dests = noc::dest_bit(8);  // dest beyond n endpoints
+    trace.records[0].dests = noc::DestSet::single(8);  // dest beyond n endpoints
     EXPECT_THROW(trace.validate(), ConfigError);
   }
   {
     Trace trace = small_trace();
-    trace.records[0].dests = 0;  // empty destination set
+    trace.records[0].dests = noc::DestSet{};  // empty destination set
     EXPECT_THROW(trace.validate(), ConfigError);
   }
   {
@@ -125,6 +127,63 @@ TEST(TraceTest, ParserRejectsMalformedStreams) {
     std::istringstream in(tampered);
     EXPECT_THROW(read_trace(in, "count"), ConfigError);
   }
+}
+
+Trace large_trace() {
+  Trace trace;
+  trace.meta.n = 1024;
+  trace.meta.generator = "test-large";
+  noc::DestSet wide;
+  wide.set(3);
+  wide.set(500);
+  wide.set(1023);
+  trace.records.push_back({0, 0, wide, 5, 0, 0, {}});
+  trace.records.push_back({1, 900, noc::DestSet::single(65), 5, 1000, 0, {0}});
+  return trace;
+}
+
+TEST(TraceTest, LargeRadixWritesSchema2HexDests) {
+  const std::string bytes = trace_to_string(large_trace());
+  EXPECT_NE(bytes.find("\"schema\":2"), std::string::npos);
+  // Destination sets are hex strings, not integers, on the schema-2 wire.
+  EXPECT_NE(bytes.find("\"dests\":\""), std::string::npos);
+  // Radix <= 64 keeps the schema-1 integer wire form, byte-compatible with
+  // every pre-existing golden.
+  const std::string small_bytes = trace_to_string(small_trace());
+  EXPECT_NE(small_bytes.find("\"schema\":1"), std::string::npos);
+  EXPECT_EQ(small_bytes.find("\"dests\":\""), std::string::npos);
+}
+
+TEST(TraceTest, LargeRadixRoundTripPreservesDests) {
+  const Trace trace = large_trace();
+  const std::string bytes = trace_to_string(trace);
+  std::istringstream in(bytes);
+  const Trace back = read_trace(in, "large");
+  ASSERT_EQ(back.records.size(), trace.records.size());
+  EXPECT_EQ(back.meta.n, 1024u);
+  EXPECT_EQ(back.records[0].dests, trace.records[0].dests);
+  EXPECT_EQ(back.records[1].dests, trace.records[1].dests);
+  EXPECT_EQ(trace_to_string(back), bytes);  // deterministic writer
+  EXPECT_EQ(trace_hash(back), trace_hash(trace));
+}
+
+TEST(TraceTest, SchemaRadixPairingIsStrictBothWays) {
+  // A schema-1 header claiming a large radix must be refused (its integer
+  // masks cannot address endpoints >= 64)...
+  std::string schema1_large = trace_to_string(large_trace());
+  const auto pos = schema1_large.find("\"schema\":2");
+  ASSERT_NE(pos, std::string::npos);
+  schema1_large.replace(pos, 10, "\"schema\":1");
+  std::istringstream in1(schema1_large);
+  EXPECT_THROW(read_trace(in1, "schema1-large"), ConfigError);
+
+  // ...and schema 2 is reserved for radixes that need it.
+  std::string schema2_small = trace_to_string(small_trace());
+  const auto pos2 = schema2_small.find("\"schema\":1");
+  ASSERT_NE(pos2, std::string::npos);
+  schema2_small.replace(pos2, 10, "\"schema\":2");
+  std::istringstream in2(schema2_small);
+  EXPECT_THROW(read_trace(in2, "schema2-small"), ConfigError);
 }
 
 TEST(TraceTest, ParserNamesOffendingLine) {
