@@ -34,6 +34,7 @@
 #include "stats/experiment.h"
 #include "stats/serialization.h"
 #include "stats/sweep.h"
+#include "stats/telemetry.h"
 #include "util/cli.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -113,6 +114,16 @@ struct HarnessOptions {
   /// this JSON file. Observational only — tables are byte-identical with
   /// and without it.
   std::string metrics_path;
+  /// --telemetry-epoch: sample epoch-delta time series every this many
+  /// simulated ps (flag takes ns; 0 = off). Observational only — enabling
+  /// sampling changes no simulated byte.
+  TimePs telemetry_epoch = 0;
+  /// --telemetry-ring: epochs retained per run (flight-recorder depth).
+  std::uint64_t telemetry_ring = 4096;
+  /// --telemetry-out: live NDJSON frame stream ("-" = stdout), one frame
+  /// per completed run as the sweep executes. Opened in parse_args; the
+  /// end frame is emitted when the last HarnessOptions copy goes away.
+  std::shared_ptr<stats::TelemetryStream> telemetry_stream;
   /// --progress: live progress lines to stderr every this many ms.
   unsigned progress_ms = 0;
   /// --sim-threads: scheduler lanes/worker threads for the partitioned
@@ -133,9 +144,14 @@ struct HarnessOptions {
   stats::BatchOptions batch() const {
     stats::BatchOptions options;
     options.jobs = jobs;
-    options.collect_metrics = !metrics_path.empty();
+    // A live frame stream wants per-run counters even when --metrics was
+    // not given; collection is observational either way.
+    options.collect_metrics =
+        !metrics_path.empty() || telemetry_stream != nullptr;
     options.progress_interval_ms = progress_ms;
     if (progress_ms > 0) options.progress_label = tool;
+    options.telemetry.epoch_ps = telemetry_epoch;
+    options.telemetry.ring_capacity = telemetry_ring;
     return options;
   }
 
@@ -156,6 +172,7 @@ struct HarnessOptions {
     options.from_path = from_path;
     options.anchors_only = anchors_only;
     options.anchors_from = anchors_from;
+    options.telemetry_stream = telemetry_stream.get();
     return options;
   }
 };
@@ -186,6 +203,21 @@ inline HarnessOptions parse_args(
   cli.add_string("--metrics", &opts.metrics_path,
                  "collect per-run speculation/stall metrics and write them "
                  "to this JSON file (observational; tables are unchanged)");
+  cli.add_custom("--telemetry-epoch", "NS",
+                 "sample an epoch-delta time series every NS simulated ns; "
+                 "the series rides each run's metrics (observational — "
+                 "results are byte-identical with sampling on)",
+                 [&opts](const std::string& value) {
+                   opts.telemetry_epoch =
+                       util::parse_i64(value, "--telemetry-epoch") * 1000;
+                 });
+  cli.add_uint64("--telemetry-ring", &opts.telemetry_ring,
+                 "epochs retained per run (flight-recorder depth)");
+  std::string telemetry_out;
+  cli.add_string("--telemetry-out", &telemetry_out,
+                 "stream one NDJSON telemetry frame per completed run to "
+                 "this file as the sweep executes ('-' = stdout); tail with "
+                 "sweep_merge --follow");
   cli.add_unsigned("--progress", &opts.progress_ms,
                    "live progress lines to stderr every N ms (0: off)");
   cli.add_unsigned("--sim-threads", &opts.sim_threads,
@@ -248,6 +280,27 @@ inline HarnessOptions parse_args(
     }
     if (!opts.csv_path.empty()) opts.sink->mirror_csv(opts.csv_path);
     if (!opts.json_path.empty()) opts.sink->mirror_jsonl(opts.json_path);
+    if (!telemetry_out.empty()) {
+      // The custom deleter bookends the stream: the start frame is emitted
+      // here, the end frame when the last HarnessOptions copy releases the
+      // stream (i.e. at harness exit, success or failure).
+      auto* stream = new stats::TelemetryStream(telemetry_out);
+      opts.telemetry_stream = std::shared_ptr<stats::TelemetryStream>(
+          stream, [tool](stats::TelemetryStream* s) {
+            util::Json body = util::Json::object();
+            body.set("tool", tool);
+            s->emit(stats::TelemetryFrameKind::kEnd, std::move(body));
+            delete s;
+          });
+      util::Json body = util::Json::object();
+      body.set("tool", tool);
+      body.set("seed", opts.seed);
+      if (opts.telemetry_epoch > 0) {
+        body.set("epoch_ps", static_cast<std::uint64_t>(opts.telemetry_epoch));
+      }
+      opts.telemetry_stream->emit(stats::TelemetryFrameKind::kStart,
+                                  std::move(body));
+    }
   } catch (const ConfigError& error) {
     std::fprintf(stderr, "%s: %s\n", tool.c_str(), error.what());
     std::fputs(cli.usage().c_str(), stderr);
@@ -346,6 +399,7 @@ class MetricsReport {
       entry.set("grid", grid);
       entry.set("key", stats::spec_key(outcome.spec));
       entry.set("metrics", stats::to_json(*outcome.metrics));
+      spills_total_ += outcome.metrics->dest_spills;
       runs_.push_back(std::move(entry));
     }
   }
@@ -357,6 +411,10 @@ class MetricsReport {
     doc.set("schema", std::uint64_t{1});
     doc.set("tool", opts.tool);
     doc.set("seed", opts.seed);
+    // Aggregate DestSet heap-spill count: the zero-spill-at-radix-64 claim
+    // is checkable from the report alone (exact at --jobs 1, an upper
+    // bound under concurrent grids).
+    doc.set("dest_spills_total", spills_total_);
     util::Json runs = util::Json::array();
     for (auto& entry : runs_) runs.push_back(std::move(entry));
     doc.set("runs", std::move(runs));
@@ -370,6 +428,7 @@ class MetricsReport {
 
  private:
   std::vector<util::Json> runs_;
+  std::uint64_t spills_total_ = 0;
 };
 
 }  // namespace specnoc::bench

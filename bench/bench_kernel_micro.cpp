@@ -7,9 +7,12 @@
 #include <functional>
 
 #include "core/mot_network.h"
+#include "noc/hooks.h"
 #include "sim/partitioned_scheduler.h"
 #include "sim/scheduler.h"
+#include "stats/metrics.h"
 #include "stats/recorder.h"
+#include "stats/telemetry.h"
 #include "traffic/benchmark.h"
 #include "traffic/driver.h"
 
@@ -219,6 +222,45 @@ BENCHMARK(BM_PartitionedSaturatedSimulation)
     ->Arg(4)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+void BM_TelemetrySampledSimulation(benchmark::State& state) {
+  // Sampler overhead on the saturated 8x8 run: a MetricsRegistry is always
+  // attached; Arg > 0 additionally arms a TelemetrySampler on it, sampling
+  // every Arg simulated ns. The headline is items_per_second (kernel
+  // events/wall second): the Arg 50 / Arg 0 ratio is the sampling cost,
+  // recorded in BENCH_telemetry.json (budget: <= 2%).
+  const auto epoch_ns = static_cast<TimePs>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::NetworkConfig cfg;
+    core::MotNetwork net(core::Architecture::kOptHybridSpeculative, cfg);
+    stats::MetricsRegistry registry;
+    stats::TelemetryOptions topts;
+    topts.epoch_ps = epoch_ns * 1000;
+    stats::TelemetrySampler sampler(topts);
+    net.net().hooks().metrics = &registry;
+    if (epoch_ns > 0) sampler.arm(net.net(), registry);
+    auto pattern = traffic::make_benchmark(
+        traffic::BenchmarkId::kUniformRandom, 8);
+    traffic::DriverConfig dcfg;
+    dcfg.mode = traffic::InjectionMode::kBacklogged;
+    dcfg.seed = 7;
+    traffic::TrafficDriver driver(net, *pattern, dcfg);
+    driver.start();
+    net.scheduler().run_until(1000_ns);
+    events = net.scheduler().executed();
+    if (epoch_ns > 0) {
+      const stats::TelemetrySeries series = sampler.finish();
+      benchmark::DoNotOptimize(series.epochs.size());
+    }
+    benchmark::DoNotOptimize(registry.snapshot().total_kills());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  state.SetLabel(epoch_ns == 0 ? "metrics only, no sampling"
+                               : "sampled epochs over 1000 simulated ns");
+}
+BENCHMARK(BM_TelemetrySampledSimulation)->Arg(0)->Arg(50)->Arg(10);
 
 }  // namespace
 

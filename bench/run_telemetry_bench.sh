@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Measures telemetry-sampler overhead on the saturated 8x8 kernel run and
+# writes google-benchmark JSON to BENCH_telemetry.json at the repo root.
+# BM_TelemetrySampledSimulation/0 is the no-sampling baseline (metrics
+# registry only); /50 and /10 sample every 50 / 10 simulated ns. The
+# committed JSON documents that the /50 events-per-second rate stays within
+# 2% of /0 — sampling is cheap enough to leave on for whole sweeps.
+#
+# Usage: bench/run_telemetry_bench.sh [build-dir] [output-json]
+#   SPECNOC_BENCH_MIN_TIME   per-benchmark min time (default 0.5; append
+#                            an "s" suffix on google-benchmark >= 1.8)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out="${2:-$repo_root/BENCH_telemetry.json}"
+min_time="${SPECNOC_BENCH_MIN_TIME:-0.5}"
+
+bench="$build_dir/bench/bench_kernel_micro"
+if [[ ! -x "$bench" ]]; then
+  echo "error: $bench not found; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"$bench" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_filter='BM_TelemetrySampledSimulation' \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json
+
+echo "wrote $out"

@@ -13,11 +13,21 @@
 //   bench_table1_throughput --shard 2/3 --out s2.jsonl   # on machine C
 //   sweep_merge --out merged.jsonl s0.jsonl s1.jsonl s2.jsonl
 //   bench_table1_throughput --from merged.jsonl          # the tables
+//
+// --follow FILE tails a live NDJSON telemetry stream (harness
+// --telemetry-out) instead of merging: one rendered line per completed run
+// as frames arrive, a summary on the end frame. --once renders what is
+// already in the file and exits; --poll-ms sets the tail poll interval.
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "stats/sweep.h"
+#include "stats/telemetry.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/json.h"
@@ -32,27 +42,165 @@ struct ShardWork {
   std::size_t cells = 0;
   double wall_ms = 0.0;
   std::uint64_t retries = 0;
+  std::size_t telemetry_runs = 0;  ///< cells carrying an epoch series
+  std::uint64_t epochs = 0;        ///< total retained epochs across them
 };
 
-ShardWork tally_shard(const specnoc::stats::ShardFile& file) {
+/// Tallies one shard and validates any embedded telemetry blocks: each
+/// series must parse under the strict codec and re-serialize to the exact
+/// bytes stored in the shard, so the merged file provably carries the
+/// worker's time series unmodified.
+ShardWork tally_shard(const specnoc::stats::ShardFile& file,
+                      const std::string& path) {
+  using specnoc::stats::telemetry_series_from_json;
+  using specnoc::stats::telemetry_series_to_json;
   ShardWork work;
   for (const auto& [grid, records] : file.records) {
-    static_cast<void>(grid);
     for (const auto& [cell, record] : records) {
-      static_cast<void>(cell);
       ++work.cells;
       const specnoc::util::Json* run = record.data.find("run");
-      if (run == nullptr) continue;
-      if (const auto* wall = run->find("wall_ms")) {
-        work.wall_ms += wall->as_double();
+      if (run != nullptr) {
+        if (const auto* wall = run->find("wall_ms")) {
+          work.wall_ms += wall->as_double();
+        }
+        if (const auto* attempts = run->find("attempts")) {
+          const std::uint64_t n = attempts->as_u64();
+          if (n > 1) work.retries += n - 1;
+        }
       }
-      if (const auto* attempts = run->find("attempts")) {
-        const std::uint64_t n = attempts->as_u64();
-        if (n > 1) work.retries += n - 1;
+      const specnoc::util::Json* metrics = record.data.find("metrics");
+      const specnoc::util::Json* series =
+          metrics != nullptr ? metrics->find("telemetry") : nullptr;
+      if (series == nullptr) continue;
+      const auto parsed = telemetry_series_from_json(*series);
+      const std::string original = specnoc::util::json_write(*series);
+      const std::string round =
+          specnoc::util::json_write(telemetry_series_to_json(parsed));
+      if (round != original) {
+        throw specnoc::ConfigError(
+            path + ": telemetry series for " + grid + " cell " +
+            std::to_string(cell) + " does not round-trip byte-identically");
       }
+      ++work.telemetry_runs;
+      work.epochs += parsed.epochs.size();
     }
   }
   return work;
+}
+
+/// One `s ▄▆█...` sparkline character per epoch (most recent last),
+/// scaled to the series' own peak; at most `width` trailing epochs.
+std::string sparkline(const specnoc::stats::TelemetrySeries& series,
+                      std::size_t width) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇",
+                                  "█"};
+  const std::size_t first =
+      series.epochs.size() > width ? series.epochs.size() - width : 0;
+  std::uint64_t peak = 0;
+  for (std::size_t i = first; i < series.epochs.size(); ++i) {
+    peak = std::max(peak, series.epochs[i].events);
+  }
+  std::string out;
+  for (std::size_t i = first; i < series.epochs.size(); ++i) {
+    const std::size_t level =
+        peak == 0 ? 0 : (series.epochs[i].events * 8 + peak - 1) / peak;
+    out += kLevels[std::min<std::size_t>(level, 8)];
+  }
+  return out;
+}
+
+/// Rendered --follow state: one line per run frame, a summary at the end.
+struct FollowView {
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  bool done = false;
+
+  void render(const specnoc::stats::TelemetryFrame& frame) {
+    using specnoc::stats::TelemetryFrameKind;
+    const specnoc::util::Json& body = frame.body;
+    if (frame.kind == TelemetryFrameKind::kStart) {
+      const auto* tool = body.find("tool");
+      const auto* epoch = body.find("epoch_ps");
+      std::printf("-- %s sweep started%s --\n",
+                  tool != nullptr ? tool->as_string().c_str() : "?",
+                  epoch != nullptr
+                      ? (" (epoch " + std::to_string(epoch->as_u64()) + " ps)")
+                            .c_str()
+                      : "");
+      return;
+    }
+    if (frame.kind == TelemetryFrameKind::kEnd) {
+      std::printf("-- done: %llu run(s), %llu failed, %llu events, "
+                  "%.1f ms run wall time --\n",
+                  static_cast<unsigned long long>(runs),
+                  static_cast<unsigned long long>(failures),
+                  static_cast<unsigned long long>(events), wall_ms);
+      done = true;
+      return;
+    }
+    ++runs;
+    const auto* status = body.find("status");
+    const bool ok = status != nullptr && status->as_string() == "ok";
+    if (!ok) ++failures;
+    const auto* run_events = body.find("events");
+    if (run_events != nullptr) events += run_events->as_u64();
+    const auto* wall = body.find("wall_ms");
+    if (wall != nullptr) wall_ms += wall->as_double();
+    std::string spark;
+    if (const auto* series = body.find("telemetry")) {
+      spark = "  " + sparkline(
+          specnoc::stats::telemetry_series_from_json(*series), 32);
+    }
+    std::printf("[%4llu] %-12s %-40s %-4s %9llu ev %8.1f ms%s\n",
+                static_cast<unsigned long long>(body.at("cell").as_u64()),
+                body.at("grid").as_string().c_str(),
+                body.at("key").as_string().c_str(), ok ? "ok" : "FAIL",
+                static_cast<unsigned long long>(
+                    run_events != nullptr ? run_events->as_u64() : 0),
+                wall != nullptr ? wall->as_double() : 0.0, spark.c_str());
+    std::fflush(stdout);
+  }
+};
+
+/// Tails an NDJSON telemetry stream. Only complete lines (newline-
+/// terminated) are parsed — a frame mid-write is left for the next poll.
+/// Returns 0 after the end frame, 3 when --once hit EOF before it.
+int follow_stream(const std::string& path, bool once, unsigned poll_ms) {
+  const bool from_stdin = path == "-";
+  std::ifstream file;
+  if (!from_stdin) {
+    file.open(path);
+    if (!file) {
+      throw specnoc::ConfigError("cannot read telemetry stream '" + path +
+                                 "'");
+    }
+  }
+  std::istream& in = from_stdin ? std::cin : file;
+
+  FollowView view;
+  std::string line;
+  while (!view.done) {
+    if (!std::getline(in, line)) {
+      if (from_stdin || once) break;
+      in.clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      continue;
+    }
+    if (in.eof()) {
+      // Partial trailing line (no newline yet): rewind to its start and
+      // wait for the writer to finish it.
+      if (from_stdin || once) break;
+      in.clear();
+      in.seekg(-static_cast<std::streamoff>(line.size()), std::ios::cur);
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+      continue;
+    }
+    view.render(specnoc::stats::telemetry_frame_parse(line));
+  }
+  return view.done ? 0 : 3;
 }
 
 }  // namespace
@@ -62,16 +210,39 @@ int main(int argc, char** argv) {
 
   std::string out_path;
   std::vector<std::string> shard_paths;
+  bool follow = false;
+  bool once = false;
+  unsigned poll_ms = 500;
 
   util::CliParser cli(
       "sweep_merge",
-      "Validate and merge shard files from a sharded design-space sweep.");
-  cli.add_string("--out", &out_path, "merged JSONL output path (required)");
+      "Validate and merge shard files from a sharded design-space sweep, "
+      "or tail a live telemetry stream with --follow.");
+  cli.add_string("--out", &out_path,
+                 "merged JSONL output path (required unless --follow)");
+  cli.add_flag("--follow", &follow,
+               "tail an NDJSON telemetry stream (harness --telemetry-out; "
+               "'-' = stdin) and render one line per completed run");
+  cli.add_flag("--once", &once,
+               "with --follow: render the frames already present, then exit "
+               "instead of waiting for the end frame");
+  cli.add_unsigned("--poll-ms", &poll_ms,
+                   "with --follow: tail poll interval in ms");
   cli.add_positional_list("shard.jsonl", &shard_paths,
-                          "shard files produced by harness --shard workers");
+                          "shard files produced by harness --shard workers "
+                          "(with --follow: one telemetry stream file)");
   cli.parse_or_exit(argc, argv);
 
   try {
+    if (follow) {
+      if (shard_paths.size() != 1) {
+        throw util::UsageError("--follow takes exactly one stream file");
+      }
+      if (!out_path.empty()) {
+        throw util::UsageError("--follow cannot be combined with --out");
+      }
+      return follow_stream(shard_paths[0], once, poll_ms);
+    }
     if (out_path.empty()) {
       throw util::UsageError("--out is required");
     }
@@ -87,7 +258,7 @@ int main(int argc, char** argv) {
 
     ShardWork total;
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      const ShardWork work = tally_shard(inputs[i]);
+      const ShardWork work = tally_shard(inputs[i], shard_paths[i]);
       std::fprintf(stderr, "shard %s: %zu cell(s), %.1f ms run wall time, "
                    "%llu retried attempt(s)\n",
                    shard_paths[i].c_str(), work.cells, work.wall_ms,
@@ -95,11 +266,19 @@ int main(int argc, char** argv) {
       total.cells += work.cells;
       total.wall_ms += work.wall_ms;
       total.retries += work.retries;
+      total.telemetry_runs += work.telemetry_runs;
+      total.epochs += work.epochs;
     }
     std::fprintf(stderr, "all shards: %zu cell(s), %.1f ms run wall time, "
                  "%llu retried attempt(s)\n",
                  total.cells, total.wall_ms,
                  static_cast<unsigned long long>(total.retries));
+    if (total.telemetry_runs > 0) {
+      std::fprintf(stderr, "telemetry: %zu cell(s) carry an epoch series "
+                   "(%llu epochs total, validated byte-identical)\n",
+                   total.telemetry_runs,
+                   static_cast<unsigned long long>(total.epochs));
+    }
 
     stats::MergeReport report;
     const stats::ShardFile merged = stats::merge_shards(inputs, &report);

@@ -25,9 +25,12 @@
 #include <string>
 
 #include "core/registry.h"
+#include "noc/hooks.h"
 #include "noc/partition.h"
 #include "stats/experiment.h"
+#include "stats/metrics.h"
 #include "stats/perfetto_trace.h"
+#include "stats/telemetry.h"
 #include "stats/recorder.h"
 #include "stats/trace.h"
 #include "traffic/driver.h"
@@ -54,6 +57,7 @@ struct Options {
   TimePs clock = 0;
   std::string trace_path;
   std::string perfetto_path;
+  TimePs telemetry_epoch = 0;  ///< --telemetry-epoch-ns: counter-track period
   TimePs horizon = 200_ns;
   std::string workload_path;  ///< --workload: replay this trace file
   std::string synth_name;     ///< --synth: synthesize a workload trace
@@ -101,6 +105,13 @@ Options parse(int argc, char** argv) {
   cli.add_string("--perfetto", &opts.perfetto_path,
                  "Chrome-trace JSON path (trace mode; open in ui.perfetto.dev "
                  "or chrome://tracing)");
+  cli.add_custom("--telemetry-epoch-ns", "NS",
+                 "sample epoch-delta counter tracks every NS simulated ns "
+                 "(trace mode with --perfetto; 0 = off)",
+                 [&opts](const std::string& v) {
+                   opts.telemetry_epoch =
+                       util::parse_i64(v, "--telemetry-epoch-ns") * 1000;
+                 });
   cli.add_custom("--horizon-ns", "NS", "trace horizon in ns",
                  [&opts](const std::string& v) {
                    opts.horizon = util::parse_i64(v, "--horizon-ns") * 1000;
@@ -310,6 +321,9 @@ int run(const Options& opts) {
     filter.node_ops = true;
     std::unique_ptr<stats::FlitTracer> csv;
     std::unique_ptr<stats::PerfettoTracer> perfetto;
+    std::unique_ptr<stats::TelemetrySampler> sampler;
+    stats::MetricsRegistry telemetry_registry;
+    noc::TeeMetricsObserver metrics_tee;
     core::MotNetwork network(arch, cfg);
     if (!opts.trace_path.empty()) {
       csv = std::make_unique<stats::FlitTracer>(out, filter);
@@ -320,6 +334,17 @@ int run(const Options& opts) {
       network.net().hooks().traffic = perfetto.get();
       network.net().hooks().energy = perfetto.get();
       network.net().hooks().metrics = perfetto.get();
+      if (opts.telemetry_epoch > 0) {
+        stats::TelemetryOptions topts;
+        topts.epoch_ps = opts.telemetry_epoch;
+        sampler = std::make_unique<stats::TelemetrySampler>(topts);
+        // The sampler diffs a registry's totals, so tee one in beside the
+        // tracer's own metrics instants.
+        metrics_tee.add(perfetto.get());
+        metrics_tee.add(&telemetry_registry);
+        network.net().hooks().metrics = &metrics_tee;
+        sampler->arm(network.net(), telemetry_registry);
+      }
     }
     auto pattern = traffic::make_benchmark(bench, cfg.n);
     traffic::DriverConfig dcfg;
@@ -334,6 +359,13 @@ int run(const Options& opts) {
                   static_cast<unsigned long long>(csv->rows_written()),
                   path.c_str(), static_cast<long long>(opts.horizon / 1000));
     } else {
+      if (sampler != nullptr) {
+        stats::TelemetrySeries series = sampler->finish();
+        std::printf("sampled %zu telemetry epochs (%llu ps period)\n",
+                    series.epochs.size(),
+                    static_cast<unsigned long long>(series.epoch_ps));
+        perfetto->set_telemetry(std::move(series));
+      }
       perfetto->write(out);
       std::printf("wrote %llu trace events to %s (%lld ns simulated); open "
                   "in ui.perfetto.dev or chrome://tracing\n",

@@ -175,6 +175,55 @@ class MetricsObserver {
                                 TimePs end) = 0;
 };
 
+/// Fans one metrics-event stream out to several observers, in registration
+/// order (deterministic, like TeeTrafficObserver). SimHooks holds a single
+/// metrics pointer; point it at a tee when more than one consumer wants the
+/// stream — e.g. a stats::MetricsRegistry aggregating run totals while a
+/// stats::TelemetrySampler slices the same events into time epochs.
+class TeeMetricsObserver final : public MetricsObserver {
+ public:
+  TeeMetricsObserver() = default;
+  TeeMetricsObserver(std::initializer_list<MetricsObserver*> observers)
+      : observers_(observers) {}
+
+  void add(MetricsObserver* observer) { observers_.push_back(observer); }
+
+  void on_flit_killed(const Node& node, const Flit& flit,
+                      TimePs when) override {
+    for (MetricsObserver* observer : observers_) {
+      observer->on_flit_killed(node, flit, when);
+    }
+  }
+
+  void on_prealloc(const Node& node, bool hit, TimePs when) override {
+    for (MetricsObserver* observer : observers_) {
+      observer->on_prealloc(node, hit, when);
+    }
+  }
+
+  void on_contended_grant(const Node& node, TimePs when) override {
+    for (MetricsObserver* observer : observers_) {
+      observer->on_contended_grant(node, when);
+    }
+  }
+
+  void on_watchdog_release(const Node& node, TimePs when) override {
+    for (MetricsObserver* observer : observers_) {
+      observer->on_watchdog_release(node, when);
+    }
+  }
+
+  void on_channel_stall(const Channel& channel, TimePs start,
+                        TimePs end) override {
+    for (MetricsObserver* observer : observers_) {
+      observer->on_channel_stall(channel, start, end);
+    }
+  }
+
+ private:
+  std::vector<MetricsObserver*> observers_;
+};
+
 /// Bundle handed to every node and channel at construction.
 struct SimHooks {
   TrafficObserver* traffic = nullptr;

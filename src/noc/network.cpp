@@ -187,6 +187,31 @@ std::uint64_t Network::executed() const {
   return psched_ != nullptr ? psched_->executed() : scheduler_.executed();
 }
 
+std::size_t Network::pending() const {
+  return psched_ != nullptr ? psched_->pending() : scheduler_.pending();
+}
+
+std::size_t Network::overflow_pending() const {
+  return psched_ != nullptr ? psched_->overflow_pending()
+                            : scheduler_.overflow_pending();
+}
+
+void Network::set_epoch_hook(TimePs epoch_ps, sim::Scheduler::EpochHook hook) {
+  if (psched_ != nullptr) {
+    psched_->set_epoch_hook(epoch_ps, std::move(hook));
+  } else {
+    scheduler_.set_epoch_hook(epoch_ps, std::move(hook));
+  }
+}
+
+void Network::clear_epoch_hook() {
+  if (psched_ != nullptr) {
+    psched_->clear_epoch_hook();
+  } else {
+    scheduler_.clear_epoch_hook();
+  }
+}
+
 Channel& Network::add_channel(ChannelParams params, std::string name,
                               Node& up, std::uint32_t up_port, Node& down,
                               std::uint32_t down_port) {

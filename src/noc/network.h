@@ -73,6 +73,15 @@ class Network {
   void run_until(TimePs t);
   TimePs now() const;
   std::uint64_t executed() const;
+  std::size_t pending() const;
+  std::size_t overflow_pending() const;
+
+  /// Installs an observation-only epoch callback on whichever kernel this
+  /// network runs on (the global scheduler, or the partitioned executor's
+  /// window barrier — see the respective set_epoch_hook contracts). Used by
+  /// stats::TelemetrySampler; enabling it changes no simulated byte.
+  void set_epoch_hook(TimePs epoch_ps, sim::Scheduler::EpochHook hook);
+  void clear_epoch_hook();
 
   /// Creates a node of type T (constructed with scheduler and hooks first).
   template <typename T, typename... Args>

@@ -60,6 +60,8 @@ class BucketQueue {
 
   bool empty() const { return ring_size_ == 0 && overflow_.empty(); }
   std::size_t size() const { return ring_size_ + overflow_.size(); }
+  /// Entries parked in the far-future overflow heap (telemetry only).
+  std::size_t overflow_size() const { return overflow_.size(); }
 
   /// Pre-sizes the slab (and overflow heap) for `events` concurrently
   /// pending events, eliminating warm-up vector growth.

@@ -61,10 +61,10 @@ struct WorkerQueue {
 class ProgressReporter {
  public:
   ProgressReporter(const std::string& label, std::size_t total,
-                   unsigned interval_ms)
+                   unsigned interval_ms, std::function<std::string()> note)
       : label_(label.empty() ? "runs" : label), total_(total),
-        interval_ms_(interval_ms), start_(Clock::now()),
-        thread_([this] { loop(); }) {}
+        interval_ms_(interval_ms), note_(std::move(note)),
+        start_(Clock::now()), thread_([this] { loop(); }) {}
 
   ~ProgressReporter() { finish(); }
 
@@ -104,13 +104,15 @@ class ProgressReporter {
     const double rate = elapsed_s > 0.0
                             ? static_cast<double>(done) / elapsed_s
                             : 0.0;
+    std::string note = note_ ? note_() : std::string();
+    if (!note.empty()) note.insert(0, ", ");
     if (final_line) {
       std::fprintf(stderr,
                    "[%s] %zu/%zu runs in %.1fs (%.2f runs/s), "
-                   "retried %llu, failed %llu\n",
+                   "retried %llu, failed %llu%s\n",
                    label_.c_str(), done, total_, elapsed_s, rate,
                    static_cast<unsigned long long>(retried),
-                   static_cast<unsigned long long>(failed));
+                   static_cast<unsigned long long>(failed), note.c_str());
       return;
     }
     char eta[32];
@@ -122,15 +124,16 @@ class ProgressReporter {
     }
     std::fprintf(stderr,
                  "[%s] %zu/%zu runs, %.2f runs/s, ETA %s, "
-                 "retried %llu, failed %llu\n",
+                 "retried %llu, failed %llu%s\n",
                  label_.c_str(), done, total_, rate, eta,
                  static_cast<unsigned long long>(retried),
-                 static_cast<unsigned long long>(failed));
+                 static_cast<unsigned long long>(failed), note.c_str());
   }
 
   const std::string label_;
   const std::size_t total_;
   const unsigned interval_ms_;
+  const std::function<std::string()> note_;
   const Clock::time_point start_;
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::uint64_t> retried_{0};
@@ -147,7 +150,9 @@ ParallelRunner::ParallelRunner(Options options)
     : jobs_(options.jobs == 0 ? default_jobs() : options.jobs),
       max_attempts_(options.max_attempts == 0 ? 1 : options.max_attempts),
       progress_interval_ms_(options.progress_interval_ms),
-      progress_label_(std::move(options.progress_label)) {}
+      progress_label_(std::move(options.progress_label)),
+      progress_note_(std::move(options.progress_note)),
+      on_run_done_(std::move(options.on_run_done)) {}
 
 std::vector<RunOutcome> ParallelRunner::run(std::size_t count,
                                             const Job& job) const {
@@ -155,14 +160,15 @@ std::vector<RunOutcome> ParallelRunner::run(std::size_t count,
   if (count == 0) return outcomes;
   std::unique_ptr<ProgressReporter> reporter;
   if (progress_interval_ms_ > 0) {
-    reporter = std::make_unique<ProgressReporter>(progress_label_, count,
-                                                  progress_interval_ms_);
+    reporter = std::make_unique<ProgressReporter>(
+        progress_label_, count, progress_interval_ms_, progress_note_);
   }
   if (jobs_ == 1 || count == 1) {
     // Serial path: inline on the calling thread, in index order.
     for (std::size_t i = 0; i < count; ++i) {
       outcomes[i] = execute(job, i, max_attempts_);
       if (reporter) reporter->on_run_done(outcomes[i]);
+      if (on_run_done_) on_run_done_(i, outcomes[i]);
     }
     return outcomes;
   }
@@ -202,6 +208,7 @@ std::vector<RunOutcome> ParallelRunner::run(std::size_t count,
       // Distinct vector slots: no synchronization needed on the write.
       outcomes[index] = execute(job, index, max_attempts_);
       if (reporter) reporter->on_run_done(outcomes[index]);
+      if (on_run_done_) on_run_done_(index, outcomes[index]);
     }
   };
 

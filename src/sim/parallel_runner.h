@@ -48,6 +48,17 @@ struct RunnerOptions {
   /// byte-identical with and without it.
   unsigned progress_interval_ms = 0;
   std::string progress_label = {};  ///< line prefix, e.g. the harness name
+  /// Extra detail appended to each progress line (e.g. the PDES lane shape
+  /// of partitioned runs). Called on the progress thread, so it must be
+  /// thread-safe; an empty return adds nothing.
+  std::function<std::string()> progress_note = {};
+  /// Called once per run right after its final attempt resolves (ok or
+  /// failed), from whichever worker thread finished it — the live
+  /// streaming hook (stats::TelemetryStream frames go out through this
+  /// mid-batch, before the batch returns). Must be thread-safe; runs
+  /// complete in nondeterministic order under jobs > 1.
+  std::function<void(std::size_t index, const RunOutcome& outcome)>
+      on_run_done = {};
 };
 
 class ParallelRunner {
@@ -75,6 +86,8 @@ class ParallelRunner {
   unsigned max_attempts_;
   unsigned progress_interval_ms_;
   std::string progress_label_;
+  std::function<std::string()> progress_note_;
+  std::function<void(std::size_t, const RunOutcome&)> on_run_done_;
 };
 
 }  // namespace specnoc::sim

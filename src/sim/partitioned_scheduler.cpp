@@ -81,6 +81,14 @@ bool PartitionedScheduler::advance_window(TimePs horizon) {
     min_next = std::min(min_next, lane->next_time());
   }
   if (min_next == Scheduler::kIdleTime || min_next > horizon) return false;
+  if (min_next >= epoch_next_) {
+    // Serial section: every worker is quiesced at the barrier, so the hook
+    // observes a consistent cross-lane state. Everything executed so far
+    // happened in windows that started before the boundary.
+    const TimePs boundary = min_next - min_next % epoch_ps_;
+    epoch_next_ = boundary + epoch_ps_;
+    epoch_hook_(boundary);
+  }
   window_end_ = std::min(min_next + lookahead_ - 1, horizon);
   ++windows_;
   return true;
@@ -195,6 +203,27 @@ std::size_t PartitionedScheduler::pending() const {
   std::size_t total = 0;
   for (const Scheduler* lane : lanes_) total += lane->pending();
   return total;
+}
+
+std::size_t PartitionedScheduler::overflow_pending() const {
+  std::size_t total = 0;
+  for (const Scheduler* lane : lanes_) total += lane->overflow_pending();
+  return total;
+}
+
+void PartitionedScheduler::set_epoch_hook(TimePs epoch_ps,
+                                          Scheduler::EpochHook hook) {
+  SPECNOC_EXPECTS(epoch_ps > 0);
+  SPECNOC_EXPECTS(static_cast<bool>(hook));
+  epoch_ps_ = epoch_ps;
+  epoch_hook_ = std::move(hook);
+  epoch_next_ = (now() / epoch_ps_ + 1) * epoch_ps_;
+}
+
+void PartitionedScheduler::clear_epoch_hook() {
+  epoch_ps_ = 0;
+  epoch_hook_ = nullptr;
+  epoch_next_ = Scheduler::kIdleTime;
 }
 
 std::vector<std::uint64_t> PartitionedScheduler::per_lane_executed() const {

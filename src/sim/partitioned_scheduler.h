@@ -91,6 +91,19 @@ class PartitionedScheduler {
   const std::vector<std::uint64_t>& per_lane_idle_windows() const {
     return idle_windows_;
   }
+  /// Summed overflow-heap occupancy across lanes (telemetry only).
+  std::size_t overflow_pending() const;
+
+  /// Observation-only epoch callback, mirroring Scheduler::set_epoch_hook.
+  /// Fires inside the window barrier's serial section — every other worker
+  /// is quiesced at the barrier — before opening the first window whose
+  /// start time lies at or beyond an epoch boundary. Epochs therefore close
+  /// at window granularity: up to lookahead-1 ps of an epoch's tail may be
+  /// attributed to the previous epoch. The window sequence is a pure
+  /// function of the topology, so sampling points (and anything the hook
+  /// records) are identical at any worker-thread count.
+  void set_epoch_hook(TimePs epoch_ps, Scheduler::EpochHook hook);
+  void clear_epoch_hook();
 
  private:
   /// Serial (single-threaded) portion of the window barrier: drains dirty
@@ -117,6 +130,11 @@ class PartitionedScheduler {
 
   std::uint64_t windows_ = 0;
   std::vector<std::uint64_t> idle_windows_;
+
+  /// Epoch sampling state (serial-section only; see set_epoch_hook).
+  TimePs epoch_next_ = Scheduler::kIdleTime;
+  TimePs epoch_ps_ = 0;
+  Scheduler::EpochHook epoch_hook_;
 
   // Barrier state for the parallel path. Workers arrive by incrementing
   // arrivals_; the last arriver runs the serial section and publishes the

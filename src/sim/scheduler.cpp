@@ -9,6 +9,26 @@
 
 namespace specnoc::sim {
 
+void Scheduler::set_epoch_hook(TimePs epoch_ps, EpochHook hook) {
+  SPECNOC_EXPECTS(epoch_ps > 0);
+  SPECNOC_EXPECTS(static_cast<bool>(hook));
+  epoch_ps_ = epoch_ps;
+  epoch_hook_ = std::move(hook);
+  epoch_next_ = (now_ / epoch_ps_ + 1) * epoch_ps_;
+}
+
+void Scheduler::clear_epoch_hook() {
+  epoch_ps_ = 0;
+  epoch_hook_ = nullptr;
+  epoch_next_ = kIdleTime;
+}
+
+void Scheduler::cross_epoch(TimePs t) {
+  const TimePs boundary = t - t % epoch_ps_;
+  epoch_next_ = boundary + epoch_ps_;
+  epoch_hook_(boundary);
+}
+
 void Scheduler::run() {
   while (step()) {
   }

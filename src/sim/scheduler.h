@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <type_traits>
 #include <utility>
@@ -62,11 +63,27 @@ class Scheduler {
     queue_.push(at, std::forward<F>(fn));
   }
 
+  /// Observation-only callback fired from step() before the first event at
+  /// or after each epoch boundary executes (boundaries are the multiples of
+  /// the configured epoch length). The argument is the start time of the
+  /// epoch being entered; everything executed so far belongs to earlier
+  /// epochs. The hook must not schedule events or otherwise touch the
+  /// simulation — it exists for delta sampling (stats::TelemetrySampler),
+  /// and enabling it changes no simulated byte: the run's event sequence is
+  /// identical with and without a hook installed.
+  using EpochHook = std::function<void(TimePs epoch_start)>;
+
+  /// Installs the epoch hook. `epoch_ps` must be > 0; the next boundary is
+  /// the first multiple of `epoch_ps` strictly after now().
+  void set_epoch_hook(TimePs epoch_ps, EpochHook hook);
+  void clear_epoch_hook();
+
   /// Runs the earliest pending event. Returns false if none are pending.
   bool step() {
     if (queue_.empty()) return false;
     const BucketQueue::PopRef ref = queue_.pop();
     SPECNOC_ASSERT(ref.time >= now_);
+    if (ref.time >= epoch_next_) cross_epoch(ref.time);
     now_ = ref.time;
     ++executed_;
     // Fire in place: the chunked slab keeps the entry's address stable
@@ -89,6 +106,10 @@ class Scheduler {
   /// Number of pending events.
   std::size_t pending() const { return queue_.size(); }
 
+  /// Pending events parked in the far-future overflow heap (telemetry: a
+  /// growing overflow tier means the O(1) near window is being outrun).
+  std::size_t overflow_pending() const { return queue_.overflow_size(); }
+
   /// Timestamp of the earliest pending event, or kIdleTime when none are
   /// pending (used by the partitioned scheduler's window computation).
   TimePs next_time() const {
@@ -99,8 +120,18 @@ class Scheduler {
   std::uint64_t executed() const { return executed_; }
 
  private:
+  /// Cold path of the epoch check in step(): advances epoch_next_ past `t`
+  /// and fires the hook once with the largest crossed boundary. Out of line
+  /// so the hot path pays one predictable compare.
+  void cross_epoch(TimePs t);
+
   TimePs now_ = 0;
   std::uint64_t executed_ = 0;
+  /// kIdleTime when no hook is installed, so the step() check is one
+  /// always-false compare on unsampled runs.
+  TimePs epoch_next_ = kIdleTime;
+  TimePs epoch_ps_ = 0;
+  EpochHook epoch_hook_;
   BucketQueue queue_;
 };
 

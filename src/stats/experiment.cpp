@@ -2,8 +2,13 @@
 
 #include "core/registry.h"
 
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
+#include "noc/dest_set.h"
 #include "power/power_meter.h"
 #include "stats/recorder.h"
 #include "traffic/driver.h"
@@ -26,19 +31,117 @@ sim::RunnerOptions runner_options(const BatchOptions& options) {
   return runner;
 }
 
-// Attaches the window-protocol shape of a partitioned run to the registry
-// before snapshotting. Everything recorded is thread-count-invariant.
-void record_pdes_shape(noc::Network& net, MetricsRegistry& registry) {
-  sim::PartitionedScheduler* psched = net.partitioned_scheduler();
-  if (psched == nullptr) return;
+// Window-protocol shape of a partitioned run (empty when sequential).
+// Everything recorded is thread-count-invariant.
+PdesMetrics pdes_shape(noc::Network& net) {
   PdesMetrics pdes;
+  sim::PartitionedScheduler* psched = net.partitioned_scheduler();
+  if (psched == nullptr) return pdes;
   pdes.lanes = psched->lanes();
   pdes.lookahead_ps = psched->lookahead();
   pdes.windows = psched->windows();
   pdes.lane_events = psched->per_lane_executed();
   pdes.lane_idle_windows = psched->per_lane_idle_windows();
-  registry.record_pdes(std::move(pdes));
+  return pdes;
 }
+
+// Per-run measurement rig behind RunProbes: wires the metrics registry and
+// (when sampling) the telemetry sampler into a freshly built network, and
+// harvests everything after the run. Construction snapshots the process-wide
+// DestSet spill counter so harvest() can attribute the delta to this run.
+class ProbeRig {
+ public:
+  explicit ProbeRig(const RunProbes& probes)
+      : probes_(probes),
+        spills_at_start_(noc::DestSet::spill_allocations()) {
+    if (sampling()) sampler_.emplace(probes_.telemetry);
+  }
+
+  bool collecting() const { return probes_.metrics != nullptr; }
+  bool sampling() const {
+    return collecting() && probes_.telemetry.enabled();
+  }
+
+  /// Installs the observer; call after the network is built, before it
+  /// runs. Leaves hooks untouched when nothing is collected. The sampler
+  /// needs no observer of its own — it diffs the registry's running totals
+  /// at epoch boundaries.
+  void attach(noc::Network& net) {
+    if (!collecting()) return;
+    net.hooks().metrics = &registry_;
+    if (sampling()) sampler_->arm(net, registry_);
+  }
+
+  /// Harvests every requested probe after the run completed.
+  void harvest(noc::Network& net) {
+    if (probes_.events != nullptr) *probes_.events = net.executed();
+    PdesMetrics pdes = pdes_shape(net);
+    if (probes_.pdes != nullptr) *probes_.pdes = pdes;
+    if (!collecting()) return;
+    registry_.record_pdes(std::move(pdes));
+    if (sampling()) registry_.record_telemetry(sampler_->finish());
+    registry_.record_dest_spills(noc::DestSet::spill_allocations() -
+                                 spills_at_start_);
+    *probes_.metrics = registry_.snapshot();
+  }
+
+  /// Flight recorder: on a run that dies mid-flight, dump the retained
+  /// epochs so the failure's lead-up is visible in the harness stderr.
+  void dump_on_failure() const {
+    if (sampler_) sampler_->dump_flight_recorder(stderr);
+  }
+
+ private:
+  const RunProbes& probes_;
+  std::uint64_t spills_at_start_;
+  MetricsRegistry registry_;
+  std::optional<TelemetrySampler> sampler_;
+};
+
+// Shared progress annotation: accumulates the PDES shape of completed
+// partitioned runs so --progress lines show lane occupancy while a
+// partitioned grid executes. update() is called from worker threads.
+class PdesNote {
+ public:
+  void update(const PdesMetrics& pdes) {
+    if (pdes.empty()) return;
+    std::uint64_t idle = 0;
+    for (const std::uint64_t windows : pdes.lane_idle_windows) {
+      idle += windows;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++runs_;
+    lanes_ = pdes.lanes;
+    windows_ += pdes.windows;
+    idle_lane_windows_ += idle;
+  }
+
+  std::string text() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (runs_ == 0) return {};
+    // Occupancy = fraction of (window x lane) slots that executed events.
+    const double slots =
+        static_cast<double>(windows_) * static_cast<double>(lanes_);
+    const double busy =
+        slots > 0.0
+            ? 100.0 * (slots - static_cast<double>(idle_lane_windows_)) /
+                  slots
+            : 0.0;
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "pdes %llu runs x %u lanes, %llu windows, %.0f%% busy",
+                  static_cast<unsigned long long>(runs_), lanes_,
+                  static_cast<unsigned long long>(windows_), busy);
+    return buf;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t runs_ = 0;
+  std::uint32_t lanes_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t idle_lane_windows_ = 0;
+};
 
 }  // namespace
 
@@ -125,18 +228,17 @@ void ExperimentRunner::prime_saturation(core::Architecture arch,
 
 SaturationResult ExperimentRunner::run_saturation(
     const NetworkFactory& factory, traffic::BenchmarkId bench) const {
-  return saturation_run(factory, bench, seed_, nullptr, nullptr);
+  return saturation_run(factory, bench, seed_, {});
 }
 
 SaturationResult ExperimentRunner::saturation_run(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
-    std::uint64_t seed, std::uint64_t* events_out,
-    MetricsSnapshot* metrics_out) const {
+    std::uint64_t seed, const RunProbes& probes) const {
+  ProbeRig rig(probes);
   const auto network = factory();
   TrafficRecorder recorder(network->net().packets());
   network->net().hooks().traffic = &recorder;
-  MetricsRegistry registry;
-  if (metrics_out != nullptr) network->net().hooks().metrics = &registry;
+  rig.attach(network->net());
   const auto pattern = traffic::make_benchmark(bench, network->topology().n());
   traffic::DriverConfig driver_cfg;
   driver_cfg.mode = traffic::InjectionMode::kBacklogged;
@@ -149,10 +251,15 @@ SaturationResult ExperimentRunner::saturation_run(
   // parallel; results are identical at any thread count (DESIGN.md §9).
   const auto windows = saturation_windows();
   auto& net = network->net();
-  net.run_until(windows.warmup);
-  recorder.open_window(net.now());
-  net.run_until(windows.warmup + windows.measure);
-  recorder.close_window(net.now());
+  try {
+    net.run_until(windows.warmup);
+    recorder.open_window(net.now());
+    net.run_until(windows.warmup + windows.measure);
+    recorder.close_window(net.now());
+  } catch (...) {
+    rig.dump_on_failure();
+    throw;
+  }
 
   SaturationResult result;
   const std::uint32_t n = network->topology().n();
@@ -168,11 +275,7 @@ SaturationResult ExperimentRunner::saturation_run(
           ? static_cast<double>(store.num_packets()) /
                 static_cast<double>(store.num_messages())
           : 1.0;
-  if (events_out != nullptr) *events_out = net.executed();
-  if (metrics_out != nullptr) {
-    record_pdes_shape(net, registry);
-    *metrics_out = registry.snapshot();
-  }
+  rig.harvest(net);
   return result;
 }
 
@@ -188,18 +291,18 @@ LatencyResult ExperimentRunner::measure_latency(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
     double injected_flits_per_ns, traffic::SimWindows windows) const {
   return latency_run(factory, bench, injected_flits_per_ns, windows, seed_,
-                     nullptr, nullptr);
+                     {});
 }
 
 LatencyResult ExperimentRunner::latency_run(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
     double injected_flits_per_ns, traffic::SimWindows windows,
-    std::uint64_t seed, std::uint64_t* events_out,
-    MetricsSnapshot* metrics_out) const {
+    std::uint64_t seed, const RunProbes& probes) const {
   if (injected_flits_per_ns <= 0.0) {
     throw ConfigError("injected rate must be positive, got " +
                       std::to_string(injected_flits_per_ns));
   }
+  ProbeRig rig(probes);
   const auto network = factory();
   if (network->net().partitioned()) {
     throw ConfigError(
@@ -208,8 +311,7 @@ LatencyResult ExperimentRunner::latency_run(
   }
   TrafficRecorder recorder(network->net().packets());
   network->net().hooks().traffic = &recorder;
-  MetricsRegistry registry;
-  if (metrics_out != nullptr) network->net().hooks().metrics = &registry;
+  rig.attach(network->net());
   const auto pattern = traffic::make_benchmark(bench, network->topology().n());
   traffic::DriverConfig driver_cfg;
   driver_cfg.mode = traffic::InjectionMode::kOpenLoop;
@@ -219,16 +321,22 @@ LatencyResult ExperimentRunner::latency_run(
   driver.start();
 
   auto& sched = network->scheduler();
-  sched.run_until(windows.warmup);
-  driver.set_measured(true);
-  sched.run_until(windows.warmup + windows.measure);
-  driver.set_measured(false);
+  try {
+    sched.run_until(windows.warmup);
+    driver.set_measured(true);
+    sched.run_until(windows.warmup + windows.measure);
+    driver.set_measured(false);
 
-  // Drain: keep the background load flowing until every tagged message has
-  // delivered all its headers, with a generous cap for saturated runs.
-  const TimePs drain_cap = windows.warmup + windows.measure * 20;
-  while (recorder.pending_measured() > 0 && sched.now() < drain_cap) {
-    if (!sched.step()) break;
+    // Drain: keep the background load flowing until every tagged message
+    // has delivered all its headers, with a generous cap for saturated
+    // runs.
+    const TimePs drain_cap = windows.warmup + windows.measure * 20;
+    while (recorder.pending_measured() > 0 && sched.now() < drain_cap) {
+      if (!sched.step()) break;
+    }
+  } catch (...) {
+    rig.dump_on_failure();
+    throw;
   }
 
   LatencyResult result;
@@ -245,8 +353,7 @@ LatencyResult ExperimentRunner::latency_run(
                        << " offered=" << injected_flits_per_ns
                        << " pending=" << recorder.pending_measured();
   }
-  if (events_out != nullptr) *events_out = sched.executed();
-  if (metrics_out != nullptr) *metrics_out = registry.snapshot();
+  rig.harvest(network->net());
   return result;
 }
 
@@ -276,18 +383,18 @@ PowerResult ExperimentRunner::measure_power(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
     double injected_flits_per_ns, traffic::SimWindows windows) const {
   return power_run(factory, bench, injected_flits_per_ns, windows, seed_,
-                   nullptr, nullptr);
+                   {});
 }
 
 PowerResult ExperimentRunner::power_run(
     const NetworkFactory& factory, traffic::BenchmarkId bench,
     double injected_flits_per_ns, traffic::SimWindows windows,
-    std::uint64_t seed, std::uint64_t* events_out,
-    MetricsSnapshot* metrics_out) const {
+    std::uint64_t seed, const RunProbes& probes) const {
   if (injected_flits_per_ns <= 0.0) {
     throw ConfigError("injected rate must be positive, got " +
                       std::to_string(injected_flits_per_ns));
   }
+  ProbeRig rig(probes);
   const auto network = factory();
   if (network->net().partitioned()) {
     throw ConfigError(
@@ -299,8 +406,7 @@ PowerResult ExperimentRunner::power_run(
   power::PowerMeter meter(energy_);
   network->net().hooks().traffic = &recorder;
   network->net().hooks().energy = &meter;
-  MetricsRegistry registry;
-  if (metrics_out != nullptr) network->net().hooks().metrics = &registry;
+  rig.attach(network->net());
   const auto pattern = traffic::make_benchmark(bench, network->topology().n());
   traffic::DriverConfig driver_cfg;
   driver_cfg.mode = traffic::InjectionMode::kOpenLoop;
@@ -310,12 +416,17 @@ PowerResult ExperimentRunner::power_run(
   driver.start();
 
   auto& sched = network->scheduler();
-  sched.run_until(windows.warmup);
-  recorder.open_window(sched.now());
-  meter.open_window(sched.now());
-  sched.run_until(windows.warmup + windows.measure);
-  recorder.close_window(sched.now());
-  meter.close_window(sched.now());
+  try {
+    sched.run_until(windows.warmup);
+    recorder.open_window(sched.now());
+    meter.open_window(sched.now());
+    sched.run_until(windows.warmup + windows.measure);
+    recorder.close_window(sched.now());
+    meter.close_window(sched.now());
+  } catch (...) {
+    rig.dump_on_failure();
+    throw;
+  }
 
   PowerResult result;
   result.power_mw = meter.window_power_mw();
@@ -328,21 +439,20 @@ PowerResult ExperimentRunner::power_run(
   result.offered_flits_per_ns = injected_flits_per_ns;
   result.throttled_flits = meter.window_ops(noc::NodeOp::kThrottle);
   result.broadcast_ops = meter.window_ops(noc::NodeOp::kBroadcast);
-  if (events_out != nullptr) *events_out = sched.executed();
-  if (metrics_out != nullptr) *metrics_out = registry.snapshot();
+  rig.harvest(network->net());
   return result;
 }
 
 WorkloadResult ExperimentRunner::run_workload(const NetworkFactory& factory,
                                               const workload::Trace& trace,
                                               workload::ReplayMode mode) const {
-  return workload_run(factory, trace, mode, nullptr, nullptr);
+  return workload_run(factory, trace, mode, {});
 }
 
 WorkloadResult ExperimentRunner::workload_run(
     const NetworkFactory& factory, const workload::Trace& trace,
-    workload::ReplayMode mode, std::uint64_t* events_out,
-    MetricsSnapshot* metrics_out) const {
+    workload::ReplayMode mode, const RunProbes& probes) const {
+  ProbeRig rig(probes);
   const auto network = factory();
   TrafficRecorder recorder(network->net().packets());
   workload::ReplayConfig replay_cfg;
@@ -350,8 +460,7 @@ WorkloadResult ExperimentRunner::workload_run(
   workload::TraceReplayDriver driver(*network, trace, replay_cfg);
   driver.set_downstream(&recorder);
   network->net().hooks().traffic = &driver;
-  MetricsRegistry registry;
-  if (metrics_out != nullptr) network->net().hooks().metrics = &registry;
+  rig.attach(network->net());
 
   auto& net = network->net();
   recorder.open_window(net.now());
@@ -360,7 +469,12 @@ WorkloadResult ExperimentRunner::workload_run(
   // message has delivered (or stalled for good). Timed replay may run
   // partitioned; closed-loop replay requires a sequential network (the
   // driver throws otherwise).
-  net.run();
+  try {
+    net.run();
+  } catch (...) {
+    rig.dump_on_failure();
+    throw;
+  }
   recorder.close_window(net.now());
 
   WorkloadResult result;
@@ -378,11 +492,7 @@ WorkloadResult ExperimentRunner::workload_run(
                        << trace.meta.generator << " delivered "
                        << result.messages_delivered << "/" << result.messages;
   }
-  if (events_out != nullptr) *events_out = net.executed();
-  if (metrics_out != nullptr) {
-    record_pdes_shape(net, registry);
-    *metrics_out = registry.snapshot();
-  }
+  rig.harvest(net);
   return result;
 }
 
@@ -409,16 +519,35 @@ PowerResult ExperimentRunner::power_at_baseline_fraction(
 std::vector<SaturationOutcome> ExperimentRunner::run_saturation_grid(
     const std::vector<SaturationSpec>& specs, const BatchOptions& options) {
   std::vector<SaturationOutcome> outcomes(specs.size());
-  const sim::ParallelRunner pool(runner_options(options));
+  const bool collect = options.collect_metrics || options.telemetry.enabled();
+  sim::RunnerOptions runner = runner_options(options);
+  const auto pdes_note = std::make_shared<PdesNote>();
+  if (options.progress_interval_ms > 0) {
+    runner.progress_note = [pdes_note] { return pdes_note->text(); };
+  }
+  if (options.on_run_done) {
+    runner.on_run_done = [&outcomes, &options](std::size_t i,
+                                               const sim::RunOutcome& run) {
+      options.on_run_done(
+          i, run, outcomes[i].metrics ? &*outcomes[i].metrics : nullptr);
+    };
+  }
+  const sim::ParallelRunner pool(std::move(runner));
   const auto runs = pool.run(specs.size(), [&](std::size_t i) {
     const auto& spec = specs[i];
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
+    PdesMetrics pdes;
+    RunProbes probes;
+    probes.events = &events;
+    probes.metrics = collect ? &snapshot : nullptr;
+    probes.pdes = &pdes;
+    probes.telemetry = options.telemetry;
     outcomes[i].result =
-        saturation_run(factory_for_spec(spec.arch, spec.factory, spec.custom), spec.bench,
-                       spec.seed == 0 ? seed_ : spec.seed, &events,
-                       options.collect_metrics ? &snapshot : nullptr);
-    if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
+        saturation_run(factory_for_spec(spec.arch, spec.factory, spec.custom),
+                       spec.bench, spec.seed == 0 ? seed_ : spec.seed, probes);
+    if (collect) outcomes[i].metrics = std::move(snapshot);
+    pdes_note->update(pdes);
     return events;
   });
   // Deterministic reduction: spec order, independent of completion order.
@@ -440,17 +569,29 @@ std::vector<SaturationOutcome> ExperimentRunner::run_saturation_grid(
 std::vector<LatencyOutcome> ExperimentRunner::run_latency_sweep(
     const std::vector<LatencySpec>& specs, const BatchOptions& options) const {
   std::vector<LatencyOutcome> outcomes(specs.size());
-  const sim::ParallelRunner pool(runner_options(options));
+  const bool collect = options.collect_metrics || options.telemetry.enabled();
+  sim::RunnerOptions runner = runner_options(options);
+  if (options.on_run_done) {
+    runner.on_run_done = [&outcomes, &options](std::size_t i,
+                                               const sim::RunOutcome& run) {
+      options.on_run_done(
+          i, run, outcomes[i].metrics ? &*outcomes[i].metrics : nullptr);
+    };
+  }
+  const sim::ParallelRunner pool(std::move(runner));
   const auto runs = pool.run(specs.size(), [&](std::size_t i) {
     const auto& spec = specs[i];
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
+    RunProbes probes;
+    probes.events = &events;
+    probes.metrics = collect ? &snapshot : nullptr;
+    probes.telemetry = options.telemetry;
     outcomes[i].result = latency_run(
-        sequential_factory_for_spec(spec.arch, spec.factory, spec.custom), spec.bench,
-        spec.injected_flits_per_ns, spec.windows,
-        spec.seed == 0 ? seed_ : spec.seed, &events,
-        options.collect_metrics ? &snapshot : nullptr);
-    if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
+        sequential_factory_for_spec(spec.arch, spec.factory, spec.custom),
+        spec.bench, spec.injected_flits_per_ns, spec.windows,
+        spec.seed == 0 ? seed_ : spec.seed, probes);
+    if (collect) outcomes[i].metrics = std::move(snapshot);
     return events;
   });
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -464,7 +605,20 @@ std::vector<LatencyOutcome> ExperimentRunner::run_latency_sweep(
 std::vector<WorkloadOutcome> ExperimentRunner::run_workload_grid(
     const std::vector<WorkloadSpec>& specs, const BatchOptions& options) const {
   std::vector<WorkloadOutcome> outcomes(specs.size());
-  const sim::ParallelRunner pool(runner_options(options));
+  const bool collect = options.collect_metrics || options.telemetry.enabled();
+  sim::RunnerOptions runner = runner_options(options);
+  const auto pdes_note = std::make_shared<PdesNote>();
+  if (options.progress_interval_ms > 0) {
+    runner.progress_note = [pdes_note] { return pdes_note->text(); };
+  }
+  if (options.on_run_done) {
+    runner.on_run_done = [&outcomes, &options](std::size_t i,
+                                               const sim::RunOutcome& run) {
+      options.on_run_done(
+          i, run, outcomes[i].metrics ? &*outcomes[i].metrics : nullptr);
+    };
+  }
+  const sim::ParallelRunner pool(std::move(runner));
   const auto runs = pool.run(specs.size(), [&](std::size_t i) {
     const auto& spec = specs[i];
     if (spec.trace == nullptr) {
@@ -474,14 +628,20 @@ std::vector<WorkloadOutcome> ExperimentRunner::run_workload_grid(
     }
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
+    PdesMetrics pdes;
+    RunProbes probes;
+    probes.events = &events;
+    probes.metrics = collect ? &snapshot : nullptr;
+    probes.pdes = &pdes;
+    probes.telemetry = options.telemetry;
     const NetworkFactory net_factory =
         spec.mode == workload::ReplayMode::kClosedLoop
             ? sequential_factory_for_spec(spec.arch, spec.factory, spec.custom)
             : factory_for_spec(spec.arch, spec.factory, spec.custom);
     outcomes[i].result =
-        workload_run(net_factory, *spec.trace, spec.mode, &events,
-                     options.collect_metrics ? &snapshot : nullptr);
-    if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
+        workload_run(net_factory, *spec.trace, spec.mode, probes);
+    if (collect) outcomes[i].metrics = std::move(snapshot);
+    pdes_note->update(pdes);
     return events;
   });
   for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -495,17 +655,29 @@ std::vector<WorkloadOutcome> ExperimentRunner::run_workload_grid(
 std::vector<PowerOutcome> ExperimentRunner::run_power_sweep(
     const std::vector<PowerSpec>& specs, const BatchOptions& options) const {
   std::vector<PowerOutcome> outcomes(specs.size());
-  const sim::ParallelRunner pool(runner_options(options));
+  const bool collect = options.collect_metrics || options.telemetry.enabled();
+  sim::RunnerOptions runner = runner_options(options);
+  if (options.on_run_done) {
+    runner.on_run_done = [&outcomes, &options](std::size_t i,
+                                               const sim::RunOutcome& run) {
+      options.on_run_done(
+          i, run, outcomes[i].metrics ? &*outcomes[i].metrics : nullptr);
+    };
+  }
+  const sim::ParallelRunner pool(std::move(runner));
   const auto runs = pool.run(specs.size(), [&](std::size_t i) {
     const auto& spec = specs[i];
     std::uint64_t events = 0;
     MetricsSnapshot snapshot;
+    RunProbes probes;
+    probes.events = &events;
+    probes.metrics = collect ? &snapshot : nullptr;
+    probes.telemetry = options.telemetry;
     outcomes[i].result = power_run(
-        sequential_factory_for_spec(spec.arch, spec.factory, spec.custom), spec.bench,
-        spec.injected_flits_per_ns, spec.windows,
-        spec.seed == 0 ? seed_ : spec.seed, &events,
-        options.collect_metrics ? &snapshot : nullptr);
-    if (options.collect_metrics) outcomes[i].metrics = std::move(snapshot);
+        sequential_factory_for_spec(spec.arch, spec.factory, spec.custom),
+        spec.bench, spec.injected_flits_per_ns, spec.windows,
+        spec.seed == 0 ? seed_ : spec.seed, probes);
+    if (collect) outcomes[i].metrics = std::move(snapshot);
     return events;
   });
   for (std::size_t i = 0; i < specs.size(); ++i) {

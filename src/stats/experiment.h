@@ -84,6 +84,35 @@ struct BatchOptions {
   /// with and without it.
   unsigned progress_interval_ms = 0;
   std::string progress_label = {};  ///< prefix for progress lines
+  /// Epoch-sample every run (stats/telemetry.h). Enabling this implies
+  /// collect_metrics — the series rides each outcome's MetricsSnapshot.
+  /// Observational only: simulated results are identical either way.
+  TelemetryOptions telemetry = {};
+  /// Called once per run right after it completes, from the worker thread
+  /// that finished it (runs complete in nondeterministic order under
+  /// jobs > 1, so the callback must be thread-safe). `metrics` is the
+  /// run's snapshot when one was collected and the run succeeded, else
+  /// nullptr. This is the live-streaming hook: sweep shards emit NDJSON
+  /// telemetry frames through it mid-batch.
+  std::function<void(std::size_t index, const sim::RunOutcome& run,
+                     const MetricsSnapshot* metrics)>
+      on_run_done = {};
+};
+
+/// Probe bundle threaded through the single-run workers behind the batch
+/// APIs: which measurements the caller wants out of one run. Every field is
+/// optional; a default RunProbes measures nothing.
+struct RunProbes {
+  std::uint64_t* events = nullptr;     ///< kernel events the run executed
+  /// Attach a MetricsRegistry for the run and snapshot it here afterwards.
+  MetricsSnapshot* metrics = nullptr;
+  /// Window-protocol shape of the run (empty when sequential). Filled even
+  /// without `metrics`, so batch drivers can surface PDES occupancy in
+  /// progress lines without paying for full metrics collection.
+  PdesMetrics* pdes = nullptr;
+  /// Epoch sampling; active only when `metrics` is also set (the sampled
+  /// series is delivered inside the snapshot).
+  TelemetryOptions telemetry = {};
 };
 
 /// One cell of a saturation grid. `factory` (when set) overrides the
@@ -307,31 +336,27 @@ class ExperimentRunner {
                                              const std::string& custom) const;
 
   /// Single-run workers behind both the public serial methods and the
-  /// batch APIs. `events_out` (when non-null) receives the number of
-  /// scheduler events the run executed; `metrics_out` (when non-null)
-  /// attaches a MetricsRegistry for the run and receives its snapshot.
+  /// batch APIs; `probes` selects the measurements to harvest (see
+  /// RunProbes). A run that throws dumps the telemetry flight recorder to
+  /// stderr (when sampling was active) before the exception propagates.
   SaturationResult saturation_run(const NetworkFactory& factory,
                                   traffic::BenchmarkId bench,
                                   std::uint64_t seed,
-                                  std::uint64_t* events_out,
-                                  MetricsSnapshot* metrics_out) const;
+                                  const RunProbes& probes) const;
   LatencyResult latency_run(const NetworkFactory& factory,
                             traffic::BenchmarkId bench,
                             double injected_flits_per_ns,
                             traffic::SimWindows windows, std::uint64_t seed,
-                            std::uint64_t* events_out,
-                            MetricsSnapshot* metrics_out) const;
+                            const RunProbes& probes) const;
   PowerResult power_run(const NetworkFactory& factory,
                         traffic::BenchmarkId bench,
                         double injected_flits_per_ns,
                         traffic::SimWindows windows, std::uint64_t seed,
-                        std::uint64_t* events_out,
-                        MetricsSnapshot* metrics_out) const;
+                        const RunProbes& probes) const;
   WorkloadResult workload_run(const NetworkFactory& factory,
                               const workload::Trace& trace,
                               workload::ReplayMode mode,
-                              std::uint64_t* events_out,
-                              MetricsSnapshot* metrics_out) const;
+                              const RunProbes& probes) const;
 
   core::NetworkConfig config_;
   std::uint64_t seed_;

@@ -157,7 +157,24 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     snap.channels.push_back(metrics);
   }
   snap.pdes = pdes_;
+  snap.telemetry = telemetry_;
+  snap.dest_spills = dest_spills_;
   return snap;
+}
+
+TelemetryCounters MetricsRegistry::telemetry_counters() const {
+  TelemetryCounters totals;
+  for (const auto& [key, counters] : sites_) {
+    totals.kills += counters.kills;
+    totals.prealloc_hits += counters.prealloc_hits;
+    totals.prealloc_misses += counters.prealloc_misses;
+    totals.contended_grants += counters.contended_grants;
+    totals.watchdog_releases += counters.watchdog_releases;
+  }
+  for (const auto& [klass, metrics] : channels_) {
+    totals.stall_time_ps.emplace(klass, metrics.stall_time_ps);
+  }
+  return totals;
 }
 
 }  // namespace specnoc::stats

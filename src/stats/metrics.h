@@ -23,6 +23,7 @@
 
 #include "util/units.h"
 #include "noc/hooks.h"
+#include "stats/telemetry.h"
 
 namespace specnoc::stats {
 
@@ -93,6 +94,16 @@ struct MetricsSnapshot {
   std::vector<MetricsSite> sites;
   std::vector<ChannelClassMetrics> channels;
   PdesMetrics pdes;  ///< window/stall shape of partitioned runs
+  /// Epoch-sampled time series (empty unless the run was sampled — see
+  /// stats/telemetry.h). Serialized only when non-empty, so unsampled
+  /// records keep their pre-telemetry byte layout.
+  TelemetrySeries telemetry;
+  /// noc::DestSet heap spills attributed to this run. The underlying
+  /// counter is process-wide, so the per-run delta is exact for serial
+  /// execution (--jobs 1) and an upper bound when other runs execute
+  /// concurrently; at radix <= 64 it is exactly zero either way (the
+  /// zero-alloc invariant the CI smoke checks).
+  std::uint64_t dest_spills = 0;
 
   bool empty() const { return sites.empty() && channels.empty(); }
 
@@ -126,7 +137,19 @@ class MetricsRegistry final : public noc::MetricsObserver {
   /// the experiment layer after the run; no-op data until then).
   void record_pdes(PdesMetrics pdes) { pdes_ = std::move(pdes); }
 
+  /// Attaches the run's sampled time series (TelemetrySampler::finish()).
+  void record_telemetry(TelemetrySeries telemetry) {
+    telemetry_ = std::move(telemetry);
+  }
+
+  /// Attaches the run's DestSet spill delta (see MetricsSnapshot field).
+  void record_dest_spills(std::uint64_t spills) { dest_spills_ = spills; }
+
   MetricsSnapshot snapshot() const;
+
+  /// Running totals for the epoch sampler (TelemetrySampler diffs these at
+  /// epoch boundaries); much cheaper than snapshot().
+  TelemetryCounters telemetry_counters() const;
 
  private:
   SiteCounters& site(const noc::Node& node);
@@ -134,6 +157,8 @@ class MetricsRegistry final : public noc::MetricsObserver {
   std::map<std::pair<noc::NodeKind, std::int32_t>, SiteCounters> sites_;
   std::map<std::string, ChannelClassMetrics> channels_;
   PdesMetrics pdes_;
+  TelemetrySeries telemetry_;
+  std::uint64_t dest_spills_ = 0;
 };
 
 }  // namespace specnoc::stats

@@ -16,6 +16,21 @@ namespace {
 // Chrome trace timestamps are microseconds; the simulator ticks in ps.
 double to_us(TimePs when) { return static_cast<double>(when) / 1e6; }
 
+// One Chrome counter sample: a "C" event keyed by (pid, name); the value
+// holds until the next sample, so emitting one per epoch draws the series
+// as a step function.
+util::Json counter_sample(const char* name, TimePs when, util::Json value) {
+  util::Json json = util::Json::object();
+  json.set("ph", "C");
+  json.set("pid", 1);
+  json.set("ts", static_cast<double>(when) / 1e6);
+  json.set("name", name);
+  util::Json args = util::Json::object();
+  args.set("value", std::move(value));
+  json.set("args", std::move(args));
+  return json;
+}
+
 const char* eject_name(noc::FlitKind kind) {
   switch (kind) {
     case noc::FlitKind::kHeader: return "eject.header";
@@ -121,6 +136,10 @@ void PerfettoTracer::on_channel_stall(const noc::Channel& channel,
   events_.push_back(event);
 }
 
+void PerfettoTracer::set_telemetry(TelemetrySeries series) {
+  telemetry_ = std::move(series);
+}
+
 util::Json PerfettoTracer::trace_json() const {
   // The viewer wants timestamps monotone per track; emission order inside
   // one track already is, so a stable sort by track suffices.
@@ -169,6 +188,32 @@ util::Json PerfettoTracer::trace_json() const {
       json.set("args", std::move(args));
     }
     trace_events.push_back(std::move(json));
+  }
+  // Counter tracks from the epoch-sampled series. Samples land at each
+  // interval's start, so the viewer draws the interval's value across its
+  // span; epochs are already in time order.
+  for (const TelemetryEpoch& epoch : telemetry_.epochs) {
+    const TimePs t = epoch.start_ps;
+    trace_events.push_back(
+        counter_sample("telemetry.events_per_s", t,
+                       util::Json(epoch.events_per_second())));
+    trace_events.push_back(
+        counter_sample("telemetry.kills", t, util::Json(epoch.kills)));
+    trace_events.push_back(counter_sample("telemetry.prealloc_hits", t,
+                                          util::Json(epoch.prealloc_hits)));
+    trace_events.push_back(
+        counter_sample("telemetry.contended_grants", t,
+                       util::Json(epoch.contended_grants)));
+    trace_events.push_back(
+        counter_sample("telemetry.pending", t, util::Json(epoch.pending)));
+    trace_events.push_back(
+        counter_sample("telemetry.overflow_pending", t,
+                       util::Json(epoch.overflow_pending)));
+    for (const auto& [klass, stall_ps] : epoch.stall_time_ps) {
+      const std::string name = "telemetry.stall_ps." + klass;
+      trace_events.push_back(
+          counter_sample(name.c_str(), t, util::Json(stall_ps)));
+    }
   }
   doc.set("traceEvents", std::move(trace_events));
   return doc;

@@ -24,6 +24,7 @@
 
 #include "util/json.h"
 #include "noc/hooks.h"
+#include "stats/telemetry.h"
 
 namespace specnoc::stats {
 
@@ -51,6 +52,13 @@ class PerfettoTracer final : public noc::TrafficObserver,
 
   std::size_t num_events() const { return events_.size(); }
 
+  /// Attaches an epoch-sampled series (TelemetrySampler::finish()); the
+  /// trace then carries counter tracks ("ph":"C" — event rate, kills,
+  /// prealloc hits, contention, queue depths, per-class stall occupancy)
+  /// alongside the slice tracks, so the timeline shows aggregate load next
+  /// to per-node events.
+  void set_telemetry(TelemetrySeries series);
+
   /// Builds the trace document; deterministic for a deterministic run.
   util::Json trace_json() const;
 
@@ -77,6 +85,7 @@ class PerfettoTracer final : public noc::TrafficObserver,
   std::vector<std::string> track_names_;
   std::map<std::string, std::uint32_t> track_ids_;
   std::vector<Event> events_;
+  TelemetrySeries telemetry_;
 };
 
 }  // namespace specnoc::stats

@@ -307,6 +307,12 @@ Json to_json(const MetricsSnapshot& snapshot) {
     pdes.set("lane_idle_windows", std::move(lane_idle));
     json.set("pdes", std::move(pdes));
   }
+  // Also omit-when-empty, for the same byte-stability reason: records from
+  // unsampled runs are identical to pre-telemetry records.
+  if (!snapshot.telemetry.empty()) {
+    json.set("telemetry", telemetry_series_to_json(snapshot.telemetry));
+  }
+  if (snapshot.dest_spills != 0) json.set("spills", snapshot.dest_spills);
   return json;
 }
 
@@ -349,6 +355,12 @@ MetricsSnapshot metrics_snapshot_from_json(const Json& json) {
     for (const Json& idle : pdes->at("lane_idle_windows").items()) {
       snapshot.pdes.lane_idle_windows.push_back(idle.as_u64());
     }
+  }
+  if (const Json* telemetry = json.find("telemetry"); telemetry != nullptr) {
+    snapshot.telemetry = telemetry_series_from_json(*telemetry);
+  }
+  if (const Json* spills = json.find("spills"); spills != nullptr) {
+    snapshot.dest_spills = spills->as_u64();
   }
   return snapshot;
 }

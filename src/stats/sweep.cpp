@@ -88,6 +88,35 @@ bool valid_status(const std::string& status) {
   return status == "ok" || status == "retried" || status == "failed";
 }
 
+// One live NDJSON "run" frame: identity (grid/cell/key), outcome shape
+// (status/events/wall), the run's headline speculation counters, and the
+// full sampled series when telemetry was enabled. Called from worker
+// threads mid-batch; TelemetryStream serializes the writes.
+void emit_run_frame(TelemetryStream& stream, const std::string& grid,
+                    std::size_t cell, const std::string& key,
+                    const sim::RunOutcome& run,
+                    const MetricsSnapshot* metrics) {
+  Json body = Json::object();
+  body.set("grid", grid);
+  body.set("cell", static_cast<std::uint64_t>(cell));
+  body.set("key", key);
+  body.set("status", run_status(run));
+  if (!run.error.empty()) body.set("error", run.error);
+  body.set("events", run.telemetry.events_executed);
+  body.set("wall_ms", run.telemetry.wall_ms);
+  if (metrics != nullptr) {
+    body.set("kills", metrics->total_kills());
+    body.set("prealloc_hits", metrics->total_prealloc_hits());
+    body.set("contended_grants", metrics->total_contended_grants());
+    body.set("stalls", metrics->total_stalls());
+    if (metrics->dest_spills != 0) body.set("spills", metrics->dest_spills);
+    if (!metrics->telemetry.empty()) {
+      body.set("telemetry", telemetry_series_to_json(metrics->telemetry));
+    }
+  }
+  stream.emit(TelemetryFrameKind::kRun, std::move(body));
+}
+
 bool same_grid(const SweepGrid& a, const SweepGrid& b) {
   return a.name == b.name && a.kind == b.kind && a.size == b.size &&
          a.hash == b.hash && a.shared == b.shared;
@@ -510,6 +539,10 @@ std::vector<SaturationOutcome> ShardedSweep::anchor_saturation(
     ExperimentRunner& runner, const std::vector<SaturationSpec>& specs,
     const std::string& name) {
   if (options_.mode == SweepMode::kRun) {
+    if (streaming()) {
+      return runner.run_saturation_grid(
+          specs, streaming_batch(name, spec_keys(specs), {}));
+    }
     return runner.run_saturation_grid(specs, labeled_batch(name));
   }
 
@@ -566,7 +599,9 @@ std::vector<SaturationOutcome> ShardedSweep::anchor_saturation(
   // Classic worker: every anchor result is needed to construct the
   // downstream specs, so the full grid still runs — but the owned cells
   // are now recorded, giving the merged file complete anchor coverage.
-  auto outcomes = runner.run_saturation_grid(specs, labeled_batch(name));
+  auto outcomes = runner.run_saturation_grid(
+      specs, streaming() ? streaming_batch(name, keys, {})
+                         : labeled_batch(name));
   if (file_.find_grid(name) != nullptr) {
     throw ConfigError("sweep grid '" + name + "' registered twice");
   }
@@ -593,6 +628,22 @@ BatchOptions ShardedSweep::labeled_batch(const std::string& name) const {
   return batch;
 }
 
+BatchOptions ShardedSweep::streaming_batch(
+    const std::string& name, std::vector<std::string> keys,
+    std::vector<std::size_t> cells) const {
+  BatchOptions batch = labeled_batch(name);
+  TelemetryStream* stream = options_.telemetry_stream;
+  if (stream == nullptr) return batch;
+  batch.on_run_done = [stream, name, keys = std::move(keys),
+                       cells = std::move(cells)](
+                          std::size_t index, const sim::RunOutcome& run,
+                          const MetricsSnapshot* metrics) {
+    const std::size_t cell = cells.empty() ? index : cells[index];
+    emit_run_frame(*stream, name, cell, keys[cell], run, metrics);
+  };
+  return batch;
+}
+
 template <typename Traits>
 std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
     const std::string& name, ExperimentRunner& runner,
@@ -601,6 +652,10 @@ std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
   using Spec = typename Traits::Spec;
 
   if (options_.mode == SweepMode::kRun) {
+    if (streaming()) {
+      return Traits::run(runner, specs,
+                         streaming_batch(name, spec_keys(specs), {}));
+    }
     return Traits::run(runner, specs, labeled_batch(name));
   }
 
@@ -664,7 +719,9 @@ std::vector<typename Traits::Outcome> ShardedSweep::run_grid(
     subset.reserve(to_run.size());
     for (const std::size_t cell : to_run) subset.push_back(specs[cell]);
     const std::vector<Outcome> fresh =
-        Traits::run(runner, subset, labeled_batch(name));
+        Traits::run(runner, subset,
+                    streaming() ? streaming_batch(name, keys, to_run)
+                                : labeled_batch(name));
     for (std::size_t j = 0; j < to_run.size(); ++j) {
       const std::size_t cell = to_run[j];
       outcomes[cell] = fresh[j];

@@ -60,6 +60,7 @@
 #include "sim/shard.h"
 #include "stats/experiment.h"
 #include "stats/serialization.h"
+#include "stats/telemetry.h"
 #include "util/json.h"
 
 namespace specnoc::stats {
@@ -171,6 +172,13 @@ struct SweepOptions {
   /// Worker mode, phase 2: load anchor outcomes from this merged shard
   /// file instead of simulating them.
   std::string anchors_from;
+  /// Live telemetry sink (non-owning; the harness opens it from
+  /// --telemetry-out). Every simulated grid then emits one NDJSON "run"
+  /// frame per cell as it completes, mid-batch — grid, cell, key, status,
+  /// events, wall time, summary counters, and the sampled series when
+  /// batch.telemetry is enabled. Render mode simulates nothing and emits
+  /// nothing.
+  TelemetryStream* telemetry_stream = nullptr;
 };
 
 /// The harness-facing session. Grids registered through it execute
@@ -254,6 +262,15 @@ class ShardedSweep {
   /// options_.batch with "/<name>" appended to a non-empty progress label,
   /// so live progress lines identify the grid being executed.
   BatchOptions labeled_batch(const std::string& name) const;
+
+  /// labeled_batch() plus the live-telemetry hook when a stream is
+  /// attached: on_run_done emits one "run" frame per completed run.
+  /// `cells` maps batch index -> grid cell (empty = identity, for grids
+  /// run in full); `keys` are the grid's spec keys, indexed by cell.
+  BatchOptions streaming_batch(const std::string& name,
+                               std::vector<std::string> keys,
+                               std::vector<std::size_t> cells) const;
+  bool streaming() const { return options_.telemetry_stream != nullptr; }
 
   void flush() const;
 

@@ -1,0 +1,314 @@
+#include "stats/telemetry.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "util/contract.h"
+#include "util/error.h"
+#include "noc/network.h"
+#include "stats/metrics.h"
+
+namespace specnoc::stats {
+
+double TelemetryEpoch::events_per_second() const {
+  const TimePs span = end_ps - start_ps;
+  if (span <= 0) return 0.0;
+  // events / (span ps) * 1e12 ps/s.
+  return static_cast<double>(events) * 1e12 / static_cast<double>(span);
+}
+
+bool operator==(const TelemetryEpoch& a, const TelemetryEpoch& b) {
+  return a.start_ps == b.start_ps && a.end_ps == b.end_ps &&
+         a.events == b.events && a.kills == b.kills &&
+         a.prealloc_hits == b.prealloc_hits &&
+         a.prealloc_misses == b.prealloc_misses &&
+         a.contended_grants == b.contended_grants &&
+         a.watchdog_releases == b.watchdog_releases &&
+         a.pending == b.pending && a.overflow_pending == b.overflow_pending &&
+         a.stall_time_ps == b.stall_time_ps &&
+         a.lane_events == b.lane_events && a.windows == b.windows;
+}
+
+bool operator==(const TelemetrySeries& a, const TelemetrySeries& b) {
+  return a.epoch_ps == b.epoch_ps && a.epochs_total == b.epochs_total &&
+         a.dropped == b.dropped && a.epochs == b.epochs;
+}
+
+namespace {
+
+util::Json epoch_to_json(const TelemetryEpoch& epoch) {
+  util::Json json = util::Json::object();
+  json.set("start_ps", static_cast<std::uint64_t>(epoch.start_ps));
+  json.set("end_ps", static_cast<std::uint64_t>(epoch.end_ps));
+  json.set("events", epoch.events);
+  json.set("kills", epoch.kills);
+  json.set("prealloc_hits", epoch.prealloc_hits);
+  json.set("prealloc_misses", epoch.prealloc_misses);
+  json.set("contended_grants", epoch.contended_grants);
+  json.set("watchdog_releases", epoch.watchdog_releases);
+  json.set("pending", epoch.pending);
+  json.set("overflow_pending", epoch.overflow_pending);
+  util::Json stalls = util::Json::object();
+  for (const auto& [klass, ps] : epoch.stall_time_ps) stalls.set(klass, ps);
+  json.set("stall_time_ps", std::move(stalls));
+  if (!epoch.lane_events.empty()) {
+    util::Json lanes = util::Json::array();
+    for (const std::uint64_t events : epoch.lane_events) {
+      lanes.push_back(events);
+    }
+    json.set("lane_events", std::move(lanes));
+    json.set("windows", epoch.windows);
+  }
+  return json;
+}
+
+TelemetryEpoch epoch_from_json(const util::Json& json) {
+  TelemetryEpoch epoch;
+  epoch.start_ps = static_cast<TimePs>(json.at("start_ps").as_u64());
+  epoch.end_ps = static_cast<TimePs>(json.at("end_ps").as_u64());
+  epoch.events = json.at("events").as_u64();
+  epoch.kills = json.at("kills").as_u64();
+  epoch.prealloc_hits = json.at("prealloc_hits").as_u64();
+  epoch.prealloc_misses = json.at("prealloc_misses").as_u64();
+  epoch.contended_grants = json.at("contended_grants").as_u64();
+  epoch.watchdog_releases = json.at("watchdog_releases").as_u64();
+  epoch.pending = json.at("pending").as_u64();
+  epoch.overflow_pending = json.at("overflow_pending").as_u64();
+  for (const auto& [klass, ps] : json.at("stall_time_ps").members()) {
+    epoch.stall_time_ps.emplace_back(klass, ps.as_u64());
+  }
+  if (const util::Json* lanes = json.find("lane_events")) {
+    for (const util::Json& events : lanes->items()) {
+      epoch.lane_events.push_back(events.as_u64());
+    }
+    epoch.windows = json.at("windows").as_u64();
+  }
+  return epoch;
+}
+
+}  // namespace
+
+util::Json telemetry_series_to_json(const TelemetrySeries& series) {
+  util::Json json = util::Json::object();
+  json.set("epoch_ps", static_cast<std::uint64_t>(series.epoch_ps));
+  json.set("epochs_total", series.epochs_total);
+  json.set("dropped", series.dropped);
+  util::Json epochs = util::Json::array();
+  for (const TelemetryEpoch& epoch : series.epochs) {
+    epochs.push_back(epoch_to_json(epoch));
+  }
+  json.set("epochs", std::move(epochs));
+  return json;
+}
+
+TelemetrySeries telemetry_series_from_json(const util::Json& json) {
+  TelemetrySeries series;
+  series.epoch_ps = static_cast<TimePs>(json.at("epoch_ps").as_u64());
+  series.epochs_total = json.at("epochs_total").as_u64();
+  series.dropped = json.at("dropped").as_u64();
+  for (const util::Json& epoch : json.at("epochs").items()) {
+    series.epochs.push_back(epoch_from_json(epoch));
+  }
+  return series;
+}
+
+TelemetrySampler::TelemetrySampler(TelemetryOptions options)
+    : options_(options) {
+  SPECNOC_EXPECTS(!options_.enabled() || options_.ring_capacity >= 1);
+  series_.epoch_ps = options_.epoch_ps;
+}
+
+void TelemetrySampler::arm(noc::Network& net,
+                           const MetricsRegistry& registry) {
+  SPECNOC_EXPECTS(options_.enabled());
+  SPECNOC_EXPECTS(net_ == nullptr);
+  net_ = &net;
+  registry_ = &registry;
+  interval_start_ = net.now();
+  events_at_start_ = net.executed();
+  counters_at_start_ = registry.telemetry_counters();
+  if (sim::PartitionedScheduler* psched = net.partitioned_scheduler()) {
+    lane_events_at_start_ = psched->per_lane_executed();
+    windows_at_start_ = psched->windows();
+  }
+  net.set_epoch_hook(options_.epoch_ps,
+                     [this](TimePs boundary) { sample(boundary); });
+}
+
+void TelemetrySampler::sample(TimePs boundary) {
+  // The hook fires when an event first lands at or past `boundary`, so the
+  // interval [interval_start_, boundary) has just completed. A quiet
+  // stretch spanning several epochs closes as one wide interval.
+  if (boundary > interval_start_) close_interval(boundary);
+}
+
+void TelemetrySampler::close_interval(TimePs end) {
+  TelemetryEpoch epoch;
+  epoch.start_ps = interval_start_;
+  epoch.end_ps = end;
+  const std::uint64_t executed = net_->executed();
+  epoch.events = executed - events_at_start_;
+  TelemetryCounters now = registry_->telemetry_counters();
+  epoch.kills = now.kills - counters_at_start_.kills;
+  epoch.prealloc_hits = now.prealloc_hits - counters_at_start_.prealloc_hits;
+  epoch.prealloc_misses =
+      now.prealloc_misses - counters_at_start_.prealloc_misses;
+  epoch.contended_grants =
+      now.contended_grants - counters_at_start_.contended_grants;
+  epoch.watchdog_releases =
+      now.watchdog_releases - counters_at_start_.watchdog_releases;
+  epoch.pending = net_->pending();
+  epoch.overflow_pending = net_->overflow_pending();
+  // Interval stall time = run total minus the total at the previous close;
+  // classes quiet in this interval are omitted (delta 0).
+  for (const auto& [klass, total] : now.stall_time_ps) {
+    const auto it = counters_at_start_.stall_time_ps.find(klass);
+    const std::uint64_t before =
+        it != counters_at_start_.stall_time_ps.end() ? it->second : 0;
+    if (total != before) epoch.stall_time_ps.emplace_back(klass, total - before);
+  }
+  if (sim::PartitionedScheduler* psched = net_->partitioned_scheduler()) {
+    std::vector<std::uint64_t> lane_now = psched->per_lane_executed();
+    epoch.lane_events.resize(lane_now.size());
+    for (std::size_t i = 0; i < lane_now.size(); ++i) {
+      epoch.lane_events[i] = lane_now[i] - lane_events_at_start_[i];
+    }
+    epoch.windows = psched->windows() - windows_at_start_;
+    lane_events_at_start_ = std::move(lane_now);
+    windows_at_start_ = psched->windows();
+  }
+  push_epoch(std::move(epoch));
+
+  interval_start_ = end;
+  events_at_start_ = executed;
+  counters_at_start_ = std::move(now);
+}
+
+void TelemetrySampler::push_epoch(TelemetryEpoch epoch) {
+  ++series_.epochs_total;
+  if (series_.epochs.size() >= options_.ring_capacity) {
+    // Flight-recorder semantics: keep the most recent epochs.
+    series_.epochs.erase(series_.epochs.begin());
+    ++series_.dropped;
+  }
+  series_.epochs.push_back(std::move(epoch));
+}
+
+TelemetrySeries TelemetrySampler::finish() {
+  if (net_ != nullptr) {
+    const TimePs end = net_->now();
+    if (end > interval_start_) close_interval(end);
+    net_->clear_epoch_hook();
+    net_ = nullptr;
+    registry_ = nullptr;
+  }
+  return std::move(series_);
+}
+
+void TelemetrySampler::dump_flight_recorder(std::FILE* out) const {
+  std::fprintf(out,
+               "[telemetry] flight recorder: %llu interval(s) observed, "
+               "%zu retained, %llu dropped (epoch %llu ps)\n",
+               static_cast<unsigned long long>(series_.epochs_total),
+               series_.epochs.size(),
+               static_cast<unsigned long long>(series_.dropped),
+               static_cast<unsigned long long>(options_.epoch_ps));
+  for (const TelemetryEpoch& epoch : series_.epochs) {
+    std::uint64_t stall = 0;
+    for (const auto& [klass, ps] : epoch.stall_time_ps) stall += ps;
+    std::fprintf(out,
+                 "[telemetry]   [%llu, %llu) events=%llu kills=%llu "
+                 "prealloc=%llu/%llu grants=%llu pending=%llu+%llu "
+                 "stall=%llups\n",
+                 static_cast<unsigned long long>(epoch.start_ps),
+                 static_cast<unsigned long long>(epoch.end_ps),
+                 static_cast<unsigned long long>(epoch.events),
+                 static_cast<unsigned long long>(epoch.kills),
+                 static_cast<unsigned long long>(epoch.prealloc_hits),
+                 static_cast<unsigned long long>(epoch.prealloc_misses),
+                 static_cast<unsigned long long>(epoch.contended_grants),
+                 static_cast<unsigned long long>(epoch.pending),
+                 static_cast<unsigned long long>(epoch.overflow_pending),
+                 static_cast<unsigned long long>(stall));
+  }
+}
+
+const char* to_string(TelemetryFrameKind kind) {
+  switch (kind) {
+    case TelemetryFrameKind::kStart:
+      return "start";
+    case TelemetryFrameKind::kRun:
+      return "run";
+    case TelemetryFrameKind::kEnd:
+      return "end";
+  }
+  SPECNOC_UNREACHABLE("unknown TelemetryFrameKind");
+}
+
+std::string telemetry_frame_write(TelemetryFrameKind kind, util::Json body) {
+  SPECNOC_EXPECTS(body.is_object());
+  SPECNOC_EXPECTS(body.find("frame") == nullptr);
+  util::Json frame = util::Json::object();
+  frame.set("frame", to_string(kind));
+  for (const auto& [key, value] : body.members()) {
+    frame.set(key, value);
+  }
+  return util::json_write(frame);
+}
+
+TelemetryFrame telemetry_frame_parse(std::string_view line) {
+  TelemetryFrame frame;
+  frame.body = util::json_parse(line);
+  if (!frame.body.is_object()) {
+    throw ConfigError("telemetry frame is not a JSON object");
+  }
+  const util::Json* kind = frame.body.find("frame");
+  if (kind == nullptr) {
+    throw ConfigError("telemetry frame lacks a \"frame\" discriminator");
+  }
+  const std::string& name = kind->as_string();
+  if (name == "start") {
+    frame.kind = TelemetryFrameKind::kStart;
+  } else if (name == "run") {
+    frame.kind = TelemetryFrameKind::kRun;
+  } else if (name == "end") {
+    frame.kind = TelemetryFrameKind::kEnd;
+  } else {
+    throw ConfigError("unknown telemetry frame kind '" + name + "'");
+  }
+  return frame;
+}
+
+struct TelemetryStream::Impl {
+  std::mutex mutex;
+  std::FILE* file = nullptr;
+  bool owned = false;
+};
+
+TelemetryStream::TelemetryStream(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  if (path == "-") {
+    impl_->file = stdout;
+    return;
+  }
+  impl_->file = std::fopen(path.c_str(), "w");
+  if (impl_->file == nullptr) {
+    throw ConfigError("cannot open telemetry output '" + path + "'");
+  }
+  impl_->owned = true;
+}
+
+TelemetryStream::~TelemetryStream() {
+  if (impl_->owned) std::fclose(impl_->file);
+}
+
+void TelemetryStream::emit(TelemetryFrameKind kind, util::Json body) {
+  std::string line = telemetry_frame_write(kind, std::move(body));
+  line.push_back('\n');
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::fwrite(line.data(), 1, line.size(), impl_->file);
+  std::fflush(impl_->file);
+}
+
+}  // namespace specnoc::stats
