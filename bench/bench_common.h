@@ -400,6 +400,12 @@ class MetricsReport {
       entry.set("key", stats::spec_key(outcome.spec));
       entry.set("metrics", stats::to_json(*outcome.metrics));
       spills_total_ += outcome.metrics->dest_spills;
+      spill_bytes_total_ += outcome.metrics->dest_spill_bytes;
+      std::uint64_t arena_bytes = 0;
+      for (const auto& pool : outcome.metrics->arena) {
+        arena_bytes += pool.reserved_bytes;
+      }
+      if (arena_bytes > arena_bytes_peak_) arena_bytes_peak_ = arena_bytes;
       runs_.push_back(std::move(entry));
     }
   }
@@ -415,6 +421,10 @@ class MetricsReport {
     // is checkable from the report alone (exact at --jobs 1, an upper
     // bound under concurrent grids).
     doc.set("dest_spills_total", spills_total_);
+    doc.set("dest_spill_bytes_total", spill_bytes_total_);
+    // Largest single-run arena footprint (slab reservations, all pools) —
+    // the peak simulated-structure memory any one network needed.
+    doc.set("arena_bytes_peak", arena_bytes_peak_);
     util::Json runs = util::Json::array();
     for (auto& entry : runs_) runs.push_back(std::move(entry));
     doc.set("runs", std::move(runs));
@@ -429,6 +439,8 @@ class MetricsReport {
  private:
   std::vector<util::Json> runs_;
   std::uint64_t spills_total_ = 0;
+  std::uint64_t spill_bytes_total_ = 0;
+  std::uint64_t arena_bytes_peak_ = 0;
 };
 
 }  // namespace specnoc::bench

@@ -21,8 +21,8 @@ MeshRouter::MeshRouter(sim::Scheduler& scheduler, noc::SimHooks& hooks,
                        std::uint32_t input_buffer_flits,
                        TimePs sticky_timeout)
     : Node(scheduler, hooks, kind, std::move(name)), topology_(topology),
-      id_(router_id), chars_(chars), buffer_capacity_(input_buffer_flits),
-      sticky_timeout_(sticky_timeout) {
+      id_(router_id), chars_(&nodes::intern_characteristics(chars)),
+      buffer_capacity_(input_buffer_flits), sticky_timeout_(sticky_timeout) {
   SPECNOC_EXPECTS(router_id < topology.n());
   SPECNOC_EXPECTS(input_buffer_flits >= 1);
   SPECNOC_EXPECTS(sticky_timeout > 0);
@@ -70,7 +70,7 @@ void MeshRouter::deliver(const noc::Flit& flit, std::uint32_t in_port) {
   const PortMask spec_request = speculative_ports(flit, in_port);
   if (spec_request != 0) {
     sched().schedule(
-        nodes::disciplined_delay(speculation_latency(), chars_.clock_period,
+        nodes::disciplined_delay(speculation_latency(), chars_->clock_period,
                                  sched().now()),
         [this, flit, in_port, spec_request] {
           in_[in_port].spec_sent =
@@ -79,9 +79,9 @@ void MeshRouter::deliver(const noc::Flit& flit, std::uint32_t in_port) {
   }
   const PortMask needed = compute_needed(flit, in_port);
   const TimePs raw =
-      needed == 0 ? chars_.throttle_latency : chars_.fwd_header;
+      needed == 0 ? chars_->throttle_latency : chars_->fwd_header;
   sched().schedule(
-      nodes::disciplined_delay(raw, chars_.clock_period, sched().now()),
+      nodes::disciplined_delay(raw, chars_->clock_period, sched().now()),
       [this, flit, in_port, needed] {
         // The conventional path now owns the flit; a speculative event
         // firing after this instant must not re-send it.
@@ -136,8 +136,8 @@ void MeshRouter::transmit(const noc::Flit& flit, std::uint32_t out) {
   ++output_state.grant_epoch;
   output(out).send(flit);
   output_state.ready = false;
-  sched().schedule(nodes::disciplined_delay(chars_.fwd_body + chars_.ack_delay,
-                                            chars_.clock_period,
+  sched().schedule(nodes::disciplined_delay(chars_->fwd_body + chars_->ack_delay,
+                                            chars_->clock_period,
                                             sched().now()),
                    [this, out] {
                      out_[out].ready = true;
@@ -173,8 +173,8 @@ void MeshRouter::enqueue(const noc::Flit& flit, std::uint32_t port,
 }
 
 void MeshRouter::ack_input(std::uint32_t port) {
-  sched().schedule(nodes::disciplined_delay(chars_.ack_delay,
-                                            chars_.clock_period,
+  sched().schedule(nodes::disciplined_delay(chars_->ack_delay,
+                                            chars_->clock_period,
                                             sched().now()),
                    [this, port] {
                      SPECNOC_ASSERT(in_[port].channel_busy);

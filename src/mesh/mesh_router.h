@@ -75,7 +75,9 @@ class MeshRouter : public noc::Node {
   bool valid_tree_arrival(const noc::Flit& flit, std::uint32_t in_port) const;
 
   const MeshTopology& topology() const { return topology_; }
-  const nodes::NodeCharacteristics& characteristics() const { return chars_; }
+  const nodes::NodeCharacteristics& characteristics() const {
+    return *chars_;
+  }
 
  private:
   struct BufferedFlit {
@@ -118,7 +120,7 @@ class MeshRouter : public noc::Node {
 
   const MeshTopology& topology_;
   std::uint32_t id_;
-  nodes::NodeCharacteristics chars_;
+  const nodes::NodeCharacteristics* chars_;  ///< interned, shared
   std::uint32_t buffer_capacity_;
   TimePs sticky_timeout_;
   std::array<InputState, kNumPorts> in_;

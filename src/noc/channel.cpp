@@ -14,6 +14,7 @@ Channel::Channel(sim::Scheduler& scheduler, SimHooks& hooks,
       name_(std::move(name)) {
   SPECNOC_EXPECTS(params_.delay_fwd >= 0 && params_.delay_ack >= 0);
   SPECNOC_EXPECTS(params_.capacity >= 1);
+  queue_.reserve(params_.capacity);
   down_sched_ = &scheduler_;
 }
 
@@ -31,20 +32,19 @@ void Channel::connect(Node& up, std::uint32_t up_port, Node& down,
 void Channel::make_cross_partition(sim::PartitionedScheduler& psched,
                                    std::uint32_t up_lane,
                                    std::uint32_t down_lane) {
-  SPECNOC_EXPECTS(!cross_ && queue_.empty() && !send_outstanding_);
+  SPECNOC_EXPECTS(cross_ == nullptr && queue_.empty() && !send_outstanding_);
   SPECNOC_EXPECTS(up_lane != down_lane);
-  cross_ = true;
-  psched_ = &psched;
-  up_lane_ = up_lane;
-  down_lane_ = down_lane;
+  cross_ = std::make_unique<CrossState>();
+  cross_->psched = &psched;
+  cross_->up_lane = up_lane;
+  cross_->down_lane = down_lane;
   down_sched_ = &psched.lane(down_lane);
-  fwd_drain_ = psched.add_drain([this] { drain_forward(); });
-  credit_drain_ = psched.add_drain([this] { drain_credits(); });
+  cross_->fwd_drain = psched.add_drain([this] { drain_forward(); });
+  cross_->credit_drain = psched.add_drain([this] { drain_credits(); });
 }
 
 std::uint32_t Channel::occupancy() const {
-  return static_cast<std::uint32_t>(queue_.size()) +
-         (awaiting_node_ack_ ? 1u : 0u);
+  return queue_.size() + (awaiting_node_ack_ ? 1u : 0u);
 }
 
 void Channel::send(const Flit& flit) {
@@ -55,7 +55,7 @@ void Channel::send(const Flit& flit) {
   if (hooks_.energy != nullptr) {
     hooks_.energy->on_channel_flit(params_.length, scheduler_.now());
   }
-  if (cross_) {
+  if (cross_ != nullptr) {
     send_cross(flit);
     return;
   }
@@ -74,50 +74,53 @@ void Channel::send(const Flit& flit) {
 
 void Channel::send_cross(const Flit& flit) {
   const TimePs now = scheduler_.now();
-  if (fwd_box_.empty()) psched_->note_dirty(up_lane_, fwd_drain_);
-  fwd_box_.push_back({flit, now + params_.delay_fwd});
-  const std::uint64_t k = ++sends_;
+  CrossState& x = *cross_;
+  if (x.fwd_box.empty()) x.psched->note_dirty(x.up_lane, x.fwd_drain);
+  x.fwd_box.push_back({flit, now + params_.delay_fwd});
+  const std::uint64_t k = ++x.sends;
   // Credit-counted mirror of the sequential occupancy check: the k-th flit
   // finds a free FIFO slot iff at least k - capacity + 1 downstream acks
   // have already happened. Acks from the current window are still in the
   // mailbox; deferring the release to the credit drain yields the identical
   // release time max(send, ack) + delay_ack either way.
-  if (credits_seen_ + params_.capacity >= k + 1) {
+  if (x.credits_seen + params_.capacity >= k + 1) {
     release_upstream();
   } else {
-    SPECNOC_ASSERT(!release_pending_);
-    release_pending_ = true;
-    release_needs_ = k + 1 - params_.capacity;
-    release_send_time_ = now;
+    SPECNOC_ASSERT(!x.release_pending);
+    x.release_pending = true;
+    x.release_needs = k + 1 - params_.capacity;
+    x.release_send_time = now;
   }
 }
 
 void Channel::drain_forward() {
-  for (const QueuedFlit& queued : fwd_box_) queue_.push_back(queued);
-  fwd_box_.clear();
+  CrossState& x = *cross_;
+  for (const QueuedFlit& queued : x.fwd_box) queue_.push_back(queued);
+  x.fwd_box.clear();
   try_deliver();
 }
 
 void Channel::drain_credits() {
-  for (const TimePs when : credit_box_) {
-    ++credits_seen_;
-    if (!release_pending_ || credits_seen_ != release_needs_) continue;
-    release_pending_ = false;
+  CrossState& x = *cross_;
+  for (const TimePs when : x.credit_box) {
+    ++x.credits_seen;
+    if (!x.release_pending || x.credits_seen != x.release_needs) continue;
+    x.release_pending = false;
     // The upstream genuinely stalled only if the freeing ack came after the
     // send. (A same-picosecond tie is counted as no stall; the sequential
     // kernel's answer would depend on intra-tick event order, which has no
     // cross-lane equivalent — see DESIGN.md.)
-    if (when > release_send_time_ && hooks_.metrics != nullptr) {
-      hooks_.metrics->on_channel_stall(*this, release_send_time_, when);
+    if (when > x.release_send_time && hooks_.metrics != nullptr) {
+      hooks_.metrics->on_channel_stall(*this, x.release_send_time, when);
     }
-    const TimePs at = std::max(release_send_time_, when) + params_.delay_ack;
+    const TimePs at = std::max(x.release_send_time, when) + params_.delay_ack;
     SPECNOC_ASSERT(send_outstanding_);
     scheduler_.schedule_at(at, [this] {
       send_outstanding_ = false;
       up_->on_output_ack(up_port_);
     });
   }
-  credit_box_.clear();
+  x.credit_box.clear();
 }
 
 void Channel::try_deliver() {
@@ -140,11 +143,12 @@ void Channel::try_deliver() {
 void Channel::ack() {
   SPECNOC_EXPECTS(awaiting_node_ack_);
   awaiting_node_ack_ = false;
-  if (cross_) {
+  if (cross_ != nullptr) {
     // Every ack is a credit for the upstream half, consumed at the next
     // window barrier.
-    if (credit_box_.empty()) psched_->note_dirty(down_lane_, credit_drain_);
-    credit_box_.push_back(down_sched_->now());
+    CrossState& x = *cross_;
+    if (x.credit_box.empty()) x.psched->note_dirty(x.down_lane, x.credit_drain);
+    x.credit_box.push_back(down_sched_->now());
   } else if (send_outstanding_ && occupancy() + 1 == params_.capacity) {
     // The upstream was stalled on a full pipe; this ack frees a slot.
     if (stalled_) {

@@ -19,11 +19,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sim/scheduler.h"
+#include "util/ring.h"
 #include "util/units.h"
 #include "noc/flit.h"
 #include "noc/hooks.h"
@@ -89,12 +90,36 @@ class Channel {
   /// Must be called before any traffic flows.
   void make_cross_partition(sim::PartitionedScheduler& psched,
                             std::uint32_t up_lane, std::uint32_t down_lane);
-  bool cross_partition() const { return cross_; }
+  bool cross_partition() const { return cross_ != nullptr; }
 
  private:
   struct QueuedFlit {
     Flit flit;
     TimePs ready_at;  ///< when it reaches the far end of the wire
+  };
+
+  // Cross-partition state, boxed: almost every channel of a partitioned
+  // network is intra-partition (only the MoT middle / mesh row-boundary
+  // links cross lanes), so the mailboxes and credit bookkeeping live behind
+  // one pointer instead of widening all ~3M channels of a large-radix
+  // build. The upstream lane owns sends/credits_seen and the release
+  // bookkeeping; the downstream lane owns queue_ and the delivery
+  // handshake. The mailboxes are written by one lane during a window and
+  // read only in the window barrier's serial section, so they need no
+  // locks.
+  struct CrossState {
+    sim::PartitionedScheduler* psched = nullptr;
+    std::uint32_t up_lane = 0;
+    std::uint32_t down_lane = 0;
+    std::uint32_t fwd_drain = 0;
+    std::uint32_t credit_drain = 0;
+    std::uint64_t sends = 0;         ///< flits sent (up lane)
+    std::uint64_t credits_seen = 0;  ///< downstream acks drained (up lane)
+    bool release_pending = false;    ///< a send is waiting for a credit
+    std::uint64_t release_needs = 0; ///< credit count that frees the slot
+    TimePs release_send_time = 0;    ///< when the waiting send happened
+    std::vector<QueuedFlit> fwd_box;  ///< up -> down mailbox
+    std::vector<TimePs> credit_box;   ///< down -> up mailbox (ack times)
   };
 
   void try_deliver();
@@ -112,7 +137,10 @@ class Channel {
   std::uint32_t up_port_ = 0;
   std::uint32_t down_port_ = 0;
 
-  std::deque<QueuedFlit> queue_;
+  /// In-flight flits; never holds more than params_.capacity entries (the
+  /// send()/credit preconditions bound occupancy), so the default capacity-2
+  /// pipelines stay heap-free.
+  util::BoundedRing<QueuedFlit, 2> queue_;
   bool head_scheduled_ = false;    ///< delivery event pending for the head
   bool awaiting_node_ack_ = false; ///< a flit is at the node, not yet acked
   bool send_outstanding_ = false;  ///< upstream has not been re-acked yet
@@ -120,25 +148,8 @@ class Channel {
   TimePs stall_start_ = 0;         ///< when the pipe went full
   std::uint64_t flits_carried_ = 0;
 
-  // Cross-partition state. The upstream lane owns sends_/credits_seen_ and
-  // the release bookkeeping; the downstream lane owns queue_ and the
-  // delivery handshake above. The mailboxes are written by one lane during
-  // a window and read only in the window barrier's serial section, so they
-  // need no locks.
-  bool cross_ = false;
-  sim::PartitionedScheduler* psched_ = nullptr;
-  sim::Scheduler* down_sched_ = nullptr;  ///< == &scheduler_ when !cross_
-  std::uint32_t up_lane_ = 0;
-  std::uint32_t down_lane_ = 0;
-  std::uint32_t fwd_drain_ = 0;
-  std::uint32_t credit_drain_ = 0;
-  std::uint64_t sends_ = 0;         ///< flits sent (up lane)
-  std::uint64_t credits_seen_ = 0;  ///< downstream acks drained (up lane)
-  bool release_pending_ = false;    ///< a send is waiting for a credit
-  std::uint64_t release_needs_ = 0; ///< credit count that frees the slot
-  TimePs release_send_time_ = 0;    ///< when the waiting send happened
-  std::vector<QueuedFlit> fwd_box_;  ///< up -> down mailbox
-  std::vector<TimePs> credit_box_;   ///< down -> up mailbox (ack times)
+  sim::Scheduler* down_sched_ = nullptr;  ///< == &scheduler_ when !cross
+  std::unique_ptr<CrossState> cross_;     ///< null for intra-lane channels
 };
 
 }  // namespace specnoc::noc

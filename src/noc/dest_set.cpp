@@ -1,6 +1,8 @@
 #include "noc/dest_set.h"
 
 #include <algorithm>
+#include <bit>
+#include <mutex>
 
 #include "util/error.h"
 
@@ -9,11 +11,117 @@ namespace specnoc::noc {
 namespace {
 
 std::atomic<std::uint64_t> g_spill_allocations{0};
+std::atomic<std::uint64_t> g_spill_bytes{0};
+std::atomic<std::uint64_t> g_spill_reuses{0};
+std::atomic<bool> g_spill_pooling{true};
+
+// Outstanding blocks and their high-water mark, tracked *per word count*:
+// the freelists are size-segregated, so the bound "raw allocations never
+// exceed peak simultaneous demand" only holds class by class (a raw
+// allocation for 5-word sets can happen while 3-word blocks sit parked).
+// spill_outstanding()/spill_high_water() report the sums.
+std::atomic<std::uint64_t> g_spill_out_by_words[DestSet::kMaxWords + 1]{};
+std::atomic<std::uint64_t> g_spill_hw_by_words[DestSet::kMaxWords + 1]{};
+
+/// Per-word-count freelists of released spill blocks, linked intrusively
+/// through each block's first word (every block has >= 2 words, so the link
+/// always fits). Blocks stay parked here until trim_spill_pool(), keeping
+/// them reachable from this static for leak checkers.
+struct SpillPool {
+  std::mutex mu;
+  std::uint64_t* free_head[DestSet::kMaxWords + 1] = {};
+};
+
+SpillPool& spill_pool() {
+  static SpillPool pool;
+  return pool;
+}
 
 }  // namespace
 
 std::uint64_t DestSet::spill_allocations() {
   return g_spill_allocations.load(std::memory_order_relaxed);
+}
+std::uint64_t DestSet::spill_bytes() {
+  return g_spill_bytes.load(std::memory_order_relaxed);
+}
+std::uint64_t DestSet::spill_reuses() {
+  return g_spill_reuses.load(std::memory_order_relaxed);
+}
+std::uint64_t DestSet::spill_outstanding() {
+  std::uint64_t total = 0;
+  for (std::uint32_t w = 0; w <= kMaxWords; ++w) {
+    total += g_spill_out_by_words[w].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+std::uint64_t DestSet::spill_high_water() {
+  std::uint64_t total = 0;
+  for (std::uint32_t w = 0; w <= kMaxWords; ++w) {
+    total += g_spill_hw_by_words[w].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+void DestSet::set_spill_pooling(bool enabled) {
+  g_spill_pooling.store(enabled, std::memory_order_relaxed);
+}
+bool DestSet::spill_pooling() {
+  return g_spill_pooling.load(std::memory_order_relaxed);
+}
+
+void DestSet::trim_spill_pool() {
+  SpillPool& pool = spill_pool();
+  const std::lock_guard<std::mutex> lock(pool.mu);
+  for (std::uint32_t words = 0; words <= kMaxWords; ++words) {
+    std::uint64_t* block = pool.free_head[words];
+    pool.free_head[words] = nullptr;
+    while (block != nullptr) {
+      std::uint64_t* next = std::bit_cast<std::uint64_t*>(block[0]);
+      delete[] block;
+      block = next;
+    }
+  }
+}
+
+std::uint64_t* DestSet::acquire_block(std::uint32_t words) {
+  SPECNOC_EXPECTS(words >= 2 && words <= kMaxWords);
+  std::uint64_t* block = nullptr;
+  if (g_spill_pooling.load(std::memory_order_relaxed)) {
+    SpillPool& pool = spill_pool();
+    const std::lock_guard<std::mutex> lock(pool.mu);
+    block = pool.free_head[words];
+    if (block != nullptr) {
+      pool.free_head[words] = std::bit_cast<std::uint64_t*>(block[0]);
+    }
+  }
+  if (block != nullptr) {
+    g_spill_reuses.fetch_add(1, std::memory_order_relaxed);
+    std::fill(block, block + words, 0);
+  } else {
+    g_spill_allocations.fetch_add(1, std::memory_order_relaxed);
+    g_spill_bytes.fetch_add(std::uint64_t{words} * sizeof(std::uint64_t),
+                            std::memory_order_relaxed);
+    block = new std::uint64_t[words]();
+  }
+  const std::uint64_t live =
+      g_spill_out_by_words[words].fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t hw = g_spill_hw_by_words[words].load(std::memory_order_relaxed);
+  while (live > hw && !g_spill_hw_by_words[words].compare_exchange_weak(
+                          hw, live, std::memory_order_relaxed)) {
+  }
+  return block;
+}
+
+void DestSet::release_block(std::uint64_t* block, std::uint32_t words) {
+  g_spill_out_by_words[words].fetch_sub(1, std::memory_order_relaxed);
+  if (g_spill_pooling.load(std::memory_order_relaxed)) {
+    SpillPool& pool = spill_pool();
+    const std::lock_guard<std::mutex> lock(pool.mu);
+    block[0] = std::bit_cast<std::uint64_t>(pool.free_head[words]);
+    pool.free_head[words] = block;
+    return;
+  }
+  delete[] block;
 }
 
 void DestSet::copy_from(const DestSet& other) {
@@ -22,9 +130,9 @@ void DestSet::copy_from(const DestSet& other) {
     word_ = other.word_;
     return;
   }
-  g_spill_allocations.fetch_add(1, std::memory_order_relaxed);
-  heap_ = new std::uint64_t[num_words_];
-  std::copy(other.heap_, other.heap_ + num_words_, heap_);
+  std::uint64_t* fresh = acquire_block(num_words_);
+  std::copy(other.heap_, other.heap_ + num_words_, fresh);
+  heap_ = fresh;
 }
 
 void DestSet::grow(std::uint32_t words_needed) {
@@ -36,8 +144,7 @@ void DestSet::grow(std::uint32_t words_needed) {
   // destination at a time).
   const std::uint32_t new_words =
       std::min(kMaxWords, std::max(words_needed, num_words_ * 2));
-  g_spill_allocations.fetch_add(1, std::memory_order_relaxed);
-  std::uint64_t* fresh = new std::uint64_t[new_words]();
+  std::uint64_t* fresh = acquire_block(new_words);
   const std::uint64_t* old = words_ptr();
   std::copy(old, old + num_words_, fresh);
   destroy();

@@ -366,12 +366,40 @@ class DestSet {
   /// input.
   static DestSet from_hex(const std::string& hex);
 
-  // -- allocation accounting ----------------------------------------------
+  // -- allocation accounting / spill pool ----------------------------------
 
-  /// Process-wide count of heap spills (grow() calls). The zero-alloc CI
-  /// assertion samples this around a radix <= 64 run; the counter is only
-  /// touched on the spill path, never on inline operations.
+  /// Process-wide count of *raw* heap spills (operator new[] calls on the
+  /// spill path). With pooling on (the default) a released multi-word block
+  /// goes to a per-word-count freelist and is reused, so this counter is
+  /// the pool's high-water mark of simultaneously live blocks, not the
+  /// multicast traffic volume — bounded for any steady-state workload. With
+  /// pooling off every spill is a raw allocation, restoring the pre-pool
+  /// meaning (the differential tests compare both modes). The zero-alloc CI
+  /// assertion at radix <= 64 is unaffected: inline sets never touch the
+  /// spill path in either mode.
   static std::uint64_t spill_allocations();
+  /// Bytes obtained via raw spill allocations (the pool's footprint —
+  /// monotonic, since pooled blocks are recycled rather than freed).
+  static std::uint64_t spill_bytes();
+  /// Freelist hits (spills served without allocating).
+  static std::uint64_t spill_reuses();
+  /// Multi-word blocks currently live (acquired and not yet released).
+  static std::uint64_t spill_outstanding();
+  /// Peak simultaneous demand, summed per block size (the freelists are
+  /// size-segregated, so the per-size high-water marks are what bound
+  /// allocations). With pooling on, spill_allocations() <=
+  /// spill_high_water() always holds: a raw allocation of a given size
+  /// happens only when every previously allocated block of that size is
+  /// outstanding — the CI gate.
+  static std::uint64_t spill_high_water();
+  /// Toggles pooled spills (default on). Safe at any point: blocks are
+  /// new[]-allocated in both modes, so either mode can release blocks
+  /// acquired under the other.
+  static void set_spill_pooling(bool enabled);
+  static bool spill_pooling();
+  /// Frees every block parked on the freelists (counters keep their
+  /// values). For tests that want a clean heap between modes.
+  static void trim_spill_pool();
 
  private:
   const std::uint64_t* words_ptr() const {
@@ -385,9 +413,12 @@ class DestSet {
   /// header so the inline fast path stays small (and GCC's array-bounds
   /// analysis never sees a heap store through the union).
   void set_slow(std::uint32_t d);
+  /// Spill-block lifecycle, out of line (pool bookkeeping).
+  static std::uint64_t* acquire_block(std::uint32_t words);
+  static void release_block(std::uint64_t* block, std::uint32_t words);
   void destroy() {
     if (num_words_ > 1) {
-      delete[] heap_;
+      release_block(heap_, num_words_);
     }
   }
 

@@ -216,10 +216,10 @@ Channel& Network::add_channel(ChannelParams params, std::string name,
                               Node& up, std::uint32_t up_port, Node& down,
                               std::uint32_t down_port) {
   // The channel's home lane is the upstream node's: send() runs there.
-  auto channel = std::make_unique<Channel>(lane(up.partition()), hooks_,
-                                           params, std::move(name));
-  Channel& ref = *channel;
-  channels_.push_back(std::move(channel));
+  Channel& ref = *arena_.create<Channel>(lane(up.partition()), hooks_,
+                                         params, std::move(name));
+  arena_.label_pool<Channel>("channel");
+  channels_.push_back(&ref);
   ref.connect(up, up_port, down, down_port);
   if (psched_ != nullptr && up.partition() != down.partition()) {
     const TimePs min_latency = std::min(params.delay_fwd, params.delay_ack);

@@ -7,6 +7,7 @@
 
 #include "sim/partitioned_scheduler.h"
 #include "sim/scheduler.h"
+#include "noc/arena.h"
 #include "noc/channel.h"
 #include "noc/hooks.h"
 #include "noc/node.h"
@@ -83,15 +84,16 @@ class Network {
   void set_epoch_hook(TimePs epoch_ps, sim::Scheduler::EpochHook hook);
   void clear_epoch_hook();
 
-  /// Creates a node of type T (constructed with scheduler and hooks first).
+  /// Creates a node of type T (constructed with scheduler and hooks first)
+  /// in the arena slab for T — stable address, freed with the network.
   template <typename T, typename... Args>
   T& add_node(Args&&... args) {
-    auto node = std::make_unique<T>(lane(build_partition_), hooks_,
-                                    std::forward<Args>(args)...);
-    T& ref = *node;
-    ref.set_partition(build_partition_);
-    nodes_.push_back(std::move(node));
-    return ref;
+    T* node = arena_.create<T>(lane(build_partition_), hooks_,
+                               std::forward<Args>(args)...);
+    node->set_partition(build_partition_);
+    arena_.label_pool<T>(to_string(node->kind()));
+    nodes_.push_back(node);
+    return *node;
   }
 
   /// Creates a channel and wires it between two node ports. In partitioned
@@ -115,10 +117,13 @@ class Network {
     return static_cast<std::uint32_t>(sinks_.size());
   }
 
-  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
-  const std::vector<std::unique_ptr<Channel>>& channels() const {
-    return channels_;
-  }
+  /// All nodes/channels in construction order (non-owning views into the
+  /// arena slabs).
+  const std::vector<Node*>& nodes() const { return nodes_; }
+  const std::vector<Channel*>& channels() const { return channels_; }
+
+  /// Slab accounting for metrics (per-kind object counts and bytes).
+  const NetworkArena& arena() const { return arena_; }
 
  private:
   unsigned effective_threads() const;
@@ -126,8 +131,9 @@ class Network {
   sim::Scheduler scheduler_;
   SimHooks hooks_;
   PacketStore packets_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::unique_ptr<Channel>> channels_;
+  NetworkArena arena_;  ///< owns every node and channel
+  std::vector<Node*> nodes_;
+  std::vector<Channel*> channels_;
   std::vector<SourceNode*> sources_;
   std::vector<SinkNode*> sinks_;
 

@@ -41,35 +41,51 @@ const char* to_string(NodeOp op) {
   return "?";
 }
 
+void PortList::put(std::uint32_t port, Channel& channel) {
+  if (port >= cap_) {
+    const std::uint32_t new_cap = port + 1 > cap_ * 2 ? port + 1 : cap_ * 2;
+    Channel** fresh = new Channel*[new_cap]();
+    Channel** old = data();
+    for (std::uint32_t i = 0; i < size_; ++i) fresh[i] = old[i];
+    if (cap_ > kInline) delete[] heap_;
+    heap_ = fresh;
+    cap_ = new_cap;
+  } else if (port >= size_) {
+    Channel** slots = data();
+    for (std::uint32_t i = size_; i <= port; ++i) slots[i] = nullptr;
+  }
+  SPECNOC_EXPECTS(data()[port] == nullptr);
+  data()[port] = &channel;
+  if (port >= size_) size_ = port + 1;
+}
+
 Node::Node(sim::Scheduler& scheduler, SimHooks& hooks, NodeKind kind,
            std::string name)
     : scheduler_(scheduler), hooks_(hooks), kind_(kind),
       name_(std::move(name)) {}
 
 void Node::attach_input(std::uint32_t port, Channel& channel) {
-  if (inputs_.size() <= port) inputs_.resize(port + 1, nullptr);
-  SPECNOC_EXPECTS(inputs_[port] == nullptr);
-  inputs_[port] = &channel;
+  inputs_.put(port, channel);
 }
 
 void Node::attach_output(std::uint32_t port, Channel& channel) {
-  if (outputs_.size() <= port) outputs_.resize(port + 1, nullptr);
-  SPECNOC_EXPECTS(outputs_[port] == nullptr);
-  outputs_[port] = &channel;
+  outputs_.put(port, channel);
 }
 
 Channel& Node::input(std::uint32_t port) {
-  SPECNOC_EXPECTS(port < inputs_.size() && inputs_[port] != nullptr);
-  return *inputs_[port];
+  Channel* channel = inputs_.get(port);
+  SPECNOC_EXPECTS(channel != nullptr);
+  return *channel;
 }
 
 Channel& Node::output(std::uint32_t port) {
-  SPECNOC_EXPECTS(port < outputs_.size() && outputs_[port] != nullptr);
-  return *outputs_[port];
+  Channel* channel = outputs_.get(port);
+  SPECNOC_EXPECTS(channel != nullptr);
+  return *channel;
 }
 
 bool Node::has_output(std::uint32_t port) const {
-  return port < outputs_.size() && outputs_[port] != nullptr;
+  return outputs_.get(port) != nullptr;
 }
 
 void Node::record_op(NodeOp op) {

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "sim/scheduler.h"
 #include "noc/flit.h"
@@ -12,6 +11,46 @@
 namespace specnoc::noc {
 
 class Channel;
+
+/// Small-buffer channel-pointer array. Every tree node has degree <= 2, so
+/// ports 0..1 live inline and only the 5-port mesh routers touch the heap —
+/// at 1024 endpoints the old per-node vectors were ~4M small allocations.
+class PortList {
+ public:
+  PortList() { inline_[0] = inline_[1] = nullptr; }
+  ~PortList() {
+    if (cap_ > kInline) delete[] heap_;
+  }
+  PortList(const PortList&) = delete;
+  PortList& operator=(const PortList&) = delete;
+
+  /// Highest attached port + 1.
+  std::uint32_t size() const { return size_; }
+
+  /// Channel at `port` (nullptr when unattached or out of range).
+  Channel* get(std::uint32_t port) const {
+    return port < size_ ? data()[port] : nullptr;
+  }
+
+  /// Attaches `channel` at `port`; the slot must be empty (out-of-line:
+  /// wiring happens once, at build time).
+  void put(std::uint32_t port, Channel& channel);
+
+ private:
+  static constexpr std::uint32_t kInline = 2;
+
+  Channel* const* data() const {
+    return cap_ <= kInline ? inline_ : heap_;
+  }
+  Channel** data() { return cap_ <= kInline ? inline_ : heap_; }
+
+  union {
+    Channel* inline_[kInline];
+    Channel** heap_;
+  };
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInline;
+};
 
 /// Base class for switches and network interfaces.
 ///
@@ -56,12 +95,8 @@ class Node {
   void attach_input(std::uint32_t port, Channel& channel);
   void attach_output(std::uint32_t port, Channel& channel);
 
-  std::uint32_t num_inputs() const {
-    return static_cast<std::uint32_t>(inputs_.size());
-  }
-  std::uint32_t num_outputs() const {
-    return static_cast<std::uint32_t>(outputs_.size());
-  }
+  std::uint32_t num_inputs() const { return inputs_.size(); }
+  std::uint32_t num_outputs() const { return outputs_.size(); }
 
  protected:
   sim::Scheduler& sched() { return scheduler_; }
@@ -87,8 +122,8 @@ class Node {
   std::uint32_t partition_ = 0;
   NodeSite site_;
   std::string name_;
-  std::vector<Channel*> inputs_;
-  std::vector<Channel*> outputs_;
+  PortList inputs_;
+  PortList outputs_;
 };
 
 }  // namespace specnoc::noc

@@ -1,8 +1,26 @@
 #include "nodes/characteristics.h"
 
+#include <deque>
+#include <mutex>
+
 #include "util/contract.h"
 
 namespace specnoc::nodes {
+
+const NodeCharacteristics& intern_characteristics(
+    const NodeCharacteristics& chars) {
+  // A deque gives stable addresses across growth. Linear scan is fine: the
+  // table holds one entry per distinct value ever seen (typically < 20),
+  // and interning happens once per node at build time, not on the hot path.
+  static std::mutex mutex;
+  static std::deque<NodeCharacteristics> interned;
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (const NodeCharacteristics& entry : interned) {
+    if (entry == chars) return entry;
+  }
+  interned.push_back(chars);
+  return interned.back();
+}
 
 TimePs disciplined_delay(TimePs raw, TimePs clock_period, TimePs now) {
   SPECNOC_EXPECTS(raw >= 0 && clock_period >= 0 && now >= 0);

@@ -34,7 +34,28 @@ struct NodeCharacteristics {
   /// completes at the next clock edge — the quantization overhead the
   /// paper's asynchronous design avoids (its 'sub-cycle' operation).
   TimePs clock_period = 0;
+
+  friend bool operator==(const NodeCharacteristics& a,
+                         const NodeCharacteristics& b) {
+    return a.area_um2 == b.area_um2 && a.fwd_header == b.fwd_header &&
+           a.fwd_body == b.fwd_body && a.ack_delay == b.ack_delay &&
+           a.throttle_latency == b.throttle_latency &&
+           a.clock_period == b.clock_period;
+  }
+  friend bool operator!=(const NodeCharacteristics& a,
+                         const NodeCharacteristics& b) {
+    return !(a == b);
+  }
 };
+
+/// Process-wide interner: returns a stable reference to a value equal to
+/// `chars`, deduplicated. Nodes store the returned pointer instead of a
+/// 48-byte copy — a network has millions of nodes but only a handful of
+/// distinct characteristics values (per kind, plus per-run overrides), so
+/// interning shrinks every node and puts the hot latency constants on
+/// shared cache lines. Thread-safe; interned values are never freed.
+const NodeCharacteristics& intern_characteristics(
+    const NodeCharacteristics& chars);
 
 /// Delay from `now` until work of raw duration `raw` completes under the
 /// given clocking discipline: the raw delay itself when asynchronous

@@ -6,10 +6,12 @@ FaninNode::FaninNode(sim::Scheduler& scheduler, noc::SimHooks& hooks,
                      std::string name, const NodeCharacteristics& chars,
                      std::uint32_t input_buffer_flits, TimePs sticky_timeout)
     : Node(scheduler, hooks, noc::NodeKind::kFanin, std::move(name)),
-      chars_(chars), buffer_capacity_(input_buffer_flits),
-      sticky_timeout_(sticky_timeout) {
+      chars_(&intern_characteristics(chars)),
+      buffer_capacity_(input_buffer_flits), sticky_timeout_(sticky_timeout) {
   SPECNOC_EXPECTS(input_buffer_flits >= 1);
   SPECNOC_EXPECTS(sticky_timeout > 0);
+  in_[0].fifo.reserve(buffer_capacity_);
+  in_[1].fifo.reserve(buffer_capacity_);
 }
 
 void FaninNode::deliver(const noc::Flit& flit, std::uint32_t in_port) {
@@ -18,7 +20,7 @@ void FaninNode::deliver(const noc::Flit& flit, std::uint32_t in_port) {
   SPECNOC_ASSERT(!in.channel_busy);
   in.channel_busy = true;
   // Entry stage: input latch + FIFO write take the forward latency.
-  sched().schedule(disciplined_delay(chars_.fwd_header, chars_.clock_period,
+  sched().schedule(disciplined_delay(chars_->fwd_header, chars_->clock_period,
                                      sched().now()),
                    [this, flit, in_port] { enqueue(flit, in_port); });
 }
@@ -37,7 +39,7 @@ void FaninNode::enqueue(const noc::Flit& flit, std::uint32_t port) {
 }
 
 void FaninNode::ack_input(std::uint32_t port) {
-  sched().schedule(chars_.ack_delay, [this, port] {
+  sched().schedule(chars_->ack_delay, [this, port] {
     SPECNOC_ASSERT(in_[port].channel_busy);
     in_[port].channel_busy = false;
     input(port).ack();
@@ -113,8 +115,8 @@ void FaninNode::forward_head(std::uint32_t port) {
   // Mutex + switch recovery before the next grant (rate limiting; not on
   // the zero-load latency path).
   arbiter_ready_ = false;
-  sched().schedule(disciplined_delay(chars_.fwd_body + chars_.ack_delay,
-                                     chars_.clock_period, sched().now()),
+  sched().schedule(disciplined_delay(chars_->fwd_body + chars_->ack_delay,
+                                     chars_->clock_period, sched().now()),
                    [this] {
                      arbiter_ready_ = true;
                      try_grant();

@@ -30,9 +30,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
+#include "util/ring.h"
 #include "noc/channel.h"
 #include "noc/node.h"
 #include "noc/packet.h"
@@ -50,7 +50,7 @@ class FaninNode final : public noc::Node {
   void deliver(const noc::Flit& flit, std::uint32_t in_port) override;
   void on_output_ack(std::uint32_t out_port) override;
 
-  const NodeCharacteristics& characteristics() const { return chars_; }
+  const NodeCharacteristics& characteristics() const { return *chars_; }
 
   /// Introspection (tests, diagnostics).
   bool output_port_free() const { return output_free_; }
@@ -69,7 +69,8 @@ class FaninNode final : public noc::Node {
   struct InputState {
     bool channel_busy = false;  ///< a delivery is in the entry stage
     bool ack_deferred = false;  ///< FIFO was full; channel ack postponed
-    std::deque<BufferedFlit> fifo;
+    /// Bounded by buffer_capacity_ (default 2): inline, no per-node heap.
+    util::BoundedRing<BufferedFlit, 2> fifo;
   };
 
   void enqueue(const noc::Flit& flit, std::uint32_t port);
@@ -77,7 +78,7 @@ class FaninNode final : public noc::Node {
   void try_grant();
   void forward_head(std::uint32_t port);
 
-  NodeCharacteristics chars_;
+  const NodeCharacteristics* chars_;  ///< interned, shared across nodes
   std::uint32_t buffer_capacity_;
   TimePs sticky_timeout_;
   InputState in_[2];

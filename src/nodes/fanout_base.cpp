@@ -8,8 +8,9 @@ FanoutNodeBase::FanoutNodeBase(sim::Scheduler& scheduler,
                                const NodeCharacteristics& chars,
                                noc::DestRange top_span,
                                noc::DestRange bottom_span)
-    : Node(scheduler, hooks, kind, std::move(name)), chars_(chars),
-      top_span_(top_span), bottom_span_(bottom_span) {
+    : Node(scheduler, hooks, kind, std::move(name)),
+      chars_(&intern_characteristics(chars)), top_span_(top_span),
+      bottom_span_(bottom_span) {
   SPECNOC_EXPECTS(chars.fwd_header >= 0 && chars.fwd_body >= 0 &&
                   chars.ack_delay >= 0);
   SPECNOC_EXPECTS(top_span.hi <= bottom_span.lo ||
@@ -21,7 +22,7 @@ void FanoutNodeBase::deliver(const noc::Flit& flit, std::uint32_t in_port) {
   SPECNOC_ASSERT(!input_busy_);
   input_busy_ = true;
   sched().schedule(disciplined_delay(processing_latency(flit),
-                                     chars_.clock_period, sched().now()),
+                                     chars_->clock_period, sched().now()),
                    [this, flit] { process(flit); });
 }
 
@@ -63,7 +64,7 @@ void FanoutNodeBase::throttle(const noc::Flit& flit) {
 }
 
 TimePs FanoutNodeBase::fwd_latency(const noc::Flit& flit) const {
-  return flit.is_header() ? chars_.fwd_header : chars_.fwd_body;
+  return flit.is_header() ? chars_->fwd_header : chars_->fwd_body;
 }
 
 TimePs FanoutNodeBase::processing_latency(const noc::Flit& flit) const {
@@ -89,7 +90,7 @@ void FanoutNodeBase::send_now(std::uint32_t dir, const noc::Flit& flit) {
 
 void FanoutNodeBase::ack_input() {
   sched().schedule(
-      disciplined_delay(chars_.ack_delay, chars_.clock_period, sched().now()),
+      disciplined_delay(chars_->ack_delay, chars_->clock_period, sched().now()),
       [this] {
         SPECNOC_ASSERT(input_busy_);
         input_busy_ = false;

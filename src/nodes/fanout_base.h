@@ -47,7 +47,7 @@ class FanoutNodeBase : public noc::Node {
   void deliver(const noc::Flit& flit, std::uint32_t in_port) final;
   void on_output_ack(std::uint32_t out_port) final;
 
-  const NodeCharacteristics& characteristics() const { return chars_; }
+  const NodeCharacteristics& characteristics() const { return *chars_; }
 
   /// Introspection (tests, deadlock diagnostics).
   bool input_busy() const { return input_busy_; }
@@ -92,7 +92,9 @@ class FanoutNodeBase : public noc::Node {
   void send_now(std::uint32_t dir, const noc::Flit& flit);
   void ack_input();
 
-  NodeCharacteristics chars_;
+  /// Interned (intern_characteristics): one shared value per distinct
+  /// characteristics, not a 48-byte copy per node.
+  const NodeCharacteristics* chars_;
   noc::DestRange top_span_;
   noc::DestRange bottom_span_;
   OutputState out_[2];

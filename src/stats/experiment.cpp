@@ -53,7 +53,8 @@ class ProbeRig {
  public:
   explicit ProbeRig(const RunProbes& probes)
       : probes_(probes),
-        spills_at_start_(noc::DestSet::spill_allocations()) {
+        spills_at_start_(noc::DestSet::spill_allocations()),
+        spill_bytes_at_start_(noc::DestSet::spill_bytes()) {
     if (sampling()) sampler_.emplace(probes_.telemetry);
   }
 
@@ -82,6 +83,14 @@ class ProbeRig {
     if (sampling()) registry_.record_telemetry(sampler_->finish());
     registry_.record_dest_spills(noc::DestSet::spill_allocations() -
                                  spills_at_start_);
+    registry_.record_dest_spill_bytes(noc::DestSet::spill_bytes() -
+                                      spill_bytes_at_start_);
+    std::vector<ArenaPoolMetrics> arena;
+    for (const noc::NetworkArena::PoolUsage& pool : net.arena().usage()) {
+      arena.push_back(
+          {pool.label, pool.objects, pool.bytes, pool.reserved_bytes});
+    }
+    registry_.record_arena(std::move(arena));
     *probes_.metrics = registry_.snapshot();
   }
 
@@ -94,6 +103,7 @@ class ProbeRig {
  private:
   const RunProbes& probes_;
   std::uint64_t spills_at_start_;
+  std::uint64_t spill_bytes_at_start_;
   MetricsRegistry registry_;
   std::optional<TelemetrySampler> sampler_;
 };

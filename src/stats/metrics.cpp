@@ -159,6 +159,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.pdes = pdes_;
   snap.telemetry = telemetry_;
   snap.dest_spills = dest_spills_;
+  snap.dest_spill_bytes = dest_spill_bytes_;
+  snap.arena = arena_;
   return snap;
 }
 

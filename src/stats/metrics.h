@@ -72,6 +72,18 @@ struct ChannelClassMetrics {
 /// ("mid.s3.d5" -> "middle", "fo2.l1i0>1" -> "fanout", ...).
 std::string channel_class(const std::string& name);
 
+/// One slab pool of the network arena (see noc/arena.h), harvested after a
+/// run: `label` is the node-kind string (or "channel"), `bytes` the live
+/// object bytes, `reserved_bytes` the slab capacity including the unused
+/// tail of the last chunk. Purely a memory-layout observation — identical
+/// simulations report identical arena shapes.
+struct ArenaPoolMetrics {
+  std::string label;
+  std::uint64_t objects = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t reserved_bytes = 0;
+};
+
 /// Execution-shape statistics of a partitioned (PDES) run: how the window
 /// protocol behaved, not what the simulation computed. `lanes == 0` means
 /// the run was sequential. Everything here is a function of the topology
@@ -104,6 +116,13 @@ struct MetricsSnapshot {
   /// concurrently; at radix <= 64 it is exactly zero either way (the
   /// zero-alloc invariant the CI smoke checks).
   std::uint64_t dest_spills = 0;
+  /// Raw bytes those spills allocated (same per-run-delta caveats). With
+  /// pooling on this is the growth of the spill pool's footprint during
+  /// the run, not traffic volume.
+  std::uint64_t dest_spill_bytes = 0;
+  /// Per-pool arena usage of the run's network (empty when not harvested —
+  /// serialized only when present, keeping older records byte-stable).
+  std::vector<ArenaPoolMetrics> arena;
 
   bool empty() const { return sites.empty() && channels.empty(); }
 
@@ -144,6 +163,14 @@ class MetricsRegistry final : public noc::MetricsObserver {
 
   /// Attaches the run's DestSet spill delta (see MetricsSnapshot field).
   void record_dest_spills(std::uint64_t spills) { dest_spills_ = spills; }
+  void record_dest_spill_bytes(std::uint64_t bytes) {
+    dest_spill_bytes_ = bytes;
+  }
+
+  /// Attaches the network's arena usage (see MetricsSnapshot field).
+  void record_arena(std::vector<ArenaPoolMetrics> arena) {
+    arena_ = std::move(arena);
+  }
 
   MetricsSnapshot snapshot() const;
 
@@ -159,6 +186,8 @@ class MetricsRegistry final : public noc::MetricsObserver {
   PdesMetrics pdes_;
   TelemetrySeries telemetry_;
   std::uint64_t dest_spills_ = 0;
+  std::uint64_t dest_spill_bytes_ = 0;
+  std::vector<ArenaPoolMetrics> arena_;
 };
 
 }  // namespace specnoc::stats

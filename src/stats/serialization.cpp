@@ -313,6 +313,23 @@ Json to_json(const MetricsSnapshot& snapshot) {
     json.set("telemetry", telemetry_series_to_json(snapshot.telemetry));
   }
   if (snapshot.dest_spills != 0) json.set("spills", snapshot.dest_spills);
+  if (snapshot.dest_spill_bytes != 0) {
+    json.set("spill_bytes", snapshot.dest_spill_bytes);
+  }
+  // Omit-when-empty like pdes/telemetry: records harvested without arena
+  // accounting (and all pre-arena records) keep their byte layout.
+  if (!snapshot.arena.empty()) {
+    Json arena = Json::array();
+    for (const auto& pool : snapshot.arena) {
+      Json entry = Json::object();
+      entry.set("pool", pool.label);
+      entry.set("objects", pool.objects);
+      entry.set("bytes", pool.bytes);
+      entry.set("reserved_bytes", pool.reserved_bytes);
+      arena.push_back(std::move(entry));
+    }
+    json.set("arena", std::move(arena));
+  }
   return json;
 }
 
@@ -361,6 +378,19 @@ MetricsSnapshot metrics_snapshot_from_json(const Json& json) {
   }
   if (const Json* spills = json.find("spills"); spills != nullptr) {
     snapshot.dest_spills = spills->as_u64();
+  }
+  if (const Json* bytes = json.find("spill_bytes"); bytes != nullptr) {
+    snapshot.dest_spill_bytes = bytes->as_u64();
+  }
+  if (const Json* arena = json.find("arena"); arena != nullptr) {
+    for (const Json& entry : arena->items()) {
+      ArenaPoolMetrics pool;
+      pool.label = entry.at("pool").as_string();
+      pool.objects = entry.at("objects").as_u64();
+      pool.bytes = entry.at("bytes").as_u64();
+      pool.reserved_bytes = entry.at("reserved_bytes").as_u64();
+      snapshot.arena.push_back(std::move(pool));
+    }
   }
   return snapshot;
 }

@@ -280,5 +280,107 @@ TEST(DestSetMultiWordTest, CopyAndMovePreserveValue) {
   EXPECT_TRUE(assigned.test(7));
 }
 
+// ---------------------------------------------------------------------------
+// Spill pool: pooled and raw modes must be observably identical, and the
+// pool's accounting must uphold the boundedness invariant CI gates on.
+
+/// The randomized multi-word op sequence (the radix-4096 counterpart of the
+/// differential suite above), fingerprinted: every observable output —
+/// membership, algebra results, codec round-trips, hashes — folds into the
+/// returned strings, so two runs agree iff every observable byte agreed.
+std::vector<std::string> spill_op_fingerprint(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> log;
+  DestSet a;
+  DestSet b;
+  for (int op = 0; op < 2000; ++op) {
+    const auto d = static_cast<std::uint32_t>(rng.uniform_below(4096));
+    switch (rng.uniform_below(8)) {
+      case 0:
+        a.set(d);
+        break;
+      case 1:
+        b.set(d);
+        break;
+      case 2:
+        a.reset(d);
+        break;
+      case 3:
+        a |= b;
+        break;
+      case 4:
+        b &= a;
+        break;
+      case 5:
+        a.remove(b);
+        break;
+      case 6: {
+        const auto lo = static_cast<std::uint32_t>(rng.uniform_below(4096));
+        const auto hi = lo + static_cast<std::uint32_t>(
+                                 rng.uniform_below(4097 - lo));
+        a = a.subtree_slice({lo, hi}) | b;
+        break;
+      }
+      default: {
+        DestSet copy = a;  // exercise spill copy + destroy
+        copy.set(d);
+        log.push_back(copy.to_hex());
+        break;
+      }
+    }
+    if (op % 97 == 0) {
+      log.push_back(a.to_hex() + "/" + std::to_string(a.hash()) + "/" +
+                    std::to_string(b.count()));
+      EXPECT_EQ(DestSet::from_hex(a.to_hex()), a);
+    }
+  }
+  log.push_back(a.to_hex());
+  log.push_back(b.to_hex());
+  return log;
+}
+
+TEST(DestSetSpillPoolTest, PooledAndRawModesAreObservablyIdentical) {
+  const bool was_pooling = DestSet::spill_pooling();
+  DestSet::set_spill_pooling(true);
+  const auto pooled = spill_op_fingerprint(0x9001u);
+  DestSet::set_spill_pooling(false);
+  const auto raw = spill_op_fingerprint(0x9001u);
+  DestSet::set_spill_pooling(was_pooling);
+  DestSet::trim_spill_pool();
+  EXPECT_EQ(pooled, raw);
+}
+
+TEST(DestSetSpillPoolTest, PoolReusesBlocksAndBoundsRawAllocations) {
+  const bool was_pooling = DestSet::spill_pooling();
+  DestSet::set_spill_pooling(true);
+  const auto allocs_before = DestSet::spill_allocations();
+  const auto reuses_before = DestSet::spill_reuses();
+  // Sequentially create and destroy spilled sets of one size: after the
+  // first, every acquisition must come from the freelist.
+  for (int i = 0; i < 100; ++i) {
+    DestSet s;
+    s.set(100);  // 2-word spill
+    EXPECT_TRUE(s.test(100));
+  }
+  const auto allocs = DestSet::spill_allocations() - allocs_before;
+  const auto reuses = DestSet::spill_reuses() - reuses_before;
+  EXPECT_LE(allocs, 1u);  // 0 if a 2-word block was already parked
+  EXPECT_GE(reuses, 99u);
+  // The process-wide boundedness invariant (the CI gate): raw allocations
+  // of each size only happen when all prior blocks of that size are live.
+  EXPECT_LE(DestSet::spill_allocations(), DestSet::spill_high_water());
+  DestSet::set_spill_pooling(was_pooling);
+}
+
+TEST(DestSetSpillPoolTest, OutstandingTracksLiveSpilledSets) {
+  const auto outstanding_before = DestSet::spill_outstanding();
+  {
+    DestSet s = DestSet::single(4000);
+    DestSet t = s;
+    EXPECT_EQ(DestSet::spill_outstanding(), outstanding_before + 2);
+  }
+  EXPECT_EQ(DestSet::spill_outstanding(), outstanding_before);
+}
+
 }  // namespace
 }  // namespace specnoc::noc
