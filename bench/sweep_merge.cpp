@@ -30,6 +30,7 @@
 #include "stats/telemetry.h"
 #include "util/cli.h"
 #include "util/error.h"
+#include "util/fswait.h"
 #include "util/json.h"
 
 namespace {
@@ -165,6 +166,11 @@ struct FollowView {
   }
 };
 
+/// How many --poll-ms intervals follow_stream waits for a stream file
+/// that does not exist yet (the harness usually starts a beat after the
+/// tail does). 120 polls at the default 500 ms = one minute.
+constexpr unsigned kAppearPolls = 120;
+
 /// Tails an NDJSON telemetry stream. Only complete lines (newline-
 /// terminated) are parsed — a frame mid-write is left for the next poll.
 /// Returns 0 after the end frame, 3 when --once hit EOF before it.
@@ -172,6 +178,16 @@ int follow_stream(const std::string& path, bool once, unsigned poll_ms) {
   const bool from_stdin = path == "-";
   std::ifstream file;
   if (!from_stdin) {
+    // A not-yet-created file is the normal start-order race, not an error:
+    // poll until the writer creates it. --once keeps the immediate check
+    // (render what exists *now*), and a genuinely absent file still fails,
+    // just after the bounded wait.
+    const unsigned budget_ms = once ? 0 : kAppearPolls * std::max(poll_ms, 1u);
+    if (!specnoc::util::wait_for_file(path, poll_ms, budget_ms)) {
+      throw specnoc::ConfigError(
+          "cannot read telemetry stream '" + path + "' (waited " +
+          std::to_string(budget_ms) + " ms for it to appear)");
+    }
     file.open(path);
     if (!file) {
       throw specnoc::ConfigError("cannot read telemetry stream '" + path +
@@ -227,7 +243,8 @@ int main(int argc, char** argv) {
                "with --follow: render the frames already present, then exit "
                "instead of waiting for the end frame");
   cli.add_unsigned("--poll-ms", &poll_ms,
-                   "with --follow: tail poll interval in ms");
+                   "with --follow: tail poll interval in ms; also sizes the "
+                   "wait for a not-yet-created stream file (120 polls)");
   cli.add_positional_list("shard.jsonl", &shard_paths,
                           "shard files produced by harness --shard workers "
                           "(with --follow: one telemetry stream file)");

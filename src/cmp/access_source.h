@@ -1,0 +1,49 @@
+// AccessTraceSource: validated, line-mapped view of per-processor access
+// streams — the feed the CmpSystem issues from.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.h"
+#include "workload/synth.h"
+
+namespace specnoc::cmp {
+
+class AccessTraceSource {
+ public:
+  /// Validates the trace once up front; `line_bytes` must be a power of two.
+  AccessTraceSource(const workload::AccessTrace& trace,
+                    std::uint32_t line_bytes)
+      : trace_(trace), line_shift_(shift_of(line_bytes)) {
+    trace.validate();
+  }
+
+  std::uint32_t n() const { return trace_.n; }
+  const std::string& generator() const { return trace_.generator; }
+  std::size_t length(std::uint32_t proc) const {
+    return trace_.streams[proc].size();
+  }
+  const workload::MemAccess& at(std::uint32_t proc, std::size_t i) const {
+    return trace_.streams[proc][i];
+  }
+  std::uint64_t line_of(const workload::MemAccess& access) const {
+    return access.addr >> line_shift_;
+  }
+  std::size_t total_accesses() const { return trace_.total_accesses(); }
+
+ private:
+  static std::uint32_t shift_of(std::uint32_t line_bytes) {
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0) {
+      throw ConfigError("cmp: line_bytes must be a power of two, got " +
+                        std::to_string(line_bytes));
+    }
+    std::uint32_t shift = 0;
+    while ((1u << shift) < line_bytes) ++shift;
+    return shift;
+  }
+
+  const workload::AccessTrace& trace_;
+  std::uint32_t line_shift_;
+};
+
+}  // namespace specnoc::cmp

@@ -1,0 +1,71 @@
+#include "cmp/cache.h"
+
+namespace specnoc::cmp {
+
+PrivateCache::PrivateCache(std::uint32_t sets, std::uint32_t ways)
+    : sets_(sets), ways_(ways), slots_(std::size_t{sets} * ways) {
+  SPECNOC_EXPECTS(sets > 0 && ways > 0);
+}
+
+PrivateCache::Way* PrivateCache::find(std::uint64_t line) {
+  Way* base = &slots_[(line % sets_) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].state != LineState::kInvalid && base[w].line == line) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const PrivateCache::Way* PrivateCache::find(std::uint64_t line) const {
+  return const_cast<PrivateCache*>(this)->find(line);
+}
+
+LineState PrivateCache::state(std::uint64_t line) const {
+  const Way* way = find(line);
+  return way != nullptr ? way->state : LineState::kInvalid;
+}
+
+void PrivateCache::touch(std::uint64_t line) {
+  Way* way = find(line);
+  SPECNOC_EXPECTS(way != nullptr);
+  way->stamp = ++tick_;
+}
+
+PrivateCache::Fill PrivateCache::fill(std::uint64_t line, LineState state) {
+  SPECNOC_EXPECTS(state != LineState::kInvalid);
+  if (Way* way = find(line); way != nullptr) {
+    // Upgrade (S -> M grant) or refill: update in place, no eviction.
+    way->state = state;
+    way->stamp = ++tick_;
+    return Fill{};
+  }
+  Way* base = &slots_[(line % sets_) * ways_];
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].state == LineState::kInvalid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].stamp < victim->stamp) victim = &base[w];
+  }
+  Fill result;
+  if (victim->state == LineState::kModified) {
+    result.evicted_modified = true;
+    result.victim = victim->line;
+  }
+  victim->line = line;
+  victim->state = state;
+  victim->stamp = ++tick_;
+  return result;
+}
+
+bool PrivateCache::invalidate(std::uint64_t line) {
+  Way* way = find(line);
+  if (way == nullptr) return false;
+  const bool was_modified = way->state == LineState::kModified;
+  way->state = LineState::kInvalid;
+  return was_modified;
+}
+
+}  // namespace specnoc::cmp

@@ -1,0 +1,105 @@
+// Private per-processor cache model: set-associative LRU tag array plus an
+// MSHR table that merges same-line misses. Traffic-shape simulation only —
+// tags and states are tracked, data values are not (the sesc-pleasetm
+// PrivateCache plays the same role for its TM coherence layer).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contract.h"
+
+namespace specnoc::cmp {
+
+/// MSI stable states of a line in a private cache.
+enum class LineState : std::uint8_t { kInvalid, kShared, kModified };
+
+class PrivateCache {
+ public:
+  PrivateCache(std::uint32_t sets, std::uint32_t ways);
+
+  /// State of `line`, kInvalid when not present.
+  LineState state(std::uint64_t line) const;
+
+  /// LRU-bumps a present line (a hit).
+  void touch(std::uint64_t line);
+
+  struct Fill {
+    bool evicted_modified = false;
+    std::uint64_t victim = 0;  ///< line that must be written back
+  };
+
+  /// Installs `line` in `state`, upgrading in place when already present.
+  /// A full set evicts its LRU way: modified victims are reported for
+  /// writeback, shared victims are dropped silently — the directory keeps
+  /// the stale sharer, so later invalidation fan-outs depend on history.
+  Fill fill(std::uint64_t line, LineState state);
+
+  /// Drops `line` (directory-initiated); returns true when it held kModified
+  /// (the responder owes data, not just an ack). Missing lines are fine:
+  /// a silently evicted sharer still gets invalidated.
+  bool invalidate(std::uint64_t line);
+
+ private:
+  struct Way {
+    std::uint64_t line = 0;
+    LineState state = LineState::kInvalid;
+    std::uint64_t stamp = 0;  ///< LRU timestamp (monotone per cache)
+  };
+
+  Way* find(std::uint64_t line);
+  const Way* find(std::uint64_t line) const;
+
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> slots_;  ///< sets_ * ways_, set-major
+};
+
+/// One miss entry: all accesses that merged into the same in-flight line.
+struct Mshr {
+  std::uint64_t line = 0;
+  bool exclusive = false;            ///< GetX (write miss / upgrade)
+  std::vector<std::uint32_t> waiters;   ///< op ids retired by this fill
+  std::vector<std::uint32_t> deferred;  ///< writes queued behind a GetS
+};
+
+/// Fixed-size per-processor MSHR file; linear scan (entries are single-digit).
+class MshrTable {
+ public:
+  explicit MshrTable(std::uint32_t entries) : entries_(entries) {}
+
+  Mshr* find(std::uint64_t line) {
+    for (Mshr& m : mshrs_) {
+      if (m.line == line) return &m;
+    }
+    return nullptr;
+  }
+
+  bool full() const { return mshrs_.size() >= entries_; }
+  std::size_t in_flight() const { return mshrs_.size(); }
+
+  Mshr& allocate(std::uint64_t line, bool exclusive) {
+    SPECNOC_EXPECTS(!full() && find(line) == nullptr);
+    mshrs_.push_back(Mshr{line, exclusive, {}, {}});
+    return mshrs_.back();
+  }
+
+  /// Removes and returns the entry for `line` (must exist).
+  Mshr release(std::uint64_t line) {
+    for (std::size_t i = 0; i < mshrs_.size(); ++i) {
+      if (mshrs_[i].line == line) {
+        Mshr out = std::move(mshrs_[i]);
+        mshrs_.erase(mshrs_.begin() + static_cast<std::ptrdiff_t>(i));
+        return out;
+      }
+    }
+    SPECNOC_UNREACHABLE("mshr release of untracked line");
+  }
+
+ private:
+  std::uint32_t entries_;
+  std::vector<Mshr> mshrs_;
+};
+
+}  // namespace specnoc::cmp

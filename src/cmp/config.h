@@ -1,0 +1,46 @@
+// Configuration for the CMP memory-hierarchy co-simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace specnoc::cmp {
+
+/// Parameters of one co-simulated CMP: every endpoint of the underlying
+/// MessageNetwork hosts a processor + private L1; line homes (directory
+/// slices + DRAM ports) are distributed line-interleaved across the same
+/// endpoints.
+struct CmpConfig {
+  std::uint32_t sets = 16;       ///< L1 sets (direct index: line % sets)
+  std::uint32_t ways = 2;        ///< L1 associativity
+  std::uint32_t line_bytes = 64;
+  std::uint32_t mshr_entries = 4;     ///< distinct outstanding miss lines
+  std::uint32_t max_outstanding = 4;  ///< in-flight accesses per processor
+
+  TimePs cache_hit_ps = 200;    ///< L1 lookup / fill latency
+  TimePs directory_ps = 200;    ///< directory slice occupancy per message
+  TimePs dram_access_ps = 4000; ///< fixed DRAM array access time
+  std::uint32_t dram_banks = 4;
+
+  void validate() const {
+    if (sets == 0 || ways == 0) {
+      throw ConfigError("cmp: sets and ways must be >= 1");
+    }
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0) {
+      throw ConfigError("cmp: line_bytes must be a power of two, got " +
+                        std::to_string(line_bytes));
+    }
+    if (mshr_entries == 0 || max_outstanding == 0) {
+      throw ConfigError("cmp: mshr_entries and max_outstanding must be >= 1");
+    }
+    if (cache_hit_ps < 0 || directory_ps < 0 || dram_access_ps < 0) {
+      throw ConfigError("cmp: latencies must be >= 0");
+    }
+    if (dram_banks == 0) throw ConfigError("cmp: dram_banks must be >= 1");
+  }
+};
+
+}  // namespace specnoc::cmp

@@ -1,0 +1,106 @@
+#include "cmp/directory.h"
+
+namespace specnoc::cmp {
+
+bool Directory::admit(std::uint64_t line, DirectoryRequest request) {
+  DirectoryEntry& e = entries_[line];
+  if (e.busy) {
+    e.queue.push_back(request);
+    return false;
+  }
+  e.busy = true;
+  e.request = request;
+  e.pending.clear();
+  e.need_dram = false;
+  e.dram_done = false;
+  return true;
+}
+
+DirectoryAction Directory::begin(std::uint64_t line) {
+  DirectoryEntry& e = entries_[line];
+  SPECNOC_EXPECTS(e.busy);
+  const std::uint32_t p = e.request.proc;
+  DirectoryAction action;
+  if (e.request.exclusive) {
+    // GetX: every other holder must drop the line. The requester may itself
+    // be a (stale or live) sharer — it never acks its own transaction.
+    action.invalidate = e.sharers;
+    action.invalidate.reset(p);
+    const bool upgrade = e.sharers.test(p);
+    const bool owned = e.owner >= 0 && e.owner != static_cast<std::int32_t>(p);
+    action.dram_read = !upgrade && !owned;
+  } else {
+    // GetS: a modified owner is recalled (its WbData carries the line);
+    // otherwise memory supplies it. The "owner" can be the requester itself
+    // when its eviction writeback is still in flight behind this re-read —
+    // then nobody holds the line and memory supplies it.
+    if (e.owner >= 0 && e.owner != static_cast<std::int32_t>(p)) {
+      const auto owner = static_cast<std::uint32_t>(e.owner);
+      action.invalidate.set(owner);
+      e.sharers.reset(owner);  // the recall drops the owner's copy
+      e.owner = -1;
+    } else {
+      e.owner = -1;
+      action.dram_read = true;
+    }
+  }
+  e.pending = action.invalidate;
+  e.need_dram = action.dram_read;
+  return action;
+}
+
+void Directory::ack(std::uint64_t line, std::uint32_t from) {
+  DirectoryEntry& e = entries_[line];
+  if (!e.busy) {
+    // Eviction writeback that raced past the transaction it answered, or
+    // arrived between transactions: just forget the evictor.
+    writeback_idle(line, from);
+    return;
+  }
+  // test-before-reset absorbs a double response (an owner that both evicted
+  // and answered the recall).
+  if (e.pending.test(from)) e.pending.reset(from);
+}
+
+void Directory::dram_complete(std::uint64_t line) {
+  DirectoryEntry& e = entries_[line];
+  SPECNOC_EXPECTS(e.busy && e.need_dram);
+  e.dram_done = true;
+}
+
+bool Directory::ready(std::uint64_t line) const {
+  const auto it = entries_.find(line);
+  if (it == entries_.end() || !it->second.busy) return false;
+  const DirectoryEntry& e = it->second;
+  return e.pending.none() && (!e.need_dram || e.dram_done);
+}
+
+DirectoryRequest Directory::complete(std::uint64_t line, bool* has_next,
+                                     DirectoryRequest* next) {
+  DirectoryEntry& e = entries_[line];
+  SPECNOC_EXPECTS(e.busy && e.pending.none());
+  const DirectoryRequest done = e.request;
+  if (done.exclusive) {
+    e.sharers = noc::DestSet::single(done.proc);
+    e.owner = static_cast<std::int32_t>(done.proc);
+  } else {
+    e.sharers.set(done.proc);
+    e.owner = -1;  // a recalled owner downgraded to memory-backed sharing
+  }
+  e.busy = false;
+  if (has_next != nullptr) *has_next = false;
+  if (!e.queue.empty()) {
+    if (has_next != nullptr) *has_next = true;
+    if (next != nullptr) *next = e.queue.front();
+    e.queue.pop_front();
+  }
+  return done;
+}
+
+void Directory::writeback_idle(std::uint64_t line, std::uint32_t from) {
+  DirectoryEntry& e = entries_[line];
+  if (e.owner == static_cast<std::int32_t>(from)) e.owner = -1;
+  e.sharers.reset(from);
+}
+
+}  // namespace specnoc::cmp

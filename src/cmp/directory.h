@@ -1,0 +1,100 @@
+// Home-node directory state for the MSI protocol.
+//
+// Sharer sets are noc::DestSets, so the invalidation the home generates for
+// a write is *one* multicast message whose fan-out is exactly the
+// history-dependent sharer set — the traffic shape the source paper's
+// speculation mechanism targets. The directory is pure protocol state (no
+// network, no clock): the CmpSystem asks it what a request requires, feeds
+// responder acks back in, and is told when the transaction can complete.
+// One transaction per line is in flight at a time; later requests queue
+// FIFO on the entry (the TMCoherence slice of sesc-pleasetm has the same
+// home-serialized structure).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "noc/dest_set.h"
+#include "util/contract.h"
+
+namespace specnoc::cmp {
+
+struct DirectoryRequest {
+  std::uint32_t proc = 0;
+  bool exclusive = false;  ///< GetX (write) vs GetS (read)
+};
+
+struct DirectoryEntry {
+  // Stable state.
+  noc::DestSet sharers;
+  std::int32_t owner = -1;  ///< kModified holder; when set, sharers == {owner}
+
+  // In-flight transaction (valid while busy).
+  bool busy = false;
+  DirectoryRequest request;
+  noc::DestSet pending;    ///< responders whose ack/data is still out
+  bool need_dram = false;  ///< waiting on a DRAM line read
+  bool dram_done = false;
+  std::deque<DirectoryRequest> queue;
+};
+
+/// What the home node must do to start a transaction.
+struct DirectoryAction {
+  noc::DestSet invalidate;  ///< responders to reach (one multicast message)
+  bool dram_read = false;   ///< line must be fetched from memory
+};
+
+class Directory {
+ public:
+  explicit Directory(std::uint32_t n) : n_(n) { SPECNOC_EXPECTS(n > 0); }
+
+  /// True when `line` can start a transaction now; otherwise the request
+  /// was queued behind the line's in-flight transaction.
+  bool admit(std::uint64_t line, DirectoryRequest request);
+
+  /// Starts the admitted transaction and returns what the home must do.
+  /// GetS with no owner reads DRAM; GetS with an owner recalls the line
+  /// (invalidate-owner, data rides the writeback). GetX invalidates every
+  /// sharer/owner other than the requester; it reads DRAM only when the
+  /// requester is not already a sharer and nobody owns the line (an
+  /// upgrade's data is already on chip; an owner's data rides its WbData).
+  DirectoryAction begin(std::uint64_t line);
+
+  /// Records one responder's InvAck/WbData. Stale responses on an idle
+  /// entry (an eviction writeback racing the next transaction) clear
+  /// ownership instead; double responses for one responder are absorbed.
+  void ack(std::uint64_t line, std::uint32_t from);
+
+  void dram_complete(std::uint64_t line);
+
+  /// All responders in, DRAM done (when needed): the transaction can
+  /// retire.
+  bool ready(std::uint64_t line) const;
+
+  /// Applies the transaction's final state (sharers/owner), returns the
+  /// request that just completed, and un-queues the next request for the
+  /// line (reported through `next`, nullptr-safe).
+  DirectoryRequest complete(std::uint64_t line, bool* has_next,
+                            DirectoryRequest* next);
+
+  /// Eviction writeback arriving outside any transaction: the evictor
+  /// stops being owner/sharer.
+  void writeback_idle(std::uint64_t line, std::uint32_t from);
+
+  const DirectoryEntry& entry(std::uint64_t line) const {
+    static const DirectoryEntry kIdle;
+    const auto it = entries_.find(line);
+    return it != entries_.end() ? it->second : kIdle;
+  }
+
+  std::uint32_t home(std::uint64_t line) const {
+    return static_cast<std::uint32_t>(line % n_);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::unordered_map<std::uint64_t, DirectoryEntry> entries_;
+};
+
+}  // namespace specnoc::cmp

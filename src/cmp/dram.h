@@ -1,0 +1,49 @@
+// Banked DRAM backend: fixed array access time, line-interleaved banks,
+// FIFO serialization behind a busy bank (the role libDRAMSim2 plays behind
+// sesc-pleasetm, collapsed to a fixed-latency conflict model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contract.h"
+#include "util/units.h"
+
+namespace specnoc::cmp {
+
+class BankedDram {
+ public:
+  BankedDram(std::uint32_t banks, TimePs access_ps)
+      : banks_(banks), access_ps_(access_ps) {
+    SPECNOC_EXPECTS(banks > 0 && access_ps >= 0);
+  }
+
+  /// Issues one line access at `now`; returns its completion time. A busy
+  /// bank serializes: the access starts when the bank frees and counts as a
+  /// conflict.
+  TimePs access(std::uint64_t line, TimePs now, bool write) {
+    TimePs& busy_until = banks_[line % banks_.size()];
+    const TimePs start = busy_until > now ? busy_until : now;
+    if (start > now) ++conflicts_;
+    busy_until = start + access_ps_;
+    if (write) {
+      ++writes_;
+    } else {
+      ++reads_;
+    }
+    return busy_until;
+  }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t conflicts() const { return conflicts_; }
+
+ private:
+  std::vector<TimePs> banks_;  ///< busy-until per bank
+  TimePs access_ps_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace specnoc::cmp

@@ -1,0 +1,468 @@
+#include "cmp/system.h"
+
+#include "util/contract.h"
+#include "util/error.h"
+
+namespace specnoc::cmp {
+
+const char* to_string(CmpMessageKind kind) {
+  switch (kind) {
+    case CmpMessageKind::kGetS:
+      return "GetS";
+    case CmpMessageKind::kGetX:
+      return "GetX";
+    case CmpMessageKind::kInv:
+      return "Inv";
+    case CmpMessageKind::kInvAck:
+      return "InvAck";
+    case CmpMessageKind::kWbData:
+      return "WbData";
+    case CmpMessageKind::kData:
+      return "Data";
+  }
+  SPECNOC_UNREACHABLE("CmpMessageKind");
+}
+
+CmpSystem::CmpSystem(noc::MessageNetwork& network,
+                     const AccessTraceSource& source, CmpConfig config)
+    : network_(network),
+      source_(source),
+      config_(config),
+      directory_(network.endpoints()),
+      dram_(config.dram_banks, config.dram_access_ps) {
+  config_.validate();
+  if (source_.n() != network_.endpoints()) {
+    throw ConfigError("access trace has n=" + std::to_string(source_.n()) +
+                      " processors but the network has " +
+                      std::to_string(network_.endpoints()) + " endpoints");
+  }
+  procs_.reserve(source_.n());
+  for (std::uint32_t p = 0; p < source_.n(); ++p) {
+    procs_.emplace_back(config_.sets, config_.ways, config_.mshr_entries);
+  }
+}
+
+void CmpSystem::start() {
+  SPECNOC_EXPECTS(!started_);
+  started_ = true;
+  if (network_.net().partitioned()) {
+    throw ConfigError(
+        "closed-loop cmp traffic schedules cache-miss injections from "
+        "delivery events — a zero-lookahead feedback path the partitioned "
+        "window protocol cannot honor; build the network with "
+        "sim_threads = 1");
+  }
+  for (std::uint32_t p = 0; p < source_.n(); ++p) {
+    if (source_.length(p) > 0) arm_next(p, sched().now());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Issue pipeline.
+
+void CmpSystem::arm_next(std::uint32_t p, TimePs now) {
+  Proc& proc = procs_[p];
+  if (proc.next >= source_.length(p)) return;
+  proc.think_ready = false;
+  const TimePs think = source_.at(p, proc.next).think;
+  sched().schedule_at(at_or_now(now + think), [this, p] {
+    procs_[p].think_ready = true;
+    try_issue(p);
+  });
+}
+
+void CmpSystem::try_issue(std::uint32_t p) {
+  Proc& proc = procs_[p];
+  if (!proc.think_ready || proc.blocked || proc.next >= source_.length(p)) {
+    return;
+  }
+  const workload::MemAccess& access = source_.at(p, proc.next);
+  const bool fence = access.kind != workload::AccessKind::kRead &&
+                     access.kind != workload::AccessKind::kWrite;
+  if (fence && proc.outstanding > 0) {
+    proc.fence_wait = true;
+    return;
+  }
+  if (proc.outstanding >= config_.max_outstanding) {
+    proc.slot_wait = true;
+    return;
+  }
+  proc.fence_wait = false;
+  proc.slot_wait = false;
+  const auto index = static_cast<std::uint32_t>(proc.next++);
+  ++proc.outstanding;
+  ++counters_.accesses;
+  const bool write = access.kind != workload::AccessKind::kRead &&
+                     access.kind != workload::AccessKind::kBarrier;
+  const std::uint32_t op_id =
+      make_op(p, source_.line_of(access), write, OpTag::kStream, index);
+  run_op(op_id);
+  // Reads/writes pipeline: the next access's think clock starts at issue.
+  // Synchronization ops block the stream; their completion handlers re-arm.
+  if (!fence) arm_next(p, sched().now());
+}
+
+std::uint32_t CmpSystem::make_op(std::uint32_t proc, std::uint64_t line,
+                                 bool write, OpTag tag, std::uint32_t index) {
+  ops_.push_back(Op{proc, line, write, tag, index});
+  return static_cast<std::uint32_t>(ops_.size() - 1);
+}
+
+void CmpSystem::run_op(std::uint32_t op_id) {
+  const Op& op = ops_[op_id];
+  Proc& proc = procs_[op.proc];
+  const LineState state = proc.cache.state(op.line);
+  const bool hit = op.write ? state == LineState::kModified
+                            : state != LineState::kInvalid;
+  if (hit) {
+    ++counters_.l1_hits;
+    proc.cache.touch(op.line);
+    sched().schedule_at(at_or_now(sched().now() + config_.cache_hit_ps),
+                        [this, op_id] { retire_op(op_id, sched().now()); });
+    return;
+  }
+  ++counters_.l1_misses;
+  miss(op_id);
+}
+
+void CmpSystem::miss(std::uint32_t op_id) {
+  const Op& op = ops_[op_id];
+  Proc& proc = procs_[op.proc];
+  if (Mshr* mshr = proc.mshrs.find(op.line); mshr != nullptr) {
+    if (!op.write || mshr->exclusive) {
+      // A read joins any in-flight miss; a write joins an exclusive one.
+      mshr->waiters.push_back(op_id);
+      ++counters_.mshr_merges;
+    } else {
+      // Write behind a GetS: runs again once the shared fill lands, then
+      // upgrades.
+      mshr->deferred.push_back(op_id);
+      ++counters_.mshr_deferred;
+    }
+    return;
+  }
+  if (proc.mshrs.full()) {
+    proc.mshr_wait.push_back(op_id);
+    ++counters_.mshr_stalls;
+    return;
+  }
+  Mshr& mshr = proc.mshrs.allocate(op.line, op.write);
+  mshr.waiters.push_back(op_id);
+  request(op.line, op.proc, op.write, sched().now());
+}
+
+void CmpSystem::request(std::uint64_t line, std::uint32_t proc, bool exclusive,
+                        TimePs now) {
+  if (exclusive) {
+    ++counters_.getx;
+  } else {
+    ++counters_.gets;
+  }
+  const std::uint32_t home = directory_.home(line);
+  const DirectoryRequest req{proc, exclusive};
+  if (home == proc) {
+    // The requester hosts the line's directory slice: no request message.
+    ++counters_.local_transactions;
+    sched().schedule_at(at_or_now(now + config_.directory_ps),
+                        [this, line, req] {
+                          home_handle_request(line, req, sched().now());
+                        });
+    return;
+  }
+  send(exclusive ? CmpMessageKind::kGetX : CmpMessageKind::kGetS, proc,
+       noc::DestSet::single(home), line, exclusive);
+}
+
+void CmpSystem::retire_op(std::uint32_t op_id, TimePs when) {
+  const Op op = ops_[op_id];
+  Proc& proc = procs_[op.proc];
+  SPECNOC_ASSERT(proc.outstanding > 0);
+  --proc.outstanding;
+  switch (op.tag) {
+    case OpTag::kStream: {
+      ++retired_;
+      if (when > makespan_) makespan_ = when;
+      const workload::AccessKind kind = source_.at(op.proc, op.index).kind;
+      switch (kind) {
+        case workload::AccessKind::kRead:
+        case workload::AccessKind::kWrite:
+          break;
+        case workload::AccessKind::kBarrier:
+          barrier_arrive(op.proc, op.line, when);
+          break;
+        case workload::AccessKind::kLockAcquire:
+          lock_attempt(op.proc, op.line, when);
+          break;
+        case workload::AccessKind::kLockRelease:
+          lock_release(op.proc, op.line, when);
+          break;
+      }
+      break;
+    }
+    case OpTag::kBarrierRelease: {
+      ++counters_.barriers;
+      const auto it = barriers_.find(op.line);
+      SPECNOC_ASSERT(it != barriers_.end());
+      const std::vector<std::uint32_t> waiting = std::move(it->second.waiting);
+      barriers_.erase(it);
+      for (const std::uint32_t q : waiting) {
+        procs_[q].blocked = false;
+        arm_next(q, when);
+      }
+      break;
+    }
+    case OpTag::kLockGrant: {
+      ++counters_.lock_acquires;
+      procs_[op.proc].blocked = false;
+      arm_next(op.proc, when);
+      break;
+    }
+  }
+  // A retirement may free an outstanding slot or complete a fence.
+  if (proc.fence_wait || proc.slot_wait) try_issue(op.proc);
+}
+
+// --------------------------------------------------------------------------
+// Home-side protocol.
+
+void CmpSystem::home_handle_request(std::uint64_t line, DirectoryRequest req,
+                                    TimePs now) {
+  if (!directory_.admit(line, req)) return;  // queued behind the line's txn
+  const DirectoryAction action = directory_.begin(line);
+  const std::uint32_t home = directory_.home(line);
+  if (action.invalidate.any()) {
+    counters_.inv_targets += action.invalidate.count();
+    noc::DestSet remote = action.invalidate;
+    const bool local = remote.test(home);
+    remote.reset(home);
+    if (remote.any()) {
+      // The load-bearing multicast: one message, the whole remote sharer
+      // set as its DestSet.
+      ++counters_.inv_messages;
+      if (remote.count() >= 2) ++counters_.inv_multicasts;
+      send(CmpMessageKind::kInv, home, remote, line, false);
+    }
+    if (local) {
+      // The home's own cache holds a copy; no self-message on the network.
+      sched().schedule_at(at_or_now(now + config_.cache_hit_ps),
+                          [this, line, home] {
+                            sharer_handle_inv(line, home, sched().now());
+                          });
+    }
+  }
+  if (action.dram_read) {
+    const TimePs done = dram_.access(line, now, /*write=*/false);
+    sched().schedule_at(at_or_now(done), [this, line] {
+      directory_.dram_complete(line);
+      maybe_complete(line, sched().now());
+    });
+  }
+  maybe_complete(line, now);
+}
+
+void CmpSystem::sharer_handle_inv(std::uint64_t line, std::uint32_t sharer,
+                                  TimePs now) {
+  const bool had_data = procs_[sharer].cache.invalidate(line);
+  if (had_data) ++counters_.writebacks;
+  const std::uint32_t home = directory_.home(line);
+  if (sharer == home) {
+    sched().schedule_at(at_or_now(now + config_.directory_ps),
+                        [this, line, sharer, had_data] {
+                          home_handle_ack(line, sharer, had_data,
+                                          sched().now());
+                        });
+    return;
+  }
+  send(had_data ? CmpMessageKind::kWbData : CmpMessageKind::kInvAck, sharer,
+       noc::DestSet::single(home), line, had_data);
+}
+
+void CmpSystem::home_handle_ack(std::uint64_t line, std::uint32_t from,
+                                bool with_data, TimePs now) {
+  if (with_data) {
+    // Modified data always lands in memory; fire-and-forget write.
+    dram_.access(line, now, /*write=*/true);
+  }
+  directory_.ack(line, from);
+  maybe_complete(line, now);
+}
+
+void CmpSystem::maybe_complete(std::uint64_t line, TimePs now) {
+  if (!directory_.ready(line)) return;
+  bool has_next = false;
+  DirectoryRequest next;
+  const DirectoryRequest done = directory_.complete(line, &has_next, &next);
+  const std::uint32_t home = directory_.home(line);
+  if (done.proc == home) {
+    const bool exclusive = done.exclusive;
+    sched().schedule_at(at_or_now(now + config_.cache_hit_ps),
+                        [this, line, home, exclusive] {
+                          fill_complete(home, line, exclusive, sched().now());
+                        });
+  } else {
+    send(CmpMessageKind::kData, home, noc::DestSet::single(done.proc), line,
+         done.exclusive);
+  }
+  if (has_next) {
+    sched().schedule_at(at_or_now(now + config_.directory_ps),
+                        [this, line, next] {
+                          home_handle_request(line, next, sched().now());
+                        });
+  }
+}
+
+void CmpSystem::fill_complete(std::uint32_t proc, std::uint64_t line,
+                              bool exclusive, TimePs now) {
+  Proc& p = procs_[proc];
+  const PrivateCache::Fill fill = p.cache.fill(
+      line, exclusive ? LineState::kModified : LineState::kShared);
+  if (fill.evicted_modified) {
+    // Dirty victim: its line travels back to its own home. Shared victims
+    // were dropped silently inside fill(), leaving the directory with a
+    // stale sharer — exactly the history dependence reactive invalidation
+    // fan-out is about.
+    ++counters_.writebacks;
+    const std::uint32_t victim_home = directory_.home(fill.victim);
+    const std::uint64_t victim = fill.victim;
+    if (victim_home == proc) {
+      sched().schedule_at(at_or_now(now + config_.directory_ps),
+                          [this, victim, proc] {
+                            home_handle_ack(victim, proc, true, sched().now());
+                          });
+    } else {
+      send(CmpMessageKind::kWbData, proc, noc::DestSet::single(victim_home),
+           victim, true);
+    }
+  }
+  Mshr mshr = p.mshrs.release(line);
+  for (const std::uint32_t waiter : mshr.waiters) retire_op(waiter, now);
+  // Writes parked behind this GetS re-execute now and upgrade.
+  for (const std::uint32_t deferred : mshr.deferred) run_op(deferred);
+  // A freed MSHR entry admits stalled misses in arrival order.
+  while (!p.mshr_wait.empty() && !p.mshrs.full()) {
+    const std::uint32_t op_id = p.mshr_wait.front();
+    p.mshr_wait.pop_front();
+    run_op(op_id);
+    // run_op may have merged instead of allocating; loop re-checks fullness.
+  }
+}
+
+// --------------------------------------------------------------------------
+// Synchronization on top of coherence.
+
+void CmpSystem::barrier_arrive(std::uint32_t p, std::uint64_t line,
+                               TimePs /*now*/) {
+  BarrierState& barrier = barriers_[line];
+  barrier.waiting.push_back(p);
+  procs_[p].blocked = true;
+  if (barrier.waiting.size() < procs_.size()) return;
+  // Last arriver flips the flag: one exclusive write whose invalidation
+  // reaches every processor that read the flag line while waiting.
+  Proc& proc = procs_[p];
+  ++proc.outstanding;
+  const std::uint32_t op_id = make_op(p, line, true, OpTag::kBarrierRelease, 0);
+  run_op(op_id);
+}
+
+void CmpSystem::lock_attempt(std::uint32_t p, std::uint64_t line, TimePs now) {
+  LockState& lock = locks_[line];
+  if (!lock.held) {
+    lock.held = true;
+    lock.holder = p;
+    ++counters_.lock_acquires;
+    arm_next(p, now);
+    return;
+  }
+  ++counters_.lock_contended;
+  lock.waiting.push_back(p);
+  procs_[p].blocked = true;
+}
+
+void CmpSystem::lock_release(std::uint32_t p, std::uint64_t line, TimePs now) {
+  LockState& lock = locks_[line];
+  SPECNOC_ASSERT(lock.held && lock.holder == p);
+  if (lock.waiting.empty()) {
+    lock.held = false;
+  } else {
+    // FIFO handoff (deterministic): the next waiter re-acquires the lock
+    // line exclusively — the coherence traffic of a test&set on wakeup.
+    const std::uint32_t q = lock.waiting.front();
+    lock.waiting.pop_front();
+    lock.holder = q;
+    Proc& granted = procs_[q];
+    ++granted.outstanding;
+    const std::uint32_t op_id = make_op(q, line, true, OpTag::kLockGrant, 0);
+    run_op(op_id);
+  }
+  arm_next(p, now);
+}
+
+// --------------------------------------------------------------------------
+// Network I/O.
+
+void CmpSystem::send(CmpMessageKind kind, std::uint32_t src,
+                     noc::DestSet dests, std::uint64_t line, bool exclusive) {
+  SPECNOC_ASSERT(dests.any());
+  ++counters_.messages_sent;
+  const std::uint32_t remaining = dests.count();
+  const noc::MessageId id =
+      network_.send_message(src, std::move(dests), /*measured=*/true);
+  in_flight_.emplace(id, InFlight{kind, line, src, exclusive, remaining});
+}
+
+void CmpSystem::on_packet_injected(const noc::Packet& packet, TimePs when) {
+  if (downstream_ != nullptr) downstream_->on_packet_injected(packet, when);
+}
+
+void CmpSystem::on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
+                                noc::FlitKind kind, TimePs when) {
+  if (downstream_ != nullptr) {
+    downstream_->on_flit_ejected(packet, dest, kind, when);
+  }
+  if (kind != noc::FlitKind::kHeader) return;
+  const auto it = in_flight_.find(packet.message);
+  if (it == in_flight_.end()) return;
+  const InFlight msg = it->second;
+  if (--it->second.remaining == 0) in_flight_.erase(it);
+  const std::uint64_t line = msg.line;
+  switch (msg.kind) {
+    case CmpMessageKind::kGetS:
+    case CmpMessageKind::kGetX: {
+      const DirectoryRequest req{msg.src,
+                                 msg.kind == CmpMessageKind::kGetX};
+      sched().schedule_at(at_or_now(when + config_.directory_ps),
+                          [this, line, req] {
+                            home_handle_request(line, req, sched().now());
+                          });
+      break;
+    }
+    case CmpMessageKind::kInv:
+      sched().schedule_at(at_or_now(when + config_.cache_hit_ps),
+                          [this, line, dest] {
+                            sharer_handle_inv(line, dest, sched().now());
+                          });
+      break;
+    case CmpMessageKind::kInvAck:
+    case CmpMessageKind::kWbData: {
+      const std::uint32_t from = msg.src;
+      const bool with_data = msg.kind == CmpMessageKind::kWbData;
+      sched().schedule_at(at_or_now(when + config_.directory_ps),
+                          [this, line, from, with_data] {
+                            home_handle_ack(line, from, with_data,
+                                            sched().now());
+                          });
+      break;
+    }
+    case CmpMessageKind::kData: {
+      const std::uint32_t proc = dest;
+      const bool exclusive = msg.exclusive;
+      sched().schedule_at(at_or_now(when + config_.cache_hit_ps),
+                          [this, proc, line, exclusive] {
+                            fill_complete(proc, line, exclusive, sched().now());
+                          });
+      break;
+    }
+  }
+}
+
+}  // namespace specnoc::cmp

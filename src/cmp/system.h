@@ -1,0 +1,213 @@
+// CmpSystem: closed-loop co-simulation of a chip multiprocessor on top of
+// any MessageNetwork.
+//
+// Every network endpoint hosts a processor with a private MSI cache and an
+// MSHR file, plus a line-interleaved slice of the directory and a DRAM
+// port. Processors issue their access streams in order (pipelined up to
+// max_outstanding); misses become GetS/GetX messages to the line's home,
+// the home invalidates the *current* sharer set with one multicast message
+// (the reactive traffic the precomputed coherence DAG cannot express), and
+// replies/acks ride the same network. Barriers and locks are modeled on
+// top of ordinary coherence: a barrier is a read of the flag line by every
+// arriver plus one exclusive flag write by the last (the widest
+// invalidation of the phase); a contended lock is a chain of exclusive
+// acquires of the lock line.
+//
+// Delivery is observed through the TrafficObserver hook exactly like
+// workload::TraceReplayDriver, so metrics, telemetry, Perfetto export, and
+// the power meter all see cmp traffic for free. Like closed-loop replay,
+// the feedback path has zero lookahead: start() refuses partitioned
+// networks with a reasoned ConfigError (PR 6 guard pattern).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "cmp/access_source.h"
+#include "cmp/cache.h"
+#include "cmp/config.h"
+#include "cmp/directory.h"
+#include "cmp/dram.h"
+#include "noc/hooks.h"
+#include "noc/message_network.h"
+#include "sim/scheduler.h"
+
+namespace specnoc::cmp {
+
+/// Protocol message classes carried over the NoC.
+enum class CmpMessageKind : std::uint8_t {
+  kGetS,    ///< read miss, proc -> home
+  kGetX,    ///< write miss / upgrade, proc -> home
+  kInv,     ///< invalidate/recall, home -> sharer set (multicast)
+  kInvAck,  ///< sharer -> home, copy dropped
+  kWbData,  ///< owner/evictor -> home, modified line travels back
+  kData,    ///< home -> requester, transaction grant
+};
+
+const char* to_string(CmpMessageKind kind);
+
+struct CmpCounters {
+  std::uint64_t accesses = 0;       ///< stream ops issued
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t mshr_merges = 0;    ///< joined an in-flight same-line miss
+  std::uint64_t mshr_deferred = 0;  ///< writes parked behind a GetS
+  std::uint64_t mshr_stalls = 0;    ///< waited for a free MSHR entry
+  std::uint64_t gets = 0;
+  std::uint64_t getx = 0;
+  std::uint64_t inv_messages = 0;    ///< kInv sends (any fan-out)
+  std::uint64_t inv_multicasts = 0;  ///< kInv sends reaching >= 2 endpoints
+  std::uint64_t inv_targets = 0;     ///< total responders across kInv sends
+  std::uint64_t writebacks = 0;      ///< modified lines returned (inv + evict)
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_conflicts = 0;
+  std::uint64_t barriers = 0;        ///< barrier episodes completed
+  std::uint64_t lock_acquires = 0;   ///< grants (immediate + queued)
+  std::uint64_t lock_contended = 0;  ///< acquires that had to queue
+  std::uint64_t messages_sent = 0;   ///< network messages injected
+  std::uint64_t local_transactions = 0;  ///< home == requester shortcuts
+};
+
+class CmpSystem final : public noc::TrafficObserver {
+ public:
+  /// `source` must outlive the system; its processor count must equal the
+  /// network's endpoint count.
+  CmpSystem(noc::MessageNetwork& network, const AccessTraceSource& source,
+            CmpConfig config = {});
+
+  /// Chains another observer behind this one (a TrafficRecorder, a
+  /// TraceRecorder) — the same tee pattern as the replay driver.
+  void set_downstream(noc::TrafficObserver* downstream) {
+    downstream_ = downstream;
+  }
+
+  /// Schedules the first issue of every processor. Requires a sequential
+  /// network (throws ConfigError on partitioned ones) and that this system
+  /// is installed as the network's traffic hook.
+  void start();
+
+  void on_flit_ejected(const noc::Packet& packet, std::uint32_t dest,
+                       noc::FlitKind kind, TimePs when) override;
+  void on_packet_injected(const noc::Packet& packet, TimePs when) override;
+
+  /// True when every stream access of every processor retired.
+  bool finished() const { return retired_ == source_.total_accesses(); }
+  std::uint64_t retired() const { return retired_; }
+  /// Retirement time of the last stream access.
+  TimePs makespan() const { return makespan_; }
+  /// Counter snapshot; the DRAM trio is folded in from the bank model.
+  CmpCounters counters() const {
+    CmpCounters c = counters_;
+    c.dram_reads = dram_.reads();
+    c.dram_writes = dram_.writes();
+    c.dram_conflicts = dram_.conflicts();
+    return c;
+  }
+  const Directory& directory() const { return directory_; }
+
+ private:
+  enum class OpTag : std::uint8_t {
+    kStream,          ///< an access from the trace
+    kBarrierRelease,  ///< last arriver's exclusive flag write
+    kLockGrant,       ///< handed-off lock re-acquire write
+  };
+
+  /// One in-flight cache access (stream or internal synchronization write).
+  struct Op {
+    std::uint32_t proc = 0;
+    std::uint64_t line = 0;
+    bool write = false;
+    OpTag tag = OpTag::kStream;
+    std::uint32_t index = 0;  ///< stream index when kStream
+  };
+
+  struct Proc {
+    PrivateCache cache;
+    MshrTable mshrs;
+    std::size_t next = 0;           ///< next stream index to issue
+    std::uint32_t outstanding = 0;  ///< issued, not yet retired
+    bool blocked = false;       ///< parked at a barrier / lock queue
+    bool think_ready = false;   ///< think timer for `next` has fired
+    bool fence_wait = false;    ///< barrier/lock waiting for outstanding == 0
+    bool slot_wait = false;     ///< waiting for an outstanding slot
+    std::deque<std::uint32_t> mshr_wait;  ///< ops waiting for an MSHR entry
+    Proc(std::uint32_t sets, std::uint32_t ways, std::uint32_t mshr_entries)
+        : cache(sets, ways), mshrs(mshr_entries) {}
+  };
+
+  struct InFlight {
+    CmpMessageKind kind;
+    std::uint64_t line;
+    std::uint32_t src;
+    bool exclusive;           ///< kData: grant state; kWbData: carries data
+    std::uint32_t remaining;  ///< headers not yet delivered
+  };
+
+  struct BarrierState {
+    std::vector<std::uint32_t> waiting;
+  };
+
+  struct LockState {
+    bool held = false;
+    std::uint32_t holder = 0;
+    std::deque<std::uint32_t> waiting;
+  };
+
+  sim::Scheduler& sched() { return network_.net().scheduler(); }
+  TimePs at_or_now(TimePs t) { return t > sched().now() ? t : sched().now(); }
+
+  // Issue pipeline.
+  void arm_next(std::uint32_t p, TimePs now);
+  void try_issue(std::uint32_t p);
+  std::uint32_t make_op(std::uint32_t proc, std::uint64_t line, bool write,
+                        OpTag tag, std::uint32_t index);
+  void run_op(std::uint32_t op_id);
+  void miss(std::uint32_t op_id);
+  void request(std::uint64_t line, std::uint32_t proc, bool exclusive,
+               TimePs now);
+  void retire_op(std::uint32_t op_id, TimePs when);
+
+  // Home-side protocol.
+  void home_handle_request(std::uint64_t line, DirectoryRequest req,
+                           TimePs now);
+  void sharer_handle_inv(std::uint64_t line, std::uint32_t sharer, TimePs now);
+  void home_handle_ack(std::uint64_t line, std::uint32_t from, bool with_data,
+                       TimePs now);
+  void maybe_complete(std::uint64_t line, TimePs now);
+  void fill_complete(std::uint32_t proc, std::uint64_t line, bool exclusive,
+                     TimePs now);
+
+  // Synchronization.
+  void barrier_arrive(std::uint32_t p, std::uint64_t line, TimePs now);
+  void lock_attempt(std::uint32_t p, std::uint64_t line, TimePs now);
+  void lock_release(std::uint32_t p, std::uint64_t line, TimePs now);
+
+  void send(CmpMessageKind kind, std::uint32_t src, noc::DestSet dests,
+            std::uint64_t line, bool exclusive);
+
+  noc::MessageNetwork& network_;
+  const AccessTraceSource& source_;
+  CmpConfig config_;
+  noc::TrafficObserver* downstream_ = nullptr;
+
+  std::vector<Proc> procs_;
+  std::vector<Op> ops_;
+  Directory directory_;
+  BankedDram dram_;
+  // std::map keeps iteration deterministic if it is ever needed; lookups
+  // are by line key only.
+  std::map<std::uint64_t, BarrierState> barriers_;
+  std::map<std::uint64_t, LockState> locks_;
+  std::unordered_map<noc::MessageId, InFlight> in_flight_;
+
+  CmpCounters counters_;
+  std::uint64_t retired_ = 0;
+  TimePs makespan_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace specnoc::cmp

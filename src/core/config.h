@@ -65,6 +65,15 @@ struct NetworkConfig {
     return it != char_overrides.end() ? it->second
                                       : nodes::default_characteristics(kind);
   }
+
+  /// This configuration with the PDES kernel disabled. Zero-lookahead
+  /// feedback protocols (closed-loop replay, cmp co-simulation, the
+  /// latency drain) build their networks from this copy.
+  NetworkConfig sequential() const {
+    NetworkConfig config = *this;
+    config.sim_threads = 1;
+    return config;
+  }
 };
 
 }  // namespace specnoc::core

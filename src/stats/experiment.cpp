@@ -8,6 +8,8 @@
 #include <optional>
 #include <string>
 
+#include "cmp/access_source.h"
+#include "cmp/system.h"
 #include "noc/dest_set.h"
 #include "power/power_meter.h"
 #include "stats/recorder.h"
@@ -94,6 +96,12 @@ class ProbeRig {
     *probes_.metrics = registry_.snapshot();
   }
 
+  /// Attaches cmp co-simulation counters to the snapshot-to-be; call
+  /// before harvest(). No-op when nothing is collected.
+  void record_cmp(const CmpMetrics& cmp) {
+    if (collecting()) registry_.record_cmp(cmp);
+  }
+
   /// Flight recorder: on a run that dies mid-flight, dump the retained
   /// epochs so the failure's lead-up is visible in the harness stderr.
   void dump_on_failure() const {
@@ -173,6 +181,17 @@ WorkloadSpec make_workload_spec(core::Architecture arch, std::string label,
   return spec;
 }
 
+CmpSpec make_cmp_spec(core::Architecture arch, std::string label,
+                      std::shared_ptr<const workload::AccessTrace> access) {
+  SPECNOC_EXPECTS(access != nullptr);
+  CmpSpec spec;
+  spec.arch = arch;
+  spec.workload = std::move(label);
+  spec.access_hash = workload::access_trace_hash(*access);
+  spec.access = std::move(access);
+  return spec;
+}
+
 traffic::SimWindows ExperimentRunner::saturation_windows() {
   return {.warmup = 1000_ns, .measure = 4000_ns};
 }
@@ -197,9 +216,7 @@ NetworkFactory ExperimentRunner::factory_for_spec(
 
 NetworkFactory ExperimentRunner::sequential_factory_for(
     core::Architecture arch) const {
-  core::NetworkConfig config = config_;
-  config.sim_threads = 1;
-  return [arch, config = std::move(config)] {
+  return [arch, config = config_.sequential()] {
     return std::make_unique<core::MotNetwork>(arch, config);
   };
 }
@@ -209,9 +226,7 @@ NetworkFactory ExperimentRunner::sequential_factory_for_spec(
     const std::string& custom) const {
   if (factory) return factory;
   if (!custom.empty()) {
-    core::NetworkConfig config = config_;
-    config.sim_threads = 1;
-    return [custom, config = std::move(config)] {
+    return [custom, config = config_.sequential()] {
       return core::ArchitectureRegistry::global().build(custom, config);
     };
   }
@@ -506,6 +521,85 @@ WorkloadResult ExperimentRunner::workload_run(
   return result;
 }
 
+CmpResult ExperimentRunner::run_cmp(const NetworkFactory& factory,
+                                    const workload::AccessTrace& access,
+                                    const cmp::CmpConfig& cmp) const {
+  return cmp_run(factory, access, cmp, {});
+}
+
+CmpResult ExperimentRunner::cmp_run(const NetworkFactory& factory,
+                                    const workload::AccessTrace& access,
+                                    const cmp::CmpConfig& cmp,
+                                    const RunProbes& probes) const {
+  ProbeRig rig(probes);
+  const auto network = factory();
+  auto& net = network->net();
+  TrafficRecorder recorder(net.packets());
+  cmp::AccessTraceSource source(access, cmp.line_bytes);
+  cmp::CmpSystem system(*network, source, cmp);
+  system.set_downstream(&recorder);
+  power::PowerMeter meter(energy_);
+  net.hooks().traffic = &system;
+  net.hooks().energy = &meter;
+  rig.attach(net);
+
+  recorder.open_window(net.now());
+  meter.open_window(net.now());
+  system.start();  // rejects partitioned networks (zero-lookahead feedback)
+  // The access streams are finite, so the event queue drains once every
+  // processor has retired its last access (or deadlocked, caught below).
+  try {
+    net.run();
+  } catch (...) {
+    rig.dump_on_failure();
+    throw;
+  }
+  recorder.close_window(net.now());
+  meter.close_window(net.now());
+
+  const cmp::CmpCounters counters = system.counters();
+  CmpResult result;
+  result.accesses = system.retired();
+  result.makespan_ns = ps_to_ns(system.makespan());
+  result.l1_hits = counters.l1_hits;
+  result.l1_misses = counters.l1_misses;
+  result.mshr_merges = counters.mshr_merges;
+  result.inv_messages = counters.inv_messages;
+  result.inv_multicasts = counters.inv_multicasts;
+  result.inv_targets = counters.inv_targets;
+  result.dram_reads = counters.dram_reads;
+  result.dram_writes = counters.dram_writes;
+  result.dram_conflicts = counters.dram_conflicts;
+  result.messages = counters.messages_sent;
+  result.flits_delivered = recorder.window_flits_ejected();
+  result.energy_nj = meter.window_energy() / 1e6;
+  result.completed = system.finished();
+  if (!result.completed) {
+    SPECNOC_LOG(kWarn) << "cmp co-simulation did not complete: "
+                       << to_string(network->architecture()) << "/"
+                       << access.generator << " retired " << system.retired()
+                       << "/" << source.total_accesses();
+  }
+  CmpMetrics cmp_metrics;
+  cmp_metrics.accesses = counters.accesses;
+  cmp_metrics.l1_hits = counters.l1_hits;
+  cmp_metrics.l1_misses = counters.l1_misses;
+  cmp_metrics.mshr_merges = counters.mshr_merges;
+  cmp_metrics.inv_messages = counters.inv_messages;
+  cmp_metrics.inv_multicasts = counters.inv_multicasts;
+  cmp_metrics.inv_targets = counters.inv_targets;
+  cmp_metrics.writebacks = counters.writebacks;
+  cmp_metrics.dram_reads = counters.dram_reads;
+  cmp_metrics.dram_writes = counters.dram_writes;
+  cmp_metrics.dram_conflicts = counters.dram_conflicts;
+  cmp_metrics.barriers = counters.barriers;
+  cmp_metrics.lock_acquires = counters.lock_acquires;
+  cmp_metrics.lock_contended = counters.lock_contended;
+  rig.record_cmp(cmp_metrics);
+  rig.harvest(net);
+  return result;
+}
+
 PowerResult ExperimentRunner::power_at_baseline_fraction(
     core::Architecture arch, traffic::BenchmarkId bench, double fraction) {
   SPECNOC_EXPECTS(fraction > 0.0 && fraction < 1.0);
@@ -652,6 +746,48 @@ std::vector<WorkloadOutcome> ExperimentRunner::run_workload_grid(
         workload_run(net_factory, *spec.trace, spec.mode, probes);
     if (collect) outcomes[i].metrics = std::move(snapshot);
     pdes_note->update(pdes);
+    return events;
+  });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    outcomes[i].spec = specs[i];
+    outcomes[i].run = runs[i];
+    if (!runs[i].ok) outcomes[i].metrics.reset();
+  }
+  return outcomes;
+}
+
+std::vector<CmpOutcome> ExperimentRunner::run_cmp_grid(
+    const std::vector<CmpSpec>& specs, const BatchOptions& options,
+    const cmp::CmpConfig& cmp) const {
+  std::vector<CmpOutcome> outcomes(specs.size());
+  const bool collect = options.collect_metrics || options.telemetry.enabled();
+  sim::RunnerOptions runner = runner_options(options);
+  if (options.on_run_done) {
+    runner.on_run_done = [&outcomes, &options](std::size_t i,
+                                               const sim::RunOutcome& run) {
+      options.on_run_done(
+          i, run, outcomes[i].metrics ? &*outcomes[i].metrics : nullptr);
+    };
+  }
+  const sim::ParallelRunner pool(std::move(runner));
+  const auto runs = pool.run(specs.size(), [&](std::size_t i) {
+    const auto& spec = specs[i];
+    if (spec.access == nullptr) {
+      throw ConfigError("cmp spec '" + spec.workload +
+                        "' has no access trace attached (deserialized specs "
+                        "must be re-armed with make_cmp_spec before running)");
+    }
+    std::uint64_t events = 0;
+    MetricsSnapshot snapshot;
+    RunProbes probes;
+    probes.events = &events;
+    probes.metrics = collect ? &snapshot : nullptr;
+    probes.telemetry = options.telemetry;
+    // Always sequential: cmp traffic is closed-loop by construction.
+    outcomes[i].result = cmp_run(
+        sequential_factory_for_spec(spec.arch, spec.factory, spec.custom),
+        *spec.access, cmp, probes);
+    if (collect) outcomes[i].metrics = std::move(snapshot);
     return events;
   });
   for (std::size_t i = 0; i < specs.size(); ++i) {

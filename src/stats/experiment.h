@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "cmp/config.h"
 #include "core/architecture.h"
 #include "core/config.h"
 #include "core/mot_network.h"
@@ -30,6 +31,7 @@
 #include "traffic/benchmark.h"
 #include "util/units.h"
 #include "workload/replay.h"
+#include "workload/synth.h"
 #include "workload/trace.h"
 
 namespace specnoc::stats {
@@ -223,6 +225,53 @@ WorkloadSpec make_workload_spec(core::Architecture arch, std::string label,
                                 workload::ReplayMode mode,
                                 std::shared_ptr<const workload::Trace> trace);
 
+/// One CMP co-simulation run (cmp/system.h): per-processor access streams
+/// driven closed-loop through caches + directory + DRAM on a fresh network.
+/// The figure of merit is application makespan — the end-to-end number the
+/// source paper's open-loop protocols cannot produce. RNG-free given the
+/// access trace; like WorkloadSpec, the trace travels as a hash
+/// (`access_hash`) and deserialized specs must be re-armed via
+/// make_cmp_spec before running.
+struct CmpResult {
+  std::uint64_t accesses = 0;   ///< stream accesses retired
+  double makespan_ns = 0.0;     ///< last stream retirement
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t mshr_merges = 0;
+  std::uint64_t inv_messages = 0;    ///< directory invalidation sends
+  std::uint64_t inv_multicasts = 0;  ///< those reaching >= 2 endpoints
+  std::uint64_t inv_targets = 0;     ///< summed invalidation fan-out
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_conflicts = 0;
+  std::uint64_t messages = 0;         ///< protocol messages on the network
+  std::uint64_t flits_delivered = 0;
+  double energy_nj = 0.0;  ///< switching energy over the whole run
+  /// False if the scheduler drained with accesses still un-retired.
+  bool completed = true;
+};
+
+struct CmpSpec {
+  core::Architecture arch = core::Architecture::kBaseline;
+  std::string workload;  ///< label ("LuBlocks", "BarnesRegions")
+  std::shared_ptr<const workload::AccessTrace> access;
+  std::string access_hash;  ///< workload::access_trace_hash(*access)
+  NetworkFactory factory;
+  std::string custom;
+};
+
+struct CmpOutcome {
+  CmpSpec spec;
+  CmpResult result;  ///< valid only when run.ok
+  sim::RunOutcome run;
+  /// Present when the grid ran with BatchOptions::collect_metrics.
+  std::optional<MetricsSnapshot> metrics;
+};
+
+/// Builds a CmpSpec with the access trace attached and its hash computed.
+CmpSpec make_cmp_spec(core::Architecture arch, std::string label,
+                      std::shared_ptr<const workload::AccessTrace> access);
+
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(core::NetworkConfig config, std::uint64_t seed = 1,
@@ -314,6 +363,21 @@ class ExperimentRunner {
       const std::vector<WorkloadSpec>& specs,
       const BatchOptions& options = {}) const;
 
+  /// Co-simulates `access` on a fresh network. Closed-loop (zero-lookahead
+  /// feedback), so canonical networks are always built sequential; a
+  /// partitioned custom factory raises ConfigError. RNG-free and const:
+  /// safe to call concurrently from batch workers.
+  CmpResult run_cmp(const NetworkFactory& factory,
+                    const workload::AccessTrace& access,
+                    const cmp::CmpConfig& cmp = {}) const;
+  /// Specs must carry their access trace (make_cmp_spec); a spec whose
+  /// trace is null fails in its outcome slot with a ConfigError message.
+  /// All runs use `cmp` (the cache/DRAM geometry is grid-uniform, like the
+  /// runner's NetworkConfig).
+  std::vector<CmpOutcome> run_cmp_grid(const std::vector<CmpSpec>& specs,
+                                       const BatchOptions& options = {},
+                                       const cmp::CmpConfig& cmp = {}) const;
+
  private:
   NetworkFactory factory_for(core::Architecture arch) const;
   /// Resolves a spec's network: an explicit factory wins; otherwise a
@@ -357,6 +421,9 @@ class ExperimentRunner {
                               const workload::Trace& trace,
                               workload::ReplayMode mode,
                               const RunProbes& probes) const;
+  CmpResult cmp_run(const NetworkFactory& factory,
+                    const workload::AccessTrace& access,
+                    const cmp::CmpConfig& cmp, const RunProbes& probes) const;
 
   core::NetworkConfig config_;
   std::uint64_t seed_;

@@ -161,6 +161,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.dest_spills = dest_spills_;
   snap.dest_spill_bytes = dest_spill_bytes_;
   snap.arena = arena_;
+  snap.cmp = cmp_;
   return snap;
 }
 

@@ -84,6 +84,28 @@ struct ArenaPoolMetrics {
   std::uint64_t reserved_bytes = 0;
 };
 
+/// Memory-hierarchy counters of a cmp co-simulation run (see cmp/system.h).
+/// All zero unless the run drove a CmpSystem; serialized only when
+/// non-empty, so non-cmp records keep their byte layout.
+struct CmpMetrics {
+  std::uint64_t accesses = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t mshr_merges = 0;
+  std::uint64_t inv_messages = 0;
+  std::uint64_t inv_multicasts = 0;
+  std::uint64_t inv_targets = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t dram_reads = 0;
+  std::uint64_t dram_writes = 0;
+  std::uint64_t dram_conflicts = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t lock_acquires = 0;
+  std::uint64_t lock_contended = 0;
+
+  bool empty() const { return accesses == 0; }
+};
+
 /// Execution-shape statistics of a partitioned (PDES) run: how the window
 /// protocol behaved, not what the simulation computed. `lanes == 0` means
 /// the run was sequential. Everything here is a function of the topology
@@ -123,6 +145,9 @@ struct MetricsSnapshot {
   /// Per-pool arena usage of the run's network (empty when not harvested —
   /// serialized only when present, keeping older records byte-stable).
   std::vector<ArenaPoolMetrics> arena;
+  /// Cache/directory/DRAM counters of cmp co-simulation runs (empty
+  /// otherwise; serialized only when non-empty).
+  CmpMetrics cmp;
 
   bool empty() const { return sites.empty() && channels.empty(); }
 
@@ -172,6 +197,9 @@ class MetricsRegistry final : public noc::MetricsObserver {
     arena_ = std::move(arena);
   }
 
+  /// Attaches the cmp co-simulation counters (see MetricsSnapshot field).
+  void record_cmp(CmpMetrics cmp) { cmp_ = cmp; }
+
   MetricsSnapshot snapshot() const;
 
   /// Running totals for the epoch sampler (TelemetrySampler diffs these at
@@ -188,6 +216,7 @@ class MetricsRegistry final : public noc::MetricsObserver {
   std::uint64_t dest_spills_ = 0;
   std::uint64_t dest_spill_bytes_ = 0;
   std::vector<ArenaPoolMetrics> arena_;
+  CmpMetrics cmp_;
 };
 
 }  // namespace specnoc::stats

@@ -88,6 +88,16 @@ Json to_json(const WorkloadSpec& spec) {
   return json;
 }
 
+Json to_json(const CmpSpec& spec) {
+  Json json = Json::object();
+  json.set("kind", "cmp");
+  json.set("arch", core::to_string(spec.arch));
+  json.set("workload", spec.workload);
+  json.set("access_hash", spec.access_hash);
+  if (!spec.custom.empty()) json.set("custom", spec.custom);
+  return json;
+}
+
 namespace {
 
 void expect_kind(const Json& json, const char* kind) {
@@ -141,6 +151,16 @@ WorkloadSpec workload_spec_from_json(const Json& json) {
   spec.workload = json.at("workload").as_string();
   spec.mode = workload::replay_mode_from_string(json.at("mode").as_string());
   spec.trace_hash = json.at("trace_hash").as_string();
+  spec.custom = custom_from_json(json);
+  return spec;
+}
+
+CmpSpec cmp_spec_from_json(const Json& json) {
+  expect_kind(json, "cmp");
+  CmpSpec spec;
+  spec.arch = arch_from_json(json);
+  spec.workload = json.at("workload").as_string();
+  spec.access_hash = json.at("access_hash").as_string();
   spec.custom = custom_from_json(json);
   return spec;
 }
@@ -233,6 +253,46 @@ WorkloadResult workload_result_from_json(const Json& json) {
   result.mean_latency_ns = json.at("mean_latency_ns").as_double();
   result.p95_latency_ns = json.at("p95_latency_ns").as_double();
   result.max_latency_ns = json.at("max_latency_ns").as_double();
+  result.completed = json.at("completed").as_bool();
+  return result;
+}
+
+Json to_json(const CmpResult& result) {
+  Json json = Json::object();
+  json.set("accesses", result.accesses);
+  json.set("makespan_ns", result.makespan_ns);
+  json.set("l1_hits", result.l1_hits);
+  json.set("l1_misses", result.l1_misses);
+  json.set("mshr_merges", result.mshr_merges);
+  json.set("inv_messages", result.inv_messages);
+  json.set("inv_multicasts", result.inv_multicasts);
+  json.set("inv_targets", result.inv_targets);
+  json.set("dram_reads", result.dram_reads);
+  json.set("dram_writes", result.dram_writes);
+  json.set("dram_conflicts", result.dram_conflicts);
+  json.set("messages", result.messages);
+  json.set("flits_delivered", result.flits_delivered);
+  json.set("energy_nj", result.energy_nj);
+  json.set("completed", result.completed);
+  return json;
+}
+
+CmpResult cmp_result_from_json(const Json& json) {
+  CmpResult result;
+  result.accesses = json.at("accesses").as_u64();
+  result.makespan_ns = json.at("makespan_ns").as_double();
+  result.l1_hits = json.at("l1_hits").as_u64();
+  result.l1_misses = json.at("l1_misses").as_u64();
+  result.mshr_merges = json.at("mshr_merges").as_u64();
+  result.inv_messages = json.at("inv_messages").as_u64();
+  result.inv_multicasts = json.at("inv_multicasts").as_u64();
+  result.inv_targets = json.at("inv_targets").as_u64();
+  result.dram_reads = json.at("dram_reads").as_u64();
+  result.dram_writes = json.at("dram_writes").as_u64();
+  result.dram_conflicts = json.at("dram_conflicts").as_u64();
+  result.messages = json.at("messages").as_u64();
+  result.flits_delivered = json.at("flits_delivered").as_u64();
+  result.energy_nj = json.at("energy_nj").as_double();
   result.completed = json.at("completed").as_bool();
   return result;
 }
@@ -330,6 +390,26 @@ Json to_json(const MetricsSnapshot& snapshot) {
     }
     json.set("arena", std::move(arena));
   }
+  // Omit-when-empty: only cmp co-simulation runs carry these counters, so
+  // every non-cmp record keeps its byte layout.
+  if (!snapshot.cmp.empty()) {
+    Json cmp = Json::object();
+    cmp.set("accesses", snapshot.cmp.accesses);
+    cmp.set("l1_hits", snapshot.cmp.l1_hits);
+    cmp.set("l1_misses", snapshot.cmp.l1_misses);
+    cmp.set("mshr_merges", snapshot.cmp.mshr_merges);
+    cmp.set("inv_messages", snapshot.cmp.inv_messages);
+    cmp.set("inv_multicasts", snapshot.cmp.inv_multicasts);
+    cmp.set("inv_targets", snapshot.cmp.inv_targets);
+    cmp.set("writebacks", snapshot.cmp.writebacks);
+    cmp.set("dram_reads", snapshot.cmp.dram_reads);
+    cmp.set("dram_writes", snapshot.cmp.dram_writes);
+    cmp.set("dram_conflicts", snapshot.cmp.dram_conflicts);
+    cmp.set("barriers", snapshot.cmp.barriers);
+    cmp.set("lock_acquires", snapshot.cmp.lock_acquires);
+    cmp.set("lock_contended", snapshot.cmp.lock_contended);
+    json.set("cmp", std::move(cmp));
+  }
   return json;
 }
 
@@ -392,6 +472,22 @@ MetricsSnapshot metrics_snapshot_from_json(const Json& json) {
       snapshot.arena.push_back(std::move(pool));
     }
   }
+  if (const Json* cmp = json.find("cmp"); cmp != nullptr) {
+    snapshot.cmp.accesses = cmp->at("accesses").as_u64();
+    snapshot.cmp.l1_hits = cmp->at("l1_hits").as_u64();
+    snapshot.cmp.l1_misses = cmp->at("l1_misses").as_u64();
+    snapshot.cmp.mshr_merges = cmp->at("mshr_merges").as_u64();
+    snapshot.cmp.inv_messages = cmp->at("inv_messages").as_u64();
+    snapshot.cmp.inv_multicasts = cmp->at("inv_multicasts").as_u64();
+    snapshot.cmp.inv_targets = cmp->at("inv_targets").as_u64();
+    snapshot.cmp.writebacks = cmp->at("writebacks").as_u64();
+    snapshot.cmp.dram_reads = cmp->at("dram_reads").as_u64();
+    snapshot.cmp.dram_writes = cmp->at("dram_writes").as_u64();
+    snapshot.cmp.dram_conflicts = cmp->at("dram_conflicts").as_u64();
+    snapshot.cmp.barriers = cmp->at("barriers").as_u64();
+    snapshot.cmp.lock_acquires = cmp->at("lock_acquires").as_u64();
+    snapshot.cmp.lock_contended = cmp->at("lock_contended").as_u64();
+  }
   return snapshot;
 }
 
@@ -430,6 +526,7 @@ Json to_json(const PowerOutcome& outcome) { return outcome_to_json(outcome); }
 Json to_json(const WorkloadOutcome& outcome) {
   return outcome_to_json(outcome);
 }
+Json to_json(const CmpOutcome& outcome) { return outcome_to_json(outcome); }
 
 SaturationOutcome saturation_outcome_from_json(const Json& json) {
   SaturationOutcome outcome;
@@ -470,6 +567,17 @@ WorkloadOutcome workload_outcome_from_json(const Json& json) {
   outcome.run = run_outcome_from_json(json.at("run"));
   if (outcome.run.ok) {
     outcome.result = workload_result_from_json(json.at("result"));
+  }
+  metrics_from_json(outcome, json);
+  return outcome;
+}
+
+CmpOutcome cmp_outcome_from_json(const Json& json) {
+  CmpOutcome outcome;
+  outcome.spec = cmp_spec_from_json(json.at("spec"));
+  outcome.run = run_outcome_from_json(json.at("run"));
+  if (outcome.run.ok) {
+    outcome.result = cmp_result_from_json(json.at("result"));
   }
   metrics_from_json(outcome, json);
   return outcome;
@@ -527,6 +635,21 @@ std::string spec_key(const WorkloadSpec& spec) {
   key += workload::to_string(spec.mode);
   key += "|trace=";
   key += spec.trace_hash;
+  if (!spec.custom.empty()) {
+    key += '|';
+    key += spec.custom;
+  }
+  return key;
+}
+
+std::string spec_key(const CmpSpec& spec) {
+  // Like the workload key, the access-trace hash is part of the identity.
+  std::string key = "cmp|";
+  key += core::to_string(spec.arch);
+  key += '|';
+  key += spec.workload;
+  key += "|access=";
+  key += spec.access_hash;
   if (!spec.custom.empty()) {
     key += '|';
     key += spec.custom;

@@ -39,11 +39,15 @@ util::Json to_json(const PowerSpec& spec);
 /// its trace_hash identity does, and deserialized specs come back with a
 /// null trace — re-arm with make_workload_spec before running.
 util::Json to_json(const WorkloadSpec& spec);
+/// Like WorkloadSpec: the access trace travels as its hash only, and
+/// deserialized specs must be re-armed with make_cmp_spec before running.
+util::Json to_json(const CmpSpec& spec);
 
 SaturationSpec saturation_spec_from_json(const util::Json& json);
 LatencySpec latency_spec_from_json(const util::Json& json);
 PowerSpec power_spec_from_json(const util::Json& json);
 WorkloadSpec workload_spec_from_json(const util::Json& json);
+CmpSpec cmp_spec_from_json(const util::Json& json);
 
 // --- results -------------------------------------------------------------
 
@@ -51,11 +55,13 @@ util::Json to_json(const SaturationResult& result);
 util::Json to_json(const LatencyResult& result);
 util::Json to_json(const PowerResult& result);
 util::Json to_json(const WorkloadResult& result);
+util::Json to_json(const CmpResult& result);
 
 SaturationResult saturation_result_from_json(const util::Json& json);
 LatencyResult latency_result_from_json(const util::Json& json);
 PowerResult power_result_from_json(const util::Json& json);
 WorkloadResult workload_result_from_json(const util::Json& json);
+CmpResult cmp_result_from_json(const util::Json& json);
 
 // --- run outcomes --------------------------------------------------------
 
@@ -76,11 +82,13 @@ util::Json to_json(const SaturationOutcome& outcome);
 util::Json to_json(const LatencyOutcome& outcome);
 util::Json to_json(const PowerOutcome& outcome);
 util::Json to_json(const WorkloadOutcome& outcome);
+util::Json to_json(const CmpOutcome& outcome);
 
 SaturationOutcome saturation_outcome_from_json(const util::Json& json);
 LatencyOutcome latency_outcome_from_json(const util::Json& json);
 PowerOutcome power_outcome_from_json(const util::Json& json);
 WorkloadOutcome workload_outcome_from_json(const util::Json& json);
+CmpOutcome cmp_outcome_from_json(const util::Json& json);
 
 // --- identity ------------------------------------------------------------
 
@@ -90,6 +98,7 @@ std::string spec_key(const SaturationSpec& spec);
 std::string spec_key(const LatencySpec& spec);
 std::string spec_key(const PowerSpec& spec);
 std::string spec_key(const WorkloadSpec& spec);
+std::string spec_key(const CmpSpec& spec);
 
 /// Keys of a whole grid, in grid order.
 template <typename Spec>

@@ -434,6 +434,20 @@ struct WorkloadTraits {
   }
 };
 
+struct CmpTraits {
+  using Spec = CmpSpec;
+  using Outcome = CmpOutcome;
+  static constexpr const char* kKind = "cmp";
+  static std::vector<Outcome> run(ExperimentRunner& runner,
+                                  const std::vector<Spec>& specs,
+                                  const BatchOptions& batch) {
+    return runner.run_cmp_grid(specs, batch);
+  }
+  static Outcome from_json(const Json& json) {
+    return cmp_outcome_from_json(json);
+  }
+};
+
 /// Rendered saturation outcomes seed the runner's memoization cache so
 /// protocol methods (saturation(), power_at_baseline_fraction(), ...)
 /// reuse them exactly as a live run_saturation_grid() call would.
@@ -450,6 +464,7 @@ void prime_runner(ExperimentRunner& runner,
 void prime_runner(ExperimentRunner&, const std::vector<LatencyOutcome>&) {}
 void prime_runner(ExperimentRunner&, const std::vector<PowerOutcome>&) {}
 void prime_runner(ExperimentRunner&, const std::vector<WorkloadOutcome>&) {}
+void prime_runner(ExperimentRunner&, const std::vector<CmpOutcome>&) {}
 
 bool file_has_content(const std::string& path) {
   std::ifstream in(path);
@@ -831,6 +846,12 @@ std::vector<WorkloadOutcome> ShardedSweep::workload_grid(
     const std::string& name, ExperimentRunner& runner,
     const std::vector<WorkloadSpec>& specs) {
   return run_grid<WorkloadTraits>(name, runner, specs);
+}
+
+std::vector<CmpOutcome> ShardedSweep::cmp_grid(
+    const std::string& name, ExperimentRunner& runner,
+    const std::vector<CmpSpec>& specs) {
+  return run_grid<CmpTraits>(name, runner, specs);
 }
 
 void ShardedSweep::flush() const {

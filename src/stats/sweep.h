@@ -80,7 +80,8 @@ struct SweepManifest {
 /// One registered grid: identity shared by every worker of the sweep.
 struct SweepGrid {
   std::string name;  ///< unique within the tool ("latency", "power", ...)
-  std::string kind;  ///< "saturation" | "latency" | "power" | "workload"
+  std::string kind;  ///< "saturation" | "latency" | "power" | "workload" |
+                     ///< "cmp"
   std::size_t size = 0;  ///< full grid size across all shards
   std::string hash;      ///< grid_hash() of all spec keys, in grid order
   /// Anchor grids: multiple workers may record the same cell (identical
@@ -236,6 +237,11 @@ class ShardedSweep {
   std::vector<WorkloadOutcome> workload_grid(
       const std::string& name, ExperimentRunner& runner,
       const std::vector<WorkloadSpec>& specs);
+  /// CMP co-simulation grids: like workload grids, the access-trace hash
+  /// rides each spec key, so mismatched trace bytes fail the merge.
+  std::vector<CmpOutcome> cmp_grid(const std::string& name,
+                                   ExperimentRunner& runner,
+                                   const std::vector<CmpSpec>& specs);
 
   /// Worker mode: writes the "done" record, prints a one-line summary to
   /// stderr, and returns the process exit code (1 if any owned cell

@@ -71,7 +71,11 @@ const CliParser::Flag* CliParser::find(const std::string& name) const {
 }
 
 void CliParser::add(Flag flag) {
-  SPECNOC_EXPECTS(find(flag.name) == nullptr);
+  if (find(flag.name) != nullptr) {
+    throw ConfigError("cli: flag '" + flag.name +
+                      "' registered twice in program '" + program_ +
+                      "' — each flag name may be added only once");
+  }
   SPECNOC_EXPECTS(flag.name.size() > 2 && flag.name[0] == '-' &&
                   flag.name[1] == '-');
   flags_.push_back(std::move(flag));

@@ -1,0 +1,30 @@
+// Polling helper for files produced by another process (live telemetry
+// streams, shard files from remote workers): wait until a path becomes
+// readable instead of failing on the race between writer start-up and
+// reader start-up.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace specnoc::util {
+
+/// Polls until `path` opens for reading. Returns true as soon as it does;
+/// false when `budget_ms` elapses first. Checks every `poll_ms` (clamped
+/// to >= 1 ms); a zero budget degenerates to a single immediate check.
+inline bool wait_for_file(const std::string& path, unsigned poll_ms,
+                          unsigned budget_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  for (;;) {
+    if (std::ifstream(path).good()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max(poll_ms, 1u)));
+  }
+}
+
+}  // namespace specnoc::util

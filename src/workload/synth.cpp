@@ -1,7 +1,10 @@
 #include "workload/synth.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <optional>
 
+#include "sim/shard.h"
 #include "util/contract.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -226,6 +229,306 @@ Trace make_synth_workload(SynthId id, std::uint32_t n, std::uint32_t flits,
     }
   }
   SPECNOC_UNREACHABLE("SynthId");
+}
+
+// ---------------------------------------------------------------------------
+// Access streams.
+
+namespace {
+
+// Line-index regions of the synthetic address map. Disjoint by construction
+// so data, barrier flags, and lock words never alias a cache line.
+constexpr std::uint64_t kLineBytes = 64;  // synthesizers emit line-aligned
+constexpr std::uint64_t kDataBase = 0;
+constexpr std::uint64_t kTreeBase = 1ull << 16;
+constexpr std::uint64_t kBodyBase = 1ull << 17;
+constexpr std::uint64_t kCellBase = 1ull << 18;
+constexpr std::uint64_t kBarrierBase = 1ull << 20;
+constexpr std::uint64_t kLockBase = 1ull << 21;
+
+std::uint64_t line_addr(std::uint64_t base, std::uint64_t index) {
+  return (base + index) * kLineBytes;
+}
+
+// Per-proc think jitter in [think/2, 3*think/2): keeps streams from issuing
+// in lockstep without changing the mean compute per access.
+TimePs jitter(Rng& rng, TimePs think) {
+  if (think <= 0) return 0;
+  return think / 2 + static_cast<TimePs>(
+                         rng.uniform_below(static_cast<std::uint64_t>(think)));
+}
+
+}  // namespace
+
+const char* to_string(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kRead:
+      return "Read";
+    case AccessKind::kWrite:
+      return "Write";
+    case AccessKind::kBarrier:
+      return "Barrier";
+    case AccessKind::kLockAcquire:
+      return "LockAcquire";
+    case AccessKind::kLockRelease:
+      return "LockRelease";
+  }
+  SPECNOC_UNREACHABLE("AccessKind");
+}
+
+void AccessTrace::validate() const {
+  if (n < 2) {
+    throw ConfigError("access trace needs n >= 2 processors, got n=" +
+                      std::to_string(n));
+  }
+  if (streams.size() != n) {
+    throw ConfigError("access trace has " + std::to_string(streams.size()) +
+                      " streams for n=" + std::to_string(n) + " processors");
+  }
+  std::vector<std::uint64_t> barrier_seq;
+  for (std::uint32_t p = 0; p < n; ++p) {
+    std::vector<std::uint64_t> barriers;
+    bool holding = false;
+    std::uint64_t held_lock = 0;
+    for (std::size_t i = 0; i < streams[p].size(); ++i) {
+      const MemAccess& a = streams[p][i];
+      const std::string at = "access trace proc " + std::to_string(p) +
+                             " access " + std::to_string(i);
+      if (a.think < 0) throw ConfigError(at + ": think must be >= 0");
+      switch (a.kind) {
+        case AccessKind::kRead:
+        case AccessKind::kWrite:
+          break;
+        case AccessKind::kBarrier:
+          if (holding) {
+            throw ConfigError(at + ": barrier while holding a lock");
+          }
+          barriers.push_back(a.addr);
+          break;
+        case AccessKind::kLockAcquire:
+          if (holding) {
+            throw ConfigError(at + ": nested lock acquire");
+          }
+          holding = true;
+          held_lock = a.addr;
+          break;
+        case AccessKind::kLockRelease:
+          if (!holding || held_lock != a.addr) {
+            throw ConfigError(at + ": release without matching acquire");
+          }
+          holding = false;
+          break;
+      }
+    }
+    if (holding) {
+      throw ConfigError("access trace proc " + std::to_string(p) +
+                        ": lock held at end of stream");
+    }
+    if (p == 0) {
+      barrier_seq = std::move(barriers);
+    } else if (barriers != barrier_seq) {
+      throw ConfigError("access trace proc " + std::to_string(p) +
+                        ": barrier sequence differs from proc 0 (" +
+                        std::to_string(barriers.size()) + " vs " +
+                        std::to_string(barrier_seq.size()) + " barriers)");
+    }
+  }
+}
+
+std::size_t AccessTrace::total_accesses() const {
+  std::size_t total = 0;
+  for (const auto& stream : streams) total += stream.size();
+  return total;
+}
+
+std::string AccessTrace::canonical() const {
+  std::string out = "access/1;n=" + std::to_string(n) + ";gen=" + generator;
+  for (std::uint32_t p = 0; p < streams.size(); ++p) {
+    out += ";p" + std::to_string(p) + ":";
+    for (const MemAccess& a : streams[p]) {
+      out += std::to_string(static_cast<unsigned>(a.kind)) + "," +
+             std::to_string(a.addr) + "," + std::to_string(a.think) + ";";
+    }
+  }
+  return out;
+}
+
+std::string access_trace_hash(const AccessTrace& trace) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(
+                    sim::fnv1a64(trace.canonical())));
+  return buffer;
+}
+
+AccessTrace make_lu_access_trace(const LuAccessParams& params) {
+  if (params.n < 2) {
+    throw ConfigError("lu access trace needs n >= 2, got n=" +
+                      std::to_string(params.n));
+  }
+  if (params.blocks < 2) {
+    throw ConfigError("lu access trace: blocks must be >= 2");
+  }
+  if (params.reads_per_block == 0) {
+    throw ConfigError("lu access trace: reads_per_block must be >= 1");
+  }
+  if (params.think < 0) {
+    throw ConfigError("lu access trace: think must be >= 0");
+  }
+  Rng root(params.seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(params.n);
+  for (std::uint32_t p = 0; p < params.n; ++p) rngs.push_back(root.split());
+
+  AccessTrace trace;
+  trace.n = params.n;
+  trace.generator = to_string(AccessSynthId::kLuBlocks);
+  trace.streams.resize(params.n);
+  const std::uint32_t B = params.blocks;
+  const auto block_line = [&](std::uint32_t i, std::uint32_t j) {
+    return line_addr(kDataBase, static_cast<std::uint64_t>(i) * B + j);
+  };
+  const auto push = [&](std::uint32_t p, AccessKind kind, std::uint64_t addr) {
+    trace.streams[p].push_back(
+        MemAccess{addr, kind, jitter(rngs[p], params.think)});
+  };
+  for (std::uint32_t k = 0; k < B; ++k) {
+    const std::uint64_t pivot = block_line(k, k);
+    // Post-barrier temporal reuse: the previous pivot is Shared in every
+    // cache (everyone read it last iteration and nothing wrote it since),
+    // so these re-reads are the streams' L1 hits — the barrier guarantees
+    // the original fill retired long before.
+    if (k > 0) {
+      const std::uint64_t prev_pivot = block_line(k - 1, k - 1);
+      for (std::uint32_t p = 0; p < params.n; ++p) {
+        push(p, AccessKind::kRead, prev_pivot);
+      }
+    }
+    // The pivot owner factorizes the diagonal block, then everyone reads it
+    // — after the write, so the directory sees reader after reader join the
+    // sharer set before the next iteration's writes invalidate them.
+    push(k % params.n, AccessKind::kWrite, pivot);
+    for (std::uint32_t p = 0; p < params.n; ++p) {
+      for (std::uint32_t r = 0; r < params.reads_per_block; ++r) {
+        push(p, AccessKind::kRead, pivot);
+      }
+    }
+    // Row/column updates: owner of block j updates panel blocks (k,j) and
+    // (j,k) after reading the pivot it just joined the sharers of.
+    for (std::uint32_t j = k + 1; j < B; ++j) {
+      const std::uint32_t owner = j % params.n;
+      push(owner, AccessKind::kRead, pivot);
+      push(owner, AccessKind::kWrite, block_line(k, j));
+      push(owner, AccessKind::kWrite, block_line(j, k));
+    }
+    // Iteration barrier: the last arriver's flag write is the widest
+    // multicast of the iteration (every proc read the flag line to wait).
+    for (std::uint32_t p = 0; p < params.n; ++p) {
+      push(p, AccessKind::kBarrier, line_addr(kBarrierBase, k));
+    }
+  }
+  trace.validate();
+  return trace;
+}
+
+AccessTrace make_barnes_access_trace(const BarnesAccessParams& params) {
+  if (params.n < 2) {
+    throw ConfigError("barnes access trace needs n >= 2, got n=" +
+                      std::to_string(params.n));
+  }
+  if (params.steps == 0 || params.tree_cells == 0 ||
+      params.reads_per_step == 0) {
+    throw ConfigError(
+        "barnes access trace: steps, tree_cells, and reads_per_step must be "
+        ">= 1");
+  }
+  if (params.locks == 0 && params.cell_updates > 0) {
+    throw ConfigError("barnes access trace: cell_updates > 0 needs locks >= 1");
+  }
+  if (params.think < 0) {
+    throw ConfigError("barnes access trace: think must be >= 0");
+  }
+  Rng root(params.seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(params.n);
+  for (std::uint32_t p = 0; p < params.n; ++p) rngs.push_back(root.split());
+
+  AccessTrace trace;
+  trace.n = params.n;
+  trace.generator = to_string(AccessSynthId::kBarnesRegions);
+  trace.streams.resize(params.n);
+  const auto push = [&](std::uint32_t p, AccessKind kind, std::uint64_t addr) {
+    trace.streams[p].push_back(
+        MemAccess{addr, kind, jitter(rngs[p], params.think)});
+  };
+  for (std::uint32_t s = 0; s < params.steps; ++s) {
+    for (std::uint32_t p = 0; p < params.n; ++p) {
+      // Force walk: read-mostly traversal of the shared tree region. Random
+      // per-proc cells, so each line's sharer set — and the fan-out of the
+      // invalidation when a cell is later updated — is history-dependent.
+      for (std::uint32_t r = 0; r < params.reads_per_step; ++r) {
+        const std::uint64_t cell = rngs[p].uniform_below(params.tree_cells);
+        push(p, AccessKind::kRead, line_addr(kTreeBase, cell));
+      }
+      // Private body updates: no sharing, exercises eviction/writeback.
+      for (std::uint32_t b = 0; b < params.bodies_per_proc; ++b) {
+        const std::uint64_t body =
+            static_cast<std::uint64_t>(p) * params.bodies_per_proc + b;
+        push(p, AccessKind::kWrite, line_addr(kBodyBase, body));
+      }
+      // Tree rebuild contributions: lock-protected updates of shared cells
+      // (the lock line itself is a contended M-state line).
+      for (std::uint32_t u = 0; u < params.cell_updates; ++u) {
+        const std::uint64_t lock = rngs[p].uniform_below(params.locks);
+        const std::uint64_t cell = rngs[p].uniform_below(params.tree_cells);
+        push(p, AccessKind::kLockAcquire, line_addr(kLockBase, lock));
+        push(p, AccessKind::kWrite, line_addr(kCellBase, cell));
+        push(p, AccessKind::kRead, line_addr(kTreeBase, cell));
+        push(p, AccessKind::kLockRelease, line_addr(kLockBase, lock));
+      }
+    }
+    for (std::uint32_t p = 0; p < params.n; ++p) {
+      push(p, AccessKind::kBarrier, line_addr(kBarrierBase, s));
+    }
+  }
+  trace.validate();
+  return trace;
+}
+
+const char* to_string(AccessSynthId id) {
+  switch (id) {
+    case AccessSynthId::kLuBlocks:
+      return "LuBlocks";
+    case AccessSynthId::kBarnesRegions:
+      return "BarnesRegions";
+  }
+  SPECNOC_UNREACHABLE("AccessSynthId");
+}
+
+AccessSynthId access_synth_from_string(const std::string& name) {
+  if (name == "LuBlocks") return AccessSynthId::kLuBlocks;
+  if (name == "BarnesRegions") return AccessSynthId::kBarnesRegions;
+  throw ConfigError("unknown access synthesizer '" + name +
+                    "' (valid synthesizers: LuBlocks, BarnesRegions)");
+}
+
+AccessTrace make_access_workload(AccessSynthId id, std::uint32_t n,
+                                 std::uint64_t seed) {
+  switch (id) {
+    case AccessSynthId::kLuBlocks: {
+      LuAccessParams params;
+      params.n = n;
+      params.seed = seed;
+      return make_lu_access_trace(params);
+    }
+    case AccessSynthId::kBarnesRegions: {
+      BarnesAccessParams params;
+      params.n = n;
+      params.seed = seed;
+      return make_barnes_access_trace(params);
+    }
+  }
+  SPECNOC_UNREACHABLE("AccessSynthId");
 }
 
 }  // namespace specnoc::workload

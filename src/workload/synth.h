@@ -93,4 +93,96 @@ SynthId synth_from_string(const std::string& name);
 Trace make_synth_workload(SynthId id, std::uint32_t n, std::uint32_t flits,
                           std::uint64_t seed);
 
+// ---------------------------------------------------------------------------
+// Per-processor memory access streams (cmp co-simulation inputs).
+//
+// Unlike the message traces above, these carry no network destinations at
+// all: they are byte-addressed load/store/synchronization streams, one per
+// processor. The cmp layer turns them into coherence traffic reactively —
+// which endpoints an invalidation reaches depends on the sharer sets the
+// directory accumulated, which in turn depend on the timing the network
+// itself produced.
+
+/// One entry of a processor's access stream.
+enum class AccessKind : std::uint8_t {
+  kRead,
+  kWrite,
+  kBarrier,      ///< global barrier; addr names the barrier flag line
+  kLockAcquire,  ///< addr names the lock line; blocks until granted
+  kLockRelease,  ///< must pair with the processor's held lock
+};
+
+const char* to_string(AccessKind kind);
+
+struct MemAccess {
+  std::uint64_t addr = 0;              ///< byte address
+  AccessKind kind = AccessKind::kRead;
+  TimePs think = 0;  ///< local compute before this access issues
+};
+
+/// Per-processor access streams driving the cmp co-simulation.
+struct AccessTrace {
+  std::uint32_t n = 0;     ///< processors == network endpoints
+  std::string generator;
+  std::vector<std::vector<MemAccess>> streams;  ///< one per processor
+
+  /// Structural checks: stream count matches n, every processor sees the
+  /// same barrier sequence (same flag lines in the same order), locks are
+  /// non-nested and acquire/release pair on the same line. Throws
+  /// ConfigError with the offending processor/index.
+  void validate() const;
+
+  std::size_t total_accesses() const;
+
+  /// Canonical serialization fed to access_trace_hash (exposed for tests).
+  std::string canonical() const;
+};
+
+/// Stable content hash (fnv1a64 over a canonical serialization), the
+/// cmp analogue of trace_hash(): spec keys and sweep manifests use it to
+/// detect two runners disagreeing about the workload.
+std::string access_trace_hash(const AccessTrace& trace);
+
+/// Blocked LU decomposition sharing pattern: each iteration k, the pivot
+/// block is read by every processor (wide sharer sets), then the owners of
+/// row/column blocks update them (each write multicast-invalidates the
+/// accumulated readers), and a barrier closes the iteration.
+struct LuAccessParams {
+  std::uint32_t n = 8;
+  std::uint32_t blocks = 6;           ///< matrix is blocks x blocks tiles
+  std::uint32_t reads_per_block = 2;  ///< pivot re-reads per proc
+  TimePs think = 400;                 ///< mean local compute per access
+  std::uint64_t seed = 2026;          ///< jitters per-proc think times only
+};
+
+AccessTrace make_lu_access_trace(const LuAccessParams& params);
+
+/// Barnes-hut-style sharing: a read-mostly shared tree region, per-processor
+/// private body updates, lock-protected updates to a few shared cells, and
+/// a barrier per step. Read sets are per-proc random (seeded), so sharer
+/// sets — and thus invalidation fan-outs — vary across lines and steps.
+struct BarnesAccessParams {
+  std::uint32_t n = 8;
+  std::uint32_t steps = 3;
+  std::uint32_t tree_cells = 24;       ///< shared read-mostly region size
+  std::uint32_t reads_per_step = 12;   ///< tree reads per proc per step
+  std::uint32_t bodies_per_proc = 6;   ///< private writes per proc per step
+  std::uint32_t cell_updates = 2;      ///< locked shared writes per proc/step
+  std::uint32_t locks = 4;
+  TimePs think = 400;
+  std::uint64_t seed = 2026;
+};
+
+AccessTrace make_barnes_access_trace(const BarnesAccessParams& params);
+
+/// Named access-stream synthesizers for the harness layer (E11).
+enum class AccessSynthId : std::uint8_t { kLuBlocks, kBarnesRegions };
+
+const char* to_string(AccessSynthId id);
+AccessSynthId access_synth_from_string(const std::string& name);
+
+/// Default-parameter workload scaled to n processors.
+AccessTrace make_access_workload(AccessSynthId id, std::uint32_t n,
+                                 std::uint64_t seed);
+
 }  // namespace specnoc::workload

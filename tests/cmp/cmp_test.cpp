@@ -1,0 +1,335 @@
+// Tests for the CMP memory-hierarchy co-simulation (src/cmp/): cache/MSHR/
+// DRAM units, directory multicast semantics, end-to-end runs on the paper
+// networks, and the grid-level determinism and neutrality invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmp/cache.h"
+#include "cmp/directory.h"
+#include "cmp/dram.h"
+#include "cmp/system.h"
+#include "core/mot_network.h"
+#include "stats/experiment.h"
+#include "stats/serialization.h"
+#include "util/error.h"
+#include "util/json.h"
+#include "workload/synth.h"
+
+namespace specnoc::cmp {
+namespace {
+
+using core::Architecture;
+
+// --- PrivateCache ---------------------------------------------------------
+
+TEST(PrivateCacheTest, FillHitInvalidate) {
+  PrivateCache cache(4, 2);
+  EXPECT_EQ(cache.state(7), LineState::kInvalid);
+  cache.fill(7, LineState::kShared);
+  EXPECT_EQ(cache.state(7), LineState::kShared);
+  cache.fill(7, LineState::kModified);  // upgrade in place
+  EXPECT_EQ(cache.state(7), LineState::kModified);
+  EXPECT_TRUE(cache.invalidate(7));  // modified copy dropped
+  EXPECT_EQ(cache.state(7), LineState::kInvalid);
+  EXPECT_FALSE(cache.invalidate(7));  // already gone
+}
+
+TEST(PrivateCacheTest, LruEvictsLeastRecentlyTouched) {
+  PrivateCache cache(1, 2);  // one set, two ways: lines collide by design
+  cache.fill(10, LineState::kShared);
+  cache.fill(20, LineState::kShared);
+  cache.touch(10);  // 20 is now the LRU way
+  const auto fill = cache.fill(30, LineState::kShared);
+  EXPECT_FALSE(fill.evicted_modified);  // shared victims drop silently
+  EXPECT_EQ(cache.state(20), LineState::kInvalid);
+  EXPECT_EQ(cache.state(10), LineState::kShared);
+  EXPECT_EQ(cache.state(30), LineState::kShared);
+}
+
+TEST(PrivateCacheTest, DirtyVictimReportsWriteback) {
+  PrivateCache cache(1, 1);
+  cache.fill(5, LineState::kModified);
+  const auto fill = cache.fill(6, LineState::kShared);
+  EXPECT_TRUE(fill.evicted_modified);
+  EXPECT_EQ(fill.victim, 5u);
+}
+
+// --- MshrTable ------------------------------------------------------------
+
+TEST(MshrTableTest, AllocateFindRelease) {
+  MshrTable table(2);
+  EXPECT_EQ(table.find(1), nullptr);
+  Mshr& a = table.allocate(1, /*exclusive=*/false);
+  a.waiters.push_back(100);
+  EXPECT_EQ(table.find(1), &a);
+  table.allocate(2, /*exclusive=*/true);
+  EXPECT_TRUE(table.full());
+  const Mshr released = table.release(1);
+  EXPECT_EQ(released.waiters.size(), 1u);
+  EXPECT_FALSE(table.full());
+  EXPECT_EQ(table.find(1), nullptr);
+}
+
+// --- BankedDram -----------------------------------------------------------
+
+TEST(BankedDramTest, BusyBankSerializesAndCountsConflict) {
+  BankedDram dram(2, 100);
+  EXPECT_EQ(dram.access(0, 0, false), 100);  // bank 0 free
+  EXPECT_EQ(dram.access(2, 50, false), 200);  // bank 0 busy until 100
+  EXPECT_EQ(dram.conflicts(), 1u);
+  EXPECT_EQ(dram.access(1, 50, true), 150);  // bank 1 free: no conflict
+  EXPECT_EQ(dram.conflicts(), 1u);
+  EXPECT_EQ(dram.reads(), 2u);
+  EXPECT_EQ(dram.writes(), 1u);
+}
+
+// --- Directory ------------------------------------------------------------
+
+TEST(DirectoryTest, GetXInvalidatesAllSharersWithOneDestSet) {
+  Directory directory(8);
+  const std::uint64_t line = 3;
+  // Three readers join the sharer set.
+  for (const std::uint32_t p : {0u, 1u, 2u}) {
+    ASSERT_TRUE(directory.admit(line, {p, false}));
+    const DirectoryAction action = directory.begin(line);
+    EXPECT_FALSE(action.invalidate.any());
+    directory.dram_complete(line);
+    ASSERT_TRUE(directory.ready(line));
+    bool has_next = false;
+    DirectoryRequest next;
+    directory.complete(line, &has_next, &next);
+    EXPECT_FALSE(has_next);
+  }
+  EXPECT_EQ(directory.entry(line).sharers.count(), 3u);
+  // A writer's GetX invalidates the whole current sharer set in one action.
+  ASSERT_TRUE(directory.admit(line, {5, true}));
+  const DirectoryAction action = directory.begin(line);
+  EXPECT_EQ(action.invalidate.count(), 3u);
+  EXPECT_TRUE(action.invalidate.test(0));
+  EXPECT_TRUE(action.invalidate.test(1));
+  EXPECT_TRUE(action.invalidate.test(2));
+  EXPECT_FALSE(action.invalidate.test(5));
+}
+
+TEST(DirectoryTest, ConcurrentRequestsQueueBehindBusyLine) {
+  Directory directory(4);
+  ASSERT_TRUE(directory.admit(7, {0, true}));
+  directory.begin(7);
+  EXPECT_FALSE(directory.admit(7, {1, true}));  // queued
+  directory.dram_complete(7);
+  ASSERT_TRUE(directory.ready(7));
+  bool has_next = false;
+  DirectoryRequest next;
+  const DirectoryRequest done = directory.complete(7, &has_next, &next);
+  EXPECT_EQ(done.proc, 0u);
+  ASSERT_TRUE(has_next);
+  EXPECT_EQ(next.proc, 1u);
+}
+
+// --- CmpSystem end to end -------------------------------------------------
+
+workload::AccessTrace small_lu_trace() {
+  workload::LuAccessParams params;
+  params.n = 8;
+  params.blocks = 4;
+  return make_lu_access_trace(params);
+}
+
+/// Downstream observer counting injected packets by destination fan-out.
+class FanoutProbe final : public noc::TrafficObserver {
+ public:
+  void on_packet_injected(const noc::Packet& packet, TimePs) override {
+    ++packets_;
+    if (packet.dests.count() >= 2) ++multicast_packets_;
+  }
+  void on_flit_ejected(const noc::Packet&, std::uint32_t, noc::FlitKind,
+                       TimePs) override {}
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t multicast_packets() const { return multicast_packets_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t multicast_packets_ = 0;
+};
+
+struct CmpRun {
+  std::uint64_t retired = 0;
+  bool finished = false;
+  CmpCounters counters;
+  std::uint64_t injected_packets = 0;
+  std::uint64_t injected_multicasts = 0;
+  TimePs makespan = 0;
+};
+
+CmpRun run_cmp_on(Architecture arch, const workload::AccessTrace& trace) {
+  core::NetworkConfig cfg;  // 8x8, sequential
+  core::MotNetwork network(arch, cfg);
+  AccessTraceSource source(trace, CmpConfig{}.line_bytes);
+  CmpSystem system(network, source);
+  FanoutProbe probe;
+  system.set_downstream(&probe);
+  network.net().hooks().traffic = &system;
+  system.start();
+  network.net().run();
+  CmpRun run;
+  run.retired = system.retired();
+  run.finished = system.finished();
+  run.counters = system.counters();
+  run.injected_packets = probe.packets();
+  run.injected_multicasts = probe.multicast_packets();
+  run.makespan = system.makespan();
+  return run;
+}
+
+TEST(CmpSystemTest, CompletesOnEveryPaperArchitecture) {
+  const workload::AccessTrace trace = small_lu_trace();
+  for (const Architecture arch : core::all_architectures()) {
+    const CmpRun run = run_cmp_on(arch, trace);
+    EXPECT_TRUE(run.finished) << core::to_string(arch);
+    EXPECT_EQ(run.retired, trace.total_accesses()) << core::to_string(arch);
+    EXPECT_GT(run.makespan, 0) << core::to_string(arch);
+    EXPECT_GT(run.counters.inv_messages, 0u) << core::to_string(arch);
+  }
+}
+
+TEST(CmpSystemTest, InvalidationsAreGenuineMulticastsOnTreeNetworks) {
+  const workload::AccessTrace trace = small_lu_trace();
+  const CmpRun run = run_cmp_on(Architecture::kOptHybridSpeculative, trace);
+  // The directory produced multi-target invalidations...
+  ASSERT_GT(run.counters.inv_multicasts, 0u);
+  // ...and each one entered the network as ONE packet whose DestSet carries
+  // every remote sharer — not a loop of unicasts. kInv is the only
+  // multi-destination message class, so the counts line up exactly.
+  EXPECT_EQ(run.injected_multicasts, run.counters.inv_multicasts);
+}
+
+TEST(CmpSystemTest, BaselineExpandsTheSameLogicalMulticasts) {
+  const workload::AccessTrace trace = small_lu_trace();
+  const CmpRun run = run_cmp_on(Architecture::kBaseline, trace);
+  // Same protocol, same logical invalidation multicasts; but the Baseline
+  // serializes them, so no injected packet carries more than one dest.
+  EXPECT_GT(run.counters.inv_multicasts, 0u);
+  EXPECT_EQ(run.injected_multicasts, 0u);
+  // Serialization expands packets: more packets than logical messages.
+  EXPECT_GT(run.injected_packets, run.counters.messages_sent);
+}
+
+TEST(CmpSystemTest, RejectsPartitionedNetworkWithReasonedError) {
+  core::NetworkConfig cfg;
+  cfg.sim_threads = 2;
+  core::MotNetwork network(Architecture::kOptNonSpeculative, cfg);
+  const workload::AccessTrace trace = small_lu_trace();
+  AccessTraceSource source(trace, CmpConfig{}.line_bytes);
+  CmpSystem system(network, source);
+  network.net().hooks().traffic = &system;
+  try {
+    system.start();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("sim_threads = 1"),
+              std::string::npos);
+  }
+}
+
+TEST(CmpSystemTest, DeterministicAcrossRepeatedRuns) {
+  const workload::AccessTrace trace = small_lu_trace();
+  const CmpRun a = run_cmp_on(Architecture::kOptAllSpeculative, trace);
+  const CmpRun b = run_cmp_on(Architecture::kOptAllSpeculative, trace);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.counters.messages_sent, b.counters.messages_sent);
+  EXPECT_EQ(a.counters.inv_targets, b.counters.inv_targets);
+  EXPECT_EQ(a.injected_packets, b.injected_packets);
+}
+
+// --- Experiment-layer grid ------------------------------------------------
+
+std::vector<stats::CmpSpec> lu_grid_specs(
+    const std::shared_ptr<const workload::AccessTrace>& trace) {
+  std::vector<stats::CmpSpec> specs;
+  for (const Architecture arch : core::all_architectures()) {
+    specs.push_back(stats::make_cmp_spec(arch, "LuBlocks", trace));
+  }
+  return specs;
+}
+
+std::string results_fingerprint(const std::vector<stats::CmpOutcome>& grid) {
+  // Results only: RunOutcome carries nondeterministic wall times.
+  std::string blob;
+  for (const auto& outcome : grid) {
+    EXPECT_TRUE(outcome.run.ok) << outcome.run.error;
+    blob += util::json_write(stats::to_json(outcome.result));
+    blob += '\n';
+  }
+  return blob;
+}
+
+TEST(CmpGridTest, ByteIdenticalAcrossJobCounts) {
+  const auto trace =
+      std::make_shared<const workload::AccessTrace>(small_lu_trace());
+  core::NetworkConfig cfg;
+  stats::ExperimentRunner runner(cfg, 42);
+  stats::BatchOptions serial;
+  serial.jobs = 1;
+  stats::BatchOptions parallel;
+  parallel.jobs = 4;
+  const auto a = runner.run_cmp_grid(lu_grid_specs(trace), serial);
+  const auto b = runner.run_cmp_grid(lu_grid_specs(trace), parallel);
+  EXPECT_EQ(results_fingerprint(a), results_fingerprint(b));
+}
+
+TEST(CmpGridTest, MetricsCollectionIsObservational) {
+  const auto trace =
+      std::make_shared<const workload::AccessTrace>(small_lu_trace());
+  core::NetworkConfig cfg;
+  stats::ExperimentRunner runner(cfg, 42);
+  stats::BatchOptions plain;
+  plain.jobs = 1;
+  stats::BatchOptions probed;
+  probed.jobs = 1;
+  probed.collect_metrics = true;
+  const auto a = runner.run_cmp_grid(lu_grid_specs(trace), plain);
+  const auto b = runner.run_cmp_grid(lu_grid_specs(trace), probed);
+  EXPECT_EQ(results_fingerprint(a), results_fingerprint(b));
+  // The probed grid actually carries cmp counters in its snapshots.
+  ASSERT_TRUE(b.front().metrics.has_value());
+  EXPECT_FALSE(b.front().metrics->cmp.empty());
+  EXPECT_EQ(b.front().metrics->cmp.accesses,
+            b.front().result.accesses);
+}
+
+TEST(CmpGridTest, PartitionedRunnerConfigStillRunsSequential) {
+  // The grid always builds sequential networks: a runner configured for the
+  // PDES kernel must not trip the closed-loop guard.
+  const auto trace =
+      std::make_shared<const workload::AccessTrace>(small_lu_trace());
+  core::NetworkConfig cfg;
+  cfg.sim_threads = 4;
+  stats::ExperimentRunner runner(cfg, 42);
+  stats::BatchOptions batch;
+  batch.jobs = 1;
+  const auto outcomes = runner.run_cmp_grid(lu_grid_specs(trace), batch);
+  for (const auto& outcome : outcomes) {
+    EXPECT_TRUE(outcome.run.ok) << outcome.run.error;
+  }
+}
+
+TEST(CmpGridTest, NullAccessTraceFailsInItsOutcomeSlot) {
+  core::NetworkConfig cfg;
+  stats::ExperimentRunner runner(cfg, 42);
+  stats::CmpSpec spec;  // deserialized shape: no trace attached
+  spec.arch = Architecture::kBaseline;
+  spec.workload = "LuBlocks";
+  stats::BatchOptions batch;
+  batch.jobs = 1;
+  const auto outcomes = runner.run_cmp_grid({spec}, batch);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].run.ok);
+  EXPECT_NE(outcomes[0].run.error.find("make_cmp_spec"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace specnoc::cmp

@@ -251,5 +251,80 @@ TEST(SerializationTest, RunStatusReflectsAttempts) {
   EXPECT_STREQ(run_status(run), "failed");
 }
 
+TEST(SerializationTest, CmpOutcomeRoundTrips) {
+  const auto access = std::make_shared<const workload::AccessTrace>(
+      workload::make_access_workload(workload::AccessSynthId::kLuBlocks, 8,
+                                     7));
+  CmpOutcome outcome;
+  outcome.spec = make_cmp_spec(Architecture::kOptHybridSpeculative,
+                               "LuBlocks", access);
+  outcome.result.accesses = 235;
+  outcome.result.makespan_ns = 491.2;
+  outcome.result.l1_hits = 17;
+  outcome.result.l1_misses = 212;
+  outcome.result.mshr_merges = 88;
+  outcome.result.inv_messages = 14;
+  outcome.result.inv_multicasts = 9;
+  outcome.result.inv_targets = 69;
+  outcome.result.dram_reads = 120;
+  outcome.result.dram_writes = 41;
+  outcome.result.dram_conflicts = 59;
+  outcome.result.messages = 402;
+  outcome.result.flits_delivered = 2410;
+  outcome.result.energy_nj = 7.6012;
+  outcome.result.completed = true;
+  outcome.run = ok_run();
+
+  const auto back = cmp_outcome_from_json(
+      util::json_parse(util::json_write(to_json(outcome))));
+  EXPECT_EQ(back.spec.arch, outcome.spec.arch);
+  EXPECT_EQ(back.spec.workload, "LuBlocks");
+  EXPECT_EQ(back.spec.access_hash, outcome.spec.access_hash);
+  EXPECT_EQ(back.spec.access, nullptr);  // traces never travel, only hashes
+  EXPECT_EQ(back.result.accesses, outcome.result.accesses);
+  EXPECT_EQ(back.result.inv_multicasts, outcome.result.inv_multicasts);
+  EXPECT_EQ(back.result.energy_nj, outcome.result.energy_nj);
+  EXPECT_TRUE(back.result.completed);
+  EXPECT_EQ(util::json_write(to_json(back)),
+            util::json_write(to_json(outcome)));
+}
+
+TEST(SerializationTest, CmpSpecKeyEmbedsAccessTraceIdentity) {
+  const auto access = std::make_shared<const workload::AccessTrace>(
+      workload::make_access_workload(workload::AccessSynthId::kLuBlocks, 8,
+                                     0));
+  const auto spec = make_cmp_spec(Architecture::kBaseline, "LuBlocks",
+                                  access);
+  EXPECT_EQ(spec_key(spec), "cmp|Baseline|LuBlocks|access=" +
+                                workload::access_trace_hash(*access));
+
+  auto altered = *access;
+  altered.streams[0][0].think += 1;
+  const auto spec2 = make_cmp_spec(
+      Architecture::kBaseline, "LuBlocks",
+      std::make_shared<const workload::AccessTrace>(altered));
+  EXPECT_NE(spec_key(spec2), spec_key(spec));
+}
+
+TEST(SerializationTest, CmpMetricsRideTheSnapshotOmitWhenEmpty) {
+  MetricsSnapshot snapshot;
+  const std::string empty = util::json_write(to_json(snapshot));
+  // Non-cmp records keep their byte layout.
+  EXPECT_EQ(empty.find("\"cmp\""), std::string::npos);
+
+  snapshot.cmp.accesses = 235;
+  snapshot.cmp.l1_hits = 17;
+  snapshot.cmp.inv_multicasts = 9;
+  snapshot.cmp.lock_contended = 3;
+  const auto back = metrics_snapshot_from_json(
+      util::json_parse(util::json_write(to_json(snapshot))));
+  EXPECT_EQ(back.cmp.accesses, 235u);
+  EXPECT_EQ(back.cmp.l1_hits, 17u);
+  EXPECT_EQ(back.cmp.inv_multicasts, 9u);
+  EXPECT_EQ(back.cmp.lock_contended, 3u);
+  EXPECT_EQ(util::json_write(to_json(back)),
+            util::json_write(to_json(snapshot)));
+}
+
 }  // namespace
 }  // namespace specnoc::stats

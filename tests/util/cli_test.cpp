@@ -144,5 +144,20 @@ TEST(CliParserTest, UsageListsEveryFlag) {
   EXPECT_NE(usage.find("--help"), std::string::npos);
 }
 
+TEST(CliParserTest, DuplicateFlagRegistrationFailsFastNamingTheFlag) {
+  std::uint64_t seed = 0;
+  double rate = 0.0;
+  CliParser cli("tool", "summary");
+  cli.add_uint64("--seed", &seed, "the seed");
+  try {
+    cli.add_double("--seed", &rate, "collides across types too");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--seed"), std::string::npos) << what;
+    EXPECT_NE(what.find("tool"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace specnoc::util

@@ -1,0 +1,56 @@
+#include "util/fswait.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace specnoc::util {
+namespace {
+
+/// Self-deleting temp path in the test's working directory.
+class TempPath {
+ public:
+  explicit TempPath(std::string name) : path_(std::move(name)) {
+    std::remove(path_.c_str());
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+  void create() { std::ofstream(path_) << "x\n"; }
+
+ private:
+  std::string path_;
+};
+
+TEST(FsWaitTest, ExistingFileNeedsNoPolling) {
+  TempPath path("fswait_existing.tmp");
+  path.create();
+  EXPECT_TRUE(wait_for_file(path.str(), /*poll_ms=*/1, /*budget_ms=*/0));
+}
+
+TEST(FsWaitTest, MissingFileFailsAfterTheBudget) {
+  // Regression: a not-yet-created stream file used to fail immediately in
+  // sweep_merge --follow; the wait must be bounded, not infinite.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(wait_for_file("fswait_never_created.tmp", /*poll_ms=*/1,
+                             /*budget_ms=*/30));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(30));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));  // bounded, generously
+}
+
+TEST(FsWaitTest, PicksUpAFileCreatedMidWait) {
+  TempPath path("fswait_appears.tmp");
+  std::thread writer([&path] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    path.create();
+  });
+  EXPECT_TRUE(wait_for_file(path.str(), /*poll_ms=*/2, /*budget_ms=*/5000));
+  writer.join();
+}
+
+}  // namespace
+}  // namespace specnoc::util

@@ -252,5 +252,65 @@ TEST(ReplayTest, ModeNamesRoundTripAndErrorListsValidModes) {
   }
 }
 
+/// Counts raw packet injections behind the recorder, to observe the
+/// Baseline's multicast -> unicast expansion directly.
+class InjectionCounter final : public noc::TrafficObserver {
+ public:
+  void on_packet_injected(const noc::Packet& /*packet*/,
+                          TimePs /*when*/) override {
+    ++injected;
+  }
+  void on_flit_ejected(const noc::Packet& /*packet*/, std::uint32_t /*dest*/,
+                       noc::FlitKind /*kind*/, TimePs /*when*/) override {}
+  std::uint64_t injected = 0;
+};
+
+/// Satellite regression for large-radix capture: on a 256-endpoint Baseline
+/// network every logical multicast is expanded into one unicast packet per
+/// destination (all sharing a MessageId). The recorder must collapse that
+/// expansion back to ONE record per logical message, keep the full DestSet,
+/// and the resulting schema-2 trace (hex dests, n > 64) must round-trip
+/// byte-identically.
+TEST(TraceRecorderTest, Radix256BaselineCollapsesUnicastExpansion) {
+  core::NetworkConfig cfg;
+  cfg.n = 256;
+  core::MotNetwork network(Architecture::kBaseline, cfg);
+  TraceRecorder capture(network.net().packets(), network.endpoints(),
+                        "radix256-capture");
+  InjectionCounter counter;
+  capture.set_downstream(&counter);
+  network.net().hooks().traffic = &capture;
+
+  // 12 logical multicasts with fan-outs spanning both DestSet words,
+  // including dests >= 64 (only representable by schema 2).
+  std::uint64_t expanded = 0;
+  std::vector<noc::DestSet> sent;
+  for (std::uint32_t m = 0; m < 12; ++m) {
+    noc::DestSet dests;
+    const std::uint32_t fan_out = 2 + m;
+    for (std::uint32_t d = 0; d < fan_out; ++d) {
+      dests |= noc::DestSet::single((31 + 83 * m + 17 * d) % 256);
+    }
+    network.send_message(/*src=*/m % 256, dests, /*measured=*/false);
+    expanded += dests.count();
+    sent.push_back(dests);
+  }
+  network.scheduler().run();
+
+  const Trace trace = capture.trace();
+  ASSERT_EQ(trace.records.size(), sent.size());
+  EXPECT_EQ(counter.injected, expanded);  // expansion really happened
+  EXPECT_GT(counter.injected, trace.records.size());
+  for (std::size_t m = 0; m < sent.size(); ++m) {
+    EXPECT_EQ(trace.records[m].dests, sent[m]) << "message " << m;
+  }
+
+  const std::string bytes = trace_to_string(trace);
+  EXPECT_NE(bytes.find("\"schema\":2"), std::string::npos);
+  std::istringstream in(bytes);
+  const Trace back = read_trace(in, "radix256-roundtrip");
+  EXPECT_EQ(trace_to_string(back), bytes);
+}
+
 }  // namespace
 }  // namespace specnoc::workload

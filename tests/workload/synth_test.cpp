@@ -145,5 +145,75 @@ TEST(SynthNamesTest, DefaultWorkloadsScaleWithN) {
   }
 }
 
+TEST(AccessSynthTest, LuTraceIsDeterministicPerSeed) {
+  LuAccessParams params;
+  const AccessTrace a = make_lu_access_trace(params);
+  const AccessTrace b = make_lu_access_trace(params);
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(access_trace_hash(a), access_trace_hash(b));
+
+  params.seed += 1;
+  const AccessTrace c = make_lu_access_trace(params);
+  EXPECT_NE(access_trace_hash(a), access_trace_hash(c));
+}
+
+TEST(AccessSynthTest, GeneratedTracesValidateAndCoverEveryStream) {
+  for (const auto id : {AccessSynthId::kLuBlocks,
+                        AccessSynthId::kBarnesRegions}) {
+    const AccessTrace trace = make_access_workload(id, 8, 42);
+    EXPECT_NO_THROW(trace.validate()) << to_string(id);
+    EXPECT_EQ(trace.streams.size(), 8u);
+    for (const auto& stream : trace.streams) {
+      EXPECT_FALSE(stream.empty()) << to_string(id);
+    }
+    EXPECT_EQ(trace.total_accesses(), [&] {
+      std::size_t total = 0;
+      for (const auto& stream : trace.streams) total += stream.size();
+      return total;
+    }());
+  }
+}
+
+TEST(AccessSynthTest, ValidateRejectsMismatchedBarrierSequences) {
+  AccessTrace trace = make_access_workload(AccessSynthId::kLuBlocks, 4, 1);
+  for (auto& access : trace.streams[2]) {
+    if (access.kind == AccessKind::kBarrier) {
+      access.addr += 64;  // processor 2 now spins on a different flag line
+      break;
+    }
+  }
+  EXPECT_THROW(trace.validate(), ConfigError);
+}
+
+TEST(AccessSynthTest, ValidateRejectsUnmatchedAndNestedLocks) {
+  const auto two_proc = [] {
+    AccessTrace trace;
+    trace.n = 2;
+    trace.generator = "test";
+    trace.streams.resize(2);
+    trace.streams[1].push_back({0x8000, AccessKind::kRead, 0});
+    return trace;
+  };
+
+  AccessTrace dangling = two_proc();
+  dangling.streams[0].push_back({0x1000, AccessKind::kLockAcquire, 0});
+  EXPECT_THROW(dangling.validate(), ConfigError);
+
+  AccessTrace nested = two_proc();
+  nested.streams[0].push_back({0x1000, AccessKind::kLockAcquire, 0});
+  nested.streams[0].push_back({0x2000, AccessKind::kLockAcquire, 0});
+  nested.streams[0].push_back({0x2000, AccessKind::kLockRelease, 0});
+  nested.streams[0].push_back({0x1000, AccessKind::kLockRelease, 0});
+  EXPECT_THROW(nested.validate(), ConfigError);
+}
+
+TEST(AccessSynthTest, SynthIdNamesRoundTrip) {
+  for (const auto id : {AccessSynthId::kLuBlocks,
+                        AccessSynthId::kBarnesRegions}) {
+    EXPECT_EQ(access_synth_from_string(to_string(id)), id);
+  }
+  EXPECT_THROW(access_synth_from_string("NoSuchPattern"), ConfigError);
+}
+
 }  // namespace
 }  // namespace specnoc::workload
